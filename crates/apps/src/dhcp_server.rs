@@ -1,0 +1,369 @@
+//! A DHCP server attached to the switch, for the Table 1 DHCP rows.
+//!
+//! The server *is* the switch application here (a switch-hosted DHCP
+//! responder): leases addresses from a pool, tracks expiry in simulated
+//! time, honours releases, and answers discover/request messages.
+
+use std::collections::HashMap;
+use swmon_packet::{DhcpMessage, DhcpMsgType, Headers, Ipv4Address, MacAddr, PacketBuilder};
+use swmon_sim::time::{Duration, Instant};
+use swmon_switch::{AppCtx, AppLogic};
+
+/// Injected bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DhcpServerFault {
+    /// Correct behaviour.
+    #[default]
+    None,
+    /// Never answers requests (violates reply-within-T).
+    Silent,
+    /// Re-leases addresses that are still under an active lease (violates
+    /// no-reuse-before-expiry).
+    ReusesActiveLeases,
+    /// Ignores DHCPRELEASE: released addresses stay "leased" until expiry.
+    /// (Changes pool behaviour; not directly a property violation.)
+    IgnoresRelease,
+}
+
+/// One active lease.
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    client: MacAddr,
+    expires: Instant,
+}
+
+/// The server.
+#[derive(Debug)]
+pub struct DhcpServer {
+    server_id: Ipv4Address,
+    pool: Vec<Ipv4Address>,
+    next_free: usize,
+    lease_secs: u32,
+    leases: HashMap<Ipv4Address, Lease>,
+    /// Injected fault.
+    pub fault: DhcpServerFault,
+}
+
+impl DhcpServer {
+    /// A server identified as `server_id`, leasing `pool_size` addresses
+    /// starting at `pool_base`, each for `lease_secs`.
+    pub fn new(
+        server_id: Ipv4Address,
+        pool_base: Ipv4Address,
+        pool_size: u32,
+        lease_secs: u32,
+        fault: DhcpServerFault,
+    ) -> Self {
+        let base = pool_base.to_u32();
+        DhcpServer {
+            server_id,
+            pool: (0..pool_size).map(|i| Ipv4Address::from_u32(base + i)).collect(),
+            next_free: 0,
+            lease_secs,
+            leases: HashMap::new(),
+            fault,
+        }
+    }
+
+    /// Active (unexpired) leases as of `now`.
+    pub fn active_leases(&self, now: Instant) -> usize {
+        self.leases.values().filter(|l| l.expires > now).count()
+    }
+
+    /// Pick an address for `client`: its current lease if any, else the
+    /// next free (or, with the reuse fault, possibly still-leased) address.
+    fn allocate(&mut self, client: MacAddr, now: Instant) -> Option<Ipv4Address> {
+        if let Some((addr, _)) =
+            self.leases.iter().find(|(_, l)| l.client == client && l.expires > now)
+        {
+            return Some(*addr);
+        }
+        let reuse_ok = self.fault == DhcpServerFault::ReusesActiveLeases;
+        // Scan the pool round-robin from next_free.
+        for i in 0..self.pool.len() {
+            let idx = (self.next_free + i) % self.pool.len();
+            let addr = self.pool[idx];
+            let free = match self.leases.get(&addr) {
+                None => true,
+                Some(l) => l.expires <= now || reuse_ok,
+            };
+            if free {
+                self.next_free = (idx + 1) % self.pool.len();
+                return Some(addr);
+            }
+        }
+        None
+    }
+}
+
+impl AppLogic for DhcpServer {
+    fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, headers: &Headers) {
+        let Some(msg) = headers.dhcp() else {
+            // Not DHCP: this node only serves DHCP; flood everything else.
+            ctx.flood();
+            return;
+        };
+        let now = ctx.now();
+        let msg = msg.clone();
+        match msg.msg_type {
+            DhcpMsgType::Discover => {
+                if self.fault == DhcpServerFault::Silent {
+                    ctx.drop_packet();
+                    return;
+                }
+                if let Some(addr) = self.allocate(msg.chaddr, now) {
+                    let offer = DhcpMessage::offer(
+                        msg.xid,
+                        msg.chaddr,
+                        addr,
+                        self.server_id,
+                        self.lease_secs,
+                    );
+                    let pkt = PacketBuilder::dhcp(
+                        MacAddr::new(2, 0, 0, 0, 0, 250),
+                        self.server_id,
+                        addr,
+                        &offer,
+                    );
+                    let port = ctx.in_port();
+                    ctx.originate(port, pkt);
+                }
+                ctx.drop_packet(); // the discover itself stops here
+            }
+            DhcpMsgType::Request => {
+                if self.fault == DhcpServerFault::Silent {
+                    ctx.drop_packet();
+                    return;
+                }
+                let addr = msg
+                    .requested_ip
+                    .or_else(|| self.allocate(msg.chaddr, now));
+                if let Some(addr) = addr {
+                    // Grant unless someone else holds an active lease.
+                    let taken = self
+                        .leases
+                        .get(&addr)
+                        .is_some_and(|l| l.client != msg.chaddr && l.expires > now);
+                    let grant = !taken || self.fault == DhcpServerFault::ReusesActiveLeases;
+                    let reply = if grant {
+                        self.leases.insert(
+                            addr,
+                            Lease {
+                                client: msg.chaddr,
+                                expires: now + Duration::from_secs(u64::from(self.lease_secs)),
+                            },
+                        );
+                        DhcpMessage::ack(msg.xid, msg.chaddr, addr, self.server_id, self.lease_secs)
+                    } else {
+                        let mut nak = DhcpMessage::ack(msg.xid, msg.chaddr, addr, self.server_id, 0);
+                        nak.msg_type = DhcpMsgType::Nak;
+                        nak.lease_secs = None;
+                        nak
+                    };
+                    let pkt = PacketBuilder::dhcp(
+                        MacAddr::new(2, 0, 0, 0, 0, 250),
+                        self.server_id,
+                        addr,
+                        &reply,
+                    );
+                    let port = ctx.in_port();
+                    ctx.originate(port, pkt);
+                }
+                ctx.drop_packet();
+            }
+            DhcpMsgType::Release => {
+                if self.fault != DhcpServerFault::IgnoresRelease {
+                    if let Some(l) = self.leases.get(&msg.ciaddr) {
+                        if l.client == msg.chaddr {
+                            self.leases.remove(&msg.ciaddr);
+                        }
+                    }
+                }
+                ctx.drop_packet();
+            }
+            _ => ctx.drop_packet(), // server ignores server-originated kinds
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use swmon_packet::{Field, Layer, Packet};
+    use swmon_props::scenario::DHCP_SERVER_1;
+    use swmon_sim::{Network, PortNo, SwitchId, TraceRecorder};
+    use swmon_switch::AppSwitch;
+
+    fn mac(x: u8) -> MacAddr {
+        MacAddr::new(2, 0, 0, 0, 0, x)
+    }
+
+    fn pool_base() -> Ipv4Address {
+        Ipv4Address::new(10, 0, 0, 100)
+    }
+
+    fn discover(client: u8, xid: u32) -> Packet {
+        PacketBuilder::dhcp(
+            mac(client),
+            Ipv4Address::UNSPECIFIED,
+            Ipv4Address::BROADCAST,
+            &DhcpMessage::discover(xid, mac(client)),
+        )
+    }
+
+    fn request(client: u8, xid: u32, addr: Ipv4Address) -> Packet {
+        PacketBuilder::dhcp(
+            mac(client),
+            Ipv4Address::UNSPECIFIED,
+            Ipv4Address::BROADCAST,
+            &DhcpMessage::request(xid, mac(client), addr, DHCP_SERVER_1),
+        )
+    }
+
+    fn release(client: u8, xid: u32, addr: Ipv4Address) -> Packet {
+        PacketBuilder::dhcp(
+            mac(client),
+            addr,
+            DHCP_SERVER_1,
+            &DhcpMessage::release(xid, mac(client), addr, DHCP_SERVER_1),
+        )
+    }
+
+/// Test harness handles: network, app, recorder, node id.
+    type Rig = (Network, Rc<RefCell<AppSwitch<DhcpServer>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+
+    fn rig(
+        lease_secs: u32,
+        fault: DhcpServerFault,
+    ) -> Rig
+    {
+        let mut net = Network::new();
+        let app = Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            4,
+            Layer::L7,
+            DhcpServer::new(DHCP_SERVER_1, pool_base(), 8, lease_secs, fault),
+        )));
+        let id = net.add_node(app.clone());
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        (net, app, rec, id)
+    }
+
+    fn at_ms(ms: u64) -> Instant {
+        Instant::ZERO + Duration::from_millis(ms)
+    }
+
+    /// ACK departures seen by the recorder as (yiaddr, chaddr).
+    fn acks(rec: &Rc<RefCell<TraceRecorder>>) -> Vec<(Ipv4Address, MacAddr)> {
+        rec.borrow()
+            .departures()
+            .filter(|d| d.field(Field::DhcpMsgType) == Some(5u64.into()))
+            .map(|d| {
+                (
+                    d.field(Field::DhcpYiaddr).unwrap().as_ipv4().unwrap(),
+                    d.field(Field::DhcpChaddr).unwrap().as_mac().unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn discover_offer_request_ack() {
+        let (mut net, app, rec, id) = rig(3600, DhcpServerFault::None);
+        net.inject(at_ms(0), id, PortNo(0), discover(1, 7));
+        net.run_to_completion();
+        // The offer names the first pool address.
+        let offer = rec
+            .borrow()
+            .departures()
+            .find(|d| d.field(Field::DhcpMsgType) == Some(2u64.into()))
+            .map(|d| d.field(Field::DhcpYiaddr).unwrap())
+            .expect("an offer");
+        assert_eq!(offer, pool_base().into());
+
+        net.inject(at_ms(10), id, PortNo(0), request(1, 7, pool_base()));
+        net.run_to_completion();
+        assert_eq!(acks(&rec), vec![(pool_base(), mac(1))]);
+        assert_eq!(app.borrow().logic.active_leases(at_ms(10)), 1);
+    }
+
+    #[test]
+    fn no_reuse_while_lease_active() {
+        let (mut net, _app, rec, id) = rig(3600, DhcpServerFault::None);
+        net.inject(at_ms(0), id, PortNo(0), request(1, 7, pool_base()));
+        // Client 2 requests the same address: must be NAKed.
+        net.inject(at_ms(10), id, PortNo(0), request(2, 8, pool_base()));
+        net.run_to_completion();
+        assert_eq!(acks(&rec).len(), 1);
+        let naks = rec
+            .borrow()
+            .count(|e| e.field(Field::DhcpMsgType) == Some(6u64.into()) && e.action().is_some());
+        assert!(naks >= 1, "second client refused");
+    }
+
+    #[test]
+    fn reuse_after_expiry_is_allowed() {
+        let (mut net, _app, rec, id) = rig(60, DhcpServerFault::None);
+        net.inject(at_ms(0), id, PortNo(0), request(1, 7, pool_base()));
+        // 2 minutes later the lease lapsed.
+        net.inject(at_ms(120_000), id, PortNo(0), request(2, 8, pool_base()));
+        net.run_to_completion();
+        assert_eq!(acks(&rec).len(), 2);
+    }
+
+    #[test]
+    fn release_frees_the_address() {
+        let (mut net, app, rec, id) = rig(3600, DhcpServerFault::None);
+        net.inject(at_ms(0), id, PortNo(0), request(1, 7, pool_base()));
+        net.inject(at_ms(10), id, PortNo(0), release(1, 8, pool_base()));
+        net.inject(at_ms(20), id, PortNo(0), request(2, 9, pool_base()));
+        net.run_to_completion();
+        assert_eq!(acks(&rec).len(), 2, "released address re-leased");
+        assert_eq!(app.borrow().logic.active_leases(at_ms(20)), 1);
+    }
+
+    #[test]
+    fn buggy_server_reuses_active_lease() {
+        let (mut net, _app, rec, id) = rig(3600, DhcpServerFault::ReusesActiveLeases);
+        net.inject(at_ms(0), id, PortNo(0), request(1, 7, pool_base()));
+        net.inject(at_ms(10), id, PortNo(0), request(2, 8, pool_base()));
+        net.run_to_completion();
+        assert_eq!(acks(&rec).len(), 2, "fault: both clients ACKed for one address");
+    }
+
+    #[test]
+    fn monitor_discriminates_reply_within() {
+        for (fault, expect) in [(DhcpServerFault::None, 0usize), (DhcpServerFault::Silent, 1)] {
+            let (mut net, _app, _rec, id) = rig(3600, fault);
+            let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
+                swmon_props::dhcp::reply_within(swmon_props::scenario::REPLY_WAIT),
+            )));
+            net.add_sink(monitor.clone());
+            net.inject(at_ms(0), id, PortNo(0), request(1, 7, pool_base()));
+            net.run_to_completion();
+            let mut mon = monitor.borrow_mut();
+            mon.advance_to(Instant::ZERO + Duration::from_secs(30));
+            assert_eq!(mon.violations().len(), expect, "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn monitor_discriminates_no_reuse() {
+        for (fault, expect) in
+            [(DhcpServerFault::None, 0usize), (DhcpServerFault::ReusesActiveLeases, 1)]
+        {
+            let (mut net, _app, _rec, id) = rig(3600, fault);
+            let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
+                swmon_props::dhcp::no_reuse_before_expiry(),
+            )));
+            net.add_sink(monitor.clone());
+            net.inject(at_ms(0), id, PortNo(0), request(1, 7, pool_base()));
+            net.inject(at_ms(10), id, PortNo(0), request(2, 8, pool_base()));
+            net.run_to_completion();
+            assert_eq!(monitor.borrow().violations().len(), expect, "{fault:?}");
+        }
+    }
+}

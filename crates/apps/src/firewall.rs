@@ -1,0 +1,290 @@
+//! The stateful firewall of Sec 2.1: inside hosts open pinholes; outside
+//! traffic is admitted only through them; pinholes expire after an idle
+//! timeout and close on FIN/RST.
+
+use std::collections::HashMap;
+use swmon_packet::{Headers, Ipv4Address};
+use swmon_sim::time::{Duration, Instant};
+use swmon_switch::{AppCtx, AppLogic};
+
+/// Injected bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FirewallFault {
+    /// Correct behaviour.
+    #[default]
+    None,
+    /// Forgets connections immediately: return traffic is always dropped
+    /// (violates return-not-dropped).
+    DropsReturnTraffic,
+    /// Expires pinholes at a fraction of the configured timeout — drops
+    /// legitimate return traffic inside the window (violates
+    /// return-not-dropped-within-T).
+    ExpiresEarly,
+    /// Ignores FIN/RST: pinholes stay open after close. (Not a violation of
+    /// the monitored properties — they forgive over-admission — but changes
+    /// behaviour; included for completeness and state-size experiments.)
+    IgnoresClose,
+}
+
+/// Pinhole state for one (inside, outside) address pair.
+#[derive(Debug, Clone, Copy)]
+struct Pinhole {
+    last_outbound: Instant,
+    closed: bool,
+}
+
+/// The firewall. Port conventions come from `swmon-props::scenario`:
+/// inside hosts on `inside_port`, the world on `outside_port`.
+#[derive(Debug)]
+pub struct Firewall {
+    inside_port: swmon_sim::PortNo,
+    outside_port: swmon_sim::PortNo,
+    timeout: Duration,
+    pinholes: HashMap<(Ipv4Address, Ipv4Address), Pinhole>,
+    /// Injected fault.
+    pub fault: FirewallFault,
+}
+
+impl Firewall {
+    /// A firewall between `inside_port` and `outside_port` with the given
+    /// idle `timeout`.
+    pub fn new(
+        inside_port: swmon_sim::PortNo,
+        outside_port: swmon_sim::PortNo,
+        timeout: Duration,
+        fault: FirewallFault,
+    ) -> Self {
+        Firewall { inside_port, outside_port, timeout, pinholes: HashMap::new(), fault }
+    }
+
+    /// Open pinholes (tests, state-size accounting).
+    pub fn open_pinholes(&self) -> usize {
+        self.pinholes.len()
+    }
+
+    fn effective_timeout(&self) -> Duration {
+        match self.fault {
+            FirewallFault::ExpiresEarly => {
+                Duration::from_nanos(self.timeout.as_nanos() / 10)
+            }
+            _ => self.timeout,
+        }
+    }
+}
+
+impl AppLogic for Firewall {
+    fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, headers: &Headers) {
+        let Some(ip) = headers.ipv4() else {
+            // Non-IP traffic is outside the firewall's remit: pass it along.
+            let out = if ctx.in_port() == self.inside_port { self.outside_port } else { self.inside_port };
+            ctx.forward(out);
+            return;
+        };
+        let now = ctx.now();
+        let closes = headers.tcp().map(|t| t.flags.closes_connection()).unwrap_or(false);
+
+        if ctx.in_port() == self.inside_port {
+            // Outbound: open/refresh the pinhole (unless it is a close).
+            let key = (ip.src, ip.dst);
+            if self.fault != FirewallFault::DropsReturnTraffic {
+                if closes && self.fault != FirewallFault::IgnoresClose {
+                    if let Some(p) = self.pinholes.get_mut(&key) {
+                        p.closed = true;
+                    }
+                } else if !closes {
+                    self.pinholes
+                        .insert(key, Pinhole { last_outbound: now, closed: false });
+                }
+            }
+            ctx.forward(self.outside_port);
+        } else {
+            // Inbound: admitted only through a live pinhole.
+            let key = (ip.dst, ip.src);
+            let admitted = match self.pinholes.get(&key) {
+                Some(p) => {
+                    !p.closed && now.duration_since(p.last_outbound) < self.effective_timeout()
+                }
+                None => false,
+            };
+            if closes {
+                if let Some(p) = self.pinholes.get_mut(&key) {
+                    if self.fault != FirewallFault::IgnoresClose {
+                        p.closed = true;
+                    }
+                }
+            }
+            if admitted {
+                ctx.forward(self.inside_port);
+            } else {
+                ctx.drop_packet();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use swmon_packet::{Layer, MacAddr, Packet, PacketBuilder, TcpFlags};
+    use swmon_props::scenario::{FW_TIMEOUT, INSIDE_PORT, OUTSIDE_PORT};
+    use swmon_sim::trace::EgressAction;
+    use swmon_sim::{Network, PortNo, SwitchId, TraceRecorder};
+    use swmon_switch::AppSwitch;
+
+    fn inside(x: u8) -> Ipv4Address {
+        Ipv4Address::new(10, 0, 0, x)
+    }
+
+    fn outside(x: u8) -> Ipv4Address {
+        Ipv4Address::new(192, 0, 2, x)
+    }
+
+    fn tcp(src: Ipv4Address, dst: Ipv4Address, flags: TcpFlags) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            src,
+            dst,
+            4000,
+            443,
+            flags,
+            &[],
+        )
+    }
+
+/// Test harness handles: network, app, recorder, node id.
+    type Rig = (Network, Rc<RefCell<AppSwitch<Firewall>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+
+    fn rig(
+        fault: FirewallFault,
+    ) -> Rig
+    {
+        let mut net = Network::new();
+        let app = Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            2,
+            Layer::L4,
+            Firewall::new(INSIDE_PORT, OUTSIDE_PORT, FW_TIMEOUT, fault),
+        )));
+        let id = net.add_node(app.clone());
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        (net, app, rec, id)
+    }
+
+    fn at_ms(ms: u64) -> Instant {
+        Instant::ZERO + Duration::from_millis(ms)
+    }
+
+    fn actions(rec: &Rc<RefCell<TraceRecorder>>) -> Vec<EgressAction> {
+        rec.borrow().departures().map(|e| e.action().unwrap()).collect()
+    }
+
+    #[test]
+    fn pinhole_admits_return_traffic() {
+        let (mut net, app, rec, id) = rig(FirewallFault::None);
+        net.inject(at_ms(0), id, INSIDE_PORT, tcp(inside(1), outside(9), TcpFlags::SYN));
+        net.inject(at_ms(10), id, OUTSIDE_PORT, tcp(outside(9), inside(1), TcpFlags::ACK));
+        net.run_to_completion();
+        assert_eq!(
+            actions(&rec),
+            vec![EgressAction::Output(OUTSIDE_PORT), EgressAction::Output(INSIDE_PORT)]
+        );
+        assert_eq!(app.borrow().logic.open_pinholes(), 1);
+    }
+
+    #[test]
+    fn unsolicited_inbound_is_dropped() {
+        let (mut net, _app, rec, id) = rig(FirewallFault::None);
+        net.inject(at_ms(0), id, OUTSIDE_PORT, tcp(outside(9), inside(1), TcpFlags::SYN));
+        net.run_to_completion();
+        assert_eq!(actions(&rec), vec![EgressAction::Drop]);
+    }
+
+    #[test]
+    fn pinhole_expires_after_timeout() {
+        let (mut net, _app, rec, id) = rig(FirewallFault::None);
+        net.inject(at_ms(0), id, INSIDE_PORT, tcp(inside(1), outside(9), TcpFlags::SYN));
+        let late = FW_TIMEOUT + Duration::from_millis(1);
+        net.inject(Instant::ZERO + late, id, OUTSIDE_PORT, tcp(outside(9), inside(1), TcpFlags::ACK));
+        net.run_to_completion();
+        assert_eq!(actions(&rec)[1], EgressAction::Drop, "stale pinhole");
+    }
+
+    #[test]
+    fn close_shuts_the_pinhole() {
+        let (mut net, _app, rec, id) = rig(FirewallFault::None);
+        net.inject(at_ms(0), id, INSIDE_PORT, tcp(inside(1), outside(9), TcpFlags::SYN));
+        net.inject(at_ms(5), id, INSIDE_PORT, tcp(inside(1), outside(9), TcpFlags::FIN | TcpFlags::ACK));
+        net.inject(at_ms(10), id, OUTSIDE_PORT, tcp(outside(9), inside(1), TcpFlags::ACK));
+        net.run_to_completion();
+        let a = actions(&rec);
+        assert_eq!(a[2], EgressAction::Drop, "closed connection readmits nothing");
+    }
+
+    #[test]
+    fn pinholes_are_per_pair() {
+        let (mut net, _app, rec, id) = rig(FirewallFault::None);
+        net.inject(at_ms(0), id, INSIDE_PORT, tcp(inside(1), outside(9), TcpFlags::SYN));
+        // Return traffic for a *different* outside host: no pinhole.
+        net.inject(at_ms(10), id, OUTSIDE_PORT, tcp(outside(8), inside(1), TcpFlags::ACK));
+        net.run_to_completion();
+        assert_eq!(actions(&rec)[1], EgressAction::Drop);
+    }
+
+    #[test]
+    fn non_ip_traffic_passes() {
+        let (mut net, _app, rec, id) = rig(FirewallFault::None);
+        let arp = PacketBuilder::arp(swmon_packet::ArpPacket::request(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            inside(1),
+            outside(9),
+        ));
+        net.inject(at_ms(0), id, INSIDE_PORT, arp);
+        net.run_to_completion();
+        assert_eq!(actions(&rec), vec![EgressAction::Output(OUTSIDE_PORT)]);
+    }
+
+    #[test]
+    fn buggy_firewall_drops_return_traffic() {
+        let (mut net, _app, rec, id) = rig(FirewallFault::DropsReturnTraffic);
+        net.inject(at_ms(0), id, INSIDE_PORT, tcp(inside(1), outside(9), TcpFlags::SYN));
+        net.inject(at_ms(10), id, OUTSIDE_PORT, tcp(outside(9), inside(1), TcpFlags::ACK));
+        net.run_to_completion();
+        assert_eq!(actions(&rec)[1], EgressAction::Drop);
+    }
+
+    #[test]
+    fn monitor_discriminates_correct_from_buggy() {
+        for (fault, expect) in [
+            (FirewallFault::None, 0usize),
+            (FirewallFault::DropsReturnTraffic, 1),
+            (FirewallFault::ExpiresEarly, 1),
+        ] {
+            let (mut net, _app, _rec, id) = rig(fault);
+            let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
+                swmon_props::firewall::return_not_dropped_within(FW_TIMEOUT),
+            )));
+            net.add_sink(monitor.clone());
+            net.inject(at_ms(0), id, INSIDE_PORT, tcp(inside(1), outside(9), TcpFlags::SYN));
+            // Inside the window for the correct firewall; past the buggy
+            // early-expiry cutoff (T/10 = 3s).
+            net.inject(
+                Instant::ZERO + Duration::from_secs(5),
+                id,
+                OUTSIDE_PORT,
+                tcp(outside(9), inside(1), TcpFlags::ACK),
+            );
+            net.run_to_completion();
+            assert_eq!(monitor.borrow().violations().len(), expect, "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn ports_constants_are_distinct() {
+        assert_ne!(INSIDE_PORT, OUTSIDE_PORT);
+        assert_eq!(INSIDE_PORT, PortNo(0));
+    }
+}

@@ -1,0 +1,223 @@
+//! The learning switch — the paper's opening example (Sec 1) and the
+//! multiple-match example (Sec 2.4).
+
+use std::collections::HashMap;
+use swmon_packet::{Headers, MacAddr};
+use swmon_sim::trace::{OobEvent, PortNo};
+use swmon_switch::{AppCtx, AppLogic, AppTimerCtx};
+
+/// Injected bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LearningSwitchFault {
+    /// Correct behaviour.
+    #[default]
+    None,
+    /// Never learns: floods everything (violates no-flood-after-learn).
+    NeverLearns,
+    /// Learns the wrong port (off by one) — violates correct-port.
+    LearnsWrongPort,
+    /// Keeps its table across link-down events — violates flush-on-link-down.
+    NoFlushOnLinkDown,
+}
+
+/// A classic MAC-learning switch.
+#[derive(Debug, Default)]
+pub struct LearningSwitch {
+    table: HashMap<MacAddr, PortNo>,
+    /// Injected fault.
+    pub fault: LearningSwitchFault,
+}
+
+impl LearningSwitch {
+    /// A switch with the given fault (use `Fault::None` for correct).
+    pub fn new(fault: LearningSwitchFault) -> Self {
+        LearningSwitch { table: HashMap::new(), fault }
+    }
+
+    /// Number of learned entries (tests).
+    pub fn learned(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl AppLogic for LearningSwitch {
+    fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, headers: &Headers) {
+        let src = headers.eth.src;
+        let dst = headers.eth.dst;
+        // Learn the source's location.
+        if self.fault != LearningSwitchFault::NeverLearns && src.is_unicast() {
+            let port = match self.fault {
+                LearningSwitchFault::LearnsWrongPort => PortNo(ctx.in_port().0 + 1),
+                _ => ctx.in_port(),
+            };
+            self.table.insert(src, port);
+        }
+        // Forward.
+        match self.table.get(&dst) {
+            Some(&port) if dst.is_unicast() => {
+                if port == ctx.in_port() {
+                    // Destination is on the ingress segment already.
+                    ctx.drop_packet();
+                } else {
+                    ctx.forward(port);
+                }
+            }
+            _ => ctx.flood(),
+        }
+    }
+
+    fn on_oob(&mut self, _ctx: &mut AppTimerCtx<'_, '_>, ev: OobEvent) {
+        if matches!(ev, OobEvent::PortDown(..))
+            && self.fault != LearningSwitchFault::NoFlushOnLinkDown
+        {
+            self.table.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use swmon_packet::{Ipv4Address, Layer, Packet, PacketBuilder, TcpFlags};
+    use swmon_sim::time::{Duration, Instant};
+    use swmon_sim::trace::EgressAction;
+    use swmon_sim::{Network, SwitchId, TraceRecorder};
+    use swmon_switch::AppSwitch;
+
+    fn pkt(src: u8, dst: u8) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, dst),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, dst),
+            1,
+            2,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+/// Test harness handles: network, app, recorder, node id.
+    type Rig = (Network, Rc<RefCell<AppSwitch<LearningSwitch>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+
+    fn rig(
+        fault: LearningSwitchFault,
+    ) -> Rig
+    {
+        let mut net = Network::new();
+        let app = Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            4,
+            Layer::L2,
+            LearningSwitch::new(fault),
+        )));
+        let id = net.add_node(app.clone());
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        (net, app, rec, id)
+    }
+
+    #[test]
+    fn learns_and_unicasts() {
+        let (mut net, app, rec, id) = rig(LearningSwitchFault::None);
+        net.inject(Instant::ZERO, id, PortNo(0), pkt(1, 2));
+        net.inject(Instant::from_nanos(10), id, PortNo(3), pkt(2, 1));
+        net.run_to_completion();
+        let rec = rec.borrow();
+        let actions: Vec<_> = rec.departures().map(|e| e.action().unwrap()).collect();
+        assert_eq!(actions[0], EgressAction::Flood, "unknown destination floods");
+        assert_eq!(actions[1], EgressAction::Output(PortNo(0)), "learned destination unicasts");
+        assert_eq!(app.borrow().logic.learned(), 2);
+    }
+
+    #[test]
+    fn same_segment_destination_is_dropped() {
+        let (mut net, _app, rec, id) = rig(LearningSwitchFault::None);
+        net.inject(Instant::ZERO, id, PortNo(0), pkt(1, 2));
+        net.inject(Instant::from_nanos(10), id, PortNo(0), pkt(2, 1));
+        net.run_to_completion();
+        let rec = rec.borrow();
+        let actions: Vec<_> = rec.departures().map(|e| e.action().unwrap()).collect();
+        assert_eq!(actions[1], EgressAction::Drop, "no hairpin to the ingress port");
+    }
+
+    #[test]
+    fn broadcast_destination_always_floods() {
+        let (mut net, _app, rec, id) = rig(LearningSwitchFault::None);
+        let bcast = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::BROADCAST,
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::BROADCAST,
+            1,
+            2,
+            TcpFlags::SYN,
+            &[],
+        );
+        net.inject(Instant::ZERO, id, PortNo(0), bcast);
+        net.run_to_completion();
+        assert_eq!(rec.borrow().departures().next().unwrap().action(), Some(EgressAction::Flood));
+    }
+
+    #[test]
+    fn link_down_flushes_table() {
+        let (mut net, app, _rec, id) = rig(LearningSwitchFault::None);
+        net.inject(Instant::ZERO, id, PortNo(0), pkt(1, 2));
+        net.run_to_completion();
+        assert_eq!(app.borrow().logic.learned(), 1);
+        // Deliver a PortDown out-of-band event.
+        net.inject_oob(
+            Instant::ZERO + Duration::from_millis(1),
+            id,
+            OobEvent::PortDown(SwitchId(0), PortNo(0)),
+        );
+        net.run_to_completion();
+        assert_eq!(app.borrow().logic.learned(), 0);
+    }
+
+    #[test]
+    fn buggy_never_learns_floods_forever() {
+        let (mut net, app, rec, id) = rig(LearningSwitchFault::NeverLearns);
+        net.inject(Instant::ZERO, id, PortNo(0), pkt(1, 2));
+        net.inject(Instant::from_nanos(10), id, PortNo(3), pkt(2, 1));
+        net.run_to_completion();
+        let rec = rec.borrow();
+        assert!(rec.departures().all(|e| e.action() == Some(EgressAction::Flood)));
+        assert_eq!(app.borrow().logic.learned(), 0);
+    }
+
+    #[test]
+    fn buggy_no_flush_keeps_stale_entries() {
+        let (mut net, app, _rec, id) = rig(LearningSwitchFault::NoFlushOnLinkDown);
+        net.inject(Instant::ZERO, id, PortNo(0), pkt(1, 2));
+        net.run_to_completion();
+        net.inject_oob(
+            Instant::ZERO + Duration::from_millis(1),
+            id,
+            OobEvent::PortDown(SwitchId(0), PortNo(0)),
+        );
+        net.run_to_completion();
+        assert_eq!(app.borrow().logic.learned(), 1, "fault: table survives link-down");
+    }
+
+    /// End-to-end: the Sec 1 property detects the buggy switch and stays
+    /// silent on the correct one.
+    #[test]
+    fn monitor_discriminates_correct_from_buggy() {
+        for (fault, expect) in
+            [(LearningSwitchFault::None, 0usize), (LearningSwitchFault::NeverLearns, 1)]
+        {
+            let (mut net, _app, _rec, id) = rig(fault);
+            let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
+                swmon_props::learning_switch::no_flood_after_learn(),
+            )));
+            net.add_sink(monitor.clone());
+            net.inject(Instant::ZERO, id, PortNo(0), pkt(1, 2));
+            net.inject(Instant::from_nanos(10), id, PortNo(3), pkt(2, 1));
+            net.run_to_completion();
+            assert_eq!(monitor.borrow().violations().len(), expect, "{fault:?}");
+        }
+    }
+}

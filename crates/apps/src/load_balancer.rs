@@ -1,0 +1,347 @@
+//! The load balancer behind the Table 1 LB rows, with hash and
+//! round-robin policies (the FAST use cases).
+//!
+//! Topology: clients arrive on `client_port`; backend *i* hangs off port
+//! `base_port + i`. Flows to the VIP are pinned to a backend; return
+//! traffic from a backend port goes back to the client port.
+
+use std::collections::HashMap;
+use swmon_packet::{field::values_hash, Field, Headers, Ipv4Address};
+use swmon_sim::PortNo;
+use swmon_switch::{AppCtx, AppLogic};
+
+/// Backend selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbPolicy {
+    /// `hash(client addr, client port) % n`.
+    Hash,
+    /// Strict rotation.
+    RoundRobin,
+}
+
+/// Injected bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LbFault {
+    /// Correct behaviour.
+    #[default]
+    None,
+    /// Hash policy computed over the wrong fields (destination instead of
+    /// source) — violates new-flow-hashed-port.
+    HashesWrongFields,
+    /// Round robin that skips every other backend — violates
+    /// new-flow-round-robin.
+    SkipsBackends,
+    /// Forgets flow pinning: every packet is re-balanced — violates
+    /// stable-assignment.
+    ForgetsAssignments,
+}
+
+/// Key identifying a client flow regardless of direction.
+type FlowKey = (Ipv4Address, u16);
+
+/// The load balancer.
+#[derive(Debug)]
+pub struct LoadBalancer {
+    vip: Ipv4Address,
+    client_port: PortNo,
+    base_port: u64,
+    backends: u64,
+    policy: LbPolicy,
+    rr_next: u64,
+    assignments: HashMap<FlowKey, PortNo>,
+    /// Injected fault.
+    pub fault: LbFault,
+}
+
+impl LoadBalancer {
+    /// A balancer for `vip` with `backends` backends on ports
+    /// `base_port..base_port+backends`.
+    pub fn new(
+        vip: Ipv4Address,
+        client_port: PortNo,
+        base_port: u64,
+        backends: u64,
+        policy: LbPolicy,
+        fault: LbFault,
+    ) -> Self {
+        LoadBalancer {
+            vip,
+            client_port,
+            base_port,
+            backends,
+            policy,
+            rr_next: 0,
+            assignments: HashMap::new(),
+            fault,
+        }
+    }
+
+    /// Pinned flows (tests/accounting).
+    pub fn pinned_flows(&self) -> usize {
+        self.assignments.len()
+    }
+
+    fn pick_backend(&mut self, headers: &Headers) -> PortNo {
+        let i = match self.policy {
+            LbPolicy::Hash => {
+                let fields: [Field; 2] = match self.fault {
+                    LbFault::HashesWrongFields => [Field::Ipv4Dst, Field::L4Dst],
+                    _ => [Field::Ipv4Src, Field::L4Src],
+                };
+                values_hash(fields.iter().map(|&f| headers.field(f))) % self.backends
+            }
+            LbPolicy::RoundRobin => {
+                let step = if self.fault == LbFault::SkipsBackends { 2 } else { 1 };
+                let i = self.rr_next;
+                self.rr_next = (self.rr_next + step) % self.backends;
+                i
+            }
+        };
+        PortNo((self.base_port + i) as u16)
+    }
+}
+
+impl AppLogic for LoadBalancer {
+    fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, headers: &Headers) {
+        let (Some(ip), Some(sport), Some(dport)) = (
+            headers.ipv4().map(|h| (h.src, h.dst)),
+            headers.field(Field::L4Src).and_then(|v| v.as_uint()),
+            headers.field(Field::L4Dst).and_then(|v| v.as_uint()),
+        ) else {
+            ctx.drop_packet();
+            return;
+        };
+        let (src, dst) = ip;
+
+        if ctx.in_port() == self.client_port && dst == self.vip {
+            // Client → VIP: pin (or re-balance, if buggy) and forward.
+            let key: FlowKey = (src, sport as u16);
+            let backend = if self.fault == LbFault::ForgetsAssignments {
+                self.pick_backend(headers)
+            } else if let Some(&b) = self.assignments.get(&key) {
+                b
+            } else {
+                let b = self.pick_backend(headers);
+                self.assignments.insert(key, b);
+                b
+            };
+            if self.fault == LbFault::ForgetsAssignments {
+                self.assignments.insert(key, backend);
+            }
+            ctx.forward(backend);
+        } else if ctx.in_port() != self.client_port && src == self.vip {
+            // Backend → client return traffic.
+            let _ = dport;
+            ctx.forward(self.client_port);
+        } else {
+            ctx.drop_packet();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use swmon_packet::{Layer, MacAddr, Packet, PacketBuilder, TcpFlags};
+    use swmon_props::scenario::{LB_BACKENDS, LB_BASE_PORT, LB_CLIENT_PORT, LB_VIP};
+    use swmon_sim::time::{Duration, Instant};
+    use swmon_sim::{EgressAction, Network, PortNo, SwitchId, TraceRecorder};
+    use swmon_switch::AppSwitch;
+
+    fn client(x: u8) -> Ipv4Address {
+        Ipv4Address::new(10, 0, 1, x)
+    }
+
+    fn syn(src: u8, sport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, 100),
+            client(src),
+            LB_VIP,
+            sport,
+            80,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+/// Test harness handles: network, app, recorder, node id.
+    type Rig = (Network, Rc<RefCell<AppSwitch<LoadBalancer>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+
+    fn rig(
+        policy: LbPolicy,
+        fault: LbFault,
+    ) -> Rig
+    {
+        let mut net = Network::new();
+        let app = Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            (LB_BASE_PORT + LB_BACKENDS) as u16,
+            Layer::L4,
+            LoadBalancer::new(LB_VIP, LB_CLIENT_PORT, LB_BASE_PORT, LB_BACKENDS, policy, fault),
+        )));
+        let id = net.add_node(app.clone());
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        (net, app, rec, id)
+    }
+
+    fn at_ms(ms: u64) -> Instant {
+        Instant::ZERO + Duration::from_millis(ms)
+    }
+
+    fn out_ports(rec: &Rc<RefCell<TraceRecorder>>) -> Vec<u16> {
+        rec.borrow()
+            .departures()
+            .filter_map(|d| match d.action() {
+                Some(EgressAction::Output(p)) => Some(p.0),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hash_policy_is_deterministic_per_flow() {
+        let (mut net, app, rec, id) = rig(LbPolicy::Hash, LbFault::None);
+        for i in 0..3 {
+            net.inject(at_ms(i), id, LB_CLIENT_PORT, syn(1, 4000));
+        }
+        net.run_to_completion();
+        let ports = out_ports(&rec);
+        assert_eq!(ports.len(), 3);
+        assert!(ports.windows(2).all(|w| w[0] == w[1]), "same flow, same backend");
+        assert_eq!(app.borrow().logic.pinned_flows(), 1);
+    }
+
+    #[test]
+    fn hash_policy_matches_shared_hash() {
+        let (mut net, _app, rec, id) = rig(LbPolicy::Hash, LbFault::None);
+        net.inject(at_ms(0), id, LB_CLIENT_PORT, syn(1, 4000));
+        net.run_to_completion();
+        let p = syn(1, 4000);
+        let expect = LB_BASE_PORT
+            + values_hash([p.field(Field::Ipv4Src), p.field(Field::L4Src)]) % LB_BACKENDS;
+        assert_eq!(out_ports(&rec), vec![expect as u16]);
+    }
+
+    #[test]
+    fn round_robin_rotates_per_new_flow() {
+        let (mut net, _app, rec, id) = rig(LbPolicy::RoundRobin, LbFault::None);
+        for i in 0..5u64 {
+            net.inject(at_ms(i), id, LB_CLIENT_PORT, syn(i as u8 + 1, 4000 + i as u16));
+        }
+        net.run_to_completion();
+        let base = LB_BASE_PORT as u16;
+        assert_eq!(out_ports(&rec), vec![base, base + 1, base + 2, base + 3, base]);
+    }
+
+    #[test]
+    fn return_traffic_goes_to_client_port() {
+        let (mut net, _app, rec, id) = rig(LbPolicy::Hash, LbFault::None);
+        net.inject(at_ms(0), id, LB_CLIENT_PORT, syn(1, 4000));
+        net.run_to_completion();
+        let backend = out_ports(&rec)[0];
+        let ret = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 100),
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            LB_VIP,
+            client(1),
+            80,
+            4000,
+            TcpFlags::ACK,
+            &[],
+        );
+        net.inject(at_ms(10), id, PortNo(backend), ret);
+        net.run_to_completion();
+        assert_eq!(out_ports(&rec)[1], LB_CLIENT_PORT.0);
+    }
+
+    #[test]
+    fn non_vip_traffic_is_dropped() {
+        let (mut net, _app, rec, id) = rig(LbPolicy::Hash, LbFault::None);
+        let other = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 9),
+            client(1),
+            Ipv4Address::new(10, 0, 0, 9),
+            4000,
+            80,
+            TcpFlags::SYN,
+            &[],
+        );
+        net.inject(at_ms(0), id, LB_CLIENT_PORT, other);
+        net.run_to_completion();
+        assert_eq!(
+            rec.borrow().departures().next().unwrap().action(),
+            Some(EgressAction::Drop)
+        );
+    }
+
+    #[test]
+    fn monitor_discriminates_hash_policy() {
+        for (fault, expect_violation) in [(LbFault::None, false), (LbFault::HashesWrongFields, true)] {
+            let (mut net, _app, _rec, id) = rig(LbPolicy::Hash, fault);
+            let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
+                swmon_props::load_balancer::new_flow_hashed_port(),
+            )));
+            net.add_sink(monitor.clone());
+            // Several distinct flows: the wrong-fields hash will disagree
+            // with the spec hash for at least one of them.
+            for i in 0..8u64 {
+                net.inject(at_ms(i), id, LB_CLIENT_PORT, syn(i as u8 + 1, 4000 + i as u16));
+            }
+            net.run_to_completion();
+            assert_eq!(!monitor.borrow().violations().is_empty(), expect_violation, "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn monitor_discriminates_round_robin() {
+        for (fault, expect_violation) in [(LbFault::None, false), (LbFault::SkipsBackends, true)] {
+            let (mut net, _app, _rec, id) = rig(LbPolicy::RoundRobin, fault);
+            let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
+                swmon_props::load_balancer::new_flow_round_robin(),
+            )));
+            net.add_sink(monitor.clone());
+            for i in 0..4u64 {
+                net.inject(at_ms(i), id, LB_CLIENT_PORT, syn(i as u8 + 1, 4000 + i as u16));
+            }
+            net.run_to_completion();
+            assert_eq!(!monitor.borrow().violations().is_empty(), expect_violation, "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn monitor_discriminates_stability() {
+        for (fault, expect_violation) in [(LbFault::None, false), (LbFault::ForgetsAssignments, true)]
+        {
+            let (mut net, _app, rec, id) = rig(LbPolicy::RoundRobin, fault);
+            let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
+                swmon_props::load_balancer::stable_assignment(),
+            )));
+            net.add_sink(monitor.clone());
+            // The same flow sends twice; with the forgetting fault the
+            // second packet goes to the next backend. The server replies
+            // from whichever backend got the latest packet.
+            net.inject(at_ms(0), id, LB_CLIENT_PORT, syn(1, 4000));
+            net.inject(at_ms(1), id, LB_CLIENT_PORT, syn(1, 4000));
+            net.run_to_completion();
+            let last_backend = *out_ports(&rec).last().unwrap();
+            let ret = PacketBuilder::tcp(
+                MacAddr::new(2, 0, 0, 0, 0, 100),
+                MacAddr::new(2, 0, 0, 0, 0, 1),
+                LB_VIP,
+                client(1),
+                80,
+                4000,
+                TcpFlags::ACK,
+                &[],
+            );
+            net.inject(at_ms(10), id, PortNo(last_backend), ret);
+            net.run_to_completion();
+            assert_eq!(!monitor.borrow().violations().is_empty(), expect_violation, "{fault:?}");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The NAT of Sec 2.2: source translation for outbound flows, reverse
+//! translation for return traffic.
+
+use std::collections::HashMap;
+use swmon_packet::{Field, Headers, Ipv4Address};
+use swmon_sim::PortNo;
+use swmon_switch::{AppCtx, AppLogic};
+
+/// Injected bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NatFault {
+    /// Correct behaviour.
+    #[default]
+    None,
+    /// Reverse-translates to the wrong internal port (off by one) —
+    /// violates nat/reverse-translation.
+    WrongReversePort,
+    /// Reverse-translates to the wrong internal address — same violation,
+    /// address flavour.
+    WrongReverseAddr,
+}
+
+/// A source NAT between an inside and an outside port.
+#[derive(Debug)]
+pub struct Nat {
+    inside_port: PortNo,
+    outside_port: PortNo,
+    public_ip: Ipv4Address,
+    next_public_port: u16,
+    /// (inside addr, inside port) -> public port.
+    forward: HashMap<(Ipv4Address, u16), u16>,
+    /// public port -> (inside addr, inside port).
+    reverse: HashMap<u16, (Ipv4Address, u16)>,
+    /// Injected fault.
+    pub fault: NatFault,
+}
+
+impl Nat {
+    /// A NAT translating to `public_ip`, allocating public ports from
+    /// 61000.
+    pub fn new(
+        inside_port: PortNo,
+        outside_port: PortNo,
+        public_ip: Ipv4Address,
+        fault: NatFault,
+    ) -> Self {
+        Nat {
+            inside_port,
+            outside_port,
+            public_ip,
+            next_public_port: 61000,
+            forward: HashMap::new(),
+            reverse: HashMap::new(),
+            fault,
+        }
+    }
+
+    /// Active translations (tests, state accounting).
+    pub fn active_translations(&self) -> usize {
+        self.forward.len()
+    }
+}
+
+impl AppLogic for Nat {
+    fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, headers: &Headers) {
+        let (Some(ip), Some(sport), Some(dport)) = (
+            headers.ipv4().map(|h| (h.src, h.dst)),
+            headers.field(Field::L4Src).and_then(|v| v.as_uint()),
+            headers.field(Field::L4Dst).and_then(|v| v.as_uint()),
+        ) else {
+            ctx.drop_packet();
+            return;
+        };
+        let (src, dst) = ip;
+        let (sport, dport) = (sport as u16, dport as u16);
+
+        if ctx.in_port() == self.inside_port {
+            // Outbound: allocate (or reuse) a translation.
+            let public_port = *self.forward.entry((src, sport)).or_insert_with(|| {
+                let p = self.next_public_port;
+                self.next_public_port += 1;
+                p
+            });
+            self.reverse.insert(public_port, (src, sport));
+            let public_ip = self.public_ip;
+            let rewritten = ctx.packet().rewrite(|h| {
+                h.set_field(Field::Ipv4Src, public_ip.into());
+                h.set_field(Field::L4Src, public_port.into());
+            });
+            match rewritten {
+                Ok(p) => ctx.forward_rewritten(self.outside_port, p),
+                Err(_) => ctx.drop_packet(),
+            }
+        } else {
+            // Return traffic: must target our public address.
+            if dst != self.public_ip {
+                ctx.drop_packet();
+                return;
+            }
+            let Some(&(in_addr, in_port)) = self.reverse.get(&dport) else {
+                ctx.drop_packet();
+                return;
+            };
+            let (in_addr, in_port) = match self.fault {
+                NatFault::WrongReversePort => (in_addr, in_port.wrapping_add(1)),
+                NatFault::WrongReverseAddr => {
+                    (Ipv4Address::from_u32(in_addr.to_u32().wrapping_add(1)), in_port)
+                }
+                NatFault::None => (in_addr, in_port),
+            };
+            let rewritten = ctx.packet().rewrite(|h| {
+                h.set_field(Field::Ipv4Dst, in_addr.into());
+                h.set_field(Field::L4Dst, in_port.into());
+            });
+            match rewritten {
+                Ok(p) => ctx.forward_rewritten(self.inside_port, p),
+                Err(_) => ctx.drop_packet(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use swmon_packet::{Layer, MacAddr, Packet, PacketBuilder, TcpFlags};
+    use swmon_props::scenario::{INSIDE_PORT, NAT_PUBLIC_IP, OUTSIDE_PORT};
+    use swmon_sim::time::{Duration, Instant};
+    use swmon_sim::{Network, SwitchId, TraceRecorder};
+    use swmon_switch::AppSwitch;
+
+    const CLIENT: Ipv4Address = Ipv4Address::new(10, 0, 0, 5);
+    const SERVER: Ipv4Address = Ipv4Address::new(192, 0, 2, 7);
+
+    fn tcp(src: Ipv4Address, sport: u16, dst: Ipv4Address, dport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            src,
+            dst,
+            sport,
+            dport,
+            TcpFlags::ACK,
+            &[],
+        )
+    }
+
+/// Test harness handles: network, app, recorder, node id.
+    type Rig = (Network, Rc<RefCell<AppSwitch<Nat>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+
+    fn rig(
+        fault: NatFault,
+    ) -> Rig {
+        let mut net = Network::new();
+        let app = Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            2,
+            Layer::L4,
+            Nat::new(INSIDE_PORT, OUTSIDE_PORT, NAT_PUBLIC_IP, fault),
+        )));
+        let id = net.add_node(app.clone());
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        (net, app, rec, id)
+    }
+
+    #[test]
+    fn outbound_translation_rewrites_source() {
+        let (mut net, app, rec, id) = rig(NatFault::None);
+        net.inject(Instant::ZERO, id, INSIDE_PORT, tcp(CLIENT, 4000, SERVER, 80));
+        net.run_to_completion();
+        let rec = rec.borrow();
+        let dep = rec.departures().next().unwrap();
+        assert_eq!(dep.field(Field::Ipv4Src), Some(NAT_PUBLIC_IP.into()));
+        assert_eq!(dep.field(Field::L4Src), Some(61000u16.into()));
+        assert_eq!(dep.field(Field::Ipv4Dst), Some(SERVER.into()), "destination untouched");
+        assert_eq!(app.borrow().logic.active_translations(), 1);
+    }
+
+    #[test]
+    fn reverse_translation_restores_endpoint() {
+        let (mut net, _app, rec, id) = rig(NatFault::None);
+        net.inject(Instant::ZERO, id, INSIDE_PORT, tcp(CLIENT, 4000, SERVER, 80));
+        net.inject(
+            Instant::ZERO + Duration::from_millis(1),
+            id,
+            OUTSIDE_PORT,
+            tcp(SERVER, 80, NAT_PUBLIC_IP, 61000),
+        );
+        net.run_to_completion();
+        let rec = rec.borrow();
+        let deps: Vec<_> = rec.departures().collect();
+        assert_eq!(deps[1].field(Field::Ipv4Dst), Some(CLIENT.into()));
+        assert_eq!(deps[1].field(Field::L4Dst), Some(4000u16.into()));
+    }
+
+    #[test]
+    fn same_flow_reuses_translation() {
+        let (mut net, app, rec, id) = rig(NatFault::None);
+        for i in 0..3 {
+            net.inject(
+                Instant::ZERO + Duration::from_millis(i),
+                id,
+                INSIDE_PORT,
+                tcp(CLIENT, 4000, SERVER, 80),
+            );
+        }
+        net.run_to_completion();
+        assert_eq!(app.borrow().logic.active_translations(), 1);
+        let rec = rec.borrow();
+        assert!(rec.departures().all(|d| d.field(Field::L4Src) == Some(61000u16.into())));
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_ports() {
+        let (mut net, _app, rec, id) = rig(NatFault::None);
+        net.inject(Instant::ZERO, id, INSIDE_PORT, tcp(CLIENT, 4000, SERVER, 80));
+        net.inject(
+            Instant::ZERO + Duration::from_millis(1),
+            id,
+            INSIDE_PORT,
+            tcp(CLIENT, 4001, SERVER, 80),
+        );
+        net.run_to_completion();
+        let rec = rec.borrow();
+        let ports: Vec<_> = rec.departures().map(|d| d.field(Field::L4Src).unwrap()).collect();
+        assert_ne!(ports[0], ports[1]);
+    }
+
+    #[test]
+    fn unknown_return_traffic_dropped() {
+        let (mut net, _app, rec, id) = rig(NatFault::None);
+        net.inject(Instant::ZERO, id, OUTSIDE_PORT, tcp(SERVER, 80, NAT_PUBLIC_IP, 62000));
+        net.run_to_completion();
+        assert_eq!(
+            rec.borrow().departures().next().unwrap().action(),
+            Some(swmon_sim::EgressAction::Drop)
+        );
+    }
+
+    #[test]
+    fn monitor_discriminates_correct_from_buggy() {
+        for (fault, expect) in [
+            (NatFault::None, 0usize),
+            (NatFault::WrongReversePort, 1),
+            (NatFault::WrongReverseAddr, 1),
+        ] {
+            let (mut net, _app, _rec, id) = rig(fault);
+            let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
+                swmon_props::nat::reverse_translation(),
+            )));
+            net.add_sink(monitor.clone());
+            net.inject(Instant::ZERO, id, INSIDE_PORT, tcp(CLIENT, 4000, SERVER, 80));
+            net.inject(
+                Instant::ZERO + Duration::from_millis(1),
+                id,
+                OUTSIDE_PORT,
+                tcp(SERVER, 80, NAT_PUBLIC_IP, 61000),
+            );
+            net.run_to_completion();
+            assert_eq!(monitor.borrow().violations().len(), expect, "{fault:?}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The port-knocking gate (the Varanus-derived Table 1 rows): a source
+//! that hits the knock sequence in order gains access to the protected
+//! port; a wrong guess resets its progress.
+
+use std::collections::HashMap;
+use swmon_packet::{Field, Headers, Ipv4Address};
+use swmon_sim::PortNo;
+use swmon_switch::{AppCtx, AppLogic};
+
+/// Injected bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KnockGateFault {
+    /// Correct behaviour.
+    #[default]
+    None,
+    /// Wrong guesses do not reset progress (violates
+    /// wrong-guess-invalidates).
+    IgnoresWrongGuesses,
+    /// Never opens, even for a valid sequence (violates
+    /// valid-sequence-opens).
+    NeverOpens,
+}
+
+/// The gate.
+#[derive(Debug)]
+pub struct KnockGate {
+    sequence: Vec<u16>,
+    protected_port: u16,
+    service_port: PortNo,
+    progress: HashMap<Ipv4Address, usize>,
+    open: HashMap<Ipv4Address, bool>,
+    /// Injected fault.
+    pub fault: KnockGateFault,
+}
+
+impl KnockGate {
+    /// A gate protecting `protected_port` (forwarding admitted traffic to
+    /// `service_port`) behind `sequence`.
+    pub fn new(sequence: &[u16], protected_port: u16, service_port: PortNo, fault: KnockGateFault) -> Self {
+        KnockGate {
+            sequence: sequence.to_vec(),
+            protected_port,
+            service_port,
+            progress: HashMap::new(),
+            open: HashMap::new(),
+            fault,
+        }
+    }
+
+    /// Sources that currently have access (tests).
+    pub fn open_sources(&self) -> usize {
+        self.open.values().filter(|&&v| v).count()
+    }
+}
+
+impl AppLogic for KnockGate {
+    fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, headers: &Headers) {
+        let (Some(src), Some(dport)) = (
+            headers.ipv4().map(|h| h.src),
+            headers.field(Field::L4Dst).and_then(|v| v.as_uint()),
+        ) else {
+            ctx.drop_packet();
+            return;
+        };
+        let dport = dport as u16;
+
+        if dport == self.protected_port {
+            // Access attempt.
+            if self.open.get(&src).copied().unwrap_or(false)
+                && self.fault != KnockGateFault::NeverOpens
+            {
+                ctx.forward(self.service_port);
+            } else {
+                ctx.drop_packet();
+            }
+            return;
+        }
+
+        // Knock processing. All knocks are dropped (they are signals).
+        let progress = self.progress.entry(src).or_insert(0);
+        if *progress < self.sequence.len() && dport == self.sequence[*progress] {
+            *progress += 1;
+            if *progress == self.sequence.len() {
+                self.open.insert(src, true);
+                *progress = 0;
+            }
+        } else if self.fault != KnockGateFault::IgnoresWrongGuesses {
+            // Wrong guess: reset progress and revoke access.
+            *progress = 0;
+            self.open.insert(src, false);
+        }
+        ctx.drop_packet();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use swmon_packet::{Layer, MacAddr, Packet, PacketBuilder, TcpFlags};
+    use swmon_props::scenario::{KNOCK_SEQ, PROTECTED_PORT};
+    use swmon_sim::time::{Duration, Instant};
+    use swmon_sim::{EgressAction, Network, SwitchId, TraceRecorder};
+    use swmon_switch::AppSwitch;
+
+    const SERVICE: PortNo = PortNo(1);
+
+    fn knock(src: u8, dport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, 99),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, 99),
+            33000,
+            dport,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+/// Test harness handles: network, app, recorder, node id.
+    type Rig = (Network, Rc<RefCell<AppSwitch<KnockGate>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+
+    fn rig(
+        fault: KnockGateFault,
+    ) -> Rig
+    {
+        let mut net = Network::new();
+        let app = Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            4,
+            Layer::L4,
+            KnockGate::new(&KNOCK_SEQ, PROTECTED_PORT, SERVICE, fault),
+        )));
+        let id = net.add_node(app.clone());
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        (net, app, rec, id)
+    }
+
+    fn at_ms(ms: u64) -> Instant {
+        Instant::ZERO + Duration::from_millis(ms)
+    }
+
+    fn last_action(rec: &Rc<RefCell<TraceRecorder>>) -> EgressAction {
+        rec.borrow().departures().last().unwrap().action().unwrap()
+    }
+
+    #[test]
+    fn valid_sequence_opens_access() {
+        let (mut net, app, rec, id) = rig(KnockGateFault::None);
+        net.inject(at_ms(0), id, PortNo(0), knock(1, KNOCK_SEQ[0]));
+        net.inject(at_ms(1), id, PortNo(0), knock(1, KNOCK_SEQ[1]));
+        net.inject(at_ms(2), id, PortNo(0), knock(1, PROTECTED_PORT));
+        net.run_to_completion();
+        assert_eq!(last_action(&rec), EgressAction::Output(SERVICE));
+        assert_eq!(app.borrow().logic.open_sources(), 1);
+    }
+
+    #[test]
+    fn no_knock_no_access() {
+        let (mut net, _app, rec, id) = rig(KnockGateFault::None);
+        net.inject(at_ms(0), id, PortNo(0), knock(1, PROTECTED_PORT));
+        net.run_to_completion();
+        assert_eq!(last_action(&rec), EgressAction::Drop);
+    }
+
+    #[test]
+    fn wrong_guess_resets_progress() {
+        let (mut net, _app, rec, id) = rig(KnockGateFault::None);
+        net.inject(at_ms(0), id, PortNo(0), knock(1, KNOCK_SEQ[0]));
+        net.inject(at_ms(1), id, PortNo(0), knock(1, 9999)); // wrong
+        net.inject(at_ms(2), id, PortNo(0), knock(1, KNOCK_SEQ[1]));
+        net.inject(at_ms(3), id, PortNo(0), knock(1, PROTECTED_PORT));
+        net.run_to_completion();
+        assert_eq!(last_action(&rec), EgressAction::Drop, "sequence was invalidated");
+    }
+
+    #[test]
+    fn out_of_order_knocks_do_not_open() {
+        let (mut net, _app, rec, id) = rig(KnockGateFault::None);
+        net.inject(at_ms(0), id, PortNo(0), knock(1, KNOCK_SEQ[1]));
+        net.inject(at_ms(1), id, PortNo(0), knock(1, KNOCK_SEQ[0]));
+        net.inject(at_ms(2), id, PortNo(0), knock(1, PROTECTED_PORT));
+        net.run_to_completion();
+        assert_eq!(last_action(&rec), EgressAction::Drop);
+    }
+
+    #[test]
+    fn progress_is_per_source() {
+        let (mut net, app, rec, id) = rig(KnockGateFault::None);
+        net.inject(at_ms(0), id, PortNo(0), knock(1, KNOCK_SEQ[0]));
+        net.inject(at_ms(1), id, PortNo(0), knock(2, KNOCK_SEQ[1])); // src 2, no progress
+        net.inject(at_ms(2), id, PortNo(0), knock(1, KNOCK_SEQ[1]));
+        net.inject(at_ms(3), id, PortNo(0), knock(2, PROTECTED_PORT));
+        net.inject(at_ms(4), id, PortNo(0), knock(1, PROTECTED_PORT));
+        net.run_to_completion();
+        let actions: Vec<_> = rec.borrow().departures().map(|d| d.action().unwrap()).collect();
+        assert_eq!(actions[3], EgressAction::Drop, "source 2 never knocked right");
+        assert_eq!(actions[4], EgressAction::Output(SERVICE), "source 1 completed");
+        assert_eq!(app.borrow().logic.open_sources(), 1);
+    }
+
+    #[test]
+    fn monitor_discriminates_wrong_guess_handling() {
+        for (fault, expect) in
+            [(KnockGateFault::None, 0usize), (KnockGateFault::IgnoresWrongGuesses, 1)]
+        {
+            let (mut net, _app, _rec, id) = rig(fault);
+            let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
+                swmon_props::port_knocking::wrong_guess_invalidates(),
+            )));
+            net.add_sink(monitor.clone());
+            net.inject(at_ms(0), id, PortNo(0), knock(1, KNOCK_SEQ[0]));
+            net.inject(at_ms(1), id, PortNo(0), knock(1, 9999));
+            net.inject(at_ms(2), id, PortNo(0), knock(1, KNOCK_SEQ[1]));
+            net.inject(at_ms(3), id, PortNo(0), knock(1, PROTECTED_PORT));
+            net.run_to_completion();
+            assert_eq!(monitor.borrow().violations().len(), expect, "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn monitor_discriminates_opening() {
+        for (fault, expect) in [(KnockGateFault::None, 0usize), (KnockGateFault::NeverOpens, 1)] {
+            let (mut net, _app, _rec, id) = rig(fault);
+            let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
+                swmon_props::port_knocking::valid_sequence_opens(),
+            )));
+            net.add_sink(monitor.clone());
+            net.inject(at_ms(0), id, PortNo(0), knock(1, KNOCK_SEQ[0]));
+            net.inject(at_ms(1), id, PortNo(0), knock(1, KNOCK_SEQ[1]));
+            net.inject(at_ms(2), id, PortNo(0), knock(1, PROTECTED_PORT));
+            net.run_to_completion();
+            assert_eq!(monitor.borrow().violations().len(), expect, "{fault:?}");
+        }
+    }
+}

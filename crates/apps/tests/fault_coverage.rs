@@ -1,0 +1,127 @@
+//! Coverage for the fault variants not exercised by the detection matrix:
+//! faults that change behaviour without violating the monitored properties
+//! (the firewall that never closes pinholes, the DHCP server that ignores
+//! releases) — the monitors must stay silent on them, and the behavioural
+//! difference must still be observable.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use swmon_apps::{DhcpServer, DhcpServerFault, Firewall, FirewallFault};
+use swmon_core::Monitor;
+use swmon_packet::{
+    DhcpMessage, Field, Ipv4Address, Layer, MacAddr, Packet, PacketBuilder, TcpFlags,
+};
+use swmon_props::scenario::{DHCP_SERVER_1, FW_TIMEOUT, INSIDE_PORT, OUTSIDE_PORT};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::{EgressAction, Network, PortNo, SwitchId, TraceRecorder};
+use swmon_switch::AppSwitch;
+
+fn tcp(src: Ipv4Address, dst: Ipv4Address, flags: TcpFlags) -> Packet {
+    PacketBuilder::tcp(
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        MacAddr::new(2, 0, 0, 0, 0, 2),
+        src,
+        dst,
+        4000,
+        443,
+        flags,
+        &[],
+    )
+}
+
+#[test]
+fn ignores_close_fault_over_admits_but_never_violates() {
+    // A firewall that ignores FIN keeps admitting return traffic after the
+    // close. The return-until-close property only forbids *dropping*
+    // admitted traffic, so over-admission is not a violation — but the
+    // behaviour difference is visible in the trace.
+    let inside = Ipv4Address::new(10, 0, 0, 5);
+    let outside = Ipv4Address::new(192, 0, 2, 7);
+    let mut outcomes = Vec::new();
+    for fault in [FirewallFault::None, FirewallFault::IgnoresClose] {
+        let mut net = Network::new();
+        let id = net.add_node(Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            2,
+            Layer::L4,
+            Firewall::new(INSIDE_PORT, OUTSIDE_PORT, FW_TIMEOUT, fault),
+        ))));
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        let monitor = Rc::new(RefCell::new(Monitor::with_defaults(
+            swmon_props::firewall::return_until_close(FW_TIMEOUT),
+        )));
+        net.add_sink(monitor.clone());
+
+        net.inject(Instant::ZERO, id, INSIDE_PORT, tcp(inside, outside, TcpFlags::SYN));
+        net.inject(
+            Instant::ZERO + Duration::from_millis(5),
+            id,
+            INSIDE_PORT,
+            tcp(inside, outside, TcpFlags::FIN | TcpFlags::ACK),
+        );
+        net.inject(
+            Instant::ZERO + Duration::from_millis(10),
+            id,
+            OUTSIDE_PORT,
+            tcp(outside, inside, TcpFlags::ACK),
+        );
+        net.run_to_completion();
+
+        assert!(monitor.borrow().violations().is_empty(), "{fault:?}: never a violation");
+        let last = rec.borrow().departures().last().unwrap().action().unwrap();
+        outcomes.push((fault, last));
+    }
+    assert_eq!(outcomes[0].1, EgressAction::Drop, "correct firewall honours the close");
+    assert_eq!(
+        outcomes[1].1,
+        EgressAction::Output(INSIDE_PORT),
+        "buggy firewall admits after close"
+    );
+}
+
+#[test]
+fn ignores_release_fault_keeps_addresses_leased() {
+    let pool = Ipv4Address::new(10, 0, 0, 100);
+    let mac = |x: u8| MacAddr::new(2, 0, 0, 0, 0, x);
+    let request = |client: u8, xid: u32| {
+        PacketBuilder::dhcp(
+            mac(client),
+            Ipv4Address::UNSPECIFIED,
+            Ipv4Address::BROADCAST,
+            &DhcpMessage::request(xid, mac(client), pool, DHCP_SERVER_1),
+        )
+    };
+    let release = |client: u8, xid: u32| {
+        PacketBuilder::dhcp(
+            mac(client),
+            pool,
+            DHCP_SERVER_1,
+            &DhcpMessage::release(xid, mac(client), pool, DHCP_SERVER_1),
+        )
+    };
+
+    let mut acks = Vec::new();
+    for fault in [DhcpServerFault::None, DhcpServerFault::IgnoresRelease] {
+        let mut net = Network::new();
+        let id = net.add_node(Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            2,
+            Layer::L7,
+            DhcpServer::new(DHCP_SERVER_1, pool, 1, 3600, fault),
+        ))));
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        // Client 1 takes the only address, releases it; client 2 asks.
+        net.inject(Instant::ZERO, id, PortNo(0), request(1, 1));
+        net.inject(Instant::ZERO + Duration::from_millis(10), id, PortNo(0), release(1, 2));
+        net.inject(Instant::ZERO + Duration::from_millis(20), id, PortNo(0), request(2, 3));
+        net.run_to_completion();
+        let count = rec
+            .borrow()
+            .count(|e| e.field(Field::DhcpMsgType) == Some(5u64.into()) && e.action().is_some());
+        acks.push((fault, count));
+    }
+    assert_eq!(acks[0].1, 2, "correct server re-leases the released address");
+    assert_eq!(acks[1].1, 1, "release-ignoring server refuses client 2");
+}

@@ -1,0 +1,357 @@
+//! The seven surveyed approaches — one constructor per Table 2 column.
+//!
+//! Capability cells transcribe the paper's Table 2 exactly (✓/✗/blank).
+//! The two extra booleans (`drop_detection`, `egress_metadata`) are not
+//! Table 2 rows; they encode the Sec 2.2/3.2 discussion of dropped-packet
+//! and egress-metadata observation, and gate which properties each backend
+//! can host at all.
+
+use crate::caps::{Capabilities, Cell, FieldAccess, Gap};
+use crate::machine::{CompiledMonitor, Mechanism, Storage, UpdatePath};
+use swmon_core::{Property, ProvenanceMode};
+use swmon_switch::CostModel;
+
+/// The slow-path (flow-mod / learn) installation latency used by default.
+fn slow() -> UpdatePath {
+    UpdatePath::Slow(CostModel::default().slow_path_update)
+}
+
+/// OpenFlow 1.3 (1.5 for egress matching), no controller interaction —
+/// except that the *backend* escape hatch is precisely controller
+/// redirection, which is what experiment E5 prices.
+pub fn openflow13() -> Mechanism {
+    Mechanism {
+        caps: Capabilities {
+            name: "OpenFlow 1.3",
+            state_mechanism: "Controller only",
+            update_datapath: "—",
+            processing_mode: "Inline",
+            event_history: Cell::Blank,
+            identity: Cell::Yes, // "✓ (1.5 only)" — rendered specially
+            field_access: FieldAccess::Fixed,
+            negative_match: Cell::Yes,
+            rule_timeouts: Cell::Yes,
+            timeout_actions: Cell::No,
+            symmetric_match: Cell::Blank,
+            wandering_match: Cell::Blank,
+            out_of_band: Cell::Blank,
+            full_provenance: Cell::Blank,
+            drop_detection: false,
+            egress_metadata: true, // 1.5 egress tables
+        },
+        storage: Storage::Controller,
+        update_path: slow(),
+        split_processing: true,
+    }
+}
+
+/// OpenState: Mealy machines over lookup/update scopes.
+pub fn openstate() -> Mechanism {
+    Mechanism {
+        caps: Capabilities {
+            name: "OpenState",
+            state_mechanism: "State machine",
+            update_datapath: "Fast path",
+            processing_mode: "Inline",
+            event_history: Cell::Yes,
+            identity: Cell::Blank,
+            field_access: FieldAccess::Fixed,
+            negative_match: Cell::Yes,
+            rule_timeouts: Cell::Yes,
+            timeout_actions: Cell::No,
+            symmetric_match: Cell::Yes,
+            wandering_match: Cell::No,
+            out_of_band: Cell::No,
+            full_provenance: Cell::No,
+            drop_detection: false,
+            egress_metadata: false,
+        },
+        storage: Storage::Xfsm,
+        update_path: UpdatePath::Fast,
+        split_processing: false,
+    }
+}
+
+/// FAST: state machines via the OVS `learn` action plus hash functions.
+pub fn fast() -> Mechanism {
+    Mechanism {
+        caps: Capabilities {
+            name: "FAST",
+            state_mechanism: "Learn action",
+            update_datapath: "Slow path",
+            processing_mode: "Inline",
+            event_history: Cell::Yes,
+            identity: Cell::Blank,
+            field_access: FieldAccess::Fixed,
+            negative_match: Cell::Yes,
+            rule_timeouts: Cell::No,
+            timeout_actions: Cell::No,
+            symmetric_match: Cell::Yes,
+            wandering_match: Cell::No,
+            out_of_band: Cell::No,
+            full_provenance: Cell::No,
+            drop_detection: false,
+            egress_metadata: false,
+        },
+        storage: Storage::TablePerStage,
+        update_path: slow(),
+        split_processing: false,
+    }
+}
+
+/// POF and P4: programmable parsing, flow registers, egress pipeline.
+pub fn p4() -> Mechanism {
+    Mechanism {
+        caps: Capabilities {
+            name: "POF and P4",
+            state_mechanism: "Flow registers",
+            update_datapath: "Fast path",
+            processing_mode: "",
+            event_history: Cell::Yes,
+            identity: Cell::Yes,
+            field_access: FieldAccess::Dynamic,
+            negative_match: Cell::Yes,
+            rule_timeouts: Cell::Yes,
+            timeout_actions: Cell::No,
+            symmetric_match: Cell::Yes,
+            wandering_match: Cell::Blank,
+            out_of_band: Cell::No,
+            full_provenance: Cell::No,
+            drop_detection: true, // P4 "unique in considering this requirement"
+            egress_metadata: true,
+        },
+        storage: Storage::Registers,
+        update_path: UpdatePath::Fast,
+        split_processing: false,
+    }
+}
+
+/// SNAP: network-wide persistent global arrays over the one-big-switch
+/// abstraction (which hides per-switch behaviour from the monitor).
+pub fn snap() -> Mechanism {
+    Mechanism {
+        caps: Capabilities {
+            name: "SNAP",
+            state_mechanism: "Global arrays",
+            update_datapath: "Fast path",
+            processing_mode: "",
+            event_history: Cell::Yes,
+            identity: Cell::Yes,
+            field_access: FieldAccess::Dynamic,
+            negative_match: Cell::Yes,
+            rule_timeouts: Cell::No,
+            timeout_actions: Cell::No,
+            symmetric_match: Cell::Yes,
+            wandering_match: Cell::Blank,
+            out_of_band: Cell::No,
+            full_provenance: Cell::No,
+            drop_detection: false,
+            egress_metadata: false, // one-big-switch hides individual switches
+        },
+        storage: Storage::Registers,
+        update_path: UpdatePath::Fast,
+        split_processing: false,
+    }
+}
+
+/// Varanus: recursive learn, one table per live instance, split
+/// processing on the slow path.
+pub fn varanus() -> Mechanism {
+    Mechanism {
+        caps: Capabilities {
+            name: "Varanus",
+            state_mechanism: "Recursive learn",
+            update_datapath: "Slow path",
+            processing_mode: "Split",
+            event_history: Cell::Yes,
+            identity: Cell::Yes,
+            field_access: FieldAccess::Fixed,
+            negative_match: Cell::Yes,
+            rule_timeouts: Cell::Yes,
+            timeout_actions: Cell::Yes,
+            symmetric_match: Cell::Yes,
+            wandering_match: Cell::Yes,
+            out_of_band: Cell::Yes,
+            full_provenance: Cell::No,
+            drop_detection: true,
+            egress_metadata: true,
+        },
+        storage: Storage::TablePerInstance,
+        update_path: slow(),
+        split_processing: true,
+    }
+}
+
+/// Static Varanus: bounded to one table per observation stage — keeps
+/// wandering match, sacrifices out-of-band events (Sec 3.3's proposed
+/// tradeoff).
+pub fn static_varanus() -> Mechanism {
+    let mut m = varanus();
+    m.caps.name = "Static Varanus";
+    m.caps.out_of_band = Cell::No;
+    m.storage = Storage::TablePerStage;
+    m
+}
+
+/// Every approach, in Table 2 column order.
+pub fn all() -> Vec<Mechanism> {
+    vec![openflow13(), openstate(), fast(), p4(), snap(), varanus(), static_varanus()]
+}
+
+impl Mechanism {
+    /// Compile `property` onto this approach at the requested provenance
+    /// level. OpenFlow 1.3's escape hatch is controller redirection, which
+    /// can host anything — at the cost experiment E5 measures; every other
+    /// approach must pass the capability check.
+    pub fn compile(
+        &self,
+        property: &Property,
+        provenance: ProvenanceMode,
+        cost: CostModel,
+    ) -> Result<CompiledMonitor, Vec<Gap>> {
+        if self.storage != Storage::Controller {
+            let gaps = self.caps.check(property, provenance);
+            if !gaps.is_empty() {
+                return Err(gaps);
+            }
+        }
+        Ok(CompiledMonitor::new(property.clone(), self, provenance, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_props as props;
+    use swmon_props::scenario::REPLY_WAIT;
+
+    fn fw() -> Property {
+        props::firewall::return_not_dropped()
+    }
+
+    #[test]
+    fn seven_approaches_in_order() {
+        let names: Vec<_> = all().iter().map(|m| m.caps.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "OpenFlow 1.3",
+                "OpenState",
+                "FAST",
+                "POF and P4",
+                "SNAP",
+                "Varanus",
+                "Static Varanus"
+            ]
+        );
+    }
+
+    #[test]
+    fn firewall_property_needs_drop_detection() {
+        // The basic firewall property observes drops: only P4 and the
+        // Varanus family (and the controller escape hatch) can host it.
+        let mut hosts = Vec::new();
+        for m in all() {
+            if m.compile(&fw(), ProvenanceMode::Bindings, CostModel::default()).is_ok() {
+                hosts.push(m.caps.name);
+            }
+        }
+        assert_eq!(hosts, vec!["OpenFlow 1.3", "POF and P4", "Varanus", "Static Varanus"]);
+    }
+
+    #[test]
+    fn timeout_actions_only_on_varanus_family() {
+        let p = props::arp_proxy::unknown_forwarded(REPLY_WAIT);
+        for m in all() {
+            let r = m.compile(&p, ProvenanceMode::Bindings, CostModel::default());
+            match m.caps.name {
+                "Varanus" | "Static Varanus" | "OpenFlow 1.3" => {
+                    assert!(r.is_ok(), "{}", m.caps.name)
+                }
+                _ => {
+                    let gaps = r.expect_err(m.caps.name);
+                    assert!(gaps.contains(&Gap::TimeoutActions), "{}: {gaps:?}", m.caps.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wandering_match_gaps() {
+        let p = props::dhcp_arp::no_unfounded_direct_reply();
+        for m in all() {
+            let r = m.compile(&p, ProvenanceMode::Bindings, CostModel::default());
+            match m.caps.name {
+                // Varanus expresses wandering but its fixed parser cannot
+                // reach the DHCP fields this particular property reads —
+                // exactly the Sec 3.2 "parsing and match support" gap.
+                "Varanus" | "Static Varanus" => {
+                    let gaps = r.expect_err(m.caps.name);
+                    assert!(
+                        gaps.iter().all(|g| matches!(g, Gap::FieldDepth { .. })),
+                        "{}: {gaps:?}",
+                        m.caps.name
+                    );
+                }
+                "OpenFlow 1.3" => assert!(r.is_ok()),
+                "OpenState" | "FAST" => {
+                    let gaps = r.expect_err(m.caps.name);
+                    assert!(gaps.contains(&Gap::WanderingMatch), "{}: {gaps:?}", m.caps.name);
+                }
+                // P4/SNAP: wandering is target-dependent (blank) → refused.
+                _ => {
+                    let gaps = r.expect_err(m.caps.name);
+                    assert!(gaps.contains(&Gap::WanderingMatch), "{}: {gaps:?}", m.caps.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_band_only_full_varanus() {
+        let p = props::learning_switch::flush_on_link_down();
+        for m in all() {
+            let r = m.compile(&p, ProvenanceMode::Bindings, CostModel::default());
+            match m.caps.name {
+                "Varanus" | "OpenFlow 1.3" => assert!(r.is_ok(), "{}", m.caps.name),
+                _ => {
+                    let gaps = r.expect_err(m.caps.name);
+                    assert!(
+                        gaps.contains(&Gap::OutOfBandEvents)
+                            || gaps.iter().any(|g| matches!(g, Gap::EgressMetadata)),
+                        "{}: {gaps:?}",
+                        m.caps.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_provenance_fails_everywhere_on_switch() {
+        let p = props::learning_switch::no_flood_after_learn();
+        for m in all() {
+            let r = m.compile(&p, ProvenanceMode::Full, CostModel::default());
+            if m.storage == Storage::Controller {
+                assert!(r.is_ok(), "controller can retain everything");
+            } else {
+                let gaps = r.expect_err(m.caps.name);
+                assert!(gaps.contains(&Gap::FullProvenance), "{}: {gaps:?}", m.caps.name);
+            }
+        }
+    }
+
+    #[test]
+    fn port_knocking_runs_on_state_machines() {
+        // The wrong-guess property has no drops/timeouts/identity: OpenState
+        // and FAST host it (their headline use case!).
+        let p = props::port_knocking::wrong_guess_invalidates();
+        for name in ["OpenState", "FAST"] {
+            let m = all().into_iter().find(|m| m.caps.name == name).unwrap();
+            assert!(
+                m.compile(&p, ProvenanceMode::Bindings, CostModel::default()).is_ok(),
+                "{name}"
+            );
+        }
+    }
+}

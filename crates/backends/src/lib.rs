@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # swmon-backends — the surveyed approaches to on-switch state (Table 2)
+//!
+//! One [`machine::Mechanism`] per column of the paper's Table 2: OpenFlow
+//! 1.3 (controller-only), OpenState, FAST, POF/P4, SNAP, Varanus, and
+//! static Varanus. Each couples:
+//!
+//! * a [`caps::Capabilities`] profile — the approach's instruction-set
+//!   features, transcribed from the paper and *validated* by compiling
+//!   feature-probe properties ([`table2`]);
+//! * an execution mechanism ([`machine`]) — where monitor state lives and
+//!   what it costs, which drives the Sec 3.3 scalability experiments
+//!   (pipeline depth, slow-path vs fast-path updates, controller
+//!   redirection).
+//!
+//! Compiling a property onto an approach either yields a runnable
+//! [`machine::CompiledMonitor`] or a list of typed [`caps::Gap`]s — the ✗
+//! cells of Table 2 as compiler errors.
+
+pub mod approaches;
+pub mod caps;
+pub mod machine;
+pub mod rulecompiler;
+pub mod table2;
+
+pub use approaches::{all, fast, openflow13, openstate, p4, snap, static_varanus, varanus};
+pub use caps::{Capabilities, Cell, FieldAccess, Gap};
+pub use machine::{CompiledMonitor, Mechanism, Storage, UpdatePath};
+pub use rulecompiler::{compile_rules, RuleCompileError, RuleProgram};

@@ -1,0 +1,361 @@
+//! The shared execution model for compiled monitors.
+//!
+//! All approaches that can express a property at all agree on its
+//! *semantics* (that is what Table 2's ✓ means); what differs — and what
+//! Sec 3.3's scalability argument is about — is the **mechanism**: where
+//! instance state lives, what each packet costs to match against it, and
+//! whether updates ride the fast or the slow path.
+//!
+//! [`CompiledMonitor`] therefore runs the reference engine for semantics
+//! (configured with the mechanism's processing mode, so slow-path/split
+//! backends exhibit genuine state lag) and charges a [`CostAccount`]
+//! according to the mechanism:
+//!
+//! * **Table-per-instance** (Varanus): pipeline depth equals the number of
+//!   live instances — each packet traverses one table per instance.
+//! * **Table-per-stage** (static Varanus, FAST): constant depth = number of
+//!   observation stages.
+//! * **Registers** (P4/POF, SNAP): constant depth plus nanosecond-scale
+//!   register reads/writes.
+//! * **XFSM** (OpenState): one state-table access plus one XFSM row per
+//!   packet.
+//! * **Controller** (OpenFlow 1.3): every candidate packet is redirected;
+//!   cost is a controller round-trip and the redirected bytes.
+
+use crate::caps::Capabilities;
+use swmon_core::{Monitor, MonitorConfig, MonitorStats, ProcessingMode, Property, ProvenanceMode, Violation};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::trace::{EventSink, NetEvent};
+use swmon_switch::{CostAccount, CostModel};
+
+/// Where compiled-monitor state lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// One OpenFlow table per live instance (Varanus recursive learn).
+    TablePerInstance,
+    /// One table per observation stage (static Varanus; FAST state machines).
+    TablePerStage,
+    /// Register arrays indexed by hashed bindings (P4/POF, SNAP).
+    Registers,
+    /// OpenState XFSM (state table + transition table).
+    Xfsm,
+    /// No on-switch state: redirect to the controller.
+    Controller,
+}
+
+/// How state updates reach the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdatePath {
+    /// Inline register/XFSM writes.
+    Fast,
+    /// Flow-mod / learn-action installation with this latency.
+    Slow(Duration),
+}
+
+/// One approach: capabilities (→ Table 2) plus execution mechanism.
+#[derive(Debug, Clone)]
+pub struct Mechanism {
+    /// Capability profile.
+    pub caps: Capabilities,
+    /// State placement.
+    pub storage: Storage,
+    /// Update datapath.
+    pub update_path: UpdatePath,
+    /// Whether state updates block forwarding (inline) or run split.
+    pub split_processing: bool,
+}
+
+/// A property compiled onto a mechanism and running.
+pub struct CompiledMonitor {
+    /// The approach name, for reports.
+    pub approach: &'static str,
+    inner: Monitor,
+    storage: Storage,
+    update_path: UpdatePath,
+    cost: CostModel,
+    stages: u64,
+    last_stats: MonitorStats,
+    /// Accumulated mechanism costs.
+    pub account: CostAccount,
+    /// Packets redirected to the controller (Controller storage only).
+    pub redirected_packets: u64,
+    /// Bytes redirected to the controller.
+    pub redirected_bytes: u64,
+}
+
+impl CompiledMonitor {
+    /// Build. `provenance` must already have passed the capability check.
+    pub fn new(
+        property: Property,
+        mech: &Mechanism,
+        provenance: ProvenanceMode,
+        cost: CostModel,
+    ) -> Self {
+        // A purely external (controller) monitor receives the redirected
+        // event stream *in order*, merely delayed: its own state never lags
+        // relative to what it processes, so it runs inline semantics — the
+        // price it pays is redirection volume and detection latency, which
+        // experiment E5 reports. On-switch split-mode backends, by
+        // contrast, race their own slow-path updates (experiment E6).
+        let lag = match (mech.split_processing, mech.update_path, mech.storage) {
+            (_, _, Storage::Controller) => None,
+            (true, UpdatePath::Slow(d), _) => Some(d),
+            _ => None,
+        };
+        let mode = match lag {
+            Some(lag) => ProcessingMode::Split { lag },
+            None => ProcessingMode::Inline,
+        };
+        let stages = property.num_stages() as u64;
+        CompiledMonitor {
+            approach: mech.caps.name,
+            inner: Monitor::new(property, MonitorConfig { provenance, mode, ..Default::default() }),
+            storage: mech.storage,
+            update_path: mech.update_path,
+            cost,
+            stages,
+            last_stats: MonitorStats::default(),
+            account: CostAccount::new(),
+            redirected_packets: 0,
+            redirected_bytes: 0,
+        }
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        self.inner.violations()
+    }
+
+    /// Live instance count (= Varanus pipeline depth).
+    pub fn live_instances(&self) -> usize {
+        self.inner.live_instances()
+    }
+
+    /// Reference-engine statistics.
+    pub fn stats(&self) -> &MonitorStats {
+        &self.inner.stats
+    }
+
+    /// Approximate state footprint in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.inner.state_bytes()
+    }
+
+    /// Flush timers up to `t` (end of trace).
+    pub fn advance_to(&mut self, t: Instant) {
+        self.inner.advance_to(t);
+        self.settle_costs();
+    }
+
+    /// The per-packet matching cost this mechanism charges, *before*
+    /// processing the event (depth depends on current state).
+    fn charge_match_cost(&mut self, ev: &NetEvent) {
+        self.account.packets += 1;
+        match self.storage {
+            Storage::TablePerInstance => {
+                // The paper: "the depth of the switch pipeline is no smaller
+                // than the number of active instances".
+                let depth = (self.inner.live_instances() as u64).max(1);
+                self.account.charge_stages(&self.cost, depth);
+            }
+            Storage::TablePerStage => {
+                self.account.charge_stages(&self.cost, self.stages);
+            }
+            Storage::Registers => {
+                self.account.charge_stages(&self.cost, self.stages);
+                // State read per stage consulted.
+                self.account.charge_registers(&self.cost, 1);
+            }
+            Storage::Xfsm => {
+                self.account.charge_xfsm(&self.cost, 1);
+            }
+            Storage::Controller => {
+                self.redirected_packets += 1;
+                self.redirected_bytes +=
+                    ev.packet().map(|p| p.len() as u64).unwrap_or(0);
+                self.account.charge_controller(&self.cost);
+            }
+        }
+    }
+
+    /// Charge state-update costs for transitions performed since the last
+    /// settlement.
+    fn settle_costs(&mut self) {
+        let s = &self.inner.stats;
+        let transitions = (s.spawned + s.advanced + s.cleared + s.window_expired
+            + s.deadlines_fired)
+            - (self.last_stats.spawned
+                + self.last_stats.advanced
+                + self.last_stats.cleared
+                + self.last_stats.window_expired
+                + self.last_stats.deadlines_fired);
+        if transitions > 0 {
+            match self.update_path {
+                UpdatePath::Fast => match self.storage {
+                    Storage::Xfsm => {
+                        self.account.charge_xfsm(&self.cost, transitions);
+                    }
+                    _ => {
+                        self.account.charge_registers(&self.cost, transitions);
+                    }
+                },
+                UpdatePath::Slow(_) => {
+                    self.account.charge_slow_updates(&self.cost, transitions);
+                }
+            }
+        }
+        self.last_stats = s.clone();
+    }
+
+    /// Process one event.
+    pub fn process(&mut self, ev: &NetEvent) {
+        self.charge_match_cost(ev);
+        self.inner.process(ev);
+        self.settle_costs();
+    }
+}
+
+impl std::fmt::Debug for CompiledMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledMonitor")
+            .field("approach", &self.approach)
+            .field("storage", &self.storage)
+            .field("live_instances", &self.inner.live_instances())
+            .field("violations", &self.inner.violations().len())
+            .finish()
+    }
+}
+
+impl EventSink for CompiledMonitor {
+    fn on_event(&mut self, ev: &NetEvent) {
+        self.process(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approaches;
+    use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::{EgressAction, PortNo, TraceBuilder};
+
+    fn fw_trace(pairs: u32) -> Vec<NetEvent> {
+        let mut tb = TraceBuilder::new();
+        for i in 0..pairs {
+            let p = PacketBuilder::tcp(
+                MacAddr::new(2, 0, 0, 0, 0, 1),
+                MacAddr::new(2, 0, 0, 0, 0, 2),
+                Ipv4Address::new(10, 0, (i >> 8) as u8, i as u8),
+                Ipv4Address::new(192, 0, 2, 1),
+                4000,
+                80,
+                TcpFlags::SYN,
+                &[],
+            );
+            tb.at(swmon_sim::Instant::from_nanos(u64::from(i) * 1_000_000))
+                .arrive_depart(PortNo(0), p, EgressAction::Output(PortNo(1)));
+        }
+        tb.build()
+    }
+
+    fn fw_prop() -> Property {
+        swmon_props::firewall::return_not_dropped()
+    }
+
+    #[test]
+    fn varanus_depth_grows_with_instances() {
+        let mech = approaches::varanus();
+        let mut m = CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        for ev in fw_trace(100) {
+            m.process(&ev);
+        }
+        // ~100 instances live; the last packets traversed ~100 tables each.
+        assert!(m.live_instances() >= 99);
+        let mean_depth = m.account.stage_traversals as f64 / m.account.packets as f64;
+        assert!(mean_depth > 20.0, "mean depth {mean_depth} should reflect instance growth");
+    }
+
+    #[test]
+    fn static_varanus_depth_is_constant() {
+        let mech = approaches::static_varanus();
+        let mut m = CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        for ev in fw_trace(100) {
+            m.process(&ev);
+        }
+        let mean_depth = m.account.stage_traversals as f64 / m.account.packets as f64;
+        assert_eq!(mean_depth, 2.0, "depth = number of stages, independent of instances");
+    }
+
+    #[test]
+    fn p4_charges_registers_not_slow_path() {
+        let mech = approaches::p4();
+        let mut m = CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        for ev in fw_trace(50) {
+            m.process(&ev);
+        }
+        assert!(m.account.register_ops > 0);
+        assert_eq!(m.account.slow_updates, 0);
+    }
+
+    #[test]
+    fn varanus_charges_slow_path() {
+        let mech = approaches::varanus();
+        let mut m = CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        for ev in fw_trace(50) {
+            m.process(&ev);
+        }
+        assert!(m.account.slow_updates > 0);
+        assert_eq!(m.account.register_ops, 0);
+    }
+
+    #[test]
+    fn controller_redirects_everything() {
+        let mech = approaches::openflow13();
+        let mut m = CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        let trace = fw_trace(10);
+        for ev in &trace {
+            m.process(ev);
+        }
+        assert_eq!(m.redirected_packets, trace.len() as u64);
+        assert!(m.redirected_bytes > 0);
+        assert_eq!(m.account.controller_trips, trace.len() as u64);
+    }
+
+    #[test]
+    fn fast_path_backends_detect_same_violations_as_reference() {
+        // Semantics agreement on an inline backend.
+        let mut reference = Monitor::with_defaults(fw_prop());
+        let mech = approaches::p4();
+        let mut compiled =
+            CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        let mut tb = TraceBuilder::new();
+        let out = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(192, 0, 2, 1),
+            4000,
+            80,
+            TcpFlags::SYN,
+            &[],
+        );
+        let back = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            Ipv4Address::new(192, 0, 2, 1),
+            Ipv4Address::new(10, 0, 0, 1),
+            80,
+            4000,
+            TcpFlags::ACK,
+            &[],
+        );
+        tb.arrive_depart(PortNo(0), out, EgressAction::Output(PortNo(1)));
+        tb.at_ms(10).arrive_depart(PortNo(1), back, EgressAction::Drop);
+        for ev in tb.build() {
+            reference.process(&ev);
+            compiled.process(&ev);
+        }
+        assert_eq!(reference.violations().len(), 1);
+        assert_eq!(compiled.violations().len(), 1);
+    }
+}

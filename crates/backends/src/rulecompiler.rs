@@ -1,0 +1,531 @@
+//! The rule compiler: properties → **actual match-action programs** on the
+//! simulated switch, using the OVS `learn` action exactly as Varanus does.
+//!
+//! The other backends in this crate model each architecture's *costs and
+//! processing mode* while sharing the reference engine for match semantics.
+//! This module goes further for the mechanism at the heart of the paper:
+//! it emits real flow rules whose `learn` actions unroll monitor instances
+//! into successive tables as events arrive, with `Alert` actions firing on
+//! the final observation — state lives *in the rules*, not in any Rust
+//! monitor structure. The compiled program runs on
+//! [`swmon_switch::ProgrammableSwitch`] in split mode (learn rides the slow
+//! path, as in OVS), and differential tests pin its alerts against the
+//! reference engine.
+//!
+//! ## Supported subset (static-Varanus shape)
+//!
+//! One table per observation stage; every stage an `Arrival` match; guards
+//! limited to `Bind` and `EqConst` (what learn templates can express);
+//! no windows, deadlines, clearings, identity or negation. The typed
+//! [`RuleCompileError`] names what rules cannot encode — mirroring how the
+//! capability [`crate::caps::Gap`]s name what architectures cannot.
+//!
+//! Layout of the emitted program, for an *n*-stage property:
+//!
+//! * **table 0** — a static trigger rule matching stage 0's constants:
+//!   `[learn(table 1 template), goto 1]`; catch-all `[goto 1]`.
+//! * **table k** (1 ≤ k < n−1) — populated at runtime by learned rules
+//!   matching stage-k observations under the instance's bindings:
+//!   `[learn(table k+1 template), goto k+1]`; catch-all `[goto k+1]`.
+//! * **table n−1** — learned rules whose match completes the violation:
+//!   `[alert(code), flood]`; catch-all `[flood]` (the underlying
+//!   hub-forwarding behaviour).
+//!
+//! Variable flow across stages follows Varanus's trick: a variable bound at
+//! stage *j* and needed at stage *k+1* must be re-matched at stage *k*, so
+//! the learn template can copy its value out of the stage-*k* packet.
+
+use std::fmt;
+use swmon_core::{Atom, EventPattern, Property, StageKind, Var};
+use swmon_packet::Field;
+use swmon_switch::{
+    Action, FlowRule, LearnAtom, LearnSpec, MatchAtom, MatchSpec, ProgrammableSwitch,
+    StateUpdateMode, SwitchConfig, TableMiss,
+};
+use swmon_sim::time::Instant;
+use swmon_sim::SwitchId;
+
+/// Why a property cannot be compiled to rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleCompileError {
+    /// A stage is not an `Arrival` match (the ingress pipeline only sees
+    /// arrivals; egress/drop observation needs the architectures' missing
+    /// features).
+    UnsupportedPattern {
+        /// Stage index.
+        stage: usize,
+    },
+    /// A guard atom has no learn-template encoding.
+    UnsupportedAtom {
+        /// Stage index.
+        stage: usize,
+        /// Rendered atom.
+        atom: String,
+    },
+    /// Windows/deadlines need rule-timeout actions beyond plain learn.
+    TimingNotSupported {
+        /// Stage index.
+        stage: usize,
+    },
+    /// `unless` clearings need rule deletion on match.
+    ClearingsNotSupported {
+        /// Stage index.
+        stage: usize,
+    },
+    /// A variable bound earlier is used at `stage` without being re-matched
+    /// at the immediately preceding stage, so its value is not present in
+    /// the packet the learn template copies from.
+    VariableNotCarried {
+        /// The variable.
+        var: String,
+        /// Stage where it is needed.
+        stage: usize,
+    },
+}
+
+impl fmt::Display for RuleCompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleCompileError::UnsupportedPattern { stage } => {
+                write!(f, "stage {stage}: only Arrival observations compile to ingress rules")
+            }
+            RuleCompileError::UnsupportedAtom { stage, atom } => {
+                write!(f, "stage {stage}: atom '{atom}' has no learn-template encoding")
+            }
+            RuleCompileError::TimingNotSupported { stage } => {
+                write!(f, "stage {stage}: windows/deadlines need timeout actions")
+            }
+            RuleCompileError::ClearingsNotSupported { stage } => {
+                write!(f, "stage {stage}: 'unless' clearings need rule deletion")
+            }
+            RuleCompileError::VariableNotCarried { var, stage } => {
+                write!(f, "?{var} is not re-matched at stage {} so stage {stage} cannot copy it", stage - 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleCompileError {}
+
+/// The per-stage guard split into the pieces rules can use.
+struct StagePlan {
+    consts: Vec<MatchAtom>,
+    /// (var, field it is matched/bound at in this stage)
+    binds: Vec<(Var, Field)>,
+}
+
+fn plan_stage(property: &Property, idx: usize) -> Result<StagePlan, RuleCompileError> {
+    let stage = &property.stages[idx];
+    if stage.within.is_some() {
+        return Err(RuleCompileError::TimingNotSupported { stage: idx });
+    }
+    if !stage.unless.is_empty() {
+        return Err(RuleCompileError::ClearingsNotSupported { stage: idx });
+    }
+    let guard = match &stage.kind {
+        StageKind::Match { pattern: EventPattern::Arrival, guard } => guard,
+        StageKind::Match { .. } => {
+            return Err(RuleCompileError::UnsupportedPattern { stage: idx })
+        }
+        StageKind::Deadline { .. } => {
+            return Err(RuleCompileError::TimingNotSupported { stage: idx })
+        }
+    };
+    let mut plan = StagePlan { consts: Vec::new(), binds: Vec::new() };
+    for atom in &guard.atoms {
+        match atom {
+            Atom::EqConst(f, v) => plan.consts.push(MatchAtom::exact(*f, *v)),
+            Atom::Bind(v, f) => plan.binds.push((v.clone(), *f)),
+            other => {
+                return Err(RuleCompileError::UnsupportedAtom {
+                    stage: idx,
+                    atom: format!("{other:?}"),
+                })
+            }
+        }
+    }
+    Ok(plan)
+}
+
+/// Build the learn template installing stage `next`'s rule, given the
+/// packet matched at stage `next - 1`.
+fn learn_template(
+    plans: &[StagePlan],
+    next: usize,
+) -> Result<Vec<LearnAtom>, RuleCompileError> {
+    let prev = &plans[next - 1];
+    let mut tmpl = Vec::new();
+    for a in &plans[next].consts {
+        if let swmon_switch::MatchValue::Exact(v) = a.value {
+            tmpl.push(LearnAtom::Const(a.field, v));
+        }
+    }
+    // Variables first bound at an earlier stage must be copyable from the
+    // previous stage's packet.
+    let earlier_vars: Vec<&Var> =
+        plans[..next].iter().flat_map(|p| p.binds.iter().map(|(v, _)| v)).collect();
+    for (v, f_next) in &plans[next].binds {
+        if earlier_vars.contains(&v) {
+            match prev.binds.iter().find(|(pv, _)| pv == v) {
+                Some((_, f_prev)) => tmpl.push(LearnAtom::CopyField {
+                    rule_field: *f_next,
+                    pkt_field: *f_prev,
+                }),
+                None => {
+                    return Err(RuleCompileError::VariableNotCarried {
+                        var: v.0.clone(),
+                        stage: next,
+                    })
+                }
+            }
+        }
+        // Fresh variables constrain nothing in the learned rule.
+    }
+    Ok(tmpl)
+}
+
+/// A compiled rule program.
+#[derive(Debug, Clone)]
+pub struct RuleProgram {
+    /// Number of tables (= stages).
+    pub tables: usize,
+    /// The static trigger rule for table 0.
+    pub trigger: FlowRule,
+    /// Catch-all rules per table.
+    pub catch_alls: Vec<FlowRule>,
+    /// Alert code used on completion.
+    pub code: u64,
+}
+
+/// Compile `property` into a rule program raising `Alert(code)`.
+pub fn compile_rules(property: &Property, code: u64) -> Result<RuleProgram, RuleCompileError> {
+    let n = property.num_stages();
+    let plans: Vec<StagePlan> =
+        (0..n).map(|i| plan_stage(property, i)).collect::<Result<_, _>>()?;
+
+    // Validate every template up front (so errors surface at compile time),
+    // then build actions back-to-front.
+    for next in 1..n {
+        learn_template(&plans, next)?;
+    }
+
+    // Actions a matched rule in table k performs (monitoring part).
+    fn actions_for(plans: &[StagePlan], k: usize, n: usize, code: u64) -> Vec<Action> {
+        let mut acts = Vec::new();
+        if k + 1 < n {
+            let spec = LearnSpec {
+                table: k + 1,
+                priority: 10,
+                template: learn_template(plans, k + 1).expect("validated"),
+                actions: actions_for(plans, k + 1, n, code),
+                idle_timeout: None,
+                hard_timeout: None,
+            };
+            acts.push(Action::Learn(Box::new(spec)));
+            acts.push(Action::Goto(k + 1));
+        } else {
+            acts.push(Action::Alert(code));
+            acts.push(Action::Flood);
+        }
+        acts
+    }
+
+    let trigger = FlowRule::new(
+        10,
+        MatchSpec::new(plans[0].consts.clone()),
+        actions_for(&plans, 0, n, code),
+    );
+    let catch_alls = (0..n)
+        .map(|k| {
+            let acts =
+                if k + 1 < n { vec![Action::Goto(k + 1)] } else { vec![Action::Flood] };
+            FlowRule::new(0, MatchSpec::any(), acts)
+        })
+        .collect();
+    Ok(RuleProgram { tables: n, trigger, catch_alls, code })
+}
+
+impl RuleProgram {
+    /// Instantiate the program on a fresh switch (split mode: `learn` rides
+    /// the slow path, as in OVS/Varanus).
+    pub fn instantiate(&self, id: SwitchId, num_ports: u16) -> ProgrammableSwitch {
+        let cfg = SwitchConfig {
+            id,
+            num_ports,
+            num_tables: self.tables,
+            table_miss: TableMiss::Flood,
+            mode: StateUpdateMode::Split,
+            ..Default::default()
+        };
+        let mut sw = ProgrammableSwitch::new(cfg);
+        sw.install(0, self.trigger.clone(), Instant::ZERO);
+        for (k, rule) in self.catch_alls.iter().enumerate() {
+            sw.install(k, rule.clone(), Instant::ZERO);
+        }
+        sw
+    }
+
+    /// Port count irrelevant default.
+    pub fn instantiate_default(&self) -> ProgrammableSwitch {
+        self.instantiate(SwitchId(0), 4)
+    }
+
+    /// The pipeline depth this program imposes on every packet.
+    pub fn pipeline_depth(&self) -> usize {
+        self.tables
+    }
+
+    /// Ports used: all floods go everywhere except ingress (hub overlay).
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "rule program: {} tables, alert code {}\n  table 0 trigger: {:?}\n",
+            self.tables, self.code, self.trigger.spec
+        );
+        out.push_str(&format!("  trigger actions: {:?}\n", self.trigger.actions));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use swmon_core::{EventPattern, Monitor, PropertyBuilder};
+    use swmon_packet::{Ipv4Address, MacAddr, Packet, PacketBuilder, TcpFlags};
+    use swmon_sim::time::Duration;
+    use swmon_sim::{Network, PortNo, TraceRecorder};
+
+    /// "A host that sent to port 9999 later receives traffic" — a two-stage
+    /// symmetric arrival chain, compilable to rules.
+    fn two_stage() -> Property {
+        PropertyBuilder::new("rc/two-stage", "")
+            .observe("mark", EventPattern::Arrival)
+                .eq(Field::L4Dst, 9999u16)
+                .bind("A", Field::Ipv4Src)
+                .done()
+            .observe("reached", EventPattern::Arrival)
+                .bind("A", Field::Ipv4Dst)
+                .done()
+            .build()
+            .unwrap()
+    }
+
+    /// Three-stage chain with a carried variable (A re-matched at stage 1).
+    fn three_stage() -> Property {
+        PropertyBuilder::new("rc/three-stage", "")
+            .observe("s0", EventPattern::Arrival)
+                .eq(Field::L4Dst, 1001u16)
+                .bind("A", Field::Ipv4Src)
+                .done()
+            .observe("s1", EventPattern::Arrival)
+                .eq(Field::L4Dst, 1002u16)
+                .bind("A", Field::Ipv4Src) // carried
+                .done()
+            .observe("s2", EventPattern::Arrival)
+                .eq(Field::L4Dst, 1003u16)
+                .bind("A", Field::Ipv4Src)
+                .done()
+            .build()
+            .unwrap()
+    }
+
+    fn pkt(src: u8, dst: u8, dport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, dst),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, dst),
+            4000,
+            dport,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+    /// Drive a program and the reference monitor with the same packets;
+    /// spacing exceeds the slow path so learn-installed rules are visible.
+    fn run_both(
+        prop: &Property,
+        packets: Vec<Packet>,
+    ) -> (usize, usize, Rc<RefCell<TraceRecorder>>) {
+        let program = compile_rules(prop, 7).unwrap();
+        let mut net = Network::new();
+        let sw = Rc::new(RefCell::new(program.instantiate_default()));
+        let id = net.add_node(sw.clone());
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        let monitor = Rc::new(RefCell::new(Monitor::with_defaults(prop.clone())));
+        net.add_sink(monitor.clone());
+        for (i, p) in packets.into_iter().enumerate() {
+            net.inject(
+                Instant::ZERO + Duration::from_micros(100 * (i as u64 + 1)),
+                id,
+                PortNo(0),
+                p,
+            );
+        }
+        net.run_to_completion();
+        let alerts = sw.borrow().alerts.len();
+        let violations = monitor.borrow().violations().len();
+        (alerts, violations, rec)
+    }
+
+    #[test]
+    fn two_stage_program_matches_reference() {
+        // mark(1 → anywhere:9999), then traffic to 1: alert.
+        let (alerts, violations, _) = run_both(
+            &two_stage(),
+            vec![
+                pkt(1, 9, 9999), // stage 0: A = 10.0.0.1
+                pkt(5, 1, 80),   // stage 1: dst == A → violation
+                pkt(5, 2, 80),   // unrelated: no
+            ],
+        );
+        assert_eq!(violations, 1, "reference engine");
+        assert_eq!(alerts, violations, "compiled rules agree");
+    }
+
+    #[test]
+    fn unmarked_traffic_never_alerts() {
+        let (alerts, violations, _) = run_both(
+            &two_stage(),
+            vec![pkt(5, 1, 80), pkt(5, 2, 80), pkt(1, 9, 80)],
+        );
+        assert_eq!(violations, 0);
+        assert_eq!(alerts, 0);
+    }
+
+    #[test]
+    fn three_stage_chain_carries_variables() {
+        let (alerts, violations, _) = run_both(
+            &three_stage(),
+            vec![
+                pkt(1, 9, 1001), // s0 for A=.1
+                pkt(1, 9, 1002), // s1 for A=.1 (carried)
+                pkt(1, 9, 1003), // s2 → violation
+                pkt(2, 9, 1002), // s1 without s0: nothing
+                pkt(2, 9, 1003),
+            ],
+        );
+        assert_eq!(violations, 1);
+        assert_eq!(alerts, violations);
+    }
+
+    #[test]
+    fn wrong_order_does_not_alert() {
+        let (alerts, violations, _) = run_both(
+            &three_stage(),
+            vec![pkt(1, 9, 1003), pkt(1, 9, 1002), pkt(1, 9, 1001)],
+        );
+        assert_eq!(violations, 0);
+        assert_eq!(alerts, 0);
+    }
+
+    #[test]
+    fn per_source_instances_are_separate() {
+        let (alerts, violations, _) = run_both(
+            &two_stage(),
+            vec![
+                pkt(1, 9, 9999),
+                pkt(2, 9, 9999),
+                pkt(5, 1, 80), // violates for A=.1
+                pkt(5, 3, 80), // .3 never marked
+                pkt(5, 2, 80), // violates for A=.2
+            ],
+        );
+        assert_eq!(violations, 2);
+        assert_eq!(alerts, violations);
+    }
+
+    #[test]
+    fn state_lives_in_the_tables() {
+        let program = compile_rules(&two_stage(), 7).unwrap();
+        let mut net = Network::new();
+        let sw = Rc::new(RefCell::new(program.instantiate_default()));
+        let id = net.add_node(sw.clone());
+        net.inject(Instant::from_nanos(1), id, PortNo(0), pkt(1, 9, 9999));
+        net.inject(
+            Instant::ZERO + Duration::from_millis(1),
+            id,
+            PortNo(0),
+            pkt(2, 9, 9999),
+        );
+        net.run_to_completion();
+        // Two learned rules (one per marked source) now sit in table 1 —
+        // the monitor state is literally flow rules.
+        let sw = sw.borrow();
+        assert_eq!(sw.table(1).len(), 2 + 1, "2 learned + the catch-all");
+        assert!(sw.account.slow_updates >= 2, "learns rode the slow path");
+    }
+
+    #[test]
+    fn split_mode_racing_packets_miss_like_real_ovs() {
+        // Two back-to-back packets inside the 15us learn latency: the rule
+        // program misses the violation the reference engine (inline) sees —
+        // the E6 phenomenon reproduced on real rules.
+        let prop = two_stage();
+        let program = compile_rules(&prop, 7).unwrap();
+        let mut net = Network::new();
+        let sw = Rc::new(RefCell::new(program.instantiate_default()));
+        let id = net.add_node(sw.clone());
+        let monitor = Rc::new(RefCell::new(Monitor::with_defaults(prop)));
+        net.add_sink(monitor.clone());
+        net.inject(Instant::from_nanos(10), id, PortNo(0), pkt(1, 9, 9999));
+        net.inject(Instant::from_nanos(20), id, PortNo(0), pkt(5, 1, 80)); // 10ns later
+        net.run_to_completion();
+        assert_eq!(monitor.borrow().violations().len(), 1, "reference sees it");
+        assert_eq!(sw.borrow().alerts.len(), 0, "rules raced the slow path and missed");
+    }
+
+    #[test]
+    fn unsupported_features_are_typed_errors() {
+        use swmon_props::scenario::REPLY_WAIT;
+        // Departure observation.
+        let fw = swmon_props::firewall::return_not_dropped();
+        assert!(matches!(
+            compile_rules(&fw, 1),
+            Err(RuleCompileError::UnsupportedPattern { stage: 1 })
+        ));
+        // Deadline stage (its clearings are reported first — both are
+        // rule-inexpressible).
+        let arp = swmon_props::arp_proxy::unknown_forwarded(REPLY_WAIT);
+        assert!(matches!(
+            compile_rules(&arp, 1),
+            Err(RuleCompileError::TimingNotSupported { .. }
+                | RuleCompileError::ClearingsNotSupported { .. })
+        ));
+        // Negative match.
+        let neg = PropertyBuilder::new("n", "")
+            .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
+            .observe("b", EventPattern::Arrival).neq_var(Field::Ipv4Dst, "A").done()
+            .build()
+            .unwrap();
+        assert!(matches!(
+            compile_rules(&neg, 1),
+            Err(RuleCompileError::UnsupportedAtom { stage: 1, .. })
+        ));
+        // Variable needed at stage 2 but not re-matched at stage 1.
+        let gap = PropertyBuilder::new("g", "")
+            .observe("a", EventPattern::Arrival)
+                .eq(Field::L4Dst, 1u16)
+                .bind("A", Field::Ipv4Src)
+                .done()
+            .observe("b", EventPattern::Arrival).eq(Field::L4Dst, 2u16).done()
+            .observe("c", EventPattern::Arrival).bind("A", Field::Ipv4Dst).done()
+            .build()
+            .unwrap();
+        let e = compile_rules(&gap, 1).unwrap_err();
+        assert_eq!(e, RuleCompileError::VariableNotCarried { var: "A".into(), stage: 2 });
+        assert!(e.to_string().contains("?A"));
+    }
+
+    #[test]
+    fn program_description_is_informative() {
+        let program = compile_rules(&two_stage(), 42).unwrap();
+        let d = program.describe();
+        assert!(d.contains("2 tables"), "{d}");
+        assert!(d.contains("alert code 42"), "{d}");
+        assert_eq!(program.pipeline_depth(), 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Wall-clock benchmarks of the compiled backends — the real-time face of
+//! E3 (pipeline depth) and E10 (per-approach overhead). The *simulated*
+//! costs are what reproduce the paper's claims; these benches confirm the
+//! harness itself runs at useful speeds and that relative costs persist in
+//! wall-clock terms too.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swmon_backends::{openflow13, openstate, p4, static_varanus, varanus};
+use swmon_core::ProvenanceMode;
+use swmon_props::{firewall, port_knocking};
+use swmon_switch::CostModel;
+use swmon_workloads::trace::firewall_trace;
+use swmon_sim::time::Duration;
+
+fn bench_e3_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_pipeline_depth");
+    g.sample_size(10);
+    for pairs in [100u32, 1_000] {
+        let trace = firewall_trace(pairs, 0.0, Duration::from_micros(20), 42);
+        for mech in [varanus(), static_varanus(), p4()] {
+            let name = format!("{}_{}pairs", mech.caps.name.replace(' ', "_"), pairs);
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    let mut m = mech
+                        .compile(
+                            &firewall::return_not_dropped(),
+                            ProvenanceMode::Bindings,
+                            CostModel::default(),
+                        )
+                        .unwrap();
+                    for ev in &trace {
+                        m.process(black_box(ev));
+                    }
+                    m.live_instances()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_e10_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_backend_overhead");
+    g.sample_size(10);
+    let trace = firewall_trace(200, 0.1, Duration::from_micros(100), 21);
+    for mech in [openflow13(), p4(), varanus(), static_varanus()] {
+        let name = format!("firewall_on_{}", mech.caps.name.replace(' ', "_"));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = mech
+                    .compile(
+                        &firewall::return_not_dropped(),
+                        ProvenanceMode::Bindings,
+                        CostModel::default(),
+                    )
+                    .unwrap();
+                for ev in &trace {
+                    m.process(black_box(ev));
+                }
+                m.violations().len()
+            })
+        });
+    }
+    // Port knocking on the state-machine backends.
+    let knock_prop = port_knocking::wrong_guess_invalidates();
+    for mech in [openstate(), p4()] {
+        let name = format!("knock_compile_on_{}", mech.caps.name.replace(' ', "_"));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                mech.compile(black_box(&knock_prop), ProvenanceMode::Bindings, CostModel::default())
+                    .map(|m| m.approach)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e3_depth, bench_e10_overhead);
+criterion_main!(benches);

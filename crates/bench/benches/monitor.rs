@@ -1,0 +1,123 @@
+//! Wall-clock benchmarks of the reference monitor engine: event-processing
+//! throughput vs. live-instance population (the real-time face of E3), the
+//! cost of provenance levels (E7), and inline vs. split processing (E6).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use swmon_core::{Monitor, MonitorConfig, MonitorSet, ProcessingMode, ProvenanceMode};
+use swmon_props::firewall;
+use swmon_sim::time::Duration;
+use swmon_workloads::trace::{firewall_trace, steady_state_trace};
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_scaling");
+    g.sample_size(20);
+    for instances in [10u32, 100, 1_000] {
+        // Pre-grow the instance population, then measure steady-state
+        // per-event cost.
+        let grow = firewall_trace(instances, 0.0, Duration::from_micros(1), 1);
+        let steady = steady_state_trace(instances, 1_000, Duration::from_micros(1), 2);
+        g.bench_function(format!("steady_1k_events_{instances}_instances"), |b| {
+            b.iter_batched(
+                || {
+                    let mut m = Monitor::with_defaults(firewall::return_not_dropped());
+                    for ev in &grow {
+                        m.process(ev);
+                    }
+                    m
+                },
+                |mut m| {
+                    for ev in &steady {
+                        m.process(black_box(ev));
+                    }
+                    m
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_provenance(c: &mut Criterion) {
+    let trace = firewall_trace(500, 0.1, Duration::from_micros(10), 3);
+    let mut g = c.benchmark_group("provenance");
+    g.sample_size(20);
+    for (name, mode) in [
+        ("none", ProvenanceMode::None),
+        ("bindings", ProvenanceMode::Bindings),
+        ("full", ProvenanceMode::Full),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Monitor::new(
+                    firewall::return_not_dropped(),
+                    MonitorConfig { provenance: mode, mode: ProcessingMode::Inline, ..Default::default() },
+                );
+                for ev in &trace {
+                    m.process(black_box(ev));
+                }
+                m.violations().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_side_effect_mode(c: &mut Criterion) {
+    let trace = firewall_trace(500, 0.5, Duration::from_micros(100), 4);
+    let mut g = c.benchmark_group("side_effect_mode");
+    g.sample_size(20);
+    for (name, mode) in [
+        ("inline", ProcessingMode::Inline),
+        ("split_15us", ProcessingMode::Split { lag: Duration::from_micros(15) }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = Monitor::new(
+                    firewall::return_not_dropped(),
+                    MonitorConfig { provenance: ProvenanceMode::Bindings, mode, ..Default::default() },
+                );
+                for ev in &trace {
+                    m.process(black_box(ev));
+                }
+                m.violations().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_catalog_set(c: &mut Criterion) {
+    // The full Table 1 catalog as one deployment over a mixed trace — the
+    // per-event cost an operator pays for monitoring everything at once.
+    let trace = steady_state_trace(64, 1_000, Duration::from_micros(5), 9);
+    c.bench_function("catalog_set_21_properties_2k_events", |b| {
+        b.iter(|| {
+            let props = swmon_props::table1::entries().into_iter().map(|e| e.property).chain([
+                firewall::return_not_dropped(),
+                firewall::return_not_dropped_within(Duration::from_secs(30)),
+                firewall::return_until_close(Duration::from_secs(30)),
+                swmon_props::nat::reverse_translation(),
+                swmon_props::learning_switch::no_flood_after_learn(),
+                swmon_props::learning_switch::correct_port(),
+                swmon_props::learning_switch::flush_on_link_down(),
+                swmon_props::arp_proxy::reply_within(Duration::from_secs(1)),
+            ]);
+            let mut set = MonitorSet::from_properties(props);
+            for ev in &trace {
+                set.process(black_box(ev));
+            }
+            set.violations().len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine_scaling,
+    bench_provenance,
+    bench_side_effect_mode,
+    bench_catalog_set
+);
+criterion_main!(benches);

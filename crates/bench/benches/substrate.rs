@@ -1,0 +1,113 @@
+//! Wall-clock benchmarks of the switch substrate primitives — the
+//! real-time counterpart of experiment E4's calibrated costs: how fast can
+//! *this implementation* parse packets, look up rules, and update each kind
+//! of state?
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use swmon_packet::{Field, Ipv4Address, Layer, MacAddr, PacketBuilder, TcpFlags};
+use swmon_sim::time::Instant;
+use swmon_sim::PortNo;
+use swmon_switch::{
+    Action, FlowRule, FlowTable, MatchAtom, MatchSpec, PacketView, RegRef, RegisterFile,
+    Transition, Xfsm,
+};
+
+fn sample_packet() -> swmon_packet::Packet {
+    PacketBuilder::tcp(
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        MacAddr::new(2, 0, 0, 0, 0, 2),
+        Ipv4Address::new(10, 0, 0, 1),
+        Ipv4Address::new(10, 0, 0, 2),
+        4000,
+        443,
+        TcpFlags::SYN,
+        b"benchmark-payload",
+    )
+}
+
+fn bench_packet(c: &mut Criterion) {
+    let pkt = sample_packet();
+    let mut g = c.benchmark_group("packet");
+    g.bench_function("parse_l4", |b| b.iter(|| black_box(&pkt).parse(Layer::L4).unwrap()));
+    g.bench_function("parse_l7", |b| b.iter(|| black_box(&pkt).parse(Layer::L7).unwrap()));
+    g.bench_function("field_extract", |b| {
+        b.iter(|| black_box(&pkt).field(Field::L4Dst))
+    });
+    let headers = pkt.headers().unwrap();
+    g.bench_function("emit", |b| b.iter(|| black_box(&headers).emit()));
+    g.finish();
+}
+
+fn bench_flowtable(c: &mut Criterion) {
+    let pkt = sample_packet();
+    let view = PacketView::parse(&pkt, PortNo(0), Layer::L4).unwrap();
+    let mut g = c.benchmark_group("flowtable");
+    for rules in [16u16, 256, 4096] {
+        let mut table = FlowTable::new();
+        for i in 0..rules {
+            table.insert(
+                FlowRule::new(
+                    i,
+                    MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, i)]),
+                    vec![Action::Drop],
+                ),
+                Instant::ZERO,
+            );
+        }
+        // Worst case: the packet matches no rule (full scan).
+        g.bench_function(format!("miss_lookup_{rules}_rules"), |b| {
+            b.iter(|| table.lookup(black_box(&view), Instant::ZERO).is_some())
+        });
+    }
+    // Flow-mod insertion (the slow-path update operation itself).
+    g.bench_function("flow_mod_insert", |b| {
+        b.iter_batched(
+            FlowTable::new,
+            |mut t| {
+                t.insert(
+                    FlowRule::new(1, MatchSpec::any(), vec![Action::Drop]),
+                    Instant::ZERO,
+                );
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_registers_and_xfsm(c: &mut Criterion) {
+    let pkt = sample_packet();
+    let view = PacketView::parse(&pkt, PortNo(0), Layer::L4).unwrap();
+    let mut g = c.benchmark_group("state");
+
+    let mut rf = RegisterFile::new();
+    let arr = rf.alloc("bench", 65536);
+    g.bench_function("register_write_hashed", |b| {
+        b.iter(|| {
+            rf.write(
+                black_box(&view),
+                arr,
+                &RegRef::Hash(vec![Field::Ipv4Src, Field::L4Src]),
+                &RegRef::Const(1),
+            )
+        })
+    });
+
+    let mut xfsm = Xfsm::new(vec![Field::Ipv4Src], vec![Field::Ipv4Src]);
+    xfsm.add_transition(Transition {
+        from: None,
+        guard: MatchSpec::any(),
+        priority: 1,
+        next_state: 1,
+        actions: vec![],
+    });
+    g.bench_function("xfsm_lookup_update", |b| {
+        b.iter(|| xfsm.process(black_box(&view)).is_some())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_packet, bench_flowtable, bench_registers_and_xfsm);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks for the table-regeneration paths (E1/E2): feature derivation
+//! and capability checking are on the interactive path of any tool built on
+//! this library, so they should be effectively free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swmon_backends::all;
+use swmon_core::{FeatureSet, ProvenanceMode};
+use swmon_props::table1;
+
+fn bench_table1(c: &mut Criterion) {
+    let props: Vec<_> = table1::entries().into_iter().map(|e| e.property).collect();
+    c.bench_function("e1_feature_derivation_13_properties", |b| {
+        b.iter(|| {
+            props
+                .iter()
+                .map(|p| FeatureSet::of(black_box(p)))
+                .filter(|fs| fs.history)
+                .count()
+        })
+    });
+    c.bench_function("e1_render_table1", |b| b.iter(table1::render));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let props: Vec<_> = table1::entries().into_iter().map(|e| e.property).collect();
+    let mechs = all();
+    c.bench_function("e2_capability_check_13x7", |b| {
+        b.iter(|| {
+            let mut gaps = 0usize;
+            for p in &props {
+                for m in &mechs {
+                    gaps += m.caps.check(black_box(p), ProvenanceMode::Bindings).len();
+                }
+            }
+            gaps
+        })
+    });
+    c.bench_function("e2_render_table2", |b| b.iter(swmon_backends::table2::render));
+}
+
+criterion_group!(benches, bench_table1, bench_table2);
+criterion_main!(benches);

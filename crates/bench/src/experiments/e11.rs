@@ -1,0 +1,129 @@
+//! **E11 (extension) — register-array capacity ablation.**
+//!
+//! The fast-path backends (P4/POF, SNAP, FAST-with-hashes) keep monitor
+//! instances in *fixed-size hash-indexed arrays*. The paper's Sec 3.3
+//! scalability discussion implies the trade this experiment quantifies:
+//! line-rate state comes with bounded capacity, and a colliding new flow
+//! silently evicts an in-progress instance — a monitor error mode distinct
+//! from both the split-lag errors (E6) and the pipeline-depth blowup (E3).
+//!
+//! We run the firewall property over `flows` concurrent pairs, every one of
+//! which later experiences a dropped reply, with the instance store bounded
+//! to various array sizes, and report detection rate and evictions.
+
+use crate::TextTable;
+use swmon_core::{Monitor, MonitorConfig};
+use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+use swmon_props::firewall;
+use swmon_sim::time::Duration;
+use swmon_sim::{EgressAction, NetEvent, PortNo, TraceBuilder};
+
+/// Outcome at one array size.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Cells in the instance array (`None` = unbounded reference).
+    pub capacity: Option<usize>,
+    /// Violations present in the trace.
+    pub expected: usize,
+    /// Violations detected.
+    pub detected: usize,
+    /// Instances evicted by collisions.
+    pub evicted: u64,
+}
+
+/// Array sizes swept by default (against 512 concurrent flows).
+pub fn default_capacities() -> Vec<Option<usize>> {
+    vec![Some(64), Some(128), Some(256), Some(512), Some(1024), Some(4096), None]
+}
+
+/// All `flows` connections open first (instances must coexist), then every
+/// reply is dropped — the concurrent regime where a bounded store hurts.
+fn staged_trace(flows: u32) -> Vec<NetEvent> {
+    let mut tb = TraceBuilder::new();
+    let b = Ipv4Address::new(192, 0, 2, 1);
+    let m2 = MacAddr::new(2, 0, 0, 0, 0, 2);
+    for i in 0..flows {
+        let a = Ipv4Address::from_u32(0x0a00_0002 + i);
+        let m1 = MacAddr::from_u64(0x0200_0000_0000 + u64::from(i));
+        let out = PacketBuilder::tcp(m1, m2, a, b, 4000, 443, TcpFlags::SYN, &[]);
+        tb.advance(Duration::from_micros(50)).arrive_depart(
+            PortNo(0),
+            out,
+            EgressAction::Output(PortNo(1)),
+        );
+    }
+    for i in 0..flows {
+        let a = Ipv4Address::from_u32(0x0a00_0002 + i);
+        let m1 = MacAddr::from_u64(0x0200_0000_0000 + u64::from(i));
+        let back = PacketBuilder::tcp(m2, m1, b, a, 443, 4000, TcpFlags::ACK, &[]);
+        tb.advance(Duration::from_micros(50)).arrive_depart(PortNo(1), back, EgressAction::Drop);
+    }
+    tb.build()
+}
+
+/// Run the sweep.
+pub fn run(flows: u32, capacities: &[Option<usize>]) -> Vec<Point> {
+    // Every pair's reply is dropped: `flows` violations exist.
+    let trace = staged_trace(flows);
+    let mut out = Vec::new();
+    for &capacity in capacities {
+        let mut m = Monitor::new(
+            firewall::return_not_dropped(),
+            MonitorConfig { capacity, ..Default::default() },
+        );
+        for ev in &trace {
+            m.process(ev);
+        }
+        out.push(Point {
+            capacity,
+            expected: flows as usize,
+            detected: m.violations().len(),
+            evicted: m.stats.evicted,
+        });
+    }
+    out
+}
+
+/// Render the report.
+pub fn render(points: &[Point]) -> String {
+    let mut t = TextTable::new(&["array cells", "expected", "detected", "detection rate", "evictions"]);
+    for p in points {
+        t.row(vec![
+            p.capacity.map(|c| c.to_string()).unwrap_or_else(|| "unbounded".into()),
+            p.expected.to_string(),
+            p.detected.to_string(),
+            format!("{:.0}%", 100.0 * p.detected as f64 / p.expected as f64),
+            p.evicted.to_string(),
+        ]);
+    }
+    format!(
+        "E11 (extension): register-array capacity vs. detection\n\
+         (firewall property, 512 concurrent flows, every reply dropped;\n\
+         colliding spawns evict in-progress instances)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_monotone_in_capacity_and_reaches_100() {
+        let pts = run(256, &[Some(32), Some(128), Some(1024), None]);
+        let rates: Vec<f64> =
+            pts.iter().map(|p| p.detected as f64 / p.expected as f64).collect();
+        assert!(rates.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{rates:?}");
+        assert_eq!(pts.last().unwrap().detected, 256, "unbounded detects all");
+        assert_eq!(pts.last().unwrap().evicted, 0);
+        // A heavily undersized array loses most instances.
+        assert!(rates[0] < 0.5, "32 cells for 256 flows: rate {}", rates[0]);
+        assert!(pts[0].evicted > 100);
+    }
+
+    #[test]
+    fn generously_sized_array_behaves_like_unbounded() {
+        let pts = run(64, &[Some(4096), None]);
+        assert_eq!(pts[0].detected, pts[1].detected);
+    }
+}

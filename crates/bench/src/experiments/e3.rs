@@ -1,0 +1,141 @@
+//! **E3 — pipeline depth vs. active instances** (Sec 3.3).
+//!
+//! Paper claim: in Varanus, "the depth of the switch pipeline is no smaller
+//! than the number of active instances, which is infeasible in practice";
+//! bounding the pipeline to one table per observation stage (static
+//! Varanus) or using registers (P4) gives constant processing time.
+//!
+//! We run the stateful-firewall property over traces that leave *n* monitor
+//! instances live, for growing *n*, on the three mechanisms, and report the
+//! mean simulated per-packet processing cost.
+
+use crate::TextTable;
+use swmon_backends::{p4, static_varanus, varanus, Mechanism};
+use swmon_core::ProvenanceMode;
+use swmon_props::firewall;
+use swmon_switch::CostModel;
+use swmon_workloads::trace::firewall_trace;
+use swmon_sim::time::Duration;
+
+/// One measurement point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Approach name.
+    pub approach: &'static str,
+    /// Requested instance population (workload size).
+    pub pairs: u32,
+    /// Live instances at the end of the run.
+    pub instances: usize,
+    /// Mean table stages traversed per packet.
+    pub mean_depth: f64,
+    /// Mean simulated processing time per packet (ns).
+    pub mean_ns_per_packet: f64,
+    /// Implied sustainable throughput (packets/s).
+    pub implied_pps: f64,
+}
+
+/// Instance-count sweep used by default.
+pub const SWEEP: [u32; 5] = [1, 10, 100, 1_000, 10_000];
+
+fn run_one(mech: &Mechanism, pairs: u32) -> Point {
+    let prop = firewall::return_not_dropped();
+    let mut m = mech
+        .compile(&prop, ProvenanceMode::Bindings, CostModel::default())
+        .expect("firewall property compiles on E3 backends");
+    // Packets spaced beyond the 15us slow path, so split-mode state has
+    // settled by the next packet and depth reflects the full population.
+    let trace = firewall_trace(pairs, 0.0, Duration::from_micros(20), 42);
+    for ev in &trace {
+        m.process(ev);
+    }
+    m.advance_to(trace.last().unwrap().time + Duration::from_secs(1));
+    Point {
+        approach: m.approach,
+        pairs,
+        instances: m.live_instances(),
+        mean_depth: m.account.stage_traversals as f64 / m.account.packets as f64,
+        mean_ns_per_packet: m.account.busy.as_nanos() as f64 / m.account.packets as f64,
+        implied_pps: m.account.implied_throughput_pps(),
+    }
+}
+
+/// Run the sweep over the three mechanisms.
+pub fn run(sweep: &[u32]) -> Vec<Point> {
+    let mechs = [varanus(), static_varanus(), p4()];
+    let mut out = Vec::new();
+    for &n in sweep {
+        for mech in &mechs {
+            out.push(run_one(mech, n));
+        }
+    }
+    out
+}
+
+/// Render the report table.
+pub fn render(points: &[Point]) -> String {
+    let mut t = TextTable::new(&[
+        "approach",
+        "pairs",
+        "live instances",
+        "mean pipeline depth",
+        "ns/packet (sim)",
+        "implied pps",
+    ]);
+    for p in points {
+        t.row(vec![
+            p.approach.to_string(),
+            p.pairs.to_string(),
+            p.instances.to_string(),
+            format!("{:.1}", p.mean_depth),
+            format!("{:.0}", p.mean_ns_per_packet),
+            format!("{:.2e}", p.implied_pps),
+        ]);
+    }
+    format!(
+        "E3: per-packet processing cost vs. live monitor instances\n\
+         (firewall property; paper Sec 3.3: Varanus depth = #instances)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varanus_grows_linearly_others_stay_flat() {
+        let pts = run(&[10, 1000]);
+        let find = |approach: &str, n: u32| {
+            pts.iter().find(|p| p.approach == approach && p.pairs == n).unwrap()
+        };
+        let v10 = find("Varanus", 10);
+        let v1k = find("Varanus", 1000);
+        // Depth scales with instances (roughly half the final count on
+        // average, since instances accumulate over the trace).
+        assert!(v1k.mean_depth > v10.mean_depth * 20.0, "{} vs {}", v1k.mean_depth, v10.mean_depth);
+
+        let s10 = find("Static Varanus", 10);
+        let s1k = find("Static Varanus", 1000);
+        assert_eq!(s10.mean_depth, s1k.mean_depth, "static depth is constant");
+
+        let p10 = find("POF and P4", 10);
+        let p1k = find("POF and P4", 1000);
+        assert_eq!(p10.mean_depth, p1k.mean_depth);
+
+        // Crossover shape: at scale, Varanus is orders of magnitude slower.
+        assert!(v1k.mean_ns_per_packet > 100.0 * p1k.mean_ns_per_packet);
+        // P4 stays at line-rate-ish speeds; Varanus cannot.
+        assert!(p1k.implied_pps > 1e6);
+        assert!(v1k.implied_pps < 1e6);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let pts = run(&[1, 10]);
+        let s = render(&pts);
+        let varanus_rows = s.lines().filter(|l| l.starts_with("Varanus ")).count();
+        let static_rows = s.lines().filter(|l| l.starts_with("Static Varanus ")).count();
+        assert_eq!((varanus_rows, static_rows), (2, 2), "{s}");
+        assert!(s.contains("implied pps"));
+    }
+}

@@ -1,0 +1,170 @@
+//! **E5 — the cost of external monitoring** (Sec 1).
+//!
+//! Paper claim: "monitoring the necessary packets, rather than only
+//! controller messages, quickly becomes expensive to do externally: in the
+//! learning switch example, *any* outgoing packet could potentially violate
+//! the property. Thus, an external monitor must either see all such
+//! packets, or else ... keep the full state table in its forwarding base."
+//!
+//! We run the learning-switch property against the same event stream on
+//! the OpenFlow-1.3 backend (controller redirection) and the P4 backend
+//! (on-switch), and report redirected traffic volume and added latency.
+
+use crate::TextTable;
+use swmon_backends::{openflow13, p4};
+use swmon_core::ProvenanceMode;
+use swmon_props::learning_switch;
+use swmon_switch::CostModel;
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::{EgressAction, NetEvent, PortNo, TraceBuilder};
+use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+
+/// Result for one monitoring placement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Approach.
+    pub approach: &'static str,
+    /// Total packets in the workload.
+    pub total_packets: u64,
+    /// Packets that had to reach the monitor off-switch.
+    pub redirected_packets: u64,
+    /// Bytes redirected.
+    pub redirected_bytes: u64,
+    /// Fraction of traffic redirected.
+    pub redirected_fraction: f64,
+    /// Mean added monitoring cost per packet (ns, simulated).
+    pub mean_ns_per_packet: f64,
+    /// Violations detected (must agree across placements).
+    pub violations: usize,
+}
+
+/// An L2 workload: hosts announce themselves, then exchange traffic; a few
+/// destinations are flooded even though they were learned (violations).
+pub fn workload(hosts: u32, packets: u32) -> Vec<NetEvent> {
+    let mut tb = TraceBuilder::new();
+    let mut t = Instant::ZERO;
+    let mac = |x: u32| MacAddr::from_u64(0x0200_0000_0000 + u64::from(x));
+    // Announcements: every host sends once (flooded: unknown destinations).
+    for h in 0..hosts {
+        let p = PacketBuilder::tcp(
+            mac(h),
+            mac((h + 1) % hosts),
+            Ipv4Address::from_u32(0x0a00_0002 + h),
+            Ipv4Address::from_u32(0x0a00_0002 + (h + 1) % hosts),
+            1000,
+            2000,
+            TcpFlags::SYN,
+            &[],
+        );
+        tb.at(t).arrive_depart(PortNo((h % 16) as u16), p, EgressAction::Flood);
+        t += Duration::from_micros(10);
+    }
+    // Steady traffic to learned destinations — unicast (correct), except
+    // every 100th packet which is flooded (a violation).
+    for i in 0..packets {
+        let src = i % hosts;
+        let dst = (i + 1) % hosts;
+        let p = PacketBuilder::tcp(
+            mac(src),
+            mac(dst),
+            Ipv4Address::from_u32(0x0a00_0002 + src),
+            Ipv4Address::from_u32(0x0a00_0002 + dst),
+            1000,
+            2000,
+            TcpFlags::ACK,
+            &[],
+        );
+        let action = if i % 100 == 99 {
+            EgressAction::Flood
+        } else {
+            EgressAction::Output(PortNo((dst % 16) as u16))
+        };
+        tb.at(t).arrive_depart(PortNo((src % 16) as u16), p, action);
+        t += Duration::from_micros(10);
+    }
+    tb.build()
+}
+
+/// Run both placements over the same workload.
+pub fn run(hosts: u32, packets: u32) -> Vec<Row> {
+    let trace = workload(hosts, packets);
+    let total_packets = trace.iter().filter(|e| e.packet().is_some()).count() as u64;
+    let prop = learning_switch::no_flood_after_learn();
+    let mut out = Vec::new();
+    for mech in [openflow13(), p4()] {
+        let mut m = mech
+            .compile(&prop, ProvenanceMode::Bindings, CostModel::default())
+            .expect("compiles");
+        for ev in &trace {
+            m.process(ev);
+        }
+        m.advance_to(trace.last().unwrap().time + Duration::from_secs(1));
+        out.push(Row {
+            approach: m.approach,
+            total_packets,
+            redirected_packets: m.redirected_packets,
+            redirected_bytes: m.redirected_bytes,
+            redirected_fraction: m.redirected_packets as f64 / total_packets as f64,
+            mean_ns_per_packet: m.account.busy.as_nanos() as f64 / total_packets as f64,
+            violations: m.violations().len(),
+        });
+    }
+    out
+}
+
+/// Render the report.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = TextTable::new(&[
+        "placement",
+        "packets",
+        "redirected",
+        "fraction",
+        "bytes to monitor",
+        "ns/pkt (sim)",
+        "violations",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.approach.to_string(),
+            r.total_packets.to_string(),
+            r.redirected_packets.to_string(),
+            format!("{:.0}%", r.redirected_fraction * 100.0),
+            r.redirected_bytes.to_string(),
+            format!("{:.0}", r.mean_ns_per_packet),
+            r.violations.to_string(),
+        ]);
+    }
+    format!(
+        "E5: external (controller) vs. on-switch monitoring of the\n\
+         learning-switch property (paper Sec 1: every packet is a candidate)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_sees_everything_switch_sees_nothing_extra() {
+        let rows = run(32, 2_000);
+        let of = rows.iter().find(|r| r.approach == "OpenFlow 1.3").unwrap();
+        let p4 = rows.iter().find(|r| r.approach == "POF and P4").unwrap();
+        assert_eq!(of.redirected_fraction, 1.0, "every packet redirected");
+        assert_eq!(p4.redirected_packets, 0);
+        assert!(of.redirected_bytes > 100_000);
+        // Per-packet monitoring cost gap: RTT vs nanoseconds.
+        assert!(of.mean_ns_per_packet > 1000.0 * p4.mean_ns_per_packet);
+    }
+
+    #[test]
+    fn both_placements_detect_the_same_violations() {
+        let rows = run(32, 2_000);
+        // ~2000/100 = 20 flood-after-learn violations.
+        let p4 = rows.iter().find(|r| r.approach == "POF and P4").unwrap();
+        assert!(p4.violations >= 19, "{}", p4.violations);
+        // The controller sees them too — just later and at great cost.
+        let of = rows.iter().find(|r| r.approach == "OpenFlow 1.3").unwrap();
+        assert_eq!(of.violations, p4.violations);
+    }
+}

@@ -1,0 +1,145 @@
+//! **E6 — side-effect control: inline vs. split** (Feature 9).
+//!
+//! Paper claim: "if the switch splits processing, the monitor has minimal
+//! impact on throughput, but its state might lag behind any packets issued
+//! in response, leading to monitor errors. In contrast, if the switch
+//! inlines updates, its state will be up to date, but at the expense of
+//! increased forwarding latency."
+//!
+//! We run the firewall property over traces where the dropped reply lands
+//! a configurable gap after the outbound packet. Inline detects every
+//! violation and charges latency; split is cheap but *misses* every
+//! violation whose reply gap is shorter than the state-update lag.
+
+use crate::TextTable;
+use swmon_core::{Monitor, MonitorConfig, ProcessingMode, ProvenanceMode};
+use swmon_props::firewall;
+use swmon_switch::CostModel;
+use swmon_workloads::trace::firewall_trace;
+use swmon_sim::time::Duration;
+
+/// One configuration's outcome at one reply gap.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// "inline" or "split".
+    pub mode: &'static str,
+    /// Gap between the outbound packet and the dropped reply.
+    pub reply_gap: Duration,
+    /// Violations that exist in the trace.
+    pub expected: usize,
+    /// Violations the monitor reported.
+    pub detected: usize,
+    /// Added forwarding latency per packet in this mode (ns): inline pays
+    /// the state-update cost on the packet path.
+    pub added_latency_ns: u64,
+}
+
+/// Reply-gap sweep (the slow-path lag is 15 µs).
+pub fn default_gaps() -> Vec<Duration> {
+    vec![
+        Duration::from_micros(1),
+        Duration::from_micros(10),
+        Duration::from_micros(100),
+        Duration::from_millis(1),
+        Duration::from_millis(10),
+    ]
+}
+
+/// Run the sweep: every connection's reply is dropped (one violation per
+/// connection).
+pub fn run(connections: u32, gaps: &[Duration]) -> Vec<Point> {
+    let cost = CostModel::default();
+    let lag = cost.slow_path_update;
+    let mut out = Vec::new();
+    for &gap in gaps {
+        let trace = firewall_trace(connections, 1.0, gap, 77);
+        for (mode, pmode, added) in [
+            ("inline", ProcessingMode::Inline, lag.as_nanos()),
+            ("split", ProcessingMode::Split { lag }, 0),
+        ] {
+            let mut m = Monitor::new(
+                firewall::return_not_dropped(),
+                MonitorConfig { provenance: ProvenanceMode::Bindings, mode: pmode, ..Default::default() },
+            );
+            for ev in &trace {
+                m.process(ev);
+            }
+            m.advance_to(trace.last().unwrap().time + Duration::from_secs(1));
+            out.push(Point {
+                mode,
+                reply_gap: gap,
+                expected: connections as usize,
+                detected: m.violations().len(),
+                added_latency_ns: added,
+            });
+        }
+    }
+    out
+}
+
+/// Render the report.
+pub fn render(points: &[Point]) -> String {
+    let mut t = TextTable::new(&[
+        "mode",
+        "reply gap",
+        "expected",
+        "detected",
+        "detection rate",
+        "added fwd latency/pkt",
+    ]);
+    for p in points {
+        t.row(vec![
+            p.mode.to_string(),
+            p.reply_gap.to_string(),
+            p.expected.to_string(),
+            p.detected.to_string(),
+            format!("{:.0}%", 100.0 * p.detected as f64 / p.expected as f64),
+            format!("{}ns", p.added_latency_ns),
+        ]);
+    }
+    format!(
+        "E6: inline vs. split state updates (Feature 9; slow-path lag 15us)\n\
+         Inline: full detection, latency charged to every forwarded packet.\n\
+         Split: no forwarding impact, but replies faster than the lag escape.\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_always_detects() {
+        for p in run(50, &default_gaps()) {
+            if p.mode == "inline" {
+                assert_eq!(p.detected, p.expected, "gap {}", p.reply_gap);
+            }
+        }
+    }
+
+    #[test]
+    fn split_misses_fast_replies_catches_slow_ones() {
+        let pts = run(50, &default_gaps());
+        let split = |gap_us: u64| {
+            pts.iter()
+                .find(|p| p.mode == "split" && p.reply_gap == Duration::from_micros(gap_us))
+                .unwrap()
+        };
+        assert_eq!(split(1).detected, 0, "1us gap < 15us lag: all missed");
+        assert_eq!(split(10).detected, 0, "10us gap < 15us lag: all missed");
+        assert_eq!(split(100).detected, 50, "100us gap > lag: all caught");
+        assert_eq!(split(1000).detected, 50);
+    }
+
+    #[test]
+    fn the_tradeoff_is_real() {
+        // Inline pays latency; split pays errors. Neither dominates — the
+        // paper's argument for exposing the choice explicitly.
+        let pts = run(20, &[Duration::from_micros(5)]);
+        let inline = pts.iter().find(|p| p.mode == "inline").unwrap();
+        let split = pts.iter().find(|p| p.mode == "split").unwrap();
+        assert!(inline.detected > split.detected);
+        assert!(inline.added_latency_ns > split.added_latency_ns);
+    }
+}

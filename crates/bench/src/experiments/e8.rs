@@ -1,0 +1,186 @@
+//! **E8 — the timeout-refresh subtlety** (Sec 2.3 / Feature 7).
+//!
+//! Paper claim: "if — like ordinary timeouts — [negative-observation
+//! timers] were reset whenever the preceding observation fired, a never-
+//! answered sequence of requests every (T−1) seconds would not be detected
+//! as a violation."
+//!
+//! The property under test is the Sec 2.3 shape where the *preceding
+//! observation* is the request itself: "a request for Y must be answered
+//! within T". Each repeated request re-fires the preceding observation, so
+//! the two refresh policies genuinely diverge: a refreshed deadline slides
+//! forever under a (T−1)-periodic storm, an unrefreshed one fires at T.
+
+use crate::TextTable;
+use swmon_core::{
+    var, ActionPattern, Atom, EventPattern, Monitor, Property, PropertyBuilder, RefreshPolicy,
+    StageKind,
+};
+use swmon_packet::{ArpPacket, Ipv4Address, MacAddr, PacketBuilder};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::{EgressAction, PortNo, TraceBuilder};
+
+/// Outcome of one (policy, period) run.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Refresh policy name.
+    pub policy: &'static str,
+    /// Request period as a fraction of T.
+    pub period_fraction: f64,
+    /// Detected while the storm was still running (the sound outcome for a
+    /// never-answered stream)?
+    pub detected_during_storm: bool,
+    /// Detection time (ms since the first request), if ever detected.
+    pub detection_ms: Option<u64>,
+}
+
+/// The deadline T used throughout.
+pub const T: Duration = Duration::from_millis(1_000);
+
+/// The Sec 2.3-shaped property: an ARP request for `Y` must be answered
+/// within T. Encoded with the chosen deadline refresh policy.
+pub fn request_answered_within(t: Duration, policy: RefreshPolicy) -> Property {
+    let mut p = PropertyBuilder::new(
+        "e8/request-answered-within-T",
+        "every ARP request is answered within T",
+    )
+    .observe("request", EventPattern::Arrival)
+        .eq(swmon_packet::Field::ArpOp, 1u64)
+        .bind("Y", swmon_packet::Field::ArpTargetIp)
+        .done()
+    .deadline("no-reply", t)
+        .unless(
+            EventPattern::Departure(ActionPattern::Forwarded),
+            vec![
+                Atom::EqConst(swmon_packet::Field::ArpOp, 2u64.into()),
+                Atom::Bind(var("Y"), swmon_packet::Field::ArpSenderIp),
+            ],
+        )
+        .done()
+    .build()
+    .expect("well-formed");
+    for stage in &mut p.stages {
+        if let StageKind::Deadline { refresh, .. } = &mut stage.kind {
+            *refresh = policy;
+        }
+    }
+    p
+}
+
+/// Run the sweep. The storm lasts `requests` requests; the run is observed
+/// for 10 T after the storm ends.
+pub fn run(period_fractions: &[f64], requests: u32) -> Vec<Point> {
+    let mut out = Vec::new();
+    for &frac in period_fractions {
+        let period = Duration::from_nanos((T.as_nanos() as f64 * frac) as u64);
+        for (name, policy) in [
+            ("NoRefresh (sound)", RefreshPolicy::NoRefresh),
+            ("RefreshOnRepeat (naive)", RefreshPolicy::RefreshOnRepeat),
+        ] {
+            let mut m = Monitor::with_defaults(request_answered_within(T, policy));
+            let mut tb = TraceBuilder::new();
+            let storm_start = Instant::ZERO;
+            for i in 0..requests {
+                let ask = PacketBuilder::arp(ArpPacket::request(
+                    MacAddr::new(2, 0, 0, 0, 0, 4),
+                    Ipv4Address::new(10, 0, 0, 4),
+                    Ipv4Address::new(10, 0, 0, 7),
+                ));
+                tb.at(storm_start + period * u64::from(i))
+                    .arrive_depart(PortNo(2), ask, EgressAction::Drop);
+            }
+            let storm_end = storm_start + period * u64::from(requests.saturating_sub(1));
+            for ev in tb.build() {
+                m.process(&ev);
+            }
+            m.advance_to(storm_end);
+            let detected_during_storm = !m.violations().is_empty();
+            m.advance_to(storm_end + T * 10);
+            let detection_ms = m
+                .violations()
+                .first()
+                .map(|v| v.time.duration_since(storm_start).as_millis());
+            out.push(Point { policy: name, period_fraction: frac, detected_during_storm, detection_ms });
+        }
+    }
+    out
+}
+
+/// Default period sweep: below, just under, and above T.
+pub fn default_fractions() -> Vec<f64> {
+    vec![0.5, 0.9, 0.999, 1.5]
+}
+
+/// Render the report.
+pub fn render(points: &[Point]) -> String {
+    let mut t = TextTable::new(&[
+        "policy",
+        "request period",
+        "detected during storm?",
+        "first detection (ms)",
+    ]);
+    for p in points {
+        t.row(vec![
+            p.policy.to_string(),
+            format!("{:.3}·T", p.period_fraction),
+            if p.detected_during_storm { "yes".into() } else { "NO".into() },
+            p.detection_ms.map(|d| d.to_string()).unwrap_or_else(|| "never".into()),
+        ]);
+    }
+    format!(
+        "E8: timeout-refresh subtlety (Sec 2.3) — never-answered ARP request\n\
+         storm, T = {T}. A naive refresh-on-repeat deadline is blind for as\n\
+         long as the storm lasts; the sound policy fires at T.\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sound_policy_detects_at_t_regardless_of_period() {
+        for p in run(&default_fractions(), 10) {
+            if p.policy.starts_with("NoRefresh") {
+                let d = p.detection_ms.expect("detected");
+                assert_eq!(d, 1000, "period {}·T: detected at {d}ms", p.period_fraction);
+                if p.period_fraction < 1.0 {
+                    assert!(p.detected_during_storm, "period {}·T", p.period_fraction);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_policy_is_blind_below_t() {
+        for p in run(&default_fractions(), 10) {
+            if p.policy.starts_with("RefreshOnRepeat") {
+                if p.period_fraction < 1.0 {
+                    assert!(
+                        !p.detected_during_storm,
+                        "period {}·T should evade the naive policy",
+                        p.period_fraction
+                    );
+                    // It only fires T after the storm's last request.
+                    let d = p.detection_ms.unwrap();
+                    let expected = (9.0 * p.period_fraction * 1000.0) as u64 + 1000;
+                    assert!(d.abs_diff(expected) <= 1, "{d} vs {expected}");
+                } else {
+                    // Period above T: even the naive policy fires between
+                    // requests.
+                    assert!(p.detected_during_storm);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policies_agree_once_the_storm_stops() {
+        // Eventually both detect (the naive policy just reports late) — the
+        // bug is the unbounded detection delay, not total blindness.
+        for p in run(&[0.9], 5) {
+            assert!(p.detection_ms.is_some(), "{}", p.policy);
+        }
+    }
+}

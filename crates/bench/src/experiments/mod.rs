@@ -1,0 +1,13 @@
+//! The experiment implementations. Each module exposes a `run()` returning
+//! a structured result plus a `render()` producing the printable report.
+
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;

@@ -1,0 +1,250 @@
+//! A fluent builder for properties — the ergonomic front door of the
+//! library.
+//!
+//! ```
+//! use swmon_core::{PropertyBuilder, EventPattern, ActionPattern, Atom, var};
+//! use swmon_packet::Field;
+//! use swmon_sim::Duration;
+//!
+//! // Sec 2.1: "after seeing traffic from internal host A to external host
+//! // B, packets from B to A are not dropped (for T seconds)".
+//! let fw = PropertyBuilder::new("stateful-fw", "return traffic is admitted")
+//!     .observe("outbound", EventPattern::Arrival)
+//!         .bind("A", Field::Ipv4Src)
+//!         .bind("B", Field::Ipv4Dst)
+//!         .done()
+//!     .observe("return-dropped", EventPattern::Departure(ActionPattern::Drop))
+//!         .bind("B", Field::Ipv4Src)
+//!         .bind("A", Field::Ipv4Dst)
+//!         .within(Duration::from_secs(30))
+//!         .refresh_on_repeat()
+//!         .done()
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(fw.stages.len(), 2);
+//! # let _ = (fw, Atom::Bind(var("x"), Field::EthSrc));
+//! ```
+
+use crate::guard::{Atom, Guard};
+use crate::pattern::EventPattern;
+use crate::property::{Property, PropertyError, RefreshPolicy, Stage, StageKind, Unless, WindowSpec};
+use crate::var::var;
+use swmon_packet::{Field, FieldValue};
+use swmon_sim::time::Duration;
+
+/// Builds a [`Property`] stage by stage.
+pub struct PropertyBuilder {
+    name: String,
+    statement: String,
+    stages: Vec<Stage>,
+}
+
+impl PropertyBuilder {
+    /// Start a property with a name and the prose statement being checked.
+    pub fn new(name: &str, statement: &str) -> Self {
+        PropertyBuilder { name: name.to_string(), statement: statement.to_string(), stages: Vec::new() }
+    }
+
+    /// Begin a match observation stage.
+    pub fn observe(self, name: &str, pattern: EventPattern) -> StageBuilder {
+        StageBuilder {
+            prop: self,
+            stage: Stage::match_(name, pattern, Guard::any()),
+        }
+    }
+
+    /// Begin a deadline (negative observation) stage: the violation advances
+    /// when `window` elapses. Defaults to [`RefreshPolicy::NoRefresh`] —
+    /// the sound choice per Sec 2.3.
+    pub fn deadline(self, name: &str, window: Duration) -> StageBuilder {
+        StageBuilder {
+            prop: self,
+            stage: Stage::deadline(name, window, RefreshPolicy::NoRefresh),
+        }
+    }
+
+    /// Finish, validating the structure.
+    pub fn build(self) -> Result<Property, PropertyError> {
+        let p = Property { name: self.name, statement: self.statement, stages: self.stages };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+/// Builds one stage; call [`StageBuilder::done`] to return to the property.
+pub struct StageBuilder {
+    prop: PropertyBuilder,
+    stage: Stage,
+}
+
+impl StageBuilder {
+    fn push_atom(mut self, atom: Atom) -> Self {
+        match &mut self.stage.kind {
+            StageKind::Match { guard, .. } => guard.atoms.push(atom),
+            StageKind::Deadline { .. } => {
+                panic!("deadline stages have no guard; use unless_* for clearings")
+            }
+        }
+        self
+    }
+
+    /// Unify `field` with variable `name` (bind or require-equal).
+    pub fn bind(self, name: &str, field: Field) -> Self {
+        self.push_atom(Atom::Bind(var(name), field))
+    }
+
+    /// Require `field == value`.
+    pub fn eq(self, field: Field, value: impl Into<FieldValue>) -> Self {
+        self.push_atom(Atom::EqConst(field, value.into()))
+    }
+
+    /// Require `field != value` (negative match).
+    pub fn neq(self, field: Field, value: impl Into<FieldValue>) -> Self {
+        self.push_atom(Atom::NeqConst(field, value.into()))
+    }
+
+    /// Require `field != ?name` (negative match against a binder).
+    pub fn neq_var(self, field: Field, name: &str) -> Self {
+        self.push_atom(Atom::NeqVar(field, var(name)))
+    }
+
+    /// Require the event to carry the identity token recorded at `stage`.
+    pub fn same_packet_as(self, stage: usize) -> Self {
+        self.push_atom(Atom::SamePacket(stage))
+    }
+
+    /// Require at least one of `atoms` to hold (disjunction).
+    pub fn any_of(self, atoms: Vec<Atom>) -> Self {
+        self.push_atom(Atom::AnyOf(atoms))
+    }
+
+    /// Push an arbitrary atom (escape hatch for specialised atoms).
+    pub fn atom(self, atom: Atom) -> Self {
+        self.push_atom(atom)
+    }
+
+    /// The observation must occur within `window` of the previous one.
+    pub fn within(mut self, window: Duration) -> Self {
+        self.stage.within = Some(WindowSpec::Fixed(window));
+        self
+    }
+
+    /// As [`StageBuilder::within`], with the window read from a bound
+    /// variable (seconds), e.g. a DHCP lease duration.
+    pub fn within_bound_secs(mut self, name: &str) -> Self {
+        self.stage.within = Some(WindowSpec::BoundSecs(var(name)));
+        self
+    }
+
+    /// Repeats of the previous observation reset this stage's window.
+    pub fn refresh_on_repeat(mut self) -> Self {
+        match &mut self.stage.kind {
+            StageKind::Deadline { refresh, .. } => *refresh = RefreshPolicy::RefreshOnRepeat,
+            StageKind::Match { .. } => self.stage.within_refresh = RefreshPolicy::RefreshOnRepeat,
+        }
+        self
+    }
+
+    /// Add a clearing observation: an event matching `pattern` with `atoms`
+    /// discharges the obligation and kills the instance.
+    pub fn unless(mut self, pattern: EventPattern, atoms: Vec<Atom>) -> Self {
+        self.stage.unless.push(Unless { pattern, guard: Guard::new(atoms) });
+        self
+    }
+
+    /// Close this stage.
+    pub fn done(mut self) -> PropertyBuilder {
+        self.prop.stages.push(self.stage);
+        self.prop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::ActionPattern;
+
+    #[test]
+    fn builds_firewall_property() {
+        let p = PropertyBuilder::new("fw", "returns admitted")
+            .observe("out", EventPattern::Arrival)
+                .bind("A", Field::Ipv4Src)
+                .bind("B", Field::Ipv4Dst)
+                .done()
+            .observe("ret-drop", EventPattern::Departure(ActionPattern::Drop))
+                .bind("B", Field::Ipv4Src)
+                .bind("A", Field::Ipv4Dst)
+                .within(Duration::from_secs(10))
+                .refresh_on_repeat()
+                .done()
+            .build()
+            .unwrap();
+        assert_eq!(p.stages.len(), 2);
+        assert_eq!(p.stages[1].within, Some(WindowSpec::Fixed(Duration::from_secs(10))));
+        assert_eq!(p.stages[1].within_refresh, RefreshPolicy::RefreshOnRepeat);
+    }
+
+    #[test]
+    fn builds_deadline_with_unless() {
+        let p = PropertyBuilder::new("arp", "requests answered")
+            .observe("req", EventPattern::Arrival)
+                .bind("T", Field::ArpTargetIp)
+                .done()
+            .deadline("no-reply", Duration::from_secs(1))
+                .unless(
+                    EventPattern::Departure(ActionPattern::Forwarded),
+                    vec![Atom::Bind(var("T"), Field::ArpSenderIp)],
+                )
+                .done()
+            .build()
+            .unwrap();
+        assert!(matches!(p.stages[1].kind, StageKind::Deadline { .. }));
+        assert_eq!(p.stages[1].unless.len(), 1);
+    }
+
+    #[test]
+    fn deadline_refresh_flag() {
+        let p = PropertyBuilder::new("x", "")
+            .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
+            .deadline("d", Duration::from_secs(1)).refresh_on_repeat().done()
+            .build()
+            .unwrap();
+        assert!(matches!(
+            p.stages[1].kind,
+            StageKind::Deadline { refresh: RefreshPolicy::RefreshOnRepeat, .. }
+        ));
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let err = PropertyBuilder::new("bad", "")
+            .deadline("d", Duration::from_secs(1))
+            .done()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PropertyError::FirstStageNotMatch);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline stages have no guard")]
+    fn atoms_on_deadline_panic() {
+        let _ = PropertyBuilder::new("bad", "")
+            .observe("a", EventPattern::Arrival).done()
+            .deadline("d", Duration::from_secs(1))
+            .bind("A", Field::Ipv4Src);
+    }
+
+    #[test]
+    fn bound_window() {
+        let p = PropertyBuilder::new("lease", "")
+            .observe("ack", EventPattern::Arrival)
+                .bind("L", Field::DhcpLeaseSecs)
+                .done()
+            .observe("reuse", EventPattern::Arrival)
+                .within_bound_secs("L")
+                .done()
+            .build()
+            .unwrap();
+        assert_eq!(p.stages[1].within, Some(WindowSpec::BoundSecs(var("L"))));
+    }
+}

@@ -1,0 +1,438 @@
+//! Structural feature analysis — deriving Table 1 from property syntax.
+//!
+//! The paper's Table 1 classifies each property by the switch features its
+//! monitoring requires. Because our property language represents every
+//! feature as explicit syntax, the classification can be *computed* rather
+//! than asserted: [`FeatureSet::of`] walks a [`Property`] and reports the
+//! same columns the paper prints. Experiment E1 asserts the derived rows
+//! equal the paper's rows.
+
+use crate::guard::{Atom, Guard};
+use crate::pattern::EventPattern;
+use crate::property::{Property, RefreshPolicy, StageKind};
+use swmon_packet::{Field, Layer};
+
+/// The instance-identification discipline a property needs (Feature 8,
+/// Table 1's "Inst. ID" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InstanceIdClass {
+    /// Later observations match a variable against the *same* field that
+    /// bound it: a plain per-flow key suffices.
+    Exact,
+    /// Some observation matches a variable against the mirror of its binding
+    /// field (src↔dst): reply traffic maps to the request's instance.
+    Symmetric,
+    /// Some observation matches a variable against an unrelated field —
+    /// typically in a different protocol (e.g. a DHCP-bound address matched
+    /// in ARP): "mapping observations with different protocol fields to the
+    /// same instance".
+    Wandering,
+}
+
+impl std::fmt::Display for InstanceIdClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceIdClass::Exact => write!(f, "exact"),
+            InstanceIdClass::Symmetric => write!(f, "symmetric"),
+            InstanceIdClass::Wandering => write!(f, "wandering"),
+        }
+    }
+}
+
+/// The directional mirror of a field, if it has one. Mirrors are the
+/// src↔dst pairs whose inversion identifies *reply* traffic with the
+/// request's flow — the essence of symmetric match. ARP sender/target are
+/// deliberately **not** mirrors: ARP observations extract "the address in
+/// question" from a fixed payload position per stage, which is the paper's
+/// *exact* discipline (Table 1 classifies the ARP rows as exact).
+pub fn mirror_field(f: Field) -> Option<Field> {
+    use Field::*;
+    Some(match f {
+        EthSrc => EthDst,
+        EthDst => EthSrc,
+        Ipv4Src => Ipv4Dst,
+        Ipv4Dst => Ipv4Src,
+        L4Src => L4Dst,
+        L4Dst => L4Src,
+        _ => return None,
+    })
+}
+
+/// The protocol a field belongs to, for wandering-match classification.
+/// The FTP control-channel fields group with the flow layers they describe
+/// (an announced data port lives in L4 port space): FTP control and data
+/// are the *same* protocol stack, so the FTP property is symmetric, not
+/// wandering — whereas a DHCP-bound address matched in ARP crosses
+/// protocols, which is exactly the paper's definition of wandering.
+fn field_group(f: Field) -> u8 {
+    use Field::*;
+    match f {
+        EthSrc | EthDst | EthType => 0,
+        ArpOp | ArpSenderMac | ArpSenderIp | ArpTargetMac | ArpTargetIp => 1,
+        Ipv4Src | Ipv4Dst | IpProto | Ttl | FtpDataAddr => 2,
+        L4Src | L4Dst | TcpFlags | IcmpType | FtpDataPort => 3,
+        DhcpMsgType | DhcpXid | DhcpChaddr | DhcpYiaddr | DhcpCiaddr | DhcpRequestedIp
+        | DhcpLeaseSecs | DhcpServerId => 4,
+        InPort | OutPort => 5,
+    }
+}
+
+/// The derived feature requirements of one property — Table 1's columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureSet {
+    /// Maximum parse depth required (Table 1 "Fields").
+    pub fields: Layer,
+    /// Needs cross-packet state (more than one observation) — "History".
+    pub history: bool,
+    /// Uses `within` state-expiry windows — "Timeouts" (Feature 3). Note:
+    /// deadline stages (Feature 7) are *not* counted here; the two are
+    /// distinct mechanisms, matching the paper's column separation.
+    pub timeouts: bool,
+    /// Carries a persistent obligation — "Obligation" (Feature 4): an
+    /// `unless` clearing on a match stage, or on an *unrefreshed* deadline
+    /// (an unbounded watch checked via an imposed practical deadline, as in
+    /// the ARP rows). A clearing on a refreshed deadline is a bounded
+    /// window, not a persistent obligation (the DHCP reply row).
+    pub obligation: bool,
+    /// Uses packet identity — "Identity" (Feature 5).
+    pub identity: bool,
+    /// Uses negative matching — "Neg Match" (Feature 6).
+    pub negative_match: bool,
+    /// Uses deadline stages — "T.Out. Acts" (Feature 7).
+    pub timeout_actions: bool,
+    /// Instance identification class — "Inst. ID" (Feature 8).
+    pub instance_id: InstanceIdClass,
+    /// Needs dropped-packet observation (the Feature 5 sidebar; not a
+    /// Table 1 column, but a major Table 2 gap).
+    pub drop_detection: bool,
+    /// Needs out-of-band events (multiple match).
+    pub out_of_band: bool,
+    /// Needs egress metadata (output-port / flood-vs-unicast visibility).
+    pub egress_metadata: bool,
+}
+
+impl FeatureSet {
+    /// Derive the feature set of `property`.
+    pub fn of(property: &Property) -> FeatureSet {
+        let mut fields = Layer::L2;
+        let mut timeouts = false;
+        let mut obligation = false;
+        let mut identity = false;
+        let mut negative_match = false;
+        let mut timeout_actions = false;
+        let mut drop_detection = false;
+        let mut out_of_band = false;
+        let mut egress_metadata = false;
+
+        let mut all_guards: Vec<&Guard> = Vec::new();
+        for stage in &property.stages {
+            match &stage.kind {
+                StageKind::Match { pattern, guard } => {
+                    all_guards.push(guard);
+                    match pattern {
+                        EventPattern::Departure(ap) => {
+                            drop_detection |= ap.needs_drop_detection();
+                            egress_metadata |= ap.needs_egress_metadata();
+                        }
+                        EventPattern::OutOfBand(_) => out_of_band = true,
+                        EventPattern::Arrival => {}
+                    }
+                }
+                StageKind::Deadline { refresh, .. } => {
+                    timeout_actions = true;
+                    // A *refreshed* deadline behaves like an expiring state
+                    // timer (each repeat of the previous observation resets
+                    // it), so it also exercises Feature 3. An unrefreshed
+                    // deadline is purely Feature 7.
+                    if *refresh == RefreshPolicy::RefreshOnRepeat {
+                        timeouts = true;
+                    }
+                }
+            }
+            if stage.within.is_some() {
+                timeouts = true;
+            }
+            if !stage.unless.is_empty() {
+                let bounded_window = matches!(
+                    stage.kind,
+                    StageKind::Deadline { refresh: RefreshPolicy::RefreshOnRepeat, .. }
+                );
+                if !bounded_window {
+                    obligation = true;
+                }
+            }
+            for u in &stage.unless {
+                all_guards.push(&u.guard);
+                match &u.pattern {
+                    EventPattern::Departure(ap) => {
+                        drop_detection |= ap.needs_drop_detection();
+                        egress_metadata |= ap.needs_egress_metadata();
+                    }
+                    EventPattern::OutOfBand(_) => out_of_band = true,
+                    EventPattern::Arrival => {}
+                }
+            }
+        }
+        for g in &all_guards {
+            fields = fields.max(g.required_depth());
+            negative_match |= g.has_negative_match();
+            identity |= g.uses_identity();
+            egress_metadata |= g.reads_out_port();
+        }
+        let history = property.stages.len() > 1;
+        let instance_id = Self::instance_id_class(property);
+        FeatureSet {
+            fields,
+            history,
+            timeouts,
+            obligation,
+            identity,
+            negative_match,
+            timeout_actions,
+            instance_id,
+            drop_detection,
+            out_of_band,
+            egress_metadata,
+        }
+    }
+
+    /// Classify instance identification by comparing, per variable, the
+    /// field that first binds it against the fields later observations
+    /// match it with.
+    fn instance_id_class(property: &Property) -> InstanceIdClass {
+        use std::collections::HashMap;
+        let mut first_binding: HashMap<&crate::var::Var, Field> = HashMap::new();
+        let mut class = InstanceIdClass::Exact;
+        let mut guards_in_order: Vec<&Guard> = Vec::new();
+        for stage in &property.stages {
+            if let StageKind::Match { guard, .. } = &stage.kind {
+                guards_in_order.push(guard);
+            }
+            for u in &stage.unless {
+                guards_in_order.push(&u.guard);
+            }
+        }
+        fn visit<'a>(
+            atom: &'a Atom,
+            first_binding: &mut HashMap<&'a crate::var::Var, Field>,
+            class: &mut InstanceIdClass,
+        ) {
+            let (v, f) = match atom {
+                Atom::Bind(v, f) => (v, *f),
+                Atom::NeqVar(f, v) => (v, *f),
+                Atom::AnyOf(subs) => {
+                    for sub in subs {
+                        visit(sub, first_binding, class);
+                    }
+                    return;
+                }
+                _ => return,
+            };
+            match first_binding.get(v) {
+                None => {
+                    first_binding.insert(v, f);
+                }
+                Some(&orig) if orig == f => {}
+                Some(&orig) if mirror_field(orig) == Some(f) => {
+                    *class = (*class).max(InstanceIdClass::Symmetric);
+                }
+                Some(&orig) if field_group(orig) == field_group(f) => {
+                    // Same protocol, fixed per-stage extraction: exact.
+                }
+                Some(_) => {
+                    *class = (*class).max(InstanceIdClass::Wandering);
+                }
+            }
+        }
+        for guard in guards_in_order {
+            for atom in &guard.atoms {
+                visit(atom, &mut first_binding, &mut class);
+            }
+        }
+        class
+    }
+
+    /// Render the Table 1 row cells for this property:
+    /// `[Fields, History, Timeouts, Obligation, Identity, NegMatch,
+    /// TOutActs, InstId]` with `•`/blank cells, as in the paper.
+    pub fn table1_cells(&self) -> [String; 8] {
+        let dot = |b: bool| if b { "•".to_string() } else { String::new() };
+        [
+            self.fields.to_string(),
+            dot(self.history),
+            dot(self.timeouts),
+            dot(self.obligation),
+            dot(self.identity),
+            dot(self.negative_match),
+            dot(self.timeout_actions),
+            self.instance_id.to_string(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{ActionPattern, OobPattern};
+    use crate::property::{RefreshPolicy, Stage, Unless};
+    use crate::var::var;
+    use swmon_sim::time::Duration;
+
+    fn stage_bind(name: &str, v: &str, f: Field) -> Stage {
+        Stage::match_(name, EventPattern::Arrival, Guard::new(vec![Atom::Bind(var(v), f)]))
+    }
+
+    #[test]
+    fn exact_identification() {
+        let p = Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![
+                stage_bind("a", "X", Field::Ipv4Src),
+                stage_bind("b", "X", Field::Ipv4Src),
+            ],
+        };
+        let fs = FeatureSet::of(&p);
+        assert_eq!(fs.instance_id, InstanceIdClass::Exact);
+        assert!(fs.history);
+        assert!(!fs.timeouts && !fs.obligation && !fs.identity && !fs.negative_match);
+        assert_eq!(fs.fields, Layer::L3);
+    }
+
+    #[test]
+    fn symmetric_identification() {
+        let p = Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![
+                stage_bind("a", "A", Field::Ipv4Src),
+                stage_bind("b", "A", Field::Ipv4Dst), // mirror
+            ],
+        };
+        assert_eq!(FeatureSet::of(&p).instance_id, InstanceIdClass::Symmetric);
+    }
+
+    #[test]
+    fn wandering_identification() {
+        // Bound from DHCP, matched in ARP: cross-protocol.
+        let p = Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![
+                stage_bind("a", "L", Field::DhcpYiaddr),
+                stage_bind("b", "L", Field::ArpTargetIp),
+            ],
+        };
+        let fs = FeatureSet::of(&p);
+        assert_eq!(fs.instance_id, InstanceIdClass::Wandering);
+        assert_eq!(fs.fields, Layer::L7);
+    }
+
+    #[test]
+    fn neqvar_counts_for_identification_class() {
+        let p = Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![
+                stage_bind("a", "A", Field::Ipv4Src),
+                Stage::match_(
+                    "b",
+                    EventPattern::Arrival,
+                    Guard::new(vec![Atom::NeqVar(Field::Ipv4Dst, var("A"))]),
+                ),
+            ],
+        };
+        let fs = FeatureSet::of(&p);
+        assert_eq!(fs.instance_id, InstanceIdClass::Symmetric);
+        assert!(fs.negative_match);
+    }
+
+    #[test]
+    fn deadline_and_unless_flags() {
+        let mut d = Stage::deadline("d", Duration::from_secs(1), RefreshPolicy::NoRefresh);
+        d.unless = vec![Unless {
+            pattern: EventPattern::Departure(ActionPattern::Forwarded),
+            guard: Guard::any(),
+        }];
+        let p = Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![stage_bind("a", "A", Field::Ipv4Src), d],
+        };
+        let fs = FeatureSet::of(&p);
+        assert!(fs.timeout_actions);
+        assert!(!fs.timeouts, "deadlines are Feature 7, not Feature 3");
+        assert!(fs.obligation);
+        assert!(!fs.egress_metadata, "Forwarded needs only packet presence at egress");
+        assert!(!fs.drop_detection);
+    }
+
+    #[test]
+    fn drop_and_oob_flags() {
+        let p = Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![
+                stage_bind("a", "A", Field::EthSrc),
+                Stage::match_(
+                    "down",
+                    EventPattern::OutOfBand(OobPattern::PortDown),
+                    Guard::any(),
+                ),
+                Stage::match_(
+                    "drop",
+                    EventPattern::Departure(ActionPattern::Drop),
+                    Guard::any(),
+                ),
+            ],
+        };
+        let fs = FeatureSet::of(&p);
+        assert!(fs.out_of_band);
+        assert!(fs.drop_detection);
+        assert!(!fs.egress_metadata, "Drop pattern is pre-egress");
+    }
+
+    #[test]
+    fn identity_flag() {
+        let p = Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![
+                stage_bind("a", "A", Field::Ipv4Src),
+                Stage::match_(
+                    "b",
+                    EventPattern::Departure(ActionPattern::Any),
+                    Guard::new(vec![Atom::SamePacket(0)]),
+                ),
+            ],
+        };
+        assert!(FeatureSet::of(&p).identity);
+    }
+
+    #[test]
+    fn table1_cells_render() {
+        let p = Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![
+                stage_bind("a", "A", Field::Ipv4Src),
+                stage_bind("b", "A", Field::Ipv4Dst),
+            ],
+        };
+        let cells = FeatureSet::of(&p).table1_cells();
+        assert_eq!(cells[0], "L3");
+        assert_eq!(cells[1], "•");
+        assert_eq!(cells[2], "");
+        assert_eq!(cells[7], "symmetric");
+    }
+
+    #[test]
+    fn mirror_pairs_are_involutions() {
+        for &f in Field::all() {
+            if let Some(m) = mirror_field(f) {
+                assert_eq!(mirror_field(m), Some(f), "{f:?}");
+                assert_ne!(m, f);
+            }
+        }
+    }
+}

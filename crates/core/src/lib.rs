@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # swmon-core — stateful property monitoring (the paper's contribution)
+//!
+//! A specification language and reference engine for *cross-packet
+//! correctness properties* over switch event streams, realising all ten
+//! semantic features of "Switches are Monitors Too!" (HotNets 2016):
+//!
+//! | Feature | Where |
+//! |---|---|
+//! | 1 Field access / parse depth | [`swmon_packet::Field::layer`], guards |
+//! | 2 Event history | [`Bindings`], instance state |
+//! | 3 Timeouts | [`property::Stage::within`] + refresh policies |
+//! | 4 Persistent obligation ("until") | [`property::Unless`] clearings |
+//! | 5 Packet identity | [`guard::Atom::SamePacket`] |
+//! | 6 Negative match | [`guard::Atom::NeqVar`], [`guard::Atom::NeqConst`] |
+//! | 7 Timeout actions | [`property::StageKind::Deadline`] |
+//! | 8 Instance identification | engine instance store; [`features`] derives exact/symmetric/wandering |
+//! | 9 Side-effect control | [`engine::ProcessingMode`] |
+//! | 10 Provenance | [`violation::ProvenanceMode`] |
+//!
+//! Properties are written as the *violation-witnessing* observation sequence
+//! (the paper's convention); the [`engine::Monitor`] hunts for completions
+//! and reports [`violation::Violation`]s.
+
+pub mod builder;
+pub mod dsl;
+pub mod engine;
+pub mod features;
+pub mod guard;
+pub mod monitorset;
+pub mod pattern;
+pub mod postcard;
+pub mod property;
+pub mod var;
+pub mod violation;
+
+pub use builder::PropertyBuilder;
+pub use dsl::{parse_property, to_dsl, DslError};
+pub use engine::{Monitor, MonitorConfig, MonitorStats, ProcessingMode};
+pub use features::{FeatureSet, InstanceIdClass};
+pub use guard::{Atom, Guard};
+pub use monitorset::MonitorSet;
+pub use pattern::{ActionPattern, EventPattern, OobPattern};
+pub use postcard::{Postcard, PostcardCollector};
+pub use property::{Property, PropertyError, RefreshPolicy, Stage, StageKind, Unless};
+pub use var::{var, Bindings, Var};
+pub use violation::{ProvenanceMode, Violation};

@@ -1,0 +1,200 @@
+//! Event patterns: which *kind* of switch event an observation waits for.
+//!
+//! Patterns are deliberately coarse — arrival / departure-with-action /
+//! out-of-band — because all finer selection (which addresses, which ports)
+//! belongs to guards, where values can be bound and compared across
+//! observations. The departure patterns encode the observations the paper
+//! repeatedly needs and real switches often cannot provide: *drops*
+//! ("almost universally unsupported") and *flood-vs-unicast* discrimination
+//! (requires egress metadata).
+
+use swmon_sim::trace::{EgressAction, NetEvent, NetEventKind, OobEvent};
+
+/// Which egress decisions a departure observation accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionPattern {
+    /// Any departure.
+    Any,
+    /// Only drops (requires dropped-packet detection — Feature 5 sidebar).
+    Drop,
+    /// Anything except a drop.
+    Forwarded,
+    /// Only unicast output.
+    Unicast,
+    /// Only floods (the learning-switch violation: broadcast after learn).
+    Flood,
+}
+
+impl ActionPattern {
+    /// Does `action` satisfy this pattern?
+    pub fn matches(&self, action: EgressAction) -> bool {
+        match self {
+            ActionPattern::Any => true,
+            ActionPattern::Drop => action == EgressAction::Drop,
+            ActionPattern::Forwarded => action.is_forwarded(),
+            ActionPattern::Unicast => matches!(action, EgressAction::Output(_)),
+            ActionPattern::Flood => action == EgressAction::Flood,
+        }
+    }
+
+    /// True if matching this pattern requires observing dropped packets —
+    /// the Sec 2.2 capability that is "almost universally unsupported".
+    /// `Forwarded` does *not* need it: a forwarded packet is physically
+    /// present at egress, so any monitoring stage placed there sees it.
+    pub fn needs_drop_detection(&self) -> bool {
+        matches!(self, ActionPattern::Drop)
+    }
+
+    /// True if matching requires egress *metadata* (which port, flood vs
+    /// unicast) rather than mere packet presence at egress.
+    pub fn needs_egress_metadata(&self) -> bool {
+        matches!(self, ActionPattern::Unicast | ActionPattern::Flood)
+    }
+}
+
+/// Which out-of-band events an observation accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OobPattern {
+    /// Any out-of-band event.
+    Any,
+    /// A port/link going down.
+    PortDown,
+    /// A port/link coming up.
+    PortUp,
+    /// A controller message with this tag.
+    ControllerTag(u64),
+}
+
+impl OobPattern {
+    /// Does `ev` satisfy this pattern?
+    pub fn matches(&self, ev: &OobEvent) -> bool {
+        match self {
+            OobPattern::Any => true,
+            OobPattern::PortDown => matches!(ev, OobEvent::PortDown(..)),
+            OobPattern::PortUp => matches!(ev, OobEvent::PortUp(..)),
+            OobPattern::ControllerTag(t) => matches!(ev, OobEvent::ControllerMsg(_, tag) if tag == t),
+        }
+    }
+}
+
+/// The kind of event an observation stage waits for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventPattern {
+    /// A packet arriving at the switch.
+    Arrival,
+    /// The switch deciding an egress action.
+    Departure(ActionPattern),
+    /// A non-packet event (Feature 8, multiple match / out-of-band).
+    OutOfBand(OobPattern),
+}
+
+impl EventPattern {
+    /// Does `ev`'s kind satisfy this pattern? (Guards are checked
+    /// separately.)
+    pub fn matches(&self, ev: &NetEvent) -> bool {
+        match (self, &ev.kind) {
+            (EventPattern::Arrival, NetEventKind::Arrival { .. }) => true,
+            (EventPattern::Departure(ap), NetEventKind::Departure { action, .. }) => {
+                ap.matches(*action)
+            }
+            (EventPattern::OutOfBand(op), NetEventKind::OutOfBand(o)) => op.matches(o),
+            _ => false,
+        }
+    }
+
+    /// True if this pattern is an out-of-band observation.
+    pub fn is_out_of_band(&self) -> bool {
+        matches!(self, EventPattern::OutOfBand(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::time::Instant;
+    use swmon_sim::trace::{PacketId, PortNo, SwitchId};
+
+    fn pkt() -> Arc<swmon_packet::Packet> {
+        Arc::new(PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            1,
+            2,
+            TcpFlags::SYN,
+            &[],
+        ))
+    }
+
+    fn departure(action: EgressAction) -> NetEvent {
+        NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::Departure {
+                switch: SwitchId(0),
+                pkt: pkt(),
+                id: PacketId(0),
+                action,
+            },
+        }
+    }
+
+    #[test]
+    fn action_patterns() {
+        use ActionPattern::*;
+        let out = EgressAction::Output(PortNo(1));
+        let flood = EgressAction::Flood;
+        let drop = EgressAction::Drop;
+        assert!(Any.matches(out) && Any.matches(flood) && Any.matches(drop));
+        assert!(Drop.matches(drop) && !Drop.matches(out) && !Drop.matches(flood));
+        assert!(Forwarded.matches(out) && Forwarded.matches(flood) && !Forwarded.matches(drop));
+        assert!(Unicast.matches(out) && !Unicast.matches(flood) && !Unicast.matches(drop));
+        assert!(Flood.matches(flood) && !Flood.matches(out) && !Flood.matches(drop));
+    }
+
+    #[test]
+    fn pattern_requirements() {
+        assert!(ActionPattern::Drop.needs_drop_detection());
+        assert!(!ActionPattern::Any.needs_drop_detection());
+        assert!(ActionPattern::Unicast.needs_egress_metadata());
+        assert!(ActionPattern::Flood.needs_egress_metadata());
+        assert!(!ActionPattern::Drop.needs_egress_metadata());
+        assert!(!ActionPattern::Forwarded.needs_egress_metadata(), "presence at egress suffices");
+        assert!(!ActionPattern::Forwarded.needs_drop_detection());
+    }
+
+    #[test]
+    fn event_pattern_dispatch() {
+        let arr = NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::Arrival {
+                switch: SwitchId(0),
+                port: PortNo(1),
+                pkt: pkt(),
+                id: PacketId(0),
+            },
+        };
+        assert!(EventPattern::Arrival.matches(&arr));
+        assert!(!EventPattern::Departure(ActionPattern::Any).matches(&arr));
+        assert!(EventPattern::Departure(ActionPattern::Drop).matches(&departure(EgressAction::Drop)));
+        assert!(!EventPattern::Arrival.matches(&departure(EgressAction::Drop)));
+
+        let down = NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::OutOfBand(OobEvent::PortDown(SwitchId(0), PortNo(2))),
+        };
+        assert!(EventPattern::OutOfBand(OobPattern::PortDown).matches(&down));
+        assert!(EventPattern::OutOfBand(OobPattern::Any).matches(&down));
+        assert!(!EventPattern::OutOfBand(OobPattern::PortUp).matches(&down));
+        assert!(EventPattern::OutOfBand(OobPattern::PortDown).is_out_of_band());
+
+        let msg = NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::OutOfBand(OobEvent::ControllerMsg(SwitchId(0), 9)),
+        };
+        assert!(EventPattern::OutOfBand(OobPattern::ControllerTag(9)).matches(&msg));
+        assert!(!EventPattern::OutOfBand(OobPattern::ControllerTag(8)).matches(&msg));
+    }
+}

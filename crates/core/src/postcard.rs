@@ -1,0 +1,292 @@
+//! Postcard provenance — the paper's Sec 3.2 suggestion made concrete:
+//! *"a more complete provenance could be selectively constructed via an
+//! approach like NetSight, which sends postcards to a central monitoring
+//! server."*
+//!
+//! Instead of retaining full packet history on-switch
+//! ([`crate::ProvenanceMode::Full`]), every event emits a fixed-size
+//! **postcard** — a compact digest of timestamp, switch, action and key
+//! header fields — to an off-switch [`PostcardCollector`] with a bounded
+//! ring buffer. When a monitor (running at the cheap
+//! [`crate::ProvenanceMode::Bindings`] level) reports a violation, the
+//! collector *reconstructs* the likely event history by selecting the
+//! postcards whose fields intersect the violation's bound values inside a
+//! time window.
+//!
+//! The trade, quantified by experiment E12: constant on-switch memory and a
+//! fixed per-event postcard cost, against reconstruction that is
+//! approximate (bounded by the ring capacity) rather than exact.
+
+use crate::var::Bindings;
+use crate::violation::Violation;
+use std::collections::VecDeque;
+use swmon_packet::{Field, FieldValue};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::trace::{EgressAction, EventSink, NetEvent, NetEventKind, SwitchId};
+
+/// The header fields a postcard digests (chosen to cover the catalog's
+/// binder sources without shipping payloads).
+pub const POSTCARD_FIELDS: [Field; 8] = [
+    Field::EthSrc,
+    Field::EthDst,
+    Field::Ipv4Src,
+    Field::Ipv4Dst,
+    Field::L4Src,
+    Field::L4Dst,
+    Field::ArpSenderIp,
+    Field::ArpTargetIp,
+];
+
+/// A fixed-size event digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Postcard {
+    /// Event time.
+    pub time: Instant,
+    /// Switch of origin.
+    pub switch: SwitchId,
+    /// Egress action for departures; `None` for arrivals/out-of-band.
+    pub action: Option<EgressAction>,
+    /// Digested field values (fields the packet lacks are absent).
+    pub fields: Vec<(Field, FieldValue)>,
+}
+
+impl Postcard {
+    /// The wire size a real postcard of this shape would occupy: timestamp
+    /// (8) + switch (4) + action (1) + one tagged 64-bit slot per field.
+    pub fn wire_bytes(&self) -> usize {
+        8 + 4 + 1 + self.fields.len() * 9
+    }
+
+    /// True if any digested value equals any of the violation's bound
+    /// values — the reconstruction join condition.
+    pub fn mentions_any(&self, bindings: &Bindings) -> bool {
+        self.fields
+            .iter()
+            .any(|(_, v)| bindings.iter().any(|(_, bound)| bound == v))
+    }
+}
+
+/// The off-switch collector: a bounded ring of recent postcards.
+#[derive(Debug)]
+pub struct PostcardCollector {
+    ring: VecDeque<Postcard>,
+    capacity: usize,
+    /// Postcards discarded because the ring was full.
+    pub dropped: u64,
+    /// Postcards received in total.
+    pub received: u64,
+}
+
+impl PostcardCollector {
+    /// A collector retaining at most `capacity` postcards.
+    pub fn new(capacity: usize) -> Self {
+        PostcardCollector {
+            ring: VecDeque::with_capacity(capacity),
+            capacity: capacity.max(1),
+            dropped: 0,
+            received: 0,
+        }
+    }
+
+    /// Number of postcards currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no postcards are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total bytes the retained postcards would occupy on the wire/in the
+    /// collector.
+    pub fn retained_bytes(&self) -> usize {
+        self.ring.iter().map(Postcard::wire_bytes).sum()
+    }
+
+    /// Digest one event into a postcard.
+    pub fn digest(ev: &NetEvent) -> Postcard {
+        let mut fields = Vec::new();
+        for f in POSTCARD_FIELDS {
+            if let Some(v) = ev.field(f) {
+                fields.push((f, v));
+            }
+        }
+        let action = ev.action();
+        let switch = ev.switch().unwrap_or(SwitchId(0));
+        Postcard { time: ev.time, switch, action, fields }
+    }
+
+    /// Reconstruct the event history plausibly relevant to `violation`:
+    /// postcards within `window` before the violation whose digested values
+    /// intersect the violation's bindings.
+    ///
+    /// Returns the matches oldest-first. Precision is bounded by the digest
+    /// (value aliasing across fields is possible); recall is bounded by the
+    /// ring capacity (evicted postcards are gone — that is the trade).
+    pub fn reconstruct(&self, violation: &Violation, window: Duration) -> Vec<&Postcard> {
+        let Some(bindings) = &violation.bindings else {
+            return Vec::new();
+        };
+        let horizon = violation.time.as_nanos().saturating_sub(window.as_nanos());
+        self.ring
+            .iter()
+            .filter(|p| p.time.as_nanos() >= horizon && p.time <= violation.time)
+            .filter(|p| p.mentions_any(bindings))
+            .collect()
+    }
+}
+
+impl EventSink for PostcardCollector {
+    fn on_event(&mut self, ev: &NetEvent) {
+        // Out-of-band events carry no digestible header values; skip them
+        // (a real deployment would postcard them separately).
+        if matches!(ev.kind, NetEventKind::OutOfBand(_)) {
+            return;
+        }
+        self.received += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(Self::digest(ev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::var;
+    use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::{PortNo, TraceBuilder};
+
+    fn trace(pairs: u32) -> Vec<NetEvent> {
+        let mut tb = TraceBuilder::new();
+        for i in 0..pairs {
+            let a = Ipv4Address::from_u32(0x0a00_0002 + i);
+            let b = Ipv4Address::new(192, 0, 2, 1);
+            let p = PacketBuilder::tcp(
+                MacAddr::from_u64(0x0200_0000_0000 + u64::from(i)),
+                MacAddr::new(2, 0, 0, 0, 0, 2),
+                a,
+                b,
+                4000,
+                443,
+                TcpFlags::SYN,
+                &[],
+            );
+            tb.advance(swmon_sim::Duration::from_micros(10))
+                .arrive_depart(PortNo(0), p, EgressAction::Output(PortNo(1)));
+        }
+        tb.build()
+    }
+
+    #[test]
+    fn digests_are_compact_and_typed() {
+        let ev = &trace(1)[0];
+        let pc = PostcardCollector::digest(ev);
+        // TCP packet digests 6 of the 8 candidate fields (no ARP fields).
+        assert_eq!(pc.fields.len(), 6);
+        assert!(pc.wire_bytes() < 80, "{} bytes", pc.wire_bytes());
+        assert_eq!(pc.action, None, "arrival has no action");
+        let dep = &trace(1)[1];
+        assert_eq!(
+            PostcardCollector::digest(dep).action,
+            Some(EgressAction::Output(PortNo(1)))
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let mut c = PostcardCollector::new(10);
+        for ev in trace(20) {
+            c.on_event(&ev);
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.received, 40);
+        assert_eq!(c.dropped, 30);
+        assert!(c.retained_bytes() > 0);
+    }
+
+    #[test]
+    fn reconstruction_selects_relevant_postcards() {
+        let mut c = PostcardCollector::new(1000);
+        let tr = trace(50);
+        for ev in &tr {
+            c.on_event(ev);
+        }
+        // Fake a violation naming pair 7's addresses.
+        let a7 = Ipv4Address::from_u32(0x0a00_0002 + 7);
+        let v = Violation {
+            property: "fw".into(),
+            time: tr.last().unwrap().time,
+            trigger_stage: "x".into(),
+            bindings: Some(
+                Bindings::new().bind(var("A"), a7.into()),
+            ),
+            history: vec![],
+        };
+        let hits = c.reconstruct(&v, Duration::from_secs(10));
+        // Pair 7's arrival + departure, and nothing else (addresses are
+        // unique per pair; B=192.0.2.1 is shared but not bound here).
+        assert_eq!(hits.len(), 2, "{hits:#?}");
+        assert!(hits.iter().all(|p| p.fields.iter().any(|(_, v)| *v == a7.into())));
+    }
+
+    #[test]
+    fn reconstruction_respects_the_window() {
+        let mut c = PostcardCollector::new(1000);
+        let tr = trace(50);
+        for ev in &tr {
+            c.on_event(ev);
+        }
+        let a7 = Ipv4Address::from_u32(0x0a00_0002 + 7);
+        let v = Violation {
+            property: "fw".into(),
+            time: tr.last().unwrap().time,
+            trigger_stage: "x".into(),
+            bindings: Some(Bindings::new().bind(var("A"), a7.into())),
+            history: vec![],
+        };
+        // Pair 7's events are ~430us before the end; a 10us window misses
+        // them.
+        assert!(c.reconstruct(&v, Duration::from_micros(10)).is_empty());
+    }
+
+    #[test]
+    fn evicted_postcards_limit_recall() {
+        let mut c = PostcardCollector::new(20); // keeps only the last 20
+        let tr = trace(50);
+        for ev in &tr {
+            c.on_event(ev);
+        }
+        let a7 = Ipv4Address::from_u32(0x0a00_0002 + 7); // early pair: evicted
+        let v = Violation {
+            property: "fw".into(),
+            time: tr.last().unwrap().time,
+            trigger_stage: "x".into(),
+            bindings: Some(Bindings::new().bind(var("A"), a7.into())),
+            history: vec![],
+        };
+        assert!(c.reconstruct(&v, Duration::from_secs(10)).is_empty(), "history evicted");
+        let a45 = Ipv4Address::from_u32(0x0a00_0002 + 45); // late pair: kept
+        let v2 = Violation { bindings: Some(Bindings::new().bind(var("A"), a45.into())), ..v };
+        assert_eq!(c.reconstruct(&v2, Duration::from_secs(10)).len(), 2);
+    }
+
+    #[test]
+    fn violations_without_bindings_reconstruct_nothing() {
+        let mut c = PostcardCollector::new(100);
+        for ev in trace(5) {
+            c.on_event(&ev);
+        }
+        let v = Violation {
+            property: "p".into(),
+            time: Instant::ZERO + Duration::from_secs(1),
+            trigger_stage: "x".into(),
+            bindings: None,
+            history: vec![],
+        };
+        assert!(c.reconstruct(&v, Duration::from_secs(10)).is_empty());
+    }
+}

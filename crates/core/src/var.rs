@@ -1,0 +1,156 @@
+//! Binder variables and environments.
+//!
+//! A property's observations share data through *variables*: the first
+//! observation binds `A` and `B` from a packet's fields, later observations
+//! match (or negatively match) against them. The set of live bindings is an
+//! instance's identity — the paper's Feature 8 notes that "an instance
+//! consists of a set of header values matching previously seen
+//! observations".
+
+use std::collections::BTreeMap;
+use std::fmt;
+use swmon_packet::FieldValue;
+
+/// A named binder variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub String);
+
+/// Shorthand constructor: `var("A")`.
+pub fn var(name: &str) -> Var {
+    Var(name.to_string())
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// An immutable-by-convention environment of variable bindings.
+///
+/// Ordered (`BTreeMap`) so that environments have a canonical form: two
+/// instances with the same bindings compare equal, hash equal, and print
+/// identically — which is what instance deduplication keys on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bindings {
+    map: BTreeMap<Var, FieldValue>,
+}
+
+impl Bindings {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Value of `v`, if bound.
+    pub fn get(&self, v: &Var) -> Option<&FieldValue> {
+        self.map.get(v)
+    }
+
+    /// True if `v` is bound.
+    pub fn is_bound(&self, v: &Var) -> bool {
+        self.map.contains_key(v)
+    }
+
+    /// A copy with `v` bound to `val`. Panics if `v` is already bound to a
+    /// different value — guards must unify, not overwrite (see
+    /// [`Bindings::unify`]).
+    pub fn bind(&self, v: Var, val: FieldValue) -> Bindings {
+        let mut m = self.map.clone();
+        if let Some(old) = m.insert(v.clone(), val) {
+            assert_eq!(old, val, "rebinding {v} to a different value");
+        }
+        Bindings { map: m }
+    }
+
+    /// Unification: if `v` is unbound, bind it (returning the extended
+    /// environment); if bound, succeed with `self` only when values agree.
+    pub fn unify(&self, v: &Var, val: FieldValue) -> Option<Bindings> {
+        match self.map.get(v) {
+            Some(existing) if *existing == val => Some(self.clone()),
+            Some(_) => None,
+            None => Some(self.bind(v.clone(), val)),
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate bindings in canonical (name) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &FieldValue)> {
+        self.map.iter()
+    }
+
+    /// Approximate memory footprint, for provenance/state accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.map.keys().map(|k| k.0.len() + 16).sum()
+    }
+}
+
+impl fmt::Display for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_binds_fresh_variables() {
+        let env = Bindings::new();
+        let env = env.unify(&var("A"), FieldValue::Uint(1)).unwrap();
+        assert_eq!(env.get(&var("A")), Some(&FieldValue::Uint(1)));
+        assert!(env.is_bound(&var("A")));
+        assert!(!env.is_bound(&var("B")));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn unify_checks_existing_bindings() {
+        let env = Bindings::new().bind(var("A"), FieldValue::Uint(1));
+        assert!(env.unify(&var("A"), FieldValue::Uint(1)).is_some());
+        assert!(env.unify(&var("A"), FieldValue::Uint(2)).is_none());
+    }
+
+    #[test]
+    fn environments_are_canonical() {
+        let e1 = Bindings::new()
+            .bind(var("B"), FieldValue::Uint(2))
+            .bind(var("A"), FieldValue::Uint(1));
+        let e2 = Bindings::new()
+            .bind(var("A"), FieldValue::Uint(1))
+            .bind(var("B"), FieldValue::Uint(2));
+        assert_eq!(e1, e2, "insertion order is irrelevant");
+        assert_eq!(e1.to_string(), "{?A=1, ?B=2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rebinding")]
+    fn bind_rejects_conflicting_rebind() {
+        let env = Bindings::new().bind(var("A"), FieldValue::Uint(1));
+        let _ = env.bind(var("A"), FieldValue::Uint(2));
+    }
+
+    #[test]
+    fn unify_leaves_original_untouched() {
+        let env = Bindings::new();
+        let _ = env.unify(&var("A"), FieldValue::Uint(1)).unwrap();
+        assert!(env.is_empty(), "unify is persistent, not mutating");
+    }
+}

@@ -1,0 +1,287 @@
+//! Differential testing of the engine against an independent brute-force
+//! oracle.
+//!
+//! The oracle reimplements the documented instance semantics for timer-free
+//! linear properties in ~30 lines of obviously-correct set manipulation:
+//! monitor state is a *set* of `(stage, bindings)` pairs (set semantics =
+//! the engine's deduplication); each event first clears, then advances,
+//! then spawns. Proptest then drives both implementations with random
+//! properties over random traces and demands identical violation
+//! multisets.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use swmon_core::{
+    var, ActionPattern, Atom, Bindings, EventPattern, Guard, Monitor, Property, Stage, Unless,
+};
+use swmon_packet::{Field, Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+use swmon_sim::{Duration, EgressAction, Instant, NetEvent, PortNo, TraceBuilder};
+
+// ---------------------------------------------------------------------------
+// Random property and trace generation over a tiny alphabet.
+
+/// Fields the generator draws from (all present in every trace packet).
+const FIELDS: [Field; 4] = [Field::Ipv4Src, Field::Ipv4Dst, Field::L4Src, Field::L4Dst];
+
+#[derive(Debug, Clone)]
+enum GenAtom {
+    Bind(u8, usize),     // var index, field index
+    EqConst(usize, u8),  // field index, small value
+    NeqVar(usize, u8),   // field index, var index
+}
+
+fn gen_atom() -> impl Strategy<Value = GenAtom> {
+    prop_oneof![
+        (0u8..3, 0usize..FIELDS.len()).prop_map(|(v, f)| GenAtom::Bind(v, f)),
+        (0usize..FIELDS.len(), 1u8..4).prop_map(|(f, c)| GenAtom::EqConst(f, c)),
+        (0usize..FIELDS.len(), 0u8..3).prop_map(|(f, v)| GenAtom::NeqVar(f, v)),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct GenStage {
+    arrival: bool,
+    atoms: Vec<GenAtom>,
+    unless: Option<Vec<GenAtom>>,
+}
+
+fn gen_stage(allow_unless: bool) -> impl Strategy<Value = GenStage> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(gen_atom(), 0..3),
+        if allow_unless {
+            proptest::option::of(proptest::collection::vec(gen_atom(), 1..3)).boxed()
+        } else {
+            Just(None).boxed()
+        },
+    )
+        .prop_map(|(arrival, atoms, unless)| GenStage { arrival, atoms, unless })
+}
+
+fn gen_property() -> impl Strategy<Value = Vec<GenStage>> {
+    proptest::collection::vec(gen_stage(true), 2..4).prop_map(|mut stages| {
+        // Stage 0 must be a Match; keep it simple: no unless on stage 0
+        // (no obligation before any observation) and force arrival so the
+        // property is satisfiable.
+        stages[0].unless = None;
+        stages
+    })
+}
+
+fn atoms_to_guard(atoms: &[GenAtom]) -> Guard {
+    Guard::new(
+        atoms
+            .iter()
+            .map(|a| match a {
+                GenAtom::Bind(v, f) => Atom::Bind(var(&format!("v{v}")), FIELDS[*f]),
+                GenAtom::EqConst(f, c) => {
+                    Atom::EqConst(FIELDS[*f], const_value(FIELDS[*f], *c))
+                }
+                GenAtom::NeqVar(f, v) => Atom::NeqVar(FIELDS[*f], var(&format!("v{v}"))),
+            })
+            .collect(),
+    )
+}
+
+/// The value the generator's small constant `c` denotes in field `f` —
+/// must agree with how traces are built.
+fn const_value(f: Field, c: u8) -> swmon_packet::FieldValue {
+    match f {
+        Field::Ipv4Src | Field::Ipv4Dst => Ipv4Address::new(10, 0, 0, c).into(),
+        _ => u64::from(1000 + u16::from(c)).into(),
+    }
+}
+
+fn build_property(stages: &[GenStage]) -> Property {
+    let built: Vec<Stage> = stages
+        .iter()
+        .enumerate()
+        .map(|(i, gs)| {
+            let pattern = if gs.arrival {
+                EventPattern::Arrival
+            } else {
+                EventPattern::Departure(ActionPattern::Any)
+            };
+            let mut st = Stage::match_(&format!("s{i}"), pattern, atoms_to_guard(&gs.atoms));
+            if let Some(u) = &gs.unless {
+                st.unless.push(Unless {
+                    pattern: EventPattern::Arrival,
+                    guard: atoms_to_guard(u),
+                });
+            }
+            st
+        })
+        .collect();
+    Property { name: "oracle".into(), statement: String::new(), stages: built }
+}
+
+/// One generated trace event: small src/dst/sport/dport indices.
+#[derive(Debug, Clone, Copy)]
+struct GenEvent {
+    src: u8,
+    dst: u8,
+    sport: u8,
+    dport: u8,
+}
+
+fn gen_trace() -> impl Strategy<Value = Vec<GenEvent>> {
+    proptest::collection::vec(
+        (1u8..4, 1u8..4, 1u8..4, 1u8..4)
+            .prop_map(|(src, dst, sport, dport)| GenEvent { src, dst, sport, dport }),
+        1..40,
+    )
+}
+
+fn render(events: &[GenEvent]) -> Vec<NetEvent> {
+    let mut tb = TraceBuilder::new();
+    for e in events {
+        let pkt = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, e.src),
+            MacAddr::new(2, 0, 0, 0, 0, e.dst),
+            Ipv4Address::new(10, 0, 0, e.src),
+            Ipv4Address::new(10, 0, 0, e.dst),
+            1000 + u16::from(e.sport),
+            1000 + u16::from(e.dport),
+            TcpFlags::ACK,
+            &[],
+        );
+        tb.advance(Duration::from_micros(1))
+            .arrive_depart(PortNo(0), pkt, EgressAction::Output(PortNo(1)));
+    }
+    tb.build()
+}
+
+// ---------------------------------------------------------------------------
+// The oracle.
+
+fn oracle(property: &Property, trace: &[NetEvent]) -> Vec<Bindings> {
+    use swmon_core::StageKind;
+    let mut live: BTreeSet<(usize, Bindings)> = BTreeSet::new();
+    let mut violations = Vec::new();
+    let n = property.stages.len();
+    for ev in trace {
+        // 1. Clearings.
+        let cleared: Vec<(usize, Bindings)> = live
+            .iter()
+            .filter(|(stage, env)| {
+                property.stages[*stage]
+                    .unless
+                    .iter()
+                    .any(|u| u.pattern.matches(ev) && u.guard.eval(ev, env, &[]).is_some())
+            })
+            .cloned()
+            .collect();
+        for c in &cleared {
+            live.remove(c);
+        }
+        // 2. Advances (one stage per event per instance).
+        let mut additions = Vec::new();
+        let mut removals = Vec::new();
+        for (stage, env) in live.iter() {
+            if let StageKind::Match { pattern, guard } = &property.stages[*stage].kind {
+                if pattern.matches(ev) {
+                    if let Some(env2) = guard.eval(ev, env, &[]) {
+                        removals.push((*stage, env.clone()));
+                        if stage + 1 == n {
+                            violations.push(env2);
+                        } else {
+                            additions.push((stage + 1, env2));
+                        }
+                    }
+                }
+            }
+        }
+        for r in removals {
+            live.remove(&r);
+        }
+        for a in additions {
+            live.insert(a);
+        }
+        // 3. Spawns.
+        if let StageKind::Match { pattern, guard } = &property.stages[0].kind {
+            if pattern.matches(ev) {
+                if let Some(env) = guard.eval(ev, &Bindings::new(), &[]) {
+                    if n == 1 {
+                        violations.push(env);
+                    } else {
+                        live.insert((1, env));
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn engine(property: &Property, trace: &[NetEvent]) -> Vec<Bindings> {
+    let mut m = Monitor::with_defaults(property.clone());
+    for ev in trace {
+        m.process(ev);
+    }
+    m.advance_to(Instant::ZERO + Duration::from_secs(1));
+    m.violations().iter().filter_map(|v| v.bindings.clone()).collect()
+}
+
+fn sorted(mut v: Vec<Bindings>) -> Vec<Bindings> {
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The engine and the brute-force oracle agree on violation multisets
+    /// for arbitrary timer-free linear properties over arbitrary traces.
+    #[test]
+    fn engine_matches_oracle(stages in gen_property(), events in gen_trace()) {
+        let property = build_property(&stages);
+        prop_assume!(property.validate().is_ok());
+        let trace = render(&events);
+        let got = sorted(engine(&property, &trace));
+        let want = sorted(oracle(&property, &trace));
+        prop_assert_eq!(got, want, "\nproperty: {:#?}", property);
+    }
+
+    /// Single-stage properties: every matching event is a violation.
+    #[test]
+    fn single_stage_counts_matches(events in gen_trace(), c in 1u8..4) {
+        let property = Property {
+            name: "one".into(),
+            statement: String::new(),
+            stages: vec![Stage::match_(
+                "only",
+                EventPattern::Arrival,
+                Guard::new(vec![Atom::EqConst(Field::Ipv4Src, const_value(Field::Ipv4Src, c))]),
+            )],
+        };
+        let trace = render(&events);
+        let got = engine(&property, &trace).len();
+        let expect = events.iter().filter(|e| e.src == c).count();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+/// Regression: an advance that extends bindings used to leave a stale
+/// index entry (computed post-assignment), making later identical spawns
+/// dissolve into a dead slot; and same-event chained advances used to
+/// dissolve movers into incumbents that were themselves advancing away.
+#[test]
+fn regression_stale_index_and_same_event_chains() {
+    let stages = vec![
+        GenStage { arrival: false, atoms: vec![], unless: None },
+        GenStage { arrival: false, atoms: vec![GenAtom::Bind(0, 0)], unless: None },
+    ];
+    let property = build_property(&stages);
+    let events = vec![
+        GenEvent { src: 1, dst: 1, sport: 1, dport: 1 },
+        GenEvent { src: 1, dst: 1, sport: 1, dport: 1 },
+        GenEvent { src: 1, dst: 1, sport: 1, dport: 1 },
+    ];
+    let trace = render(&events);
+    let mut m = Monitor::with_defaults(property.clone());
+    for ev in &trace {
+        m.process(ev);
+    }
+    assert_eq!(m.violations().len(), 2);
+    assert_eq!(m.violations().len(), oracle(&property, &trace).len());
+}

@@ -1,0 +1,278 @@
+//! Link- and network-layer address types.
+//!
+//! We define our own `MacAddr` and `Ipv4Address` (rather than using
+//! `std::net::Ipv4Addr` directly) so that addresses implement exactly the
+//! traits the match-action machinery needs (`Ord`, `Hash`, bit operations for
+//! ternary masks) and convert cheaply to/from wire bytes.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as "unspecified".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Build from the six octets in transmission order.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        MacAddr([a, b, c, d, e, f])
+    }
+
+    /// Read from the first six bytes of `buf`. Caller guarantees length.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut o = [0u8; 6];
+        o.copy_from_slice(&buf[..6]);
+        MacAddr(o)
+    }
+
+    /// The raw octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the group (multicast) bit is set. Broadcast is also multicast.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True if this is a unicast address (group bit clear).
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast() && *self != Self::ZERO
+    }
+
+    /// The address as a `u64` (lower 48 bits), useful for hashing/registers.
+    pub fn to_u64(&self) -> u64 {
+        let o = self.0;
+        (u64::from(o[0]) << 40)
+            | (u64::from(o[1]) << 32)
+            | (u64::from(o[2]) << 24)
+            | (u64::from(o[3]) << 16)
+            | (u64::from(o[4]) << 8)
+            | u64::from(o[5])
+    }
+
+    /// Inverse of [`MacAddr::to_u64`]; ignores the upper 16 bits.
+    pub fn from_u64(v: u64) -> Self {
+        MacAddr([
+            (v >> 40) as u8,
+            (v >> 32) as u8,
+            (v >> 24) as u8,
+            (v >> 16) as u8,
+            (v >> 8) as u8,
+            v as u8,
+        ])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+// Forward `Debug` to `Display` — addresses read better that way when they
+// appear inside larger derived `Debug` structures in trace dumps.
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Parse `aa:bb:cc:dd:ee:ff`.
+impl FromStr for MacAddr {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut o = [0u8; 6];
+        let mut parts = s.split(':');
+        for byte in o.iter_mut() {
+            let p = parts.next().ok_or(AddrParseError)?;
+            *byte = u8::from_str_radix(p, 16).map_err(|_| AddrParseError)?;
+        }
+        if parts.next().is_some() {
+            return Err(AddrParseError);
+        }
+        Ok(MacAddr(o))
+    }
+}
+
+/// A 32-bit IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4Address(pub [u8; 4]);
+
+impl Ipv4Address {
+    /// `0.0.0.0`, the unspecified address.
+    pub const UNSPECIFIED: Ipv4Address = Ipv4Address([0; 4]);
+    /// `255.255.255.255`, the limited broadcast address.
+    pub const BROADCAST: Ipv4Address = Ipv4Address([255; 4]);
+
+    /// Build from the four dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Address([a, b, c, d])
+    }
+
+    /// Read from the first four bytes of `buf`. Caller guarantees length.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut o = [0u8; 4];
+        o.copy_from_slice(&buf[..4]);
+        Ipv4Address(o)
+    }
+
+    /// The raw octets.
+    pub const fn octets(&self) -> [u8; 4] {
+        self.0
+    }
+
+    /// The address as a big-endian `u32`.
+    pub fn to_u32(&self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Build from a big-endian `u32`.
+    pub fn from_u32(v: u32) -> Self {
+        Ipv4Address(v.to_be_bytes())
+    }
+
+    /// True if this is the limited broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if this address lies in `other`'s network given `prefix_len` bits.
+    pub fn in_subnet(&self, other: Ipv4Address, prefix_len: u8) -> bool {
+        if prefix_len == 0 {
+            return true;
+        }
+        if prefix_len > 32 {
+            return false;
+        }
+        let mask = u32::MAX << (32 - u32::from(prefix_len));
+        (self.to_u32() & mask) == (other.to_u32() & mask)
+    }
+}
+
+impl fmt::Display for Ipv4Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Debug for Ipv4Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Ipv4Address {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut o = [0u8; 4];
+        let mut parts = s.split('.');
+        for byte in o.iter_mut() {
+            let p = parts.next().ok_or(AddrParseError)?;
+            *byte = p.parse().map_err(|_| AddrParseError)?;
+        }
+        if parts.next().is_some() {
+            return Err(AddrParseError);
+        }
+        Ok(Ipv4Address(o))
+    }
+}
+
+/// Error parsing an address from text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrParseError;
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid address syntax")
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_parse() {
+        let m = MacAddr::new(0xde, 0xad, 0xbe, 0xef, 0x00, 0x01);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+        assert_eq!("de:ad:be:ef:00:01".parse::<MacAddr>().unwrap(), m);
+        assert!("de:ad:be:ef:00".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00:01:02".parse::<MacAddr>().is_err());
+        assert!("zz:ad:be:ef:00:01".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn mac_classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::BROADCAST.is_unicast());
+        let multicast = MacAddr::new(0x01, 0x00, 0x5e, 0, 0, 1);
+        assert!(multicast.is_multicast());
+        assert!(!multicast.is_unicast());
+        let unicast = MacAddr::new(0x02, 0, 0, 0, 0, 1);
+        assert!(unicast.is_unicast());
+        assert!(!MacAddr::ZERO.is_unicast());
+    }
+
+    #[test]
+    fn mac_u64_round_trip() {
+        let m = MacAddr::new(1, 2, 3, 4, 5, 6);
+        assert_eq!(MacAddr::from_u64(m.to_u64()), m);
+        assert_eq!(m.to_u64(), 0x0102_0304_0506);
+        // Upper bits are ignored on the way back in.
+        assert_eq!(MacAddr::from_u64(0xffff_0102_0304_0506), m);
+    }
+
+    #[test]
+    fn ipv4_display_and_parse() {
+        let a = Ipv4Address::new(10, 0, 1, 200);
+        assert_eq!(a.to_string(), "10.0.1.200");
+        assert_eq!("10.0.1.200".parse::<Ipv4Address>().unwrap(), a);
+        assert!("10.0.1".parse::<Ipv4Address>().is_err());
+        assert!("10.0.1.200.5".parse::<Ipv4Address>().is_err());
+        assert!("10.0.1.999".parse::<Ipv4Address>().is_err());
+    }
+
+    #[test]
+    fn ipv4_u32_round_trip() {
+        let a = Ipv4Address::new(192, 168, 1, 1);
+        assert_eq!(Ipv4Address::from_u32(a.to_u32()), a);
+        assert_eq!(a.to_u32(), 0xc0a8_0101);
+    }
+
+    #[test]
+    fn subnet_membership() {
+        let net = Ipv4Address::new(10, 0, 0, 0);
+        assert!(Ipv4Address::new(10, 0, 3, 7).in_subnet(net, 8));
+        assert!(!Ipv4Address::new(11, 0, 3, 7).in_subnet(net, 8));
+        assert!(Ipv4Address::new(10, 0, 0, 3).in_subnet(Ipv4Address::new(10, 0, 0, 2), 31));
+        assert!(!Ipv4Address::new(10, 0, 0, 1).in_subnet(Ipv4Address::new(10, 0, 0, 2), 31));
+        // prefix 0 matches everything; prefix 32 is exact.
+        assert!(Ipv4Address::BROADCAST.in_subnet(net, 0));
+        assert!(net.in_subnet(net, 32));
+        assert!(!Ipv4Address::new(10, 0, 0, 1).in_subnet(net, 32));
+        // Degenerate over-long prefix is rejected rather than wrapping.
+        assert!(!net.in_subnet(net, 33));
+    }
+}

@@ -1,0 +1,188 @@
+//! ARP for IPv4-over-Ethernet (RFC 826).
+
+use crate::addr::{Ipv4Address, MacAddr};
+use crate::error::{check_len, ParseError};
+use core::fmt;
+
+/// Length of an Ethernet/IPv4 ARP packet.
+pub const PACKET_LEN: usize = 28;
+
+/// The ARP operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has, opcode 1.
+    Request,
+    /// Is-at, opcode 2.
+    Reply,
+}
+
+impl ArpOp {
+    /// Decode; only request/reply are legal for our scope.
+    pub fn from_u16(v: u16) -> Result<Self, ParseError> {
+        match v {
+            1 => Ok(ArpOp::Request),
+            2 => Ok(ArpOp::Reply),
+            _ => Err(ParseError::BadField { proto: "arp", field: "oper" }),
+        }
+    }
+
+    /// Encode to the wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+}
+
+impl fmt::Display for ArpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArpOp::Request => write!(f, "request"),
+            ArpOp::Reply => write!(f, "reply"),
+        }
+    }
+}
+
+/// A parsed Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArpPacket {
+    /// Operation: request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address (SHA).
+    pub sender_mac: MacAddr,
+    /// Sender protocol address (SPA).
+    pub sender_ip: Ipv4Address,
+    /// Target hardware address (THA); zero in requests.
+    pub target_mac: MacAddr,
+    /// Target protocol address (TPA).
+    pub target_ip: Ipv4Address,
+}
+
+impl ArpPacket {
+    /// Build a who-has request from `(sender_mac, sender_ip)` asking for
+    /// `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Address, target_ip: Ipv4Address) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Build the is-at reply answering `request` with `mac`.
+    pub fn reply_to(request: &ArpPacket, mac: MacAddr) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: mac,
+            sender_ip: request.target_ip,
+            target_mac: request.sender_mac,
+            target_ip: request.sender_ip,
+        }
+    }
+
+    /// Parse from the front of `buf` (after the Ethernet header).
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        check_len("arp", buf, PACKET_LEN)?;
+        let htype = u16::from_be_bytes([buf[0], buf[1]]);
+        let ptype = u16::from_be_bytes([buf[2], buf[3]]);
+        if htype != 1 || ptype != 0x0800 {
+            return Err(ParseError::BadField { proto: "arp", field: "htype/ptype" });
+        }
+        if buf[4] != 6 || buf[5] != 4 {
+            return Err(ParseError::BadLength {
+                proto: "arp",
+                field: "hlen/plen",
+                value: usize::from(buf[4]),
+            });
+        }
+        let op = ArpOp::from_u16(u16::from_be_bytes([buf[6], buf[7]]))?;
+        Ok(ArpPacket {
+            op,
+            sender_mac: MacAddr::from_bytes(&buf[8..14]),
+            sender_ip: Ipv4Address::from_bytes(&buf[14..18]),
+            target_mac: MacAddr::from_bytes(&buf[18..24]),
+            target_ip: Ipv4Address::from_bytes(&buf[24..28]),
+        })
+    }
+
+    /// Append the wire encoding to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: IPv4
+        out.push(6); // hlen
+        out.push(4); // plen
+        out.extend_from_slice(&self.op.to_u16().to_be_bytes());
+        out.extend_from_slice(&self.sender_mac.octets());
+        out.extend_from_slice(&self.sender_ip.octets());
+        out.extend_from_slice(&self.target_mac.octets());
+        out.extend_from_slice(&self.target_ip.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ArpPacket {
+        ArpPacket::request(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+        )
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let pkt = sample();
+        let mut buf = Vec::new();
+        pkt.emit(&mut buf);
+        assert_eq!(buf.len(), PACKET_LEN);
+        assert_eq!(ArpPacket::parse(&buf).unwrap(), pkt);
+    }
+
+    #[test]
+    fn reply_inverts_request() {
+        let req = sample();
+        let answered = MacAddr::new(2, 0, 0, 0, 0, 2);
+        let rep = ArpPacket::reply_to(&req, answered);
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.sender_mac, answered);
+        assert_eq!(rep.sender_ip, req.target_ip);
+        assert_eq!(rep.target_mac, req.sender_mac);
+        assert_eq!(rep.target_ip, req.sender_ip);
+    }
+
+    #[test]
+    fn rejects_non_ethernet_ipv4() {
+        let mut buf = Vec::new();
+        sample().emit(&mut buf);
+        buf[0] = 0; // htype 0x0001 -> 0x0001 with high byte zeroed is still 1; corrupt low byte instead
+        buf[1] = 6; // htype = 6 (IEEE 802) unsupported
+        assert_eq!(
+            ArpPacket::parse(&buf).unwrap_err(),
+            ParseError::BadField { proto: "arp", field: "htype/ptype" }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        let mut buf = Vec::new();
+        sample().emit(&mut buf);
+        buf[7] = 9;
+        assert_eq!(
+            ArpPacket::parse(&buf).unwrap_err(),
+            ParseError::BadField { proto: "arp", field: "oper" }
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        sample().emit(&mut buf);
+        buf.truncate(27);
+        assert!(matches!(ArpPacket::parse(&buf), Err(ParseError::Truncated { .. })));
+    }
+}

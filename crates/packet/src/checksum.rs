@@ -1,0 +1,109 @@
+//! The ones-complement Internet checksum (RFC 1071), used by IPv4, ICMP,
+//! TCP and UDP.
+
+use crate::addr::Ipv4Address;
+use crate::ipv4::IpProto;
+
+/// Sum `data` as 16-bit big-endian words into a 32-bit accumulator.
+fn sum_words(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold the 32-bit accumulator and complement it.
+fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Compute the Internet checksum of `data`.
+pub fn checksum(data: &[u8]) -> u16 {
+    fold(sum_words(0, data))
+}
+
+/// Compute the TCP/UDP checksum of `segment` with the IPv4 pseudo-header
+/// `(src, dst, proto, segment.len())`.
+///
+/// The checksum field inside `segment` must be zeroed by the caller before
+/// computing, per the RFCs.
+pub fn pseudo_header_checksum(
+    src: Ipv4Address,
+    dst: Ipv4Address,
+    proto: IpProto,
+    segment: &[u8],
+) -> u16 {
+    let mut acc = 0u32;
+    acc = sum_words(acc, &src.octets());
+    acc = sum_words(acc, &dst.octets());
+    acc += u32::from(proto.to_u8());
+    acc += segment.len() as u32;
+    acc = sum_words(acc, segment);
+    fold(acc)
+}
+
+/// Verify a buffer whose checksum field is already filled in: summing the
+/// whole buffer (including the stored checksum) must yield zero.
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Worked example from RFC 1071 section 3.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Accumulated sum is 0x2ddf0 -> folded 0xddf2 -> complement 0x220d.
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        // [0x01, 0x02, 0x03] sums as 0x0102 + 0x0300.
+        assert_eq!(checksum(&[0x01, 0x02, 0x03]), !(0x0102u16 + 0x0300u16));
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x00, 0x00, 0x40, 0x11];
+        let ck = checksum(&data);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 1;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn pseudo_header_differs_by_proto() {
+        let a = Ipv4Address::new(10, 0, 0, 1);
+        let b = Ipv4Address::new(10, 0, 0, 2);
+        let seg = [0u8; 8];
+        let tcp = pseudo_header_checksum(a, b, IpProto::Tcp, &seg);
+        let udp = pseudo_header_checksum(a, b, IpProto::Udp, &seg);
+        assert_ne!(tcp, udp);
+    }
+
+    #[test]
+    fn carry_folding_handles_many_ff_words() {
+        // 64 KiB of 0xff forces repeated folding.
+        let data = vec![0xffu8; 65536];
+        let ck = checksum(&data);
+        // Sum of 32768 words of 0xffff = 0x7fff_8000 -> folds to 0xffff -> !0xffff = 0.
+        assert_eq!(ck, 0x0000);
+    }
+}

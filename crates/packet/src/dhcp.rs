@@ -1,0 +1,408 @@
+//! DHCP (RFC 2131) — the L7 protocol behind the paper's Table 1 rows
+//! "Reply to lease request within T seconds", "Leased addresses never
+//! re-used until expiration or release", "No lease overlap between DHCP
+//! servers", and the DHCP + ARP-proxy *wandering match* properties.
+//!
+//! We implement the BOOTP fixed header plus the option fields those
+//! properties read: message type (53), requested IP (50), lease time (51),
+//! and server identifier (54).
+
+use crate::addr::{Ipv4Address, MacAddr};
+use crate::error::{check_len, ParseError};
+use core::fmt;
+
+/// Length of the fixed BOOTP portion we emit (through the magic cookie).
+pub const FIXED_LEN: usize = 240;
+
+/// The DHCP magic cookie that precedes options.
+pub const MAGIC_COOKIE: [u8; 4] = [99, 130, 83, 99];
+
+/// The DHCP message type (option 53).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DhcpMsgType {
+    /// Client broadcast looking for servers.
+    Discover,
+    /// Server offer of an address.
+    Offer,
+    /// Client request for the offered (or a specific) address.
+    Request,
+    /// Server acknowledgement; the lease is now active.
+    Ack,
+    /// Server refusal.
+    Nak,
+    /// Client relinquishing its lease.
+    Release,
+}
+
+impl DhcpMsgType {
+    /// Decode the option-53 value.
+    pub fn from_u8(v: u8) -> Result<Self, ParseError> {
+        Ok(match v {
+            1 => DhcpMsgType::Discover,
+            2 => DhcpMsgType::Offer,
+            3 => DhcpMsgType::Request,
+            5 => DhcpMsgType::Ack,
+            6 => DhcpMsgType::Nak,
+            7 => DhcpMsgType::Release,
+            _ => return Err(ParseError::BadField { proto: "dhcp", field: "msg-type" }),
+        })
+    }
+
+    /// Encode to the option-53 value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            DhcpMsgType::Discover => 1,
+            DhcpMsgType::Offer => 2,
+            DhcpMsgType::Request => 3,
+            DhcpMsgType::Ack => 5,
+            DhcpMsgType::Nak => 6,
+            DhcpMsgType::Release => 7,
+        }
+    }
+
+    /// True for messages sent by servers (offer/ack/nak).
+    pub fn from_server(self) -> bool {
+        matches!(self, DhcpMsgType::Offer | DhcpMsgType::Ack | DhcpMsgType::Nak)
+    }
+}
+
+impl fmt::Display for DhcpMsgType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DhcpMsgType::Discover => "discover",
+            DhcpMsgType::Offer => "offer",
+            DhcpMsgType::Request => "request",
+            DhcpMsgType::Ack => "ack",
+            DhcpMsgType::Nak => "nak",
+            DhcpMsgType::Release => "release",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A parsed DHCP message (the fields the monitoring properties consume).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DhcpMessage {
+    /// Message type from option 53.
+    pub msg_type: DhcpMsgType,
+    /// Transaction id linking a client's exchange.
+    pub xid: u32,
+    /// Client hardware address.
+    pub chaddr: MacAddr,
+    /// "Your" address — the address being offered/acknowledged.
+    pub yiaddr: Ipv4Address,
+    /// Client's current address (used in release/renew).
+    pub ciaddr: Ipv4Address,
+    /// Requested IP address (option 50), if present.
+    pub requested_ip: Option<Ipv4Address>,
+    /// Lease duration in seconds (option 51), if present.
+    pub lease_secs: Option<u32>,
+    /// Server identifier (option 54), if present.
+    pub server_id: Option<Ipv4Address>,
+}
+
+impl DhcpMessage {
+    /// A client discover.
+    pub fn discover(xid: u32, chaddr: MacAddr) -> Self {
+        DhcpMessage {
+            msg_type: DhcpMsgType::Discover,
+            xid,
+            chaddr,
+            yiaddr: Ipv4Address::UNSPECIFIED,
+            ciaddr: Ipv4Address::UNSPECIFIED,
+            requested_ip: None,
+            lease_secs: None,
+            server_id: None,
+        }
+    }
+
+    /// A server offer of `yiaddr` for `lease_secs`.
+    pub fn offer(
+        xid: u32,
+        chaddr: MacAddr,
+        yiaddr: Ipv4Address,
+        server_id: Ipv4Address,
+        lease_secs: u32,
+    ) -> Self {
+        DhcpMessage {
+            msg_type: DhcpMsgType::Offer,
+            xid,
+            chaddr,
+            yiaddr,
+            ciaddr: Ipv4Address::UNSPECIFIED,
+            requested_ip: None,
+            lease_secs: Some(lease_secs),
+            server_id: Some(server_id),
+        }
+    }
+
+    /// A client request for `requested_ip` from `server_id`.
+    pub fn request(
+        xid: u32,
+        chaddr: MacAddr,
+        requested_ip: Ipv4Address,
+        server_id: Ipv4Address,
+    ) -> Self {
+        DhcpMessage {
+            msg_type: DhcpMsgType::Request,
+            xid,
+            chaddr,
+            yiaddr: Ipv4Address::UNSPECIFIED,
+            ciaddr: Ipv4Address::UNSPECIFIED,
+            requested_ip: Some(requested_ip),
+            lease_secs: None,
+            server_id: Some(server_id),
+        }
+    }
+
+    /// A server acknowledgement binding `yiaddr` to the client.
+    pub fn ack(
+        xid: u32,
+        chaddr: MacAddr,
+        yiaddr: Ipv4Address,
+        server_id: Ipv4Address,
+        lease_secs: u32,
+    ) -> Self {
+        DhcpMessage {
+            msg_type: DhcpMsgType::Ack,
+            xid,
+            chaddr,
+            yiaddr,
+            ciaddr: Ipv4Address::UNSPECIFIED,
+            requested_ip: None,
+            lease_secs: Some(lease_secs),
+            server_id: Some(server_id),
+        }
+    }
+
+    /// A client release of `ciaddr`.
+    pub fn release(xid: u32, chaddr: MacAddr, ciaddr: Ipv4Address, server_id: Ipv4Address) -> Self {
+        DhcpMessage {
+            msg_type: DhcpMsgType::Release,
+            xid,
+            chaddr,
+            yiaddr: Ipv4Address::UNSPECIFIED,
+            ciaddr,
+            requested_ip: None,
+            lease_secs: None,
+            server_id: Some(server_id),
+        }
+    }
+
+    /// Parse a DHCP message from a UDP payload.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        check_len("dhcp", buf, FIXED_LEN)?;
+        let op = buf[0];
+        if op != 1 && op != 2 {
+            return Err(ParseError::BadField { proto: "dhcp", field: "op" });
+        }
+        if buf[1] != 1 || buf[2] != 6 {
+            return Err(ParseError::BadField { proto: "dhcp", field: "htype/hlen" });
+        }
+        if buf[236..240] != MAGIC_COOKIE {
+            return Err(ParseError::BadField { proto: "dhcp", field: "magic-cookie" });
+        }
+        let xid = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        let ciaddr = Ipv4Address::from_bytes(&buf[12..16]);
+        let yiaddr = Ipv4Address::from_bytes(&buf[16..20]);
+        let chaddr = MacAddr::from_bytes(&buf[28..34]);
+
+        let mut msg_type = None;
+        let mut requested_ip = None;
+        let mut lease_secs = None;
+        let mut server_id = None;
+        let mut opts = &buf[FIXED_LEN..];
+        loop {
+            match opts.first() {
+                None | Some(255) => break,
+                Some(0) => {
+                    opts = &opts[1..]; // pad
+                    continue;
+                }
+                Some(&code) => {
+                    if opts.len() < 2 {
+                        return Err(ParseError::Truncated {
+                            proto: "dhcp",
+                            need: 2,
+                            have: opts.len(),
+                        });
+                    }
+                    let len = usize::from(opts[1]);
+                    if opts.len() < 2 + len {
+                        return Err(ParseError::BadLength {
+                            proto: "dhcp",
+                            field: "option",
+                            value: len,
+                        });
+                    }
+                    let body = &opts[2..2 + len];
+                    match (code, len) {
+                        (53, 1) => msg_type = Some(DhcpMsgType::from_u8(body[0])?),
+                        (50, 4) => requested_ip = Some(Ipv4Address::from_bytes(body)),
+                        (51, 4) => {
+                            lease_secs =
+                                Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]))
+                        }
+                        (54, 4) => server_id = Some(Ipv4Address::from_bytes(body)),
+                        _ => {} // unknown options are skipped
+                    }
+                    opts = &opts[2 + len..];
+                }
+            }
+        }
+        let msg_type =
+            msg_type.ok_or(ParseError::BadField { proto: "dhcp", field: "msg-type-missing" })?;
+        Ok(DhcpMessage { msg_type, xid, chaddr, yiaddr, ciaddr, requested_ip, lease_secs, server_id })
+    }
+
+    /// Append the wire encoding to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(if self.msg_type.from_server() { 2 } else { 1 }); // op
+        out.push(1); // htype: Ethernet
+        out.push(6); // hlen
+        out.push(0); // hops
+        out.extend_from_slice(&self.xid.to_be_bytes());
+        out.extend_from_slice(&[0; 4]); // secs + flags
+        out.extend_from_slice(&self.ciaddr.octets());
+        out.extend_from_slice(&self.yiaddr.octets());
+        out.extend_from_slice(&[0; 8]); // siaddr + giaddr
+        out.extend_from_slice(&self.chaddr.octets());
+        out.resize(start + 236, 0); // chaddr padding + sname + file
+        out.extend_from_slice(&MAGIC_COOKIE);
+        out.extend_from_slice(&[53, 1, self.msg_type.to_u8()]);
+        if let Some(ip) = self.requested_ip {
+            out.push(50);
+            out.push(4);
+            out.extend_from_slice(&ip.octets());
+        }
+        if let Some(secs) = self.lease_secs {
+            out.push(51);
+            out.push(4);
+            out.extend_from_slice(&secs.to_be_bytes());
+        }
+        if let Some(sid) = self.server_id {
+            out.push(54);
+            out.push(4);
+            out.extend_from_slice(&sid.octets());
+        }
+        out.push(255);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> MacAddr {
+        MacAddr::new(2, 0, 0, 0, 0, 9)
+    }
+
+    #[test]
+    fn discover_round_trip() {
+        let m = DhcpMessage::discover(0xdead_beef, mac());
+        let mut buf = Vec::new();
+        m.emit(&mut buf);
+        assert_eq!(DhcpMessage::parse(&buf).unwrap(), m);
+    }
+
+    #[test]
+    fn ack_round_trip_with_all_options() {
+        let m = DhcpMessage::ack(
+            7,
+            mac(),
+            Ipv4Address::new(10, 0, 0, 50),
+            Ipv4Address::new(10, 0, 0, 1),
+            3600,
+        );
+        let mut buf = Vec::new();
+        m.emit(&mut buf);
+        let p = DhcpMessage::parse(&buf).unwrap();
+        assert_eq!(p, m);
+        assert_eq!(p.lease_secs, Some(3600));
+        assert_eq!(p.server_id, Some(Ipv4Address::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn request_and_release_round_trip() {
+        let req = DhcpMessage::request(
+            8,
+            mac(),
+            Ipv4Address::new(10, 0, 0, 50),
+            Ipv4Address::new(10, 0, 0, 1),
+        );
+        let rel =
+            DhcpMessage::release(9, mac(), Ipv4Address::new(10, 0, 0, 50), Ipv4Address::new(10, 0, 0, 1));
+        for m in [req, rel] {
+            let mut buf = Vec::new();
+            m.emit(&mut buf);
+            assert_eq!(DhcpMessage::parse(&buf).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn unknown_options_are_skipped() {
+        let m = DhcpMessage::discover(1, mac());
+        let mut buf = Vec::new();
+        m.emit(&mut buf);
+        // Splice an unknown option (12 = hostname) before the end marker.
+        let end = buf.len() - 1;
+        buf.splice(end..end, [12u8, 3, b'f', b'o', b'o']);
+        assert_eq!(DhcpMessage::parse(&buf).unwrap(), m);
+    }
+
+    #[test]
+    fn pad_options_are_skipped() {
+        let m = DhcpMessage::discover(1, mac());
+        let mut buf = Vec::new();
+        m.emit(&mut buf);
+        let end = buf.len() - 1;
+        buf.splice(end..end, [0u8, 0, 0]);
+        assert_eq!(DhcpMessage::parse(&buf).unwrap(), m);
+    }
+
+    #[test]
+    fn missing_msg_type_rejected() {
+        let m = DhcpMessage::discover(1, mac());
+        let mut buf = Vec::new();
+        m.emit(&mut buf);
+        buf[FIXED_LEN] = 12; // overwrite option 53 code with hostname code
+        assert_eq!(
+            DhcpMessage::parse(&buf).unwrap_err(),
+            ParseError::BadField { proto: "dhcp", field: "msg-type-missing" }
+        );
+    }
+
+    #[test]
+    fn bad_cookie_rejected() {
+        let m = DhcpMessage::discover(1, mac());
+        let mut buf = Vec::new();
+        m.emit(&mut buf);
+        buf[236] = 0;
+        assert!(matches!(
+            DhcpMessage::parse(&buf),
+            Err(ParseError::BadField { field: "magic-cookie", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_option_rejected() {
+        let m = DhcpMessage::discover(1, mac());
+        let mut buf = Vec::new();
+        m.emit(&mut buf);
+        buf.pop(); // drop the end marker
+        buf.push(54); // server-id code with no length byte
+        assert!(matches!(DhcpMessage::parse(&buf), Err(ParseError::Truncated { .. })));
+    }
+
+    #[test]
+    fn server_vs_client_op_byte() {
+        let mut buf = Vec::new();
+        DhcpMessage::offer(1, mac(), Ipv4Address::new(10, 0, 0, 2), Ipv4Address::new(10, 0, 0, 1), 60)
+            .emit(&mut buf);
+        assert_eq!(buf[0], 2);
+        buf.clear();
+        DhcpMessage::discover(1, mac()).emit(&mut buf);
+        assert_eq!(buf[0], 1);
+    }
+}

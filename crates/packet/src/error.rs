@@ -1,0 +1,106 @@
+//! Parse errors shared by every protocol module.
+
+use core::fmt;
+
+/// An error encountered while decoding a wire-format buffer.
+///
+/// Every parser in this crate is total: any byte sequence either decodes to a
+/// header or produces one of these variants. No parser panics on input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before the fixed-size portion of the header.
+    Truncated {
+        /// Protocol whose header was being decoded.
+        proto: &'static str,
+        /// Bytes required by the header.
+        need: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A length field inside the header is inconsistent with the buffer.
+    BadLength {
+        /// Protocol whose header was being decoded.
+        proto: &'static str,
+        /// The inconsistent length field.
+        field: &'static str,
+        /// The value it carried.
+        value: usize,
+    },
+    /// A version/type discriminator has an unsupported value.
+    BadVersion {
+        /// Protocol whose header was being decoded.
+        proto: &'static str,
+        /// The unsupported discriminator value.
+        value: u8,
+    },
+    /// A field contains a value outside its legal range.
+    BadField {
+        /// Protocol whose header was being decoded.
+        proto: &'static str,
+        /// The offending field.
+        field: &'static str,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Protocol whose checksum failed.
+        proto: &'static str,
+    },
+    /// An L7 payload did not match the expected application syntax.
+    BadSyntax {
+        /// Application protocol being parsed.
+        proto: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { proto, need, have } => {
+                write!(f, "{proto}: truncated header (need {need} bytes, have {have})")
+            }
+            ParseError::BadLength { proto, field, value } => {
+                write!(f, "{proto}: inconsistent {field} length {value}")
+            }
+            ParseError::BadVersion { proto, value } => {
+                write!(f, "{proto}: unsupported version/type {value}")
+            }
+            ParseError::BadField { proto, field } => write!(f, "{proto}: illegal {field}"),
+            ParseError::BadChecksum { proto } => write!(f, "{proto}: checksum mismatch"),
+            ParseError::BadSyntax { proto } => write!(f, "{proto}: malformed payload syntax"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Check that `buf` holds at least `need` bytes for protocol `proto`.
+pub(crate) fn check_len(proto: &'static str, buf: &[u8], need: usize) -> Result<(), ParseError> {
+    if buf.len() < need {
+        Err(ParseError::Truncated { proto, need, have: buf.len() })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::Truncated { proto: "ipv4", need: 20, have: 7 };
+        assert_eq!(e.to_string(), "ipv4: truncated header (need 20 bytes, have 7)");
+        let e = ParseError::BadChecksum { proto: "tcp" };
+        assert_eq!(e.to_string(), "tcp: checksum mismatch");
+    }
+
+    #[test]
+    fn check_len_boundary() {
+        assert!(check_len("x", &[0u8; 4], 4).is_ok());
+        assert_eq!(
+            check_len("x", &[0u8; 3], 4),
+            Err(ParseError::Truncated { proto: "x", need: 4, have: 3 })
+        );
+        assert!(check_len("x", &[], 0).is_ok());
+    }
+}

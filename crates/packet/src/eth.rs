@@ -1,0 +1,129 @@
+//! Ethernet II framing (L2).
+
+use crate::addr::MacAddr;
+use crate::error::{check_len, ParseError};
+use core::fmt;
+
+/// Length of an Ethernet II header: two MACs plus the EtherType.
+pub const HEADER_LEN: usize = 14;
+
+/// The EtherType discriminator of an Ethernet II frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EtherType {
+    /// IPv4, `0x0800`.
+    Ipv4,
+    /// ARP, `0x0806`.
+    Arp,
+    /// Any other value, carried through unmodified.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Decode from the wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+
+    /// Encode to the wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "ipv4"),
+            EtherType::Arp => write!(f, "arp"),
+            EtherType::Other(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+/// A parsed Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EthernetFrame {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Payload discriminator.
+    pub ethertype: EtherType,
+}
+
+impl EthernetFrame {
+    /// Parse the header from the front of `buf`, returning it together with
+    /// the payload slice.
+    pub fn parse(buf: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        check_len("ethernet", buf, HEADER_LEN)?;
+        Ok((
+            EthernetFrame {
+                dst: MacAddr::from_bytes(&buf[0..6]),
+                src: MacAddr::from_bytes(&buf[6..12]),
+                ethertype: EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]])),
+            },
+            &buf[HEADER_LEN..],
+        ))
+    }
+
+    /// Append the wire encoding of this header to `out`.
+    pub fn emit(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EthernetFrame {
+        EthernetFrame {
+            dst: MacAddr::new(0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
+            src: MacAddr::new(0x02, 0, 0, 0, 0, 0x2a),
+            ethertype: EtherType::Arp,
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let hdr = sample();
+        let mut buf = Vec::new();
+        hdr.emit(&mut buf);
+        buf.extend_from_slice(b"payload");
+        let (parsed, rest) = EthernetFrame::parse(&buf).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(rest, b"payload");
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        let err = EthernetFrame::parse(&[0u8; 13]).unwrap_err();
+        assert_eq!(err, ParseError::Truncated { proto: "ethernet", need: 14, have: 13 });
+    }
+
+    #[test]
+    fn ethertype_codes() {
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from_u16(0x86dd), EtherType::Other(0x86dd));
+        for t in [EtherType::Ipv4, EtherType::Arp, EtherType::Other(0x1234)] {
+            assert_eq!(EtherType::from_u16(t.to_u16()), t);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(EtherType::Ipv4.to_string(), "ipv4");
+        assert_eq!(EtherType::Other(0xbeef).to_string(), "0xbeef");
+    }
+}

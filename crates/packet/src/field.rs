@@ -1,0 +1,322 @@
+//! The uniform header-field model — the paper's **Feature 1** made concrete.
+//!
+//! The monitor language, the switch match-action tables, and the backends all
+//! name packet data through [`Field`]. Every field knows the protocol
+//! [`Layer`] a parser must reach to produce it, which is exactly the quantity
+//! Table 1's "Fields" column reports per property: a switch whose parser
+//! stops at L4 cannot evaluate a guard over [`Field::DhcpYiaddr`].
+
+use crate::addr::{Ipv4Address, MacAddr};
+use core::fmt;
+
+/// The protocol layer a field lives at; also used as a parser *depth*.
+///
+/// Ordering is meaningful: `L2 < L3 < L4 < L7`, so "parser depth `d` can
+/// read field `f`" is `f.layer() <= d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Ethernet.
+    L2,
+    /// ARP / IPv4.
+    L3,
+    /// TCP / UDP / ICMP.
+    L4,
+    /// Application payloads (DHCP, FTP control).
+    L7,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::L2 => write!(f, "L2"),
+            Layer::L3 => write!(f, "L3"),
+            Layer::L4 => write!(f, "L4"),
+            Layer::L7 => write!(f, "L7"),
+        }
+    }
+}
+
+/// A named header (or switch-metadata) field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Field {
+    // ---- switch metadata (available at any depth; see `Layer::L2`) ----
+    /// The port the packet arrived on. Metadata, not a header bit; the paper
+    /// stresses (Sec 3.2) that monitors must match on switch metadata.
+    InPort,
+    /// The port the packet is being sent out of. Only populated in egress
+    /// pipeline stages / departure events (OpenFlow 1.5 egress tables; P4
+    /// egress pipeline). Dropped packets never carry it — the paper calls
+    /// out that drops never enter the egress pipeline.
+    OutPort,
+    // ---- L2 ----
+    /// Ethernet source MAC.
+    EthSrc,
+    /// Ethernet destination MAC.
+    EthDst,
+    /// EtherType.
+    EthType,
+    // ---- L3 ----
+    /// ARP operation (request/reply).
+    ArpOp,
+    /// ARP sender hardware address.
+    ArpSenderMac,
+    /// ARP sender protocol address.
+    ArpSenderIp,
+    /// ARP target hardware address.
+    ArpTargetMac,
+    /// ARP target protocol address.
+    ArpTargetIp,
+    /// IPv4 source address.
+    Ipv4Src,
+    /// IPv4 destination address.
+    Ipv4Dst,
+    /// IPv4 protocol number.
+    IpProto,
+    /// IPv4 time-to-live.
+    Ttl,
+    // ---- L4 ----
+    /// TCP/UDP source port.
+    L4Src,
+    /// TCP/UDP destination port.
+    L4Dst,
+    /// TCP flag bits.
+    TcpFlags,
+    /// ICMP message type.
+    IcmpType,
+    // ---- L7: DHCP ----
+    /// DHCP message type (option 53).
+    DhcpMsgType,
+    /// DHCP transaction id.
+    DhcpXid,
+    /// DHCP client hardware address.
+    DhcpChaddr,
+    /// DHCP "your" (offered/acked) address.
+    DhcpYiaddr,
+    /// DHCP client current address.
+    DhcpCiaddr,
+    /// DHCP requested address (option 50).
+    DhcpRequestedIp,
+    /// DHCP lease seconds (option 51).
+    DhcpLeaseSecs,
+    /// DHCP server identifier (option 54).
+    DhcpServerId,
+    // ---- L7: FTP control ----
+    /// The data-connection address announced on the control channel.
+    FtpDataAddr,
+    /// The data-connection port announced on the control channel.
+    FtpDataPort,
+}
+
+impl Field {
+    /// The parser depth required to read this field.
+    pub fn layer(self) -> Layer {
+        use Field::*;
+        match self {
+            InPort | OutPort | EthSrc | EthDst | EthType => Layer::L2,
+            ArpOp | ArpSenderMac | ArpSenderIp | ArpTargetMac | ArpTargetIp | Ipv4Src
+            | Ipv4Dst | IpProto | Ttl => Layer::L3,
+            L4Src | L4Dst | TcpFlags | IcmpType => Layer::L4,
+            DhcpMsgType | DhcpXid | DhcpChaddr | DhcpYiaddr | DhcpCiaddr | DhcpRequestedIp
+            | DhcpLeaseSecs | DhcpServerId | FtpDataAddr | FtpDataPort => Layer::L7,
+        }
+    }
+
+    /// True for fields that come from switch metadata rather than packet
+    /// bytes. OpenFlow-class hardware matches these only in specific pipeline
+    /// stages (Sec 3.2's "parse and match on a switch's metadata").
+    pub fn is_metadata(self) -> bool {
+        matches!(self, Field::InPort | Field::OutPort)
+    }
+
+    /// Every field, for exhaustive table generation and property testing.
+    pub fn all() -> &'static [Field] {
+        use Field::*;
+        &[
+            InPort, OutPort, EthSrc, EthDst, EthType, ArpOp, ArpSenderMac, ArpSenderIp, ArpTargetMac,
+            ArpTargetIp, Ipv4Src, Ipv4Dst, IpProto, Ttl, L4Src, L4Dst, TcpFlags, IcmpType,
+            DhcpMsgType, DhcpXid, DhcpChaddr, DhcpYiaddr, DhcpCiaddr, DhcpRequestedIp,
+            DhcpLeaseSecs, DhcpServerId, FtpDataAddr, FtpDataPort,
+        ]
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A concrete value held by a [`Field`].
+///
+/// Values of different variants never compare equal, so a guard comparing a
+/// MAC-typed binder against an IPv4 field simply fails to match rather than
+/// aliasing numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FieldValue {
+    /// A MAC address.
+    Mac(MacAddr),
+    /// An IPv4 address.
+    Ipv4(Ipv4Address),
+    /// Any integer-valued field (ports, flags, opcodes, lease seconds...).
+    Uint(u64),
+}
+
+impl FieldValue {
+    /// The value as an integer, when it is one.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            FieldValue::Uint(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a MAC address, when it is one.
+    pub fn as_mac(&self) -> Option<MacAddr> {
+        match self {
+            FieldValue::Mac(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// The value as an IPv4 address, when it is one.
+    pub fn as_ipv4(&self) -> Option<Ipv4Address> {
+        match self {
+            FieldValue::Ipv4(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// A stable 64-bit encoding used by register- and hash-based backends
+    /// (FAST hash functions, P4 register indices).
+    pub fn to_u64_key(&self) -> u64 {
+        match self {
+            // Tag the variant into the top bits so values of different
+            // types cannot collide.
+            FieldValue::Mac(m) => (1 << 62) | m.to_u64(),
+            FieldValue::Ipv4(a) => (2 << 62) | u64::from(a.to_u32()),
+            FieldValue::Uint(v) => v & !(3 << 62) | (3 << 62),
+        }
+    }
+}
+
+/// FNV-1a over a sequence of optional field values — the shared hash used
+/// by both the switch substrate (FAST hash indexing) and monitor guards
+/// (hashed-port checks), so that a monitor's expectation of a hash-based
+/// network function matches the function's own arithmetic. Missing fields
+/// hash as a distinguished marker, never as zero.
+pub fn values_hash<I: IntoIterator<Item = Option<FieldValue>>>(values: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for v in values {
+        match v {
+            Some(v) => {
+                step(1);
+                for b in v.to_u64_key().to_le_bytes() {
+                    step(b);
+                }
+            }
+            None => step(0),
+        }
+    }
+    h
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Mac(m) => write!(f, "{m}"),
+            FieldValue::Ipv4(a) => write!(f, "{a}"),
+            FieldValue::Uint(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<MacAddr> for FieldValue {
+    fn from(m: MacAddr) -> Self {
+        FieldValue::Mac(m)
+    }
+}
+
+impl From<Ipv4Address> for FieldValue {
+    fn from(a: Ipv4Address) -> Self {
+        FieldValue::Ipv4(a)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::Uint(v)
+    }
+}
+
+impl From<u16> for FieldValue {
+    fn from(v: u16) -> Self {
+        FieldValue::Uint(u64::from(v))
+    }
+}
+
+impl From<u8> for FieldValue {
+    fn from(v: u8) -> Self {
+        FieldValue::Uint(u64::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_ordering_is_depth() {
+        assert!(Layer::L2 < Layer::L3);
+        assert!(Layer::L3 < Layer::L4);
+        assert!(Layer::L4 < Layer::L7);
+        // "readable at depth" predicate
+        assert!(Field::EthSrc.layer() <= Layer::L2);
+        assert!(Field::Ipv4Src.layer() > Layer::L2);
+        assert!(Field::DhcpYiaddr.layer() > Layer::L4);
+    }
+
+    #[test]
+    fn every_field_has_consistent_layer() {
+        for &f in Field::all() {
+            // The layer function is total and stable; metadata is L2.
+            if f.is_metadata() {
+                assert_eq!(f.layer(), Layer::L2);
+            }
+        }
+        assert_eq!(Field::all().len(), 28);
+    }
+
+    #[test]
+    fn cross_type_values_never_equal() {
+        let mac = FieldValue::Mac(MacAddr::from_u64(5));
+        let ip = FieldValue::Ipv4(Ipv4Address::from_u32(5));
+        let n = FieldValue::Uint(5);
+        assert_ne!(mac, ip);
+        assert_ne!(mac, n);
+        assert_ne!(ip, n);
+    }
+
+    #[test]
+    fn u64_keys_distinguish_types() {
+        let mac = FieldValue::Mac(MacAddr::from_u64(5)).to_u64_key();
+        let ip = FieldValue::Ipv4(Ipv4Address::from_u32(5)).to_u64_key();
+        let n = FieldValue::Uint(5).to_u64_key();
+        assert_ne!(mac, ip);
+        assert_ne!(mac, n);
+        assert_ne!(ip, n);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(FieldValue::Uint(9).as_uint(), Some(9));
+        assert_eq!(FieldValue::Uint(9).as_mac(), None);
+        let m = MacAddr::new(1, 2, 3, 4, 5, 6);
+        assert_eq!(FieldValue::Mac(m).as_mac(), Some(m));
+        let a = Ipv4Address::new(1, 2, 3, 4);
+        assert_eq!(FieldValue::Ipv4(a).as_ipv4(), Some(a));
+    }
+}

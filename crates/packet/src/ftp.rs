@@ -1,0 +1,196 @@
+//! FTP control-channel parsing (RFC 959) — the L7 substrate for the paper's
+//! FAST-derived property: *"Data L4 port matches L4 port given in control
+//! stream."*
+//!
+//! Active-mode FTP announces the client's data endpoint in a `PORT
+//! h1,h2,h3,h4,p1,p2` command; passive mode announces the server's endpoint
+//! in a `227 Entering Passive Mode (h1,h2,h3,h4,p1,p2)` reply. A monitor
+//! checking the property must parse whichever direction is in use and later
+//! match the data connection's 5-tuple against the announced endpoint.
+
+use crate::addr::Ipv4Address;
+use crate::error::ParseError;
+
+/// A parsed FTP control-channel line relevant to data-connection monitoring.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FtpControl {
+    /// Active-mode `PORT` command: the client will listen at `addr:port`.
+    Port {
+        /// Announced data-connection address.
+        addr: Ipv4Address,
+        /// Announced data-connection port.
+        port: u16,
+    },
+    /// Passive-mode `227` reply: the server listens at `addr:port`.
+    PassiveReply {
+        /// Announced data-connection address.
+        addr: Ipv4Address,
+        /// Announced data-connection port.
+        port: u16,
+    },
+    /// `RETR`/`STOR`/`LIST` — commands that open the data connection.
+    TransferStart {
+        /// The canonicalised command verb.
+        command: String,
+    },
+    /// Any other control line, carried opaquely.
+    Other(String),
+}
+
+/// Parse the six comma-separated numbers of an FTP host-port tuple.
+fn parse_hostport(s: &str) -> Option<(Ipv4Address, u16)> {
+    let mut nums = [0u8; 6];
+    let mut it = s.split(',');
+    for n in nums.iter_mut() {
+        *n = it.next()?.trim().parse().ok()?;
+    }
+    if it.next().is_some() {
+        return None;
+    }
+    let addr = Ipv4Address::new(nums[0], nums[1], nums[2], nums[3]);
+    let port = u16::from(nums[4]) << 8 | u16::from(nums[5]);
+    Some((addr, port))
+}
+
+impl FtpControl {
+    /// Parse one control-channel line (without the trailing CRLF).
+    ///
+    /// Unknown commands parse to [`FtpControl::Other`]; only structurally
+    /// malformed `PORT`/`227` lines are errors, since a monitor must not
+    /// silently mis-read the endpoint it is supposed to check.
+    pub fn parse_line(line: &str) -> Result<Self, ParseError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let upper = line.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("PORT ") {
+            let (addr, port) =
+                parse_hostport(rest).ok_or(ParseError::BadSyntax { proto: "ftp" })?;
+            return Ok(FtpControl::Port { addr, port });
+        }
+        if upper.starts_with("227") {
+            // RFC 959: the tuple is parenthesised, but real servers vary;
+            // accept the first (...) group.
+            let open = line.find('(').ok_or(ParseError::BadSyntax { proto: "ftp" })?;
+            let close = line[open..]
+                .find(')')
+                .map(|i| open + i)
+                .ok_or(ParseError::BadSyntax { proto: "ftp" })?;
+            let (addr, port) = parse_hostport(&line[open + 1..close])
+                .ok_or(ParseError::BadSyntax { proto: "ftp" })?;
+            return Ok(FtpControl::PassiveReply { addr, port });
+        }
+        for cmd in ["RETR", "STOR", "LIST", "NLST", "APPE"] {
+            if upper == cmd || upper.starts_with(&format!("{cmd} ")) {
+                return Ok(FtpControl::TransferStart { command: cmd.to_string() });
+            }
+        }
+        Ok(FtpControl::Other(line.to_string()))
+    }
+
+    /// Parse a TCP payload that may hold several CRLF-separated lines.
+    pub fn parse_payload(payload: &[u8]) -> Result<Vec<Self>, ParseError> {
+        let text =
+            core::str::from_utf8(payload).map_err(|_| ParseError::BadSyntax { proto: "ftp" })?;
+        text.lines().filter(|l| !l.trim().is_empty()).map(Self::parse_line).collect()
+    }
+
+    /// Render the control line back to wire text (with CRLF).
+    pub fn emit_line(&self) -> String {
+        match self {
+            FtpControl::Port { addr, port } => {
+                let o = addr.octets();
+                format!("PORT {},{},{},{},{},{}\r\n", o[0], o[1], o[2], o[3], port >> 8, port & 0xff)
+            }
+            FtpControl::PassiveReply { addr, port } => {
+                let o = addr.octets();
+                format!(
+                    "227 Entering Passive Mode ({},{},{},{},{},{})\r\n",
+                    o[0], o[1], o[2], o[3], port >> 8, port & 0xff
+                )
+            }
+            FtpControl::TransferStart { command } => format!("{command}\r\n"),
+            FtpControl::Other(line) => format!("{line}\r\n"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_command_round_trip() {
+        let c = FtpControl::Port { addr: Ipv4Address::new(10, 0, 0, 7), port: 5001 };
+        let line = c.emit_line();
+        assert_eq!(line, "PORT 10,0,0,7,19,137\r\n");
+        assert_eq!(FtpControl::parse_line(&line).unwrap(), c);
+    }
+
+    #[test]
+    fn passive_reply_round_trip() {
+        let c = FtpControl::PassiveReply { addr: Ipv4Address::new(192, 168, 0, 2), port: 1024 };
+        let line = c.emit_line();
+        assert_eq!(FtpControl::parse_line(&line).unwrap(), c);
+    }
+
+    #[test]
+    fn port_arithmetic() {
+        // p1*256 + p2
+        let c = FtpControl::parse_line("PORT 1,2,3,4,4,1").unwrap();
+        assert_eq!(c, FtpControl::Port { addr: Ipv4Address::new(1, 2, 3, 4), port: 1025 });
+    }
+
+    #[test]
+    fn case_insensitive_commands() {
+        assert!(matches!(
+            FtpControl::parse_line("port 1,2,3,4,0,21").unwrap(),
+            FtpControl::Port { .. }
+        ));
+        assert_eq!(
+            FtpControl::parse_line("retr file.txt").unwrap(),
+            FtpControl::TransferStart { command: "RETR".into() }
+        );
+    }
+
+    #[test]
+    fn malformed_port_rejected() {
+        for bad in ["PORT 1,2,3,4,5", "PORT 1,2,3,4,5,6,7", "PORT 1,2,3,4,5,999", "PORT x,2,3,4,5,6"] {
+            assert_eq!(
+                FtpControl::parse_line(bad).unwrap_err(),
+                ParseError::BadSyntax { proto: "ftp" },
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_227_rejected() {
+        assert!(FtpControl::parse_line("227 Entering Passive Mode 1,2,3,4,5,6").is_err());
+        assert!(FtpControl::parse_line("227 Entering Passive Mode (1,2,3,4,5").is_err());
+    }
+
+    #[test]
+    fn other_lines_pass_through() {
+        assert_eq!(
+            FtpControl::parse_line("USER anonymous").unwrap(),
+            FtpControl::Other("USER anonymous".into())
+        );
+        assert_eq!(
+            FtpControl::parse_line("230 Login successful.").unwrap(),
+            FtpControl::Other("230 Login successful.".into())
+        );
+    }
+
+    #[test]
+    fn multi_line_payload() {
+        let payload = b"USER x\r\nPORT 10,0,0,7,19,137\r\nRETR f\r\n";
+        let lines = FtpControl::parse_payload(payload).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(matches!(lines[1], FtpControl::Port { .. }));
+        assert!(matches!(lines[2], FtpControl::TransferStart { .. }));
+    }
+
+    #[test]
+    fn non_utf8_payload_rejected() {
+        assert!(FtpControl::parse_payload(&[0xff, 0xfe, 0x00]).is_err());
+    }
+}

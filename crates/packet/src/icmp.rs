@@ -1,0 +1,142 @@
+//! ICMP (RFC 792) echo messages — enough for the simulator's ping traffic.
+
+use crate::checksum;
+use crate::error::{check_len, ParseError};
+
+/// ICMP header length for echo messages.
+pub const HEADER_LEN: usize = 8;
+
+/// The ICMP message type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcmpType {
+    /// Echo reply, type 0.
+    EchoReply,
+    /// Echo request, type 8.
+    EchoRequest,
+    /// Destination unreachable, type 3.
+    DestUnreachable,
+    /// Anything else.
+    Other(u8),
+}
+
+impl IcmpType {
+    /// Decode from the wire value.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestUnreachable,
+            8 => IcmpType::EchoRequest,
+            other => IcmpType::Other(other),
+        }
+    }
+
+    /// Encode to the wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IcmpType::EchoReply => 0,
+            IcmpType::DestUnreachable => 3,
+            IcmpType::EchoRequest => 8,
+            IcmpType::Other(v) => v,
+        }
+    }
+}
+
+/// A parsed ICMP message (echo-style layout: type, code, ident, seq).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IcmpMessage {
+    /// Message type.
+    pub icmp_type: IcmpType,
+    /// Message code.
+    pub code: u8,
+    /// Echo identifier (or rest-of-header upper half).
+    pub ident: u16,
+    /// Echo sequence number (or rest-of-header lower half).
+    pub seq: u16,
+}
+
+impl IcmpMessage {
+    /// Build an echo request.
+    pub fn echo_request(ident: u16, seq: u16) -> Self {
+        IcmpMessage { icmp_type: IcmpType::EchoRequest, code: 0, ident, seq }
+    }
+
+    /// Build the echo reply matching `req`.
+    pub fn echo_reply(req: &IcmpMessage) -> Self {
+        IcmpMessage { icmp_type: IcmpType::EchoReply, code: 0, ident: req.ident, seq: req.seq }
+    }
+
+    /// Parse from the front of `buf`, verifying the checksum. Returns the
+    /// message and the payload.
+    pub fn parse(buf: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        check_len("icmp", buf, HEADER_LEN)?;
+        if !checksum::verify(buf) {
+            return Err(ParseError::BadChecksum { proto: "icmp" });
+        }
+        Ok((
+            IcmpMessage {
+                icmp_type: IcmpType::from_u8(buf[0]),
+                code: buf[1],
+                ident: u16::from_be_bytes([buf[4], buf[5]]),
+                seq: u16::from_be_bytes([buf[6], buf[7]]),
+            },
+            &buf[HEADER_LEN..],
+        ))
+    }
+
+    /// Append the wire encoding (header + `payload`, checksum filled in) to
+    /// `out`.
+    pub fn emit(&self, payload: &[u8], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(self.icmp_type.to_u8());
+        out.push(self.code);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(payload);
+        let ck = checksum::checksum(&out[start..]);
+        out[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let msg = IcmpMessage::echo_request(0x1234, 7);
+        let mut buf = Vec::new();
+        msg.emit(b"ping-data", &mut buf);
+        let (parsed, payload) = IcmpMessage::parse(&buf).unwrap();
+        assert_eq!(parsed, msg);
+        assert_eq!(payload, b"ping-data");
+    }
+
+    #[test]
+    fn reply_echoes_ident_and_seq() {
+        let req = IcmpMessage::echo_request(42, 3);
+        let rep = IcmpMessage::echo_reply(&req);
+        assert_eq!(rep.icmp_type, IcmpType::EchoReply);
+        assert_eq!((rep.ident, rep.seq), (42, 3));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = Vec::new();
+        IcmpMessage::echo_request(1, 1).emit(b"x", &mut buf);
+        buf[5] ^= 1;
+        assert_eq!(IcmpMessage::parse(&buf).unwrap_err(), ParseError::BadChecksum { proto: "icmp" });
+    }
+
+    #[test]
+    fn type_round_trip() {
+        for t in [
+            IcmpType::EchoReply,
+            IcmpType::EchoRequest,
+            IcmpType::DestUnreachable,
+            IcmpType::Other(11),
+        ] {
+            assert_eq!(IcmpType::from_u8(t.to_u8()), t);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! IPv4 (RFC 791) header parsing and emission, without options support
+//! beyond carrying them opaquely.
+
+use crate::addr::Ipv4Address;
+use crate::checksum;
+use crate::error::{check_len, ParseError};
+use core::fmt;
+
+/// Minimum (option-less) IPv4 header length.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// The IP protocol number carried in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpProto {
+    /// ICMP, protocol 1.
+    Icmp,
+    /// TCP, protocol 6.
+    Tcp,
+    /// UDP, protocol 17.
+    Udp,
+    /// Anything else, carried through unmodified.
+    Other(u8),
+}
+
+impl IpProto {
+    /// Decode from the wire value.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => IpProto::Icmp,
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+
+    /// Encode to the wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProto::Icmp => 1,
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for IpProto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProto::Icmp => write!(f, "icmp"),
+            IpProto::Tcp => write!(f, "tcp"),
+            IpProto::Udp => write!(f, "udp"),
+            IpProto::Other(v) => write!(f, "proto-{v}"),
+        }
+    }
+}
+
+/// A parsed IPv4 header.
+///
+/// `total_len` is recomputed on emission from the payload the caller
+/// provides, so builders never have to keep it consistent by hand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ipv4Header {
+    /// Differentiated services byte.
+    pub dscp_ecn: u8,
+    /// Datagram identification (for fragmentation).
+    pub ident: u16,
+    /// Don't-fragment flag.
+    pub dont_frag: bool,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub proto: IpProto,
+    /// Source address.
+    pub src: Ipv4Address,
+    /// Destination address.
+    pub dst: Ipv4Address,
+}
+
+impl Ipv4Header {
+    /// A conventional header for simulator traffic: TTL 64, no flags.
+    pub fn new(src: Ipv4Address, dst: Ipv4Address, proto: IpProto) -> Self {
+        Ipv4Header { dscp_ecn: 0, ident: 0, dont_frag: true, ttl: 64, proto, src, dst }
+    }
+
+    /// Parse from the front of `buf`, verifying the header checksum, and
+    /// return the header together with the payload slice (bounded by
+    /// `total_len`).
+    pub fn parse(buf: &[u8]) -> Result<(Self, &[u8]), ParseError> {
+        check_len("ipv4", buf, MIN_HEADER_LEN)?;
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::BadVersion { proto: "ipv4", value: version });
+        }
+        let ihl = usize::from(buf[0] & 0x0f) * 4;
+        if ihl < MIN_HEADER_LEN {
+            return Err(ParseError::BadLength { proto: "ipv4", field: "ihl", value: ihl });
+        }
+        check_len("ipv4", buf, ihl)?;
+        if !checksum::verify(&buf[..ihl]) {
+            return Err(ParseError::BadChecksum { proto: "ipv4" });
+        }
+        let total_len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        if total_len < ihl || total_len > buf.len() {
+            return Err(ParseError::BadLength { proto: "ipv4", field: "total_len", value: total_len });
+        }
+        let flags_frag = u16::from_be_bytes([buf[6], buf[7]]);
+        let header = Ipv4Header {
+            dscp_ecn: buf[1],
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            dont_frag: flags_frag & 0x4000 != 0,
+            ttl: buf[8],
+            proto: IpProto::from_u8(buf[9]),
+            src: Ipv4Address::from_bytes(&buf[12..16]),
+            dst: Ipv4Address::from_bytes(&buf[16..20]),
+        };
+        Ok((header, &buf[ihl..total_len]))
+    }
+
+    /// Append the wire encoding (header only, checksum filled in) to `out`,
+    /// with `total_len` computed from `payload_len`.
+    pub fn emit(&self, payload_len: usize, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(0x45); // version 4, IHL 5
+        out.push(self.dscp_ecn);
+        let total = (MIN_HEADER_LEN + payload_len) as u16;
+        out.extend_from_slice(&total.to_be_bytes());
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        let flags: u16 = if self.dont_frag { 0x4000 } else { 0 };
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.push(self.ttl);
+        out.push(self.proto.to_u8());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        let ck = checksum::checksum(&out[start..]);
+        out[start + 10..start + 12].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(192, 168, 1, 9),
+            IpProto::Udp,
+        )
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let hdr = sample();
+        let mut buf = Vec::new();
+        hdr.emit(4, &mut buf);
+        buf.extend_from_slice(b"abcd");
+        let (parsed, payload) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(payload, b"abcd");
+    }
+
+    #[test]
+    fn total_len_bounds_payload() {
+        let hdr = sample();
+        let mut buf = Vec::new();
+        hdr.emit(4, &mut buf);
+        buf.extend_from_slice(b"abcd");
+        buf.extend_from_slice(b"ETHERNET-PADDING"); // trailing bytes beyond total_len
+        let (_, payload) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(payload, b"abcd");
+    }
+
+    #[test]
+    fn checksum_corruption_detected() {
+        let mut buf = Vec::new();
+        sample().emit(0, &mut buf);
+        buf[8] = buf[8].wrapping_add(1); // flip TTL without fixing checksum
+        assert_eq!(Ipv4Header::parse(&buf).unwrap_err(), ParseError::BadChecksum { proto: "ipv4" });
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        sample().emit(0, &mut buf);
+        buf[0] = 0x65; // version 6
+        assert_eq!(
+            Ipv4Header::parse(&buf).unwrap_err(),
+            ParseError::BadVersion { proto: "ipv4", value: 6 }
+        );
+    }
+
+    #[test]
+    fn rejects_short_ihl() {
+        let mut buf = Vec::new();
+        sample().emit(0, &mut buf);
+        buf[0] = 0x44; // IHL 4 -> 16 bytes, below the legal minimum
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(ParseError::BadLength { field: "ihl", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_total_len_beyond_buffer() {
+        let hdr = sample();
+        let mut buf = Vec::new();
+        hdr.emit(100, &mut buf); // claims 100 bytes of payload that aren't there
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(ParseError::BadLength { field: "total_len", .. })
+        ));
+    }
+
+    #[test]
+    fn proto_round_trip() {
+        for p in [IpProto::Icmp, IpProto::Tcp, IpProto::Udp, IpProto::Other(89)] {
+            assert_eq!(IpProto::from_u8(p.to_u8()), p);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! TCP (RFC 793) header parsing and emission. Options are not interpreted;
+//! the data offset is honoured so payloads are sliced correctly.
+
+use crate::addr::Ipv4Address;
+use crate::checksum;
+use crate::error::{check_len, ParseError};
+use crate::ipv4::IpProto;
+use core::fmt;
+use core::ops::{BitOr, BitOrAssign};
+
+/// Minimum (option-less) TCP header length.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP flag bits (the low 6 classic flags).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN: sender has finished sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: synchronise sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: acknowledgement field is significant.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG: urgent pointer is significant.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+    /// No flags set.
+    pub const NONE: TcpFlags = TcpFlags(0);
+
+    /// True if every bit of `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if any bit of `other` is set in `self`.
+    pub fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// True if this segment closes a connection (FIN or RST present).
+    ///
+    /// Several paper properties ("until the connection is closed") hinge on
+    /// recognising closing segments, so the predicate lives here.
+    pub fn closes_connection(self) -> bool {
+        self.intersects(TcpFlags::FIN | TcpFlags::RST)
+    }
+}
+
+impl BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: TcpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+            (TcpFlags::URG, "URG"),
+        ];
+        let mut first = true;
+        for (bit, name) in names {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed TCP header.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// A header with conventional defaults (window 65535, seq/ack 0).
+    pub fn new(src_port: u16, dst_port: u16, flags: TcpFlags) -> Self {
+        TcpHeader { src_port, dst_port, seq: 0, ack: 0, flags, window: 65535 }
+    }
+
+    /// Parse from the front of `buf`, checking the pseudo-header checksum
+    /// against `(src, dst)`, and return the header plus payload.
+    pub fn parse(
+        buf: &[u8],
+        src: Ipv4Address,
+        dst: Ipv4Address,
+    ) -> Result<(Self, &[u8]), ParseError> {
+        check_len("tcp", buf, MIN_HEADER_LEN)?;
+        let data_off = usize::from(buf[12] >> 4) * 4;
+        if data_off < MIN_HEADER_LEN {
+            return Err(ParseError::BadLength { proto: "tcp", field: "data_offset", value: data_off });
+        }
+        check_len("tcp", buf, data_off)?;
+        if checksum::pseudo_header_checksum(src, dst, IpProto::Tcp, buf) != 0 {
+            return Err(ParseError::BadChecksum { proto: "tcp" });
+        }
+        Ok((
+            TcpHeader {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+                ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+                flags: TcpFlags(buf[13] & 0x3f),
+                window: u16::from_be_bytes([buf[14], buf[15]]),
+            },
+            &buf[data_off..],
+        ))
+    }
+
+    /// Append the wire encoding (header + `payload`, checksum filled in) to
+    /// `out`. The pseudo-header addresses must match the enclosing IPv4
+    /// header.
+    pub fn emit(&self, payload: &[u8], src: Ipv4Address, dst: Ipv4Address, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(5 << 4); // data offset 5 words, no options
+        out.push(self.flags.0);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&[0, 0]); // urgent pointer
+        out.extend_from_slice(payload);
+        let ck = checksum::pseudo_header_checksum(src, dst, IpProto::Tcp, &out[start..]);
+        out[start + 16..start + 18].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv4Address, Ipv4Address) {
+        (Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 2))
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let (src, dst) = addrs();
+        let hdr = TcpHeader::new(43211, 80, TcpFlags::SYN | TcpFlags::ACK);
+        let mut buf = Vec::new();
+        hdr.emit(b"GET /", src, dst, &mut buf);
+        let (parsed, payload) = TcpHeader::parse(&buf, src, dst).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(payload, b"GET /");
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        let (src, dst) = addrs();
+        let hdr = TcpHeader::new(1, 2, TcpFlags::SYN);
+        let mut buf = Vec::new();
+        hdr.emit(&[], src, dst, &mut buf);
+        // Same bytes presented under different pseudo-header addresses fail.
+        let other = Ipv4Address::new(10, 0, 0, 3);
+        assert_eq!(
+            TcpHeader::parse(&buf, src, other).unwrap_err(),
+            ParseError::BadChecksum { proto: "tcp" }
+        );
+    }
+
+    #[test]
+    fn payload_corruption_detected() {
+        let (src, dst) = addrs();
+        let mut buf = Vec::new();
+        TcpHeader::new(1, 2, TcpFlags::ACK).emit(b"data", src, dst, &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        assert_eq!(
+            TcpHeader::parse(&buf, src, dst).unwrap_err(),
+            ParseError::BadChecksum { proto: "tcp" }
+        );
+    }
+
+    #[test]
+    fn flags_algebra() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::FIN));
+        assert!(f.intersects(TcpFlags::SYN | TcpFlags::FIN));
+        assert!(!f.intersects(TcpFlags::FIN | TcpFlags::RST));
+        assert!(TcpFlags::FIN.closes_connection());
+        assert!(TcpFlags::RST.closes_connection());
+        assert!(!(TcpFlags::SYN | TcpFlags::ACK).closes_connection());
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!((TcpFlags::SYN | TcpFlags::ACK).to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let (src, dst) = addrs();
+        let mut buf = Vec::new();
+        TcpHeader::new(1, 2, TcpFlags::SYN).emit(&[], src, dst, &mut buf);
+        buf[12] = 4 << 4; // offset below minimum
+        assert!(matches!(
+            TcpHeader::parse(&buf, src, dst),
+            Err(ParseError::BadLength { field: "data_offset", .. })
+        ));
+    }
+}

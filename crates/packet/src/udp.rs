@@ -1,0 +1,135 @@
+//! UDP (RFC 768) header parsing and emission.
+
+use crate::addr::Ipv4Address;
+use crate::checksum;
+use crate::error::{check_len, ParseError};
+use crate::ipv4::IpProto;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl UdpHeader {
+    /// Build a header.
+    pub fn new(src_port: u16, dst_port: u16) -> Self {
+        UdpHeader { src_port, dst_port }
+    }
+
+    /// Parse from the front of `buf`, verifying the pseudo-header checksum
+    /// (unless the transmitted checksum is zero, which RFC 768 defines as
+    /// "no checksum") and the length field. Returns the header plus payload.
+    pub fn parse(
+        buf: &[u8],
+        src: Ipv4Address,
+        dst: Ipv4Address,
+    ) -> Result<(Self, &[u8]), ParseError> {
+        check_len("udp", buf, HEADER_LEN)?;
+        let len = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if len < HEADER_LEN || len > buf.len() {
+            return Err(ParseError::BadLength { proto: "udp", field: "length", value: len });
+        }
+        let stored_ck = u16::from_be_bytes([buf[6], buf[7]]);
+        if stored_ck != 0
+            && checksum::pseudo_header_checksum(src, dst, IpProto::Udp, &buf[..len]) != 0
+        {
+            return Err(ParseError::BadChecksum { proto: "udp" });
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            },
+            &buf[HEADER_LEN..len],
+        ))
+    }
+
+    /// Append the wire encoding (header + `payload`, checksum filled in) to
+    /// `out`.
+    pub fn emit(&self, payload: &[u8], src: Ipv4Address, dst: Ipv4Address, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        let len = (HEADER_LEN + payload.len()) as u16;
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(payload);
+        let mut ck = checksum::pseudo_header_checksum(src, dst, IpProto::Udp, &out[start..]);
+        if ck == 0 {
+            ck = 0xffff; // RFC 768: transmitted zero means "no checksum"
+        }
+        out[start + 6..start + 8].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv4Address, Ipv4Address) {
+        (Ipv4Address::new(172, 16, 0, 4), Ipv4Address::new(172, 16, 0, 5))
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let (src, dst) = addrs();
+        let hdr = UdpHeader::new(68, 67);
+        let mut buf = Vec::new();
+        hdr.emit(b"dhcp-ish", src, dst, &mut buf);
+        let (parsed, payload) = UdpHeader::parse(&buf, src, dst).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(payload, b"dhcp-ish");
+    }
+
+    #[test]
+    fn length_field_bounds_payload() {
+        let (src, dst) = addrs();
+        let mut buf = Vec::new();
+        UdpHeader::new(1, 2).emit(b"abc", src, dst, &mut buf);
+        buf.extend_from_slice(b"padding");
+        let (_, payload) = UdpHeader::parse(&buf, src, dst).unwrap();
+        assert_eq!(payload, b"abc");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let (src, dst) = addrs();
+        let mut buf = Vec::new();
+        UdpHeader::new(1, 2).emit(b"abc", src, dst, &mut buf);
+        buf[8] ^= 0x55;
+        assert_eq!(
+            UdpHeader::parse(&buf, src, dst).unwrap_err(),
+            ParseError::BadChecksum { proto: "udp" }
+        );
+    }
+
+    #[test]
+    fn zero_checksum_skips_verification() {
+        let (src, dst) = addrs();
+        let mut buf = Vec::new();
+        UdpHeader::new(1, 2).emit(b"abc", src, dst, &mut buf);
+        buf[6] = 0;
+        buf[7] = 0;
+        buf[8] ^= 0x55; // would fail checksum if it were checked
+        assert!(UdpHeader::parse(&buf, src, dst).is_ok());
+    }
+
+    #[test]
+    fn rejects_short_length_field() {
+        let (src, dst) = addrs();
+        let mut buf = Vec::new();
+        UdpHeader::new(1, 2).emit(&[], src, dst, &mut buf);
+        buf[5] = 7; // length below header size
+        assert!(matches!(
+            UdpHeader::parse(&buf, src, dst),
+            Err(ParseError::BadLength { field: "length", .. })
+        ));
+    }
+}

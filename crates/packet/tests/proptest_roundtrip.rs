@@ -1,0 +1,155 @@
+//! Property-based tests: for every protocol, emit→parse is identity, and the
+//! parser never panics on arbitrary bytes.
+
+use proptest::prelude::*;
+use swmon_packet::{
+    arp::ArpOp, ArpPacket, DhcpMessage, EtherType, EthernetFrame, FtpControl, IcmpMessage,
+    Ipv4Address, Ipv4Header, Layer, MacAddr, Packet, PacketBuilder, TcpFlags, TcpHeader,
+    UdpHeader,
+};
+
+fn mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn ipv4() -> impl Strategy<Value = Ipv4Address> {
+    any::<[u8; 4]>().prop_map(Ipv4Address)
+}
+
+proptest! {
+    #[test]
+    fn ethernet_round_trip(dst in mac(), src in mac(), et in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let hdr = EthernetFrame { dst, src, ethertype: EtherType::from_u16(et) };
+        let mut buf = Vec::new();
+        hdr.emit(&mut buf);
+        buf.extend_from_slice(&payload);
+        let (parsed, rest) = EthernetFrame::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, hdr);
+        prop_assert_eq!(rest, &payload[..]);
+    }
+
+    #[test]
+    fn arp_round_trip(op in prop_oneof![Just(ArpOp::Request), Just(ArpOp::Reply)],
+                      sm in mac(), si in ipv4(), tm in mac(), ti in ipv4()) {
+        let pkt = ArpPacket { op, sender_mac: sm, sender_ip: si, target_mac: tm, target_ip: ti };
+        let mut buf = Vec::new();
+        pkt.emit(&mut buf);
+        prop_assert_eq!(ArpPacket::parse(&buf).unwrap(), pkt);
+    }
+
+    #[test]
+    fn ipv4_round_trip(src in ipv4(), dst in ipv4(), proto in any::<u8>(), ttl in any::<u8>(),
+                       ident in any::<u16>(), df in any::<bool>(),
+                       payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let hdr = Ipv4Header {
+            dscp_ecn: 0,
+            ident,
+            dont_frag: df,
+            ttl,
+            proto: swmon_packet::IpProto::from_u8(proto),
+            src,
+            dst,
+        };
+        let mut buf = Vec::new();
+        hdr.emit(payload.len(), &mut buf);
+        buf.extend_from_slice(&payload);
+        let (parsed, body) = Ipv4Header::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, hdr);
+        prop_assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn tcp_round_trip(src in ipv4(), dst in ipv4(), sp in any::<u16>(), dp in any::<u16>(),
+                      seq in any::<u32>(), ack in any::<u32>(), flags in 0u8..0x40,
+                      window in any::<u16>(),
+                      payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let hdr = TcpHeader { src_port: sp, dst_port: dp, seq, ack, flags: TcpFlags(flags), window };
+        let mut buf = Vec::new();
+        hdr.emit(&payload, src, dst, &mut buf);
+        let (parsed, body) = TcpHeader::parse(&buf, src, dst).unwrap();
+        prop_assert_eq!(parsed, hdr);
+        prop_assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn udp_round_trip(src in ipv4(), dst in ipv4(), sp in any::<u16>(), dp in any::<u16>(),
+                      payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let hdr = UdpHeader::new(sp, dp);
+        let mut buf = Vec::new();
+        hdr.emit(&payload, src, dst, &mut buf);
+        let (parsed, body) = UdpHeader::parse(&buf, src, dst).unwrap();
+        prop_assert_eq!(parsed, hdr);
+        prop_assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn icmp_round_trip(t in any::<u8>(), code in any::<u8>(), ident in any::<u16>(), seq in any::<u16>(),
+                       payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let msg = IcmpMessage { icmp_type: swmon_packet::IcmpType::from_u8(t), code, ident, seq };
+        let mut buf = Vec::new();
+        msg.emit(&payload, &mut buf);
+        let (parsed, body) = IcmpMessage::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, msg);
+        prop_assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn ftp_port_round_trip(addr in ipv4(), port in any::<u16>()) {
+        let c = FtpControl::Port { addr, port };
+        prop_assert_eq!(FtpControl::parse_line(&c.emit_line()).unwrap(), c);
+        let c = FtpControl::PassiveReply { addr, port };
+        prop_assert_eq!(FtpControl::parse_line(&c.emit_line()).unwrap(), c);
+    }
+
+    #[test]
+    fn dhcp_round_trip(xid in any::<u32>(), chaddr in mac(), yiaddr in ipv4(), sid in ipv4(),
+                       lease in any::<u32>()) {
+        for msg in [
+            DhcpMessage::discover(xid, chaddr),
+            DhcpMessage::offer(xid, chaddr, yiaddr, sid, lease),
+            DhcpMessage::request(xid, chaddr, yiaddr, sid),
+            DhcpMessage::ack(xid, chaddr, yiaddr, sid, lease),
+            DhcpMessage::release(xid, chaddr, yiaddr, sid),
+        ] {
+            let mut buf = Vec::new();
+            msg.emit(&mut buf);
+            prop_assert_eq!(DhcpMessage::parse(&buf).unwrap(), msg);
+        }
+    }
+
+    /// The full-packet parser is total: arbitrary bytes never panic.
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let p = Packet::from_bytes(bytes);
+        let _ = p.headers();
+        for depth in [Layer::L2, Layer::L3, Layer::L4, Layer::L7] {
+            let _ = p.parse(depth);
+        }
+    }
+
+    /// Parsed view re-emits to the exact original bytes for built packets.
+    #[test]
+    fn built_packets_are_canonical(sm in mac(), dm in mac(), si in ipv4(), di in ipv4(),
+                                   sp in any::<u16>(), dp in any::<u16>(), flags in 0u8..0x40,
+                                   payload in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let p = PacketBuilder::tcp(sm, dm, si, di, sp, dp, TcpFlags(flags), &payload);
+        let h = p.headers().unwrap();
+        let rebuilt = Packet::from_headers(&h);
+        prop_assert_eq!(rebuilt.bytes(), p.bytes());
+    }
+
+    /// Corrupting any single byte of the IPv4 header is detected (checksum),
+    /// except bytes whose corruption changes version/ihl/length first.
+    #[test]
+    fn ipv4_single_byte_corruption_never_parses_same(
+        src in ipv4(), dst in ipv4(), idx in 0usize..20, bit in 0u8..8) {
+        let hdr = Ipv4Header::new(src, dst, swmon_packet::IpProto::Udp);
+        let mut buf = Vec::new();
+        hdr.emit(0, &mut buf);
+        buf[idx] ^= 1 << bit;
+        match Ipv4Header::parse(&buf) {
+            Err(_) => {} // detected: good
+            Ok((parsed, _)) => prop_assert_ne!(parsed, hdr, "corruption silently ignored"),
+        }
+    }
+}

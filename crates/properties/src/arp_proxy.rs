@@ -1,0 +1,262 @@
+//! Sec 2.3 and Table 1 rows 1–2 — ARP cache proxy properties.
+//!
+//! An ARP proxy learns address mappings (here: from replies that traverse
+//! the switch) and answers requests for known addresses itself; requests
+//! for unknown addresses must still be forwarded.
+
+use crate::scenario::REPLY_WAIT;
+use swmon_core::{var, ActionPattern, Atom, EventPattern, Property, PropertyBuilder};
+use swmon_packet::Field;
+
+/// ARP opcode constants as guard values.
+const OP_REQUEST: u64 = 1;
+const OP_REPLY: u64 = 2;
+use swmon_sim::time::Duration;
+
+/// Table 1 row 1: *"Requests for known addresses are not forwarded."*
+/// Violation: a reply for IP `Y` was seen (so `Y` is known), yet a later
+/// request for `Y` is forwarded instead of answered.
+pub fn known_not_forwarded() -> Property {
+    PropertyBuilder::new(
+        "arp-proxy/known-not-forwarded",
+        "requests for known addresses are answered locally, not forwarded",
+    )
+    .observe("learn-from-reply", EventPattern::Arrival)
+        .eq(Field::ArpOp, OP_REPLY)
+        .bind("Y", Field::ArpSenderIp)
+        .done()
+    .observe("request-forwarded", EventPattern::Departure(ActionPattern::Forwarded))
+        .eq(Field::ArpOp, OP_REQUEST)
+        .bind("Y", Field::ArpTargetIp)
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Table 1 row 2: *"Requests for unknown addresses are forwarded."*
+/// Violation: a request arrives and, within `t`, the switch neither
+/// forwards it (identity-matched) nor answers it. Requires Obligation,
+/// Identity and a Timeout Action — exactly the paper's row.
+pub fn unknown_forwarded(t: Duration) -> Property {
+    PropertyBuilder::new(
+        "arp-proxy/unknown-forwarded",
+        "requests for unknown addresses are forwarded within T",
+    )
+    .observe("request", EventPattern::Arrival)
+        .eq(Field::ArpOp, OP_REQUEST)
+        .bind("Y", Field::ArpTargetIp)
+        .done()
+    .deadline("neither-forwarded-nor-answered", t)
+        // Cleared if the request itself is forwarded...
+        .unless(
+            EventPattern::Departure(ActionPattern::Forwarded),
+            vec![Atom::SamePacket(0)],
+        )
+        // ...or if the proxy answers it from its cache.
+        .unless(
+            EventPattern::Departure(ActionPattern::Forwarded),
+            vec![
+                Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
+                Atom::Bind(var("Y"), Field::ArpSenderIp),
+            ],
+        )
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Sec 2.3: *"If the switch receives a request for a known MAC address, it
+/// will send a reply within T seconds."* The deadline deliberately does
+/// **not** refresh on repeated requests — the paper's (T−1)-second-storm
+/// subtlety.
+pub fn reply_within(t: Duration) -> Property {
+    PropertyBuilder::new(
+        "arp-proxy/reply-within-T",
+        "requests for known addresses are answered within T seconds",
+    )
+    .observe("learn-from-reply", EventPattern::Arrival)
+        .eq(Field::ArpOp, OP_REPLY)
+        .bind("Y", Field::ArpSenderIp)
+        .done()
+    .observe("request", EventPattern::Arrival)
+        .eq(Field::ArpOp, OP_REQUEST)
+        .bind("Y", Field::ArpTargetIp)
+        .done()
+    .deadline("no-reply-within-T", t)
+        .unless(
+            EventPattern::Departure(ActionPattern::Forwarded),
+            vec![
+                Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
+                Atom::Bind(var("Y"), Field::ArpSenderIp),
+            ],
+        )
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Default-parameter convenience used by the Table 1 catalog.
+pub fn unknown_forwarded_default() -> Property {
+    unknown_forwarded(REPLY_WAIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{FeatureSet, InstanceIdClass, Monitor};
+    use swmon_packet::{ArpPacket, Ipv4Address, MacAddr, Packet, PacketBuilder};
+    use swmon_sim::time::Instant;
+    use swmon_sim::{EgressAction, PortNo, TraceBuilder};
+
+    fn ip(x: u8) -> Ipv4Address {
+        Ipv4Address::new(10, 0, 0, x)
+    }
+
+    fn mac(x: u8) -> MacAddr {
+        MacAddr::new(2, 0, 0, 0, 0, x)
+    }
+
+    fn request(from: u8, target: u8) -> Packet {
+        PacketBuilder::arp(ArpPacket::request(mac(from), ip(from), ip(target)))
+    }
+
+    fn reply(owner: u8, to: u8) -> Packet {
+        let req = ArpPacket::request(mac(to), ip(to), ip(owner));
+        PacketBuilder::arp(ArpPacket::reply_to(&req, mac(owner)))
+    }
+
+    #[test]
+    fn forwarding_a_known_request_is_violation() {
+        let mut m = Monitor::with_defaults(known_not_forwarded());
+        let mut tb = TraceBuilder::new();
+        // A reply traverses: IP .7 is now known.
+        tb.arrive_depart(PortNo(1), reply(7, 3), EgressAction::Output(PortNo(0)));
+        // A request for .7 is *forwarded* (flooded) instead of answered.
+        tb.at_ms(10).arrive_depart(PortNo(2), request(4, 7), EgressAction::Flood);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn answering_a_known_request_is_fine() {
+        let mut m = Monitor::with_defaults(known_not_forwarded());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(1), reply(7, 3), EgressAction::Output(PortNo(0)));
+        // Request arrives and the proxy *originates* a reply; the request
+        // itself is dropped (not forwarded).
+        tb.at_ms(10).arrive_depart(PortNo(2), request(4, 7), EgressAction::Drop);
+        tb.originate(reply(7, 4), EgressAction::Output(PortNo(2)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn unknown_request_forwarded_is_fine() {
+        let mut m = Monitor::with_defaults(unknown_forwarded(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(2), request(4, 9), EgressAction::Flood);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert!(m.violations().is_empty(), "the forwarded request cleared the deadline");
+    }
+
+    #[test]
+    fn swallowed_request_is_violation() {
+        let mut m = Monitor::with_defaults(unknown_forwarded(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        // The request is dropped and nothing is ever sent: violation at T.
+        tb.arrive_depart(PortNo(2), request(4, 9), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(m.violations()[0].time, Instant::ZERO + REPLY_WAIT);
+    }
+
+    #[test]
+    fn answered_request_is_fine_for_unknown_property() {
+        // If the proxy answers (it knew after all), that also discharges.
+        let mut m = Monitor::with_defaults(unknown_forwarded(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(2), request(4, 9), EgressAction::Drop);
+        tb.at_ms(5).originate(reply(9, 4), EgressAction::Output(PortNo(2)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn known_unanswered_request_violates_reply_within() {
+        let mut m = Monitor::with_defaults(reply_within(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(1), reply(7, 3), EgressAction::Output(PortNo(0)));
+        tb.at_ms(10).arrive_depart(PortNo(2), request(4, 7), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(
+            m.violations()[0].time,
+            Instant::ZERO + Duration::from_millis(10) + REPLY_WAIT
+        );
+    }
+
+    #[test]
+    fn answered_known_request_is_fine() {
+        let mut m = Monitor::with_defaults(reply_within(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(1), reply(7, 3), EgressAction::Output(PortNo(0)));
+        tb.at_ms(10).arrive_depart(PortNo(2), request(4, 7), EgressAction::Drop);
+        tb.at_ms(500).originate(reply(7, 4), EgressAction::Output(PortNo(2)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn request_storm_every_t_minus_one_is_detected() {
+        // The Sec 2.3 subtlety, on the real property: requests for a known
+        // address every T−1, never answered. NoRefresh detects at T.
+        let mut m = Monitor::with_defaults(reply_within(Duration::from_millis(1000)));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(1), reply(7, 3), EgressAction::Output(PortNo(0)));
+        for i in 0..5u64 {
+            tb.at_ms(10 + i * 999).arrive_depart(PortNo(2), request(4, 7), EgressAction::Drop);
+        }
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(30));
+        assert!(!m.violations().is_empty());
+        assert_eq!(m.violations()[0].time, Instant::ZERO + Duration::from_millis(1010));
+    }
+
+    #[test]
+    fn derived_features_match_table1_rows() {
+        // Row 1: L3, History; everything else blank; exact.
+        let fs = FeatureSet::of(&known_not_forwarded());
+        assert_eq!(fs.fields, swmon_packet::Layer::L3);
+        assert!(fs.history);
+        assert!(!fs.timeouts && !fs.obligation && !fs.identity && !fs.negative_match);
+        assert!(!fs.timeout_actions);
+        assert_eq!(fs.instance_id, InstanceIdClass::Exact);
+
+        // Row 2: L3, History, Obligation, Identity, T.Out.Acts; exact.
+        let fs = FeatureSet::of(&unknown_forwarded(REPLY_WAIT));
+        assert!(fs.history && fs.obligation && fs.identity && fs.timeout_actions);
+        assert!(!fs.timeouts && !fs.negative_match);
+        assert_eq!(fs.instance_id, InstanceIdClass::Exact);
+    }
+}

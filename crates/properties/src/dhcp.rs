@@ -1,0 +1,384 @@
+//! Table 1 — DHCP properties.
+//!
+//! Three rows: timely replies to lease requests, no re-use of a leased
+//! address during its lease, and no lease overlap between two servers.
+//! The request→reply direction inversion (client MAC appears as `EthSrc`
+//! in requests and `EthDst` in replies) is what makes these rows
+//! *symmetric*; the lease-duration window of the no-reuse row is read from
+//! the packet itself ([`swmon_core::property::WindowSpec::BoundSecs`]).
+
+use swmon_core::{var, ActionPattern, Atom, EventPattern, Property, PropertyBuilder};
+use swmon_packet::Field;
+use swmon_sim::time::Duration;
+
+/// DHCP message-type codes (option 53) as guard constants.
+pub mod msg {
+    /// DHCPREQUEST.
+    pub const REQUEST: u64 = 3;
+    /// DHCPACK.
+    pub const ACK: u64 = 5;
+    /// DHCPNAK.
+    pub const NAK: u64 = 6;
+    /// DHCPRELEASE.
+    pub const RELEASE: u64 = 7;
+}
+
+/// Table 1 row: *"Reply to lease request within T seconds."*
+/// The deadline refreshes on repeated requests (each retransmission
+/// deserves an answer within `t` of itself) — which is also what makes
+/// this row exercise Feature 3 timeouts, unlike the ARP deadline rows.
+pub fn reply_within(t: Duration) -> Property {
+    PropertyBuilder::new(
+        "dhcp/reply-within-T",
+        "lease requests are answered (ACK or NAK) within T seconds",
+    )
+    .observe("request", EventPattern::Arrival)
+        .eq(Field::DhcpMsgType, msg::REQUEST)
+        .bind("H", Field::EthSrc)
+        .bind("X", Field::DhcpXid)
+        .done()
+    .deadline("no-reply-within-T", t)
+        .refresh_on_repeat()
+        .unless(
+            EventPattern::Departure(ActionPattern::Forwarded),
+            vec![
+                Atom::AnyOf(vec![
+                    Atom::EqConst(Field::DhcpMsgType, msg::ACK.into()),
+                    Atom::EqConst(Field::DhcpMsgType, msg::NAK.into()),
+                ]),
+                Atom::Bind(var("H"), Field::EthDst),
+                Atom::Bind(var("X"), Field::DhcpXid),
+            ],
+        )
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Table 1 row: *"Leased addresses never re-used until expiration or
+/// release."* Violation: address `Y`, leased to client `C` for `L`
+/// seconds, is ACKed to a different client within `L` — unless `C`
+/// released it first.
+pub fn no_reuse_before_expiry() -> Property {
+    PropertyBuilder::new(
+        "dhcp/no-reuse-before-expiry",
+        "a leased address is not re-assigned during its lease unless released",
+    )
+    .observe("request", EventPattern::Arrival)
+        .eq(Field::DhcpMsgType, msg::REQUEST)
+        .bind("H", Field::EthSrc)
+        .bind("C", Field::DhcpChaddr)
+        .done()
+    .observe("lease-granted", EventPattern::Departure(ActionPattern::Forwarded))
+        .eq(Field::DhcpMsgType, msg::ACK)
+        .bind("H", Field::EthDst)
+        .bind("C", Field::DhcpChaddr)
+        .bind("Y", Field::DhcpYiaddr)
+        .bind("L", Field::DhcpLeaseSecs)
+        .done()
+    .observe("reassigned-early", EventPattern::Departure(ActionPattern::Forwarded))
+        .eq(Field::DhcpMsgType, msg::ACK)
+        .bind("Y", Field::DhcpYiaddr)
+        .neq_var(Field::DhcpChaddr, "C")
+        .within_bound_secs("L")
+        .unless(
+            EventPattern::Arrival,
+            vec![
+                Atom::EqConst(Field::DhcpMsgType, msg::RELEASE.into()),
+                Atom::Bind(var("Y"), Field::DhcpCiaddr),
+                Atom::Bind(var("C"), Field::DhcpChaddr),
+            ],
+        )
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Table 1 row: *"No lease overlap between DHCP servers."*
+/// Violation: address `Y` is ACKed by server `S1` and later by a different
+/// server `S2`.
+pub fn no_lease_overlap() -> Property {
+    PropertyBuilder::new(
+        "dhcp/no-lease-overlap",
+        "no address is leased by two different DHCP servers",
+    )
+    .observe("request", EventPattern::Arrival)
+        .eq(Field::DhcpMsgType, msg::REQUEST)
+        .bind("H", Field::EthSrc)
+        .done()
+    .observe("leased-by-s1", EventPattern::Departure(ActionPattern::Forwarded))
+        .eq(Field::DhcpMsgType, msg::ACK)
+        .bind("H", Field::EthDst)
+        .bind("Y", Field::DhcpYiaddr)
+        .bind("S1", Field::DhcpServerId)
+        .done()
+    .observe("leased-by-other-server", EventPattern::Departure(ActionPattern::Forwarded))
+        .eq(Field::DhcpMsgType, msg::ACK)
+        .bind("Y", Field::DhcpYiaddr)
+        .neq_var(Field::DhcpServerId, "S1")
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{DHCP_SERVER_1, DHCP_SERVER_2, REPLY_WAIT};
+    use swmon_core::{FeatureSet, InstanceIdClass, Monitor};
+    use swmon_packet::{DhcpMessage, Ipv4Address, MacAddr, Packet, PacketBuilder};
+    use swmon_sim::time::Instant;
+    use swmon_sim::{EgressAction, PortNo, TraceBuilder};
+
+    fn mac(x: u8) -> MacAddr {
+        MacAddr::new(2, 0, 0, 0, 0, x)
+    }
+
+    fn leased(x: u8) -> Ipv4Address {
+        Ipv4Address::new(10, 0, 0, 100 + x)
+    }
+
+    fn request_pkt(client: u8, xid: u32, ip: Ipv4Address, server: Ipv4Address) -> Packet {
+        PacketBuilder::dhcp(
+            mac(client),
+            Ipv4Address::UNSPECIFIED,
+            Ipv4Address::BROADCAST,
+            &DhcpMessage::request(xid, mac(client), ip, server),
+        )
+    }
+
+    fn ack_pkt(client: u8, xid: u32, ip: Ipv4Address, server: Ipv4Address, lease: u32) -> Packet {
+        PacketBuilder::dhcp(
+            MacAddr::new(2, 0, 0, 0, 0, 250),
+            server,
+            ip,
+            &DhcpMessage::ack(xid, mac(client), ip, server, lease),
+        )
+    }
+
+    fn release_pkt(client: u8, xid: u32, ip: Ipv4Address, server: Ipv4Address) -> Packet {
+        PacketBuilder::dhcp(
+            mac(client),
+            ip,
+            server,
+            &DhcpMessage::release(xid, mac(client), ip, server),
+        )
+    }
+
+    #[test]
+    fn unanswered_request_is_violation() {
+        let mut m = Monitor::with_defaults(reply_within(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(
+            PortNo(0),
+            request_pkt(1, 7, leased(1), DHCP_SERVER_1),
+            EgressAction::Flood,
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(m.violations()[0].time, Instant::ZERO + REPLY_WAIT);
+    }
+
+    #[test]
+    fn acked_request_is_fine() {
+        let mut m = Monitor::with_defaults(reply_within(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.at_ms(200).arrive_depart(
+            PortNo(1),
+            ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn retransmitted_request_refreshes_deadline() {
+        let mut m = Monitor::with_defaults(reply_within(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        // Retransmission at 800ms pushes the deadline to 1800ms; the ACK at
+        // 1500ms is therefore in time.
+        tb.at_ms(800).arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.at_ms(1500).arrive_depart(
+            PortNo(1),
+            ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert!(m.violations().is_empty());
+        assert_eq!(m.stats.refreshed, 1);
+    }
+
+    #[test]
+    fn early_reassignment_is_violation() {
+        let mut m = Monitor::with_defaults(no_reuse_before_expiry());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.at_ms(100).arrive_depart(
+            PortNo(1),
+            ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600), // 1 hour lease
+            EgressAction::Output(PortNo(0)),
+        );
+        // Ten minutes later the same address goes to client 2.
+        tb.at_ms(600_000).arrive_depart(
+            PortNo(1),
+            ack_pkt(2, 8, leased(1), DHCP_SERVER_1, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn reassignment_after_expiry_is_fine() {
+        let mut m = Monitor::with_defaults(no_reuse_before_expiry());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.at_ms(100).arrive_depart(
+            PortNo(1),
+            ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 60), // 1 minute lease
+            EgressAction::Output(PortNo(0)),
+        );
+        // 2 minutes later: the lease expired, re-use is fine.
+        tb.at_ms(120_100).arrive_depart(
+            PortNo(1),
+            ack_pkt(2, 8, leased(1), DHCP_SERVER_1, 60),
+            EgressAction::Output(PortNo(0)),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty(), "the bound-seconds window expired");
+    }
+
+    #[test]
+    fn reassignment_after_release_is_fine() {
+        let mut m = Monitor::with_defaults(no_reuse_before_expiry());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.at_ms(100).arrive_depart(
+            PortNo(1),
+            ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        // Client 1 releases; client 2 can have the address.
+        tb.at_ms(5000).arrive_depart(
+            PortNo(0),
+            release_pkt(1, 9, leased(1), DHCP_SERVER_1),
+            EgressAction::Output(PortNo(1)),
+        );
+        tb.at_ms(6000).arrive_depart(
+            PortNo(1),
+            ack_pkt(2, 10, leased(1), DHCP_SERVER_1, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+        assert_eq!(m.stats.cleared, 1);
+    }
+
+    #[test]
+    fn renewal_to_same_client_is_fine() {
+        let mut m = Monitor::with_defaults(no_reuse_before_expiry());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.at_ms(100).arrive_depart(
+            PortNo(1),
+            ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        // Same client renews: chaddr equal, so the negative match fails.
+        tb.at_ms(5000).arrive_depart(
+            PortNo(1),
+            ack_pkt(1, 11, leased(1), DHCP_SERVER_1, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn two_servers_leasing_same_address_is_violation() {
+        let mut m = Monitor::with_defaults(no_lease_overlap());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.at_ms(100).arrive_depart(
+            PortNo(1),
+            ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        tb.at_ms(200).arrive_depart(
+            PortNo(2),
+            ack_pkt(2, 8, leased(1), DHCP_SERVER_2, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn same_server_renewal_is_not_overlap() {
+        let mut m = Monitor::with_defaults(no_lease_overlap());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.at_ms(100).arrive_depart(
+            PortNo(1),
+            ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        tb.at_ms(200).arrive_depart(
+            PortNo(1),
+            ack_pkt(1, 9, leased(1), DHCP_SERVER_1, 3600),
+            EgressAction::Output(PortNo(0)),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn derived_features_match_table1() {
+        // Row: "Reply to lease request within T" — L7, History, Timeouts,
+        // T.Out.Acts; symmetric. (Obligation blank: the refreshed deadline
+        // is a bounded window, not a persistent obligation.)
+        let fs = FeatureSet::of(&reply_within(REPLY_WAIT));
+        assert_eq!(fs.fields, swmon_packet::Layer::L7);
+        assert!(fs.history && fs.timeouts && fs.timeout_actions);
+        assert!(!fs.obligation && !fs.identity && !fs.negative_match);
+        assert_eq!(fs.instance_id, InstanceIdClass::Symmetric);
+
+        // Row: "no lease overlap" — L7, History, Neg Match; symmetric.
+        let fs = FeatureSet::of(&no_lease_overlap());
+        assert!(fs.history && fs.negative_match);
+        assert!(!fs.timeouts && !fs.obligation && !fs.identity && !fs.timeout_actions);
+        assert_eq!(fs.instance_id, InstanceIdClass::Symmetric);
+
+        // Row: "no re-use before expiry" — L7, History, Timeouts; symmetric.
+        // Our sound encoding adds Neg Match (distinguishing the new client)
+        // and Obligation (the release clearing) — documented deviations.
+        let fs = FeatureSet::of(&no_reuse_before_expiry());
+        assert!(fs.history && fs.timeouts);
+        assert!(fs.negative_match && fs.obligation, "documented deviations");
+        assert_eq!(fs.instance_id, InstanceIdClass::Symmetric);
+    }
+}

@@ -1,0 +1,255 @@
+//! Table 1 — the DHCP + ARP proxy *wandering match* properties.
+//!
+//! These extend the ARP proxy by populating its cache from DHCP traffic:
+//! an address bound in a DHCP field (`DhcpYiaddr`) must later be matched in
+//! an ARP field (`ArpTargetIp`) — "mapping observations with different
+//! protocol fields to the same instance", the paper's defining example of
+//! wandering match.
+
+use crate::scenario::REPLY_WAIT;
+use swmon_core::{var, ActionPattern, Atom, EventPattern, Property, PropertyBuilder};
+use swmon_packet::Field;
+use swmon_sim::time::Duration;
+
+use crate::dhcp::msg;
+
+/// ARP opcode constants.
+const OP_REQUEST: u64 = 1;
+const OP_REPLY: u64 = 2;
+
+/// Table 1 row: *"Pre-load ARP cache with leased addresses."*
+/// Violation: address `Y` is leased to MAC `M` via DHCP, someone else asks
+/// for `Y` via ARP, and the proxy fails to answer within `t`.
+pub fn preload_cache(t: Duration) -> Property {
+    PropertyBuilder::new(
+        "dhcp-arp/preload-cache",
+        "ARP requests for DHCP-leased addresses are answered from the pre-loaded cache",
+    )
+    .observe("lease", EventPattern::Departure(ActionPattern::Forwarded))
+        .eq(Field::DhcpMsgType, msg::ACK)
+        .bind("Y", Field::DhcpYiaddr)
+        .bind("M", Field::DhcpChaddr)
+        .done()
+    .observe("arp-request-for-lease", EventPattern::Arrival)
+        .eq(Field::ArpOp, OP_REQUEST)
+        .bind("Y", Field::ArpTargetIp) // wandering: DHCP field → ARP field
+        .neq_var(Field::ArpSenderMac, "M") // the lease holder asking is moot
+        .done()
+    .deadline("not-answered", t)
+        .unless(
+            EventPattern::Departure(ActionPattern::Forwarded),
+            vec![
+                Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
+                Atom::Bind(var("Y"), Field::ArpSenderIp),
+                Atom::Bind(var("M"), Field::ArpSenderMac),
+            ],
+        )
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Convenience with the scenario default wait.
+pub fn preload_cache_default() -> Property {
+    preload_cache(REPLY_WAIT)
+}
+
+/// Table 1 row: *"No direct reply if neither pre-loaded nor prior reply
+/// seen."* Violation: the switch originates an ARP reply for `Y` although
+/// between the request and the reply it demonstrated no knowledge of `Y`
+/// (no DHCP lease of `Y` observed, no traversing reply for `Y`).
+///
+/// Scope note: knowledge acquired *before* the monitored window requires
+/// pre-populating the monitor (the paper pairs this row with the pre-load
+/// row for exactly that reason); the sequence language cannot quantify
+/// over the absence of arbitrarily old events.
+pub fn no_unfounded_direct_reply() -> Property {
+    PropertyBuilder::new(
+        "dhcp-arp/no-unfounded-direct-reply",
+        "the proxy only answers directly for addresses it learned via DHCP or ARP",
+    )
+    .observe("request", EventPattern::Arrival)
+        .eq(Field::ArpOp, OP_REQUEST)
+        .bind("Y", Field::ArpTargetIp)
+        .done()
+    .observe("unfounded-direct-reply", EventPattern::Departure(ActionPattern::Forwarded))
+        .eq(Field::ArpOp, OP_REPLY)
+        .bind("Y", Field::ArpSenderIp)
+        // Knowledge demonstrated in the window discharges the suspicion:
+        // a DHCP lease of Y...
+        .unless(
+            EventPattern::Departure(ActionPattern::Forwarded),
+            vec![
+                Atom::EqConst(Field::DhcpMsgType, msg::ACK.into()),
+                Atom::Bind(var("Y"), Field::DhcpYiaddr), // wandering
+            ],
+        )
+        // ...or a genuine reply for Y traversing the switch.
+        .unless(
+            EventPattern::Arrival,
+            vec![
+                Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
+                Atom::Bind(var("Y"), Field::ArpSenderIp),
+            ],
+        )
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::DHCP_SERVER_1;
+    use swmon_core::{FeatureSet, InstanceIdClass, Monitor};
+    use swmon_packet::{ArpPacket, DhcpMessage, Ipv4Address, MacAddr, Packet, PacketBuilder};
+    use swmon_sim::time::Instant;
+    use swmon_sim::{EgressAction, PortNo, TraceBuilder};
+
+    fn mac(x: u8) -> MacAddr {
+        MacAddr::new(2, 0, 0, 0, 0, x)
+    }
+
+    fn ip(x: u8) -> Ipv4Address {
+        Ipv4Address::new(10, 0, 0, x)
+    }
+
+    fn lease_ack(client: u8, addr: u8) -> Packet {
+        PacketBuilder::dhcp(
+            MacAddr::new(2, 0, 0, 0, 0, 250),
+            DHCP_SERVER_1,
+            ip(addr),
+            &DhcpMessage::ack(42, mac(client), ip(addr), DHCP_SERVER_1, 3600),
+        )
+    }
+
+    fn arp_request(from: u8, target: u8) -> Packet {
+        PacketBuilder::arp(ArpPacket::request(mac(from), ip(from), ip(target)))
+    }
+
+    fn arp_reply(owner_mac: u8, owner_ip: u8, to: u8) -> Packet {
+        let req = ArpPacket::request(mac(to), ip(to), ip(owner_ip));
+        PacketBuilder::arp(ArpPacket::reply_to(&req, mac(owner_mac)))
+    }
+
+    #[test]
+    fn unanswered_request_for_leased_address_is_violation() {
+        let mut m = Monitor::with_defaults(preload_cache(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        // DHCP leases 10.0.0.50 to client 1 (mac ...:01).
+        tb.arrive_depart(PortNo(1), lease_ack(1, 50), EgressAction::Output(PortNo(0)));
+        // Host 2 asks for 10.0.0.50; the proxy stays silent.
+        tb.at_ms(100).arrive_depart(PortNo(2), arp_request(2, 50), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(m.violations()[0].time, Instant::ZERO + Duration::from_millis(100) + REPLY_WAIT);
+    }
+
+    #[test]
+    fn answered_request_is_fine() {
+        let mut m = Monitor::with_defaults(preload_cache(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(1), lease_ack(1, 50), EgressAction::Output(PortNo(0)));
+        tb.at_ms(100).arrive_depart(PortNo(2), arp_request(2, 50), EgressAction::Drop);
+        // Proxy answers from its pre-loaded cache with the right MAC.
+        tb.at_ms(200).originate(arp_reply(1, 50, 2), EgressAction::Output(PortNo(2)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn wrong_mac_in_reply_still_violates() {
+        // Answering with the wrong MAC does not discharge the obligation.
+        let mut m = Monitor::with_defaults(preload_cache(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(1), lease_ack(1, 50), EgressAction::Output(PortNo(0)));
+        tb.at_ms(100).arrive_depart(PortNo(2), arp_request(2, 50), EgressAction::Drop);
+        tb.at_ms(200).originate(arp_reply(9, 50, 2), EgressAction::Output(PortNo(2)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn request_for_unleased_address_is_out_of_scope() {
+        let mut m = Monitor::with_defaults(preload_cache(REPLY_WAIT));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(1), lease_ack(1, 50), EgressAction::Output(PortNo(0)));
+        // Request for a different, unleased address.
+        tb.at_ms(100).arrive_depart(PortNo(2), arp_request(2, 99), EgressAction::Flood);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(10));
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn unfounded_direct_reply_is_violation() {
+        let mut m = Monitor::with_defaults(no_unfounded_direct_reply());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(2), arp_request(2, 50), EgressAction::Drop);
+        // The proxy invents an answer with no knowledge of 10.0.0.50.
+        tb.at_ms(1).originate(arp_reply(9, 50, 2), EgressAction::Output(PortNo(2)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn reply_after_dhcp_lease_is_founded() {
+        let mut m = Monitor::with_defaults(no_unfounded_direct_reply());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(2), arp_request(2, 50), EgressAction::Drop);
+        // A DHCP lease of .50 traverses before the proxy answers.
+        tb.at_ms(1).arrive_depart(PortNo(1), lease_ack(1, 50), EgressAction::Output(PortNo(0)));
+        tb.at_ms(2).originate(arp_reply(1, 50, 2), EgressAction::Output(PortNo(2)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+        assert_eq!(m.stats.cleared, 1);
+    }
+
+    #[test]
+    fn forwarded_request_never_suspects() {
+        let mut m = Monitor::with_defaults(no_unfounded_direct_reply());
+        let mut tb = TraceBuilder::new();
+        // The request is flooded; a genuine owner reply traverses back.
+        tb.arrive_depart(PortNo(2), arp_request(2, 50), EgressAction::Flood);
+        tb.at_ms(1).arrive_depart(PortNo(3), arp_reply(5, 50, 2), EgressAction::Output(PortNo(2)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty(), "traversing replies clear the suspicion");
+    }
+
+    #[test]
+    fn derived_features_match_table1() {
+        // Row: "Pre-load ARP cache" — L7, History, Neg Match, T.Out.Acts;
+        // wandering. (Our sound encoding adds Obligation via the clearing —
+        // a documented deviation.)
+        let fs = FeatureSet::of(&preload_cache(REPLY_WAIT));
+        assert_eq!(fs.fields, swmon_packet::Layer::L7);
+        assert!(fs.history && fs.negative_match && fs.timeout_actions);
+        assert!(!fs.timeouts && !fs.identity);
+        assert_eq!(fs.instance_id, InstanceIdClass::Wandering);
+
+        // Row: "No direct reply if neither pre-loaded nor prior reply seen"
+        // — L7, History, Obligation; wandering.
+        let fs = FeatureSet::of(&no_unfounded_direct_reply());
+        assert_eq!(fs.fields, swmon_packet::Layer::L7);
+        assert!(fs.history && fs.obligation);
+        assert!(!fs.timeouts && !fs.identity && !fs.negative_match && !fs.timeout_actions);
+        assert_eq!(fs.instance_id, InstanceIdClass::Wandering);
+    }
+}

@@ -1,0 +1,300 @@
+//! Sec 2.1 — the stateful firewall properties, in the paper's three
+//! refinement steps.
+//!
+//! Positive statement: *"After seeing traffic from internal host A to
+//! external host B, packets from B to A are not dropped"* — first
+//! unconditionally, then *"for T seconds after..."* (Feature 3), then
+//! *"...or until the connection is closed"* (Feature 4).
+
+use swmon_core::{
+    var, ActionPattern, Atom, EventPattern, Property, PropertyBuilder,
+};
+use swmon_packet::{Field, TcpFlags};
+use swmon_sim::time::Duration;
+
+/// Atoms matching a closing segment (FIN or RST) of the `A`→`B` connection
+/// in the given direction.
+fn close_atoms(src_var: &str, dst_var: &str) -> [Vec<Atom>; 2] {
+    // TCP flag sets containing FIN or RST vary (FIN|ACK etc.); we match the
+    // four common closing combinations via masked semantics using AnyOf over
+    // exact flag bytes observed in practice.
+    let closing_flag_values: Vec<Atom> = [
+        TcpFlags::FIN,
+        TcpFlags::FIN | TcpFlags::ACK,
+        TcpFlags::RST,
+        TcpFlags::RST | TcpFlags::ACK,
+    ]
+    .iter()
+    .map(|f| Atom::EqConst(Field::TcpFlags, u64::from(f.0).into()))
+    .collect();
+    [
+        vec![
+            Atom::Bind(var(src_var), Field::Ipv4Src),
+            Atom::Bind(var(dst_var), Field::Ipv4Dst),
+            Atom::AnyOf(closing_flag_values.clone()),
+        ],
+        vec![
+            Atom::Bind(var(dst_var), Field::Ipv4Src),
+            Atom::Bind(var(src_var), Field::Ipv4Dst),
+            Atom::AnyOf(closing_flag_values),
+        ],
+    ]
+}
+
+/// The opening observation: a packet from A to B arriving on the inside
+/// port. The obligation variant additionally excludes closing segments —
+/// a FIN must not re-open the pinhole it closes.
+fn outbound_stage(
+    b: PropertyBuilder,
+    exclude_closing: bool,
+) -> swmon_core::builder::StageBuilder {
+    let mut sb = b
+        .observe("outbound", EventPattern::Arrival)
+        .eq(Field::InPort, u64::from(crate::scenario::INSIDE_PORT.0))
+        .bind("A", Field::Ipv4Src)
+        .bind("B", Field::Ipv4Dst);
+    if exclude_closing {
+        for f in [
+            TcpFlags::FIN,
+            TcpFlags::FIN | TcpFlags::ACK,
+            TcpFlags::RST,
+            TcpFlags::RST | TcpFlags::ACK,
+        ] {
+            sb = sb.neq(Field::TcpFlags, u64::from(f.0));
+        }
+    }
+    sb
+}
+
+/// Basic version: any later `B → A` drop is a violation.
+pub fn return_not_dropped() -> Property {
+    outbound_stage(
+        PropertyBuilder::new(
+            "firewall/return-not-dropped",
+            "after A→B traffic, B→A packets are not dropped",
+        ),
+        false,
+    )
+    .done()
+    .observe("return-dropped", EventPattern::Departure(ActionPattern::Drop))
+        .bind("B", Field::Ipv4Src)
+        .bind("A", Field::Ipv4Dst)
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Timeout version (Feature 3): the drop only counts within `t` of the most
+/// recent `A → B` packet — the per-pair timer is "reset whenever a new A→B
+/// packet is seen".
+pub fn return_not_dropped_within(t: Duration) -> Property {
+    outbound_stage(
+        PropertyBuilder::new(
+            "firewall/return-not-dropped-within-T",
+            "for T seconds after A→B traffic, B→A packets are not dropped",
+        ),
+        false,
+    )
+    .done()
+    .observe("return-dropped", EventPattern::Departure(ActionPattern::Drop))
+        .bind("B", Field::Ipv4Src)
+        .bind("A", Field::Ipv4Dst)
+        .within(t)
+        .refresh_on_repeat()
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Obligation version (Feature 4): as above, but a connection close (FIN or
+/// RST in either direction) discharges the obligation — drops after a close
+/// are correct behaviour.
+pub fn return_until_close(t: Duration) -> Property {
+    let [fwd_close, rev_close] = close_atoms("A", "B");
+    outbound_stage(
+        PropertyBuilder::new(
+            "firewall/return-until-close",
+            "for T seconds after A→B traffic, or until the connection closes, B→A packets are not dropped",
+        ),
+        true,
+    )
+    .done()
+    .observe("return-dropped", EventPattern::Departure(ActionPattern::Drop))
+        .bind("B", Field::Ipv4Src)
+        .bind("A", Field::Ipv4Dst)
+        .within(t)
+        .refresh_on_repeat()
+        .unless(EventPattern::Arrival, fwd_close)
+        .unless(EventPattern::Arrival, rev_close)
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{INSIDE_PORT, OUTSIDE_PORT};
+    use swmon_core::{FeatureSet, InstanceIdClass, Monitor};
+    use swmon_packet::{Ipv4Address, MacAddr, Packet, PacketBuilder};
+    use swmon_sim::time::Instant;
+    use swmon_sim::{EgressAction, TraceBuilder};
+
+    fn pkt(src: u8, dst: u8, flags: TcpFlags) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, dst),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(192, 0, 2, dst),
+            40000,
+            443,
+            flags,
+            &[],
+        )
+    }
+
+    fn reverse(src: u8, dst: u8, flags: TcpFlags) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, dst),
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            Ipv4Address::new(192, 0, 2, dst),
+            Ipv4Address::new(10, 0, 0, src),
+            443,
+            40000,
+            flags,
+            &[],
+        )
+    }
+
+    #[test]
+    fn detects_dropped_return_traffic() {
+        let mut m = Monitor::with_defaults(return_not_dropped());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
+        tb.at_ms(10).arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn forwarded_return_traffic_is_fine() {
+        let mut m = Monitor::with_defaults(return_not_dropped());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
+        tb.at_ms(10)
+            .arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Output(INSIDE_PORT));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn unsolicited_inbound_drop_is_fine() {
+        let mut m = Monitor::with_defaults(return_not_dropped());
+        let mut tb = TraceBuilder::new();
+        // No outbound traffic: dropping B→A is the firewall doing its job.
+        tb.arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::SYN), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn timeout_version_forgives_late_drops() {
+        let t = Duration::from_secs(30);
+        let mut m = Monitor::with_defaults(return_not_dropped_within(t));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
+        tb.at_ms(31_000)
+            .arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty(), "drop after T is legitimate expiry");
+    }
+
+    #[test]
+    fn refresh_keeps_window_open() {
+        let t = Duration::from_secs(30);
+        let mut m = Monitor::with_defaults(return_not_dropped_within(t));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
+        tb.at_ms(25_000)
+            .arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::ACK), EgressAction::Output(OUTSIDE_PORT));
+        tb.at_ms(50_000)
+            .arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1, "window refreshed at 25s covers a 50s drop");
+    }
+
+    #[test]
+    fn close_discharges_obligation() {
+        let t = Duration::from_secs(30);
+        let mut m = Monitor::with_defaults(return_until_close(t));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
+        tb.at_ms(1000).arrive_depart(
+            INSIDE_PORT,
+            pkt(1, 9, TcpFlags::FIN | TcpFlags::ACK),
+            EgressAction::Output(OUTSIDE_PORT),
+        );
+        tb.at_ms(2000)
+            .arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty(), "drops after close are correct");
+    }
+
+    #[test]
+    fn without_close_the_obligation_version_still_detects() {
+        let t = Duration::from_secs(30);
+        let mut m = Monitor::with_defaults(return_until_close(t));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
+        tb.at_ms(2000)
+            .arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn derived_features_match_sec21() {
+        let fs = FeatureSet::of(&return_not_dropped());
+        assert_eq!(fs.fields, swmon_packet::Layer::L3, "basic version reads only addresses");
+        assert!(fs.history);
+        assert!(fs.drop_detection);
+        assert_eq!(fs.instance_id, InstanceIdClass::Symmetric);
+        assert!(!fs.timeouts && !fs.obligation);
+
+        let fs = FeatureSet::of(&return_not_dropped_within(Duration::from_secs(30)));
+        assert!(fs.timeouts);
+        assert!(!fs.obligation);
+
+        let fs = FeatureSet::of(&return_until_close(Duration::from_secs(30)));
+        assert!(fs.timeouts);
+        assert!(fs.obligation);
+        assert!(fs.negative_match, "opening stage excludes closing flags");
+    }
+
+    #[test]
+    fn end_of_trace_flush_is_clean() {
+        let mut m = Monitor::with_defaults(return_not_dropped_within(Duration::from_secs(30)));
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.advance_to(Instant::ZERO + Duration::from_secs(120));
+        assert!(m.violations().is_empty());
+        assert_eq!(m.live_instances(), 0, "window expiry reclaimed the instance");
+    }
+}

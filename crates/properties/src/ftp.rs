@@ -1,0 +1,139 @@
+//! Table 1 — FTP property (from FAST): *"Data L4 port matches L4 port given
+//! in control stream."*
+//!
+//! Active-mode FTP: the client announces its data endpoint in a `PORT`
+//! command on the control channel (client→server); the server then opens
+//! the data connection back to the client (server→client) — the direction
+//! inversion is why the paper classifies the row as symmetric. The
+//! violation is a data connection to a port other than the announced one.
+
+use swmon_core::{ActionPattern, EventPattern, Property, PropertyBuilder};
+use swmon_packet::{Field, TcpFlags};
+
+/// FTP's well-known active-mode data source port.
+pub const FTP_DATA_SRC_PORT: u16 = 20;
+
+/// The Table 1 FTP row.
+pub fn data_port_matches_control() -> Property {
+    PropertyBuilder::new(
+        "ftp/data-port-matches-control",
+        "the data connection uses the port announced on the control channel",
+    )
+    // Control: client A announces its data port DP to server B.
+    .observe("port-command", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Src)
+        .bind("B", Field::Ipv4Dst)
+        .bind("DP", Field::FtpDataPort)
+        .done()
+    // Data: server B connects back to client A... on the wrong port.
+    .observe("data-to-wrong-port", EventPattern::Departure(ActionPattern::Forwarded))
+        .bind("B", Field::Ipv4Src)
+        .bind("A", Field::Ipv4Dst)
+        .eq(Field::L4Src, FTP_DATA_SRC_PORT)
+        .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
+        .neq_var(Field::L4Dst, "DP")
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{FeatureSet, InstanceIdClass, Monitor};
+    use swmon_packet::{FtpControl, Ipv4Address, MacAddr, Packet, PacketBuilder};
+    use swmon_sim::{EgressAction, PortNo, TraceBuilder};
+
+    const CLIENT: Ipv4Address = Ipv4Address::new(10, 0, 0, 5);
+    const SERVER: Ipv4Address = Ipv4Address::new(192, 0, 2, 7);
+
+    fn port_cmd(data_port: u16) -> Packet {
+        PacketBuilder::ftp_control(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            CLIENT,
+            SERVER,
+            41000,
+            21,
+            vec![FtpControl::Port { addr: CLIENT, port: data_port }],
+        )
+    }
+
+    fn data_syn(dport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            SERVER,
+            CLIENT,
+            FTP_DATA_SRC_PORT,
+            dport,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+    #[test]
+    fn wrong_data_port_is_violation() {
+        let mut m = Monitor::with_defaults(data_port_matches_control());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), port_cmd(5001), EgressAction::Output(PortNo(1)));
+        tb.at_ms(10).arrive_depart(PortNo(1), data_syn(5002), EgressAction::Output(PortNo(0)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn announced_data_port_is_fine() {
+        let mut m = Monitor::with_defaults(data_port_matches_control());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), port_cmd(5001), EgressAction::Output(PortNo(1)));
+        tb.at_ms(10).arrive_depart(PortNo(1), data_syn(5001), EgressAction::Output(PortNo(0)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn reannouncement_updates_expectation_via_new_instance() {
+        // The client announces 5001, then re-announces 5002. A data
+        // connection to 5002 violates the *stale* instance (5001) — the
+        // property as literally written flags any data connection that
+        // mismatches *some* outstanding announcement. Real deployments
+        // would scope announcements per control connection; we document the
+        // conservative reading.
+        let mut m = Monitor::with_defaults(data_port_matches_control());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), port_cmd(5001), EgressAction::Output(PortNo(1)));
+        tb.at_ms(5).arrive_depart(PortNo(0), port_cmd(5002), EgressAction::Output(PortNo(1)));
+        tb.at_ms(10).arrive_depart(PortNo(1), data_syn(5002), EgressAction::Output(PortNo(0)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1, "conservative: the 5001 instance fires");
+    }
+
+    #[test]
+    fn non_ftp_traffic_is_ignored() {
+        let mut m = Monitor::with_defaults(data_port_matches_control());
+        let mut tb = TraceBuilder::new();
+        // A plain TCP SYN from the server with no prior announcement.
+        tb.arrive_depart(PortNo(1), data_syn(5002), EgressAction::Output(PortNo(0)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn derived_features_match_table1() {
+        // Row: L7, History, Neg Match; symmetric.
+        let fs = FeatureSet::of(&data_port_matches_control());
+        assert_eq!(fs.fields, swmon_packet::Layer::L7);
+        assert!(fs.history && fs.negative_match);
+        assert!(!fs.timeouts && !fs.obligation && !fs.identity && !fs.timeout_actions);
+        assert_eq!(fs.instance_id, InstanceIdClass::Symmetric);
+    }
+}

@@ -1,0 +1,208 @@
+//! Sec 1 and Sec 2.4 — learning-switch properties.
+//!
+//! The paper's opening example: *"Once a destination D is learned, packets
+//! to D are unicast on the appropriate port"*, plus the Sec 2.4
+//! multiple-match extension: *"link-down messages delete the set of learned
+//! destinations"*.
+
+use swmon_core::{var, ActionPattern, Atom, EventPattern, OobPattern, Property, PropertyBuilder};
+use swmon_packet::Field;
+
+/// Violation: a packet from D is seen (teaching the switch D's location),
+/// and a later packet addressed to D is flooded anyway.
+pub fn no_flood_after_learn() -> Property {
+    PropertyBuilder::new(
+        "learning-switch/no-flood-after-learn",
+        "once a destination D is learned, packets to D are not broadcast",
+    )
+    .observe("learn", EventPattern::Arrival)
+        .bind("D", Field::EthSrc)
+        .done()
+    .observe("flooded-anyway", EventPattern::Departure(ActionPattern::Flood))
+        .bind("D", Field::EthDst)
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Violation: D was learned arriving on port P, and a later packet to D is
+/// unicast out a *different* port.
+pub fn correct_port() -> Property {
+    PropertyBuilder::new(
+        "learning-switch/correct-port",
+        "packets to a learned destination are unicast on the port it was learned on",
+    )
+    .observe("learn", EventPattern::Arrival)
+        .bind("D", Field::EthSrc)
+        .bind("P", Field::InPort)
+        .done()
+    .observe("wrong-port", EventPattern::Departure(ActionPattern::Unicast))
+        .bind("D", Field::EthDst)
+        .neq_var(Field::OutPort, "P")
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Sec 2.4 multiple match: after a link-down, previously learned
+/// destinations must be forgotten — a unicast to D without D re-announcing
+/// itself is a violation. The link-down observation must advance one
+/// instance **per learned D**, which is what makes this property expensive
+/// for per-flow state machines.
+pub fn flush_on_link_down() -> Property {
+    PropertyBuilder::new(
+        "learning-switch/flush-on-link-down",
+        "link-down events delete the set of learned destinations",
+    )
+    .observe("learn", EventPattern::Arrival)
+        .bind("D", Field::EthSrc)
+        .done()
+    .observe("link-down", EventPattern::OutOfBand(OobPattern::PortDown))
+        .done()
+    .observe("stale-unicast", EventPattern::Departure(ActionPattern::Unicast))
+        .bind("D", Field::EthDst)
+        // "...without intervening D-sourced packets": a re-announcement from
+        // D discharges the obligation (relearning is legitimate).
+        .unless(EventPattern::Arrival, vec![Atom::Bind(var("D"), Field::EthSrc)])
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{FeatureSet, InstanceIdClass, Monitor};
+    use swmon_packet::{Ipv4Address, MacAddr, Packet, PacketBuilder, TcpFlags};
+    use swmon_sim::{EgressAction, OobEvent, PortNo, SwitchId, TraceBuilder};
+
+    fn pkt(src: u8, dst: u8) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, dst),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, dst),
+            1,
+            2,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+    #[test]
+    fn flood_after_learn_is_violation() {
+        let mut m = Monitor::with_defaults(no_flood_after_learn());
+        let mut tb = TraceBuilder::new();
+        // Host 1 announces itself on port 0 (flooding its first packet is fine
+        // — destination 2 is unknown).
+        tb.arrive_depart(PortNo(0), pkt(1, 2), EgressAction::Flood);
+        // But now a packet *to* host 1 is flooded: the switch failed to learn.
+        tb.at_ms(10).arrive_depart(PortNo(3), pkt(2, 1), EgressAction::Flood);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn unicast_after_learn_is_fine() {
+        let mut m = Monitor::with_defaults(no_flood_after_learn());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), pkt(1, 2), EgressAction::Flood);
+        tb.at_ms(10).arrive_depart(PortNo(3), pkt(2, 1), EgressAction::Output(PortNo(0)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn wrong_port_is_violation() {
+        let mut m = Monitor::with_defaults(correct_port());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), pkt(1, 2), EgressAction::Flood);
+        // Unicast to host 1, but out port 2 instead of port 0.
+        tb.at_ms(10).arrive_depart(PortNo(3), pkt(2, 1), EgressAction::Output(PortNo(2)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn right_port_is_fine() {
+        let mut m = Monitor::with_defaults(correct_port());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), pkt(1, 2), EgressAction::Flood);
+        tb.at_ms(10).arrive_depart(PortNo(3), pkt(2, 1), EgressAction::Output(PortNo(0)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn link_down_flush_detects_stale_entries() {
+        let mut m = Monitor::with_defaults(flush_on_link_down());
+        let mut tb = TraceBuilder::new();
+        // Learn two hosts.
+        tb.arrive_depart(PortNo(0), pkt(1, 9), EgressAction::Flood);
+        tb.at_ms(1).arrive_depart(PortNo(1), pkt(2, 9), EgressAction::Flood);
+        // A link goes down: the table must be flushed.
+        tb.at_ms(5).oob(OobEvent::PortDown(SwitchId(0), PortNo(0)));
+        // Unicasting to host 2 now means the switch kept stale state.
+        tb.at_ms(10).arrive_depart(PortNo(3), pkt(9, 2), EgressAction::Output(PortNo(1)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+        // The single link-down advanced *both* learned-host instances.
+        assert_eq!(m.stats.advanced, 3, "2 multi-match advances + 1 final");
+    }
+
+    #[test]
+    fn flood_after_link_down_is_fine() {
+        let mut m = Monitor::with_defaults(flush_on_link_down());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), pkt(1, 9), EgressAction::Flood);
+        tb.at_ms(5).oob(OobEvent::PortDown(SwitchId(0), PortNo(0)));
+        tb.at_ms(10).arrive_depart(PortNo(3), pkt(9, 1), EgressAction::Flood);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty(), "flooding after flush is correct");
+    }
+
+    #[test]
+    fn relearn_after_link_down_is_fine() {
+        let mut m = Monitor::with_defaults(flush_on_link_down());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), pkt(1, 9), EgressAction::Flood);
+        tb.at_ms(5).oob(OobEvent::PortDown(SwitchId(0), PortNo(0)));
+        // Host 1 re-announces (from its new port), so unicast is legitimate.
+        tb.at_ms(7).arrive_depart(PortNo(2), pkt(1, 9), EgressAction::Flood);
+        tb.at_ms(10).arrive_depart(PortNo(3), pkt(9, 1), EgressAction::Output(PortNo(2)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        // The re-announcement clears the pending instance ("without
+        // intervening D-sourced packets"), so unicasting afterwards is fine.
+        assert!(m.violations().is_empty());
+        assert_eq!(m.stats.cleared, 1);
+    }
+
+    #[test]
+    fn derived_features() {
+        let fs = FeatureSet::of(&no_flood_after_learn());
+        assert_eq!(fs.fields, swmon_packet::Layer::L2);
+        assert!(fs.egress_metadata, "needs flood-vs-unicast discrimination");
+        assert_eq!(fs.instance_id, InstanceIdClass::Symmetric, "EthSrc↔EthDst");
+
+        let fs = FeatureSet::of(&correct_port());
+        assert!(fs.negative_match, "OutPort != P");
+        assert!(fs.egress_metadata);
+
+        let fs = FeatureSet::of(&flush_on_link_down());
+        assert!(fs.out_of_band, "link-down is out-of-band (multiple match)");
+    }
+}

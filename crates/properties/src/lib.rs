@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # swmon-props — the property catalog
+//!
+//! Every correctness property the paper discusses, written in the
+//! `swmon-core` language: the four Sec 2 running examples (stateful
+//! firewall, NAT, ARP cache proxy, learning switch) and all thirteen
+//! Table 1 rows (ARP proxy, port knocking, load balancing, FTP, DHCP,
+//! DHCP + ARP proxy).
+//!
+//! [`table1`] pairs each Table 1 property with the paper's printed row and
+//! regenerates the table from [`swmon_core::FeatureSet`] derivation
+//! (experiment E1).
+
+pub mod arp_proxy;
+pub mod dhcp;
+pub mod dhcp_arp;
+pub mod firewall;
+pub mod ftp;
+pub mod learning_switch;
+pub mod load_balancer;
+pub mod nat;
+pub mod port_knocking;
+pub mod scenario;
+pub mod table1;

@@ -1,0 +1,310 @@
+//! Table 1 — load-balancing properties (derived from FAST's examples).
+//!
+//! Scenario (see [`crate::scenario`]): clients reach the VIP through the
+//! switch; backend *i* hangs off port `LB_BASE_PORT + i`. A hash (or
+//! round-robin) policy assigns each new flow a backend; the assignment must
+//! be correct and stable, for both directions of the flow.
+
+use crate::scenario::{LB_BACKENDS, LB_BASE_PORT, LB_VIP};
+use swmon_core::{var, ActionPattern, Atom, EventPattern, Property, PropertyBuilder};
+use swmon_packet::{Field, TcpFlags};
+
+/// Clearing guards: the flow (either direction) closes.
+fn close_clearings() -> [Vec<Atom>; 2] {
+    let closing: Vec<Atom> = [
+        TcpFlags::FIN,
+        TcpFlags::FIN | TcpFlags::ACK,
+        TcpFlags::RST,
+        TcpFlags::RST | TcpFlags::ACK,
+    ]
+    .iter()
+    .map(|f| Atom::EqConst(Field::TcpFlags, u64::from(f.0).into()))
+    .collect();
+    [
+        vec![
+            Atom::Bind(var("A"), Field::Ipv4Src),
+            Atom::Bind(var("P"), Field::L4Src),
+            Atom::AnyOf(closing.clone()),
+        ],
+        vec![
+            Atom::Bind(var("A"), Field::Ipv4Dst),
+            Atom::Bind(var("P"), Field::L4Dst),
+            Atom::AnyOf(closing),
+        ],
+    ]
+}
+
+/// Table 1 row: *"New flows go to hashed port."*
+/// Violation: a new flow's first packet is forwarded to a backend other
+/// than `hash(client ip, client port) % N`. The obligation (expectation of
+/// correct assignment) is discharged if the flow closes first.
+pub fn new_flow_hashed_port() -> Property {
+    let [fwd_close, rev_close] = close_clearings();
+    PropertyBuilder::new(
+        "lb/new-flow-hashed-port",
+        "a new flow is assigned the backend selected by the hash policy",
+    )
+    .observe("new-flow", EventPattern::Arrival)
+        .eq(Field::Ipv4Dst, LB_VIP)
+        .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
+        .bind("A", Field::Ipv4Src)
+        .bind("P", Field::L4Src)
+        .done()
+    .observe("wrong-backend", EventPattern::Departure(ActionPattern::Unicast))
+        .same_packet_as(0)
+        .atom(Atom::HashedPortMismatch {
+            fields: vec![Field::Ipv4Src, Field::L4Src],
+            modulus: LB_BACKENDS,
+            base: LB_BASE_PORT,
+        })
+        .unless(EventPattern::Arrival, fwd_close)
+        .unless(EventPattern::Arrival, rev_close)
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Table 1 row: *"New flows go to round-robin port."*
+/// Violation: flow *k+1*'s first packet is not assigned the successor of
+/// flow *k*'s backend.
+pub fn new_flow_round_robin() -> Property {
+    let [fwd_close, rev_close] = close_clearings();
+    PropertyBuilder::new(
+        "lb/new-flow-round-robin",
+        "each new flow is assigned the round-robin successor of the previous assignment",
+    )
+    .observe("flow-k", EventPattern::Arrival)
+        .eq(Field::Ipv4Dst, LB_VIP)
+        .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
+        .bind("A", Field::Ipv4Src)
+        .bind("P", Field::L4Src)
+        .done()
+    .observe("flow-k-assigned", EventPattern::Departure(ActionPattern::Unicast))
+        .same_packet_as(0)
+        .bind("O", Field::OutPort)
+        .done()
+    .observe("flow-k1", EventPattern::Arrival)
+        .eq(Field::Ipv4Dst, LB_VIP)
+        .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
+        .done()
+    .observe("flow-k1-misassigned", EventPattern::Departure(ActionPattern::Unicast))
+        .same_packet_as(2)
+        .atom(Atom::RrSuccessorMismatch {
+            prev: var("O"),
+            modulus: LB_BACKENDS,
+            base: LB_BASE_PORT,
+        })
+        .unless(EventPattern::Arrival, fwd_close)
+        .unless(EventPattern::Arrival, rev_close)
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Table 1 row: *"No change in port until flow closed."*
+/// Violation: the flow was assigned backend port `O`, yet its return
+/// traffic arrives on (i.e. the flow is now using) a different backend
+/// port. The reverse-direction match is what makes the instance
+/// identification symmetric.
+pub fn stable_assignment() -> Property {
+    PropertyBuilder::new(
+        "lb/stable-assignment",
+        "a flow's backend assignment does not change while the flow is open",
+    )
+    .observe("flow-start", EventPattern::Arrival)
+        .eq(Field::Ipv4Dst, LB_VIP)
+        .bind("A", Field::Ipv4Src)
+        .bind("P", Field::L4Src)
+        .done()
+    .observe("assigned", EventPattern::Departure(ActionPattern::Unicast))
+        .same_packet_as(0)
+        .bind("O", Field::OutPort)
+        .done()
+    .observe("return-from-wrong-backend", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Dst)
+        .bind("P", Field::L4Dst)
+        .neq_var(Field::InPort, "O")
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::LB_CLIENT_PORT;
+    use swmon_core::{FeatureSet, InstanceIdClass, Monitor};
+    use swmon_packet::{field::values_hash, Ipv4Address, MacAddr, Packet, PacketBuilder};
+    use swmon_sim::{EgressAction, PortNo, TraceBuilder};
+
+    fn client(x: u8) -> Ipv4Address {
+        Ipv4Address::new(10, 0, 1, x)
+    }
+
+    fn syn(src: u8, sport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, 100),
+            client(src),
+            LB_VIP,
+            sport,
+            80,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+    fn ret(dst: u8, dport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 100),
+            MacAddr::new(2, 0, 0, 0, 0, dst),
+            LB_VIP,
+            client(dst),
+            80,
+            dport,
+            TcpFlags::ACK,
+            &[],
+        )
+    }
+
+    /// The backend port the hash policy should pick for this flow.
+    fn hashed_port(src: u8, sport: u16) -> PortNo {
+        let p = syn(src, sport);
+        let h = values_hash([p.field(Field::Ipv4Src), p.field(Field::L4Src)]);
+        PortNo((LB_BASE_PORT + h % LB_BACKENDS) as u16)
+    }
+
+    #[test]
+    fn hashed_assignment_correct_is_fine() {
+        let mut m = Monitor::with_defaults(new_flow_hashed_port());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(LB_CLIENT_PORT, syn(1, 4000), EgressAction::Output(hashed_port(1, 4000)));
+        tb.at_ms(1).arrive_depart(LB_CLIENT_PORT, syn(2, 4001), EgressAction::Output(hashed_port(2, 4001)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn hashed_assignment_wrong_is_violation() {
+        let mut m = Monitor::with_defaults(new_flow_hashed_port());
+        let right = hashed_port(1, 4000);
+        let wrong = PortNo(if right.0 == LB_BASE_PORT as u16 {
+            (LB_BASE_PORT + 1) as u16
+        } else {
+            LB_BASE_PORT as u16
+        });
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(LB_CLIENT_PORT, syn(1, 4000), EgressAction::Output(wrong));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn round_robin_in_order_is_fine() {
+        let mut m = Monitor::with_defaults(new_flow_round_robin());
+        let mut tb = TraceBuilder::new();
+        for (i, sport) in (0..4u64).zip([4000u16, 4001, 4002, 4003]) {
+            let port = PortNo((LB_BASE_PORT + (i % LB_BACKENDS)) as u16);
+            tb.at_ms(i).arrive_depart(LB_CLIENT_PORT, syn(i as u8 + 1, sport), EgressAction::Output(port));
+        }
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn round_robin_skip_is_violation() {
+        let mut m = Monitor::with_defaults(new_flow_round_robin());
+        let mut tb = TraceBuilder::new();
+        // Backend 0 then backend 2: skipped 1.
+        tb.arrive_depart(LB_CLIENT_PORT, syn(1, 4000), EgressAction::Output(PortNo(LB_BASE_PORT as u16)));
+        tb.at_ms(1).arrive_depart(
+            LB_CLIENT_PORT,
+            syn(2, 4001),
+            EgressAction::Output(PortNo((LB_BASE_PORT + 2) as u16)),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(!m.violations().is_empty());
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let mut m = Monitor::with_defaults(new_flow_round_robin());
+        let mut tb = TraceBuilder::new();
+        // Last backend then first: correct wrap-around.
+        tb.arrive_depart(
+            LB_CLIENT_PORT,
+            syn(1, 4000),
+            EgressAction::Output(PortNo((LB_BASE_PORT + LB_BACKENDS - 1) as u16)),
+        );
+        tb.at_ms(1).arrive_depart(
+            LB_CLIENT_PORT,
+            syn(2, 4001),
+            EgressAction::Output(PortNo(LB_BASE_PORT as u16)),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn stable_assignment_violated_by_moved_flow() {
+        let mut m = Monitor::with_defaults(stable_assignment());
+        let mut tb = TraceBuilder::new();
+        let b0 = PortNo(LB_BASE_PORT as u16);
+        let b1 = PortNo((LB_BASE_PORT + 1) as u16);
+        tb.arrive_depart(LB_CLIENT_PORT, syn(1, 4000), EgressAction::Output(b0));
+        // Return traffic arrives on the *wrong* backend port: the flow moved.
+        tb.at_ms(5).arrive(b1, ret(1, 4000));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn stable_assignment_ok_when_return_uses_assigned_backend() {
+        let mut m = Monitor::with_defaults(stable_assignment());
+        let mut tb = TraceBuilder::new();
+        let b0 = PortNo(LB_BASE_PORT as u16);
+        tb.arrive_depart(LB_CLIENT_PORT, syn(1, 4000), EgressAction::Output(b0));
+        tb.at_ms(5).arrive(b0, ret(1, 4000));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn derived_features_match_table1() {
+        // "New flows go to hashed port": L4, History, Obligation, Identity;
+        // symmetric.
+        let fs = FeatureSet::of(&new_flow_hashed_port());
+        assert_eq!(fs.fields, swmon_packet::Layer::L4);
+        assert!(fs.history && fs.obligation && fs.identity);
+        assert!(!fs.timeouts && !fs.timeout_actions);
+        assert!(!fs.negative_match, "hash mismatch is not Table 1 negative match");
+        assert_eq!(fs.instance_id, InstanceIdClass::Symmetric);
+
+        // "New flows go to round-robin port": same row shape.
+        let fs = FeatureSet::of(&new_flow_round_robin());
+        assert!(fs.history && fs.obligation && fs.identity);
+        assert!(!fs.negative_match);
+        assert_eq!(fs.instance_id, InstanceIdClass::Symmetric);
+
+        // "No change in port until flow closed": L4, History, Identity,
+        // Neg Match; symmetric.
+        let fs = FeatureSet::of(&stable_assignment());
+        assert!(fs.history && fs.identity && fs.negative_match);
+        assert!(!fs.timeouts && !fs.obligation && !fs.timeout_actions);
+        assert_eq!(fs.instance_id, InstanceIdClass::Symmetric);
+    }
+}

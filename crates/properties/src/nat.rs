@@ -1,0 +1,166 @@
+//! Sec 2.2 — NAT reverse-translation correctness.
+//!
+//! *"Return packets are translated according to their corresponding initial
+//! outgoing translation."* The four-observation violation needs **packet
+//! identity** (Feature 5) to tie each arrival to its rewritten departure,
+//! and **negative match** (Feature 6) — disjunctive, `A″ ≠ A or P″ ≠ P` —
+//! to detect the wrong reverse translation.
+
+use crate::scenario::{INSIDE_PORT, OUTSIDE_PORT};
+use swmon_core::{var, ActionPattern, Atom, EventPattern, Property, PropertyBuilder};
+use swmon_packet::Field;
+
+/// The Sec 2.2 property, verbatim in our language.
+pub fn reverse_translation() -> Property {
+    PropertyBuilder::new(
+        "nat/reverse-translation",
+        "return packets are translated back to the original internal endpoint",
+    )
+    // (1) A,P → B,Q arrives from the internal network.
+    .observe("outbound-arrival", EventPattern::Arrival)
+        .eq(Field::InPort, u64::from(INSIDE_PORT.0))
+        .bind("A", Field::Ipv4Src)
+        .bind("P", Field::L4Src)
+        .bind("B", Field::Ipv4Dst)
+        .bind("Q", Field::L4Dst)
+        .done()
+    // (2) The same packet departs with translated source A′,P′.
+    .observe("outbound-translated", EventPattern::Departure(ActionPattern::Forwarded))
+        .same_packet_as(0)
+        .bind("A2", Field::Ipv4Src)
+        .bind("P2", Field::L4Src)
+        .done()
+    // (3) A return packet B,Q → A′,P′ arrives from outside.
+    .observe("return-arrival", EventPattern::Arrival)
+        .eq(Field::InPort, u64::from(OUTSIDE_PORT.0))
+        .bind("B", Field::Ipv4Src)
+        .bind("Q", Field::L4Src)
+        .bind("A2", Field::Ipv4Dst)
+        .bind("P2", Field::L4Dst)
+        .done()
+    // (4) The same packet departs with destination ≠ A,P: mistranslated.
+    .observe("bad-reverse-translation", EventPattern::Departure(ActionPattern::Forwarded))
+        .same_packet_as(2)
+        .any_of(vec![
+            Atom::NeqVar(Field::Ipv4Dst, var("A")),
+            Atom::NeqVar(Field::L4Dst, var("P")),
+        ])
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::NAT_PUBLIC_IP;
+    use swmon_core::{FeatureSet, Monitor};
+    use swmon_packet::{Ipv4Address, MacAddr, Packet, PacketBuilder, TcpFlags};
+    use swmon_sim::{EgressAction, TraceBuilder};
+
+    const CLIENT: Ipv4Address = Ipv4Address::new(10, 0, 0, 5);
+    const SERVER: Ipv4Address = Ipv4Address::new(192, 0, 2, 7);
+
+    fn tcp(src: Ipv4Address, sport: u16, dst: Ipv4Address, dport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            src,
+            dst,
+            sport,
+            dport,
+            TcpFlags::ACK,
+            &[],
+        )
+    }
+
+    /// Run a NAT exchange; `reverse_to` is where the switch sends the
+    /// return packet.
+    fn run(reverse_to: (Ipv4Address, u16)) -> usize {
+        let mut m = Monitor::with_defaults(reverse_translation());
+        let mut tb = TraceBuilder::new();
+        // Outbound: client:4000 → server:80, translated to public:61000.
+        let id = tb.arrive(INSIDE_PORT, tcp(CLIENT, 4000, SERVER, 80));
+        tb.depart(id, tcp(NAT_PUBLIC_IP, 61000, SERVER, 80), EgressAction::Output(OUTSIDE_PORT));
+        // Return: server:80 → public:61000, reverse-translated.
+        tb.at_ms(10);
+        let rid = tb.arrive(OUTSIDE_PORT, tcp(SERVER, 80, NAT_PUBLIC_IP, 61000));
+        tb.depart(
+            rid,
+            tcp(SERVER, 80, reverse_to.0, reverse_to.1),
+            EgressAction::Output(INSIDE_PORT),
+        );
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        m.violations().len()
+    }
+
+    #[test]
+    fn correct_reverse_translation_is_fine() {
+        assert_eq!(run((CLIENT, 4000)), 0);
+    }
+
+    #[test]
+    fn wrong_address_detected() {
+        assert_eq!(run((Ipv4Address::new(10, 0, 0, 99), 4000)), 1);
+    }
+
+    #[test]
+    fn wrong_port_detected() {
+        assert_eq!(run((CLIENT, 4999)), 1, "address right, port wrong: the OR matters");
+    }
+
+    #[test]
+    fn both_wrong_detected_once() {
+        assert_eq!(run((Ipv4Address::new(10, 0, 0, 99), 4999)), 1);
+    }
+
+    #[test]
+    fn unrelated_return_flow_ignored() {
+        let mut m = Monitor::with_defaults(reverse_translation());
+        let mut tb = TraceBuilder::new();
+        let id = tb.arrive(INSIDE_PORT, tcp(CLIENT, 4000, SERVER, 80));
+        tb.depart(id, tcp(NAT_PUBLIC_IP, 61000, SERVER, 80), EgressAction::Output(OUTSIDE_PORT));
+        // Return traffic for a *different* translated port: not ours.
+        tb.at_ms(10);
+        let rid = tb.arrive(OUTSIDE_PORT, tcp(SERVER, 80, NAT_PUBLIC_IP, 62000));
+        tb.depart(rid, tcp(SERVER, 80, Ipv4Address::new(10, 0, 0, 50), 1234), EgressAction::Output(INSIDE_PORT));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn identity_prevents_cross_packet_confusion() {
+        // The translated departure of a *different* packet must not satisfy
+        // stage (2).
+        let mut m = Monitor::with_defaults(reverse_translation());
+        let mut tb = TraceBuilder::new();
+        let id1 = tb.arrive(INSIDE_PORT, tcp(CLIENT, 4000, SERVER, 80));
+        // Another outbound packet departs first with its own translation.
+        let id2 = tb.arrive(INSIDE_PORT, tcp(Ipv4Address::new(10, 0, 0, 6), 5000, SERVER, 80));
+        tb.depart(id2, tcp(NAT_PUBLIC_IP, 62000, SERVER, 80), EgressAction::Output(OUTSIDE_PORT));
+        tb.depart(id1, tcp(NAT_PUBLIC_IP, 61000, SERVER, 80), EgressAction::Output(OUTSIDE_PORT));
+        // Return for 61000 correctly translated: no violation, because
+        // identity tied 61000 (not 62000) to the CLIENT instance.
+        tb.at_ms(10);
+        let rid = tb.arrive(OUTSIDE_PORT, tcp(SERVER, 80, NAT_PUBLIC_IP, 61000));
+        tb.depart(rid, tcp(SERVER, 80, CLIENT, 4000), EgressAction::Output(INSIDE_PORT));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn derived_features_match_sec22() {
+        let fs = FeatureSet::of(&reverse_translation());
+        assert!(fs.identity, "Feature 5");
+        assert!(fs.negative_match, "Feature 6");
+        assert!(fs.history);
+        assert_eq!(fs.fields, swmon_packet::Layer::L4);
+        assert!(!fs.timeout_actions);
+    }
+}

@@ -1,0 +1,202 @@
+//! Table 1 — port-knocking properties (originally from Varanus).
+//!
+//! A knocker must hit [`crate::scenario::KNOCK_SEQ`] in order; a correct
+//! sequence opens [`crate::scenario::PROTECTED_PORT`] for that source, and
+//! any wrong intervening guess invalidates progress.
+
+use crate::scenario::{KNOCK_SEQ, PROTECTED_PORT};
+use swmon_core::{var, ActionPattern, Atom, EventPattern, Property, PropertyBuilder};
+use swmon_packet::Field;
+
+/// Table 1 row: *"Intervening guesses invalidate sequence."*
+/// Violation: source S knocks correctly, slips in a wrong guess, finishes
+/// the sequence — and the switch opens the protected port anyway.
+pub fn wrong_guess_invalidates() -> Property {
+    PropertyBuilder::new(
+        "port-knock/wrong-guess-invalidates",
+        "an intervening wrong guess invalidates the knock sequence",
+    )
+    .observe("knock-1", EventPattern::Arrival)
+        .bind("S", Field::Ipv4Src)
+        .eq(Field::L4Dst, KNOCK_SEQ[0])
+        .done()
+    .observe("wrong-guess", EventPattern::Arrival)
+        .bind("S", Field::Ipv4Src)
+        .neq(Field::L4Dst, KNOCK_SEQ[0])
+        .neq(Field::L4Dst, KNOCK_SEQ[1])
+        .neq(Field::L4Dst, PROTECTED_PORT)
+        .done()
+    .observe("knock-2", EventPattern::Arrival)
+        .bind("S", Field::Ipv4Src)
+        .eq(Field::L4Dst, KNOCK_SEQ[1])
+        .done()
+    .observe("wrongly-opened", EventPattern::Departure(ActionPattern::Forwarded))
+        .bind("S", Field::Ipv4Src)
+        .eq(Field::L4Dst, PROTECTED_PORT)
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+/// Table 1 row: *"Recognize valid sequence."*
+/// Violation: S completes the sequence cleanly (no intervening wrong guess
+/// — the obligation clearing), yet its packet to the protected port is
+/// dropped.
+pub fn valid_sequence_opens() -> Property {
+    PropertyBuilder::new(
+        "port-knock/valid-sequence-opens",
+        "a valid knock sequence opens the protected port",
+    )
+    .observe("knock-1", EventPattern::Arrival)
+        .bind("S", Field::Ipv4Src)
+        .eq(Field::L4Dst, KNOCK_SEQ[0])
+        .done()
+    .observe("knock-2", EventPattern::Arrival)
+        .bind("S", Field::Ipv4Src)
+        .eq(Field::L4Dst, KNOCK_SEQ[1])
+        // A wrong guess between the knocks invalidates: the expectation of
+        // access is discharged.
+        .unless(
+            EventPattern::Arrival,
+            vec![
+                Atom::Bind(var("S"), Field::Ipv4Src),
+                Atom::NeqConst(Field::L4Dst, KNOCK_SEQ[0].into()),
+                Atom::NeqConst(Field::L4Dst, KNOCK_SEQ[1].into()),
+            ],
+        )
+        .done()
+    .observe("still-blocked", EventPattern::Departure(ActionPattern::Drop))
+        .bind("S", Field::Ipv4Src)
+        .eq(Field::L4Dst, PROTECTED_PORT)
+        .done()
+    .build()
+    .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{FeatureSet, InstanceIdClass, Monitor};
+    use swmon_packet::{Ipv4Address, MacAddr, Packet, PacketBuilder, TcpFlags};
+    use swmon_sim::{EgressAction, PortNo, TraceBuilder};
+
+    fn knock(src: u8, dport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, 99),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, 99),
+            33000,
+            dport,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+    #[test]
+    fn opened_despite_wrong_guess_is_violation() {
+        let mut m = Monitor::with_defaults(wrong_guess_invalidates());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[0]), EgressAction::Drop);
+        tb.at_ms(1).arrive_depart(PortNo(0), knock(1, 9999), EgressAction::Drop); // wrong
+        tb.at_ms(2).arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[1]), EgressAction::Drop);
+        // The buggy gate opens anyway:
+        tb.at_ms(3).arrive_depart(PortNo(0), knock(1, PROTECTED_PORT), EgressAction::Output(PortNo(1)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn blocked_after_wrong_guess_is_fine() {
+        let mut m = Monitor::with_defaults(wrong_guess_invalidates());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[0]), EgressAction::Drop);
+        tb.at_ms(1).arrive_depart(PortNo(0), knock(1, 9999), EgressAction::Drop);
+        tb.at_ms(2).arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[1]), EgressAction::Drop);
+        tb.at_ms(3).arrive_depart(PortNo(0), knock(1, PROTECTED_PORT), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty(), "staying closed is correct");
+    }
+
+    #[test]
+    fn clean_sequence_blocked_is_violation() {
+        let mut m = Monitor::with_defaults(valid_sequence_opens());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[0]), EgressAction::Drop);
+        tb.at_ms(1).arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[1]), EgressAction::Drop);
+        tb.at_ms(2).arrive_depart(PortNo(0), knock(1, PROTECTED_PORT), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn clean_sequence_opened_is_fine() {
+        let mut m = Monitor::with_defaults(valid_sequence_opens());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[0]), EgressAction::Drop);
+        tb.at_ms(1).arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[1]), EgressAction::Drop);
+        tb.at_ms(2).arrive_depart(PortNo(0), knock(1, PROTECTED_PORT), EgressAction::Output(PortNo(1)));
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn wrong_guess_discharges_open_expectation() {
+        let mut m = Monitor::with_defaults(valid_sequence_opens());
+        let mut tb = TraceBuilder::new();
+        tb.arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[0]), EgressAction::Drop);
+        tb.at_ms(1).arrive_depart(PortNo(0), knock(1, 9999), EgressAction::Drop); // invalidates
+        tb.at_ms(2).arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[1]), EgressAction::Drop);
+        tb.at_ms(3).arrive_depart(PortNo(0), knock(1, PROTECTED_PORT), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert!(m.violations().is_empty(), "invalidated sequence owes nothing");
+        assert_eq!(m.stats.cleared, 1);
+    }
+
+    #[test]
+    fn per_source_progress_is_independent() {
+        let mut m = Monitor::with_defaults(valid_sequence_opens());
+        let mut tb = TraceBuilder::new();
+        // Source 1 knocks once; source 2 completes and is blocked.
+        tb.arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[0]), EgressAction::Drop);
+        tb.at_ms(1).arrive_depart(PortNo(0), knock(2, KNOCK_SEQ[0]), EgressAction::Drop);
+        tb.at_ms(2).arrive_depart(PortNo(0), knock(2, KNOCK_SEQ[1]), EgressAction::Drop);
+        tb.at_ms(3).arrive_depart(PortNo(0), knock(2, PROTECTED_PORT), EgressAction::Drop);
+        for ev in tb.build() {
+            m.process(&ev);
+        }
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(
+            m.violations()[0].bindings.as_ref().unwrap().get(&swmon_core::var("S")),
+            Some(&Ipv4Address::new(10, 0, 0, 2).into())
+        );
+    }
+
+    #[test]
+    fn derived_features_match_table1() {
+        // Row: "Intervening guesses invalidate sequence" — L4, History,
+        // Neg Match; exact.
+        let fs = FeatureSet::of(&wrong_guess_invalidates());
+        assert_eq!(fs.fields, swmon_packet::Layer::L4);
+        assert!(fs.history && fs.negative_match);
+        assert!(!fs.timeouts && !fs.obligation && !fs.identity && !fs.timeout_actions);
+        assert_eq!(fs.instance_id, InstanceIdClass::Exact);
+
+        // Row: "Recognize valid sequence" — L4, History, Obligation,
+        // Neg Match; exact.
+        let fs = FeatureSet::of(&valid_sequence_opens());
+        assert!(fs.history && fs.obligation && fs.negative_match);
+        assert!(!fs.timeouts && !fs.identity && !fs.timeout_actions);
+        assert_eq!(fs.instance_id, InstanceIdClass::Exact);
+    }
+}

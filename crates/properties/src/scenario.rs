@@ -1,0 +1,42 @@
+//! Shared scenario constants: the concrete topology parameters that both
+//! the property specifications here and the reference network functions in
+//! `swmon-apps` agree on. Integration tests and benchmarks pass these to
+//! app constructors so the spec and the system under test describe the same
+//! network.
+
+use swmon_packet::Ipv4Address;
+use swmon_sim::time::Duration;
+use swmon_sim::PortNo;
+
+/// Firewall/NAT: the port facing the internal network.
+pub const INSIDE_PORT: PortNo = PortNo(0);
+/// Firewall/NAT: the port facing the external network.
+pub const OUTSIDE_PORT: PortNo = PortNo(1);
+/// Firewall: connection idle timeout (the property's `T`).
+pub const FW_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// NAT: the translated (public) source address.
+pub const NAT_PUBLIC_IP: Ipv4Address = Ipv4Address::new(203, 0, 113, 1);
+
+/// ARP proxy / DHCP: maximum time the switch may take to answer a request
+/// it is responsible for (the property's `T`).
+pub const REPLY_WAIT: Duration = Duration::from_secs(1);
+
+/// Port knocking: the two-step knock sequence (destination ports).
+pub const KNOCK_SEQ: [u16; 2] = [7001, 7002];
+/// Port knocking: the protected service port opened by a valid sequence.
+pub const PROTECTED_PORT: u16 = 22;
+
+/// Load balancer: number of backends.
+pub const LB_BACKENDS: u64 = 4;
+/// Load balancer: backend `i` is attached to switch port `LB_BASE_PORT + i`.
+pub const LB_BASE_PORT: u64 = 8;
+/// Load balancer: the virtual service address clients connect to.
+pub const LB_VIP: Ipv4Address = Ipv4Address::new(10, 0, 0, 100);
+/// Load balancer: clients arrive on this port.
+pub const LB_CLIENT_PORT: PortNo = PortNo(0);
+
+/// DHCP: the primary server's identifier.
+pub const DHCP_SERVER_1: Ipv4Address = Ipv4Address::new(10, 0, 0, 1);
+/// DHCP: a second (rogue or misconfigured) server.
+pub const DHCP_SERVER_2: Ipv4Address = Ipv4Address::new(10, 0, 0, 2);

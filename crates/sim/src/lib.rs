@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # swmon-sim — deterministic discrete-event network simulation
+//!
+//! The substrate the paper's switches and monitors run on:
+//!
+//! * [`time`] — explicit simulated [`Instant`]/[`Duration`] (nanosecond
+//!   resolution); time advances only through the event loop, so runs are
+//!   bit-for-bit reproducible.
+//! * [`timer`] — a cancellable, refreshable [`TimerWheel`], the mechanism
+//!   behind rule timeouts (Feature 3) and timeout *actions* (Feature 7).
+//! * [`trace`] — the monitorable event vocabulary ([`NetEvent`]): arrivals,
+//!   departures (including drops), and out-of-band events, with
+//!   switch-minted packet identity (Feature 5).
+//! * [`network`] — the event loop itself: [`Node`]s joined by latency-bearing
+//!   links, with link faults and external injection.
+
+pub mod builder;
+pub mod network;
+pub mod time;
+pub mod timer;
+pub mod trace;
+
+pub use builder::TraceBuilder;
+pub use network::{Network, Node, NodeCtx, NodeId};
+pub use time::{Duration, Instant};
+pub use timer::{TimerId, TimerWheel};
+pub use trace::{
+    EgressAction, EventSink, NetEvent, NetEventKind, OobEvent, PacketId, PortNo, SwitchId,
+    TraceRecorder,
+};

@@ -1,0 +1,582 @@
+//! The discrete-event network simulator.
+//!
+//! A [`Network`] owns a set of [`Node`]s (switches, hosts, middleboxes)
+//! joined by point-to-point links with propagation latency. Execution is
+//! a single deterministic event loop: events are totally ordered by
+//! `(time, insertion sequence)`, so two runs of the same build with the same
+//! inputs produce identical traces — the property every test and experiment
+//! in this workspace relies on.
+//!
+//! Monitorable events ([`NetEvent`]) are *emitted by nodes* (a switch emits
+//! arrivals/departures/out-of-band observations; hosts emit nothing) and
+//! fanned out to registered [`EventSink`]s in order.
+
+use crate::time::{Duration, Instant};
+use crate::trace::{EventSink, NetEvent, NetEventKind, OobEvent, PacketId, PortNo};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+use swmon_packet::Packet;
+
+/// Identifies a node (switch or host) in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A network element attached to the simulator.
+///
+/// Handlers receive a [`NodeCtx`] through which all side effects flow
+/// (sending packets, arming timers, emitting monitorable events); effects are
+/// applied by the network after the handler returns, keeping the event loop
+/// single-borrow and deterministic.
+pub trait Node {
+    /// A packet was delivered on `port`.
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortNo, pkt: Arc<Packet>);
+
+    /// A timer armed via [`NodeCtx::schedule`] fired with its token.
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+
+    /// An out-of-band event concerning this node occurred (e.g. one of its
+    /// links went down).
+    fn on_oob(&mut self, _ctx: &mut NodeCtx<'_>, _ev: OobEvent) {}
+}
+
+/// Side effects requested by a node during a handler.
+enum Effect {
+    Send { port: PortNo, pkt: Arc<Packet>, extra_delay: Duration },
+    Timer { after: Duration, token: u64 },
+    Emit(NetEventKind),
+}
+
+/// The handler-side view of the network.
+pub struct NodeCtx<'a> {
+    now: Instant,
+    node: NodeId,
+    effects: Vec<Effect>,
+    next_packet_id: &'a mut u64,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transmit `pkt` out of `port` now (plus link latency).
+    pub fn send(&mut self, port: PortNo, pkt: Arc<Packet>) {
+        self.send_after(Duration::ZERO, port, pkt);
+    }
+
+    /// Transmit `pkt` out of `port` after an extra processing delay — how the
+    /// switch models pipeline and inline-state-update latency (Feature 9).
+    pub fn send_after(&mut self, extra_delay: Duration, port: PortNo, pkt: Arc<Packet>) {
+        self.effects.push(Effect::Send { port, pkt, extra_delay });
+    }
+
+    /// Arm a timer; [`Node::on_timer`] fires with `token` after `after`.
+    pub fn schedule(&mut self, after: Duration, token: u64) {
+        self.effects.push(Effect::Timer { after, token });
+    }
+
+    /// Emit a monitorable event to every registered sink.
+    pub fn emit(&mut self, kind: NetEventKind) {
+        self.effects.push(Effect::Emit(kind));
+    }
+
+    /// Mint a fresh packet-identity token (paper Feature 5). Called by
+    /// switches at ingress.
+    pub fn fresh_packet_id(&mut self) -> PacketId {
+        let id = PacketId(*self.next_packet_id);
+        *self.next_packet_id += 1;
+        id
+    }
+}
+
+/// A unidirectional link endpoint attachment.
+#[derive(Debug, Clone, Copy)]
+struct LinkHalf {
+    peer: (NodeId, PortNo),
+    latency: Duration,
+    up: bool,
+}
+
+/// Events in the simulator queue.
+enum Queued {
+    Deliver { node: NodeId, port: PortNo, pkt: Arc<Packet> },
+    Timer { node: NodeId, token: u64 },
+    Oob { node: NodeId, ev: OobEvent },
+    LinkState { a: (NodeId, PortNo), b: (NodeId, PortNo), up: bool },
+}
+
+/// The discrete-event network.
+pub struct Network {
+    nodes: Vec<Rc<RefCell<dyn Node>>>,
+    links: HashMap<(NodeId, PortNo), LinkHalf>,
+    queue: BinaryHeap<Reverse<(Instant, u64)>>,
+    queued: HashMap<u64, Queued>,
+    seq: u64,
+    time: Instant,
+    sinks: Vec<Rc<RefCell<dyn EventSink>>>,
+    next_packet_id: u64,
+    delivered_packets: u64,
+    lost_to_down_links: u64,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// An empty network at time zero.
+    pub fn new() -> Self {
+        Network {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            queued: HashMap::new(),
+            seq: 0,
+            time: Instant::ZERO,
+            sinks: Vec::new(),
+            next_packet_id: 0,
+            delivered_packets: 0,
+            lost_to_down_links: 0,
+        }
+    }
+
+    /// Attach a node, returning its id. Keep your own `Rc` clone to inspect
+    /// the node after the run.
+    pub fn add_node(&mut self, node: Rc<RefCell<dyn Node>>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Register an event sink (monitor, trace recorder).
+    pub fn add_sink(&mut self, sink: Rc<RefCell<dyn EventSink>>) {
+        self.sinks.push(sink);
+    }
+
+    /// Join `(a, pa)` and `(b, pb)` with a symmetric link of `latency`.
+    ///
+    /// Panics if either endpoint is already connected — topology bugs should
+    /// fail loudly at build time.
+    pub fn connect(&mut self, a: NodeId, pa: PortNo, b: NodeId, pb: PortNo, latency: Duration) {
+        let prev = self.links.insert((a, pa), LinkHalf { peer: (b, pb), latency, up: true });
+        assert!(prev.is_none(), "port {pa} on {a} already connected");
+        let prev = self.links.insert((b, pb), LinkHalf { peer: (a, pa), latency, up: true });
+        assert!(prev.is_none(), "port {pb} on {b} already connected");
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.time
+    }
+
+    /// Total packets delivered to nodes so far.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
+    }
+
+    /// Packets discarded because their link was down at transmission time.
+    pub fn lost_to_down_links(&self) -> u64 {
+        self.lost_to_down_links
+    }
+
+    fn push(&mut self, at: Instant, q: Queued) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse((at, seq)));
+        self.queued.insert(seq, q);
+    }
+
+    /// Inject a packet for delivery to `node` on `port` at time `at`
+    /// (external traffic source, bypassing any link).
+    pub fn inject(&mut self, at: Instant, node: NodeId, port: PortNo, pkt: Packet) {
+        assert!(at >= self.time, "cannot inject into the past");
+        self.push(at, Queued::Deliver { node, port, pkt: Arc::new(pkt) });
+    }
+
+    /// Schedule an out-of-band event for `node` at `at` (e.g. a controller
+    /// message). The node decides whether to emit it to monitors.
+    pub fn inject_oob(&mut self, at: Instant, node: NodeId, ev: OobEvent) {
+        assert!(at >= self.time, "cannot inject into the past");
+        self.push(at, Queued::Oob { node, ev });
+    }
+
+    /// Arm a node timer externally (used by workload drivers to bootstrap
+    /// host behaviour).
+    pub fn arm_timer(&mut self, at: Instant, node: NodeId, token: u64) {
+        assert!(at >= self.time, "cannot arm in the past");
+        self.push(at, Queued::Timer { node, token });
+    }
+
+    /// Take the link attached to `(node, port)` down (both directions) at
+    /// `at`, delivering a `PortDown` out-of-band event to both endpoints.
+    pub fn set_link_down(&mut self, at: Instant, node: NodeId, port: PortNo) {
+        let half = *self.links.get(&(node, port)).expect("no such link");
+        self.push(at, Queued::LinkState { a: (node, port), b: half.peer, up: false });
+    }
+
+    /// Bring the link attached to `(node, port)` back up at `at`.
+    pub fn set_link_up(&mut self, at: Instant, node: NodeId, port: PortNo) {
+        let half = *self.links.get(&(node, port)).expect("no such link");
+        self.push(at, Queued::LinkState { a: (node, port), b: half.peer, up: true });
+    }
+
+    /// Process the next queued event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse((at, seq))) = self.queue.pop() else {
+            return false;
+        };
+        let q = self.queued.remove(&seq).expect("queued payload");
+        debug_assert!(at >= self.time, "time went backwards");
+        self.time = at;
+        match q {
+            Queued::Deliver { node, port, pkt } => {
+                self.delivered_packets += 1;
+                self.dispatch(node, |n, ctx| n.on_packet(ctx, port, pkt));
+            }
+            Queued::Timer { node, token } => {
+                self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            Queued::Oob { node, ev } => {
+                self.dispatch(node, |n, ctx| n.on_oob(ctx, ev));
+            }
+            Queued::LinkState { a, b, up } => {
+                if let Some(h) = self.links.get_mut(&a) {
+                    h.up = up;
+                }
+                if let Some(h) = self.links.get_mut(&b) {
+                    h.up = up;
+                }
+                for (endpoint, other) in [(a, b), (b, a)] {
+                    let _ = other;
+                    let ev = if up {
+                        OobEvent::PortUp(crate::trace::SwitchId(endpoint.0 .0), endpoint.1)
+                    } else {
+                        OobEvent::PortDown(crate::trace::SwitchId(endpoint.0 .0), endpoint.1)
+                    };
+                    self.dispatch(endpoint.0, |n, ctx| n.on_oob(ctx, ev));
+                }
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>)) {
+        let cell = match self.nodes.get(node.0 as usize) {
+            Some(c) => Rc::clone(c),
+            None => return,
+        };
+        let mut ctx = NodeCtx {
+            now: self.time,
+            node,
+            effects: Vec::new(),
+            next_packet_id: &mut self.next_packet_id,
+        };
+        f(&mut *cell.borrow_mut(), &mut ctx);
+        let effects = ctx.effects;
+        for eff in effects {
+            match eff {
+                Effect::Send { port, pkt, extra_delay } => {
+                    match self.links.get(&(node, port)) {
+                        Some(half) if half.up => {
+                            let (peer_node, peer_port) = half.peer;
+                            let deliver_at = self.time + extra_delay + half.latency;
+                            self.push(
+                                deliver_at,
+                                Queued::Deliver { node: peer_node, port: peer_port, pkt },
+                            );
+                        }
+                        _ => {
+                            // No link or link down: frame is lost on the wire.
+                            self.lost_to_down_links += 1;
+                        }
+                    }
+                }
+                Effect::Timer { after, token } => {
+                    self.push(self.time + after, Queued::Timer { node, token });
+                }
+                Effect::Emit(kind) => {
+                    let ev = NetEvent { time: self.time, kind };
+                    for sink in &self.sinks {
+                        sink.borrow_mut().on_event(&ev);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run until the queue is empty or time would exceed `deadline`.
+    pub fn run_until(&mut self, deadline: Instant) {
+        while let Some(&Reverse((at, _))) = self.queue.peek() {
+            if at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+    }
+
+    /// Run until the event queue is fully drained.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Number of events still queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+
+    /// A node that echoes every packet back out the port it came in on,
+    /// after an optional processing delay, and counts deliveries.
+    struct Echo {
+        delay: Duration,
+        seen: Vec<(Instant, PortNo)>,
+    }
+
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortNo, pkt: Arc<Packet>) {
+            self.seen.push((ctx.now(), port));
+            ctx.send_after(self.delay, port, pkt);
+        }
+    }
+
+    /// A node that records deliveries, timers and OOB events.
+    #[derive(Default)]
+    struct Probe {
+        packets: Vec<(Instant, PortNo)>,
+        timers: Vec<(Instant, u64)>,
+        oob: Vec<OobEvent>,
+    }
+
+    impl Node for Probe {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortNo, _pkt: Arc<Packet>) {
+            self.packets.push((ctx.now(), port));
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+            self.timers.push((ctx.now(), token));
+        }
+        fn on_oob(&mut self, _ctx: &mut NodeCtx<'_>, ev: OobEvent) {
+            self.oob.push(ev);
+        }
+    }
+
+    fn test_packet() -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            1,
+            2,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+    #[test]
+    fn packet_ping_pong_respects_latency() {
+        let mut net = Network::new();
+        let echo = Rc::new(RefCell::new(Echo { delay: Duration::from_micros(10), seen: vec![] }));
+        let probe = Rc::new(RefCell::new(Probe::default()));
+        let e = net.add_node(echo.clone());
+        let p = net.add_node(probe.clone());
+        net.connect(e, PortNo(0), p, PortNo(0), Duration::from_millis(1));
+
+        // Deliver directly to the echo node at t=0.
+        net.inject(Instant::ZERO, e, PortNo(0), test_packet());
+        net.run_to_completion();
+
+        // Echo saw it at t=0, probe at t = 10us (processing) + 1ms (link).
+        assert_eq!(echo.borrow().seen, vec![(Instant::ZERO, PortNo(0))]);
+        let expect = Instant::ZERO + Duration::from_micros(10) + Duration::from_millis(1);
+        assert_eq!(probe.borrow().packets, vec![(expect, PortNo(0))]);
+        assert_eq!(net.delivered_packets(), 2);
+    }
+
+    #[test]
+    fn events_at_same_time_preserve_insertion_order() {
+        let mut net = Network::new();
+        let probe = Rc::new(RefCell::new(Probe::default()));
+        let p = net.add_node(probe.clone());
+        let t = Instant::ZERO + Duration::from_secs(1);
+        for token in 0..10 {
+            net.arm_timer(t, p, token);
+        }
+        net.run_to_completion();
+        let tokens: Vec<u64> = probe.borrow().timers.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timers_fire_in_time_order() {
+        let mut net = Network::new();
+        let probe = Rc::new(RefCell::new(Probe::default()));
+        let p = net.add_node(probe.clone());
+        net.arm_timer(Instant::ZERO + Duration::from_secs(3), p, 3);
+        net.arm_timer(Instant::ZERO + Duration::from_secs(1), p, 1);
+        net.arm_timer(Instant::ZERO + Duration::from_secs(2), p, 2);
+        net.run_to_completion();
+        let tokens: Vec<u64> = probe.borrow().timers.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tokens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn down_link_loses_frames_and_notifies_endpoints() {
+        let mut net = Network::new();
+        let echo = Rc::new(RefCell::new(Echo { delay: Duration::ZERO, seen: vec![] }));
+        let probe = Rc::new(RefCell::new(Probe::default()));
+        let e = net.add_node(echo.clone());
+        let p = net.add_node(probe.clone());
+        net.connect(e, PortNo(0), p, PortNo(0), Duration::from_micros(1));
+
+        net.set_link_down(Instant::ZERO + Duration::from_millis(1), e, PortNo(0));
+        // Injected after the link drops: the echo's reply is lost.
+        net.inject(Instant::ZERO + Duration::from_millis(2), e, PortNo(0), test_packet());
+        net.run_to_completion();
+
+        assert_eq!(echo.borrow().seen.len(), 1, "delivery to the node still happens");
+        assert!(probe.borrow().packets.is_empty(), "reply lost on downed link");
+        assert_eq!(net.lost_to_down_links(), 1);
+        // Both endpoints heard PortDown.
+        assert_eq!(probe.borrow().oob.len(), 1);
+        assert!(matches!(probe.borrow().oob[0], OobEvent::PortDown(_, PortNo(0))));
+    }
+
+    #[test]
+    fn link_recovers_after_up() {
+        let mut net = Network::new();
+        let echo = Rc::new(RefCell::new(Echo { delay: Duration::ZERO, seen: vec![] }));
+        let probe = Rc::new(RefCell::new(Probe::default()));
+        let e = net.add_node(echo.clone());
+        let p = net.add_node(probe.clone());
+        net.connect(e, PortNo(0), p, PortNo(0), Duration::from_micros(1));
+
+        net.set_link_down(Instant::ZERO, e, PortNo(0));
+        net.set_link_up(Instant::ZERO + Duration::from_millis(1), e, PortNo(0));
+        net.inject(Instant::ZERO + Duration::from_millis(2), e, PortNo(0), test_packet());
+        net.run_to_completion();
+
+        assert_eq!(probe.borrow().packets.len(), 1, "delivery works after recovery");
+        let oob = &probe.borrow().oob;
+        assert!(matches!(oob[0], OobEvent::PortDown(..)));
+        assert!(matches!(oob[1], OobEvent::PortUp(..)));
+    }
+
+    #[test]
+    fn emitted_events_reach_all_sinks() {
+        use crate::trace::TraceRecorder;
+
+        /// Emits an arrival event for every delivered packet.
+        struct Tap;
+        impl Node for Tap {
+            fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortNo, pkt: Arc<Packet>) {
+                let id = ctx.fresh_packet_id();
+                ctx.emit(NetEventKind::Arrival {
+                    switch: crate::trace::SwitchId(ctx.node_id().0),
+                    port,
+                    pkt,
+                    id,
+                });
+            }
+        }
+
+        let mut net = Network::new();
+        let tap = net.add_node(Rc::new(RefCell::new(Tap)));
+        let rec1 = Rc::new(RefCell::new(TraceRecorder::new()));
+        let rec2 = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec1.clone());
+        net.add_sink(rec2.clone());
+        net.inject(Instant::ZERO, tap, PortNo(4), test_packet());
+        net.inject(Instant::ZERO + Duration::from_secs(1), tap, PortNo(5), test_packet());
+        net.run_to_completion();
+
+        for rec in [&rec1, &rec2] {
+            let rec = rec.borrow();
+            assert_eq!(rec.events.len(), 2);
+            assert_eq!(rec.arrivals().count(), 2);
+        }
+        // Packet ids are unique and sequential.
+        let ids: Vec<_> = rec1.borrow().events.iter().filter_map(|e| e.packet_id()).collect();
+        assert_eq!(ids, vec![PacketId(0), PacketId(1)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut net = Network::new();
+        let probe = Rc::new(RefCell::new(Probe::default()));
+        let p = net.add_node(probe.clone());
+        net.arm_timer(Instant::ZERO + Duration::from_secs(1), p, 1);
+        net.arm_timer(Instant::ZERO + Duration::from_secs(5), p, 5);
+        net.run_until(Instant::ZERO + Duration::from_secs(2));
+        assert_eq!(probe.borrow().timers.len(), 1);
+        assert_eq!(net.now(), Instant::ZERO + Duration::from_secs(2));
+        assert_eq!(net.pending_events(), 1);
+        net.run_to_completion();
+        assert_eq!(probe.borrow().timers.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut net = Network::new();
+        let a = net.add_node(Rc::new(RefCell::new(Probe::default())));
+        let b = net.add_node(Rc::new(RefCell::new(Probe::default())));
+        net.connect(a, PortNo(0), b, PortNo(0), Duration::ZERO);
+        net.connect(a, PortNo(0), b, PortNo(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run() -> Vec<(Instant, u64)> {
+            let mut net = Network::new();
+            let echo =
+                Rc::new(RefCell::new(Echo { delay: Duration::from_nanos(50), seen: vec![] }));
+            let probe = Rc::new(RefCell::new(Probe::default()));
+            let e = net.add_node(echo);
+            let p = net.add_node(probe.clone());
+            net.connect(e, PortNo(0), p, PortNo(0), Duration::from_micros(7));
+            for i in 0..100u64 {
+                net.inject(
+                    Instant::ZERO + Duration::from_micros(i * 3),
+                    e,
+                    PortNo(0),
+                    test_packet(),
+                );
+                net.arm_timer(Instant::ZERO + Duration::from_micros(i * 5), p, i);
+            }
+            net.run_to_completion();
+            let probe = probe.borrow();
+            probe
+                .packets
+                .iter()
+                .map(|&(t, _)| (t, 0))
+                .chain(probe.timers.iter().copied())
+                .collect()
+        }
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,233 @@
+//! Simulated time.
+//!
+//! Following the smoltcp idiom, the simulator has its own explicit
+//! [`Instant`]/[`Duration`] pair (nanosecond resolution, 64-bit) rather than
+//! using `std::time`: simulated time only advances when the event loop says
+//! so, which is what makes every run bit-for-bit reproducible.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Sub};
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration {
+    nanos: u64,
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration { nanos: 0 };
+
+    /// From whole nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Duration { nanos }
+    }
+
+    /// From whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration { nanos: micros * 1_000 }
+    }
+
+    /// From whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration { nanos: millis * 1_000_000 }
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration { nanos: secs * 1_000_000_000 }
+    }
+
+    /// Total nanoseconds.
+    pub const fn as_nanos(&self) -> u64 {
+        self.nanos
+    }
+
+    /// Total microseconds, truncating.
+    pub const fn as_micros(&self) -> u64 {
+        self.nanos / 1_000
+    }
+
+    /// Total milliseconds, truncating.
+    pub const fn as_millis(&self) -> u64 {
+        self.nanos / 1_000_000
+    }
+
+    /// Total seconds, truncating.
+    pub const fn as_secs(&self) -> u64 {
+        self.nanos / 1_000_000_000
+    }
+
+    /// Seconds as a float, for reporting.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration { nanos: self.nanos.saturating_sub(other.nanos) }
+    }
+
+    /// Checked integer division of durations (a ratio).
+    pub fn checked_div(self, other: Duration) -> Option<u64> {
+        self.nanos.checked_div(other.nanos)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration { nanos: self.nanos + rhs.nanos }
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration { nanos: self.nanos - rhs.nanos }
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration { nanos: self.nanos * rhs }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nanos == 0 {
+            write!(f, "0s")
+        } else if self.nanos.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s", self.as_secs())
+        } else if self.nanos.is_multiple_of(1_000_000) {
+            write!(f, "{}ms", self.as_millis())
+        } else if self.nanos.is_multiple_of(1_000) {
+            write!(f, "{}us", self.as_micros())
+        } else {
+            write!(f, "{}ns", self.nanos)
+        }
+    }
+}
+
+/// A point in simulated time, nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant {
+    nanos: u64,
+}
+
+impl Instant {
+    /// The simulation epoch.
+    pub const ZERO: Instant = Instant { nanos: 0 };
+
+    /// From nanoseconds since the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Instant { nanos }
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(&self) -> u64 {
+        self.nanos
+    }
+
+    /// Time elapsed since `earlier`; zero if `earlier` is in the future.
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        Duration { nanos: self.nanos.saturating_sub(earlier.nanos) }
+    }
+
+    /// Saturating addition of a duration.
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        self.nanos.checked_add(d.nanos).map(|nanos| Instant { nanos })
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant { nanos: self.nanos + rhs.nanos }
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", Duration { nanos: self.nanos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(Duration::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Duration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Duration::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(Duration::from_secs(90).as_secs(), 90);
+        assert_eq!(Duration::from_millis(1500).as_secs(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Duration::from_millis(10);
+        let b = Duration::from_millis(4);
+        assert_eq!(a + b, Duration::from_millis(14));
+        assert_eq!(a - b, Duration::from_millis(6));
+        assert_eq!(a * 3, Duration::from_millis(30));
+        assert_eq!(b.saturating_sub(a), Duration::ZERO);
+        assert_eq!(a.checked_div(b), Some(2));
+        assert_eq!(a.checked_div(Duration::ZERO), None);
+    }
+
+    #[test]
+    fn instant_ordering_and_elapsed() {
+        let t0 = Instant::ZERO;
+        let t1 = t0 + Duration::from_secs(1);
+        assert!(t1 > t0);
+        assert_eq!(t1.duration_since(t0), Duration::from_secs(1));
+        assert_eq!(t0.duration_since(t1), Duration::ZERO, "duration_since saturates");
+        assert_eq!(t1 - t0, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(Duration::from_secs(3).to_string(), "3s");
+        assert_eq!(Duration::from_millis(250).to_string(), "250ms");
+        assert_eq!(Duration::from_micros(15).to_string(), "15us");
+        assert_eq!(Duration::from_nanos(7).to_string(), "7ns");
+        assert_eq!(Duration::ZERO.to_string(), "0s");
+        assert_eq!((Instant::ZERO + Duration::from_millis(5)).to_string(), "t+5ms");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        let late = Instant::from_nanos(u64::MAX - 5);
+        assert!(late.checked_add(Duration::from_nanos(5)).is_some());
+        assert!(late.checked_add(Duration::from_nanos(6)).is_none());
+    }
+
+    #[test]
+    fn secs_f64() {
+        assert!((Duration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

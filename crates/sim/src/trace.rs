@@ -1,0 +1,316 @@
+//! The network event model — what monitors observe.
+//!
+//! The paper defines a property as "a sequence of *observations*" over switch
+//! events. [`NetEvent`] is the vocabulary of those observations:
+//!
+//! * **Arrival** — a packet entered a switch on a port. Carries the
+//!   switch-assigned [`PacketId`] identity token (**Feature 5**): only the
+//!   switch can link an arrival to its egress events, so the token is minted
+//!   at ingress and stamped on every corresponding departure.
+//! * **Departure** — the switch decided an egress action for that packet:
+//!   output on a port, flood, or **drop**. The paper stresses that
+//!   dropped-packet detection "is almost universally unsupported" on real
+//!   hardware; the simulated switch supports it natively and backends that
+//!   model real instruction sets restrict it (see `swmon-backends`).
+//! * **OutOfBand** — events that are not packets (link down/up, controller
+//!   messages); required by *multiple match* properties (**Feature 8**).
+
+use crate::time::Instant;
+use std::sync::Arc;
+use swmon_packet::{Field, FieldValue, Packet};
+
+/// Identifies a switch in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SwitchId(pub u32);
+
+impl core::fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A port number local to one switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortNo(pub u16);
+
+impl core::fmt::Display for PortNo {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The switch-assigned packet identity token (paper Feature 5).
+///
+/// Minted once per *arrival*; every departure caused by that arrival carries
+/// the same token, including rewritten (NAT'd) copies — which is exactly the
+/// information an external monitor cannot reconstruct from headers alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+/// What the switch did with a packet at egress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EgressAction {
+    /// Unicast out one port.
+    Output(PortNo),
+    /// Broadcast/flood out all ports except the ingress port.
+    Flood,
+    /// Dropped.
+    Drop,
+}
+
+impl EgressAction {
+    /// True if the packet left the switch (was not dropped).
+    pub fn is_forwarded(&self) -> bool {
+        !matches!(self, EgressAction::Drop)
+    }
+}
+
+/// A non-packet event visible to switches and monitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OobEvent {
+    /// A switch port (link) went down.
+    PortDown(SwitchId, PortNo),
+    /// A switch port (link) came back up.
+    PortUp(SwitchId, PortNo),
+    /// An opaque controller-to-switch message, tagged for matching.
+    ControllerMsg(SwitchId, u64),
+}
+
+impl OobEvent {
+    /// The switch this event concerns.
+    pub fn switch(&self) -> SwitchId {
+        match self {
+            OobEvent::PortDown(s, _) | OobEvent::PortUp(s, _) | OobEvent::ControllerMsg(s, _) => *s,
+        }
+    }
+}
+
+/// One observable network event, timestamped in simulated time.
+#[derive(Debug, Clone)]
+pub struct NetEvent {
+    /// When the event occurred.
+    pub time: Instant,
+    /// What happened.
+    pub kind: NetEventKind,
+}
+
+/// The event payload.
+#[derive(Debug, Clone)]
+pub enum NetEventKind {
+    /// A packet arrived at a switch port.
+    Arrival {
+        /// The switch.
+        switch: SwitchId,
+        /// Ingress port.
+        port: PortNo,
+        /// The packet as received.
+        pkt: Arc<Packet>,
+        /// Identity token minted for this arrival.
+        id: PacketId,
+    },
+    /// The switch decided an egress action for a (possibly rewritten) packet.
+    Departure {
+        /// The switch.
+        switch: SwitchId,
+        /// The packet as it leaves (rewrites applied).
+        pkt: Arc<Packet>,
+        /// Identity token of the arrival that caused this departure.
+        id: PacketId,
+        /// The egress decision.
+        action: EgressAction,
+    },
+    /// An out-of-band event.
+    OutOfBand(OobEvent),
+}
+
+impl NetEvent {
+    /// The switch this event concerns, if any.
+    pub fn switch(&self) -> Option<SwitchId> {
+        match &self.kind {
+            NetEventKind::Arrival { switch, .. } | NetEventKind::Departure { switch, .. } => {
+                Some(*switch)
+            }
+            NetEventKind::OutOfBand(o) => Some(o.switch()),
+        }
+    }
+
+    /// The packet carried by this event, if any.
+    pub fn packet(&self) -> Option<&Arc<Packet>> {
+        match &self.kind {
+            NetEventKind::Arrival { pkt, .. } | NetEventKind::Departure { pkt, .. } => Some(pkt),
+            NetEventKind::OutOfBand(_) => None,
+        }
+    }
+
+    /// The identity token, if this is a packet event.
+    pub fn packet_id(&self) -> Option<PacketId> {
+        match &self.kind {
+            NetEventKind::Arrival { id, .. } | NetEventKind::Departure { id, .. } => Some(*id),
+            NetEventKind::OutOfBand(_) => None,
+        }
+    }
+
+    /// The egress action, if this is a departure.
+    pub fn action(&self) -> Option<EgressAction> {
+        match &self.kind {
+            NetEventKind::Departure { action, .. } => Some(*action),
+            _ => None,
+        }
+    }
+
+    /// Extract a named field from this event: [`Field::InPort`] comes from
+    /// arrival metadata, everything else from the packet bytes.
+    pub fn field(&self, f: Field) -> Option<FieldValue> {
+        match f {
+            Field::InPort => {
+                return match &self.kind {
+                    NetEventKind::Arrival { port, .. } => Some(FieldValue::Uint(u64::from(port.0))),
+                    _ => None,
+                };
+            }
+            Field::OutPort => {
+                // Only unicast departures carry an output port; drops never
+                // enter the egress pipeline (paper Sec 3.2).
+                return match &self.kind {
+                    NetEventKind::Departure { action: EgressAction::Output(p), .. } => {
+                        Some(FieldValue::Uint(u64::from(p.0)))
+                    }
+                    _ => None,
+                };
+            }
+            _ => {}
+        }
+        self.packet()?.field(f)
+    }
+}
+
+/// Anything that consumes the event stream (monitors, trace recorders).
+pub trait EventSink {
+    /// Observe one event. Called in event order.
+    fn on_event(&mut self, ev: &NetEvent);
+}
+
+/// A sink that records every event, for offline analysis and tests.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    /// The recorded events, in order.
+    pub events: Vec<NetEvent>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&NetEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+
+    /// All departures with the given action kind.
+    pub fn departures(&self) -> impl Iterator<Item = &NetEvent> {
+        self.events.iter().filter(|e| matches!(e.kind, NetEventKind::Departure { .. }))
+    }
+
+    /// All arrivals.
+    pub fn arrivals(&self) -> impl Iterator<Item = &NetEvent> {
+        self.events.iter().filter(|e| matches!(e.kind, NetEventKind::Arrival { .. }))
+    }
+}
+
+impl EventSink for TraceRecorder {
+    fn on_event(&mut self, ev: &NetEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+
+    fn pkt() -> Arc<Packet> {
+        Arc::new(PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            1234,
+            80,
+            TcpFlags::SYN,
+            &[],
+        ))
+    }
+
+    #[test]
+    fn arrival_exposes_in_port_metadata() {
+        let ev = NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::Arrival {
+                switch: SwitchId(1),
+                port: PortNo(3),
+                pkt: pkt(),
+                id: PacketId(7),
+            },
+        };
+        assert_eq!(ev.field(Field::InPort), Some(FieldValue::Uint(3)));
+        assert_eq!(ev.field(Field::L4Dst), Some(FieldValue::Uint(80)));
+        assert_eq!(ev.packet_id(), Some(PacketId(7)));
+        assert_eq!(ev.switch(), Some(SwitchId(1)));
+        assert_eq!(ev.action(), None);
+    }
+
+    #[test]
+    fn departure_has_no_in_port() {
+        let ev = NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::Departure {
+                switch: SwitchId(1),
+                pkt: pkt(),
+                id: PacketId(7),
+                action: EgressAction::Drop,
+            },
+        };
+        assert_eq!(ev.field(Field::InPort), None);
+        assert_eq!(ev.action(), Some(EgressAction::Drop));
+        assert!(!EgressAction::Drop.is_forwarded());
+        assert!(EgressAction::Output(PortNo(1)).is_forwarded());
+        assert!(EgressAction::Flood.is_forwarded());
+    }
+
+    #[test]
+    fn oob_event_has_no_packet() {
+        let ev = NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::OutOfBand(OobEvent::PortDown(SwitchId(2), PortNo(1))),
+        };
+        assert!(ev.packet().is_none());
+        assert_eq!(ev.switch(), Some(SwitchId(2)));
+        assert_eq!(ev.field(Field::EthSrc), None);
+    }
+
+    #[test]
+    fn recorder_counts() {
+        let mut rec = TraceRecorder::new();
+        for i in 0..5u64 {
+            rec.on_event(&NetEvent {
+                time: Instant::ZERO,
+                kind: NetEventKind::Arrival {
+                    switch: SwitchId(0),
+                    port: PortNo(0),
+                    pkt: pkt(),
+                    id: PacketId(i),
+                },
+            });
+        }
+        rec.on_event(&NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::OutOfBand(OobEvent::PortUp(SwitchId(0), PortNo(0))),
+        });
+        assert_eq!(rec.arrivals().count(), 5);
+        assert_eq!(rec.departures().count(), 0);
+        assert_eq!(rec.count(|e| e.packet_id() == Some(PacketId(3))), 1);
+        assert_eq!(rec.events.len(), 6);
+    }
+}

@@ -1,0 +1,202 @@
+//! Switch actions — the instruction set of the simulated match-action
+//! pipeline.
+//!
+//! The set is the union of what the surveyed approaches provide:
+//! classic OpenFlow forwarding actions, OVS's `learn` action (the state
+//! mechanism of FAST and — in its recursive form — Varanus), and P4-style
+//! register operations. Backends restrict themselves to the subset their
+//! modelled architecture actually has; the full set exists so that each
+//! mechanism can be implemented and measured.
+
+use swmon_packet::{Field, FieldValue};
+use swmon_sim::time::Duration;
+use swmon_sim::PortNo;
+
+/// A reference to a value used by register operations: a constant, a packet
+/// field, or a hash of packet fields (FAST's "hash functions over header
+/// fields" primitive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegRef {
+    /// A literal.
+    Const(u64),
+    /// The current packet's field value (its stable 64-bit key encoding).
+    Field(Field),
+    /// A hash of several fields, reduced modulo the register array size.
+    Hash(Vec<Field>),
+}
+
+/// A register operation (P4/POF flow registers; SNAP global arrays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegOp {
+    /// `array[index] = value`.
+    Write {
+        /// Register array handle.
+        array: usize,
+        /// Cell index.
+        index: RegRef,
+        /// Value to store.
+        value: RegRef,
+    },
+    /// `array[index] += value` (saturating).
+    Add {
+        /// Register array handle.
+        array: usize,
+        /// Cell index.
+        index: RegRef,
+        /// Increment.
+        value: RegRef,
+    },
+}
+
+/// One entry of a learn-action template: how to build a match atom of the
+/// learned rule from the packet that triggered learning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnAtom {
+    /// The learned rule matches `field == value` (a constant).
+    Const(Field, FieldValue),
+    /// The learned rule matches `rule_field == <current packet's pkt_field>`.
+    ///
+    /// Copying *across* fields (e.g. new rule's `Ipv4Dst` = this packet's
+    /// `Ipv4Src`) is what makes **symmetric match** expressible with `learn`.
+    CopyField {
+        /// Field the learned rule will match on.
+        rule_field: Field,
+        /// Field of the triggering packet supplying the value.
+        pkt_field: Field,
+    },
+}
+
+/// An OVS-style `learn` action: installing a new rule into a table as a
+/// side effect of packet processing (a *slow-path* state update).
+///
+/// `actions` may themselves contain `Learn` — that recursion is exactly
+/// Varanus's "recursive learn" mechanism for unrolling monitor instances
+/// into fresh tables as events arrive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnSpec {
+    /// Table the new rule is installed into.
+    pub table: usize,
+    /// Priority of the new rule.
+    pub priority: u16,
+    /// Match template of the new rule.
+    pub template: Vec<LearnAtom>,
+    /// Actions of the new rule.
+    pub actions: Vec<Action>,
+    /// Idle timeout of the new rule.
+    pub idle_timeout: Option<Duration>,
+    /// Hard timeout of the new rule.
+    pub hard_timeout: Option<Duration>,
+}
+
+/// A pipeline action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Unicast out a port.
+    Output(PortNo),
+    /// Flood out every port except the ingress port.
+    Flood,
+    /// Drop the packet.
+    Drop,
+    /// Punt to the controller (packet-in).
+    ToController,
+    /// Rewrite a header field (NAT, TTL, etc.).
+    SetField(Field, FieldValue),
+    /// Continue matching at a later table.
+    Goto(usize),
+    /// Install a rule built from the template (slow path).
+    Learn(Box<LearnSpec>),
+    /// Remove rules matching the template from a table (slow path). Used by
+    /// monitor compilations that must retire instances.
+    Unlearn {
+        /// Table to remove from.
+        table: usize,
+        /// Match template identifying the rules.
+        template: Vec<LearnAtom>,
+    },
+    /// Perform a register operation (fast path).
+    Reg(RegOp),
+    /// Raise a monitor alert tagged with a property-defined code.
+    Alert(u64),
+}
+
+impl Action {
+    /// True for actions that decide the packet's fate (terminal for the
+    /// forwarding decision; later tables may still rewrite).
+    pub fn is_forwarding(&self) -> bool {
+        matches!(self, Action::Output(_) | Action::Flood | Action::Drop | Action::ToController)
+    }
+
+    /// True for actions that mutate persistent switch state via the slow
+    /// path (the paper: "OpenFlow rules ... cannot be modified at line
+    /// rate").
+    pub fn is_slow_path_update(&self) -> bool {
+        matches!(self, Action::Learn(_) | Action::Unlearn { .. })
+    }
+
+    /// True for fast-path state updates (registers).
+    pub fn is_fast_path_update(&self) -> bool {
+        matches!(self, Action::Reg(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_classification() {
+        assert!(Action::Output(PortNo(1)).is_forwarding());
+        assert!(Action::Drop.is_forwarding());
+        assert!(Action::Flood.is_forwarding());
+        assert!(Action::ToController.is_forwarding());
+        assert!(!Action::SetField(Field::Ttl, 63u64.into()).is_forwarding());
+        assert!(!Action::Alert(1).is_forwarding());
+
+        let learn = Action::Learn(Box::new(LearnSpec {
+            table: 1,
+            priority: 10,
+            template: vec![],
+            actions: vec![],
+            idle_timeout: None,
+            hard_timeout: None,
+        }));
+        assert!(learn.is_slow_path_update());
+        assert!(!learn.is_fast_path_update());
+
+        let reg = Action::Reg(RegOp::Write {
+            array: 0,
+            index: RegRef::Const(0),
+            value: RegRef::Const(1),
+        });
+        assert!(reg.is_fast_path_update());
+        assert!(!reg.is_slow_path_update());
+    }
+
+    #[test]
+    fn recursive_learn_is_expressible() {
+        // A learn whose learned rule itself learns — the Varanus mechanism.
+        let inner = LearnSpec {
+            table: 2,
+            priority: 5,
+            template: vec![LearnAtom::Const(Field::EthType, 0x0800u64.into())],
+            actions: vec![Action::Alert(7)],
+            idle_timeout: None,
+            hard_timeout: None,
+        };
+        let outer = LearnSpec {
+            table: 1,
+            priority: 5,
+            template: vec![LearnAtom::CopyField {
+                rule_field: Field::Ipv4Dst,
+                pkt_field: Field::Ipv4Src,
+            }],
+            actions: vec![Action::Learn(Box::new(inner))],
+            idle_timeout: Some(Duration::from_secs(10)),
+            hard_timeout: None,
+        };
+        match &outer.actions[0] {
+            Action::Learn(spec) => assert_eq!(spec.actions, vec![Action::Alert(7)]),
+            _ => panic!("expected nested learn"),
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Match-action flow tables with priorities, counters, and idle/hard
+//! timeouts — the OpenFlow-style core of the pipeline.
+
+use crate::action::Action;
+use crate::view::PacketView;
+use swmon_packet::{Field, FieldValue};
+use swmon_sim::time::{Duration, Instant};
+
+/// How a single field is matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchValue {
+    /// Field must equal the value exactly.
+    Exact(FieldValue),
+    /// Ternary match on the integer encoding: `(field & mask) == value`.
+    Masked {
+        /// Expected value (pre-masked).
+        value: u64,
+        /// Bits that participate.
+        mask: u64,
+    },
+}
+
+/// One conjunct of a match specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchAtom {
+    /// The field inspected.
+    pub field: Field,
+    /// The required value.
+    pub value: MatchValue,
+}
+
+impl MatchAtom {
+    /// Exact-match convenience constructor.
+    pub fn exact(field: Field, value: impl Into<FieldValue>) -> Self {
+        MatchAtom { field, value: MatchValue::Exact(value.into()) }
+    }
+
+    /// Ternary-match convenience constructor.
+    pub fn masked(field: Field, value: u64, mask: u64) -> Self {
+        MatchAtom { field, value: MatchValue::Masked { value: value & mask, mask } }
+    }
+
+    /// Does `view` satisfy this atom?
+    ///
+    /// A field the parser could not produce never matches (there is no
+    /// "match on absence" in match-action hardware).
+    pub fn matches(&self, view: &PacketView) -> bool {
+        let Some(actual) = view.field(self.field) else {
+            return false;
+        };
+        match &self.value {
+            MatchValue::Exact(want) => actual == *want,
+            MatchValue::Masked { value, mask } => match actual.as_uint() {
+                Some(v) => v & mask == *value,
+                None => false,
+            },
+        }
+    }
+}
+
+/// A conjunction of match atoms. Empty spec matches everything
+/// (a table-miss / wildcard rule).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MatchSpec {
+    /// The conjuncts.
+    pub atoms: Vec<MatchAtom>,
+}
+
+impl MatchSpec {
+    /// The match-everything spec.
+    pub fn any() -> Self {
+        MatchSpec { atoms: Vec::new() }
+    }
+
+    /// A spec from atoms.
+    pub fn new(atoms: Vec<MatchAtom>) -> Self {
+        MatchSpec { atoms }
+    }
+
+    /// Does `view` satisfy every atom?
+    pub fn matches(&self, view: &PacketView) -> bool {
+        self.atoms.iter().all(|a| a.matches(view))
+    }
+
+    /// The deepest layer this spec needs the parser to reach.
+    pub fn required_depth(&self) -> swmon_packet::Layer {
+        self.atoms
+            .iter()
+            .map(|a| a.field.layer())
+            .max()
+            .unwrap_or(swmon_packet::Layer::L2)
+    }
+}
+
+/// A rule installed in a flow table.
+#[derive(Debug, Clone)]
+pub struct FlowRule {
+    /// Higher priority wins; ties break to the earlier-installed rule.
+    pub priority: u16,
+    /// What the rule matches.
+    pub spec: MatchSpec,
+    /// What it does.
+    pub actions: Vec<Action>,
+    /// Remove the rule if unmatched for this long.
+    pub idle_timeout: Option<Duration>,
+    /// Remove the rule this long after installation, regardless of traffic.
+    pub hard_timeout: Option<Duration>,
+}
+
+impl FlowRule {
+    /// A rule with no timeouts.
+    pub fn new(priority: u16, spec: MatchSpec, actions: Vec<Action>) -> Self {
+        FlowRule { priority, spec, actions, idle_timeout: None, hard_timeout: None }
+    }
+}
+
+/// Runtime state of an installed rule.
+#[derive(Debug, Clone)]
+struct Installed {
+    rule: FlowRule,
+    installed_at: Instant,
+    last_matched: Instant,
+    packets: u64,
+    insertion: u64,
+}
+
+impl Installed {
+    fn expired(&self, now: Instant) -> bool {
+        if let Some(hard) = self.rule.hard_timeout {
+            if now.duration_since(self.installed_at) >= hard {
+                return true;
+            }
+        }
+        if let Some(idle) = self.rule.idle_timeout {
+            if now.duration_since(self.last_matched) >= idle {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A rule that expired, reported by [`FlowTable::expire`].
+#[derive(Debug, Clone)]
+pub struct ExpiredRule {
+    /// The rule as installed.
+    pub rule: FlowRule,
+    /// When it was installed.
+    pub installed_at: Instant,
+    /// Packets it matched during its life.
+    pub packets: u64,
+}
+
+/// One priority-ordered flow table.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    rules: Vec<Installed>,
+    next_insertion: u64,
+    /// Lifetime counters.
+    pub lookups: u64,
+    /// Lookups that matched no rule.
+    pub misses: u64,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of installed rules (a Varanus pipeline-depth proxy when the
+    /// compilation uses one table per instance).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Install a rule (an OpenFlow flow-mod ADD). A rule with the same
+    /// priority and match replaces the existing one — repeated `learn`s of
+    /// the same flow refresh rather than duplicate, as in OVS.
+    pub fn insert(&mut self, rule: FlowRule, now: Instant) {
+        self.rules.retain(|r| !(r.rule.priority == rule.priority && r.rule.spec == rule.spec));
+        let ins = Installed {
+            rule,
+            installed_at: now,
+            last_matched: now,
+            packets: 0,
+            insertion: self.next_insertion,
+        };
+        self.next_insertion += 1;
+        // Keep sorted: priority descending, then insertion ascending.
+        let pos = self
+            .rules
+            .partition_point(|r| (r.rule.priority, std::cmp::Reverse(r.insertion)) >= (ins.rule.priority, std::cmp::Reverse(ins.insertion)));
+        self.rules.insert(pos, ins);
+    }
+
+    /// Remove every rule whose spec equals `spec` (flow-mod DELETE strict,
+    /// ignoring priority). Returns how many were removed.
+    pub fn remove_matching_spec(&mut self, spec: &MatchSpec) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.rule.spec != *spec);
+        before - self.rules.len()
+    }
+
+    /// Expire timed-out rules as of `now`, returning them (the hook timeout-
+    /// action implementations build on).
+    pub fn expire(&mut self, now: Instant) -> Vec<ExpiredRule> {
+        let mut out = Vec::new();
+        self.rules.retain(|r| {
+            if r.expired(now) {
+                out.push(ExpiredRule {
+                    rule: r.rule.clone(),
+                    installed_at: r.installed_at,
+                    packets: r.packets,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Find the highest-priority live rule matching `view`, updating
+    /// counters and the idle-timeout clock. Expired rules never match (but
+    /// are only *removed* by [`FlowTable::expire`]).
+    pub fn lookup(&mut self, view: &PacketView, now: Instant) -> Option<&FlowRule> {
+        self.lookups += 1;
+        let idx = self
+            .rules
+            .iter()
+            .position(|r| !r.expired(now) && r.rule.spec.matches(view));
+        match idx {
+            Some(i) => {
+                let r = &mut self.rules[i];
+                r.packets += 1;
+                r.last_matched = now;
+                Some(&self.rules[i].rule)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Iterate installed rules in match order (tests, dumps).
+    pub fn rules(&self) -> impl Iterator<Item = &FlowRule> {
+        self.rules.iter().map(|r| &r.rule)
+    }
+
+    /// Packets matched by the rule with exactly `spec`, if installed.
+    pub fn packet_count(&self, spec: &MatchSpec) -> Option<u64> {
+        self.rules.iter().find(|r| r.rule.spec == *spec).map(|r| r.packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_packet::{Ipv4Address, Layer, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::PortNo;
+
+    fn view(dst_port: u16) -> PacketView {
+        let p = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            1234,
+            dst_port,
+            TcpFlags::SYN,
+            &[],
+        );
+        PacketView::parse(&p, PortNo(1), Layer::L4).unwrap()
+    }
+
+    fn at(ms: u64) -> Instant {
+        Instant::ZERO + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn exact_match_and_miss() {
+        let mut t = FlowTable::new();
+        t.insert(
+            FlowRule::new(
+                10,
+                MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 80u16)]),
+                vec![Action::Output(PortNo(2))],
+            ),
+            at(0),
+        );
+        assert!(t.lookup(&view(80), at(1)).is_some());
+        assert!(t.lookup(&view(443), at(1)).is_none());
+        assert_eq!(t.lookups, 2);
+        assert_eq!(t.misses, 1);
+    }
+
+    #[test]
+    fn priority_wins_over_insertion() {
+        let mut t = FlowTable::new();
+        t.insert(FlowRule::new(1, MatchSpec::any(), vec![Action::Drop]), at(0));
+        t.insert(FlowRule::new(100, MatchSpec::any(), vec![Action::Flood]), at(0));
+        let r = t.lookup(&view(80), at(0)).unwrap();
+        assert_eq!(r.actions, vec![Action::Flood]);
+    }
+
+    #[test]
+    fn equal_priority_prefers_earlier_insertion() {
+        let mut t = FlowTable::new();
+        // Distinct specs that both match the test packet.
+        t.insert(
+            FlowRule::new(
+                5,
+                MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 80u16)]),
+                vec![Action::Drop],
+            ),
+            at(0),
+        );
+        t.insert(
+            FlowRule::new(
+                5,
+                MatchSpec::new(vec![MatchAtom::exact(Field::L4Src, 1234u16)]),
+                vec![Action::Flood],
+            ),
+            at(0),
+        );
+        assert_eq!(t.lookup(&view(80), at(0)).unwrap().actions, vec![Action::Drop]);
+    }
+
+    #[test]
+    fn same_priority_and_spec_replaces() {
+        let mut t = FlowTable::new();
+        t.insert(FlowRule::new(5, MatchSpec::any(), vec![Action::Drop]), at(0));
+        t.insert(FlowRule::new(5, MatchSpec::any(), vec![Action::Flood]), at(0));
+        assert_eq!(t.len(), 1, "identical (priority, spec) replaces");
+        assert_eq!(t.lookup(&view(80), at(0)).unwrap().actions, vec![Action::Flood]);
+    }
+
+    #[test]
+    fn masked_match() {
+        let mut t = FlowTable::new();
+        // Match any TCP port in 0x50-0x5f (80..=95).
+        t.insert(
+            FlowRule::new(
+                10,
+                MatchSpec::new(vec![MatchAtom::masked(Field::L4Dst, 0x50, 0xfff0)]),
+                vec![Action::Drop],
+            ),
+            at(0),
+        );
+        assert!(t.lookup(&view(80), at(0)).is_some());
+        assert!(t.lookup(&view(95), at(0)).is_some());
+        assert!(t.lookup(&view(96), at(0)).is_none());
+    }
+
+    #[test]
+    fn unparsed_field_never_matches() {
+        let p = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            1,
+            80,
+            TcpFlags::SYN,
+            &[],
+        );
+        let l2_view = PacketView::parse(&p, PortNo(1), Layer::L2).unwrap();
+        let atom = MatchAtom::exact(Field::L4Dst, 80u16);
+        assert!(!atom.matches(&l2_view), "L2 parser cannot satisfy an L4 match");
+    }
+
+    #[test]
+    fn idle_timeout_refreshes_on_match() {
+        let mut t = FlowTable::new();
+        let mut rule = FlowRule::new(
+            10,
+            MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 80u16)]),
+            vec![Action::Drop],
+        );
+        rule.idle_timeout = Some(Duration::from_millis(100));
+        t.insert(rule, at(0));
+        // Keep it warm.
+        assert!(t.lookup(&view(80), at(90)).is_some());
+        assert!(t.lookup(&view(80), at(180)).is_some(), "refreshed by previous match");
+        // Let it go cold.
+        assert!(t.lookup(&view(80), at(280)).is_none(), "idle-expired rules do not match");
+        let expired = t.expire(at(280));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].packets, 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn hard_timeout_ignores_traffic() {
+        let mut t = FlowTable::new();
+        let mut rule = FlowRule::new(10, MatchSpec::any(), vec![Action::Drop]);
+        rule.hard_timeout = Some(Duration::from_millis(50));
+        t.insert(rule, at(0));
+        assert!(t.lookup(&view(80), at(40)).is_some());
+        assert!(t.lookup(&view(80), at(50)).is_none(), "hard timeout is absolute");
+        assert_eq!(t.expire(at(50)).len(), 1);
+    }
+
+    #[test]
+    fn expire_reports_only_expired() {
+        let mut t = FlowTable::new();
+        let mut r1 = FlowRule::new(1, MatchSpec::any(), vec![Action::Drop]);
+        r1.hard_timeout = Some(Duration::from_millis(10));
+        t.insert(r1, at(0));
+        t.insert(FlowRule::new(2, MatchSpec::any(), vec![Action::Flood]), at(0));
+        let gone = t.expire(at(20));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_matching_spec_removes_all_copies() {
+        let mut t = FlowTable::new();
+        let spec = MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 80u16)]);
+        t.insert(FlowRule::new(1, spec.clone(), vec![Action::Drop]), at(0));
+        t.insert(FlowRule::new(2, spec.clone(), vec![Action::Flood]), at(0));
+        t.insert(FlowRule::new(3, MatchSpec::any(), vec![Action::Drop]), at(0));
+        assert_eq!(t.remove_matching_spec(&spec), 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn packet_count_tracks_matches() {
+        let mut t = FlowTable::new();
+        let spec = MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 80u16)]);
+        t.insert(FlowRule::new(1, spec.clone(), vec![Action::Drop]), at(0));
+        for _ in 0..3 {
+            t.lookup(&view(80), at(1));
+        }
+        t.lookup(&view(443), at(1));
+        assert_eq!(t.packet_count(&spec), Some(3));
+        assert_eq!(t.packet_count(&MatchSpec::any()), None);
+    }
+
+    #[test]
+    fn required_depth_is_max_of_atoms() {
+        let spec = MatchSpec::new(vec![
+            MatchAtom::exact(Field::EthType, 0x0800u64),
+            MatchAtom::exact(Field::DhcpXid, 7u64),
+        ]);
+        assert_eq!(spec.required_depth(), Layer::L7);
+        assert_eq!(MatchSpec::any().required_depth(), Layer::L2);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # swmon-switch — the programmable-switch substrate
+//!
+//! Simulated switch machinery implementing the union of the state and
+//! matching primitives surveyed by the paper (Table 2):
+//!
+//! * [`flowtable`] — priority match-action tables with idle/hard rule
+//!   timeouts and counters (OpenFlow).
+//! * [`action`] — the instruction set, including OVS's `learn` action
+//!   (FAST; recursively, Varanus) and register ops (P4/POF/SNAP).
+//! * [`registers`] — fast-path register arrays with field/hash indexing.
+//! * [`xfsm`] — OpenState's state-machine tables with lookup/update scopes.
+//! * [`switch`] — [`ProgrammableSwitch`]: the full pipeline as a simulator
+//!   node, with an optional egress table, controller channel, explicit
+//!   inline/split side-effect control (Feature 9), and cost accounting.
+//! * [`shell`] — [`AppSwitch`]: a thin dataplane shell for network functions
+//!   written as plain Rust (the systems monitors *check*).
+//! * [`cost`] — the calibrated latency model (fast path ≪ slow path ≪
+//!   controller) that carries the paper's scalability claims.
+
+pub mod action;
+pub mod cost;
+pub mod flowtable;
+pub mod registers;
+pub mod shell;
+pub mod switch;
+pub mod view;
+pub mod xfsm;
+
+pub use action::{Action, LearnAtom, LearnSpec, RegOp, RegRef};
+pub use cost::{CostAccount, CostModel};
+pub use flowtable::{ExpiredRule, FlowRule, FlowTable, MatchAtom, MatchSpec, MatchValue};
+pub use registers::{fnv1a, hash_fields, RegisterFile};
+pub use shell::{AppCtx, AppLogic, AppSwitch, AppTimerCtx};
+pub use switch::{
+    AlertRecord, Controller, ControllerCmd, ProgrammableSwitch, StateUpdateMode, SwitchConfig,
+    TableMiss,
+};
+pub use view::PacketView;
+pub use xfsm::{StateId, Transition, Xfsm, DEFAULT_STATE};

@@ -1,0 +1,254 @@
+//! Register files — the *fast-path* state mechanism of P4/POF ("flow
+//! registers") and SNAP ("persistent global arrays").
+//!
+//! Registers are fixed-size arrays of 64-bit cells updated inline during
+//! packet processing at nanosecond cost, in contrast to the slow-path
+//! `learn`/flow-mod mechanism. Indexing is by constant, by field value, or
+//! by a hash of fields (FAST-style); hashing is deterministic (FNV-1a) so
+//! simulations reproduce exactly.
+
+use crate::action::RegRef;
+use crate::view::PacketView;
+use swmon_packet::Field;
+
+/// A bank of named register arrays.
+#[derive(Debug, Default, Clone)]
+pub struct RegisterFile {
+    arrays: Vec<Array>,
+    /// Lifetime operation counter (reads + writes), for cost accounting.
+    pub ops: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Array {
+    name: String,
+    cells: Vec<u64>,
+}
+
+/// FNV-1a over a byte stream — deterministic and fast, the stand-in for a
+/// hardware hash unit.
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash a set of packet fields to a u64 (before modulus). Delegates to the
+/// shared [`swmon_packet::field::values_hash`] so monitor-side hash checks
+/// agree with dataplane hashing. A missing field hashes as a distinguished
+/// marker so that packets lacking the field do not alias value 0.
+pub fn hash_fields(view: &PacketView, fields: &[Field]) -> u64 {
+    swmon_packet::field::values_hash(fields.iter().map(|&f| view.field(f)))
+}
+
+impl RegisterFile {
+    /// An empty file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate an array of `size` zeroed cells; returns its handle.
+    pub fn alloc(&mut self, name: &str, size: usize) -> usize {
+        self.arrays.push(Array { name: name.to_string(), cells: vec![0; size] });
+        self.arrays.len() - 1
+    }
+
+    /// The array's configured size.
+    pub fn size(&self, array: usize) -> usize {
+        self.arrays[array].cells.len()
+    }
+
+    /// The array's name (for dumps).
+    pub fn name(&self, array: usize) -> &str {
+        &self.arrays[array].name
+    }
+
+    /// Resolve a [`RegRef`] to a concrete value in the context of `view`.
+    /// `Hash` refs are reduced modulo the target array size by the caller.
+    pub fn resolve(&self, view: &PacketView, r: &RegRef) -> Option<u64> {
+        match r {
+            RegRef::Const(v) => Some(*v),
+            RegRef::Field(f) => view.field(*f).map(|v| v.to_u64_key()),
+            RegRef::Hash(fields) => Some(hash_fields(view, fields)),
+        }
+    }
+
+    fn index_of(&self, view: &PacketView, array: usize, index: &RegRef) -> Option<usize> {
+        let raw = self.resolve(view, index)?;
+        let size = self.arrays[array].cells.len();
+        if size == 0 {
+            return None;
+        }
+        Some((raw % size as u64) as usize)
+    }
+
+    /// `array[index]`, with indexing semantics as in actions.
+    pub fn read(&mut self, view: &PacketView, array: usize, index: &RegRef) -> Option<u64> {
+        let i = self.index_of(view, array, index)?;
+        self.ops += 1;
+        Some(self.arrays[array].cells[i])
+    }
+
+    /// `array[index] = value`. Returns the cell index written.
+    pub fn write(
+        &mut self,
+        view: &PacketView,
+        array: usize,
+        index: &RegRef,
+        value: &RegRef,
+    ) -> Option<usize> {
+        let i = self.index_of(view, array, index)?;
+        let v = self.resolve(view, value)?;
+        self.ops += 1;
+        self.arrays[array].cells[i] = v;
+        Some(i)
+    }
+
+    /// `array[index] += value` (saturating).
+    pub fn add(
+        &mut self,
+        view: &PacketView,
+        array: usize,
+        index: &RegRef,
+        value: &RegRef,
+    ) -> Option<usize> {
+        let i = self.index_of(view, array, index)?;
+        let v = self.resolve(view, value)?;
+        self.ops += 1;
+        let cell = &mut self.arrays[array].cells[i];
+        *cell = cell.saturating_add(v);
+        Some(i)
+    }
+
+    /// Raw read by cell number (tests and dumps).
+    pub fn peek(&self, array: usize, cell: usize) -> u64 {
+        self.arrays[array].cells[cell]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_packet::{Ipv4Address, Layer, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::PortNo;
+
+    fn view(src_last_octet: u8) -> PacketView {
+        let p = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, src_last_octet),
+            Ipv4Address::new(10, 0, 0, 200),
+            1000,
+            80,
+            TcpFlags::SYN,
+            &[],
+        );
+        PacketView::parse(&p, PortNo(0), Layer::L4).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_by_constant_index() {
+        let mut rf = RegisterFile::new();
+        let a = rf.alloc("conn", 16);
+        rf.write(&view(1), a, &RegRef::Const(3), &RegRef::Const(42));
+        assert_eq!(rf.read(&view(1), a, &RegRef::Const(3)), Some(42));
+        assert_eq!(rf.read(&view(1), a, &RegRef::Const(4)), Some(0));
+        assert_eq!(rf.ops, 3);
+    }
+
+    #[test]
+    fn constant_index_wraps_modulo_size() {
+        let mut rf = RegisterFile::new();
+        let a = rf.alloc("x", 8);
+        rf.write(&view(1), a, &RegRef::Const(9), &RegRef::Const(7));
+        assert_eq!(rf.peek(a, 1), 7);
+    }
+
+    #[test]
+    fn field_indexing_separates_flows() {
+        let mut rf = RegisterFile::new();
+        let a = rf.alloc("per-src", 1024);
+        let i1 = rf.write(&view(1), a, &RegRef::Field(Field::Ipv4Src), &RegRef::Const(11)).unwrap();
+        let i2 = rf.write(&view(2), a, &RegRef::Field(Field::Ipv4Src), &RegRef::Const(22)).unwrap();
+        assert_ne!(i1, i2, "different sources land in different cells (mod 1024)");
+        assert_eq!(rf.peek(a, i1), 11);
+        assert_eq!(rf.peek(a, i2), 22);
+    }
+
+    #[test]
+    fn hash_indexing_is_deterministic_and_value_sensitive() {
+        let v1 = view(1);
+        let v2 = view(2);
+        let fields = [Field::Ipv4Src, Field::Ipv4Dst, Field::L4Src, Field::L4Dst];
+        assert_eq!(hash_fields(&v1, &fields), hash_fields(&v1, &fields));
+        assert_ne!(hash_fields(&v1, &fields), hash_fields(&v2, &fields));
+    }
+
+    #[test]
+    fn missing_field_hashes_distinctly_from_zero() {
+        // An ARP packet has no Ipv4Src; it must not hash like Ipv4Src == 0.
+        let arp = PacketBuilder::arp(swmon_packet::ArpPacket::request(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            Ipv4Address::new(0, 0, 0, 0),
+            Ipv4Address::new(10, 0, 0, 2),
+        ));
+        let arp_view = PacketView::parse(&arp, PortNo(0), Layer::L3).unwrap();
+        let h_missing = hash_fields(&arp_view, &[Field::Ipv4Src]);
+        // Compare against a real IPv4 packet with source 0.0.0.0.
+        let zero_src = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::UNSPECIFIED,
+            Ipv4Address::new(10, 0, 0, 2),
+            1,
+            2,
+            TcpFlags::SYN,
+            &[],
+        );
+        let zero_view = PacketView::parse(&zero_src, PortNo(0), Layer::L4).unwrap();
+        assert_ne!(h_missing, hash_fields(&zero_view, &[Field::Ipv4Src]));
+    }
+
+    #[test]
+    fn add_saturates() {
+        let mut rf = RegisterFile::new();
+        let a = rf.alloc("ctr", 4);
+        rf.write(&view(1), a, &RegRef::Const(0), &RegRef::Const(u64::MAX - 1));
+        rf.add(&view(1), a, &RegRef::Const(0), &RegRef::Const(5));
+        assert_eq!(rf.peek(a, 0), u64::MAX);
+    }
+
+    #[test]
+    fn unresolvable_field_ref_is_none() {
+        let mut rf = RegisterFile::new();
+        let a = rf.alloc("x", 4);
+        // ARP view has no L4 port.
+        let arp = PacketBuilder::arp(swmon_packet::ArpPacket::request(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+        ));
+        let v = PacketView::parse(&arp, PortNo(0), Layer::L7).unwrap();
+        assert_eq!(rf.read(&v, a, &RegRef::Field(Field::L4Src)), None);
+        assert_eq!(rf.write(&v, a, &RegRef::Const(0), &RegRef::Field(Field::L4Src)), None);
+    }
+
+    #[test]
+    fn names_and_sizes() {
+        let mut rf = RegisterFile::new();
+        let a = rf.alloc("alpha", 3);
+        assert_eq!(rf.name(a), "alpha");
+        assert_eq!(rf.size(a), 3);
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a([]), 0xcbf2_9ce4_8422_2325);
+        // And it is byte-order sensitive.
+        assert_ne!(fnv1a([1, 2]), fnv1a([2, 1]));
+    }
+}

@@ -1,0 +1,377 @@
+//! [`AppSwitch`]: a dataplane shell for network functions written as plain
+//! Rust logic instead of match-action rules.
+//!
+//! The paper's point is that a monitor checks the *behaviour* of a switch,
+//! however that behaviour is produced — controller program, on-switch state
+//! machine, or black-box third-party code. `AppSwitch` lets `swmon-apps`
+//! implement reference network functions (and their fault-injected variants)
+//! as ordinary Rust, while the shell guarantees the part monitors rely on:
+//! a faithful event stream with per-arrival identity tokens, drop
+//! observations, and out-of-band events.
+
+use std::sync::Arc;
+use swmon_packet::{Headers, Layer, Packet};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::trace::{EgressAction, NetEventKind, OobEvent, PacketId, PortNo, SwitchId};
+use swmon_sim::{Node, NodeCtx};
+
+/// Internal timer-token namespace for deferred replies.
+const TOKEN_DEFERRED: u64 = 1 << 63;
+
+/// The interface a network function implements.
+pub trait AppLogic {
+    /// Decide what to do with a packet that arrived on `ctx.in_port()`.
+    fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, headers: &Headers);
+
+    /// An application timer fired. Tokens must stay below `1 << 62`.
+    fn on_timer(&mut self, _ctx: &mut AppTimerCtx<'_, '_>, _token: u64) {}
+
+    /// An out-of-band event occurred (link down/up, controller message).
+    fn on_oob(&mut self, _ctx: &mut AppTimerCtx<'_, '_>, _ev: OobEvent) {}
+}
+
+/// Per-packet context handed to [`AppLogic::handle`].
+pub struct AppCtx<'a, 'b> {
+    node: &'a mut NodeCtx<'b>,
+    switch: SwitchId,
+    in_port: PortNo,
+    num_ports: u16,
+    packet: Arc<Packet>,
+    packet_id: PacketId,
+    decided: bool,
+}
+
+impl<'a, 'b> AppCtx<'a, 'b> {
+    /// Simulated now.
+    pub fn now(&self) -> Instant {
+        self.node.now()
+    }
+
+    /// The port this packet arrived on.
+    pub fn in_port(&self) -> PortNo {
+        self.in_port
+    }
+
+    /// The raw packet (already parsed headers are passed to `handle`).
+    pub fn packet(&self) -> &Arc<Packet> {
+        &self.packet
+    }
+
+    /// Forward the packet unchanged out `port`.
+    pub fn forward(&mut self, port: PortNo) {
+        self.decide(EgressAction::Output(port), Arc::clone(&self.packet));
+    }
+
+    /// Forward a rewritten packet out `port` (NAT-style).
+    pub fn forward_rewritten(&mut self, port: PortNo, pkt: Packet) {
+        self.decide(EgressAction::Output(port), Arc::new(pkt));
+    }
+
+    /// Flood the packet out of every other port.
+    pub fn flood(&mut self) {
+        self.decide(EgressAction::Flood, Arc::clone(&self.packet));
+    }
+
+    /// Drop the packet (observable: a drop departure event is emitted).
+    pub fn drop_packet(&mut self) {
+        self.decide(EgressAction::Drop, Arc::clone(&self.packet));
+    }
+
+    fn decide(&mut self, action: EgressAction, pkt: Arc<Packet>) {
+        self.decided = true;
+        self.node.emit(NetEventKind::Departure {
+            switch: self.switch,
+            pkt: Arc::clone(&pkt),
+            id: self.packet_id,
+            action,
+        });
+        match action {
+            EgressAction::Output(p) => self.node.send(p, pkt),
+            EgressAction::Flood => {
+                for p in 0..self.num_ports {
+                    let p = PortNo(p);
+                    if p != self.in_port {
+                        self.node.send(p, Arc::clone(&pkt));
+                    }
+                }
+            }
+            EgressAction::Drop => {}
+        }
+    }
+
+    /// Emit a *switch-originated* packet out `port` (e.g. an ARP proxy
+    /// reply). It gets a fresh identity token: it is a different packet from
+    /// the one being handled — exactly the situation where the paper notes
+    /// packet identity (Feature 5) cannot be used.
+    pub fn originate(&mut self, port: PortNo, pkt: Packet) {
+        let id = self.node.fresh_packet_id();
+        let pkt = Arc::new(pkt);
+        self.node.emit(NetEventKind::Departure {
+            switch: self.switch,
+            pkt: Arc::clone(&pkt),
+            id,
+            action: EgressAction::Output(port),
+        });
+        self.node.send(port, pkt);
+    }
+
+    /// Arm an application timer (token must stay below `1 << 62`).
+    pub fn schedule(&mut self, after: Duration, token: u64) {
+        debug_assert!(token < (1 << 62), "token namespace reserved");
+        self.node.schedule(after, token);
+    }
+
+    /// Whether a forwarding decision was made (used by the shell to emit an
+    /// implicit drop when the app decides nothing).
+    fn was_decided(&self) -> bool {
+        self.decided
+    }
+}
+
+/// Context handed to timer and out-of-band callbacks (no packet in flight).
+pub struct AppTimerCtx<'a, 'b> {
+    node: &'a mut NodeCtx<'b>,
+    switch: SwitchId,
+}
+
+impl<'a, 'b> AppTimerCtx<'a, 'b> {
+    /// Simulated now.
+    pub fn now(&self) -> Instant {
+        self.node.now()
+    }
+
+    /// Emit a switch-originated packet out `port` with a fresh identity.
+    pub fn originate(&mut self, port: PortNo, pkt: Packet) {
+        let id = self.node.fresh_packet_id();
+        let pkt = Arc::new(pkt);
+        self.node.emit(NetEventKind::Departure {
+            switch: self.switch,
+            pkt: Arc::clone(&pkt),
+            id,
+            action: EgressAction::Output(port),
+        });
+        self.node.send(port, pkt);
+    }
+
+    /// Arm an application timer.
+    pub fn schedule(&mut self, after: Duration, token: u64) {
+        debug_assert!(token < (1 << 62), "token namespace reserved");
+        self.node.schedule(after, token);
+    }
+
+    /// Re-emit an out-of-band event into the monitorable stream.
+    pub fn emit_oob(&mut self, ev: OobEvent) {
+        self.node.emit(NetEventKind::OutOfBand(ev));
+    }
+}
+
+/// The shell node wrapping an [`AppLogic`].
+pub struct AppSwitch<L: AppLogic> {
+    /// The wrapped network function.
+    pub logic: L,
+    switch: SwitchId,
+    num_ports: u16,
+    parser_depth: Layer,
+}
+
+impl<L: AppLogic> AppSwitch<L> {
+    /// Wrap `logic` as switch `switch` with `num_ports` ports, parsing at
+    /// `parser_depth`.
+    pub fn new(switch: SwitchId, num_ports: u16, parser_depth: Layer, logic: L) -> Self {
+        AppSwitch { logic, switch, num_ports, parser_depth }
+    }
+}
+
+impl<L: AppLogic> Node for AppSwitch<L> {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortNo, pkt: Arc<Packet>) {
+        let packet_id = ctx.fresh_packet_id();
+        ctx.emit(NetEventKind::Arrival {
+            switch: self.switch,
+            port,
+            pkt: Arc::clone(&pkt),
+            id: packet_id,
+        });
+        let headers = match pkt.parse(self.parser_depth) {
+            Ok(h) => h,
+            Err(_) => {
+                ctx.emit(NetEventKind::Departure {
+                    switch: self.switch,
+                    pkt,
+                    id: packet_id,
+                    action: EgressAction::Drop,
+                });
+                return;
+            }
+        };
+        let mut app_ctx = AppCtx {
+            node: ctx,
+            switch: self.switch,
+            in_port: port,
+            num_ports: self.num_ports,
+            packet: Arc::clone(&pkt),
+            packet_id,
+            decided: false,
+        };
+        self.logic.handle(&mut app_ctx, &headers);
+        let decided = app_ctx.was_decided();
+        if !decided {
+            // No decision is a drop — and it is observable, which is the
+            // whole point.
+            ctx.emit(NetEventKind::Departure {
+                switch: self.switch,
+                pkt,
+                id: packet_id,
+                action: EgressAction::Drop,
+            });
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        if token & TOKEN_DEFERRED != 0 {
+            return; // reserved namespace, currently unused
+        }
+        let mut tctx = AppTimerCtx { node: ctx, switch: self.switch };
+        self.logic.on_timer(&mut tctx, token);
+    }
+
+    fn on_oob(&mut self, ctx: &mut NodeCtx<'_>, ev: OobEvent) {
+        // Out-of-band events are monitorable (Feature 8 multiple-match) and
+        // forwarded to the application.
+        ctx.emit(NetEventKind::OutOfBand(ev));
+        let mut tctx = AppTimerCtx { node: ctx, switch: self.switch };
+        self.logic.on_oob(&mut tctx, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::{Network, TraceRecorder};
+
+    fn pkt(dport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            999,
+            dport,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+    /// Forward port-80 traffic to port 1; drop everything else explicitly;
+    /// ignore (implicit-drop) port-23 traffic.
+    struct Screener;
+    impl AppLogic for Screener {
+        fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, headers: &Headers) {
+            match headers.tcp().map(|t| t.dst_port) {
+                Some(80) => ctx.forward(PortNo(1)),
+                Some(23) => {} // no decision: shell emits the drop
+                _ => ctx.drop_packet(),
+            }
+        }
+    }
+
+    #[test]
+    fn shell_emits_arrivals_departures_and_implicit_drops() {
+        let mut net = Network::new();
+        let app = Rc::new(RefCell::new(AppSwitch::new(SwitchId(7), 4, Layer::L4, Screener)));
+        let id = net.add_node(app);
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+
+        net.inject(Instant::ZERO, id, PortNo(0), pkt(80));
+        net.inject(Instant::from_nanos(10), id, PortNo(0), pkt(443));
+        net.inject(Instant::from_nanos(20), id, PortNo(0), pkt(23));
+        net.run_to_completion();
+
+        let rec = rec.borrow();
+        assert_eq!(rec.arrivals().count(), 3);
+        let actions: Vec<_> = rec.departures().map(|e| e.action().unwrap()).collect();
+        assert_eq!(
+            actions,
+            vec![EgressAction::Output(PortNo(1)), EgressAction::Drop, EgressAction::Drop]
+        );
+        // Arrival/departure pairs share identity.
+        for i in 0..3 {
+            assert_eq!(rec.events[2 * i].packet_id(), rec.events[2 * i + 1].packet_id());
+        }
+    }
+
+    /// Replies to everything with a fresh originated packet.
+    struct Responder;
+    impl AppLogic for Responder {
+        fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, _headers: &Headers) {
+            let reply = pkt(1234);
+            let port = ctx.in_port();
+            ctx.originate(port, reply);
+            ctx.drop_packet();
+        }
+    }
+
+    #[test]
+    fn originated_packets_get_fresh_identity() {
+        let mut net = Network::new();
+        let app = Rc::new(RefCell::new(AppSwitch::new(SwitchId(1), 2, Layer::L4, Responder)));
+        let id = net.add_node(app);
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        net.inject(Instant::ZERO, id, PortNo(0), pkt(80));
+        net.run_to_completion();
+
+        let rec = rec.borrow();
+        let ids: Vec<_> = rec.events.iter().filter_map(|e| e.packet_id()).collect();
+        // Arrival(id0), originated Departure(id1), drop Departure(id0).
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], ids[2]);
+        assert_ne!(ids[0], ids[1], "originated reply is a different packet");
+    }
+
+    /// Uses a timer to originate a packet later.
+    struct DelayedBeacon;
+    impl AppLogic for DelayedBeacon {
+        fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, _headers: &Headers) {
+            ctx.schedule(Duration::from_millis(5), 42);
+            ctx.drop_packet();
+        }
+        fn on_timer(&mut self, ctx: &mut AppTimerCtx<'_, '_>, token: u64) {
+            assert_eq!(token, 42);
+            ctx.originate(PortNo(0), pkt(53));
+        }
+    }
+
+    #[test]
+    fn app_timers_fire_and_can_originate() {
+        let mut net = Network::new();
+        let app = Rc::new(RefCell::new(AppSwitch::new(SwitchId(1), 2, Layer::L4, DelayedBeacon)));
+        let id = net.add_node(app);
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        net.inject(Instant::ZERO, id, PortNo(0), pkt(80));
+        net.run_to_completion();
+        let rec = rec.borrow();
+        let late: Vec<_> = rec
+            .departures()
+            .filter(|e| e.time == Instant::ZERO + Duration::from_millis(5))
+            .collect();
+        assert_eq!(late.len(), 1, "beacon originated at the timer deadline");
+    }
+
+    #[test]
+    fn unparseable_packet_dropped_by_shell() {
+        let mut net = Network::new();
+        let app = Rc::new(RefCell::new(AppSwitch::new(SwitchId(1), 2, Layer::L4, Screener)));
+        let id = net.add_node(app);
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        net.inject(Instant::ZERO, id, PortNo(0), Packet::from_bytes(vec![1, 2, 3]));
+        net.run_to_completion();
+        let rec = rec.borrow();
+        assert_eq!(rec.departures().next().unwrap().action(), Some(EgressAction::Drop));
+    }
+}

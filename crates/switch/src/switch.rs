@@ -1,0 +1,1017 @@
+//! The programmable match-action switch as a simulator [`Node`].
+//!
+//! A [`ProgrammableSwitch`] runs a multi-table ingress pipeline (plus an
+//! optional egress table that can match the chosen output port), a register
+//! file, OVS-style `learn` slow-path updates, and an optional controller
+//! channel — the superset of primitives the surveyed architectures offer.
+//! It emits the full monitorable event stream (arrival, departure including
+//! drops, out-of-band) and charges every operation to a [`CostAccount`].
+//!
+//! **Side-effect control (Feature 9)** is explicit, as the paper argues it
+//! should be: [`StateUpdateMode::Inline`] applies slow-path updates before
+//! the packet is forwarded (state never lags, forwarding pays the latency);
+//! [`StateUpdateMode::Split`] forwards immediately and applies the update
+//! after the slow-path delay (forwarding is fast, state lags and packets
+//! racing the update see stale rules).
+
+use crate::action::{Action, LearnAtom, LearnSpec, RegOp};
+use crate::cost::{CostAccount, CostModel};
+use crate::flowtable::{FlowRule, FlowTable, MatchAtom, MatchSpec, MatchValue};
+use crate::registers::RegisterFile;
+use crate::view::PacketView;
+use std::collections::HashMap;
+use std::sync::Arc;
+use swmon_packet::{Layer, Packet};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::trace::{EgressAction, NetEventKind, OobEvent, PacketId, PortNo, SwitchId};
+use swmon_sim::{Node, NodeCtx};
+
+/// When slow-path state updates take effect relative to forwarding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateUpdateMode {
+    /// Block forwarding until the update completes (state is fresh, latency
+    /// is paid by the packet).
+    Inline,
+    /// Forward immediately; the update lands after the slow-path delay
+    /// (state lags behind forwarded packets).
+    Split,
+}
+
+/// Commands a controller can issue in response to a packet-in.
+#[derive(Debug, Clone)]
+pub enum ControllerCmd {
+    /// Install a rule.
+    FlowMod {
+        /// Target table.
+        table: usize,
+        /// The rule.
+        rule: FlowRule,
+    },
+    /// Remove rules whose spec equals `spec`.
+    RemoveFlows {
+        /// Target table.
+        table: usize,
+        /// Spec to remove.
+        spec: MatchSpec,
+    },
+    /// Send the buffered packet out `port` (`None` = flood).
+    PacketOut {
+        /// Output port, or flood when `None`.
+        port: Option<PortNo>,
+    },
+    /// Drop the buffered packet explicitly.
+    DropBuffered,
+}
+
+/// The control program attached to a switch, invoked on packet-in.
+///
+/// Its commands are applied after [`CostModel::controller_rtt`], as they
+/// would be across a real control channel.
+pub trait Controller {
+    /// Handle a packet-in and return commands to apply.
+    fn packet_in(
+        &mut self,
+        now: Instant,
+        switch: SwitchId,
+        in_port: PortNo,
+        pkt: &Packet,
+    ) -> Vec<ControllerCmd>;
+}
+
+/// A monitor alert raised by an [`Action::Alert`] in the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertRecord {
+    /// When it fired.
+    pub time: Instant,
+    /// The property-defined code.
+    pub code: u64,
+    /// Identity of the packet that triggered it.
+    pub packet: PacketId,
+}
+
+/// Static configuration of a switch.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// The switch's identity in traces.
+    pub id: SwitchId,
+    /// Number of ports (0..n).
+    pub num_ports: u16,
+    /// Parser depth (Feature 1): fields deeper than this are invisible.
+    pub parser_depth: Layer,
+    /// Number of ingress flow tables.
+    pub num_tables: usize,
+    /// Optional egress table (runs after the output decision; can match
+    /// [`swmon_packet::Field::OutPort`]). Dropped packets skip it.
+    pub egress_table: Option<usize>,
+    /// What a table miss does (classic OpenFlow default: drop).
+    pub table_miss: TableMiss,
+    /// Cost model used for accounting and latency.
+    pub cost: CostModel,
+    /// Side-effect control mode (Feature 9).
+    pub mode: StateUpdateMode,
+}
+
+/// Behaviour on a table miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableMiss {
+    /// Drop the packet.
+    Drop,
+    /// Punt to the controller.
+    ToController,
+    /// Flood it (hub behaviour).
+    Flood,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            id: SwitchId(0),
+            num_ports: 4,
+            parser_depth: Layer::L4,
+            num_tables: 1,
+            egress_table: None,
+            table_miss: TableMiss::Drop,
+            cost: CostModel::default(),
+            mode: StateUpdateMode::Inline,
+        }
+    }
+}
+
+/// A deferred slow-path update (split mode).
+#[derive(Debug)]
+enum SlowUpdate {
+    Install { table: usize, rule: FlowRule },
+    Remove { table: usize, spec: MatchSpec },
+}
+
+/// Timer token namespaces.
+const TOKEN_CONTROLLER: u64 = 1 << 62;
+const TOKEN_SLOW_UPDATE: u64 = 1 << 61;
+
+/// The switch.
+pub struct ProgrammableSwitch {
+    /// Configuration (read-only after construction).
+    pub cfg: SwitchConfig,
+    tables: Vec<FlowTable>,
+    /// The register file (fast-path state).
+    pub registers: RegisterFile,
+    controller: Option<Box<dyn Controller>>,
+    /// Alerts raised by pipeline `Alert` actions.
+    pub alerts: Vec<AlertRecord>,
+    /// Cost accounting.
+    pub account: CostAccount,
+    pending_updates: Vec<(Instant, SlowUpdate)>,
+    buffered: HashMap<u64, (PortNo, Arc<Packet>, PacketId)>,
+    next_buffer_id: u64,
+}
+
+impl ProgrammableSwitch {
+    /// A switch with `cfg` and empty tables.
+    pub fn new(cfg: SwitchConfig) -> Self {
+        let n = cfg.num_tables.max(cfg.egress_table.map_or(0, |t| t + 1));
+        ProgrammableSwitch {
+            cfg,
+            tables: (0..n).map(|_| FlowTable::new()).collect(),
+            registers: RegisterFile::new(),
+            controller: None,
+            alerts: Vec::new(),
+            account: CostAccount::new(),
+            pending_updates: Vec::new(),
+            buffered: HashMap::new(),
+            next_buffer_id: 0,
+        }
+    }
+
+    /// Attach a controller program.
+    pub fn with_controller(mut self, c: Box<dyn Controller>) -> Self {
+        self.controller = Some(c);
+        self
+    }
+
+    /// Install a rule directly (management plane; not charged as slow path).
+    pub fn install(&mut self, table: usize, rule: FlowRule, now: Instant) {
+        self.tables[table].insert(rule, now);
+    }
+
+    /// The table at `idx` (inspection).
+    pub fn table(&self, idx: usize) -> &FlowTable {
+        &self.tables[idx]
+    }
+
+    /// Total rules across tables (state footprint).
+    pub fn total_rules(&self) -> usize {
+        self.tables.iter().map(FlowTable::len).sum()
+    }
+
+    /// Expire timed-out rules everywhere as of `now`; returns expired count.
+    pub fn expire_rules(&mut self, now: Instant) -> usize {
+        self.tables.iter_mut().map(|t| t.expire(now).len()).sum()
+    }
+
+    fn apply_due_updates(&mut self, now: Instant) {
+        // Order by readiness so same-packet updates land deterministically.
+        self.pending_updates.sort_by_key(|(ready, _)| *ready);
+        let mut rest = Vec::new();
+        for (ready, upd) in self.pending_updates.drain(..) {
+            if ready <= now {
+                match upd {
+                    SlowUpdate::Install { table, rule } => self.tables[table].insert(rule, now),
+                    SlowUpdate::Remove { table, spec } => {
+                        self.tables[table].remove_matching_spec(&spec);
+                    }
+                }
+            } else {
+                rest.push((ready, upd));
+            }
+        }
+        self.pending_updates = rest;
+    }
+
+    /// Instantiate a learn template against the current packet view.
+    fn build_learned_rule(view: &PacketView, spec: &LearnSpec) -> Option<FlowRule> {
+        let mut atoms = Vec::with_capacity(spec.template.len());
+        for atom in &spec.template {
+            match atom {
+                LearnAtom::Const(f, v) => {
+                    atoms.push(MatchAtom { field: *f, value: MatchValue::Exact(*v) })
+                }
+                LearnAtom::CopyField { rule_field, pkt_field } => {
+                    // A template field the packet lacks aborts the learn —
+                    // OVS behaviour for unavailable fields.
+                    let v = view.field(*pkt_field)?;
+                    atoms.push(MatchAtom { field: *rule_field, value: MatchValue::Exact(v) });
+                }
+            }
+        }
+        Some(FlowRule {
+            priority: spec.priority,
+            spec: MatchSpec::new(atoms),
+            actions: spec.actions.clone(),
+            idle_timeout: spec.idle_timeout,
+            hard_timeout: spec.hard_timeout,
+        })
+    }
+
+    /// Run the ingress pipeline on `view`. Returns the decision, the
+    /// (possibly rewritten) view, and latency to add to forwarding.
+    fn run_pipeline(
+        &mut self,
+        now: Instant,
+        mut view: PacketView,
+        packet_id: PacketId,
+    ) -> (PipelineDecision, PacketView, Duration) {
+        let model = self.cfg.cost.clone();
+        let mut latency = self.account.charge_packet(&model);
+        let mut decision: Option<PipelineDecision> = None;
+        let mut table = 0usize;
+        // Bound traversal to the table count: Goto must move forward, as in
+        // OpenFlow, so loops are impossible by construction; we enforce it.
+        loop {
+            if table >= self.cfg.num_tables {
+                break;
+            }
+            latency += self.account.charge_stages(&model, 1);
+            let actions: Vec<Action> = match self.tables[table].lookup(&view, now) {
+                Some(rule) => rule.actions.clone(),
+                None => match self.cfg.table_miss {
+                    TableMiss::Drop => vec![Action::Drop],
+                    TableMiss::ToController => vec![Action::ToController],
+                    TableMiss::Flood => vec![Action::Flood],
+                },
+            };
+            let mut next_table = None;
+            for act in &actions {
+                latency += self.execute_action(now, act, &mut view, packet_id, &mut decision);
+                if let Action::Goto(t) = act {
+                    assert!(*t > table, "Goto must move forward in the pipeline");
+                    next_table = Some(*t);
+                }
+            }
+            match next_table {
+                Some(t) => table = t,
+                None => break,
+            }
+        }
+        (decision.unwrap_or(PipelineDecision::Act(EgressAction::Drop)), view, latency)
+    }
+
+    fn execute_action(
+        &mut self,
+        now: Instant,
+        act: &Action,
+        view: &mut PacketView,
+        packet_id: PacketId,
+        decision: &mut Option<PipelineDecision>,
+    ) -> Duration {
+        let model = self.cfg.cost.clone();
+        match act {
+            Action::Output(p) => {
+                *decision = Some(PipelineDecision::Act(EgressAction::Output(*p)));
+                Duration::ZERO
+            }
+            Action::Flood => {
+                *decision = Some(PipelineDecision::Act(EgressAction::Flood));
+                Duration::ZERO
+            }
+            Action::Drop => {
+                *decision = Some(PipelineDecision::Act(EgressAction::Drop));
+                Duration::ZERO
+            }
+            Action::ToController => {
+                *decision = Some(PipelineDecision::ToController);
+                Duration::ZERO
+            }
+            Action::SetField(f, v) => {
+                view.headers.set_field(*f, *v);
+                Duration::ZERO
+            }
+            Action::Goto(_) => Duration::ZERO,
+            Action::Alert(code) => {
+                self.alerts.push(AlertRecord { time: now, code: *code, packet: packet_id });
+                Duration::ZERO
+            }
+            Action::Reg(op) => {
+                let d = self.account.charge_registers(&model, 1);
+                match op {
+                    RegOp::Write { array, index, value } => {
+                        self.registers.write(view, *array, index, value);
+                    }
+                    RegOp::Add { array, index, value } => {
+                        self.registers.add(view, *array, index, value);
+                    }
+                }
+                d
+            }
+            Action::Learn(spec) => {
+                let d = self.account.charge_slow_updates(&model, 1);
+                if let Some(rule) = Self::build_learned_rule(view, spec) {
+                    let upd = SlowUpdate::Install { table: spec.table, rule };
+                    match self.cfg.mode {
+                        StateUpdateMode::Inline => {
+                            self.pending_updates.push((now, upd));
+                            self.apply_due_updates(now);
+                            return d; // packet pays the slow-path latency
+                        }
+                        StateUpdateMode::Split => {
+                            self.pending_updates.push((now + model.slow_path_update, upd));
+                            return Duration::ZERO; // forwarding proceeds
+                        }
+                    }
+                }
+                Duration::ZERO
+            }
+            Action::Unlearn { table, template } => {
+                let d = self.account.charge_slow_updates(&model, 1);
+                if let Some(rule) = Self::build_learned_rule(
+                    view,
+                    &LearnSpec {
+                        table: *table,
+                        priority: 0,
+                        template: template.clone(),
+                        actions: vec![],
+                        idle_timeout: None,
+                        hard_timeout: None,
+                    },
+                ) {
+                    let upd = SlowUpdate::Remove { table: *table, spec: rule.spec };
+                    match self.cfg.mode {
+                        StateUpdateMode::Inline => {
+                            self.pending_updates.push((now, upd));
+                            self.apply_due_updates(now);
+                            return d;
+                        }
+                        StateUpdateMode::Split => {
+                            self.pending_updates.push((now + model.slow_path_update, upd));
+                            return Duration::ZERO;
+                        }
+                    }
+                }
+                Duration::ZERO
+            }
+        }
+    }
+
+    /// Run the egress table (if configured) for a forwarded packet.
+    fn run_egress(
+        &mut self,
+        now: Instant,
+        view: &mut PacketView,
+        out_port: Option<PortNo>,
+        packet_id: PacketId,
+    ) -> (bool, Duration) {
+        let Some(t) = self.cfg.egress_table else {
+            return (true, Duration::ZERO);
+        };
+        let model = self.cfg.cost.clone();
+        view.out_port = out_port;
+        let mut latency = self.account.charge_stages(&model, 1);
+        let actions: Vec<Action> = match self.tables[t].lookup(view, now) {
+            Some(rule) => rule.actions.clone(),
+            None => return (true, latency), // egress miss: pass through
+        };
+        let mut forward = true;
+        for act in &actions {
+            match act {
+                Action::Drop => forward = false,
+                _ => {
+                    let mut ignored = None;
+                    latency += self.execute_action(now, act, view, packet_id, &mut ignored);
+                }
+            }
+        }
+        (forward, latency)
+    }
+
+    fn emit_departure(
+        ctx: &mut NodeCtx<'_>,
+        id: SwitchId,
+        pkt: Arc<Packet>,
+        packet_id: PacketId,
+        action: EgressAction,
+    ) {
+        ctx.emit(NetEventKind::Departure { switch: id, pkt, id: packet_id, action });
+    }
+
+    fn forward(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        latency: Duration,
+        action: EgressAction,
+        in_port: PortNo,
+        pkt: Arc<Packet>,
+    ) {
+        match action {
+            EgressAction::Output(p) => ctx.send_after(latency, p, pkt),
+            EgressAction::Flood => {
+                for p in 0..self.cfg.num_ports {
+                    let p = PortNo(p);
+                    if p != in_port {
+                        ctx.send_after(latency, p, Arc::clone(&pkt));
+                    }
+                }
+            }
+            EgressAction::Drop => {}
+        }
+    }
+
+    /// Process a packet arriving on `port`, emitting events and forwarding.
+    fn handle_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortNo, pkt: Arc<Packet>) {
+        let now = ctx.now();
+        self.apply_due_updates(now);
+        let sid = self.cfg.id;
+        let packet_id = ctx.fresh_packet_id();
+        ctx.emit(NetEventKind::Arrival { switch: sid, port, pkt: Arc::clone(&pkt), id: packet_id });
+
+        let view = match PacketView::parse(&pkt, port, self.cfg.parser_depth) {
+            Ok(v) => v,
+            Err(_) => {
+                // Unparseable at this depth: hardware drops it.
+                Self::emit_departure(ctx, sid, pkt, packet_id, EgressAction::Drop);
+                return;
+            }
+        };
+
+        let (decision, mut view, mut latency) = self.run_pipeline(now, view, packet_id);
+        // Split-mode updates queued by this packet must land even if no
+        // further traffic arrives: arm a timer at each pending readiness.
+        for &(ready, _) in &self.pending_updates {
+            if ready > now {
+                ctx.schedule(ready.duration_since(now), TOKEN_SLOW_UPDATE);
+            }
+        }
+        match decision {
+            PipelineDecision::Act(EgressAction::Drop) => {
+                // Drops skip the egress pipeline (paper Sec 3.2).
+                Self::emit_departure(ctx, sid, pkt, packet_id, EgressAction::Drop);
+            }
+            PipelineDecision::Act(action) => {
+                let out_port = match action {
+                    EgressAction::Output(p) => Some(p),
+                    _ => None,
+                };
+                let (fwd, egress_latency) = self.run_egress(now, &mut view, out_port, packet_id);
+                latency += egress_latency;
+                let final_pkt = Arc::new(view.to_packet());
+                let final_action = if fwd { action } else { EgressAction::Drop };
+                Self::emit_departure(ctx, sid, Arc::clone(&final_pkt), packet_id, final_action);
+                if fwd {
+                    self.forward(ctx, latency, action, port, final_pkt);
+                }
+            }
+            PipelineDecision::ToController => {
+                let model = self.cfg.cost.clone();
+                let rtt = model.controller_rtt;
+                self.account.charge_controller(&model);
+                let buf = self.next_buffer_id;
+                self.next_buffer_id += 1;
+                self.buffered.insert(buf, (port, pkt, packet_id));
+                ctx.schedule(rtt, TOKEN_CONTROLLER | buf);
+            }
+        }
+    }
+
+    fn handle_controller_response(&mut self, ctx: &mut NodeCtx<'_>, buf: u64) {
+        let Some((in_port, pkt, packet_id)) = self.buffered.remove(&buf) else {
+            return;
+        };
+        let now = ctx.now();
+        let sid = self.cfg.id;
+        let cmds = match self.controller.as_mut() {
+            Some(c) => c.packet_in(now, sid, in_port, &pkt),
+            None => Vec::new(),
+        };
+        let mut fate: Option<EgressAction> = None;
+        for cmd in cmds {
+            match cmd {
+                ControllerCmd::FlowMod { table, rule } => {
+                    // Controller-driven flow-mods are slow-path updates too.
+                    self.account.charge_slow_updates(&self.cfg.cost.clone(), 1);
+                    self.tables[table].insert(rule, now);
+                }
+                ControllerCmd::RemoveFlows { table, spec } => {
+                    self.account.charge_slow_updates(&self.cfg.cost.clone(), 1);
+                    self.tables[table].remove_matching_spec(&spec);
+                }
+                ControllerCmd::PacketOut { port } => {
+                    fate = Some(match port {
+                        Some(p) => EgressAction::Output(p),
+                        None => EgressAction::Flood,
+                    });
+                }
+                ControllerCmd::DropBuffered => fate = Some(EgressAction::Drop),
+            }
+        }
+        let action = fate.unwrap_or(EgressAction::Drop);
+        Self::emit_departure(ctx, sid, Arc::clone(&pkt), packet_id, action);
+        self.forward(ctx, Duration::ZERO, action, in_port, pkt);
+    }
+}
+
+/// Outcome of the ingress pipeline.
+enum PipelineDecision {
+    Act(EgressAction),
+    ToController,
+}
+
+impl Node for ProgrammableSwitch {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortNo, pkt: Arc<Packet>) {
+        self.handle_packet(ctx, port, pkt);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        if token & TOKEN_CONTROLLER != 0 {
+            self.handle_controller_response(ctx, token & !TOKEN_CONTROLLER);
+        } else if token & TOKEN_SLOW_UPDATE != 0 {
+            self.apply_due_updates(ctx.now());
+        }
+    }
+
+    fn on_oob(&mut self, ctx: &mut NodeCtx<'_>, ev: OobEvent) {
+        // Surface the event to monitors; the forwarding program itself does
+        // not react (that is an application concern).
+        ctx.emit(NetEventKind::OutOfBand(ev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::RegRef;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use swmon_packet::{Field, Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::{Network, TraceRecorder};
+
+    fn tcp_pkt(src: u8, dst: u8, dport: u16) -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, dst),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, dst),
+            5000,
+            dport,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+    /// Network with one switch and trace recording; returns handles.
+    fn rig(cfg: SwitchConfig) -> (Network, Rc<RefCell<ProgrammableSwitch>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId)
+    {
+        let mut net = Network::new();
+        let sw = Rc::new(RefCell::new(ProgrammableSwitch::new(cfg)));
+        let id = net.add_node(sw.clone());
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+        (net, sw, rec, id)
+    }
+
+    #[test]
+    fn table_miss_drops_and_emits_events() {
+        let (mut net, _sw, rec, id) = rig(SwitchConfig::default());
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.run_to_completion();
+        let rec = rec.borrow();
+        assert_eq!(rec.arrivals().count(), 1);
+        let deps: Vec<_> = rec.departures().collect();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].action(), Some(EgressAction::Drop));
+        // Arrival and departure share the identity token.
+        assert_eq!(rec.events[0].packet_id(), rec.events[1].packet_id());
+    }
+
+    #[test]
+    fn installed_rule_forwards() {
+        let (mut net, sw, rec, id) = rig(SwitchConfig::default());
+        sw.borrow_mut().install(
+            0,
+            FlowRule::new(
+                10,
+                MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 80u16)]),
+                vec![Action::Output(PortNo(2))],
+            ),
+            Instant::ZERO,
+        );
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.run_to_completion();
+        assert_eq!(rec.borrow().departures().next().unwrap().action(), Some(EgressAction::Output(PortNo(2))));
+    }
+
+    #[test]
+    fn set_field_rewrites_departing_packet() {
+        let (mut net, sw, rec, id) = rig(SwitchConfig::default());
+        let nat_ip = Ipv4Address::new(203, 0, 113, 1);
+        sw.borrow_mut().install(
+            0,
+            FlowRule::new(
+                10,
+                MatchSpec::any(),
+                vec![
+                    Action::SetField(Field::Ipv4Src, nat_ip.into()),
+                    Action::Output(PortNo(1)),
+                ],
+            ),
+            Instant::ZERO,
+        );
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.run_to_completion();
+        let rec = rec.borrow();
+        let dep = rec.departures().next().unwrap();
+        assert_eq!(dep.field(Field::Ipv4Src), Some(nat_ip.into()));
+        // The arrival still shows the original source: monitors see both.
+        let arr = rec.arrivals().next().unwrap();
+        assert_eq!(arr.field(Field::Ipv4Src), Some(Ipv4Address::new(10, 0, 0, 1).into()));
+    }
+
+    #[test]
+    fn multi_table_goto_and_alert() {
+        let cfg = SwitchConfig { num_tables: 2, ..Default::default() };
+        let (mut net, sw, _rec, id) = rig(cfg);
+        sw.borrow_mut().install(
+            0,
+            FlowRule::new(10, MatchSpec::any(), vec![Action::Goto(1)]),
+            Instant::ZERO,
+        );
+        sw.borrow_mut().install(
+            1,
+            FlowRule::new(10, MatchSpec::any(), vec![Action::Alert(42), Action::Output(PortNo(1))]),
+            Instant::ZERO,
+        );
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.run_to_completion();
+        let sw = sw.borrow();
+        assert_eq!(sw.alerts.len(), 1);
+        assert_eq!(sw.alerts[0].code, 42);
+        assert_eq!(sw.account.stage_traversals, 2, "two stages traversed");
+    }
+
+    #[test]
+    fn flood_sends_everywhere_but_ingress() {
+        let cfg =
+            SwitchConfig { num_ports: 3, table_miss: TableMiss::Flood, ..Default::default() };
+        let (mut net, _sw, rec, id) = rig(cfg);
+        // Attach probes on ports 0..3.
+        #[derive(Default)]
+        struct Probe(Vec<PortNo>);
+        impl Node for Probe {
+            fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, port: PortNo, _pkt: Arc<Packet>) {
+                self.0.push(port);
+            }
+        }
+        let probes: Vec<_> = (0..3)
+            .map(|i| {
+                let p = Rc::new(RefCell::new(Probe::default()));
+                let pid = net.add_node(p.clone());
+                net.connect(id, PortNo(i), pid, PortNo(0), Duration::ZERO);
+                p
+            })
+            .collect();
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.run_to_completion();
+        assert_eq!(probes[0].borrow().0.len(), 0, "no echo to ingress");
+        assert_eq!(probes[1].borrow().0.len(), 1);
+        assert_eq!(probes[2].borrow().0.len(), 1);
+        assert_eq!(rec.borrow().departures().next().unwrap().action(), Some(EgressAction::Flood));
+    }
+
+    #[test]
+    fn learn_inline_is_visible_to_next_packet_immediately() {
+        let cfg = SwitchConfig {
+            mode: StateUpdateMode::Inline,
+            table_miss: TableMiss::Flood,
+            num_tables: 2,
+            ..Default::default()
+        };
+        let (mut net, sw, _rec, id) = rig(cfg);
+        // Table 0: always learn src -> table 1, then flood.
+        sw.borrow_mut().install(
+            0,
+            FlowRule::new(
+                10,
+                MatchSpec::any(),
+                vec![
+                    Action::Learn(Box::new(LearnSpec {
+                        table: 1,
+                        priority: 10,
+                        template: vec![LearnAtom::CopyField {
+                            rule_field: Field::Ipv4Src,
+                            pkt_field: Field::Ipv4Src,
+                        }],
+                        actions: vec![Action::Drop],
+                        idle_timeout: None,
+                        hard_timeout: None,
+                    })),
+                    Action::Flood,
+                ],
+            ),
+            Instant::ZERO,
+        );
+        // Two back-to-back packets, 1ns apart (< slow path delay).
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.inject(Instant::from_nanos(1), id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.run_to_completion();
+        assert_eq!(sw.borrow().table(1).len(), 1, "inline: rule present at once");
+        assert_eq!(sw.borrow().account.slow_updates, 2);
+    }
+
+    #[test]
+    fn learn_split_lags_behind_racing_packets() {
+        let cfg = SwitchConfig {
+            mode: StateUpdateMode::Split,
+            num_tables: 2,
+            table_miss: TableMiss::Flood,
+            ..Default::default()
+        };
+        let (mut net, sw, _rec, id) = rig(cfg);
+        sw.borrow_mut().install(
+            0,
+            FlowRule::new(
+                10,
+                MatchSpec::any(),
+                vec![
+                    Action::Learn(Box::new(LearnSpec {
+                        table: 1,
+                        priority: 10,
+                        template: vec![LearnAtom::CopyField {
+                            rule_field: Field::Ipv4Src,
+                            pkt_field: Field::Ipv4Src,
+                        }],
+                        actions: vec![],
+                        idle_timeout: None,
+                        hard_timeout: None,
+                    })),
+                    Action::Flood,
+                ],
+            ),
+            Instant::ZERO,
+        );
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        // 1 microsecond later: still inside the 15us slow-path window.
+        net.inject(Instant::from_nanos(1_000), id, PortNo(0), tcp_pkt(3, 2, 80));
+        net.run_to_completion();
+        let sw2 = sw.borrow();
+        // Both learns eventually landed...
+        assert_eq!(sw2.table(1).len(), 2);
+        // ...but we can check the lag by replaying: at t=1us the first rule
+        // had not applied yet. (The racing packet itself saw an empty table;
+        // observable through lookup counters: table 1 was never consulted in
+        // this program, so assert via pending mechanics instead.)
+        drop(sw2);
+        // Re-run a fresh rig where table 1 is consulted via Goto.
+        let cfg = SwitchConfig {
+            mode: StateUpdateMode::Split,
+            num_tables: 2,
+            table_miss: TableMiss::Flood,
+            ..Default::default()
+        };
+        let (mut net, sw, _rec, id) = rig(cfg);
+        sw.borrow_mut().install(
+            0,
+            FlowRule::new(
+                10,
+                MatchSpec::any(),
+                vec![
+                    Action::Learn(Box::new(LearnSpec {
+                        table: 1,
+                        priority: 10,
+                        template: vec![],
+                        actions: vec![Action::Alert(1), Action::Flood],
+                        idle_timeout: None,
+                        hard_timeout: None,
+                    })),
+                    Action::Goto(1),
+                ],
+            ),
+            Instant::ZERO,
+        );
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.inject(Instant::from_nanos(1_000), id, PortNo(0), tcp_pkt(1, 2, 80));
+        // Third packet arrives after the slow path settles.
+        net.inject(Instant::from_nanos(100_000), id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.run_to_completion();
+        let sw = sw.borrow();
+        // Packet 1: learn pending, table 1 miss. Packet 2 (1us): still
+        // pending, miss. Packet 3 (100us): rule applied, alert fires.
+        assert_eq!(sw.alerts.len(), 1, "split mode: early packets saw stale state");
+    }
+
+    #[test]
+    fn inline_charges_forwarding_latency_split_does_not() {
+        fn run(mode: StateUpdateMode) -> Instant {
+            let cfg = SwitchConfig { mode, num_tables: 2, ..Default::default() };
+            let (mut net, sw, _rec, id) = rig(cfg);
+            sw.borrow_mut().install(
+                0,
+                FlowRule::new(
+                    10,
+                    MatchSpec::any(),
+                    vec![
+                        Action::Learn(Box::new(LearnSpec {
+                            table: 1,
+                            priority: 1,
+                            template: vec![],
+                            actions: vec![],
+                            idle_timeout: None,
+                            hard_timeout: None,
+                        })),
+                        Action::Output(PortNo(1)),
+                    ],
+                ),
+                Instant::ZERO,
+            );
+            // Probe on port 1 records delivery time.
+            #[derive(Default)]
+            struct T(Option<Instant>);
+            impl Node for T {
+                fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _p: PortNo, _pkt: Arc<Packet>) {
+                    self.0 = Some(ctx.now());
+                }
+            }
+            let probe = Rc::new(RefCell::new(T::default()));
+            let pid = net.add_node(probe.clone());
+            net.connect(id, PortNo(1), pid, PortNo(0), Duration::ZERO);
+            net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+            net.run_to_completion();
+            let t = probe.borrow().0.unwrap();
+            t
+        }
+        let inline = run(StateUpdateMode::Inline);
+        let split = run(StateUpdateMode::Split);
+        let slow = CostModel::default().slow_path_update;
+        assert!(inline.duration_since(split) >= slow - Duration::from_nanos(1),
+            "inline {inline} should trail split {split} by ~{slow}");
+    }
+
+    #[test]
+    fn controller_round_trip_installs_rule_and_packets_out() {
+        struct Hub;
+        impl Controller for Hub {
+            fn packet_in(
+                &mut self,
+                _now: Instant,
+                _sw: SwitchId,
+                _in_port: PortNo,
+                _pkt: &Packet,
+            ) -> Vec<ControllerCmd> {
+                vec![
+                    ControllerCmd::FlowMod {
+                        table: 0,
+                        rule: FlowRule::new(1, MatchSpec::any(), vec![Action::Output(PortNo(1))]),
+                    },
+                    ControllerCmd::PacketOut { port: Some(PortNo(1)) },
+                ]
+            }
+        }
+        let cfg = SwitchConfig { table_miss: TableMiss::ToController, ..Default::default() };
+        let mut net = Network::new();
+        let sw = Rc::new(RefCell::new(
+            ProgrammableSwitch::new(cfg).with_controller(Box::new(Hub)),
+        ));
+        let id = net.add_node(sw.clone());
+        let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+        net.add_sink(rec.clone());
+
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.run_to_completion();
+
+        // Departure happened after the RTT.
+        let rec = rec.borrow();
+        let dep = rec.departures().next().unwrap();
+        assert_eq!(dep.action(), Some(EgressAction::Output(PortNo(1))));
+        assert_eq!(dep.time, Instant::ZERO + CostModel::default().controller_rtt);
+        // The rule is now installed; a second packet is handled on-switch.
+        drop(rec);
+        let sw2 = sw.borrow();
+        assert_eq!(sw2.table(0).len(), 1);
+        assert_eq!(sw2.account.controller_trips, 1);
+    }
+
+    #[test]
+    fn egress_table_matches_out_port_and_can_drop() {
+        let cfg =
+            SwitchConfig { num_tables: 1, egress_table: Some(1), ..Default::default() };
+        let (mut net, sw, rec, id) = rig(cfg);
+        sw.borrow_mut().install(
+            0,
+            FlowRule::new(10, MatchSpec::any(), vec![Action::Output(PortNo(3))]),
+            Instant::ZERO,
+        );
+        // Egress rule: packets leaving on port 3 are alerted and dropped.
+        sw.borrow_mut().install(
+            1,
+            FlowRule::new(
+                10,
+                MatchSpec::new(vec![MatchAtom::exact(Field::OutPort, 3u64)]),
+                vec![Action::Alert(9), Action::Drop],
+            ),
+            Instant::ZERO,
+        );
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.run_to_completion();
+        assert_eq!(sw.borrow().alerts.len(), 1);
+        assert_eq!(
+            rec.borrow().departures().next().unwrap().action(),
+            Some(EgressAction::Drop),
+            "egress drop is observable"
+        );
+    }
+
+    #[test]
+    fn dropped_packets_skip_egress_table() {
+        let cfg = SwitchConfig {
+            egress_table: Some(1),
+            table_miss: TableMiss::Drop,
+            ..Default::default()
+        };
+        let (mut net, sw, _rec, id) = rig(cfg);
+        sw.borrow_mut().install(
+            1,
+            FlowRule::new(10, MatchSpec::any(), vec![Action::Alert(1)]),
+            Instant::ZERO,
+        );
+        net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
+        net.run_to_completion();
+        assert!(sw.borrow().alerts.is_empty(), "drops never reach egress (paper Sec 3.2)");
+    }
+
+    #[test]
+    fn unparseable_packet_is_dropped_with_events() {
+        let (mut net, _sw, rec, id) = rig(SwitchConfig::default());
+        net.inject(Instant::ZERO, id, PortNo(0), Packet::from_bytes(vec![0xde, 0xad]));
+        net.run_to_completion();
+        let rec = rec.borrow();
+        assert_eq!(rec.arrivals().count(), 1);
+        assert_eq!(rec.departures().next().unwrap().action(), Some(EgressAction::Drop));
+    }
+
+    #[test]
+    fn register_actions_update_fast_path_state() {
+        let (mut net, sw, _rec, id) = rig(SwitchConfig::default());
+        let arr = sw.borrow_mut().registers.alloc("seen", 64);
+        sw.borrow_mut().install(
+            0,
+            FlowRule::new(
+                10,
+                MatchSpec::any(),
+                vec![
+                    Action::Reg(RegOp::Add {
+                        array: arr,
+                        index: RegRef::Field(Field::Ipv4Src),
+                        value: RegRef::Const(1),
+                    }),
+                    Action::Output(PortNo(1)),
+                ],
+            ),
+            Instant::ZERO,
+        );
+        for i in 0..3 {
+            net.inject(Instant::from_nanos(i * 10), id, PortNo(0), tcp_pkt(1, 2, 80));
+        }
+        net.run_to_completion();
+        let sw = sw.borrow();
+        assert_eq!(sw.account.register_ops, 3);
+        // One cell holds the count 3.
+        let hits: Vec<u64> = (0..64).map(|i| sw.registers.peek(arr, i)).filter(|&v| v > 0).collect();
+        assert_eq!(hits, vec![3]);
+    }
+}

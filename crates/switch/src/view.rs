@@ -1,0 +1,95 @@
+//! [`PacketView`]: a packet as seen inside the switch pipeline — parsed
+//! headers plus switch metadata (ingress port, and the chosen output port
+//! once the ingress pipeline has decided it).
+//!
+//! Metadata matching is the Sec 3.2 requirement the paper highlights:
+//! "determining if the output port is correct and discerning multicast from
+//! unicast" needs pipeline stages that can read `OutPort`, which OpenFlow
+//! only gained (partially) with 1.5 egress tables.
+
+use swmon_packet::{Field, FieldValue, Headers, Layer, Packet, ParseError};
+use swmon_sim::PortNo;
+
+/// A packet travelling through a switch pipeline.
+#[derive(Debug, Clone)]
+pub struct PacketView {
+    /// Parsed headers at the switch's parser depth.
+    pub headers: Headers,
+    /// Ingress port.
+    pub in_port: PortNo,
+    /// Output port, populated after the ingress pipeline decides (egress
+    /// stages only).
+    pub out_port: Option<PortNo>,
+    /// The parser depth the view was built with.
+    pub depth: Layer,
+}
+
+impl PacketView {
+    /// Parse `pkt` at `depth` as a switch with that parser would.
+    pub fn parse(pkt: &Packet, in_port: PortNo, depth: Layer) -> Result<Self, ParseError> {
+        Ok(PacketView { headers: pkt.parse(depth)?, in_port, out_port: None, depth })
+    }
+
+    /// Extract a field: metadata from the view, everything else from the
+    /// parsed headers. A field deeper than the parser depth reads as `None`
+    /// — exactly how fixed-function hardware fails (paper Feature 1).
+    pub fn field(&self, f: Field) -> Option<FieldValue> {
+        match f {
+            Field::InPort => Some(FieldValue::Uint(u64::from(self.in_port.0))),
+            Field::OutPort => self.out_port.map(|p| FieldValue::Uint(u64::from(p.0))),
+            _ if f.layer() > self.depth => None,
+            _ => self.headers.field(f),
+        }
+    }
+
+    /// Re-emit the (possibly rewritten) headers to a packet.
+    pub fn to_packet(&self) -> Packet {
+        Packet::from_headers(&self.headers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+
+    fn pkt() -> Packet {
+        PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+            1234,
+            80,
+            TcpFlags::SYN,
+            &[],
+        )
+    }
+
+    #[test]
+    fn metadata_fields_come_from_view() {
+        let mut v = PacketView::parse(&pkt(), PortNo(7), Layer::L4).unwrap();
+        assert_eq!(v.field(Field::InPort), Some(FieldValue::Uint(7)));
+        assert_eq!(v.field(Field::OutPort), None);
+        v.out_port = Some(PortNo(3));
+        assert_eq!(v.field(Field::OutPort), Some(FieldValue::Uint(3)));
+    }
+
+    #[test]
+    fn parser_depth_limits_field_access() {
+        let v = PacketView::parse(&pkt(), PortNo(0), Layer::L2).unwrap();
+        assert!(v.field(Field::EthSrc).is_some());
+        assert_eq!(v.field(Field::Ipv4Src), None, "L3 field invisible to an L2 parser");
+        assert_eq!(v.field(Field::L4Dst), None);
+
+        let v = PacketView::parse(&pkt(), PortNo(0), Layer::L4).unwrap();
+        assert_eq!(v.field(Field::L4Dst), Some(FieldValue::Uint(80)));
+    }
+
+    #[test]
+    fn to_packet_round_trips() {
+        let p = pkt();
+        let v = PacketView::parse(&p, PortNo(0), Layer::L7).unwrap();
+        assert_eq!(v.to_packet().bytes(), p.bytes());
+    }
+}

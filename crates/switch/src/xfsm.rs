@@ -1,0 +1,335 @@
+//! OpenState-style eXtended Finite State Machines (XFSM).
+//!
+//! OpenState's primitive is a pair of tables: a *state table* mapping a flow
+//! key to a state, and an *XFSM table* mapping `(state, packet-match)` to
+//! `(actions, next-state)`. Its key innovation for our purposes is the split
+//! between **lookup scope** (fields that select the state for a packet) and
+//! **update scope** (fields that select the state entry to rewrite). Setting
+//! the update scope to the reversed lookup scope is what makes *symmetric
+//! match* expressible — e.g. an outbound `A→B` packet can set the state the
+//! returning `B→A` packet will find.
+//!
+//! Faithfulness note (Table 2): OpenState has fast-path updates and inline
+//! processing, but no wandering match (one fixed scope per machine), no
+//! out-of-band events, and no timeout actions. Those limits are enforced at
+//! compile time in `swmon-backends::openstate`, not here.
+
+use crate::action::Action;
+use crate::flowtable::MatchSpec;
+use crate::view::PacketView;
+use std::collections::HashMap;
+use swmon_packet::{Field, FieldValue};
+
+/// A state in the machine. State 0 is the implicit default for unknown
+/// flows.
+pub type StateId = u64;
+
+/// The default state assigned to flows with no entry.
+pub const DEFAULT_STATE: StateId = 0;
+
+/// One row of the XFSM table.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// State this row applies in; `None` is a wildcard over states.
+    pub from: Option<StateId>,
+    /// Packet guard.
+    pub guard: MatchSpec,
+    /// Higher priority rows are tried first; ties break to earlier rows.
+    pub priority: u16,
+    /// State written back through the update scope.
+    pub next_state: StateId,
+    /// Actions executed when the row fires.
+    pub actions: Vec<Action>,
+}
+
+/// An OpenState machine instance.
+#[derive(Debug, Default)]
+pub struct Xfsm {
+    /// Fields whose values select the state consulted for a packet.
+    pub lookup_scope: Vec<Field>,
+    /// Fields whose values select the state entry written after a match.
+    pub update_scope: Vec<Field>,
+    transitions: Vec<Transition>,
+    states: HashMap<Vec<FieldValue>, StateId>,
+    /// Lifetime operation count (state lookups + updates), for costing.
+    pub ops: u64,
+}
+
+impl Xfsm {
+    /// A machine with the given scopes. For per-flow state use equal scopes;
+    /// for symmetric (bidirectional) state use a reversed update scope.
+    pub fn new(lookup_scope: Vec<Field>, update_scope: Vec<Field>) -> Self {
+        Xfsm { lookup_scope, update_scope, ..Default::default() }
+    }
+
+    /// Append a transition row.
+    pub fn add_transition(&mut self, t: Transition) {
+        self.transitions.push(t);
+    }
+
+    /// Number of non-default state entries currently stored.
+    pub fn state_entries(&self) -> usize {
+        self.states.len()
+    }
+
+    fn key(&self, view: &PacketView, scope: &[Field]) -> Option<Vec<FieldValue>> {
+        scope.iter().map(|&f| view.field(f)).collect()
+    }
+
+    /// The state currently associated with `view`'s lookup key.
+    pub fn state_of(&self, view: &PacketView) -> Option<StateId> {
+        let key = self.key(view, &self.lookup_scope)?;
+        Some(self.states.get(&key).copied().unwrap_or(DEFAULT_STATE))
+    }
+
+    /// Process one packet: look up the state, find the best transition,
+    /// apply the state update through the update scope, and return the fired
+    /// transition (whose actions the pipeline then executes).
+    ///
+    /// Returns `None` when the packet lacks a scope field or no row matches
+    /// — the machine simply does not apply, as in OpenState's table-miss.
+    pub fn process(&mut self, view: &PacketView) -> Option<&Transition> {
+        let state = self.state_of(view)?;
+        self.ops += 1; // state-table lookup
+        let idx = self
+            .transitions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| (t.from.is_none() || t.from == Some(state)) && t.guard.matches(view))
+            .max_by(|(ia, a), (ib, b)| {
+                a.priority.cmp(&b.priority).then(ib.cmp(ia)) // priority, then earlier row
+            })
+            .map(|(i, _)| i)?;
+        let next = self.transitions[idx].next_state;
+        if let Some(update_key) = self.key(view, &self.update_scope) {
+            self.ops += 1; // state-table write-back
+            if next == DEFAULT_STATE {
+                self.states.remove(&update_key);
+            } else {
+                self.states.insert(update_key, next);
+            }
+        }
+        Some(&self.transitions[idx])
+    }
+
+    /// Directly set a flow's state (used by tests and by reset-style
+    /// controller interventions).
+    pub fn set_state(&mut self, key: Vec<FieldValue>, state: StateId) {
+        if state == DEFAULT_STATE {
+            self.states.remove(&key);
+        } else {
+            self.states.insert(key, state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowtable::MatchAtom;
+    use swmon_packet::{Ipv4Address, Layer, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::PortNo;
+
+    fn pkt_view(src: u8, dst: u8, flags: TcpFlags) -> PacketView {
+        let p = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, dst),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, dst),
+            1000 + u16::from(src),
+            2000 + u16::from(dst),
+            flags,
+            &[],
+        );
+        PacketView::parse(&p, PortNo(0), Layer::L4).unwrap()
+    }
+
+    /// A two-state "seen before?" machine keyed on source address.
+    fn seen_machine() -> Xfsm {
+        let mut m = Xfsm::new(vec![Field::Ipv4Src], vec![Field::Ipv4Src]);
+        m.add_transition(Transition {
+            from: Some(DEFAULT_STATE),
+            guard: MatchSpec::any(),
+            priority: 1,
+            next_state: 1,
+            actions: vec![Action::Flood],
+        });
+        m.add_transition(Transition {
+            from: Some(1),
+            guard: MatchSpec::any(),
+            priority: 1,
+            next_state: 1,
+            actions: vec![Action::Drop],
+        });
+        m
+    }
+
+    #[test]
+    fn per_flow_state_transitions() {
+        let mut m = seen_machine();
+        // First packet from .1 floods; second drops. State is per source.
+        assert_eq!(m.process(&pkt_view(1, 2, TcpFlags::SYN)).unwrap().actions, vec![Action::Flood]);
+        assert_eq!(m.process(&pkt_view(1, 2, TcpFlags::SYN)).unwrap().actions, vec![Action::Drop]);
+        assert_eq!(m.process(&pkt_view(3, 2, TcpFlags::SYN)).unwrap().actions, vec![Action::Flood]);
+        assert_eq!(m.state_entries(), 2);
+    }
+
+    #[test]
+    fn symmetric_scope_lets_forward_traffic_open_return_path() {
+        // Firewall-flavoured machine: lookup on (src,dst), update on
+        // (dst,src). An A→B packet sets state for the B→A key.
+        let mut m = Xfsm::new(
+            vec![Field::Ipv4Src, Field::Ipv4Dst],
+            vec![Field::Ipv4Dst, Field::Ipv4Src],
+        );
+        m.add_transition(Transition {
+            from: Some(DEFAULT_STATE),
+            guard: MatchSpec::any(),
+            priority: 1,
+            next_state: 1, // "return traffic allowed"
+            actions: vec![Action::Output(PortNo(1))],
+        });
+        m.add_transition(Transition {
+            from: Some(1),
+            guard: MatchSpec::any(),
+            priority: 2,
+            next_state: 1,
+            actions: vec![Action::Output(PortNo(2))],
+        });
+
+        // A(1) → B(2): default state, opens the reverse entry.
+        let t = m.process(&pkt_view(1, 2, TcpFlags::SYN)).unwrap();
+        assert_eq!(t.actions, vec![Action::Output(PortNo(1))]);
+        // B(2) → A(1): finds state 1 via the symmetric entry.
+        let t = m.process(&pkt_view(2, 1, TcpFlags::ACK)).unwrap();
+        assert_eq!(t.actions, vec![Action::Output(PortNo(2))]);
+        // C(3) → A(1): still default.
+        let t = m.process(&pkt_view(3, 1, TcpFlags::SYN)).unwrap();
+        assert_eq!(t.actions, vec![Action::Output(PortNo(1))]);
+    }
+
+    #[test]
+    fn guards_select_transitions() {
+        // Port-knocking-ish: advance only on the right dst port.
+        let mut m = Xfsm::new(vec![Field::Ipv4Src], vec![Field::Ipv4Src]);
+        m.add_transition(Transition {
+            from: Some(DEFAULT_STATE),
+            guard: MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 2002u16)]),
+            priority: 10,
+            next_state: 1,
+            actions: vec![],
+        });
+        // Wrong knock resets (wildcard, lower priority).
+        m.add_transition(Transition {
+            from: None,
+            guard: MatchSpec::any(),
+            priority: 1,
+            next_state: DEFAULT_STATE,
+            actions: vec![Action::Drop],
+        });
+        m.add_transition(Transition {
+            from: Some(1),
+            guard: MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 2003u16)]),
+            priority: 10,
+            next_state: 2,
+            actions: vec![Action::Output(PortNo(9))],
+        });
+
+        // Correct first knock (dst .2 -> port 2002).
+        m.process(&pkt_view(1, 2, TcpFlags::SYN));
+        assert_eq!(m.state_of(&pkt_view(1, 9, TcpFlags::SYN)), Some(1));
+        // Correct second knock (dst .3 -> port 2003).
+        let t = m.process(&pkt_view(1, 3, TcpFlags::SYN)).unwrap();
+        assert_eq!(t.actions, vec![Action::Output(PortNo(9))]);
+        assert_eq!(m.state_of(&pkt_view(1, 9, TcpFlags::SYN)), Some(2));
+    }
+
+    #[test]
+    fn wrong_knock_resets_to_default_and_frees_entry() {
+        let mut m = Xfsm::new(vec![Field::Ipv4Src], vec![Field::Ipv4Src]);
+        m.add_transition(Transition {
+            from: Some(DEFAULT_STATE),
+            guard: MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 2002u16)]),
+            priority: 10,
+            next_state: 1,
+            actions: vec![],
+        });
+        m.add_transition(Transition {
+            from: None,
+            guard: MatchSpec::any(),
+            priority: 1,
+            next_state: DEFAULT_STATE,
+            actions: vec![],
+        });
+        m.process(&pkt_view(1, 2, TcpFlags::SYN)); // knock 1 ok
+        assert_eq!(m.state_entries(), 1);
+        m.process(&pkt_view(1, 5, TcpFlags::SYN)); // wrong knock: reset
+        assert_eq!(m.state_entries(), 0, "default-state entries are reclaimed");
+    }
+
+    #[test]
+    fn missing_scope_field_means_no_processing() {
+        let mut m = seen_machine();
+        let arp = PacketBuilder::arp(swmon_packet::ArpPacket::request(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+        ));
+        let v = PacketView::parse(&arp, PortNo(0), Layer::L7).unwrap();
+        assert!(m.process(&v).is_none(), "ARP has no Ipv4Src scope field");
+    }
+
+    #[test]
+    fn priority_then_row_order() {
+        let mut m = Xfsm::new(vec![Field::Ipv4Src], vec![Field::Ipv4Src]);
+        m.add_transition(Transition {
+            from: None,
+            guard: MatchSpec::any(),
+            priority: 5,
+            next_state: 1,
+            actions: vec![Action::Drop],
+        });
+        m.add_transition(Transition {
+            from: None,
+            guard: MatchSpec::any(),
+            priority: 5,
+            next_state: 2,
+            actions: vec![Action::Flood],
+        });
+        m.add_transition(Transition {
+            from: None,
+            guard: MatchSpec::any(),
+            priority: 9,
+            next_state: 3,
+            actions: vec![Action::Output(PortNo(1))],
+        });
+        let t = m.process(&pkt_view(1, 2, TcpFlags::SYN)).unwrap();
+        assert_eq!(t.next_state, 3, "highest priority wins");
+        let t = m.process(&pkt_view(2, 2, TcpFlags::SYN)).unwrap();
+        assert_eq!(t.next_state, 3);
+        // Remove the high-priority row's effect by checking tie-break directly.
+        let mut m2 = Xfsm::new(vec![Field::Ipv4Src], vec![Field::Ipv4Src]);
+        m2.add_transition(Transition {
+            from: None,
+            guard: MatchSpec::any(),
+            priority: 5,
+            next_state: 1,
+            actions: vec![Action::Drop],
+        });
+        m2.add_transition(Transition {
+            from: None,
+            guard: MatchSpec::any(),
+            priority: 5,
+            next_state: 2,
+            actions: vec![Action::Flood],
+        });
+        assert_eq!(m2.process(&pkt_view(1, 2, TcpFlags::SYN)).unwrap().next_state, 1);
+    }
+
+    #[test]
+    fn ops_are_counted() {
+        let mut m = seen_machine();
+        m.process(&pkt_view(1, 2, TcpFlags::SYN));
+        assert_eq!(m.ops, 2, "one lookup + one update");
+    }
+}

@@ -1,0 +1,252 @@
+//! Integration tests for pipeline features not covered by the unit tests:
+//! `Unlearn`, controller `RemoveFlows`/`DropBuffered`, rule expiry, and
+//! learn-rule timeouts.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use swmon_packet::{Field, Ipv4Address, MacAddr, Packet, PacketBuilder, TcpFlags};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::{EgressAction, Network, PortNo, SwitchId, TraceRecorder};
+use swmon_switch::{
+    Action, Controller, ControllerCmd, FlowRule, LearnAtom, LearnSpec, MatchAtom, MatchSpec,
+    ProgrammableSwitch, StateUpdateMode, SwitchConfig, TableMiss,
+};
+
+fn pkt(src: u8, dport: u16) -> Packet {
+    PacketBuilder::tcp(
+        MacAddr::new(2, 0, 0, 0, 0, src),
+        MacAddr::new(2, 0, 0, 0, 0, 99),
+        Ipv4Address::new(10, 0, 0, src),
+        Ipv4Address::new(10, 0, 0, 99),
+        4000,
+        dport,
+        TcpFlags::SYN,
+        &[],
+    )
+}
+
+type Rig = (Network, Rc<RefCell<ProgrammableSwitch>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+
+fn rig(cfg: SwitchConfig) -> Rig {
+    let mut net = Network::new();
+    let sw = Rc::new(RefCell::new(ProgrammableSwitch::new(cfg)));
+    let id = net.add_node(sw.clone());
+    let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+    net.add_sink(rec.clone());
+    (net, sw, rec, id)
+}
+
+#[test]
+fn unlearn_removes_learned_state() {
+    // Port 1000 packets learn a per-source rule into table 1; port 2000
+    // packets unlearn it. Inline mode so effects are immediate.
+    let cfg = SwitchConfig {
+        num_tables: 2,
+        table_miss: TableMiss::Flood,
+        mode: StateUpdateMode::Inline,
+        ..Default::default()
+    };
+    let (mut net, sw, _rec, id) = rig(cfg);
+    let tmpl = vec![LearnAtom::CopyField { rule_field: Field::Ipv4Src, pkt_field: Field::Ipv4Src }];
+    sw.borrow_mut().install(
+        0,
+        FlowRule::new(
+            20,
+            MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 1000u16)]),
+            vec![
+                Action::Learn(Box::new(LearnSpec {
+                    table: 1,
+                    priority: 10,
+                    template: tmpl.clone(),
+                    actions: vec![Action::Alert(1)],
+                    idle_timeout: None,
+                    hard_timeout: None,
+                })),
+                Action::Flood,
+            ],
+        ),
+        Instant::ZERO,
+    );
+    sw.borrow_mut().install(
+        0,
+        FlowRule::new(
+            20,
+            MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 2000u16)]),
+            vec![Action::Unlearn { table: 1, template: tmpl }, Action::Flood],
+        ),
+        Instant::ZERO,
+    );
+
+    net.inject(Instant::from_nanos(10), id, PortNo(0), pkt(1, 1000)); // learn .1
+    net.inject(Instant::from_nanos(20), id, PortNo(0), pkt(2, 1000)); // learn .2
+    net.run_to_completion();
+    assert_eq!(sw.borrow().table(1).len(), 2);
+
+    net.inject(Instant::from_nanos(30), id, PortNo(0), pkt(1, 2000)); // unlearn .1
+    net.run_to_completion();
+    assert_eq!(sw.borrow().table(1).len(), 1, "source .1's rule removed");
+    assert_eq!(sw.borrow().account.slow_updates, 3, "unlearn is a slow-path update too");
+}
+
+#[test]
+fn learned_rules_respect_idle_timeout() {
+    let cfg = SwitchConfig {
+        num_tables: 2,
+        table_miss: TableMiss::Flood,
+        mode: StateUpdateMode::Inline,
+        ..Default::default()
+    };
+    let (mut net, sw, _rec, id) = rig(cfg);
+    sw.borrow_mut().install(
+        0,
+        FlowRule::new(
+            20,
+            MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 1000u16)]),
+            vec![
+                Action::Learn(Box::new(LearnSpec {
+                    table: 1,
+                    priority: 10,
+                    template: vec![LearnAtom::CopyField {
+                        rule_field: Field::Ipv4Src,
+                        pkt_field: Field::Ipv4Src,
+                    }],
+                    actions: vec![],
+                    idle_timeout: Some(Duration::from_millis(10)),
+                    hard_timeout: None,
+                })),
+                Action::Flood,
+            ],
+        ),
+        Instant::ZERO,
+    );
+    net.inject(Instant::from_nanos(10), id, PortNo(0), pkt(1, 1000));
+    net.run_to_completion();
+    assert_eq!(sw.borrow().table(1).len(), 1);
+    // After 20ms idle, explicit expiry reclaims it.
+    let expired = sw.borrow_mut().expire_rules(Instant::ZERO + Duration::from_millis(20));
+    assert_eq!(expired, 1);
+    assert_eq!(sw.borrow().total_rules(), 1, "only the static trigger remains");
+}
+
+#[test]
+fn controller_can_remove_flows_and_drop_buffered() {
+    struct Policer {
+        calls: u32,
+    }
+    impl Controller for Policer {
+        fn packet_in(
+            &mut self,
+            _now: Instant,
+            _sw: SwitchId,
+            _in_port: PortNo,
+            _pkt: &Packet,
+        ) -> Vec<ControllerCmd> {
+            self.calls += 1;
+            if self.calls == 1 {
+                // First miss: install a drop rule for port 7777 and drop
+                // the buffered packet.
+                vec![
+                    ControllerCmd::FlowMod {
+                        table: 0,
+                        rule: FlowRule::new(
+                            10,
+                            MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 7777u16)]),
+                            vec![Action::Drop],
+                        ),
+                    },
+                    ControllerCmd::DropBuffered,
+                ]
+            } else {
+                // Second consultation: retract the rule, flood the packet.
+                vec![
+                    ControllerCmd::RemoveFlows {
+                        table: 0,
+                        spec: MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 7777u16)]),
+                    },
+                    ControllerCmd::PacketOut { port: None },
+                ]
+            }
+        }
+    }
+
+    let cfg = SwitchConfig { table_miss: TableMiss::ToController, ..Default::default() };
+    let mut net = Network::new();
+    let sw = Rc::new(RefCell::new(
+        ProgrammableSwitch::new(cfg).with_controller(Box::new(Policer { calls: 0 })),
+    ));
+    let id = net.add_node(sw.clone());
+    let rec = Rc::new(RefCell::new(TraceRecorder::new()));
+    net.add_sink(rec.clone());
+
+    // Packet 1 (port 7777): miss → controller installs the drop rule and
+    // drops the buffered packet.
+    net.inject(Instant::ZERO, id, PortNo(0), pkt(1, 7777));
+    net.run_to_completion();
+    assert_eq!(sw.borrow().table(0).len(), 1);
+    // Packet 2 (port 7777): hits the installed rule on-switch (no trip).
+    net.inject(Instant::ZERO + Duration::from_secs(1), id, PortNo(0), pkt(2, 7777));
+    net.run_to_completion();
+    assert_eq!(sw.borrow().account.controller_trips, 1, "rule absorbed packet 2");
+    // Packet 3 (port 8888): miss → controller removes the rule and floods.
+    net.inject(Instant::ZERO + Duration::from_secs(2), id, PortNo(0), pkt(3, 8888));
+    net.run_to_completion();
+    assert_eq!(sw.borrow().table(0).len(), 0, "rule retracted");
+
+    let rec = rec.borrow();
+    let actions: Vec<_> = rec.departures().map(|e| e.action().unwrap()).collect();
+    assert_eq!(
+        actions,
+        vec![EgressAction::Drop, EgressAction::Drop, EgressAction::Flood],
+        "buffered drop, on-switch drop, controller flood"
+    );
+}
+
+#[test]
+fn learned_rule_with_hard_timeout_expires_despite_traffic() {
+    let cfg = SwitchConfig {
+        num_tables: 2,
+        table_miss: TableMiss::Flood,
+        mode: StateUpdateMode::Inline,
+        ..Default::default()
+    };
+    let (mut net, sw, _rec, id) = rig(cfg);
+    // Learner: port-1000 traffic installs an alerting rule with a 5ms hard
+    // timeout (and floods on, without probing table 1 itself).
+    sw.borrow_mut().install(
+        0,
+        FlowRule::new(
+            20,
+            MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 1000u16)]),
+            vec![
+                Action::Learn(Box::new(LearnSpec {
+                    table: 1,
+                    priority: 10,
+                    template: vec![],
+                    actions: vec![Action::Alert(5)],
+                    idle_timeout: None,
+                    hard_timeout: Some(Duration::from_millis(5)),
+                })),
+                Action::Flood,
+            ],
+        ),
+        Instant::ZERO,
+    );
+    // Prober: port-2000 traffic consults table 1.
+    sw.borrow_mut().install(
+        0,
+        FlowRule::new(
+            20,
+            MatchSpec::new(vec![MatchAtom::exact(Field::L4Dst, 2000u16)]),
+            vec![Action::Goto(1)],
+        ),
+        Instant::ZERO,
+    );
+    net.inject(Instant::from_nanos(10), id, PortNo(0), pkt(1, 1000)); // learn at ~0
+    // Within the hard timeout: the learned rule fires an alert.
+    net.inject(Instant::ZERO + Duration::from_millis(1), id, PortNo(0), pkt(2, 2000));
+    // Past the hard timeout: the rule no longer matches even though it was
+    // hit 4ms ago (hard timeouts ignore traffic).
+    net.inject(Instant::ZERO + Duration::from_millis(6), id, PortNo(0), pkt(3, 2000));
+    net.run_to_completion();
+    assert_eq!(sw.borrow().alerts.len(), 1, "alert only within the rule's lifetime");
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! # swmon-workloads — seeded, reproducible traffic generation
+//!
+//! Injection schedules for the scenarios the properties monitor. Every
+//! generator takes an explicit RNG seed; the same seed always produces the
+//! same schedule, so experiments are reproducible run-to-run.
+//!
+//! A [`Schedule`] is a time-ordered list of packets to inject at switch
+//! ports; [`Schedule::inject_into`] feeds it to a simulator node, and
+//! [`trace`] builds standalone event traces (no network required) for
+//! engine-level benchmarks.
+
+pub mod scenarios;
+pub mod schedule;
+pub mod trace;
+
+pub use schedule::Schedule;

@@ -1,0 +1,463 @@
+//! Scenario generators — one per monitored application.
+//!
+//! Conventions follow `swmon-props::scenario`; addresses are drawn from
+//! seeded RNGs so traces are reproducible and scale with the requested
+//! size.
+
+use crate::schedule::Schedule;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swmon_packet::{
+    ArpPacket, DhcpMessage, FtpControl, Ipv4Address, MacAddr, PacketBuilder, TcpFlags,
+};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::PortNo;
+
+fn mac(x: u32) -> MacAddr {
+    MacAddr::new(2, 0, (x >> 16) as u8, (x >> 8) as u8, x as u8, 1)
+}
+
+fn inside_ip(x: u32) -> Ipv4Address {
+    Ipv4Address::from_u32(0x0a00_0000 + (x % 65_000) + 2) // 10.0.x.y
+}
+
+fn outside_ip(x: u32) -> Ipv4Address {
+    Ipv4Address::from_u32(0xc000_0200 + (x % 200)) // 192.0.2.x
+}
+
+/// Firewall traffic: `connections` inside→outside connections opening over
+/// time, each with a few data packets, a reply, and (probabilistically) a
+/// close. `reply_gap` controls how soon after the last outbound packet the
+/// reply lands — sweeping it against the firewall timeout drives E6.
+#[derive(Debug, Clone)]
+pub struct FirewallWorkload {
+    /// Number of connections.
+    pub connections: u32,
+    /// Gap between connection starts.
+    pub spacing: Duration,
+    /// Delay from outbound packet to the outside reply.
+    pub reply_gap: Duration,
+    /// Probability a connection closes (FIN) before its reply.
+    pub close_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FirewallWorkload {
+    fn default() -> Self {
+        FirewallWorkload {
+            connections: 100,
+            spacing: Duration::from_millis(10),
+            reply_gap: Duration::from_millis(5),
+            close_prob: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+impl FirewallWorkload {
+    /// Build the schedule (inside port / outside port as in the scenario).
+    pub fn build(&self, inside: PortNo, outside: PortNo) -> Schedule {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut s = Schedule::new();
+        for i in 0..self.connections {
+            let t0 = Instant::ZERO + self.spacing * u64::from(i);
+            let a = inside_ip(rng.random::<u32>());
+            let b = outside_ip(rng.random::<u32>());
+            let sport = rng.random_range(1024..60000);
+            let m1 = mac(i);
+            let m2 = mac(0xffff00 + i);
+            let syn = PacketBuilder::tcp(m1, m2, a, b, sport, 443, TcpFlags::SYN, &[]);
+            s.packet(t0, inside, syn);
+            let closed = rng.random_bool(self.close_prob);
+            if closed {
+                let fin = PacketBuilder::tcp(
+                    m1,
+                    m2,
+                    a,
+                    b,
+                    sport,
+                    443,
+                    TcpFlags::FIN | TcpFlags::ACK,
+                    &[],
+                );
+                s.packet(t0 + Duration::from_millis(1), inside, fin);
+            }
+            let reply =
+                PacketBuilder::tcp(m2, m1, b, a, 443, sport, TcpFlags::ACK, &[]);
+            s.packet(t0 + self.reply_gap, outside, reply);
+        }
+        s
+    }
+}
+
+/// ARP traffic: a set of hosts announcing (replies) and querying
+/// (requests), with a configurable fraction of requests for never-announced
+/// addresses.
+#[derive(Debug, Clone)]
+pub struct ArpWorkload {
+    /// Number of request/reply rounds.
+    pub rounds: u32,
+    /// Gap between rounds.
+    pub spacing: Duration,
+    /// Fraction of requests targeting unknown addresses.
+    pub unknown_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ArpWorkload {
+    fn default() -> Self {
+        ArpWorkload {
+            rounds: 50,
+            spacing: Duration::from_millis(20),
+            unknown_fraction: 0.3,
+            seed: 11,
+        }
+    }
+}
+
+impl ArpWorkload {
+    /// Build the schedule. Announced hosts live at `10.0.0.1..=10.0.0.100`;
+    /// unknown targets at `10.0.9.x`.
+    pub fn build(&self) -> Schedule {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut s = Schedule::new();
+        for i in 0..self.rounds {
+            let t0 = Instant::ZERO + self.spacing * u64::from(i);
+            let owner = rng.random_range(1..=100u8);
+            let owner_ip = Ipv4Address::new(10, 0, 0, owner);
+            // An owner announces itself (a reply traverses the switch).
+            let req = ArpPacket::request(mac(9000 + u32::from(owner)), Ipv4Address::new(10, 0, 0, 200), owner_ip);
+            let reply = PacketBuilder::arp(ArpPacket::reply_to(&req, mac(u32::from(owner))));
+            s.packet(t0, PortNo(1), reply);
+            // Someone asks — usually for a known address.
+            let target = if rng.random_bool(self.unknown_fraction) {
+                Ipv4Address::new(10, 0, 9, rng.random_range(1..=200u8))
+            } else {
+                owner_ip
+            };
+            let asker = rng.random_range(101..=150u8);
+            let ask = PacketBuilder::arp(ArpPacket::request(
+                mac(u32::from(asker)),
+                Ipv4Address::new(10, 0, 1, asker),
+                target,
+            ));
+            s.packet(t0 + Duration::from_millis(5), PortNo(2), ask);
+        }
+        s
+    }
+}
+
+/// DHCP traffic: `clients` clients running discover→request cycles, with
+/// optional releases and re-requests.
+#[derive(Debug, Clone)]
+pub struct DhcpWorkload {
+    /// Number of clients.
+    pub clients: u32,
+    /// Gap between client starts.
+    pub spacing: Duration,
+    /// Probability a client releases its lease afterwards.
+    pub release_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DhcpWorkload {
+    fn default() -> Self {
+        DhcpWorkload {
+            clients: 20,
+            spacing: Duration::from_millis(50),
+            release_prob: 0.25,
+            seed: 13,
+        }
+    }
+}
+
+impl DhcpWorkload {
+    /// Build the schedule (clients on `client_port`). Addresses are chosen
+    /// by the server; clients request "whatever is offered" by asking with
+    /// no specific address — our server allocates deterministically.
+    pub fn build(&self, client_port: PortNo, server_id: Ipv4Address) -> Schedule {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut s = Schedule::new();
+        for i in 0..self.clients {
+            let t0 = Instant::ZERO + self.spacing * u64::from(i);
+            let chaddr = mac(i);
+            let xid = rng.random::<u32>();
+            let discover = PacketBuilder::dhcp(
+                chaddr,
+                Ipv4Address::UNSPECIFIED,
+                Ipv4Address::BROADCAST,
+                &DhcpMessage::discover(xid, chaddr),
+            );
+            s.packet(t0, client_port, discover);
+            // Request the address the server will deterministically offer.
+            let req = DhcpMessage::request(
+                xid.wrapping_add(1),
+                chaddr,
+                Ipv4Address::new(10, 0, 0, 100 + (i % 100) as u8),
+                server_id,
+            );
+            s.packet(
+                t0 + Duration::from_millis(2),
+                client_port,
+                PacketBuilder::dhcp(chaddr, Ipv4Address::UNSPECIFIED, Ipv4Address::BROADCAST, &req),
+            );
+            if rng.random_bool(self.release_prob) {
+                let rel = DhcpMessage::release(
+                    xid.wrapping_add(2),
+                    chaddr,
+                    Ipv4Address::new(10, 0, 0, 100 + (i % 100) as u8),
+                    server_id,
+                );
+                s.packet(
+                    t0 + Duration::from_millis(500),
+                    client_port,
+                    PacketBuilder::dhcp(chaddr, Ipv4Address::new(10, 0, 0, 100), server_id, &rel),
+                );
+            }
+        }
+        s
+    }
+}
+
+/// Load-balancer traffic: `flows` client flows to the VIP, several packets
+/// each.
+#[derive(Debug, Clone)]
+pub struct LbWorkload {
+    /// Number of client flows.
+    pub flows: u32,
+    /// Packets per flow.
+    pub packets_per_flow: u32,
+    /// Gap between flow starts.
+    pub spacing: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LbWorkload {
+    fn default() -> Self {
+        LbWorkload {
+            flows: 50,
+            packets_per_flow: 3,
+            spacing: Duration::from_millis(10),
+            seed: 17,
+        }
+    }
+}
+
+impl LbWorkload {
+    /// Build the schedule toward `vip` on `client_port`.
+    pub fn build(&self, client_port: PortNo, vip: Ipv4Address) -> Schedule {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut s = Schedule::new();
+        for i in 0..self.flows {
+            let t0 = Instant::ZERO + self.spacing * u64::from(i);
+            let src = inside_ip(rng.random::<u32>());
+            let sport = rng.random_range(1024..60000u16);
+            for k in 0..self.packets_per_flow {
+                let flags = if k == 0 { TcpFlags::SYN } else { TcpFlags::ACK };
+                let pkt =
+                    PacketBuilder::tcp(mac(i), mac(999), src, vip, sport, 80, flags, &[]);
+                s.packet(t0 + Duration::from_millis(u64::from(k)), client_port, pkt);
+            }
+        }
+        s
+    }
+}
+
+/// Port-knocking traffic: knockers attempting sequences, some fumbling a
+/// knock in the middle.
+#[derive(Debug, Clone)]
+pub struct KnockWorkload {
+    /// Number of knockers.
+    pub knockers: u32,
+    /// Fraction that slip in a wrong guess mid-sequence.
+    pub fumble_fraction: f64,
+    /// Gap between knockers.
+    pub spacing: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KnockWorkload {
+    fn default() -> Self {
+        KnockWorkload {
+            knockers: 20,
+            fumble_fraction: 0.3,
+            spacing: Duration::from_millis(30),
+            seed: 19,
+        }
+    }
+}
+
+impl KnockWorkload {
+    /// Build the schedule; each knocker finishes with an access attempt.
+    pub fn build(&self, port: PortNo, seq: &[u16], protected: u16) -> Schedule {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut s = Schedule::new();
+        for i in 0..self.knockers {
+            let t0 = Instant::ZERO + self.spacing * u64::from(i);
+            let src = Ipv4Address::new(10, 0, 2, (i % 250) as u8 + 1);
+            let mut t = t0;
+            let fumbles = rng.random_bool(self.fumble_fraction);
+            let knock = |dport: u16| {
+                PacketBuilder::tcp(mac(i), mac(99), src, Ipv4Address::new(10, 0, 0, 99), 33000, dport, TcpFlags::SYN, &[])
+            };
+            for (k, &kp) in seq.iter().enumerate() {
+                s.packet(t, port, knock(kp));
+                t += Duration::from_millis(1);
+                if fumbles && k == 0 {
+                    s.packet(t, port, knock(9999));
+                    t += Duration::from_millis(1);
+                }
+            }
+            s.packet(t, port, knock(protected));
+        }
+        s
+    }
+}
+
+/// FTP sessions: a control-channel `PORT` announcement followed by the
+/// server's data connection. `wrong_port_fraction` makes the server (the
+/// system under test is the *traffic* here) connect to the wrong port.
+#[derive(Debug, Clone)]
+pub struct FtpWorkload {
+    /// Number of sessions.
+    pub sessions: u32,
+    /// Fraction of sessions where the data connection uses a wrong port.
+    pub wrong_port_fraction: f64,
+    /// Gap between sessions.
+    pub spacing: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FtpWorkload {
+    fn default() -> Self {
+        FtpWorkload {
+            sessions: 20,
+            wrong_port_fraction: 0.0,
+            spacing: Duration::from_millis(40),
+            seed: 23,
+        }
+    }
+}
+
+impl FtpWorkload {
+    /// Build the schedule: control client→server on `client_port`, data
+    /// server→client on `server_port`.
+    pub fn build(&self, client_port: PortNo, server_port: PortNo) -> Schedule {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut s = Schedule::new();
+        let server = Ipv4Address::new(192, 0, 2, 21);
+        for i in 0..self.sessions {
+            let t0 = Instant::ZERO + self.spacing * u64::from(i);
+            let client = inside_ip(rng.random::<u32>());
+            let data_port = rng.random_range(5000..6000u16);
+            let cmd = PacketBuilder::ftp_control(
+                mac(i),
+                mac(888),
+                client,
+                server,
+                41000 + (i % 1000) as u16,
+                21,
+                vec![FtpControl::Port { addr: client, port: data_port }],
+            );
+            s.packet(t0, client_port, cmd);
+            let actual = if rng.random_bool(self.wrong_port_fraction) {
+                data_port.wrapping_add(1)
+            } else {
+                data_port
+            };
+            let data_syn = PacketBuilder::tcp(
+                mac(888),
+                mac(i),
+                server,
+                client,
+                20,
+                actual,
+                TcpFlags::SYN,
+                &[],
+            );
+            s.packet(t0 + Duration::from_millis(5), server_port, data_syn);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_props::scenario::{INSIDE_PORT, KNOCK_SEQ, LB_CLIENT_PORT, LB_VIP, OUTSIDE_PORT, PROTECTED_PORT};
+
+    #[test]
+    fn firewall_workload_is_deterministic() {
+        let w = FirewallWorkload { connections: 10, ..Default::default() };
+        let a = w.build(INSIDE_PORT, OUTSIDE_PORT);
+        let b = w.build(INSIDE_PORT, OUTSIDE_PORT);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        assert_eq!(a.end_time(), b.end_time());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FirewallWorkload { connections: 10, seed: 1, ..Default::default() }
+            .build(INSIDE_PORT, OUTSIDE_PORT);
+        let b = FirewallWorkload { connections: 10, seed: 2, ..Default::default() }
+            .build(INSIDE_PORT, OUTSIDE_PORT);
+        // Same shape, different contents: compare serialized packet bytes.
+        let bytes = |s: &crate::Schedule| -> Vec<u8> {
+            s.iter()
+                .flat_map(|(_, st)| match st {
+                    crate::schedule::Stimulus::Packet(_, p) => p.bytes().to_vec(),
+                    _ => vec![],
+                })
+                .collect()
+        };
+        assert_ne!(bytes(&a), bytes(&b));
+    }
+
+    #[test]
+    fn firewall_workload_scales() {
+        let s = FirewallWorkload { connections: 100, close_prob: 0.5, ..Default::default() }
+            .build(INSIDE_PORT, OUTSIDE_PORT);
+        // Between 2 and 3 packets per connection.
+        assert!(s.len() >= 200 && s.len() <= 300, "{}", s.len());
+    }
+
+    #[test]
+    fn arp_workload_mixes_known_and_unknown() {
+        let s = ArpWorkload { rounds: 40, ..Default::default() }.build();
+        assert_eq!(s.len(), 80, "one reply and one request per round");
+    }
+
+    #[test]
+    fn dhcp_workload_has_discover_and_request() {
+        let s = DhcpWorkload { clients: 10, release_prob: 0.0, ..Default::default() }
+            .build(PortNo(0), Ipv4Address::new(10, 0, 0, 1));
+        assert_eq!(s.len(), 20);
+    }
+
+    #[test]
+    fn lb_workload_counts() {
+        let s = LbWorkload { flows: 5, packets_per_flow: 4, ..Default::default() }
+            .build(LB_CLIENT_PORT, LB_VIP);
+        assert_eq!(s.len(), 20);
+    }
+
+    #[test]
+    fn knock_workload_finishes_with_access_attempts() {
+        let s = KnockWorkload { knockers: 10, fumble_fraction: 0.0, ..Default::default() }
+            .build(PortNo(0), &KNOCK_SEQ, PROTECTED_PORT);
+        assert_eq!(s.len(), 10 * (KNOCK_SEQ.len() + 1));
+    }
+
+    #[test]
+    fn ftp_workload_pairs_control_and_data() {
+        let s = FtpWorkload { sessions: 7, ..Default::default() }.build(PortNo(0), PortNo(1));
+        assert_eq!(s.len(), 14);
+    }
+}

@@ -1,0 +1,101 @@
+//! Standalone event-trace generators — feed monitors directly, no network
+//! required. Used by the engine/backend benchmarks (E3, E4, E7).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::trace::{EgressAction, NetEvent};
+use swmon_sim::{PortNo, TraceBuilder};
+
+/// A firewall-shaped trace: `pairs` distinct (A,B) address pairs send an
+/// outbound packet (spawning one monitor instance each); a fraction of
+/// them then experience a dropped reply (completing the violation).
+///
+/// With `drop_fraction = 0` this is the pure instance-growth workload of
+/// experiment E3: after `pairs` packets the monitor holds `pairs` live
+/// instances, which is exactly the regime where Varanus's pipeline depth
+/// explodes.
+pub fn firewall_trace(
+    pairs: u32,
+    drop_fraction: f64,
+    inter_packet: Duration,
+    seed: u64,
+) -> Vec<NetEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut tb = TraceBuilder::new();
+    let mut t = Instant::ZERO;
+    for i in 0..pairs {
+        let a = Ipv4Address::from_u32(0x0a00_0002 + i);
+        let b = Ipv4Address::from_u32(0xc000_0201 + (i % 100));
+        let m1 = MacAddr::from_u64(0x0200_0000_0000 + u64::from(i));
+        let m2 = MacAddr::from_u64(0x0200_ffff_0000 + u64::from(i));
+        let out = PacketBuilder::tcp(m1, m2, a, b, 4000, 443, TcpFlags::SYN, &[]);
+        tb.at(t).arrive_depart(PortNo(0), out, EgressAction::Output(PortNo(1)));
+        t += inter_packet;
+        if rng.random_bool(drop_fraction) {
+            let back = PacketBuilder::tcp(m2, m1, b, a, 443, 4000, TcpFlags::ACK, &[]);
+            tb.at(t).arrive_depart(PortNo(1), back, EgressAction::Drop);
+            t += inter_packet;
+        }
+    }
+    tb.build()
+}
+
+/// A steady stream of packets from a *fixed* set of `flows` flows —
+/// instance count plateaus at `flows` while the packet count grows. Used
+/// to measure per-packet cost at a controlled instance population.
+pub fn steady_state_trace(
+    flows: u32,
+    packets: u32,
+    inter_packet: Duration,
+    seed: u64,
+) -> Vec<NetEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut tb = TraceBuilder::new();
+    let mut t = Instant::ZERO;
+    for _ in 0..packets {
+        let i = rng.random_range(0..flows);
+        let a = Ipv4Address::from_u32(0x0a00_0002 + i);
+        let b = Ipv4Address::from_u32(0xc000_0201 + (i % 100));
+        let m1 = MacAddr::from_u64(0x0200_0000_0000 + u64::from(i));
+        let m2 = MacAddr::from_u64(0x0200_ffff_0000 + u64::from(i));
+        let out = PacketBuilder::tcp(m1, m2, a, b, 4000, 443, TcpFlags::ACK, &[]);
+        tb.at(t).arrive_depart(PortNo(0), out, EgressAction::Output(PortNo(1)));
+        t += inter_packet;
+    }
+    tb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firewall_trace_shapes() {
+        let t = firewall_trace(50, 0.0, Duration::from_micros(10), 1);
+        assert_eq!(t.len(), 100, "arrival + departure per pair");
+        let t = firewall_trace(50, 1.0, Duration::from_micros(10), 1);
+        assert_eq!(t.len(), 200, "plus reply arrival + drop departure");
+    }
+
+    #[test]
+    fn traces_are_time_ordered_and_deterministic() {
+        let t1 = firewall_trace(30, 0.5, Duration::from_micros(10), 42);
+        let t2 = firewall_trace(30, 0.5, Duration::from_micros(10), 42);
+        assert_eq!(t1.len(), t2.len());
+        assert!(t1.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn steady_state_bounded_flows() {
+        let t = steady_state_trace(8, 100, Duration::from_micros(5), 3);
+        assert_eq!(t.len(), 200);
+        // All sources drawn from the 8-flow pool.
+        let srcs: std::collections::HashSet<_> = t
+            .iter()
+            .filter_map(|e| e.field(swmon_packet::Field::Ipv4Src))
+            .collect();
+        assert!(srcs.len() <= 8);
+    }
+}

@@ -1,0 +1,79 @@
+//! Sec 2.3: timeout *actions* (Feature 7) and the refresh subtlety.
+//!
+//! The ARP proxy property "requests for known addresses are answered
+//! within T" completes on a *negative observation* — T elapsing with no
+//! reply — which ordinary switch timeouts cannot express. It also shows
+//! why such deadlines must NOT refresh on repeated requests: a
+//! never-answered request storm every T−1 seconds would otherwise evade
+//! detection for as long as it lasts.
+//!
+//! ```text
+//! cargo run --example arp_proxy_timeouts
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use swmon::monitor::Monitor;
+use swmon::packet::{ArpPacket, Ipv4Address, Layer, MacAddr, PacketBuilder};
+use swmon::sim::{Duration, Instant, Network, SwitchId};
+use swmon::switch::AppSwitch;
+use swmon_apps::{ArpProxy, ArpProxyFault};
+use swmon_props::arp_proxy::reply_within;
+
+fn main() {
+    let t = Duration::from_secs(1);
+    let mac = |x: u8| MacAddr::new(2, 0, 0, 0, 0, x);
+    let ip = |x: u8| Ipv4Address::new(10, 0, 0, x);
+
+    for fault in [ArpProxyFault::None, ArpProxyFault::NeverReplies] {
+        let mut net = Network::new();
+        let node = net.add_node(Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            4,
+            Layer::L7,
+            ArpProxy::new(false, fault),
+        ))));
+        let monitor = Rc::new(RefCell::new(Monitor::with_defaults(reply_within(t))));
+        net.add_sink(monitor.clone());
+
+        // A reply for 10.0.0.7 traverses the switch: the proxy now "knows"
+        // that address.
+        let owner_req = ArpPacket::request(mac(3), ip(3), ip(7));
+        net.inject(
+            Instant::ZERO,
+            node,
+            swmon::sim::PortNo(1),
+            PacketBuilder::arp(ArpPacket::reply_to(&owner_req, mac(7))),
+        );
+        // The (T−1)-second request storm: five requests for 10.0.0.7,
+        // never answered by the buggy proxy.
+        for i in 0..5u64 {
+            net.inject(
+                Instant::ZERO + Duration::from_millis(10 + i * 999),
+                node,
+                swmon::sim::PortNo(2),
+                PacketBuilder::arp(ArpPacket::request(mac(4), ip(4), ip(7))),
+            );
+        }
+        net.run_to_completion();
+
+        let mut monitor = monitor.borrow_mut();
+        // Flush the monitor's deadline timers past the end of traffic.
+        monitor.advance_to(Instant::ZERO + Duration::from_secs(30));
+        println!("ARP proxy variant {fault:?}:");
+        match monitor.violations().first() {
+            None => println!("  every known-address request was answered within {t}\n"),
+            Some(v) => println!(
+                "  VIOLATION at {} — the deadline itself is the final observation\n  {}\n",
+                v.time,
+                v.summary()
+            ),
+        }
+    }
+
+    println!(
+        "Note: the property's deadline uses the NoRefresh policy (Sec 2.3).\n\
+         Run `cargo run -p swmon-bench --bin repro e8` to see how the naive\n\
+         refresh-on-repeat policy stays blind while the storm lasts."
+    );
+}

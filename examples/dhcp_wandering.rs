@@ -1,0 +1,77 @@
+//! Wandering match (Feature 8): an address bound from a **DHCP** field is
+//! later matched against an **ARP** field — "mapping observations with
+//! different protocol fields to the same instance", the capability the
+//! paper found in no proposal but Varanus.
+//!
+//! ```text
+//! cargo run --example dhcp_wandering
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use swmon::monitor::{FeatureSet, Monitor, ProvenanceMode};
+use swmon::packet::{ArpPacket, DhcpMessage, Ipv4Address, Layer, MacAddr, PacketBuilder};
+use swmon::sim::{Duration, Instant, Network, PortNo, SwitchId};
+use swmon::switch::AppSwitch;
+use swmon_apps::{ArpProxy, ArpProxyFault};
+use swmon_props::dhcp_arp::preload_cache;
+use swmon_props::scenario::{DHCP_SERVER_1, REPLY_WAIT};
+use swmon_switch::CostModel;
+
+fn main() {
+    let prop = preload_cache(REPLY_WAIT);
+    let fs = FeatureSet::of(&prop);
+    println!("property: {}", prop.name);
+    println!("  statement: {}", prop.statement);
+    println!("  derived features: fields={}, instance-id={}", fs.fields, fs.instance_id);
+    println!();
+
+    // Which approaches can even host a wandering-match property?
+    println!("who can host it (Table 2 in action):");
+    for m in swmon::backends::all() {
+        match m.compile(&prop, ProvenanceMode::Bindings, CostModel::default()) {
+            Ok(_) => println!("  {:<16} ✓", m.caps.name),
+            Err(gaps) => println!("  {:<16} ✗ ({})", m.caps.name, gaps[0]),
+        }
+    }
+    println!();
+
+    // Run it: a DHCP lease followed by an ARP query for the leased address.
+    let mac = |x: u8| MacAddr::new(2, 0, 0, 0, 0, x);
+    for fault in [ArpProxyFault::None, ArpProxyFault::IgnoresDhcp] {
+        let mut net = Network::new();
+        let node = net.add_node(Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            4,
+            Layer::L7,
+            ArpProxy::new(true, fault), // preload_from_dhcp = true
+        ))));
+        let monitor = Rc::new(RefCell::new(Monitor::with_defaults(prop.clone())));
+        net.add_sink(monitor.clone());
+
+        // The DHCP server leases 10.0.0.150 to client 1 (mac ...:01).
+        let leased = Ipv4Address::new(10, 0, 0, 150);
+        let ack = DhcpMessage::ack(42, mac(1), leased, DHCP_SERVER_1, 3600);
+        net.inject(
+            Instant::ZERO,
+            node,
+            PortNo(1),
+            PacketBuilder::dhcp(mac(250), DHCP_SERVER_1, leased, &ack),
+        );
+        // Host 4 asks who has the leased address.
+        net.inject(
+            Instant::ZERO + Duration::from_millis(10),
+            node,
+            PortNo(2),
+            PacketBuilder::arp(ArpPacket::request(mac(4), Ipv4Address::new(10, 0, 1, 4), leased)),
+        );
+        net.run_to_completion();
+
+        let mut monitor = monitor.borrow_mut();
+        monitor.advance_to(Instant::ZERO + Duration::from_secs(10));
+        println!("proxy variant {fault:?}: {} violation(s)", monitor.violations().len());
+        for v in monitor.violations() {
+            println!("  {}", v.summary());
+        }
+    }
+}

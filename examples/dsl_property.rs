@@ -1,0 +1,92 @@
+//! Properties as text: parse a specification written in the swmon DSL,
+//! inspect its derived feature requirements, and run it.
+//!
+//! ```text
+//! cargo run --example dsl_property
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use swmon::monitor::{parse_property, to_dsl, FeatureSet, Monitor};
+use swmon::packet::{Ipv4Address, Layer, MacAddr, PacketBuilder, TcpFlags};
+use swmon::sim::{Duration, Instant, Network, SwitchId};
+use swmon::switch::AppSwitch;
+use swmon_apps::{Firewall, FirewallFault};
+use swmon_props::scenario::{FW_TIMEOUT, INSIDE_PORT, OUTSIDE_PORT};
+
+const SPEC: &str = r#"
+# Sec 2.1, with timeout and close-obligation: "for T seconds after seeing
+# traffic from internal host A to external host B, or until the connection
+# is closed, packets from B to A are not dropped".
+property "firewall/return-until-close(dsl)"
+statement "return traffic is admitted for 30s or until close"
+
+observe outbound on arrival
+  in_port == 0
+  bind ?A = ipv4.src
+  bind ?B = ipv4.dst
+  tcp.flags != 1      # a bare FIN must not re-open the pinhole
+  tcp.flags != 17     # FIN|ACK
+  tcp.flags != 4      # RST
+  tcp.flags != 20     # RST|ACK
+end
+
+observe return-dropped on departure(drop) within 30s refresh
+  ipv4.src == ?B
+  ipv4.dst == ?A
+  unless on arrival { ipv4.src == ?A  ipv4.dst == ?B  any of: tcp.flags == 1 | tcp.flags == 17 | tcp.flags == 4 | tcp.flags == 20 }
+  unless on arrival { ipv4.src == ?B  ipv4.dst == ?A  any of: tcp.flags == 1 | tcp.flags == 17 | tcp.flags == 4 | tcp.flags == 20 }
+end
+"#;
+
+fn main() {
+    let property = match parse_property(SPEC) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("parsed property: {}", property.name);
+    let fs = FeatureSet::of(&property);
+    println!(
+        "derived features: fields={}, timeouts={}, obligation={}, neg-match={}, instance-id={}",
+        fs.fields, fs.timeouts, fs.obligation, fs.negative_match, fs.instance_id
+    );
+    println!("\ncanonical form (print of the parsed AST):\n{}", to_dsl(&property));
+
+    // Run it against the buggy firewall.
+    let mut net = Network::new();
+    let node = net.add_node(Rc::new(RefCell::new(AppSwitch::new(
+        SwitchId(0),
+        2,
+        Layer::L4,
+        Firewall::new(INSIDE_PORT, OUTSIDE_PORT, FW_TIMEOUT, FirewallFault::DropsReturnTraffic),
+    ))));
+    let monitor = Rc::new(RefCell::new(Monitor::with_defaults(property)));
+    net.add_sink(monitor.clone());
+
+    let a = Ipv4Address::new(10, 0, 0, 5);
+    let b = Ipv4Address::new(192, 0, 2, 7);
+    let m1 = MacAddr::new(2, 0, 0, 0, 0, 1);
+    let m2 = MacAddr::new(2, 0, 0, 0, 0, 2);
+    net.inject(
+        Instant::ZERO,
+        node,
+        INSIDE_PORT,
+        PacketBuilder::tcp(m1, m2, a, b, 4000, 443, TcpFlags::SYN, &[]),
+    );
+    net.inject(
+        Instant::ZERO + Duration::from_millis(10),
+        node,
+        OUTSIDE_PORT,
+        PacketBuilder::tcp(m2, m1, b, a, 443, 4000, TcpFlags::ACK, &[]),
+    );
+    net.run_to_completion();
+
+    println!("violations against the buggy firewall:");
+    for v in monitor.borrow().violations() {
+        println!("  {}", v.summary());
+    }
+}

@@ -1,0 +1,92 @@
+//! Monitor scope across a two-switch topology: the paper limits itself to
+//! "properties that can be monitored using a single switch" and notes that
+//! SNAP's one-big-switch abstraction "hides details about the behavior of
+//! individual switches". This example makes both views concrete: per-switch
+//! scoped monitors see only their switch; the network-wide monitor
+//! correlates observations across switches.
+//!
+//! ```text
+//! cargo run --example multi_switch
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use swmon::monitor::{Monitor, MonitorConfig};
+use swmon::packet::{Ipv4Address, Layer, MacAddr, PacketBuilder, TcpFlags};
+use swmon::sim::{Duration, Instant, Network, PortNo, SwitchId};
+use swmon::switch::AppSwitch;
+use swmon_apps::{Firewall, FirewallFault, LearningSwitch, LearningSwitchFault};
+use swmon_props::scenario::{FW_TIMEOUT, INSIDE_PORT, OUTSIDE_PORT};
+
+fn main() {
+    // Topology: [inside hosts] — ls (switch 0) — fw (switch 1) — [world].
+    // The firewall is buggy; the learning switch is fine.
+    let mut net = Network::new();
+    let ls = net.add_node(Rc::new(RefCell::new(AppSwitch::new(
+        SwitchId(0),
+        2,
+        Layer::L2,
+        LearningSwitch::new(LearningSwitchFault::None),
+    ))));
+    let fw = net.add_node(Rc::new(RefCell::new(AppSwitch::new(
+        SwitchId(1),
+        2,
+        Layer::L4,
+        Firewall::new(INSIDE_PORT, OUTSIDE_PORT, FW_TIMEOUT, FirewallFault::DropsReturnTraffic),
+    ))));
+    net.connect(ls, PortNo(1), fw, INSIDE_PORT, Duration::from_micros(50));
+
+    // Three monitors for the same firewall property, differing in scope.
+    let prop = swmon_props::firewall::return_not_dropped();
+    let make = |scope| {
+        Rc::new(RefCell::new(Monitor::new(
+            prop.clone(),
+            MonitorConfig { scope, ..Default::default() },
+        )))
+    };
+    let on_ls = make(Some(SwitchId(0)));
+    let on_fw = make(Some(SwitchId(1)));
+    let network_wide = make(None);
+    for m in [&on_ls, &on_fw, &network_wide] {
+        net.add_sink(m.clone());
+    }
+
+    // An inside host (behind the learning switch) talks out; the reply
+    // comes back to the firewall's outside port and is wrongly dropped.
+    let a = Ipv4Address::new(10, 0, 0, 5);
+    let b = Ipv4Address::new(192, 0, 2, 7);
+    let m1 = MacAddr::new(2, 0, 0, 0, 0, 1);
+    let m2 = MacAddr::new(2, 0, 0, 0, 0, 2);
+    net.inject(
+        Instant::ZERO,
+        ls,
+        PortNo(0),
+        PacketBuilder::tcp(m1, m2, a, b, 4000, 443, TcpFlags::SYN, &[]),
+    );
+    net.inject(
+        Instant::ZERO + Duration::from_millis(10),
+        fw,
+        OUTSIDE_PORT,
+        PacketBuilder::tcp(m2, m1, b, a, 443, 4000, TcpFlags::ACK, &[]),
+    );
+    net.run_to_completion();
+
+    for (name, m) in [
+        ("scoped to learning switch (s0)", &on_ls),
+        ("scoped to firewall (s1)      ", &on_fw),
+        ("network-wide (one big switch)", &network_wide),
+    ] {
+        let m = m.borrow();
+        println!(
+            "{name}: {} violation(s), {} events out of scope",
+            m.violations().len(),
+            m.stats.out_of_scope
+        );
+    }
+    println!(
+        "\nThe firewall-scoped monitor is the paper's intended deployment: the\n\
+         misbehaving switch detects its own violation. The learning-switch\n\
+         monitor sees the outbound packet but never the drop; the network-wide\n\
+         view also detects it, at the cost of observing every switch."
+    );
+}

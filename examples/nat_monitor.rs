@@ -1,0 +1,75 @@
+//! Sec 2.2 end-to-end: monitoring NAT reverse translation.
+//!
+//! The four-observation property needs **packet identity** (Feature 5) to
+//! tie each arrival to its rewritten departure — information only the
+//! switch has — and a disjunctive **negative match** (Feature 6) for
+//! "destination ≠ A or port ≠ P".
+//!
+//! ```text
+//! cargo run --example nat_monitor
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use swmon::monitor::Monitor;
+use swmon::packet::{Ipv4Address, Layer, MacAddr, PacketBuilder, TcpFlags};
+use swmon::sim::{Duration, Instant, Network, SwitchId};
+use swmon::switch::AppSwitch;
+use swmon_apps::{Nat, NatFault};
+use swmon_props::nat::reverse_translation;
+use swmon_props::scenario::{INSIDE_PORT, NAT_PUBLIC_IP, OUTSIDE_PORT};
+
+fn main() {
+    let client = Ipv4Address::new(10, 0, 0, 5);
+    let server = Ipv4Address::new(192, 0, 2, 7);
+    let m1 = MacAddr::new(2, 0, 0, 0, 0, 1);
+    let m2 = MacAddr::new(2, 0, 0, 0, 0, 2);
+
+    for fault in [NatFault::None, NatFault::WrongReversePort] {
+        let mut net = Network::new();
+        let node = net.add_node(Rc::new(RefCell::new(AppSwitch::new(
+            SwitchId(0),
+            2,
+            Layer::L4,
+            Nat::new(INSIDE_PORT, OUTSIDE_PORT, NAT_PUBLIC_IP, fault),
+        ))));
+        let monitor = Rc::new(RefCell::new(Monitor::with_defaults(reverse_translation())));
+        net.add_sink(monitor.clone());
+
+        // Three outbound flows, each answered by the server.
+        for (i, sport) in [4000u16, 4001, 4002].iter().enumerate() {
+            let t = Instant::ZERO + Duration::from_millis(i as u64 * 10);
+            net.inject(
+                t,
+                node,
+                INSIDE_PORT,
+                PacketBuilder::tcp(m1, m2, client, server, *sport, 80, TcpFlags::SYN, &[]),
+            );
+            // The server replies to the *translated* endpoint the NAT
+            // allocates (61000, 61001, ...).
+            net.inject(
+                t + Duration::from_millis(5),
+                node,
+                OUTSIDE_PORT,
+                PacketBuilder::tcp(
+                    m2,
+                    m1,
+                    server,
+                    NAT_PUBLIC_IP,
+                    80,
+                    61000 + i as u16,
+                    TcpFlags::ACK,
+                    &[],
+                ),
+            );
+        }
+        net.run_to_completion();
+
+        let monitor = monitor.borrow();
+        println!("NAT variant {fault:?}: {} violation(s)", monitor.violations().len());
+        for v in monitor.violations() {
+            println!("  {}", v.summary());
+        }
+        println!();
+    }
+}

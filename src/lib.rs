@@ -1,0 +1,13 @@
+//! # swmon — stateful cross-packet property monitoring on programmable switches
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a tour
+//! and `DESIGN.md` for the architecture.
+
+pub use swmon_apps as apps;
+pub use swmon_backends as backends;
+pub use swmon_core as monitor;
+pub use swmon_packet as packet;
+pub use swmon_props as props;
+pub use swmon_sim as sim;
+pub use swmon_switch as switch;
+pub use swmon_workloads as workloads;

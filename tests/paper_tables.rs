@@ -1,0 +1,106 @@
+//! The headline reproduction assertions, at workspace level: Table 1 and
+//! Table 2 regenerate from running code and match the paper (up to the
+//! three documented additive deviations), and the experiment harness
+//! produces the paper's shapes.
+
+use swmon_backends::table2;
+use swmon_bench::experiments::{e3, e4, e5, e6, e8, e9};
+use swmon_props::table1;
+
+#[test]
+fn table1_matches_paper_with_documented_deviations() {
+    let mut deviations = Vec::new();
+    for e in table1::entries() {
+        for (col, paper, derived) in e.deviations() {
+            deviations.push((e.statement, table1::COLUMNS[col]));
+            assert!(
+                paper.is_empty() && !derived.is_empty(),
+                "{} / {}: every deviation must add a requirement",
+                e.statement,
+                table1::COLUMNS[col]
+            );
+        }
+    }
+    assert_eq!(deviations, table1::KNOWN_DEVIATIONS.to_vec());
+    // 13 properties × 8 columns = 104 cells; 101 match the paper exactly.
+    assert_eq!(table1::entries().len() * table1::COLUMNS.len(), 104);
+    assert_eq!(deviations.len(), 3);
+}
+
+#[test]
+fn table2_matrix_is_fully_validated() {
+    // Every ✓/✗ cell in the rendered table is backed by a probe compile;
+    // the heavy lifting is in swmon-backends' tests — here we assert the
+    // rendered table exists and covers all seven columns.
+    let t = table2::render();
+    for name in
+        ["OpenFlow 1.3", "OpenState", "FAST", "POF and P4", "SNAP", "Varanus", "Static Varanus"]
+    {
+        assert!(t.contains(name), "{name} missing");
+    }
+    assert!(t.matches('✗').count() >= 20, "gaps are visible");
+}
+
+#[test]
+fn e3_shape_varanus_linear_others_flat() {
+    let pts = e3::run(&[10, 1000]);
+    let depth = |a: &str, n: u32| {
+        pts.iter().find(|p| p.approach == a && p.pairs == n).unwrap().mean_depth
+    };
+    assert!(depth("Varanus", 1000) / depth("Varanus", 10) > 50.0);
+    assert_eq!(depth("Static Varanus", 10), depth("Static Varanus", 1000));
+    assert_eq!(depth("POF and P4", 10), depth("POF and P4", 1000));
+}
+
+#[test]
+fn e4_shape_slow_path_below_line_rate() {
+    let rows = e4::mechanism_rows(&swmon_switch::CostModel::default());
+    let ok = |name: &str| rows.iter().find(|r| r.mechanism.contains(name)).unwrap().line_rate_ok;
+    assert!(ok("register"));
+    assert!(ok("XFSM"));
+    assert!(!ok("flow-mod"));
+    assert!(!ok("controller"));
+}
+
+#[test]
+fn e5_shape_controller_redirects_all_traffic() {
+    let rows = e5::run(16, 1_000);
+    let of = rows.iter().find(|r| r.approach == "OpenFlow 1.3").unwrap();
+    let p4 = rows.iter().find(|r| r.approach == "POF and P4").unwrap();
+    assert_eq!(of.redirected_fraction, 1.0);
+    assert_eq!(p4.redirected_fraction, 0.0);
+    assert_eq!(of.violations, p4.violations);
+}
+
+#[test]
+fn e6_shape_split_misses_fast_violations_inline_never() {
+    let pts = e6::run(30, &e6::default_gaps());
+    for p in &pts {
+        if p.mode == "inline" {
+            assert_eq!(p.detected, p.expected);
+        }
+    }
+    let split_fast = pts
+        .iter()
+        .find(|p| p.mode == "split" && p.reply_gap == swmon::sim::Duration::from_micros(1))
+        .unwrap();
+    assert_eq!(split_fast.detected, 0);
+}
+
+#[test]
+fn e8_shape_naive_refresh_is_blind_under_storm() {
+    let pts = e8::run(&[0.9], 8);
+    let naive = pts.iter().find(|p| p.policy.contains("naive")).unwrap();
+    let sound = pts.iter().find(|p| p.policy.contains("sound")).unwrap();
+    assert!(sound.detected_during_storm);
+    assert!(!naive.detected_during_storm);
+}
+
+#[test]
+fn e9_every_detection_outcome_matches() {
+    let cases = e9::run();
+    assert!(cases.len() >= 24);
+    for c in &cases {
+        assert!(c.ok(), "{} / {} / {}", c.scenario, c.fault, c.property);
+    }
+}
