@@ -151,14 +151,11 @@ mod tests {
         )
     }
 
-/// Test harness handles: network, app, recorder, node id.
-    type Rig = (Network, Rc<RefCell<AppSwitch<ArpProxy>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+    /// Test harness handles: network, app, recorder, node id.
+    type Rig =
+        (Network, Rc<RefCell<AppSwitch<ArpProxy>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
 
-    fn rig(
-        preload: bool,
-        fault: ArpProxyFault,
-    ) -> Rig
-    {
+    fn rig(preload: bool, fault: ArpProxyFault) -> Rig {
         let mut net = Network::new();
         let app = Rc::new(RefCell::new(AppSwitch::new(
             SwitchId(0),
@@ -235,7 +232,11 @@ mod tests {
             (ArpProxyFault::None, swmon_props::arp_proxy::known_not_forwarded(), 0),
             (ArpProxyFault::ForwardsKnown, swmon_props::arp_proxy::known_not_forwarded(), 1),
             (ArpProxyFault::None, swmon_props::arp_proxy::unknown_forwarded(REPLY_WAIT), 0),
-            (ArpProxyFault::SwallowsUnknown, swmon_props::arp_proxy::unknown_forwarded(REPLY_WAIT), 1),
+            (
+                ArpProxyFault::SwallowsUnknown,
+                swmon_props::arp_proxy::unknown_forwarded(REPLY_WAIT),
+                1,
+            ),
             (ArpProxyFault::None, swmon_props::arp_proxy::reply_within(REPLY_WAIT), 0),
             (ArpProxyFault::NeverReplies, swmon_props::arp_proxy::reply_within(REPLY_WAIT), 1),
         ];
@@ -261,7 +262,11 @@ mod tests {
             (ArpProxyFault::None, swmon_props::dhcp_arp::preload_cache(REPLY_WAIT), 0),
             (ArpProxyFault::IgnoresDhcp, swmon_props::dhcp_arp::preload_cache(REPLY_WAIT), 1),
             (ArpProxyFault::None, swmon_props::dhcp_arp::no_unfounded_direct_reply(), 0),
-            (ArpProxyFault::RepliesUnfounded, swmon_props::dhcp_arp::no_unfounded_direct_reply(), 1),
+            (
+                ArpProxyFault::RepliesUnfounded,
+                swmon_props::dhcp_arp::no_unfounded_direct_reply(),
+                1,
+            ),
         ];
         for (fault, prop, expect) in cases {
             let name = prop.name.clone();

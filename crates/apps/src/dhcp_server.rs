@@ -135,9 +135,7 @@ impl AppLogic for DhcpServer {
                     ctx.drop_packet();
                     return;
                 }
-                let addr = msg
-                    .requested_ip
-                    .or_else(|| self.allocate(msg.chaddr, now));
+                let addr = msg.requested_ip.or_else(|| self.allocate(msg.chaddr, now));
                 if let Some(addr) = addr {
                     // Grant unless someone else holds an active lease.
                     let taken = self
@@ -155,7 +153,8 @@ impl AppLogic for DhcpServer {
                         );
                         DhcpMessage::ack(msg.xid, msg.chaddr, addr, self.server_id, self.lease_secs)
                     } else {
-                        let mut nak = DhcpMessage::ack(msg.xid, msg.chaddr, addr, self.server_id, 0);
+                        let mut nak =
+                            DhcpMessage::ack(msg.xid, msg.chaddr, addr, self.server_id, 0);
                         nak.msg_type = DhcpMsgType::Nak;
                         nak.lease_secs = None;
                         nak
@@ -231,14 +230,15 @@ mod tests {
         )
     }
 
-/// Test harness handles: network, app, recorder, node id.
-    type Rig = (Network, Rc<RefCell<AppSwitch<DhcpServer>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+    /// Test harness handles: network, app, recorder, node id.
+    type Rig = (
+        Network,
+        Rc<RefCell<AppSwitch<DhcpServer>>>,
+        Rc<RefCell<TraceRecorder>>,
+        swmon_sim::NodeId,
+    );
 
-    fn rig(
-        lease_secs: u32,
-        fault: DhcpServerFault,
-    ) -> Rig
-    {
+    fn rig(lease_secs: u32, fault: DhcpServerFault) -> Rig {
         let mut net = Network::new();
         let app = Rc::new(RefCell::new(AppSwitch::new(
             SwitchId(0),

@@ -64,9 +64,7 @@ impl Firewall {
 
     fn effective_timeout(&self) -> Duration {
         match self.fault {
-            FirewallFault::ExpiresEarly => {
-                Duration::from_nanos(self.timeout.as_nanos() / 10)
-            }
+            FirewallFault::ExpiresEarly => Duration::from_nanos(self.timeout.as_nanos() / 10),
             _ => self.timeout,
         }
     }
@@ -76,7 +74,11 @@ impl AppLogic for Firewall {
     fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, headers: &Headers) {
         let Some(ip) = headers.ipv4() else {
             // Non-IP traffic is outside the firewall's remit: pass it along.
-            let out = if ctx.in_port() == self.inside_port { self.outside_port } else { self.inside_port };
+            let out = if ctx.in_port() == self.inside_port {
+                self.outside_port
+            } else {
+                self.inside_port
+            };
             ctx.forward(out);
             return;
         };
@@ -92,8 +94,7 @@ impl AppLogic for Firewall {
                         p.closed = true;
                     }
                 } else if !closes {
-                    self.pinholes
-                        .insert(key, Pinhole { last_outbound: now, closed: false });
+                    self.pinholes.insert(key, Pinhole { last_outbound: now, closed: false });
                 }
             }
             ctx.forward(self.outside_port);
@@ -154,13 +155,11 @@ mod tests {
         )
     }
 
-/// Test harness handles: network, app, recorder, node id.
-    type Rig = (Network, Rc<RefCell<AppSwitch<Firewall>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+    /// Test harness handles: network, app, recorder, node id.
+    type Rig =
+        (Network, Rc<RefCell<AppSwitch<Firewall>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
 
-    fn rig(
-        fault: FirewallFault,
-    ) -> Rig
-    {
+    fn rig(fault: FirewallFault) -> Rig {
         let mut net = Network::new();
         let app = Rc::new(RefCell::new(AppSwitch::new(
             SwitchId(0),
@@ -208,7 +207,12 @@ mod tests {
         let (mut net, _app, rec, id) = rig(FirewallFault::None);
         net.inject(at_ms(0), id, INSIDE_PORT, tcp(inside(1), outside(9), TcpFlags::SYN));
         let late = FW_TIMEOUT + Duration::from_millis(1);
-        net.inject(Instant::ZERO + late, id, OUTSIDE_PORT, tcp(outside(9), inside(1), TcpFlags::ACK));
+        net.inject(
+            Instant::ZERO + late,
+            id,
+            OUTSIDE_PORT,
+            tcp(outside(9), inside(1), TcpFlags::ACK),
+        );
         net.run_to_completion();
         assert_eq!(actions(&rec)[1], EgressAction::Drop, "stale pinhole");
     }
@@ -217,7 +221,12 @@ mod tests {
     fn close_shuts_the_pinhole() {
         let (mut net, _app, rec, id) = rig(FirewallFault::None);
         net.inject(at_ms(0), id, INSIDE_PORT, tcp(inside(1), outside(9), TcpFlags::SYN));
-        net.inject(at_ms(5), id, INSIDE_PORT, tcp(inside(1), outside(9), TcpFlags::FIN | TcpFlags::ACK));
+        net.inject(
+            at_ms(5),
+            id,
+            INSIDE_PORT,
+            tcp(inside(1), outside(9), TcpFlags::FIN | TcpFlags::ACK),
+        );
         net.inject(at_ms(10), id, OUTSIDE_PORT, tcp(outside(9), inside(1), TcpFlags::ACK));
         net.run_to_completion();
         let a = actions(&rec);

@@ -99,13 +99,15 @@ mod tests {
         )
     }
 
-/// Test harness handles: network, app, recorder, node id.
-    type Rig = (Network, Rc<RefCell<AppSwitch<LearningSwitch>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+    /// Test harness handles: network, app, recorder, node id.
+    type Rig = (
+        Network,
+        Rc<RefCell<AppSwitch<LearningSwitch>>>,
+        Rc<RefCell<TraceRecorder>>,
+        swmon_sim::NodeId,
+    );
 
-    fn rig(
-        fault: LearningSwitchFault,
-    ) -> Rig
-    {
+    fn rig(fault: LearningSwitchFault) -> Rig {
         let mut net = Network::new();
         let app = Rc::new(RefCell::new(AppSwitch::new(
             SwitchId(0),

@@ -167,14 +167,15 @@ mod tests {
         )
     }
 
-/// Test harness handles: network, app, recorder, node id.
-    type Rig = (Network, Rc<RefCell<AppSwitch<LoadBalancer>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+    /// Test harness handles: network, app, recorder, node id.
+    type Rig = (
+        Network,
+        Rc<RefCell<AppSwitch<LoadBalancer>>>,
+        Rc<RefCell<TraceRecorder>>,
+        swmon_sim::NodeId,
+    );
 
-    fn rig(
-        policy: LbPolicy,
-        fault: LbFault,
-    ) -> Rig
-    {
+    fn rig(policy: LbPolicy, fault: LbFault) -> Rig {
         let mut net = Network::new();
         let app = Rc::new(RefCell::new(AppSwitch::new(
             SwitchId(0),
@@ -273,15 +274,14 @@ mod tests {
         );
         net.inject(at_ms(0), id, LB_CLIENT_PORT, other);
         net.run_to_completion();
-        assert_eq!(
-            rec.borrow().departures().next().unwrap().action(),
-            Some(EgressAction::Drop)
-        );
+        assert_eq!(rec.borrow().departures().next().unwrap().action(), Some(EgressAction::Drop));
     }
 
     #[test]
     fn monitor_discriminates_hash_policy() {
-        for (fault, expect_violation) in [(LbFault::None, false), (LbFault::HashesWrongFields, true)] {
+        for (fault, expect_violation) in
+            [(LbFault::None, false), (LbFault::HashesWrongFields, true)]
+        {
             let (mut net, _app, _rec, id) = rig(LbPolicy::Hash, fault);
             let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(
                 swmon_props::load_balancer::new_flow_hashed_port(),
@@ -315,7 +315,8 @@ mod tests {
 
     #[test]
     fn monitor_discriminates_stability() {
-        for (fault, expect_violation) in [(LbFault::None, false), (LbFault::ForgetsAssignments, true)]
+        for (fault, expect_violation) in
+            [(LbFault::None, false), (LbFault::ForgetsAssignments, true)]
         {
             let (mut net, _app, rec, id) = rig(LbPolicy::RoundRobin, fault);
             let monitor = Rc::new(RefCell::new(swmon_core::Monitor::with_defaults(

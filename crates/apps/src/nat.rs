@@ -147,12 +147,11 @@ mod tests {
         )
     }
 
-/// Test harness handles: network, app, recorder, node id.
-    type Rig = (Network, Rc<RefCell<AppSwitch<Nat>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+    /// Test harness handles: network, app, recorder, node id.
+    type Rig =
+        (Network, Rc<RefCell<AppSwitch<Nat>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
 
-    fn rig(
-        fault: NatFault,
-    ) -> Rig {
+    fn rig(fault: NatFault) -> Rig {
         let mut net = Network::new();
         let app = Rc::new(RefCell::new(AppSwitch::new(
             SwitchId(0),

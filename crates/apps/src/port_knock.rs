@@ -36,7 +36,12 @@ pub struct KnockGate {
 impl KnockGate {
     /// A gate protecting `protected_port` (forwarding admitted traffic to
     /// `service_port`) behind `sequence`.
-    pub fn new(sequence: &[u16], protected_port: u16, service_port: PortNo, fault: KnockGateFault) -> Self {
+    pub fn new(
+        sequence: &[u16],
+        protected_port: u16,
+        service_port: PortNo,
+        fault: KnockGateFault,
+    ) -> Self {
         KnockGate {
             sequence: sequence.to_vec(),
             protected_port,
@@ -55,10 +60,9 @@ impl KnockGate {
 
 impl AppLogic for KnockGate {
     fn handle(&mut self, ctx: &mut AppCtx<'_, '_>, headers: &Headers) {
-        let (Some(src), Some(dport)) = (
-            headers.ipv4().map(|h| h.src),
-            headers.field(Field::L4Dst).and_then(|v| v.as_uint()),
-        ) else {
+        let (Some(src), Some(dport)) =
+            (headers.ipv4().map(|h| h.src), headers.field(Field::L4Dst).and_then(|v| v.as_uint()))
+        else {
             ctx.drop_packet();
             return;
         };
@@ -119,13 +123,11 @@ mod tests {
         )
     }
 
-/// Test harness handles: network, app, recorder, node id.
-    type Rig = (Network, Rc<RefCell<AppSwitch<KnockGate>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+    /// Test harness handles: network, app, recorder, node id.
+    type Rig =
+        (Network, Rc<RefCell<AppSwitch<KnockGate>>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
 
-    fn rig(
-        fault: KnockGateFault,
-    ) -> Rig
-    {
+    fn rig(fault: KnockGateFault) -> Rig {
         let mut net = Network::new();
         let app = Rc::new(RefCell::new(AppSwitch::new(
             SwitchId(0),

@@ -273,7 +273,8 @@ mod tests {
     fn l7_property_on_fixed_parser_is_a_depth_gap() {
         let mut caps = everything();
         caps.field_access = FieldAccess::Fixed;
-        let gaps = caps.check(&swmon_props::ftp::data_port_matches_control(), ProvenanceMode::Bindings);
+        let gaps =
+            caps.check(&swmon_props::ftp::data_port_matches_control(), ProvenanceMode::Bindings);
         assert_eq!(gaps, vec![Gap::FieldDepth { required: Layer::L7 }]);
     }
 
@@ -301,19 +302,24 @@ mod tests {
         caps.rule_timeouts = Cell::No;
         // A deadline property needs timeout actions.
         let p = PropertyBuilder::new("p", "")
-            .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
-            .deadline("d", Duration::from_secs(1)).done()
+            .observe("a", EventPattern::Arrival)
+            .bind("A", Field::Ipv4Src)
+            .done()
+            .deadline("d", Duration::from_secs(1))
+            .done()
             .build()
             .unwrap();
         let gaps = caps.check(&p, ProvenanceMode::Bindings);
         assert_eq!(gaps, vec![Gap::TimeoutActions]);
         // A within-window property needs rule timeouts.
         let p = PropertyBuilder::new("p", "")
-            .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
+            .observe("a", EventPattern::Arrival)
+            .bind("A", Field::Ipv4Src)
+            .done()
             .observe("b", EventPattern::Departure(ActionPattern::Forwarded))
-                .bind("A", Field::Ipv4Src)
-                .within(Duration::from_secs(1))
-                .done()
+            .bind("A", Field::Ipv4Src)
+            .within(Duration::from_secs(1))
+            .done()
             .build()
             .unwrap();
         let gaps = caps.check(&p, ProvenanceMode::Bindings);

@@ -23,7 +23,9 @@
 //!   cost is a controller round-trip and the redirected bytes.
 
 use crate::caps::Capabilities;
-use swmon_core::{Monitor, MonitorConfig, MonitorStats, ProcessingMode, Property, ProvenanceMode, Violation};
+use swmon_core::{
+    Monitor, MonitorConfig, MonitorStats, ProcessingMode, Property, ProvenanceMode, Violation,
+};
 use swmon_sim::time::{Duration, Instant};
 use swmon_sim::trace::{EventSink, NetEvent};
 use swmon_switch::{CostAccount, CostModel};
@@ -171,8 +173,7 @@ impl CompiledMonitor {
             }
             Storage::Controller => {
                 self.redirected_packets += 1;
-                self.redirected_bytes +=
-                    ev.packet().map(|p| p.len() as u64).unwrap_or(0);
+                self.redirected_bytes += ev.packet().map(|p| p.len() as u64).unwrap_or(0);
                 self.account.charge_controller(&self.cost);
             }
         }
@@ -182,13 +183,13 @@ impl CompiledMonitor {
     /// settlement.
     fn settle_costs(&mut self) {
         let s = &self.inner.stats;
-        let transitions = (s.spawned + s.advanced + s.cleared + s.window_expired
-            + s.deadlines_fired)
-            - (self.last_stats.spawned
-                + self.last_stats.advanced
-                + self.last_stats.cleared
-                + self.last_stats.window_expired
-                + self.last_stats.deadlines_fired);
+        let transitions =
+            (s.spawned + s.advanced + s.cleared + s.window_expired + s.deadlines_fired)
+                - (self.last_stats.spawned
+                    + self.last_stats.advanced
+                    + self.last_stats.cleared
+                    + self.last_stats.window_expired
+                    + self.last_stats.deadlines_fired);
         if transitions > 0 {
             match self.update_path {
                 UpdatePath::Fast => match self.storage {
@@ -252,8 +253,11 @@ mod tests {
                 TcpFlags::SYN,
                 &[],
             );
-            tb.at(swmon_sim::Instant::from_nanos(u64::from(i) * 1_000_000))
-                .arrive_depart(PortNo(0), p, EgressAction::Output(PortNo(1)));
+            tb.at(swmon_sim::Instant::from_nanos(u64::from(i) * 1_000_000)).arrive_depart(
+                PortNo(0),
+                p,
+                EgressAction::Output(PortNo(1)),
+            );
         }
         tb.build()
     }
@@ -265,7 +269,8 @@ mod tests {
     #[test]
     fn varanus_depth_grows_with_instances() {
         let mech = approaches::varanus();
-        let mut m = CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        let mut m =
+            CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
         for ev in fw_trace(100) {
             m.process(&ev);
         }
@@ -278,7 +283,8 @@ mod tests {
     #[test]
     fn static_varanus_depth_is_constant() {
         let mech = approaches::static_varanus();
-        let mut m = CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        let mut m =
+            CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
         for ev in fw_trace(100) {
             m.process(&ev);
         }
@@ -289,7 +295,8 @@ mod tests {
     #[test]
     fn p4_charges_registers_not_slow_path() {
         let mech = approaches::p4();
-        let mut m = CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        let mut m =
+            CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
         for ev in fw_trace(50) {
             m.process(&ev);
         }
@@ -300,7 +307,8 @@ mod tests {
     #[test]
     fn varanus_charges_slow_path() {
         let mech = approaches::varanus();
-        let mut m = CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        let mut m =
+            CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
         for ev in fw_trace(50) {
             m.process(&ev);
         }
@@ -311,7 +319,8 @@ mod tests {
     #[test]
     fn controller_redirects_everything() {
         let mech = approaches::openflow13();
-        let mut m = CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
+        let mut m =
+            CompiledMonitor::new(fw_prop(), &mech, ProvenanceMode::Bindings, CostModel::default());
         let trace = fw_trace(10);
         for ev in &trace {
             m.process(ev);

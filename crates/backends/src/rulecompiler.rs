@@ -38,12 +38,12 @@
 use std::fmt;
 use swmon_core::{Atom, EventPattern, Property, StageKind, Var};
 use swmon_packet::Field;
+use swmon_sim::time::Instant;
+use swmon_sim::SwitchId;
 use swmon_switch::{
     Action, FlowRule, LearnAtom, LearnSpec, MatchAtom, MatchSpec, ProgrammableSwitch,
     StateUpdateMode, SwitchConfig, TableMiss,
 };
-use swmon_sim::time::Instant;
-use swmon_sim::SwitchId;
 
 /// Why a property cannot be compiled to rules.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,7 +99,11 @@ impl fmt::Display for RuleCompileError {
                 write!(f, "stage {stage}: 'unless' clearings need rule deletion")
             }
             RuleCompileError::VariableNotCarried { var, stage } => {
-                write!(f, "?{var} is not re-matched at stage {} so stage {stage} cannot copy it", stage - 1)
+                write!(
+                    f,
+                    "?{var} is not re-matched at stage {} so stage {stage} cannot copy it",
+                    stage - 1
+                )
             }
         }
     }
@@ -124,9 +128,7 @@ fn plan_stage(property: &Property, idx: usize) -> Result<StagePlan, RuleCompileE
     }
     let guard = match &stage.kind {
         StageKind::Match { pattern: EventPattern::Arrival, guard } => guard,
-        StageKind::Match { .. } => {
-            return Err(RuleCompileError::UnsupportedPattern { stage: idx })
-        }
+        StageKind::Match { .. } => return Err(RuleCompileError::UnsupportedPattern { stage: idx }),
         StageKind::Deadline { .. } => {
             return Err(RuleCompileError::TimingNotSupported { stage: idx })
         }
@@ -149,10 +151,7 @@ fn plan_stage(property: &Property, idx: usize) -> Result<StagePlan, RuleCompileE
 
 /// Build the learn template installing stage `next`'s rule, given the
 /// packet matched at stage `next - 1`.
-fn learn_template(
-    plans: &[StagePlan],
-    next: usize,
-) -> Result<Vec<LearnAtom>, RuleCompileError> {
+fn learn_template(plans: &[StagePlan], next: usize) -> Result<Vec<LearnAtom>, RuleCompileError> {
     let prev = &plans[next - 1];
     let mut tmpl = Vec::new();
     for a in &plans[next].consts {
@@ -167,10 +166,9 @@ fn learn_template(
     for (v, f_next) in &plans[next].binds {
         if earlier_vars.contains(&v) {
             match prev.binds.iter().find(|(pv, _)| pv == v) {
-                Some((_, f_prev)) => tmpl.push(LearnAtom::CopyField {
-                    rule_field: *f_next,
-                    pkt_field: *f_prev,
-                }),
+                Some((_, f_prev)) => {
+                    tmpl.push(LearnAtom::CopyField { rule_field: *f_next, pkt_field: *f_prev })
+                }
                 None => {
                     return Err(RuleCompileError::VariableNotCarried {
                         var: v.0.clone(),
@@ -230,15 +228,11 @@ pub fn compile_rules(property: &Property, code: u64) -> Result<RuleProgram, Rule
         acts
     }
 
-    let trigger = FlowRule::new(
-        10,
-        MatchSpec::new(plans[0].consts.clone()),
-        actions_for(&plans, 0, n, code),
-    );
+    let trigger =
+        FlowRule::new(10, MatchSpec::new(plans[0].consts.clone()), actions_for(&plans, 0, n, code));
     let catch_alls = (0..n)
         .map(|k| {
-            let acts =
-                if k + 1 < n { vec![Action::Goto(k + 1)] } else { vec![Action::Flood] };
+            let acts = if k + 1 < n { vec![Action::Goto(k + 1)] } else { vec![Action::Flood] };
             FlowRule::new(0, MatchSpec::any(), acts)
         })
         .collect();
@@ -301,12 +295,12 @@ mod tests {
     fn two_stage() -> Property {
         PropertyBuilder::new("rc/two-stage", "")
             .observe("mark", EventPattern::Arrival)
-                .eq(Field::L4Dst, 9999u16)
-                .bind("A", Field::Ipv4Src)
-                .done()
+            .eq(Field::L4Dst, 9999u16)
+            .bind("A", Field::Ipv4Src)
+            .done()
             .observe("reached", EventPattern::Arrival)
-                .bind("A", Field::Ipv4Dst)
-                .done()
+            .bind("A", Field::Ipv4Dst)
+            .done()
             .build()
             .unwrap()
     }
@@ -315,17 +309,17 @@ mod tests {
     fn three_stage() -> Property {
         PropertyBuilder::new("rc/three-stage", "")
             .observe("s0", EventPattern::Arrival)
-                .eq(Field::L4Dst, 1001u16)
-                .bind("A", Field::Ipv4Src)
-                .done()
+            .eq(Field::L4Dst, 1001u16)
+            .bind("A", Field::Ipv4Src)
+            .done()
             .observe("s1", EventPattern::Arrival)
-                .eq(Field::L4Dst, 1002u16)
-                .bind("A", Field::Ipv4Src) // carried
-                .done()
+            .eq(Field::L4Dst, 1002u16)
+            .bind("A", Field::Ipv4Src) // carried
+            .done()
             .observe("s2", EventPattern::Arrival)
-                .eq(Field::L4Dst, 1003u16)
-                .bind("A", Field::Ipv4Src)
-                .done()
+            .eq(Field::L4Dst, 1003u16)
+            .bind("A", Field::Ipv4Src)
+            .done()
             .build()
             .unwrap()
     }
@@ -388,10 +382,8 @@ mod tests {
 
     #[test]
     fn unmarked_traffic_never_alerts() {
-        let (alerts, violations, _) = run_both(
-            &two_stage(),
-            vec![pkt(5, 1, 80), pkt(5, 2, 80), pkt(1, 9, 80)],
-        );
+        let (alerts, violations, _) =
+            run_both(&two_stage(), vec![pkt(5, 1, 80), pkt(5, 2, 80), pkt(1, 9, 80)]);
         assert_eq!(violations, 0);
         assert_eq!(alerts, 0);
     }
@@ -414,10 +406,8 @@ mod tests {
 
     #[test]
     fn wrong_order_does_not_alert() {
-        let (alerts, violations, _) = run_both(
-            &three_stage(),
-            vec![pkt(1, 9, 1003), pkt(1, 9, 1002), pkt(1, 9, 1001)],
-        );
+        let (alerts, violations, _) =
+            run_both(&three_stage(), vec![pkt(1, 9, 1003), pkt(1, 9, 1002), pkt(1, 9, 1001)]);
         assert_eq!(violations, 0);
         assert_eq!(alerts, 0);
     }
@@ -445,12 +435,7 @@ mod tests {
         let sw = Rc::new(RefCell::new(program.instantiate_default()));
         let id = net.add_node(sw.clone());
         net.inject(Instant::from_nanos(1), id, PortNo(0), pkt(1, 9, 9999));
-        net.inject(
-            Instant::ZERO + Duration::from_millis(1),
-            id,
-            PortNo(0),
-            pkt(2, 9, 9999),
-        );
+        net.inject(Instant::ZERO + Duration::from_millis(1), id, PortNo(0), pkt(2, 9, 9999));
         net.run_to_completion();
         // Two learned rules (one per marked source) now sit in table 1 —
         // the monitor state is literally flow rules.
@@ -497,8 +482,12 @@ mod tests {
         ));
         // Negative match.
         let neg = PropertyBuilder::new("n", "")
-            .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
-            .observe("b", EventPattern::Arrival).neq_var(Field::Ipv4Dst, "A").done()
+            .observe("a", EventPattern::Arrival)
+            .bind("A", Field::Ipv4Src)
+            .done()
+            .observe("b", EventPattern::Arrival)
+            .neq_var(Field::Ipv4Dst, "A")
+            .done()
             .build()
             .unwrap();
         assert!(matches!(
@@ -508,11 +497,15 @@ mod tests {
         // Variable needed at stage 2 but not re-matched at stage 1.
         let gap = PropertyBuilder::new("g", "")
             .observe("a", EventPattern::Arrival)
-                .eq(Field::L4Dst, 1u16)
-                .bind("A", Field::Ipv4Src)
-                .done()
-            .observe("b", EventPattern::Arrival).eq(Field::L4Dst, 2u16).done()
-            .observe("c", EventPattern::Arrival).bind("A", Field::Ipv4Dst).done()
+            .eq(Field::L4Dst, 1u16)
+            .bind("A", Field::Ipv4Src)
+            .done()
+            .observe("b", EventPattern::Arrival)
+            .eq(Field::L4Dst, 2u16)
+            .done()
+            .observe("c", EventPattern::Arrival)
+            .bind("A", Field::Ipv4Dst)
+            .done()
             .build()
             .unwrap();
         let e = compile_rules(&gap, 1).unwrap_err();

@@ -13,9 +13,7 @@
 use crate::approaches;
 use crate::caps::{Cell, Gap};
 use crate::machine::Mechanism;
-use swmon_core::{
-    var, ActionPattern, Atom, EventPattern, OobPattern, Property, PropertyBuilder,
-};
+use swmon_core::{var, ActionPattern, Atom, EventPattern, OobPattern, Property, PropertyBuilder};
 use swmon_packet::Field;
 use swmon_sim::time::Duration;
 
@@ -37,56 +35,74 @@ pub struct FeatureRow {
 /// cross-packet state requirement.
 fn probe_history() -> Property {
     PropertyBuilder::new("probe/history", "")
-        .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
-        .observe("b", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
+        .observe("a", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Src)
+        .done()
+        .observe("b", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Src)
+        .done()
         .build()
         .unwrap()
 }
 
 fn probe_identity() -> Property {
     PropertyBuilder::new("probe/identity", "")
-        .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
-        .observe("b", EventPattern::Departure(ActionPattern::Any)).same_packet_as(0).done()
+        .observe("a", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Src)
+        .done()
+        .observe("b", EventPattern::Departure(ActionPattern::Any))
+        .same_packet_as(0)
+        .done()
         .build()
         .unwrap()
 }
 
 fn probe_negative_match() -> Property {
     PropertyBuilder::new("probe/neg-match", "")
-        .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
+        .observe("a", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Src)
+        .done()
         .observe("b", EventPattern::Arrival)
-            .bind("A", Field::Ipv4Src)
-            .neq_var(Field::Ipv4Dst, "A")
-            .done()
+        .bind("A", Field::Ipv4Src)
+        .neq_var(Field::Ipv4Dst, "A")
+        .done()
         .build()
         .unwrap()
 }
 
 fn probe_rule_timeouts() -> Property {
     PropertyBuilder::new("probe/rule-timeouts", "")
-        .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
+        .observe("a", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Src)
+        .done()
         .observe("b", EventPattern::Arrival)
-            .bind("A", Field::Ipv4Src)
-            .within(Duration::from_secs(1))
-            .done()
+        .bind("A", Field::Ipv4Src)
+        .within(Duration::from_secs(1))
+        .done()
         .build()
         .unwrap()
 }
 
 fn probe_timeout_actions() -> Property {
     PropertyBuilder::new("probe/timeout-actions", "")
-        .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
+        .observe("a", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Src)
+        .done()
         .deadline("d", Duration::from_secs(1))
-            .unless(EventPattern::Arrival, vec![Atom::Bind(var("A"), Field::Ipv4Src)])
-            .done()
+        .unless(EventPattern::Arrival, vec![Atom::Bind(var("A"), Field::Ipv4Src)])
+        .done()
         .build()
         .unwrap()
 }
 
 fn probe_symmetric() -> Property {
     PropertyBuilder::new("probe/symmetric", "")
-        .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
-        .observe("b", EventPattern::Arrival).bind("A", Field::Ipv4Dst).done()
+        .observe("a", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Src)
+        .done()
+        .observe("b", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Dst)
+        .done()
         .build()
         .unwrap()
 }
@@ -96,16 +112,23 @@ fn probe_wandering() -> Property {
     // contrived; we use ARP→IPv4, both within fixed parsers, so the only
     // gap raised is the wandering one).
     PropertyBuilder::new("probe/wandering", "")
-        .observe("a", EventPattern::Arrival).bind("Y", Field::ArpTargetIp).done()
-        .observe("b", EventPattern::Arrival).bind("Y", Field::Ipv4Dst).done()
+        .observe("a", EventPattern::Arrival)
+        .bind("Y", Field::ArpTargetIp)
+        .done()
+        .observe("b", EventPattern::Arrival)
+        .bind("Y", Field::Ipv4Dst)
+        .done()
         .build()
         .unwrap()
 }
 
 fn probe_out_of_band() -> Property {
     PropertyBuilder::new("probe/oob", "")
-        .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
-        .observe("down", EventPattern::OutOfBand(OobPattern::PortDown)).done()
+        .observe("a", EventPattern::Arrival)
+        .bind("A", Field::Ipv4Src)
+        .done()
+        .observe("down", EventPattern::OutOfBand(OobPattern::PortDown))
+        .done()
         .build()
         .unwrap()
 }
@@ -307,27 +330,21 @@ mod tests {
         // symmetric, wandering, oob, provenance.
         // Columns: OF1.3, OpenState, FAST, P4, SNAP, Varanus, Static.
         let expected: [[Cell; 7]; 9] = [
-            [B, Y, Y, Y, Y, Y, Y],  // event history
-            [Y, B, B, Y, Y, Y, Y],  // identification of related events
-            [Y, Y, Y, Y, Y, Y, Y],  // negative match
-            [Y, Y, N, Y, N, Y, Y],  // rule timeouts
-            [N, N, N, N, N, Y, Y],  // timeout actions
-            [B, Y, Y, Y, Y, Y, Y],  // symmetric match
-            [B, N, N, B, B, Y, Y],  // wandering match
-            [B, N, N, N, N, Y, N],  // out-of-band events
-            [B, N, N, N, N, N, N],  // full provenance
+            [B, Y, Y, Y, Y, Y, Y], // event history
+            [Y, B, B, Y, Y, Y, Y], // identification of related events
+            [Y, Y, Y, Y, Y, Y, Y], // negative match
+            [Y, Y, N, Y, N, Y, Y], // rule timeouts
+            [N, N, N, N, N, Y, Y], // timeout actions
+            [B, Y, Y, Y, Y, Y, Y], // symmetric match
+            [B, N, N, B, B, Y, Y], // wandering match
+            [B, N, N, N, N, Y, N], // out-of-band events
+            [B, N, N, N, N, N, N], // full provenance
         ];
         let rows = feature_rows();
         let approaches = approaches::all();
         for (ri, row) in rows.iter().enumerate() {
             for (ci, m) in approaches.iter().enumerate() {
-                assert_eq!(
-                    (row.cell)(m),
-                    expected[ri][ci],
-                    "{} / {}",
-                    row.label,
-                    m.caps.name
-                );
+                assert_eq!((row.cell)(m), expected[ri][ci], "{} / {}", row.label, m.caps.name);
             }
         }
     }
@@ -343,9 +360,6 @@ mod tests {
         let modes: Vec<_> = a.iter().map(|m| m.caps.processing_mode).collect();
         assert_eq!(modes, vec!["Inline", "Inline", "Inline", "", "", "Split", "Split"]);
         let access: Vec<_> = a.iter().map(|m| m.caps.field_access.render()).collect();
-        assert_eq!(
-            access,
-            vec!["Fixed", "Fixed", "Fixed", "Dynamic", "Dynamic", "Fixed", "Fixed"]
-        );
+        assert_eq!(access, vec!["Fixed", "Fixed", "Fixed", "Dynamic", "Dynamic", "Fixed", "Fixed"]);
     }
 }

@@ -9,9 +9,9 @@ use std::hint::black_box;
 use swmon_backends::{openflow13, openstate, p4, static_varanus, varanus};
 use swmon_core::ProvenanceMode;
 use swmon_props::{firewall, port_knocking};
+use swmon_sim::time::Duration;
 use swmon_switch::CostModel;
 use swmon_workloads::trace::firewall_trace;
-use swmon_sim::time::Duration;
 
 fn bench_e3_depth(c: &mut Criterion) {
     let mut g = c.benchmark_group("e3_pipeline_depth");

@@ -52,7 +52,11 @@ fn bench_provenance(c: &mut Criterion) {
             b.iter(|| {
                 let mut m = Monitor::new(
                     firewall::return_not_dropped(),
-                    MonitorConfig { provenance: mode, mode: ProcessingMode::Inline, ..Default::default() },
+                    MonitorConfig {
+                        provenance: mode,
+                        mode: ProcessingMode::Inline,
+                        ..Default::default()
+                    },
                 );
                 for ev in &trace {
                     m.process(black_box(ev));
@@ -76,7 +80,11 @@ fn bench_side_effect_mode(c: &mut Criterion) {
             b.iter(|| {
                 let mut m = Monitor::new(
                     firewall::return_not_dropped(),
-                    MonitorConfig { provenance: ProvenanceMode::Bindings, mode, ..Default::default() },
+                    MonitorConfig {
+                        provenance: ProvenanceMode::Bindings,
+                        mode,
+                        ..Default::default()
+                    },
                 );
                 for ev in &trace {
                     m.process(black_box(ev));

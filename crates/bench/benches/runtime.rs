@@ -1,0 +1,78 @@
+//! Wall-clock benchmarks of the sharded monitor runtime (E13): ingestion
+//! throughput of the single-threaded reference vs. `ShardedRuntime` at
+//! 1/2/4/8 workers on a high-volume interleaved multi-flow workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swmon_core::{Monitor, MonitorConfig, Property};
+use swmon_props::firewall;
+use swmon_runtime::{RuntimeConfig, ShardedRuntime};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::trace::NetEvent;
+use swmon_workloads::trace::multi_flow_trace;
+
+fn workload() -> (Vec<NetEvent>, Instant) {
+    let trace = multi_flow_trace(256, 5_000, 0.4, 0.25, Duration::from_micros(2), 13);
+    let end = trace.last().unwrap().time + Duration::from_secs(120);
+    (trace, end)
+}
+
+fn properties() -> Vec<Property> {
+    vec![
+        firewall::return_not_dropped(),
+        firewall::return_not_dropped_within(Duration::from_secs(60)),
+    ]
+}
+
+fn bench_runtime_scaling(c: &mut Criterion) {
+    let (trace, end) = workload();
+    let props = properties();
+    let mut g = c.benchmark_group("runtime_scaling");
+    g.sample_size(10);
+
+    g.bench_function("reference_1_thread", |b| {
+        b.iter(|| {
+            let mut monitors: Vec<Monitor> =
+                props.iter().map(|p| Monitor::new(p.clone(), MonitorConfig::default())).collect();
+            for ev in &trace {
+                for m in &mut monitors {
+                    m.process(black_box(ev));
+                }
+            }
+            for m in &mut monitors {
+                m.advance_to(end);
+            }
+            monitors.iter().map(|m| m.violations().len()).sum::<usize>()
+        })
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        let rt = ShardedRuntime::new(props.clone(), RuntimeConfig::with_shards(shards)).unwrap();
+        g.bench_function(format!("sharded_{shards}_workers"), |b| {
+            b.iter(|| rt.run(black_box(&trace), end).records.len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_routing_only(c: &mut Criterion) {
+    // Router cost in isolation: how expensive is key extraction + hashing
+    // per event, without any monitor work behind it.
+    let (trace, _) = workload();
+    let props = properties();
+    let rt = ShardedRuntime::new(props, RuntimeConfig::with_shards(4)).unwrap();
+    let mut masks = vec![0u64; 4];
+    c.bench_function("route_5k_events_4_shards", |b| {
+        b.iter(|| {
+            let mut delivered = 0u64;
+            for ev in &trace {
+                rt.router().masks(black_box(ev), &mut masks);
+                delivered += masks.iter().filter(|m| **m != 0).count() as u64;
+            }
+            delivered
+        })
+    });
+}
+
+criterion_group!(benches, bench_runtime_scaling, bench_routing_only);
+criterion_main!(benches);

@@ -31,9 +31,7 @@ fn bench_packet(c: &mut Criterion) {
     let mut g = c.benchmark_group("packet");
     g.bench_function("parse_l4", |b| b.iter(|| black_box(&pkt).parse(Layer::L4).unwrap()));
     g.bench_function("parse_l7", |b| b.iter(|| black_box(&pkt).parse(Layer::L7).unwrap()));
-    g.bench_function("field_extract", |b| {
-        b.iter(|| black_box(&pkt).field(Field::L4Dst))
-    });
+    g.bench_function("field_extract", |b| b.iter(|| black_box(&pkt).field(Field::L4Dst)));
     let headers = pkt.headers().unwrap();
     g.bench_function("emit", |b| b.iter(|| black_box(&headers).emit()));
     g.finish();
@@ -65,10 +63,7 @@ fn bench_flowtable(c: &mut Criterion) {
         b.iter_batched(
             FlowTable::new,
             |mut t| {
-                t.insert(
-                    FlowRule::new(1, MatchSpec::any(), vec![Action::Drop]),
-                    Instant::ZERO,
-                );
+                t.insert(FlowRule::new(1, MatchSpec::any(), vec![Action::Drop]), Instant::ZERO);
                 t
             },
             BatchSize::SmallInput,
@@ -103,9 +98,7 @@ fn bench_registers_and_xfsm(c: &mut Criterion) {
         next_state: 1,
         actions: vec![],
     });
-    g.bench_function("xfsm_lookup_update", |b| {
-        b.iter(|| xfsm.process(black_box(&view)).is_some())
-    });
+    g.bench_function("xfsm_lookup_update", |b| b.iter(|| xfsm.process(black_box(&view)).is_some()));
     g.finish();
 }
 

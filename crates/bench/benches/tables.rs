@@ -12,11 +12,7 @@ fn bench_table1(c: &mut Criterion) {
     let props: Vec<_> = table1::entries().into_iter().map(|e| e.property).collect();
     c.bench_function("e1_feature_derivation_13_properties", |b| {
         b.iter(|| {
-            props
-                .iter()
-                .map(|p| FeatureSet::of(black_box(p)))
-                .filter(|fs| fs.history)
-                .count()
+            props.iter().map(|p| FeatureSet::of(black_box(p))).filter(|fs| fs.history).count()
         })
     });
     c.bench_function("e1_render_table1", |b| b.iter(table1::render));

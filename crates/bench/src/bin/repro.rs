@@ -6,7 +6,7 @@
 //! repro table1 e3  # run a subset
 //! ```
 
-use swmon_bench::experiments::{e10, e11, e12, e3, e4, e5, e6, e7, e8, e9};
+use swmon_bench::experiments::{e10, e11, e12, e13, e3, e4, e5, e6, e7, e8, e9};
 
 fn section(title: &str) {
     println!("\n{}", "=".repeat(78));
@@ -86,5 +86,14 @@ fn main() {
     if want("e12") {
         section("E12 — postcard provenance (extension, paper Sec 3.2)");
         println!("{}", e12::render());
+    }
+
+    if want("e13") {
+        section("E13 — sharded multi-core runtime scaling (extension)");
+        let o = e13::run(256, 20_000, &e13::SHARD_COUNTS);
+        println!("{}", e13::render(&o));
+        if args.iter().any(|a| a == "--json") {
+            println!("{}", e13::to_json(&o));
+        }
     }
 }

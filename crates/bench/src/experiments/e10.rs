@@ -10,13 +10,13 @@
 use crate::TextTable;
 use swmon_backends::{all, Gap};
 use swmon_core::{Property, ProvenanceMode};
+use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
 use swmon_props as props;
 use swmon_props::scenario::{KNOCK_SEQ, PROTECTED_PORT};
-use swmon_switch::CostModel;
-use swmon_workloads::trace::firewall_trace;
 use swmon_sim::time::{Duration, Instant};
 use swmon_sim::{EgressAction, NetEvent, PortNo, TraceBuilder};
-use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+use swmon_switch::CostModel;
+use swmon_workloads::trace::firewall_trace;
 
 /// One (property, approach) outcome.
 #[derive(Debug, Clone)]
@@ -60,11 +60,7 @@ fn knock_trace(knockers: u32) -> Vec<NetEvent> {
             }
         }
         // Buggy gate opens despite fumbles for every 3rd knocker.
-        let action = if i % 3 == 0 {
-            EgressAction::Output(PortNo(1))
-        } else {
-            EgressAction::Drop
-        };
+        let action = if i % 3 == 0 { EgressAction::Output(PortNo(1)) } else { EgressAction::Drop };
         tb.at(t).arrive_depart(PortNo(0), knock(PROTECTED_PORT), action);
         t += Duration::from_millis(1);
     }
@@ -121,10 +117,9 @@ pub fn render(rows: &[Row]) -> String {
     for r in rows {
         let status = match &r.compiled {
             Ok(()) => "compiled".to_string(),
-            Err(gaps) => format!(
-                "✗ {}",
-                gaps.iter().map(|g| g.to_string()).collect::<Vec<_>>().join("; ")
-            ),
+            Err(gaps) => {
+                format!("✗ {}", gaps.iter().map(|g| g.to_string()).collect::<Vec<_>>().join("; "))
+            }
         };
         t.row(vec![
             r.property.clone(),
@@ -149,18 +144,12 @@ mod tests {
     fn capable_backends_agree_on_violations() {
         let rows = run();
         for prop in ["firewall/return-not-dropped", "port-knock/wrong-guess-invalidates"] {
-            let counts: Vec<usize> = rows
-                .iter()
-                .filter(|r| r.property == prop)
-                .filter_map(|r| r.violations)
-                .collect();
+            let counts: Vec<usize> =
+                rows.iter().filter(|r| r.property == prop).filter_map(|r| r.violations).collect();
             assert!(counts.len() >= 2, "{prop}: at least two hosts");
             // Inline backends agree exactly; split backends may differ by
             // state lag, but with millisecond-spaced events they agree too.
-            assert!(
-                counts.windows(2).all(|w| w[0] == w[1]),
-                "{prop}: {counts:?}"
-            );
+            assert!(counts.windows(2).all(|w| w[0] == w[1]), "{prop}: {counts:?}");
             assert!(counts[0] > 0, "{prop} has violations in the workload");
         }
     }

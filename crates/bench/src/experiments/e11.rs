@@ -86,7 +86,8 @@ pub fn run(flows: u32, capacities: &[Option<usize>]) -> Vec<Point> {
 
 /// Render the report.
 pub fn render(points: &[Point]) -> String {
-    let mut t = TextTable::new(&["array cells", "expected", "detected", "detection rate", "evictions"]);
+    let mut t =
+        TextTable::new(&["array cells", "expected", "detected", "detection rate", "evictions"]);
     for p in points {
         t.row(vec![
             p.capacity.map(|c| c.to_string()).unwrap_or_else(|| "unbounded".into()),
@@ -111,8 +112,7 @@ mod tests {
     #[test]
     fn detection_is_monotone_in_capacity_and_reaches_100() {
         let pts = run(256, &[Some(32), Some(128), Some(1024), None]);
-        let rates: Vec<f64> =
-            pts.iter().map(|p| p.detected as f64 / p.expected as f64).collect();
+        let rates: Vec<f64> = pts.iter().map(|p| p.detected as f64 / p.expected as f64).collect();
         assert!(rates.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{rates:?}");
         assert_eq!(pts.last().unwrap().detected, 256, "unbounded detects all");
         assert_eq!(pts.last().unwrap().evicted, 0);

@@ -10,8 +10,8 @@
 use crate::TextTable;
 use swmon_core::{Monitor, MonitorConfig, PostcardCollector, ProvenanceMode};
 use swmon_props::firewall;
-use swmon_workloads::trace::firewall_trace;
 use swmon_sim::time::Duration;
+use swmon_workloads::trace::firewall_trace;
 
 /// The comparison outcome.
 #[derive(Debug, Clone)]

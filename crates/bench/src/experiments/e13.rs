@@ -1,0 +1,164 @@
+//! **E13 (extension) — sharded runtime scaling.** The paper argues
+//! monitoring belongs *on* the switch because an external monitor cannot
+//! keep up with line rate; `swmon-runtime` asks the complementary
+//! question: how far does the reference engine scale *off*-switch when
+//! instances are sharded across cores by instance key?
+//!
+//! The workload interleaves many concurrent firewall flows
+//! ([`swmon_workloads::trace::multi_flow_trace`]), so consecutive events
+//! hash to different shards. Every row is differentially verified: the
+//! sharded run's canonically merged violations must be byte-for-byte
+//! identical to the single-threaded reference.
+
+use crate::TextTable;
+use std::time::Instant as WallInstant;
+use swmon_core::{MonitorConfig, Property};
+use swmon_props::firewall;
+use swmon_runtime::{reference_records, RuntimeConfig, ShardedRuntime};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::trace::NetEvent;
+use swmon_workloads::trace::multi_flow_trace;
+
+/// One shard-count measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Worker thread count (0 = the single-threaded reference loop).
+    pub shards: usize,
+    /// Wall-clock events per second.
+    pub events_per_sec: f64,
+    /// Violations found.
+    pub violations: usize,
+    /// True when the merged output matched the reference byte-for-byte.
+    pub verified: bool,
+}
+
+/// The experiment outcome.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Events in the workload trace.
+    pub events: usize,
+    /// Reference first, then one row per shard count.
+    pub rows: Vec<Row>,
+}
+
+/// Shard counts the experiment sweeps by default.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn workload(flows: u32, packets: u32) -> Vec<NetEvent> {
+    multi_flow_trace(flows, packets, 0.4, 0.25, Duration::from_micros(2), 13)
+}
+
+fn properties() -> Vec<Property> {
+    vec![
+        firewall::return_not_dropped(),
+        firewall::return_not_dropped_within(Duration::from_secs(60)),
+    ]
+}
+
+/// Measure the reference and the sharded runtime over a
+/// `flows`-flow, `packets`-packet workload.
+pub fn run(flows: u32, packets: u32, shard_counts: &[usize]) -> Outcome {
+    let trace = workload(flows, packets);
+    let props = properties();
+    let cfg = MonitorConfig::default();
+    let end = trace.last().map(|e| e.time + Duration::from_secs(120)).unwrap_or(Instant::ZERO);
+
+    let t0 = WallInstant::now();
+    let reference = reference_records(&props, cfg, &trace, end);
+    let ref_secs = t0.elapsed().as_secs_f64();
+    let ref_sigs: Vec<String> = reference.iter().map(swmon_runtime::signature).collect();
+
+    let mut rows = vec![Row {
+        shards: 0,
+        events_per_sec: trace.len() as f64 / ref_secs,
+        violations: reference.len(),
+        verified: true,
+    }];
+
+    for &shards in shard_counts {
+        let rt = ShardedRuntime::new(props.clone(), RuntimeConfig::with_shards(shards))
+            .expect("catalog properties are valid");
+        let t0 = WallInstant::now();
+        let out = rt.run(&trace, end);
+        let secs = t0.elapsed().as_secs_f64();
+        rows.push(Row {
+            shards,
+            events_per_sec: trace.len() as f64 / secs,
+            violations: out.records.len(),
+            verified: out.signatures() == ref_sigs,
+        });
+    }
+
+    Outcome { events: trace.len(), rows }
+}
+
+/// Printable report.
+pub fn render(o: &Outcome) -> String {
+    let mut t = TextTable::new(&["configuration", "events/sec", "violations", "matches reference"]);
+    for r in &o.rows {
+        let name = if r.shards == 0 {
+            "reference (1 thread)".to_string()
+        } else {
+            format!("sharded ({} workers)", r.shards)
+        };
+        t.row(vec![
+            name,
+            format!("{:.0}", r.events_per_sec),
+            r.violations.to_string(),
+            if r.verified { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    format!(
+        "{}\n{} events; merged output is differentially verified against the\nsingle-threaded reference at every shard count.",
+        t.render(),
+        o.events
+    )
+}
+
+/// The outcome as a JSON document (the `BENCH_runtime.json` baseline).
+pub fn to_json(o: &Outcome) -> String {
+    let mut rows = String::new();
+    for (i, r) in o.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"config\": \"{}\", \"shards\": {}, \"events_per_sec\": {:.0}, \"violations\": {}, \"verified\": {}}}",
+            if r.shards == 0 { "reference" } else { "sharded" },
+            r.shards,
+            r.events_per_sec,
+            r.violations,
+            r.verified
+        ));
+    }
+    format!(
+        "{{\n  \"experiment\": \"e13-sharded-runtime\",\n  \"events\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        o.events, rows
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_row_matches_the_reference() {
+        let o = run(32, 400, &[1, 2, 4]);
+        assert_eq!(o.rows.len(), 4);
+        assert!(o.rows.iter().all(|r| r.verified), "{o:?}");
+        assert!(o.rows[0].violations > 0, "workload must produce violations");
+        let v = o.rows[0].violations;
+        assert!(o.rows.iter().all(|r| r.violations == v));
+    }
+
+    #[test]
+    fn render_and_json_mention_every_row() {
+        let o = run(16, 120, &[2]);
+        let txt = render(&o);
+        assert!(txt.contains("reference (1 thread)"));
+        assert!(txt.contains("sharded (2 workers)"));
+        let json = to_json(&o);
+        assert!(json.contains("\"shards\": 2"));
+        assert!(json.contains("\"experiment\": \"e13-sharded-runtime\""));
+    }
+}

@@ -13,9 +13,9 @@ use crate::TextTable;
 use swmon_backends::{p4, static_varanus, varanus, Mechanism};
 use swmon_core::ProvenanceMode;
 use swmon_props::firewall;
+use swmon_sim::time::Duration;
 use swmon_switch::CostModel;
 use swmon_workloads::trace::firewall_trace;
-use swmon_sim::time::Duration;
 
 /// One measurement point.
 #[derive(Debug, Clone)]

@@ -16,9 +16,9 @@ use crate::TextTable;
 use swmon_backends::{p4, static_varanus};
 use swmon_core::ProvenanceMode;
 use swmon_props::firewall;
+use swmon_sim::time::Duration;
 use swmon_switch::CostModel;
 use swmon_workloads::trace::steady_state_trace;
-use swmon_sim::time::Duration;
 
 /// Per-mechanism calibrated costs.
 #[derive(Debug, Clone)]
@@ -77,9 +77,8 @@ pub fn run_measured() -> Vec<MeasuredRow> {
     let prop = firewall::return_not_dropped();
     let mut out = Vec::new();
     for mech in [static_varanus(), p4()] {
-        let mut m = mech
-            .compile(&prop, ProvenanceMode::Bindings, CostModel::default())
-            .expect("compiles");
+        let mut m =
+            mech.compile(&prop, ProvenanceMode::Bindings, CostModel::default()).expect("compiles");
         for ev in &trace {
             m.process(ev);
         }
@@ -106,9 +105,8 @@ pub fn run_steady() -> Vec<MeasuredRow> {
     let prop = firewall::return_not_dropped();
     let mut out = Vec::new();
     for mech in [static_varanus(), p4()] {
-        let mut m = mech
-            .compile(&prop, ProvenanceMode::Bindings, CostModel::default())
-            .expect("compiles");
+        let mut m =
+            mech.compile(&prop, ProvenanceMode::Bindings, CostModel::default()).expect("compiles");
         for ev in &trace {
             m.process(ev);
         }
@@ -125,7 +123,8 @@ pub fn run_steady() -> Vec<MeasuredRow> {
 
 /// Render the full E4 report.
 pub fn render() -> String {
-    let mut t1 = TextTable::new(&["state mechanism", "update cost (ns)", "updates/s", "2.5Mpps line rate?"]);
+    let mut t1 =
+        TextTable::new(&["state mechanism", "update cost (ns)", "updates/s", "2.5Mpps line rate?"]);
     for r in mechanism_rows(&CostModel::default()) {
         t1.row(vec![
             r.mechanism.to_string(),
@@ -134,7 +133,8 @@ pub fn render() -> String {
             if r.line_rate_ok { "yes".into() } else { "NO".into() },
         ]);
     }
-    let mut t2 = TextTable::new(&["approach", "packets", "state updates", "busy (ms, sim)", "implied pps"]);
+    let mut t2 =
+        TextTable::new(&["approach", "packets", "state updates", "busy (ms, sim)", "implied pps"]);
     for r in run_measured() {
         t2.row(vec![
             r.approach.to_string(),
@@ -165,8 +165,7 @@ mod tests {
         assert!(!by_name("flow-mod").line_rate_ok, "the paper's central scaling claim");
         assert!(!by_name("controller").line_rate_ok);
         // Three-plus orders of magnitude between fast and slow paths.
-        let ratio =
-            by_name("flow-mod").updates_per_sec / by_name("register").updates_per_sec;
+        let ratio = by_name("flow-mod").updates_per_sec / by_name("register").updates_per_sec;
         assert!(ratio < 1e-3, "ratio {ratio}");
     }
 
@@ -177,12 +176,7 @@ mod tests {
         let fast = rows.iter().find(|r| r.approach == "POF and P4").unwrap();
         assert_eq!(slow.packets, fast.packets);
         assert!(slow.updates > 0 && fast.updates > 0);
-        assert!(
-            slow.busy_ns > 50 * fast.busy_ns,
-            "slow {} vs fast {}",
-            slow.busy_ns,
-            fast.busy_ns
-        );
+        assert!(slow.busy_ns > 50 * fast.busy_ns, "slow {} vs fast {}", slow.busy_ns, fast.busy_ns);
         assert!(fast.implied_pps >= LINE_RATE_PPS);
         assert!(slow.implied_pps < LINE_RATE_PPS);
     }

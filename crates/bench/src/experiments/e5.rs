@@ -13,11 +13,11 @@
 use crate::TextTable;
 use swmon_backends::{openflow13, p4};
 use swmon_core::ProvenanceMode;
+use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
 use swmon_props::learning_switch;
-use swmon_switch::CostModel;
 use swmon_sim::time::{Duration, Instant};
 use swmon_sim::{EgressAction, NetEvent, PortNo, TraceBuilder};
-use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+use swmon_switch::CostModel;
 
 /// Result for one monitoring placement.
 #[derive(Debug, Clone)]
@@ -92,9 +92,8 @@ pub fn run(hosts: u32, packets: u32) -> Vec<Row> {
     let prop = learning_switch::no_flood_after_learn();
     let mut out = Vec::new();
     for mech in [openflow13(), p4()] {
-        let mut m = mech
-            .compile(&prop, ProvenanceMode::Bindings, CostModel::default())
-            .expect("compiles");
+        let mut m =
+            mech.compile(&prop, ProvenanceMode::Bindings, CostModel::default()).expect("compiles");
         for ev in &trace {
             m.process(ev);
         }

@@ -14,9 +14,9 @@
 use crate::TextTable;
 use swmon_core::{Monitor, MonitorConfig, ProcessingMode, ProvenanceMode};
 use swmon_props::firewall;
+use swmon_sim::time::Duration;
 use swmon_switch::CostModel;
 use swmon_workloads::trace::firewall_trace;
-use swmon_sim::time::Duration;
 
 /// One configuration's outcome at one reply gap.
 #[derive(Debug, Clone)]
@@ -59,7 +59,11 @@ pub fn run(connections: u32, gaps: &[Duration]) -> Vec<Point> {
         ] {
             let mut m = Monitor::new(
                 firewall::return_not_dropped(),
-                MonitorConfig { provenance: ProvenanceMode::Bindings, mode: pmode, ..Default::default() },
+                MonitorConfig {
+                    provenance: ProvenanceMode::Bindings,
+                    mode: pmode,
+                    ..Default::default()
+                },
             );
             for ev in &trace {
                 m.process(ev);

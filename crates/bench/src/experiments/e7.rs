@@ -12,8 +12,8 @@
 use crate::TextTable;
 use swmon_core::{Monitor, MonitorConfig, ProcessingMode, ProvenanceMode};
 use swmon_props::firewall;
-use swmon_workloads::trace::firewall_trace;
 use swmon_sim::time::Duration;
+use swmon_workloads::trace::firewall_trace;
 
 /// Outcome at one provenance level.
 #[derive(Debug, Clone)]
@@ -120,8 +120,12 @@ mod tests {
         // are retained for matching anyway.
         assert_eq!(none.state_bytes, bindings.state_bytes);
         // Full provenance multiplies state (packets retained per instance).
-        assert!(full.state_bytes > 2 * bindings.state_bytes,
-            "full {} vs bindings {}", full.state_bytes, bindings.state_bytes);
+        assert!(
+            full.state_bytes > 2 * bindings.state_bytes,
+            "full {} vs bindings {}",
+            full.state_bytes,
+            bindings.state_bytes
+        );
         // Report content ordering.
         assert!(!none.reports_bindings);
         assert!(bindings.reports_bindings && !bindings.reports_history);

@@ -45,18 +45,18 @@ pub fn request_answered_within(t: Duration, policy: RefreshPolicy) -> Property {
         "every ARP request is answered within T",
     )
     .observe("request", EventPattern::Arrival)
-        .eq(swmon_packet::Field::ArpOp, 1u64)
-        .bind("Y", swmon_packet::Field::ArpTargetIp)
-        .done()
+    .eq(swmon_packet::Field::ArpOp, 1u64)
+    .bind("Y", swmon_packet::Field::ArpTargetIp)
+    .done()
     .deadline("no-reply", t)
-        .unless(
-            EventPattern::Departure(ActionPattern::Forwarded),
-            vec![
-                Atom::EqConst(swmon_packet::Field::ArpOp, 2u64.into()),
-                Atom::Bind(var("Y"), swmon_packet::Field::ArpSenderIp),
-            ],
-        )
-        .done()
+    .unless(
+        EventPattern::Departure(ActionPattern::Forwarded),
+        vec![
+            Atom::EqConst(swmon_packet::Field::ArpOp, 2u64.into()),
+            Atom::Bind(var("Y"), swmon_packet::Field::ArpSenderIp),
+        ],
+    )
+    .done()
     .build()
     .expect("well-formed");
     for stage in &mut p.stages {
@@ -86,8 +86,11 @@ pub fn run(period_fractions: &[f64], requests: u32) -> Vec<Point> {
                     Ipv4Address::new(10, 0, 0, 4),
                     Ipv4Address::new(10, 0, 0, 7),
                 ));
-                tb.at(storm_start + period * u64::from(i))
-                    .arrive_depart(PortNo(2), ask, EgressAction::Drop);
+                tb.at(storm_start + period * u64::from(i)).arrive_depart(
+                    PortNo(2),
+                    ask,
+                    EgressAction::Drop,
+                );
             }
             let storm_end = storm_start + period * u64::from(requests.saturating_sub(1));
             for ev in tb.build() {
@@ -96,11 +99,14 @@ pub fn run(period_fractions: &[f64], requests: u32) -> Vec<Point> {
             m.advance_to(storm_end);
             let detected_during_storm = !m.violations().is_empty();
             m.advance_to(storm_end + T * 10);
-            let detection_ms = m
-                .violations()
-                .first()
-                .map(|v| v.time.duration_since(storm_start).as_millis());
-            out.push(Point { policy: name, period_fraction: frac, detected_during_storm, detection_ms });
+            let detection_ms =
+                m.violations().first().map(|v| v.time.duration_since(storm_start).as_millis());
+            out.push(Point {
+                policy: name,
+                period_fraction: frac,
+                detected_during_storm,
+                detection_ms,
+            });
         }
     }
     out

@@ -125,18 +125,16 @@ pub fn run() -> Vec<Case> {
                 pkt(src, dst),
             );
         }
-        for (fault, expect) in [
-            (LearningSwitchFault::None, false),
-            (LearningSwitchFault::NeverLearns, true),
-        ] {
+        for (fault, expect) in
+            [(LearningSwitchFault::None, false), (LearningSwitchFault::NeverLearns, true)]
+        {
             let p = props::learning_switch::no_flood_after_learn();
             let v = detect(LearningSwitch::new(fault), 4, Layer::L2, &sched, p.clone());
             out.push(case("learning-switch", fault, &p, expect, v));
         }
-        for (fault, expect) in [
-            (LearningSwitchFault::None, false),
-            (LearningSwitchFault::LearnsWrongPort, true),
-        ] {
+        for (fault, expect) in
+            [(LearningSwitchFault::None, false), (LearningSwitchFault::LearnsWrongPort, true)]
+        {
             let p = props::learning_switch::correct_port();
             let v = detect(LearningSwitch::new(fault), 4, Layer::L2, &sched, p.clone());
             out.push(case("learning-switch", fault, &p, expect, v));
@@ -147,10 +145,9 @@ pub fn run() -> Vec<Case> {
             Instant::ZERO + Duration::from_millis(8),
             OobEvent::PortDown(SwitchId(0), PortNo(0)),
         );
-        for (fault, expect) in [
-            (LearningSwitchFault::None, false),
-            (LearningSwitchFault::NoFlushOnLinkDown, true),
-        ] {
+        for (fault, expect) in
+            [(LearningSwitchFault::None, false), (LearningSwitchFault::NoFlushOnLinkDown, true)]
+        {
             let p = props::learning_switch::flush_on_link_down();
             let v = detect(LearningSwitch::new(fault), 4, Layer::L2, &sched_oob, p.clone());
             out.push(case("learning-switch", fault, &p, expect, v));
@@ -249,15 +246,37 @@ pub fn run() -> Vec<Case> {
 
     // ---- ARP proxy ------------------------------------------------------
     {
-        let sched_known = ArpWorkload { rounds: 15, unknown_fraction: 0.0, ..Default::default() }.build();
-        let sched_mixed = ArpWorkload { rounds: 15, unknown_fraction: 0.5, ..Default::default() }.build();
+        let sched_known =
+            ArpWorkload { rounds: 15, unknown_fraction: 0.0, ..Default::default() }.build();
+        let sched_mixed =
+            ArpWorkload { rounds: 15, unknown_fraction: 0.5, ..Default::default() }.build();
         let cases: Vec<(ArpProxyFault, Property, bool, &Schedule)> = vec![
             (ArpProxyFault::None, props::arp_proxy::known_not_forwarded(), false, &sched_known),
-            (ArpProxyFault::ForwardsKnown, props::arp_proxy::known_not_forwarded(), true, &sched_known),
-            (ArpProxyFault::None, props::arp_proxy::unknown_forwarded(REPLY_WAIT), false, &sched_mixed),
-            (ArpProxyFault::SwallowsUnknown, props::arp_proxy::unknown_forwarded(REPLY_WAIT), true, &sched_mixed),
+            (
+                ArpProxyFault::ForwardsKnown,
+                props::arp_proxy::known_not_forwarded(),
+                true,
+                &sched_known,
+            ),
+            (
+                ArpProxyFault::None,
+                props::arp_proxy::unknown_forwarded(REPLY_WAIT),
+                false,
+                &sched_mixed,
+            ),
+            (
+                ArpProxyFault::SwallowsUnknown,
+                props::arp_proxy::unknown_forwarded(REPLY_WAIT),
+                true,
+                &sched_mixed,
+            ),
             (ArpProxyFault::None, props::arp_proxy::reply_within(REPLY_WAIT), false, &sched_known),
-            (ArpProxyFault::NeverReplies, props::arp_proxy::reply_within(REPLY_WAIT), true, &sched_known),
+            (
+                ArpProxyFault::NeverReplies,
+                props::arp_proxy::reply_within(REPLY_WAIT),
+                true,
+                &sched_known,
+            ),
         ];
         for (fault, p, expect, sched) in cases {
             let v = detect(ArpProxy::new(false, fault), 4, Layer::L7, sched, p.clone());
@@ -267,8 +286,8 @@ pub fn run() -> Vec<Case> {
 
     // ---- DHCP server -----------------------------------------------------
     {
-        let sched =
-            DhcpWorkload { clients: 8, release_prob: 0.0, ..Default::default() }.build(PortNo(0), DHCP_SERVER_1);
+        let sched = DhcpWorkload { clients: 8, release_prob: 0.0, ..Default::default() }
+            .build(PortNo(0), DHCP_SERVER_1);
         let pool = swmon_packet::Ipv4Address::new(10, 0, 0, 100);
         for (fault, expect) in [(DhcpServerFault::None, false), (DhcpServerFault::Silent, true)] {
             let p = props::dhcp::reply_within(REPLY_WAIT);
@@ -367,7 +386,14 @@ pub fn run() -> Vec<Case> {
         for (fault, expect) in [(LbFault::None, false), (LbFault::HashesWrongFields, true)] {
             let p = props::load_balancer::new_flow_hashed_port();
             let v = detect(
-                LoadBalancer::new(LB_VIP, LB_CLIENT_PORT, LB_BASE_PORT, LB_BACKENDS, LbPolicy::Hash, fault),
+                LoadBalancer::new(
+                    LB_VIP,
+                    LB_CLIENT_PORT,
+                    LB_BASE_PORT,
+                    LB_BACKENDS,
+                    LbPolicy::Hash,
+                    fault,
+                ),
                 ports,
                 Layer::L4,
                 &sched,
@@ -378,7 +404,14 @@ pub fn run() -> Vec<Case> {
         for (fault, expect) in [(LbFault::None, false), (LbFault::SkipsBackends, true)] {
             let p = props::load_balancer::new_flow_round_robin();
             let v = detect(
-                LoadBalancer::new(LB_VIP, LB_CLIENT_PORT, LB_BASE_PORT, LB_BACKENDS, LbPolicy::RoundRobin, fault),
+                LoadBalancer::new(
+                    LB_VIP,
+                    LB_CLIENT_PORT,
+                    LB_BASE_PORT,
+                    LB_BACKENDS,
+                    LbPolicy::RoundRobin,
+                    fault,
+                ),
                 ports,
                 Layer::L4,
                 &sched,
@@ -423,7 +456,14 @@ pub fn run() -> Vec<Case> {
             sched_v.packet(Instant::ZERO + Duration::from_millis(5), ret_port, ret.clone());
             let p = props::load_balancer::stable_assignment();
             let v = detect(
-                LoadBalancer::new(LB_VIP, LB_CLIENT_PORT, LB_BASE_PORT, LB_BACKENDS, LbPolicy::RoundRobin, fault),
+                LoadBalancer::new(
+                    LB_VIP,
+                    LB_CLIENT_PORT,
+                    LB_BASE_PORT,
+                    LB_BACKENDS,
+                    LbPolicy::RoundRobin,
+                    fault,
+                ),
                 ports,
                 Layer::L4,
                 &sched_v,
@@ -467,11 +507,10 @@ pub fn run() -> Vec<Case> {
 
     // ---- FTP (the endpoints are the system under test) ---------------------
     {
-        for (frac, label, expect) in
-            [(0.0, "CorrectServer", false), (1.0, "WrongDataPort", true)]
-        {
-            let sched = FtpWorkload { sessions: 10, wrong_port_fraction: frac, ..Default::default() }
-                .build(PortNo(0), PortNo(1));
+        for (frac, label, expect) in [(0.0, "CorrectServer", false), (1.0, "WrongDataPort", true)] {
+            let sched =
+                FtpWorkload { sessions: 10, wrong_port_fraction: frac, ..Default::default() }
+                    .build(PortNo(0), PortNo(1));
             let p = props::ftp::data_port_matches_control();
             let v = detect(Wire, 2, Layer::L7, &sched, p.clone());
             out.push(case("ftp", label, &p, expect, v));
@@ -483,7 +522,8 @@ pub fn run() -> Vec<Case> {
 
 /// Render the matrix.
 pub fn render(cases: &[Case]) -> String {
-    let mut t = TextTable::new(&["scenario", "variant", "property", "violations", "expected", "ok"]);
+    let mut t =
+        TextTable::new(&["scenario", "variant", "property", "violations", "expected", "ok"]);
     for c in cases {
         t.row(vec![
             c.scenario.to_string(),

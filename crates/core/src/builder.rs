@@ -27,7 +27,9 @@
 
 use crate::guard::{Atom, Guard};
 use crate::pattern::EventPattern;
-use crate::property::{Property, PropertyError, RefreshPolicy, Stage, StageKind, Unless, WindowSpec};
+use crate::property::{
+    Property, PropertyError, RefreshPolicy, Stage, StageKind, Unless, WindowSpec,
+};
 use crate::var::var;
 use swmon_packet::{Field, FieldValue};
 use swmon_sim::time::Duration;
@@ -42,25 +44,23 @@ pub struct PropertyBuilder {
 impl PropertyBuilder {
     /// Start a property with a name and the prose statement being checked.
     pub fn new(name: &str, statement: &str) -> Self {
-        PropertyBuilder { name: name.to_string(), statement: statement.to_string(), stages: Vec::new() }
+        PropertyBuilder {
+            name: name.to_string(),
+            statement: statement.to_string(),
+            stages: Vec::new(),
+        }
     }
 
     /// Begin a match observation stage.
     pub fn observe(self, name: &str, pattern: EventPattern) -> StageBuilder {
-        StageBuilder {
-            prop: self,
-            stage: Stage::match_(name, pattern, Guard::any()),
-        }
+        StageBuilder { prop: self, stage: Stage::match_(name, pattern, Guard::any()) }
     }
 
     /// Begin a deadline (negative observation) stage: the violation advances
     /// when `window` elapses. Defaults to [`RefreshPolicy::NoRefresh`] —
     /// the sound choice per Sec 2.3.
     pub fn deadline(self, name: &str, window: Duration) -> StageBuilder {
-        StageBuilder {
-            prop: self,
-            stage: Stage::deadline(name, window, RefreshPolicy::NoRefresh),
-        }
+        StageBuilder { prop: self, stage: Stage::deadline(name, window, RefreshPolicy::NoRefresh) }
     }
 
     /// Finish, validating the structure.
@@ -168,15 +168,15 @@ mod tests {
     fn builds_firewall_property() {
         let p = PropertyBuilder::new("fw", "returns admitted")
             .observe("out", EventPattern::Arrival)
-                .bind("A", Field::Ipv4Src)
-                .bind("B", Field::Ipv4Dst)
-                .done()
+            .bind("A", Field::Ipv4Src)
+            .bind("B", Field::Ipv4Dst)
+            .done()
             .observe("ret-drop", EventPattern::Departure(ActionPattern::Drop))
-                .bind("B", Field::Ipv4Src)
-                .bind("A", Field::Ipv4Dst)
-                .within(Duration::from_secs(10))
-                .refresh_on_repeat()
-                .done()
+            .bind("B", Field::Ipv4Src)
+            .bind("A", Field::Ipv4Dst)
+            .within(Duration::from_secs(10))
+            .refresh_on_repeat()
+            .done()
             .build()
             .unwrap();
         assert_eq!(p.stages.len(), 2);
@@ -188,14 +188,14 @@ mod tests {
     fn builds_deadline_with_unless() {
         let p = PropertyBuilder::new("arp", "requests answered")
             .observe("req", EventPattern::Arrival)
-                .bind("T", Field::ArpTargetIp)
-                .done()
+            .bind("T", Field::ArpTargetIp)
+            .done()
             .deadline("no-reply", Duration::from_secs(1))
-                .unless(
-                    EventPattern::Departure(ActionPattern::Forwarded),
-                    vec![Atom::Bind(var("T"), Field::ArpSenderIp)],
-                )
-                .done()
+            .unless(
+                EventPattern::Departure(ActionPattern::Forwarded),
+                vec![Atom::Bind(var("T"), Field::ArpSenderIp)],
+            )
+            .done()
             .build()
             .unwrap();
         assert!(matches!(p.stages[1].kind, StageKind::Deadline { .. }));
@@ -205,8 +205,12 @@ mod tests {
     #[test]
     fn deadline_refresh_flag() {
         let p = PropertyBuilder::new("x", "")
-            .observe("a", EventPattern::Arrival).bind("A", Field::Ipv4Src).done()
-            .deadline("d", Duration::from_secs(1)).refresh_on_repeat().done()
+            .observe("a", EventPattern::Arrival)
+            .bind("A", Field::Ipv4Src)
+            .done()
+            .deadline("d", Duration::from_secs(1))
+            .refresh_on_repeat()
+            .done()
             .build()
             .unwrap();
         assert!(matches!(
@@ -229,7 +233,8 @@ mod tests {
     #[should_panic(expected = "deadline stages have no guard")]
     fn atoms_on_deadline_panic() {
         let _ = PropertyBuilder::new("bad", "")
-            .observe("a", EventPattern::Arrival).done()
+            .observe("a", EventPattern::Arrival)
+            .done()
             .deadline("d", Duration::from_secs(1))
             .bind("A", Field::Ipv4Src);
     }
@@ -238,11 +243,11 @@ mod tests {
     fn bound_window() {
         let p = PropertyBuilder::new("lease", "")
             .observe("ack", EventPattern::Arrival)
-                .bind("L", Field::DhcpLeaseSecs)
-                .done()
+            .bind("L", Field::DhcpLeaseSecs)
+            .done()
             .observe("reuse", EventPattern::Arrival)
-                .within_bound_secs("L")
-                .done()
+            .within_bound_secs("L")
+            .done()
             .build()
             .unwrap();
         assert_eq!(p.stages[1].within, Some(WindowSpec::BoundSecs(var("L"))));

@@ -757,7 +757,9 @@ pub fn to_dsl(p: &Property) -> String {
                 if let Some(w) = &stage.within {
                     match w {
                         WindowSpec::Fixed(d) => out.push_str(&format!(" within {d}")),
-                        WindowSpec::BoundSecs(v) => out.push_str(&format!(" within bound ?{}", v.0)),
+                        WindowSpec::BoundSecs(v) => {
+                            out.push_str(&format!(" within bound ?{}", v.0))
+                        }
                     }
                     if stage.within_refresh == RefreshPolicy::RefreshOnRepeat {
                         out.push_str(" refresh");
@@ -817,10 +819,7 @@ end
         assert_eq!(g.atoms.len(), 3);
         assert_eq!(g.atoms[0], Atom::EqConst(Field::InPort, FieldValue::Uint(0)));
         assert_eq!(g.atoms[1], Atom::Bind(var("A"), Field::Ipv4Src));
-        assert_eq!(
-            p.stages[1].within,
-            Some(WindowSpec::Fixed(Duration::from_secs(30)))
-        );
+        assert_eq!(p.stages[1].within, Some(WindowSpec::Fixed(Duration::from_secs(30))));
         assert_eq!(p.stages[1].within_refresh, RefreshPolicy::RefreshOnRepeat);
         assert_eq!(p.stages[1].unless.len(), 1);
         // `field == ?X` parses as unification (same as bind).
@@ -987,8 +986,11 @@ end
         // parse_property refuses multi-property input.
         assert!(parse_property(src).is_err());
         // And empty input is an error.
-        assert!(parse_properties("# nothing here
-").is_err());
+        assert!(parse_properties(
+            "# nothing here
+"
+        )
+        .is_err());
     }
 
     #[test]

@@ -175,7 +175,12 @@ enum Effect {
         stage_id: Option<PacketId>,
         event: Option<NetEvent>,
     },
-    Kill { idx: usize, uid: u64, expected_stage: usize, reason: KillReason },
+    Kill {
+        idx: usize,
+        uid: u64,
+        expected_stage: usize,
+        reason: KillReason,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -263,7 +268,10 @@ impl Monitor {
             .flatten()
             .map(|i| {
                 i.bindings.approx_bytes()
-                    + i.history.iter().map(|e| e.packet().map(|p| p.len()).unwrap_or(8)).sum::<usize>()
+                    + i.history
+                        .iter()
+                        .map(|e| e.packet().map(|p| p.len()).unwrap_or(8))
+                        .sum::<usize>()
                     + i.stage_ids.len() * 9
             })
             .sum()
@@ -274,12 +282,8 @@ impl Monitor {
     pub fn advance_to(&mut self, t: Instant) {
         // Interleave matured split-effects and timers in time order.
         loop {
-            let next_effect = self
-                .pending
-                .iter()
-                .map(|(ready, _)| *ready)
-                .min()
-                .filter(|&r| r <= t);
+            let next_effect =
+                self.pending.iter().map(|(ready, _)| *ready).min().filter(|&r| r <= t);
             let next_timer = self.timers.next_deadline().filter(|&d| d <= t);
             match (next_effect, next_timer) {
                 (None, None) => break,
@@ -360,8 +364,7 @@ impl Monitor {
             let stage = &self.property.stages[inst.awaiting];
             // Clearings first.
             let cleared = stage.unless.iter().any(|u| {
-                u.pattern.matches(ev)
-                    && u.guard.eval(ev, &inst.bindings, &inst.stage_ids).is_some()
+                u.pattern.matches(ev) && u.guard.eval(ev, &inst.bindings, &inst.stage_ids).is_some()
             });
             if cleared {
                 effects.push(Effect::Kill {
@@ -440,9 +443,11 @@ impl Monitor {
                 self.spawn(obs_time, bindings, stage_id, history);
             }
             Effect::Advance { obs_time, idx, uid, expected_stage, bindings, stage_id, event } => {
-                let valid = self.slots.get(idx).and_then(Option::as_ref).is_some_and(|i| {
-                    i.uid == uid && i.awaiting == expected_stage
-                });
+                let valid = self
+                    .slots
+                    .get(idx)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|i| i.uid == uid && i.awaiting == expected_stage);
                 if !valid {
                     self.stats.stale_effects_dropped += 1;
                     return;
@@ -464,9 +469,11 @@ impl Monitor {
                 self.advance_instance_unindexed(idx, stage_id, obs_time);
             }
             Effect::Kill { idx, uid, expected_stage, reason } => {
-                let valid = self.slots.get(idx).and_then(Option::as_ref).is_some_and(|i| {
-                    i.uid == uid && i.awaiting == expected_stage
-                });
+                let valid = self
+                    .slots
+                    .get(idx)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|i| i.uid == uid && i.awaiting == expected_stage);
                 if !valid {
                     self.stats.stale_effects_dropped += 1;
                     return;
@@ -918,10 +925,7 @@ mod tests {
         // the FIN itself would re-establish the connection it closes.
         let mut p = fw_basic();
         if let StageKind::Match { guard, .. } = &mut p.stages[0].kind {
-            guard.atoms.push(Atom::NeqConst(
-                Field::TcpFlags,
-                u64::from(TcpFlags::FIN.0).into(),
-            ));
+            guard.atoms.push(Atom::NeqConst(Field::TcpFlags, u64::from(TcpFlags::FIN.0).into()));
         }
         p.stages[1].unless = vec![
             Unless {
@@ -1108,7 +1112,11 @@ mod tests {
         ] {
             let mut m = Monitor::new(
                 fw_basic(),
-                MonitorConfig { provenance: mode, mode: ProcessingMode::Inline, ..Default::default() },
+                MonitorConfig {
+                    provenance: mode,
+                    mode: ProcessingMode::Inline,
+                    ..Default::default()
+                },
             );
             m.process(&arrival(at(0), 1, 2, 0));
             m.process(&dropped(at(1), 2, 1, 1));
@@ -1124,8 +1132,14 @@ mod tests {
     #[test]
     fn full_provenance_costs_memory() {
         let mk = |mode| {
-            let mut m =
-                Monitor::new(fw_basic(), MonitorConfig { provenance: mode, mode: ProcessingMode::Inline, ..Default::default() });
+            let mut m = Monitor::new(
+                fw_basic(),
+                MonitorConfig {
+                    provenance: mode,
+                    mode: ProcessingMode::Inline,
+                    ..Default::default()
+                },
+            );
             for i in 0..50 {
                 m.process(&arrival(at(i), (i % 20) as u8, 99, i));
             }

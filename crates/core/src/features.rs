@@ -374,16 +374,8 @@ mod tests {
             statement: String::new(),
             stages: vec![
                 stage_bind("a", "A", Field::EthSrc),
-                Stage::match_(
-                    "down",
-                    EventPattern::OutOfBand(OobPattern::PortDown),
-                    Guard::any(),
-                ),
-                Stage::match_(
-                    "drop",
-                    EventPattern::Departure(ActionPattern::Drop),
-                    Guard::any(),
-                ),
+                Stage::match_("down", EventPattern::OutOfBand(OobPattern::PortDown), Guard::any()),
+                Stage::match_("drop", EventPattern::Departure(ActionPattern::Drop), Guard::any()),
             ],
         };
         let fs = FeatureSet::of(&p);

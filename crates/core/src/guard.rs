@@ -77,9 +77,7 @@ impl Atom {
     /// The parser depth needed to evaluate this atom.
     pub fn required_depth(&self) -> Layer {
         match self {
-            Atom::AnyOf(subs) => {
-                subs.iter().map(Atom::required_depth).max().unwrap_or(Layer::L2)
-            }
+            Atom::AnyOf(subs) => subs.iter().map(Atom::required_depth).max().unwrap_or(Layer::L2),
             Atom::HashedPortMismatch { fields, .. } => {
                 fields.iter().map(|f| f.layer()).max().unwrap_or(Layer::L2)
             }
@@ -174,9 +172,7 @@ impl Guard {
                 }
                 Atom::HashedPortMismatch { fields, modulus, base } => {
                     let out = ev.field(Field::OutPort)?.as_uint()?;
-                    let h = swmon_packet::field::values_hash(
-                        fields.iter().map(|&f| ev.field(f)),
-                    );
+                    let h = swmon_packet::field::values_hash(fields.iter().map(|&f| ev.field(f)));
                     let expect = *base + (h % (*modulus).max(1));
                     if out == expect {
                         return None;

@@ -31,6 +31,7 @@ pub mod monitorset;
 pub mod pattern;
 pub mod postcard;
 pub mod property;
+pub mod routing;
 pub mod var;
 pub mod violation;
 
@@ -43,5 +44,25 @@ pub use monitorset::MonitorSet;
 pub use pattern::{ActionPattern, EventPattern, OobPattern};
 pub use postcard::{Postcard, PostcardCollector};
 pub use property::{Property, PropertyError, RefreshPolicy, Stage, StageKind, Unless};
+pub use routing::{PinReason, Route, RouteMode, RoutingPlan};
 pub use var::{var, Bindings, Var};
 pub use violation::{ProvenanceMode, Violation};
+
+/// Compile-time thread-safety audit. A multi-core runtime moves monitors
+/// into worker threads and events/violations across channels; these checks
+/// make any regression (say, an `Rc` slipping into an event type) a build
+/// error here rather than a trait-bound error three crates away.
+const fn assert_send_sync<T: Send + Sync>() {}
+const fn assert_send<T: Send>() {}
+const _: () = {
+    assert_send_sync::<swmon_sim::trace::NetEvent>();
+    assert_send_sync::<Violation>();
+    assert_send_sync::<Bindings>();
+    assert_send_sync::<Property>();
+    assert_send_sync::<RoutingPlan>();
+    assert_send_sync::<FeatureSet>();
+    assert_send_sync::<MonitorConfig>();
+    // Monitors are owned by exactly one worker at a time: Send suffices.
+    assert_send::<Monitor>();
+    assert_send::<MonitorSet>();
+};

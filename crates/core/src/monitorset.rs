@@ -84,10 +84,7 @@ impl MonitorSet {
 
     /// Violation count per property name.
     pub fn counts(&self) -> Vec<(&str, usize)> {
-        self.monitors
-            .iter()
-            .map(|m| (m.property().name.as_str(), m.violations().len()))
-            .collect()
+        self.monitors.iter().map(|m| (m.property().name.as_str(), m.violations().len())).collect()
     }
 
     /// Total live instances across the set.
@@ -119,14 +116,14 @@ mod tests {
     fn fw() -> Property {
         PropertyBuilder::new("fw", "")
             .observe("out", EventPattern::Arrival)
-                .eq(Field::InPort, 0u64)
-                .bind("A", Field::Ipv4Src)
-                .bind("B", Field::Ipv4Dst)
-                .done()
+            .eq(Field::InPort, 0u64)
+            .bind("A", Field::Ipv4Src)
+            .bind("B", Field::Ipv4Dst)
+            .done()
             .observe("drop", EventPattern::Departure(ActionPattern::Drop))
-                .bind("B", Field::Ipv4Src)
-                .bind("A", Field::Ipv4Dst)
-                .done()
+            .bind("B", Field::Ipv4Src)
+            .bind("A", Field::Ipv4Dst)
+            .done()
             .build()
             .unwrap()
     }
@@ -134,7 +131,7 @@ mod tests {
     fn floods() -> Property {
         PropertyBuilder::new("no-floods", "")
             .observe("flooded", EventPattern::Departure(ActionPattern::Flood))
-                .done()
+            .done()
             .build()
             .unwrap()
     }
@@ -176,9 +173,7 @@ mod tests {
     fn whole_catalog_runs_as_one_sink() {
         // All thirteen Table 1 properties over a quiet trace: no panics,
         // no violations, bounded state.
-        let mut set = MonitorSet::from_properties(
-            swmon_props_catalog(),
-        );
+        let mut set = MonitorSet::from_properties(swmon_props_catalog());
         let mut tb = TraceBuilder::new();
         for i in 0..50u8 {
             let p = PacketBuilder::tcp(

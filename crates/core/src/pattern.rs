@@ -72,7 +72,9 @@ impl OobPattern {
             OobPattern::Any => true,
             OobPattern::PortDown => matches!(ev, OobEvent::PortDown(..)),
             OobPattern::PortUp => matches!(ev, OobEvent::PortUp(..)),
-            OobPattern::ControllerTag(t) => matches!(ev, OobEvent::ControllerMsg(_, tag) if tag == t),
+            OobPattern::ControllerTag(t) => {
+                matches!(ev, OobEvent::ControllerMsg(_, tag) if tag == t)
+            }
         }
     }
 }
@@ -178,7 +180,9 @@ mod tests {
         };
         assert!(EventPattern::Arrival.matches(&arr));
         assert!(!EventPattern::Departure(ActionPattern::Any).matches(&arr));
-        assert!(EventPattern::Departure(ActionPattern::Drop).matches(&departure(EgressAction::Drop)));
+        assert!(
+            EventPattern::Departure(ActionPattern::Drop).matches(&departure(EgressAction::Drop))
+        );
         assert!(!EventPattern::Arrival.matches(&departure(EgressAction::Drop)));
 
         let down = NetEvent {

@@ -60,9 +60,7 @@ impl Postcard {
     /// True if any digested value equals any of the violation's bound
     /// values — the reconstruction join condition.
     pub fn mentions_any(&self, bindings: &Bindings) -> bool {
-        self.fields
-            .iter()
-            .any(|(_, v)| bindings.iter().any(|(_, bound)| bound == v))
+        self.fields.iter().any(|(_, v)| bindings.iter().any(|(_, bound)| bound == v))
     }
 }
 
@@ -175,8 +173,11 @@ mod tests {
                 TcpFlags::SYN,
                 &[],
             );
-            tb.advance(swmon_sim::Duration::from_micros(10))
-                .arrive_depart(PortNo(0), p, EgressAction::Output(PortNo(1)));
+            tb.advance(swmon_sim::Duration::from_micros(10)).arrive_depart(
+                PortNo(0),
+                p,
+                EgressAction::Output(PortNo(1)),
+            );
         }
         tb.build()
     }
@@ -190,10 +191,7 @@ mod tests {
         assert!(pc.wire_bytes() < 80, "{} bytes", pc.wire_bytes());
         assert_eq!(pc.action, None, "arrival has no action");
         let dep = &trace(1)[1];
-        assert_eq!(
-            PostcardCollector::digest(dep).action,
-            Some(EgressAction::Output(PortNo(1)))
-        );
+        assert_eq!(PostcardCollector::digest(dep).action, Some(EgressAction::Output(PortNo(1))));
     }
 
     #[test]
@@ -221,9 +219,7 @@ mod tests {
             property: "fw".into(),
             time: tr.last().unwrap().time,
             trigger_stage: "x".into(),
-            bindings: Some(
-                Bindings::new().bind(var("A"), a7.into()),
-            ),
+            bindings: Some(Bindings::new().bind(var("A"), a7.into())),
             history: vec![],
         };
         let hits = c.reconstruct(&v, Duration::from_secs(10));

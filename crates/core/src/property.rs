@@ -213,10 +213,7 @@ impl Property {
             if matches!(stage.kind, StageKind::Deadline { .. }) && stage.within.is_some() {
                 return Err(PropertyError::DeadlineWithWindow(i));
             }
-            let guards = stage
-                .guard()
-                .into_iter()
-                .chain(stage.unless.iter().map(|u| &u.guard));
+            let guards = stage.guard().into_iter().chain(stage.unless.iter().map(|u| &u.guard));
             for guard in guards {
                 for atom in &guard.atoms {
                     if let crate::guard::Atom::SamePacket(r) = atom {
@@ -286,11 +283,7 @@ mod tests {
         let p = Property {
             name: "x".into(),
             statement: String::new(),
-            stages: vec![Stage::deadline(
-                "d",
-                Duration::from_secs(1),
-                RefreshPolicy::NoRefresh,
-            )],
+            stages: vec![Stage::deadline("d", Duration::from_secs(1), RefreshPolicy::NoRefresh)],
         };
         assert_eq!(p.validate(), Err(PropertyError::FirstStageNotMatch));
     }

@@ -1,0 +1,471 @@
+//! Instance-key routing analysis — how a property's events may be sharded.
+//!
+//! A multi-core runtime can only split a property's event stream across
+//! workers if every event that can possibly touch one instance lands on the
+//! same worker. This module derives, per property, a [`RoutingPlan`] that
+//! is *provably* consistent with the reference engine's semantics:
+//!
+//! * **Hash-exact** — some set of stage-0 binder variables is re-bound by
+//!   *every* later match/clearing guard against the *same* field. Any event
+//!   that can spawn, advance, clear, or refresh an instance therefore
+//!   carries the instance's key values at fixed field positions, and
+//!   hashing those positions routes all of an instance's events together.
+//! * **Hash-symmetric** — later guards re-bind the key variables against
+//!   the *mirror* fields (src↔dst), the paper's symmetric instance
+//!   identification. The key is canonicalized (the hash of the extracted
+//!   tuple and of its mirror-permuted form, whichever is smaller) so a
+//!   request and its reply produce the same shard key even though their
+//!   headers are swapped.
+//! * **Pinned** — anything else (wandering identification, `Guard::any()`
+//!   clearings, out-of-band observations, guards that reference a key
+//!   variable only negatively). All events go to one worker, preserving
+//!   reference semantics trivially.
+//!
+//! Key extraction failure is also meaningful: if an event lacks a key
+//! field, it cannot satisfy any guard of the property (every guard binds
+//! every key variable, and [`crate::guard::Atom::Bind`] fails on a missing
+//! field), so the router may skip delivering it — see [`Route::Skip`].
+//!
+//! Only *top-level* `Bind` atoms count as binders: bindings made inside an
+//! `AnyOf` disjunct are discarded by guard evaluation, so they do not pin
+//! the event's field to the instance's value.
+
+use crate::features::mirror_field;
+use crate::guard::Guard;
+use crate::property::{Property, StageKind};
+use crate::var::Var;
+use std::collections::BTreeMap;
+use swmon_packet::field::values_hash;
+use swmon_packet::Field;
+use swmon_sim::trace::NetEvent;
+
+/// Why a property must be pinned to a single worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinReason {
+    /// No stage-0 binder variable is re-bound by every later guard (this
+    /// covers `Guard::any()` clearings, out-of-band stages — whose events
+    /// carry no fields — and negative-only key references).
+    NoStableKey,
+    /// A guard re-binds some key variables at their original fields and
+    /// others at mirrors; neither orientation covers the whole key.
+    MixedOrientation,
+    /// A key variable's field mirrors to a field that no other key
+    /// variable occupies, so the canonical (order-independent) form of the
+    /// key cannot be computed from a single event.
+    UnpairedMirror,
+}
+
+impl std::fmt::Display for PinReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinReason::NoStableKey => write!(f, "no binder is stable across all guards"),
+            PinReason::MixedOrientation => {
+                write!(f, "a guard mixes original and mirrored key fields")
+            }
+            PinReason::UnpairedMirror => write!(f, "a mirrored key field has no partner"),
+        }
+    }
+}
+
+/// How events of one property map to shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteMode {
+    /// Hash the values at `fields` (one per key variable, in canonical
+    /// variable order).
+    HashExact {
+        /// Extraction positions, ordered by key variable name.
+        fields: Vec<Field>,
+    },
+    /// Hash the canonical form of the values at `fields`: the smaller of
+    /// the tuple's hash and its mirror-permuted tuple's hash.
+    HashSymmetric {
+        /// Extraction positions, ordered by key variable name.
+        fields: Vec<Field>,
+        /// `perm[i]` is the index whose field is the mirror of
+        /// `fields[i]` (self for unmirrored fields).
+        perm: Vec<usize>,
+    },
+    /// Every event goes to the property's single assigned worker.
+    Pinned(PinReason),
+}
+
+/// Where the router should send one event for one property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Deliver to shard `key % num_shards`.
+    Hash(u64),
+    /// Deliver to the property's pinned shard.
+    Pinned,
+    /// The event lacks a key field, so no guard of this property can match
+    /// it: it needs no delivery at all.
+    Skip,
+}
+
+/// The derived routing discipline for one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingPlan {
+    mode: RouteMode,
+}
+
+/// Pull the key values out of an event, failing on any missing field.
+fn extract(ev: &NetEvent, fields: &[Field]) -> Option<Vec<swmon_packet::FieldValue>> {
+    fields.iter().map(|&f| ev.field(f)).collect()
+}
+
+impl RoutingPlan {
+    /// Analyse `property` and derive its routing plan.
+    pub fn of(property: &Property) -> RoutingPlan {
+        RoutingPlan { mode: Self::derive(property) }
+    }
+
+    /// The derived mode.
+    pub fn mode(&self) -> &RouteMode {
+        &self.mode
+    }
+
+    /// True if events of this property can be spread across shards.
+    pub fn is_hashed(&self) -> bool {
+        !matches!(self.mode, RouteMode::Pinned(_))
+    }
+
+    /// Route one event under this plan.
+    pub fn route(&self, ev: &NetEvent) -> Route {
+        match &self.mode {
+            RouteMode::Pinned(_) => Route::Pinned,
+            RouteMode::HashExact { fields } => match extract(ev, fields) {
+                Some(vals) => Route::Hash(values_hash(vals.into_iter().map(Some))),
+                None => Route::Skip,
+            },
+            RouteMode::HashSymmetric { fields, perm } => match extract(ev, fields) {
+                Some(vals) => {
+                    let straight = values_hash(vals.iter().map(|v| Some(*v)));
+                    let mirrored = values_hash(perm.iter().map(|&j| Some(vals[j])));
+                    Route::Hash(straight.min(mirrored))
+                }
+                None => Route::Skip,
+            },
+        }
+    }
+
+    fn derive(property: &Property) -> RouteMode {
+        // Stage-0 binders, dropping any variable bound at two different
+        // fields (its extraction position would be ambiguous). BTreeMap
+        // gives a canonical variable order.
+        let Some(first) = property.stages.first() else {
+            return RouteMode::Pinned(PinReason::NoStableKey);
+        };
+        let Some(spawn_guard) = first.guard() else {
+            return RouteMode::Pinned(PinReason::NoStableKey);
+        };
+        let mut f0: BTreeMap<&Var, Option<Field>> = BTreeMap::new();
+        for (v, f) in spawn_guard.binders() {
+            match f0.get(v) {
+                None => {
+                    f0.insert(v, Some(f));
+                }
+                Some(Some(prev)) if *prev != f => {
+                    f0.insert(v, None); // ambiguous: disqualify
+                }
+                Some(_) => {}
+            }
+        }
+        let f0: BTreeMap<&Var, Field> =
+            f0.into_iter().filter_map(|(v, f)| f.map(|f| (v, f))).collect();
+
+        // Guards an awaiting instance can be matched against: later stages'
+        // match guards and their clearings. Stage 0's own `unless` list is
+        // dead code (instances never *await* stage 0) and is ignored.
+        let mut guards: Vec<&Guard> = Vec::new();
+        for stage in &property.stages[1..] {
+            if let StageKind::Match { guard, .. } = &stage.kind {
+                guards.push(guard);
+            }
+            for u in &stage.unless {
+                guards.push(&u.guard);
+            }
+        }
+
+        let binds = |g: &Guard, v: &Var, f: Field| g.binders().any(|(gv, gf)| gv == v && gf == f);
+
+        // Exact: variables every guard re-binds at the stage-0 field.
+        let exact: Vec<(&Var, Field)> = f0
+            .iter()
+            .filter(|(v, f)| guards.iter().all(|g| binds(g, v, **f)))
+            .map(|(v, f)| (*v, *f))
+            .collect();
+        if !exact.is_empty() {
+            return RouteMode::HashExact { fields: exact.into_iter().map(|(_, f)| f).collect() };
+        }
+
+        // Symmetric: variables every guard re-binds at the stage-0 field or
+        // its mirror.
+        let morf = |f: Field| mirror_field(f).unwrap_or(f);
+        let cand: Vec<(&Var, Field)> = f0
+            .iter()
+            .filter(|(v, f)| guards.iter().all(|g| binds(g, v, **f) || binds(g, v, morf(**f))))
+            .map(|(v, f)| (*v, *f))
+            .collect();
+        if cand.is_empty() {
+            return RouteMode::Pinned(PinReason::NoStableKey);
+        }
+        let fields: Vec<Field> = cand.iter().map(|(_, f)| *f).collect();
+        // Distinct extraction positions, or the mirror permutation below
+        // would be ill-defined.
+        let mut uniq = fields.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        if uniq.len() != fields.len() {
+            return RouteMode::Pinned(PinReason::NoStableKey);
+        }
+        // Each guard must use one orientation for the *whole* key: all
+        // original fields, or all mirrored. A mixed guard would make the
+        // canonical form unsound.
+        for g in &guards {
+            let all_orig = cand.iter().all(|(v, f)| binds(g, v, *f));
+            let all_mirr = cand.iter().all(|(v, f)| binds(g, v, morf(*f)));
+            if !all_orig && !all_mirr {
+                return RouteMode::Pinned(PinReason::MixedOrientation);
+            }
+        }
+        // Mirror pairing: the mirrored tuple must be a permutation of the
+        // extracted tuple, so both forms are computable from one event.
+        let mut perm = Vec::with_capacity(fields.len());
+        for &f in &fields {
+            match mirror_field(f) {
+                None => perm.push(perm.len()),
+                Some(mf) => match fields.iter().position(|&other| other == mf) {
+                    Some(j) => perm.push(j),
+                    None => return RouteMode::Pinned(PinReason::UnpairedMirror),
+                },
+            }
+        }
+        RouteMode::HashSymmetric { fields, perm }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::Atom;
+    use crate::pattern::{ActionPattern, EventPattern};
+    use crate::property::{RefreshPolicy, Stage, Unless};
+    use crate::var::var;
+    use std::sync::Arc;
+    use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::time::{Duration, Instant};
+    use swmon_sim::trace::{NetEventKind, PacketId, PortNo, SwitchId};
+
+    fn prop(stages: Vec<Stage>) -> Property {
+        Property { name: "p".into(), statement: String::new(), stages }
+    }
+
+    fn bind_stage(name: &str, binds: &[(&str, Field)]) -> Stage {
+        Stage::match_(
+            name,
+            EventPattern::Arrival,
+            Guard::new(binds.iter().map(|(v, f)| Atom::Bind(var(v), *f)).collect()),
+        )
+    }
+
+    fn tcp_event(src: u8, dst: u8, sport: u16, dport: u16) -> NetEvent {
+        let pkt = Arc::new(PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, dst),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, dst),
+            sport,
+            dport,
+            TcpFlags::SYN,
+            &[],
+        ));
+        NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::Arrival {
+                switch: SwitchId(0),
+                port: PortNo(1),
+                pkt,
+                id: PacketId(0),
+            },
+        }
+    }
+
+    #[test]
+    fn exact_property_hashes_fixed_fields() {
+        let p = prop(vec![
+            bind_stage("a", &[("A", Field::Ipv4Src), ("B", Field::Ipv4Dst)]),
+            bind_stage("b", &[("A", Field::Ipv4Src), ("B", Field::Ipv4Dst)]),
+        ]);
+        let plan = RoutingPlan::of(&p);
+        assert!(plan.is_hashed());
+        assert_eq!(
+            plan.mode(),
+            &RouteMode::HashExact { fields: vec![Field::Ipv4Src, Field::Ipv4Dst] }
+        );
+        // Same flow → same key; different flow → (overwhelmingly) different.
+        let k1 = plan.route(&tcp_event(1, 2, 10, 20));
+        let k2 = plan.route(&tcp_event(1, 2, 99, 99));
+        let k3 = plan.route(&tcp_event(3, 4, 10, 20));
+        assert_eq!(k1, k2);
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn symmetric_property_canonicalizes_direction() {
+        let p = prop(vec![
+            bind_stage("req", &[("A", Field::Ipv4Src), ("B", Field::Ipv4Dst)]),
+            bind_stage("rep", &[("B", Field::Ipv4Src), ("A", Field::Ipv4Dst)]),
+        ]);
+        let plan = RoutingPlan::of(&p);
+        assert!(matches!(plan.mode(), RouteMode::HashSymmetric { .. }));
+        let fwd = plan.route(&tcp_event(1, 2, 10, 20));
+        let rev = plan.route(&tcp_event(2, 1, 10, 20));
+        assert!(matches!(fwd, Route::Hash(_)));
+        assert_eq!(fwd, rev, "request and reply must share a shard key");
+        assert_ne!(fwd, plan.route(&tcp_event(1, 3, 10, 20)));
+    }
+
+    #[test]
+    fn four_tuple_symmetric_key_pairs_l3_and_l4() {
+        let p = prop(vec![
+            bind_stage(
+                "req",
+                &[
+                    ("A", Field::Ipv4Src),
+                    ("B", Field::Ipv4Dst),
+                    ("P", Field::L4Src),
+                    ("Q", Field::L4Dst),
+                ],
+            ),
+            bind_stage(
+                "rep",
+                &[
+                    ("B", Field::Ipv4Src),
+                    ("A", Field::Ipv4Dst),
+                    ("Q", Field::L4Src),
+                    ("P", Field::L4Dst),
+                ],
+            ),
+        ]);
+        let plan = RoutingPlan::of(&p);
+        assert!(matches!(plan.mode(), RouteMode::HashSymmetric { .. }));
+        assert_eq!(plan.route(&tcp_event(1, 2, 10, 20)), plan.route(&tcp_event(2, 1, 20, 10)));
+        assert_ne!(
+            plan.route(&tcp_event(1, 2, 10, 20)),
+            plan.route(&tcp_event(2, 1, 10, 20)),
+            "swapping only L3 is a different bidirectional flow"
+        );
+    }
+
+    #[test]
+    fn single_var_symmetric_is_pinned() {
+        // A is bound at Src, matched at Dst: from one event the router
+        // cannot tell which endpoint is the instance key.
+        let p = prop(vec![
+            bind_stage("a", &[("A", Field::Ipv4Src)]),
+            bind_stage("b", &[("A", Field::Ipv4Dst)]),
+        ]);
+        assert_eq!(RoutingPlan::of(&p).mode(), &RouteMode::Pinned(PinReason::UnpairedMirror));
+    }
+
+    #[test]
+    fn any_guard_clearing_pins() {
+        let mut d = Stage::deadline("d", Duration::from_secs(1), RefreshPolicy::NoRefresh);
+        d.unless = vec![Unless {
+            pattern: EventPattern::Departure(ActionPattern::Forwarded),
+            guard: Guard::any(),
+        }];
+        let p = prop(vec![bind_stage("a", &[("A", Field::Ipv4Src)]), d]);
+        assert_eq!(RoutingPlan::of(&p).mode(), &RouteMode::Pinned(PinReason::NoStableKey));
+    }
+
+    #[test]
+    fn wandering_property_is_pinned() {
+        let p = prop(vec![
+            bind_stage("a", &[("L", Field::DhcpYiaddr)]),
+            bind_stage("b", &[("L", Field::ArpTargetIp)]),
+        ]);
+        assert_eq!(RoutingPlan::of(&p).mode(), &RouteMode::Pinned(PinReason::NoStableKey));
+    }
+
+    #[test]
+    fn negative_only_reference_pins() {
+        let p = prop(vec![
+            bind_stage("a", &[("A", Field::Ipv4Src)]),
+            Stage::match_(
+                "b",
+                EventPattern::Arrival,
+                Guard::new(vec![Atom::NeqVar(Field::Ipv4Src, var("A"))]),
+            ),
+        ]);
+        assert_eq!(RoutingPlan::of(&p).mode(), &RouteMode::Pinned(PinReason::NoStableKey));
+    }
+
+    #[test]
+    fn mixed_orientation_pins() {
+        // B wanders to an unrelated field, but A stays put: the key simply
+        // shrinks to A.
+        let p = prop(vec![
+            bind_stage("a", &[("A", Field::Ipv4Src), ("B", Field::Ipv4Dst)]),
+            bind_stage("b", &[("A", Field::Ipv4Src), ("B", Field::L4Src)]),
+        ]);
+        assert_eq!(
+            RoutingPlan::of(&p).mode(),
+            &RouteMode::HashExact { fields: vec![Field::Ipv4Src] }
+        );
+        // Stage 1 fully mirrors the pair, but stage 2 mirrors only A while
+        // keeping B: no single orientation covers stage 2's key use, and no
+        // variable is exact-stable across both stages.
+        let q = prop(vec![
+            bind_stage("a", &[("A", Field::Ipv4Src), ("B", Field::Ipv4Dst)]),
+            bind_stage("b", &[("A", Field::Ipv4Dst), ("B", Field::Ipv4Src)]),
+            bind_stage("c", &[("A", Field::Ipv4Dst), ("B", Field::Ipv4Dst)]),
+        ]);
+        assert_eq!(RoutingPlan::of(&q).mode(), &RouteMode::Pinned(PinReason::MixedOrientation));
+    }
+
+    #[test]
+    fn missing_key_field_skips() {
+        // Key over DHCP fields; a plain TCP packet cannot match any guard.
+        let p = prop(vec![
+            bind_stage("a", &[("X", Field::DhcpXid)]),
+            bind_stage("b", &[("X", Field::DhcpXid)]),
+        ]);
+        let plan = RoutingPlan::of(&p);
+        assert!(plan.is_hashed());
+        assert_eq!(plan.route(&tcp_event(1, 2, 10, 20)), Route::Skip);
+    }
+
+    #[test]
+    fn anyof_binds_do_not_count() {
+        // The only stage-1 reference to A lives inside a disjunction, whose
+        // bindings are discarded: not a stable key.
+        let p = prop(vec![
+            bind_stage("a", &[("A", Field::Ipv4Src)]),
+            Stage::match_(
+                "b",
+                EventPattern::Arrival,
+                Guard::new(vec![Atom::AnyOf(vec![
+                    Atom::Bind(var("A"), Field::Ipv4Src),
+                    Atom::EqConst(Field::L4Dst, 80u16.into()),
+                ])]),
+            ),
+        ]);
+        assert_eq!(RoutingPlan::of(&p).mode(), &RouteMode::Pinned(PinReason::NoStableKey));
+    }
+
+    #[test]
+    fn pin_reasons_display() {
+        for r in [PinReason::NoStableKey, PinReason::MixedOrientation, PinReason::UnpairedMirror] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn single_stage_property_uses_spawn_binders() {
+        let p = prop(vec![bind_stage("only", &[("A", Field::Ipv4Src)])]);
+        assert_eq!(
+            RoutingPlan::of(&p).mode(),
+            &RouteMode::HashExact { fields: vec![Field::Ipv4Src] }
+        );
+    }
+}

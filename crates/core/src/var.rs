@@ -130,12 +130,10 @@ mod tests {
 
     #[test]
     fn environments_are_canonical() {
-        let e1 = Bindings::new()
-            .bind(var("B"), FieldValue::Uint(2))
-            .bind(var("A"), FieldValue::Uint(1));
-        let e2 = Bindings::new()
-            .bind(var("A"), FieldValue::Uint(1))
-            .bind(var("B"), FieldValue::Uint(2));
+        let e1 =
+            Bindings::new().bind(var("B"), FieldValue::Uint(2)).bind(var("A"), FieldValue::Uint(1));
+        let e2 =
+            Bindings::new().bind(var("A"), FieldValue::Uint(1)).bind(var("B"), FieldValue::Uint(2));
         assert_eq!(e1, e2, "insertion order is irrelevant");
         assert_eq!(e1.to_string(), "{?A=1, ?B=2}");
     }

@@ -44,7 +44,10 @@ impl Violation {
     pub fn summary(&self) -> String {
         match &self.bindings {
             Some(b) if !b.is_empty() => {
-                format!("[{}] {} violated at {} ({})", self.property, self.trigger_stage, self.time, b)
+                format!(
+                    "[{}] {} violated at {} ({})",
+                    self.property, self.trigger_stage, self.time, b
+                )
             }
             _ => format!("[{}] {} violated at {}", self.property, self.trigger_stage, self.time),
         }
@@ -53,8 +56,7 @@ impl Violation {
     /// Approximate bytes of provenance this violation carries.
     pub fn provenance_bytes(&self) -> usize {
         let b = self.bindings.as_ref().map(Bindings::approx_bytes).unwrap_or(0);
-        let h: usize =
-            self.history.iter().map(|e| e.packet().map(|p| p.len()).unwrap_or(8)).sum();
+        let h: usize = self.history.iter().map(|e| e.packet().map(|p| p.len()).unwrap_or(8)).sum();
         b + h
     }
 }
@@ -99,7 +101,12 @@ mod tests {
         ));
         let ev = NetEvent {
             time: Instant::ZERO,
-            kind: NetEventKind::Arrival { switch: SwitchId(0), port: PortNo(0), pkt, id: PacketId(0) },
+            kind: NetEventKind::Arrival {
+                switch: SwitchId(0),
+                port: PortNo(0),
+                pkt,
+                id: PacketId(0),
+            },
         };
         let empty = Violation {
             property: "p".into(),

@@ -25,9 +25,9 @@ const FIELDS: [Field; 4] = [Field::Ipv4Src, Field::Ipv4Dst, Field::L4Src, Field:
 
 #[derive(Debug, Clone)]
 enum GenAtom {
-    Bind(u8, usize),     // var index, field index
-    EqConst(usize, u8),  // field index, small value
-    NeqVar(usize, u8),   // field index, var index
+    Bind(u8, usize),    // var index, field index
+    EqConst(usize, u8), // field index, small value
+    NeqVar(usize, u8),  // field index, var index
 }
 
 fn gen_atom() -> impl Strategy<Value = GenAtom> {
@@ -74,9 +74,7 @@ fn atoms_to_guard(atoms: &[GenAtom]) -> Guard {
             .iter()
             .map(|a| match a {
                 GenAtom::Bind(v, f) => Atom::Bind(var(&format!("v{v}")), FIELDS[*f]),
-                GenAtom::EqConst(f, c) => {
-                    Atom::EqConst(FIELDS[*f], const_value(FIELDS[*f], *c))
-                }
+                GenAtom::EqConst(f, c) => Atom::EqConst(FIELDS[*f], const_value(FIELDS[*f], *c)),
                 GenAtom::NeqVar(f, v) => Atom::NeqVar(FIELDS[*f], var(&format!("v{v}"))),
             })
             .collect(),
@@ -104,10 +102,7 @@ fn build_property(stages: &[GenStage]) -> Property {
             };
             let mut st = Stage::match_(&format!("s{i}"), pattern, atoms_to_guard(&gs.atoms));
             if let Some(u) = &gs.unless {
-                st.unless.push(Unless {
-                    pattern: EventPattern::Arrival,
-                    guard: atoms_to_guard(u),
-                });
+                st.unless.push(Unless { pattern: EventPattern::Arrival, guard: atoms_to_guard(u) });
             }
             st
         })
@@ -126,8 +121,12 @@ struct GenEvent {
 
 fn gen_trace() -> impl Strategy<Value = Vec<GenEvent>> {
     proptest::collection::vec(
-        (1u8..4, 1u8..4, 1u8..4, 1u8..4)
-            .prop_map(|(src, dst, sport, dport)| GenEvent { src, dst, sport, dport }),
+        (1u8..4, 1u8..4, 1u8..4, 1u8..4).prop_map(|(src, dst, sport, dport)| GenEvent {
+            src,
+            dst,
+            sport,
+            dport,
+        }),
         1..40,
     )
 }
@@ -145,8 +144,11 @@ fn render(events: &[GenEvent]) -> Vec<NetEvent> {
             TcpFlags::ACK,
             &[],
         );
-        tb.advance(Duration::from_micros(1))
-            .arrive_depart(PortNo(0), pkt, EgressAction::Output(PortNo(1)));
+        tb.advance(Duration::from_micros(1)).arrive_depart(
+            PortNo(0),
+            pkt,
+            EgressAction::Output(PortNo(1)),
+        );
     }
     tb.build()
 }

@@ -10,14 +10,14 @@ use swmon_sim::{Duration, EgressAction, Instant, NetEvent, PortNo, SwitchId, Tra
 fn fw() -> Property {
     PropertyBuilder::new("fw", "")
         .observe("out", EventPattern::Arrival)
-            .eq(Field::InPort, 0u64) // outbound only: replies must not spawn
-            .bind("A", Field::Ipv4Src)
-            .bind("B", Field::Ipv4Dst)
-            .done()
+        .eq(Field::InPort, 0u64) // outbound only: replies must not spawn
+        .bind("A", Field::Ipv4Src)
+        .bind("B", Field::Ipv4Dst)
+        .done()
         .observe("ret-drop", EventPattern::Departure(ActionPattern::Drop))
-            .bind("B", Field::Ipv4Src)
-            .bind("A", Field::Ipv4Dst)
-            .done()
+        .bind("B", Field::Ipv4Src)
+        .bind("A", Field::Ipv4Dst)
+        .done()
         .build()
         .unwrap()
 }
@@ -198,7 +198,7 @@ fn capacity_one_keeps_only_the_latest() {
     let mut tb = TraceBuilder::new();
     pair_events(&mut tb, 1, false);
     pair_events(&mut tb, 2, false); // evicts pair 1
-    // Pair 1's reply drops: missed. Pair 2's: detected.
+                                    // Pair 1's reply drops: missed. Pair 2's: detected.
     let a1 = Ipv4Address::from_u32(0x0a00_0003);
     let a2 = Ipv4Address::from_u32(0x0a00_0004);
     let b = Ipv4Address::new(192, 0, 2, 1);

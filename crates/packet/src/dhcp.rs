@@ -252,7 +252,16 @@ impl DhcpMessage {
         }
         let msg_type =
             msg_type.ok_or(ParseError::BadField { proto: "dhcp", field: "msg-type-missing" })?;
-        Ok(DhcpMessage { msg_type, xid, chaddr, yiaddr, ciaddr, requested_ip, lease_secs, server_id })
+        Ok(DhcpMessage {
+            msg_type,
+            xid,
+            chaddr,
+            yiaddr,
+            ciaddr,
+            requested_ip,
+            lease_secs,
+            server_id,
+        })
     }
 
     /// Append the wire encoding to `out`.
@@ -331,8 +340,12 @@ mod tests {
             Ipv4Address::new(10, 0, 0, 50),
             Ipv4Address::new(10, 0, 0, 1),
         );
-        let rel =
-            DhcpMessage::release(9, mac(), Ipv4Address::new(10, 0, 0, 50), Ipv4Address::new(10, 0, 0, 1));
+        let rel = DhcpMessage::release(
+            9,
+            mac(),
+            Ipv4Address::new(10, 0, 0, 50),
+            Ipv4Address::new(10, 0, 0, 1),
+        );
         for m in [req, rel] {
             let mut buf = Vec::new();
             m.emit(&mut buf);
@@ -398,8 +411,14 @@ mod tests {
     #[test]
     fn server_vs_client_op_byte() {
         let mut buf = Vec::new();
-        DhcpMessage::offer(1, mac(), Ipv4Address::new(10, 0, 0, 2), Ipv4Address::new(10, 0, 0, 1), 60)
-            .emit(&mut buf);
+        DhcpMessage::offer(
+            1,
+            mac(),
+            Ipv4Address::new(10, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, 1),
+            60,
+        )
+        .emit(&mut buf);
         assert_eq!(buf[0], 2);
         buf.clear();
         DhcpMessage::discover(1, mac()).emit(&mut buf);

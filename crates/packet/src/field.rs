@@ -113,8 +113,8 @@ impl Field {
         use Field::*;
         match self {
             InPort | OutPort | EthSrc | EthDst | EthType => Layer::L2,
-            ArpOp | ArpSenderMac | ArpSenderIp | ArpTargetMac | ArpTargetIp | Ipv4Src
-            | Ipv4Dst | IpProto | Ttl => Layer::L3,
+            ArpOp | ArpSenderMac | ArpSenderIp | ArpTargetMac | ArpTargetIp | Ipv4Src | Ipv4Dst
+            | IpProto | Ttl => Layer::L3,
             L4Src | L4Dst | TcpFlags | IcmpType => Layer::L4,
             DhcpMsgType | DhcpXid | DhcpChaddr | DhcpYiaddr | DhcpCiaddr | DhcpRequestedIp
             | DhcpLeaseSecs | DhcpServerId | FtpDataAddr | FtpDataPort => Layer::L7,
@@ -132,10 +132,34 @@ impl Field {
     pub fn all() -> &'static [Field] {
         use Field::*;
         &[
-            InPort, OutPort, EthSrc, EthDst, EthType, ArpOp, ArpSenderMac, ArpSenderIp, ArpTargetMac,
-            ArpTargetIp, Ipv4Src, Ipv4Dst, IpProto, Ttl, L4Src, L4Dst, TcpFlags, IcmpType,
-            DhcpMsgType, DhcpXid, DhcpChaddr, DhcpYiaddr, DhcpCiaddr, DhcpRequestedIp,
-            DhcpLeaseSecs, DhcpServerId, FtpDataAddr, FtpDataPort,
+            InPort,
+            OutPort,
+            EthSrc,
+            EthDst,
+            EthType,
+            ArpOp,
+            ArpSenderMac,
+            ArpSenderIp,
+            ArpTargetMac,
+            ArpTargetIp,
+            Ipv4Src,
+            Ipv4Dst,
+            IpProto,
+            Ttl,
+            L4Src,
+            L4Dst,
+            TcpFlags,
+            IcmpType,
+            DhcpMsgType,
+            DhcpXid,
+            DhcpChaddr,
+            DhcpYiaddr,
+            DhcpCiaddr,
+            DhcpRequestedIp,
+            DhcpLeaseSecs,
+            DhcpServerId,
+            FtpDataAddr,
+            FtpDataPort,
         ]
     }
 }

@@ -98,13 +98,26 @@ impl FtpControl {
         match self {
             FtpControl::Port { addr, port } => {
                 let o = addr.octets();
-                format!("PORT {},{},{},{},{},{}\r\n", o[0], o[1], o[2], o[3], port >> 8, port & 0xff)
+                format!(
+                    "PORT {},{},{},{},{},{}\r\n",
+                    o[0],
+                    o[1],
+                    o[2],
+                    o[3],
+                    port >> 8,
+                    port & 0xff
+                )
             }
             FtpControl::PassiveReply { addr, port } => {
                 let o = addr.octets();
                 format!(
                     "227 Entering Passive Mode ({},{},{},{},{},{})\r\n",
-                    o[0], o[1], o[2], o[3], port >> 8, port & 0xff
+                    o[0],
+                    o[1],
+                    o[2],
+                    o[3],
+                    port >> 8,
+                    port & 0xff
                 )
             }
             FtpControl::TransferStart { command } => format!("{command}\r\n"),
@@ -153,7 +166,9 @@ mod tests {
 
     #[test]
     fn malformed_port_rejected() {
-        for bad in ["PORT 1,2,3,4,5", "PORT 1,2,3,4,5,6,7", "PORT 1,2,3,4,5,999", "PORT x,2,3,4,5,6"] {
+        for bad in
+            ["PORT 1,2,3,4,5", "PORT 1,2,3,4,5,6,7", "PORT 1,2,3,4,5,999", "PORT x,2,3,4,5,6"]
+        {
             assert_eq!(
                 FtpControl::parse_line(bad).unwrap_err(),
                 ParseError::BadSyntax { proto: "ftp" },

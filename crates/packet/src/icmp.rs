@@ -125,7 +125,10 @@ mod tests {
         let mut buf = Vec::new();
         IcmpMessage::echo_request(1, 1).emit(b"x", &mut buf);
         buf[5] ^= 1;
-        assert_eq!(IcmpMessage::parse(&buf).unwrap_err(), ParseError::BadChecksum { proto: "icmp" });
+        assert_eq!(
+            IcmpMessage::parse(&buf).unwrap_err(),
+            ParseError::BadChecksum { proto: "icmp" }
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl Ipv4Header {
         }
         let total_len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
         if total_len < ihl || total_len > buf.len() {
-            return Err(ParseError::BadLength { proto: "ipv4", field: "total_len", value: total_len });
+            return Err(ParseError::BadLength {
+                proto: "ipv4",
+                field: "total_len",
+                value: total_len,
+            });
         }
         let flags_frag = u16::from_be_bytes([buf[6], buf[7]]);
         let header = Ipv4Header {
@@ -196,10 +200,7 @@ mod tests {
         let mut buf = Vec::new();
         sample().emit(0, &mut buf);
         buf[0] = 0x44; // IHL 4 -> 16 bytes, below the legal minimum
-        assert!(matches!(
-            Ipv4Header::parse(&buf),
-            Err(ParseError::BadLength { field: "ihl", .. })
-        ));
+        assert!(matches!(Ipv4Header::parse(&buf), Err(ParseError::BadLength { field: "ihl", .. })));
     }
 
     #[test]

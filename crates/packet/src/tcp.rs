@@ -129,7 +129,11 @@ impl TcpHeader {
         check_len("tcp", buf, MIN_HEADER_LEN)?;
         let data_off = usize::from(buf[12] >> 4) * 4;
         if data_off < MIN_HEADER_LEN {
-            return Err(ParseError::BadLength { proto: "tcp", field: "data_offset", value: data_off });
+            return Err(ParseError::BadLength {
+                proto: "tcp",
+                field: "data_offset",
+                value: data_off,
+            });
         }
         check_len("tcp", buf, data_off)?;
         if checksum::pseudo_header_checksum(src, dst, IpProto::Tcp, buf) != 0 {

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 use swmon_packet::{
     arp::ArpOp, ArpPacket, DhcpMessage, EtherType, EthernetFrame, FtpControl, IcmpMessage,
-    Ipv4Address, Ipv4Header, Layer, MacAddr, Packet, PacketBuilder, TcpFlags, TcpHeader,
-    UdpHeader,
+    Ipv4Address, Ipv4Header, Layer, MacAddr, Packet, PacketBuilder, TcpFlags, TcpHeader, UdpHeader,
 };
 
 fn mac() -> impl Strategy<Value = MacAddr> {

@@ -22,13 +22,13 @@ pub fn known_not_forwarded() -> Property {
         "requests for known addresses are answered locally, not forwarded",
     )
     .observe("learn-from-reply", EventPattern::Arrival)
-        .eq(Field::ArpOp, OP_REPLY)
-        .bind("Y", Field::ArpSenderIp)
-        .done()
+    .eq(Field::ArpOp, OP_REPLY)
+    .bind("Y", Field::ArpSenderIp)
+    .done()
     .observe("request-forwarded", EventPattern::Departure(ActionPattern::Forwarded))
-        .eq(Field::ArpOp, OP_REQUEST)
-        .bind("Y", Field::ArpTargetIp)
-        .done()
+    .eq(Field::ArpOp, OP_REQUEST)
+    .bind("Y", Field::ArpTargetIp)
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -43,24 +43,21 @@ pub fn unknown_forwarded(t: Duration) -> Property {
         "requests for unknown addresses are forwarded within T",
     )
     .observe("request", EventPattern::Arrival)
-        .eq(Field::ArpOp, OP_REQUEST)
-        .bind("Y", Field::ArpTargetIp)
-        .done()
+    .eq(Field::ArpOp, OP_REQUEST)
+    .bind("Y", Field::ArpTargetIp)
+    .done()
     .deadline("neither-forwarded-nor-answered", t)
-        // Cleared if the request itself is forwarded...
-        .unless(
-            EventPattern::Departure(ActionPattern::Forwarded),
-            vec![Atom::SamePacket(0)],
-        )
-        // ...or if the proxy answers it from its cache.
-        .unless(
-            EventPattern::Departure(ActionPattern::Forwarded),
-            vec![
-                Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
-                Atom::Bind(var("Y"), Field::ArpSenderIp),
-            ],
-        )
-        .done()
+    // Cleared if the request itself is forwarded...
+    .unless(EventPattern::Departure(ActionPattern::Forwarded), vec![Atom::SamePacket(0)])
+    // ...or if the proxy answers it from its cache.
+    .unless(
+        EventPattern::Departure(ActionPattern::Forwarded),
+        vec![
+            Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
+            Atom::Bind(var("Y"), Field::ArpSenderIp),
+        ],
+    )
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -75,22 +72,22 @@ pub fn reply_within(t: Duration) -> Property {
         "requests for known addresses are answered within T seconds",
     )
     .observe("learn-from-reply", EventPattern::Arrival)
-        .eq(Field::ArpOp, OP_REPLY)
-        .bind("Y", Field::ArpSenderIp)
-        .done()
+    .eq(Field::ArpOp, OP_REPLY)
+    .bind("Y", Field::ArpSenderIp)
+    .done()
     .observe("request", EventPattern::Arrival)
-        .eq(Field::ArpOp, OP_REQUEST)
-        .bind("Y", Field::ArpTargetIp)
-        .done()
+    .eq(Field::ArpOp, OP_REQUEST)
+    .bind("Y", Field::ArpTargetIp)
+    .done()
     .deadline("no-reply-within-T", t)
-        .unless(
-            EventPattern::Departure(ActionPattern::Forwarded),
-            vec![
-                Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
-                Atom::Bind(var("Y"), Field::ArpSenderIp),
-            ],
-        )
-        .done()
+    .unless(
+        EventPattern::Departure(ActionPattern::Forwarded),
+        vec![
+            Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
+            Atom::Bind(var("Y"), Field::ArpSenderIp),
+        ],
+    )
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -205,10 +202,7 @@ mod tests {
         }
         m.advance_to(Instant::ZERO + Duration::from_secs(10));
         assert_eq!(m.violations().len(), 1);
-        assert_eq!(
-            m.violations()[0].time,
-            Instant::ZERO + Duration::from_millis(10) + REPLY_WAIT
-        );
+        assert_eq!(m.violations()[0].time, Instant::ZERO + Duration::from_millis(10) + REPLY_WAIT);
     }
 
     #[test]

@@ -33,24 +33,24 @@ pub fn reply_within(t: Duration) -> Property {
         "lease requests are answered (ACK or NAK) within T seconds",
     )
     .observe("request", EventPattern::Arrival)
-        .eq(Field::DhcpMsgType, msg::REQUEST)
-        .bind("H", Field::EthSrc)
-        .bind("X", Field::DhcpXid)
-        .done()
+    .eq(Field::DhcpMsgType, msg::REQUEST)
+    .bind("H", Field::EthSrc)
+    .bind("X", Field::DhcpXid)
+    .done()
     .deadline("no-reply-within-T", t)
-        .refresh_on_repeat()
-        .unless(
-            EventPattern::Departure(ActionPattern::Forwarded),
-            vec![
-                Atom::AnyOf(vec![
-                    Atom::EqConst(Field::DhcpMsgType, msg::ACK.into()),
-                    Atom::EqConst(Field::DhcpMsgType, msg::NAK.into()),
-                ]),
-                Atom::Bind(var("H"), Field::EthDst),
-                Atom::Bind(var("X"), Field::DhcpXid),
-            ],
-        )
-        .done()
+    .refresh_on_repeat()
+    .unless(
+        EventPattern::Departure(ActionPattern::Forwarded),
+        vec![
+            Atom::AnyOf(vec![
+                Atom::EqConst(Field::DhcpMsgType, msg::ACK.into()),
+                Atom::EqConst(Field::DhcpMsgType, msg::NAK.into()),
+            ]),
+            Atom::Bind(var("H"), Field::EthDst),
+            Atom::Bind(var("X"), Field::DhcpXid),
+        ],
+    )
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -65,31 +65,31 @@ pub fn no_reuse_before_expiry() -> Property {
         "a leased address is not re-assigned during its lease unless released",
     )
     .observe("request", EventPattern::Arrival)
-        .eq(Field::DhcpMsgType, msg::REQUEST)
-        .bind("H", Field::EthSrc)
-        .bind("C", Field::DhcpChaddr)
-        .done()
+    .eq(Field::DhcpMsgType, msg::REQUEST)
+    .bind("H", Field::EthSrc)
+    .bind("C", Field::DhcpChaddr)
+    .done()
     .observe("lease-granted", EventPattern::Departure(ActionPattern::Forwarded))
-        .eq(Field::DhcpMsgType, msg::ACK)
-        .bind("H", Field::EthDst)
-        .bind("C", Field::DhcpChaddr)
-        .bind("Y", Field::DhcpYiaddr)
-        .bind("L", Field::DhcpLeaseSecs)
-        .done()
+    .eq(Field::DhcpMsgType, msg::ACK)
+    .bind("H", Field::EthDst)
+    .bind("C", Field::DhcpChaddr)
+    .bind("Y", Field::DhcpYiaddr)
+    .bind("L", Field::DhcpLeaseSecs)
+    .done()
     .observe("reassigned-early", EventPattern::Departure(ActionPattern::Forwarded))
-        .eq(Field::DhcpMsgType, msg::ACK)
-        .bind("Y", Field::DhcpYiaddr)
-        .neq_var(Field::DhcpChaddr, "C")
-        .within_bound_secs("L")
-        .unless(
-            EventPattern::Arrival,
-            vec![
-                Atom::EqConst(Field::DhcpMsgType, msg::RELEASE.into()),
-                Atom::Bind(var("Y"), Field::DhcpCiaddr),
-                Atom::Bind(var("C"), Field::DhcpChaddr),
-            ],
-        )
-        .done()
+    .eq(Field::DhcpMsgType, msg::ACK)
+    .bind("Y", Field::DhcpYiaddr)
+    .neq_var(Field::DhcpChaddr, "C")
+    .within_bound_secs("L")
+    .unless(
+        EventPattern::Arrival,
+        vec![
+            Atom::EqConst(Field::DhcpMsgType, msg::RELEASE.into()),
+            Atom::Bind(var("Y"), Field::DhcpCiaddr),
+            Atom::Bind(var("C"), Field::DhcpChaddr),
+        ],
+    )
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -103,20 +103,20 @@ pub fn no_lease_overlap() -> Property {
         "no address is leased by two different DHCP servers",
     )
     .observe("request", EventPattern::Arrival)
-        .eq(Field::DhcpMsgType, msg::REQUEST)
-        .bind("H", Field::EthSrc)
-        .done()
+    .eq(Field::DhcpMsgType, msg::REQUEST)
+    .bind("H", Field::EthSrc)
+    .done()
     .observe("leased-by-s1", EventPattern::Departure(ActionPattern::Forwarded))
-        .eq(Field::DhcpMsgType, msg::ACK)
-        .bind("H", Field::EthDst)
-        .bind("Y", Field::DhcpYiaddr)
-        .bind("S1", Field::DhcpServerId)
-        .done()
+    .eq(Field::DhcpMsgType, msg::ACK)
+    .bind("H", Field::EthDst)
+    .bind("Y", Field::DhcpYiaddr)
+    .bind("S1", Field::DhcpServerId)
+    .done()
     .observe("leased-by-other-server", EventPattern::Departure(ActionPattern::Forwarded))
-        .eq(Field::DhcpMsgType, msg::ACK)
-        .bind("Y", Field::DhcpYiaddr)
-        .neq_var(Field::DhcpServerId, "S1")
-        .done()
+    .eq(Field::DhcpMsgType, msg::ACK)
+    .bind("Y", Field::DhcpYiaddr)
+    .neq_var(Field::DhcpServerId, "S1")
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -186,7 +186,11 @@ mod tests {
     fn acked_request_is_fine() {
         let mut m = Monitor::with_defaults(reply_within(REPLY_WAIT));
         let mut tb = TraceBuilder::new();
-        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.arrive_depart(
+            PortNo(0),
+            request_pkt(1, 7, leased(1), DHCP_SERVER_1),
+            EgressAction::Flood,
+        );
         tb.at_ms(200).arrive_depart(
             PortNo(1),
             ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
@@ -203,10 +207,18 @@ mod tests {
     fn retransmitted_request_refreshes_deadline() {
         let mut m = Monitor::with_defaults(reply_within(REPLY_WAIT));
         let mut tb = TraceBuilder::new();
-        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.arrive_depart(
+            PortNo(0),
+            request_pkt(1, 7, leased(1), DHCP_SERVER_1),
+            EgressAction::Flood,
+        );
         // Retransmission at 800ms pushes the deadline to 1800ms; the ACK at
         // 1500ms is therefore in time.
-        tb.at_ms(800).arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.at_ms(800).arrive_depart(
+            PortNo(0),
+            request_pkt(1, 7, leased(1), DHCP_SERVER_1),
+            EgressAction::Flood,
+        );
         tb.at_ms(1500).arrive_depart(
             PortNo(1),
             ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
@@ -224,7 +236,11 @@ mod tests {
     fn early_reassignment_is_violation() {
         let mut m = Monitor::with_defaults(no_reuse_before_expiry());
         let mut tb = TraceBuilder::new();
-        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.arrive_depart(
+            PortNo(0),
+            request_pkt(1, 7, leased(1), DHCP_SERVER_1),
+            EgressAction::Flood,
+        );
         tb.at_ms(100).arrive_depart(
             PortNo(1),
             ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600), // 1 hour lease
@@ -246,7 +262,11 @@ mod tests {
     fn reassignment_after_expiry_is_fine() {
         let mut m = Monitor::with_defaults(no_reuse_before_expiry());
         let mut tb = TraceBuilder::new();
-        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.arrive_depart(
+            PortNo(0),
+            request_pkt(1, 7, leased(1), DHCP_SERVER_1),
+            EgressAction::Flood,
+        );
         tb.at_ms(100).arrive_depart(
             PortNo(1),
             ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 60), // 1 minute lease
@@ -268,7 +288,11 @@ mod tests {
     fn reassignment_after_release_is_fine() {
         let mut m = Monitor::with_defaults(no_reuse_before_expiry());
         let mut tb = TraceBuilder::new();
-        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.arrive_depart(
+            PortNo(0),
+            request_pkt(1, 7, leased(1), DHCP_SERVER_1),
+            EgressAction::Flood,
+        );
         tb.at_ms(100).arrive_depart(
             PortNo(1),
             ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
@@ -296,7 +320,11 @@ mod tests {
     fn renewal_to_same_client_is_fine() {
         let mut m = Monitor::with_defaults(no_reuse_before_expiry());
         let mut tb = TraceBuilder::new();
-        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.arrive_depart(
+            PortNo(0),
+            request_pkt(1, 7, leased(1), DHCP_SERVER_1),
+            EgressAction::Flood,
+        );
         tb.at_ms(100).arrive_depart(
             PortNo(1),
             ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
@@ -318,7 +346,11 @@ mod tests {
     fn two_servers_leasing_same_address_is_violation() {
         let mut m = Monitor::with_defaults(no_lease_overlap());
         let mut tb = TraceBuilder::new();
-        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.arrive_depart(
+            PortNo(0),
+            request_pkt(1, 7, leased(1), DHCP_SERVER_1),
+            EgressAction::Flood,
+        );
         tb.at_ms(100).arrive_depart(
             PortNo(1),
             ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),
@@ -339,7 +371,11 @@ mod tests {
     fn same_server_renewal_is_not_overlap() {
         let mut m = Monitor::with_defaults(no_lease_overlap());
         let mut tb = TraceBuilder::new();
-        tb.arrive_depart(PortNo(0), request_pkt(1, 7, leased(1), DHCP_SERVER_1), EgressAction::Flood);
+        tb.arrive_depart(
+            PortNo(0),
+            request_pkt(1, 7, leased(1), DHCP_SERVER_1),
+            EgressAction::Flood,
+        );
         tb.at_ms(100).arrive_depart(
             PortNo(1),
             ack_pkt(1, 7, leased(1), DHCP_SERVER_1, 3600),

@@ -26,25 +26,25 @@ pub fn preload_cache(t: Duration) -> Property {
         "ARP requests for DHCP-leased addresses are answered from the pre-loaded cache",
     )
     .observe("lease", EventPattern::Departure(ActionPattern::Forwarded))
-        .eq(Field::DhcpMsgType, msg::ACK)
-        .bind("Y", Field::DhcpYiaddr)
-        .bind("M", Field::DhcpChaddr)
-        .done()
+    .eq(Field::DhcpMsgType, msg::ACK)
+    .bind("Y", Field::DhcpYiaddr)
+    .bind("M", Field::DhcpChaddr)
+    .done()
     .observe("arp-request-for-lease", EventPattern::Arrival)
-        .eq(Field::ArpOp, OP_REQUEST)
-        .bind("Y", Field::ArpTargetIp) // wandering: DHCP field → ARP field
-        .neq_var(Field::ArpSenderMac, "M") // the lease holder asking is moot
-        .done()
+    .eq(Field::ArpOp, OP_REQUEST)
+    .bind("Y", Field::ArpTargetIp) // wandering: DHCP field → ARP field
+    .neq_var(Field::ArpSenderMac, "M") // the lease holder asking is moot
+    .done()
     .deadline("not-answered", t)
-        .unless(
-            EventPattern::Departure(ActionPattern::Forwarded),
-            vec![
-                Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
-                Atom::Bind(var("Y"), Field::ArpSenderIp),
-                Atom::Bind(var("M"), Field::ArpSenderMac),
-            ],
-        )
-        .done()
+    .unless(
+        EventPattern::Departure(ActionPattern::Forwarded),
+        vec![
+            Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
+            Atom::Bind(var("Y"), Field::ArpSenderIp),
+            Atom::Bind(var("M"), Field::ArpSenderMac),
+        ],
+    )
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -69,30 +69,30 @@ pub fn no_unfounded_direct_reply() -> Property {
         "the proxy only answers directly for addresses it learned via DHCP or ARP",
     )
     .observe("request", EventPattern::Arrival)
-        .eq(Field::ArpOp, OP_REQUEST)
-        .bind("Y", Field::ArpTargetIp)
-        .done()
+    .eq(Field::ArpOp, OP_REQUEST)
+    .bind("Y", Field::ArpTargetIp)
+    .done()
     .observe("unfounded-direct-reply", EventPattern::Departure(ActionPattern::Forwarded))
-        .eq(Field::ArpOp, OP_REPLY)
-        .bind("Y", Field::ArpSenderIp)
-        // Knowledge demonstrated in the window discharges the suspicion:
-        // a DHCP lease of Y...
-        .unless(
-            EventPattern::Departure(ActionPattern::Forwarded),
-            vec![
-                Atom::EqConst(Field::DhcpMsgType, msg::ACK.into()),
-                Atom::Bind(var("Y"), Field::DhcpYiaddr), // wandering
-            ],
-        )
-        // ...or a genuine reply for Y traversing the switch.
-        .unless(
-            EventPattern::Arrival,
-            vec![
-                Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
-                Atom::Bind(var("Y"), Field::ArpSenderIp),
-            ],
-        )
-        .done()
+    .eq(Field::ArpOp, OP_REPLY)
+    .bind("Y", Field::ArpSenderIp)
+    // Knowledge demonstrated in the window discharges the suspicion:
+    // a DHCP lease of Y...
+    .unless(
+        EventPattern::Departure(ActionPattern::Forwarded),
+        vec![
+            Atom::EqConst(Field::DhcpMsgType, msg::ACK.into()),
+            Atom::Bind(var("Y"), Field::DhcpYiaddr), // wandering
+        ],
+    )
+    // ...or a genuine reply for Y traversing the switch.
+    .unless(
+        EventPattern::Arrival,
+        vec![
+            Atom::EqConst(Field::ArpOp, OP_REPLY.into()),
+            Atom::Bind(var("Y"), Field::ArpSenderIp),
+        ],
+    )
+    .done()
     .build()
     .expect("well-formed")
 }

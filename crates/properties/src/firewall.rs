@@ -6,9 +6,7 @@
 //! unconditionally, then *"for T seconds after..."* (Feature 3), then
 //! *"...or until the connection is closed"* (Feature 4).
 
-use swmon_core::{
-    var, ActionPattern, Atom, EventPattern, Property, PropertyBuilder,
-};
+use swmon_core::{var, ActionPattern, Atom, EventPattern, Property, PropertyBuilder};
 use swmon_packet::{Field, TcpFlags};
 use swmon_sim::time::Duration;
 
@@ -44,10 +42,7 @@ fn close_atoms(src_var: &str, dst_var: &str) -> [Vec<Atom>; 2] {
 /// The opening observation: a packet from A to B arriving on the inside
 /// port. The obligation variant additionally excludes closing segments —
 /// a FIN must not re-open the pinhole it closes.
-fn outbound_stage(
-    b: PropertyBuilder,
-    exclude_closing: bool,
-) -> swmon_core::builder::StageBuilder {
+fn outbound_stage(b: PropertyBuilder, exclude_closing: bool) -> swmon_core::builder::StageBuilder {
     let mut sb = b
         .observe("outbound", EventPattern::Arrival)
         .eq(Field::InPort, u64::from(crate::scenario::INSIDE_PORT.0))
@@ -77,9 +72,9 @@ pub fn return_not_dropped() -> Property {
     )
     .done()
     .observe("return-dropped", EventPattern::Departure(ActionPattern::Drop))
-        .bind("B", Field::Ipv4Src)
-        .bind("A", Field::Ipv4Dst)
-        .done()
+    .bind("B", Field::Ipv4Src)
+    .bind("A", Field::Ipv4Dst)
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -97,11 +92,11 @@ pub fn return_not_dropped_within(t: Duration) -> Property {
     )
     .done()
     .observe("return-dropped", EventPattern::Departure(ActionPattern::Drop))
-        .bind("B", Field::Ipv4Src)
-        .bind("A", Field::Ipv4Dst)
-        .within(t)
-        .refresh_on_repeat()
-        .done()
+    .bind("B", Field::Ipv4Src)
+    .bind("A", Field::Ipv4Dst)
+    .within(t)
+    .refresh_on_repeat()
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -183,8 +178,11 @@ mod tests {
         let mut m = Monitor::with_defaults(return_not_dropped());
         let mut tb = TraceBuilder::new();
         tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
-        tb.at_ms(10)
-            .arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Output(INSIDE_PORT));
+        tb.at_ms(10).arrive_depart(
+            OUTSIDE_PORT,
+            reverse(1, 9, TcpFlags::ACK),
+            EgressAction::Output(INSIDE_PORT),
+        );
         for ev in tb.build() {
             m.process(&ev);
         }
@@ -209,8 +207,11 @@ mod tests {
         let mut m = Monitor::with_defaults(return_not_dropped_within(t));
         let mut tb = TraceBuilder::new();
         tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
-        tb.at_ms(31_000)
-            .arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Drop);
+        tb.at_ms(31_000).arrive_depart(
+            OUTSIDE_PORT,
+            reverse(1, 9, TcpFlags::ACK),
+            EgressAction::Drop,
+        );
         for ev in tb.build() {
             m.process(&ev);
         }
@@ -223,10 +224,16 @@ mod tests {
         let mut m = Monitor::with_defaults(return_not_dropped_within(t));
         let mut tb = TraceBuilder::new();
         tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
-        tb.at_ms(25_000)
-            .arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::ACK), EgressAction::Output(OUTSIDE_PORT));
-        tb.at_ms(50_000)
-            .arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Drop);
+        tb.at_ms(25_000).arrive_depart(
+            INSIDE_PORT,
+            pkt(1, 9, TcpFlags::ACK),
+            EgressAction::Output(OUTSIDE_PORT),
+        );
+        tb.at_ms(50_000).arrive_depart(
+            OUTSIDE_PORT,
+            reverse(1, 9, TcpFlags::ACK),
+            EgressAction::Drop,
+        );
         for ev in tb.build() {
             m.process(&ev);
         }
@@ -244,8 +251,11 @@ mod tests {
             pkt(1, 9, TcpFlags::FIN | TcpFlags::ACK),
             EgressAction::Output(OUTSIDE_PORT),
         );
-        tb.at_ms(2000)
-            .arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Drop);
+        tb.at_ms(2000).arrive_depart(
+            OUTSIDE_PORT,
+            reverse(1, 9, TcpFlags::ACK),
+            EgressAction::Drop,
+        );
         for ev in tb.build() {
             m.process(&ev);
         }
@@ -258,8 +268,11 @@ mod tests {
         let mut m = Monitor::with_defaults(return_until_close(t));
         let mut tb = TraceBuilder::new();
         tb.arrive_depart(INSIDE_PORT, pkt(1, 9, TcpFlags::SYN), EgressAction::Output(OUTSIDE_PORT));
-        tb.at_ms(2000)
-            .arrive_depart(OUTSIDE_PORT, reverse(1, 9, TcpFlags::ACK), EgressAction::Drop);
+        tb.at_ms(2000).arrive_depart(
+            OUTSIDE_PORT,
+            reverse(1, 9, TcpFlags::ACK),
+            EgressAction::Drop,
+        );
         for ev in tb.build() {
             m.process(&ev);
         }

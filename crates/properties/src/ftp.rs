@@ -21,18 +21,18 @@ pub fn data_port_matches_control() -> Property {
     )
     // Control: client A announces its data port DP to server B.
     .observe("port-command", EventPattern::Arrival)
-        .bind("A", Field::Ipv4Src)
-        .bind("B", Field::Ipv4Dst)
-        .bind("DP", Field::FtpDataPort)
-        .done()
+    .bind("A", Field::Ipv4Src)
+    .bind("B", Field::Ipv4Dst)
+    .bind("DP", Field::FtpDataPort)
+    .done()
     // Data: server B connects back to client A... on the wrong port.
     .observe("data-to-wrong-port", EventPattern::Departure(ActionPattern::Forwarded))
-        .bind("B", Field::Ipv4Src)
-        .bind("A", Field::Ipv4Dst)
-        .eq(Field::L4Src, FTP_DATA_SRC_PORT)
-        .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
-        .neq_var(Field::L4Dst, "DP")
-        .done()
+    .bind("B", Field::Ipv4Src)
+    .bind("A", Field::Ipv4Dst)
+    .eq(Field::L4Src, FTP_DATA_SRC_PORT)
+    .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
+    .neq_var(Field::L4Dst, "DP")
+    .done()
     .build()
     .expect("well-formed")
 }

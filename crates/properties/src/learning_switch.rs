@@ -16,11 +16,11 @@ pub fn no_flood_after_learn() -> Property {
         "once a destination D is learned, packets to D are not broadcast",
     )
     .observe("learn", EventPattern::Arrival)
-        .bind("D", Field::EthSrc)
-        .done()
+    .bind("D", Field::EthSrc)
+    .done()
     .observe("flooded-anyway", EventPattern::Departure(ActionPattern::Flood))
-        .bind("D", Field::EthDst)
-        .done()
+    .bind("D", Field::EthDst)
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -33,13 +33,13 @@ pub fn correct_port() -> Property {
         "packets to a learned destination are unicast on the port it was learned on",
     )
     .observe("learn", EventPattern::Arrival)
-        .bind("D", Field::EthSrc)
-        .bind("P", Field::InPort)
-        .done()
+    .bind("D", Field::EthSrc)
+    .bind("P", Field::InPort)
+    .done()
     .observe("wrong-port", EventPattern::Departure(ActionPattern::Unicast))
-        .bind("D", Field::EthDst)
-        .neq_var(Field::OutPort, "P")
-        .done()
+    .bind("D", Field::EthDst)
+    .neq_var(Field::OutPort, "P")
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -55,16 +55,16 @@ pub fn flush_on_link_down() -> Property {
         "link-down events delete the set of learned destinations",
     )
     .observe("learn", EventPattern::Arrival)
-        .bind("D", Field::EthSrc)
-        .done()
+    .bind("D", Field::EthSrc)
+    .done()
     .observe("link-down", EventPattern::OutOfBand(OobPattern::PortDown))
-        .done()
+    .done()
     .observe("stale-unicast", EventPattern::Departure(ActionPattern::Unicast))
-        .bind("D", Field::EthDst)
-        // "...without intervening D-sourced packets": a re-announcement from
-        // D discharges the obligation (relearning is legitimate).
-        .unless(EventPattern::Arrival, vec![Atom::Bind(var("D"), Field::EthSrc)])
-        .done()
+    .bind("D", Field::EthDst)
+    // "...without intervening D-sourced packets": a re-announcement from
+    // D discharges the obligation (relearning is legitimate).
+    .unless(EventPattern::Arrival, vec![Atom::Bind(var("D"), Field::EthSrc)])
+    .done()
     .build()
     .expect("well-formed")
 }

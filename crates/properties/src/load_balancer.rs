@@ -45,21 +45,21 @@ pub fn new_flow_hashed_port() -> Property {
         "a new flow is assigned the backend selected by the hash policy",
     )
     .observe("new-flow", EventPattern::Arrival)
-        .eq(Field::Ipv4Dst, LB_VIP)
-        .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
-        .bind("A", Field::Ipv4Src)
-        .bind("P", Field::L4Src)
-        .done()
+    .eq(Field::Ipv4Dst, LB_VIP)
+    .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
+    .bind("A", Field::Ipv4Src)
+    .bind("P", Field::L4Src)
+    .done()
     .observe("wrong-backend", EventPattern::Departure(ActionPattern::Unicast))
-        .same_packet_as(0)
-        .atom(Atom::HashedPortMismatch {
-            fields: vec![Field::Ipv4Src, Field::L4Src],
-            modulus: LB_BACKENDS,
-            base: LB_BASE_PORT,
-        })
-        .unless(EventPattern::Arrival, fwd_close)
-        .unless(EventPattern::Arrival, rev_close)
-        .done()
+    .same_packet_as(0)
+    .atom(Atom::HashedPortMismatch {
+        fields: vec![Field::Ipv4Src, Field::L4Src],
+        modulus: LB_BACKENDS,
+        base: LB_BASE_PORT,
+    })
+    .unless(EventPattern::Arrival, fwd_close)
+    .unless(EventPattern::Arrival, rev_close)
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -74,29 +74,25 @@ pub fn new_flow_round_robin() -> Property {
         "each new flow is assigned the round-robin successor of the previous assignment",
     )
     .observe("flow-k", EventPattern::Arrival)
-        .eq(Field::Ipv4Dst, LB_VIP)
-        .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
-        .bind("A", Field::Ipv4Src)
-        .bind("P", Field::L4Src)
-        .done()
+    .eq(Field::Ipv4Dst, LB_VIP)
+    .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
+    .bind("A", Field::Ipv4Src)
+    .bind("P", Field::L4Src)
+    .done()
     .observe("flow-k-assigned", EventPattern::Departure(ActionPattern::Unicast))
-        .same_packet_as(0)
-        .bind("O", Field::OutPort)
-        .done()
+    .same_packet_as(0)
+    .bind("O", Field::OutPort)
+    .done()
     .observe("flow-k1", EventPattern::Arrival)
-        .eq(Field::Ipv4Dst, LB_VIP)
-        .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
-        .done()
+    .eq(Field::Ipv4Dst, LB_VIP)
+    .eq(Field::TcpFlags, u64::from(TcpFlags::SYN.0))
+    .done()
     .observe("flow-k1-misassigned", EventPattern::Departure(ActionPattern::Unicast))
-        .same_packet_as(2)
-        .atom(Atom::RrSuccessorMismatch {
-            prev: var("O"),
-            modulus: LB_BACKENDS,
-            base: LB_BASE_PORT,
-        })
-        .unless(EventPattern::Arrival, fwd_close)
-        .unless(EventPattern::Arrival, rev_close)
-        .done()
+    .same_packet_as(2)
+    .atom(Atom::RrSuccessorMismatch { prev: var("O"), modulus: LB_BACKENDS, base: LB_BASE_PORT })
+    .unless(EventPattern::Arrival, fwd_close)
+    .unless(EventPattern::Arrival, rev_close)
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -112,19 +108,19 @@ pub fn stable_assignment() -> Property {
         "a flow's backend assignment does not change while the flow is open",
     )
     .observe("flow-start", EventPattern::Arrival)
-        .eq(Field::Ipv4Dst, LB_VIP)
-        .bind("A", Field::Ipv4Src)
-        .bind("P", Field::L4Src)
-        .done()
+    .eq(Field::Ipv4Dst, LB_VIP)
+    .bind("A", Field::Ipv4Src)
+    .bind("P", Field::L4Src)
+    .done()
     .observe("assigned", EventPattern::Departure(ActionPattern::Unicast))
-        .same_packet_as(0)
-        .bind("O", Field::OutPort)
-        .done()
+    .same_packet_as(0)
+    .bind("O", Field::OutPort)
+    .done()
     .observe("return-from-wrong-backend", EventPattern::Arrival)
-        .bind("A", Field::Ipv4Dst)
-        .bind("P", Field::L4Dst)
-        .neq_var(Field::InPort, "O")
-        .done()
+    .bind("A", Field::Ipv4Dst)
+    .bind("P", Field::L4Dst)
+    .neq_var(Field::InPort, "O")
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -179,7 +175,11 @@ mod tests {
         let mut m = Monitor::with_defaults(new_flow_hashed_port());
         let mut tb = TraceBuilder::new();
         tb.arrive_depart(LB_CLIENT_PORT, syn(1, 4000), EgressAction::Output(hashed_port(1, 4000)));
-        tb.at_ms(1).arrive_depart(LB_CLIENT_PORT, syn(2, 4001), EgressAction::Output(hashed_port(2, 4001)));
+        tb.at_ms(1).arrive_depart(
+            LB_CLIENT_PORT,
+            syn(2, 4001),
+            EgressAction::Output(hashed_port(2, 4001)),
+        );
         for ev in tb.build() {
             m.process(&ev);
         }
@@ -209,7 +209,11 @@ mod tests {
         let mut tb = TraceBuilder::new();
         for (i, sport) in (0..4u64).zip([4000u16, 4001, 4002, 4003]) {
             let port = PortNo((LB_BASE_PORT + (i % LB_BACKENDS)) as u16);
-            tb.at_ms(i).arrive_depart(LB_CLIENT_PORT, syn(i as u8 + 1, sport), EgressAction::Output(port));
+            tb.at_ms(i).arrive_depart(
+                LB_CLIENT_PORT,
+                syn(i as u8 + 1, sport),
+                EgressAction::Output(port),
+            );
         }
         for ev in tb.build() {
             m.process(&ev);
@@ -222,7 +226,11 @@ mod tests {
         let mut m = Monitor::with_defaults(new_flow_round_robin());
         let mut tb = TraceBuilder::new();
         // Backend 0 then backend 2: skipped 1.
-        tb.arrive_depart(LB_CLIENT_PORT, syn(1, 4000), EgressAction::Output(PortNo(LB_BASE_PORT as u16)));
+        tb.arrive_depart(
+            LB_CLIENT_PORT,
+            syn(1, 4000),
+            EgressAction::Output(PortNo(LB_BASE_PORT as u16)),
+        );
         tb.at_ms(1).arrive_depart(
             LB_CLIENT_PORT,
             syn(2, 4001),

@@ -18,34 +18,31 @@ pub fn reverse_translation() -> Property {
     )
     // (1) A,P → B,Q arrives from the internal network.
     .observe("outbound-arrival", EventPattern::Arrival)
-        .eq(Field::InPort, u64::from(INSIDE_PORT.0))
-        .bind("A", Field::Ipv4Src)
-        .bind("P", Field::L4Src)
-        .bind("B", Field::Ipv4Dst)
-        .bind("Q", Field::L4Dst)
-        .done()
+    .eq(Field::InPort, u64::from(INSIDE_PORT.0))
+    .bind("A", Field::Ipv4Src)
+    .bind("P", Field::L4Src)
+    .bind("B", Field::Ipv4Dst)
+    .bind("Q", Field::L4Dst)
+    .done()
     // (2) The same packet departs with translated source A′,P′.
     .observe("outbound-translated", EventPattern::Departure(ActionPattern::Forwarded))
-        .same_packet_as(0)
-        .bind("A2", Field::Ipv4Src)
-        .bind("P2", Field::L4Src)
-        .done()
+    .same_packet_as(0)
+    .bind("A2", Field::Ipv4Src)
+    .bind("P2", Field::L4Src)
+    .done()
     // (3) A return packet B,Q → A′,P′ arrives from outside.
     .observe("return-arrival", EventPattern::Arrival)
-        .eq(Field::InPort, u64::from(OUTSIDE_PORT.0))
-        .bind("B", Field::Ipv4Src)
-        .bind("Q", Field::L4Src)
-        .bind("A2", Field::Ipv4Dst)
-        .bind("P2", Field::L4Dst)
-        .done()
+    .eq(Field::InPort, u64::from(OUTSIDE_PORT.0))
+    .bind("B", Field::Ipv4Src)
+    .bind("Q", Field::L4Src)
+    .bind("A2", Field::Ipv4Dst)
+    .bind("P2", Field::L4Dst)
+    .done()
     // (4) The same packet departs with destination ≠ A,P: mistranslated.
     .observe("bad-reverse-translation", EventPattern::Departure(ActionPattern::Forwarded))
-        .same_packet_as(2)
-        .any_of(vec![
-            Atom::NeqVar(Field::Ipv4Dst, var("A")),
-            Atom::NeqVar(Field::L4Dst, var("P")),
-        ])
-        .done()
+    .same_packet_as(2)
+    .any_of(vec![Atom::NeqVar(Field::Ipv4Dst, var("A")), Atom::NeqVar(Field::L4Dst, var("P"))])
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -125,7 +122,11 @@ mod tests {
         // Return traffic for a *different* translated port: not ours.
         tb.at_ms(10);
         let rid = tb.arrive(OUTSIDE_PORT, tcp(SERVER, 80, NAT_PUBLIC_IP, 62000));
-        tb.depart(rid, tcp(SERVER, 80, Ipv4Address::new(10, 0, 0, 50), 1234), EgressAction::Output(INSIDE_PORT));
+        tb.depart(
+            rid,
+            tcp(SERVER, 80, Ipv4Address::new(10, 0, 0, 50), 1234),
+            EgressAction::Output(INSIDE_PORT),
+        );
         for ev in tb.build() {
             m.process(&ev);
         }

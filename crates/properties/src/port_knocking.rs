@@ -17,23 +17,23 @@ pub fn wrong_guess_invalidates() -> Property {
         "an intervening wrong guess invalidates the knock sequence",
     )
     .observe("knock-1", EventPattern::Arrival)
-        .bind("S", Field::Ipv4Src)
-        .eq(Field::L4Dst, KNOCK_SEQ[0])
-        .done()
+    .bind("S", Field::Ipv4Src)
+    .eq(Field::L4Dst, KNOCK_SEQ[0])
+    .done()
     .observe("wrong-guess", EventPattern::Arrival)
-        .bind("S", Field::Ipv4Src)
-        .neq(Field::L4Dst, KNOCK_SEQ[0])
-        .neq(Field::L4Dst, KNOCK_SEQ[1])
-        .neq(Field::L4Dst, PROTECTED_PORT)
-        .done()
+    .bind("S", Field::Ipv4Src)
+    .neq(Field::L4Dst, KNOCK_SEQ[0])
+    .neq(Field::L4Dst, KNOCK_SEQ[1])
+    .neq(Field::L4Dst, PROTECTED_PORT)
+    .done()
     .observe("knock-2", EventPattern::Arrival)
-        .bind("S", Field::Ipv4Src)
-        .eq(Field::L4Dst, KNOCK_SEQ[1])
-        .done()
+    .bind("S", Field::Ipv4Src)
+    .eq(Field::L4Dst, KNOCK_SEQ[1])
+    .done()
     .observe("wrongly-opened", EventPattern::Departure(ActionPattern::Forwarded))
-        .bind("S", Field::Ipv4Src)
-        .eq(Field::L4Dst, PROTECTED_PORT)
-        .done()
+    .bind("S", Field::Ipv4Src)
+    .eq(Field::L4Dst, PROTECTED_PORT)
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -48,27 +48,27 @@ pub fn valid_sequence_opens() -> Property {
         "a valid knock sequence opens the protected port",
     )
     .observe("knock-1", EventPattern::Arrival)
-        .bind("S", Field::Ipv4Src)
-        .eq(Field::L4Dst, KNOCK_SEQ[0])
-        .done()
+    .bind("S", Field::Ipv4Src)
+    .eq(Field::L4Dst, KNOCK_SEQ[0])
+    .done()
     .observe("knock-2", EventPattern::Arrival)
-        .bind("S", Field::Ipv4Src)
-        .eq(Field::L4Dst, KNOCK_SEQ[1])
-        // A wrong guess between the knocks invalidates: the expectation of
-        // access is discharged.
-        .unless(
-            EventPattern::Arrival,
-            vec![
-                Atom::Bind(var("S"), Field::Ipv4Src),
-                Atom::NeqConst(Field::L4Dst, KNOCK_SEQ[0].into()),
-                Atom::NeqConst(Field::L4Dst, KNOCK_SEQ[1].into()),
-            ],
-        )
-        .done()
+    .bind("S", Field::Ipv4Src)
+    .eq(Field::L4Dst, KNOCK_SEQ[1])
+    // A wrong guess between the knocks invalidates: the expectation of
+    // access is discharged.
+    .unless(
+        EventPattern::Arrival,
+        vec![
+            Atom::Bind(var("S"), Field::Ipv4Src),
+            Atom::NeqConst(Field::L4Dst, KNOCK_SEQ[0].into()),
+            Atom::NeqConst(Field::L4Dst, KNOCK_SEQ[1].into()),
+        ],
+    )
+    .done()
     .observe("still-blocked", EventPattern::Departure(ActionPattern::Drop))
-        .bind("S", Field::Ipv4Src)
-        .eq(Field::L4Dst, PROTECTED_PORT)
-        .done()
+    .bind("S", Field::Ipv4Src)
+    .eq(Field::L4Dst, PROTECTED_PORT)
+    .done()
     .build()
     .expect("well-formed")
 }
@@ -101,7 +101,11 @@ mod tests {
         tb.at_ms(1).arrive_depart(PortNo(0), knock(1, 9999), EgressAction::Drop); // wrong
         tb.at_ms(2).arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[1]), EgressAction::Drop);
         // The buggy gate opens anyway:
-        tb.at_ms(3).arrive_depart(PortNo(0), knock(1, PROTECTED_PORT), EgressAction::Output(PortNo(1)));
+        tb.at_ms(3).arrive_depart(
+            PortNo(0),
+            knock(1, PROTECTED_PORT),
+            EgressAction::Output(PortNo(1)),
+        );
         for ev in tb.build() {
             m.process(&ev);
         }
@@ -141,7 +145,11 @@ mod tests {
         let mut tb = TraceBuilder::new();
         tb.arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[0]), EgressAction::Drop);
         tb.at_ms(1).arrive_depart(PortNo(0), knock(1, KNOCK_SEQ[1]), EgressAction::Drop);
-        tb.at_ms(2).arrive_depart(PortNo(0), knock(1, PROTECTED_PORT), EgressAction::Output(PortNo(1)));
+        tb.at_ms(2).arrive_depart(
+            PortNo(0),
+            knock(1, PROTECTED_PORT),
+            EgressAction::Output(PortNo(1)),
+        );
         for ev in tb.build() {
             m.process(&ev);
         }

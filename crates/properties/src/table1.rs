@@ -21,7 +21,13 @@ use swmon_core::{FeatureSet, Property};
 
 /// Column headers of Table 1 (after the property statement).
 pub const COLUMNS: [&str; 8] = [
-    "Fields", "History", "Timeouts", "Obligation", "Identity", "Neg Match", "T.Out. Acts",
+    "Fields",
+    "History",
+    "Timeouts",
+    "Obligation",
+    "Identity",
+    "Neg Match",
+    "T.Out. Acts",
     "Inst. ID",
 ];
 
@@ -200,17 +206,22 @@ mod tests {
                 );
             }
         }
-        let expected: Vec<(String, String)> = KNOWN_DEVIATIONS
-            .iter()
-            .map(|(s, c)| (s.to_string(), c.to_string()))
-            .collect();
+        let expected: Vec<(String, String)> =
+            KNOWN_DEVIATIONS.iter().map(|(s, c)| (s.to_string(), c.to_string())).collect();
         assert_eq!(found, expected, "the deviation set is exactly the documented one");
     }
 
     #[test]
     fn render_mentions_every_group() {
         let table = render();
-        for g in ["ARP Cache Proxy", "Port Knocking", "Load Balancing", "FTP", "DHCP", "DHCP + ARP Proxy"] {
+        for g in [
+            "ARP Cache Proxy",
+            "Port Knocking",
+            "Load Balancing",
+            "FTP",
+            "DHCP",
+            "DHCP + ARP Proxy",
+        ] {
             assert!(table.contains(g), "{g} missing from\n{table}");
         }
         // Deviating cells carry the marker.

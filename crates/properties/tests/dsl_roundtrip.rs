@@ -23,8 +23,8 @@ fn catalog() -> Vec<Property> {
 fn every_catalog_property_round_trips() {
     for p in catalog() {
         let printed = to_dsl(&p);
-        let reparsed = parse_property(&printed)
-            .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", p.name));
+        let reparsed =
+            parse_property(&printed).unwrap_or_else(|e| panic!("{}: {e}\n{printed}", p.name));
         assert_eq!(p, reparsed, "{} changed across print/parse:\n{printed}", p.name);
     }
 }

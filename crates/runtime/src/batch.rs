@@ -1,0 +1,103 @@
+//! Batched channel messages between the router and workers.
+
+use swmon_sim::time::Instant;
+use swmon_sim::trace::NetEvent;
+
+/// One routed event within a batch.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Global input sequence number (position in the fed trace).
+    pub seq: u64,
+    /// Bitmask of property indices this shard must run the event through.
+    pub mask: u64,
+    /// The event itself.
+    pub ev: NetEvent,
+}
+
+/// A router→worker message.
+#[derive(Debug)]
+pub enum Msg {
+    /// A batch of routed events, in global sequence order.
+    Events(Vec<Item>),
+    /// End of input: advance every monitor to this instant (firing pending
+    /// deadlines), report, and exit.
+    Finish(Instant),
+}
+
+/// Accumulates per-shard items until a batch is worth sending.
+#[derive(Debug)]
+pub struct Batcher {
+    pending: Vec<Vec<Item>>,
+    capacity: usize,
+}
+
+impl Batcher {
+    /// A batcher for `shards` shards sending batches of up to `capacity`.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        Batcher { pending: (0..shards).map(|_| Vec::with_capacity(capacity)).collect(), capacity }
+    }
+
+    /// Queue an item for `shard`; returns the full batch when it is time
+    /// to send one.
+    #[must_use]
+    pub fn push(&mut self, shard: usize, item: Item) -> Option<Vec<Item>> {
+        let slot = &mut self.pending[shard];
+        slot.push(item);
+        if slot.len() >= self.capacity {
+            Some(std::mem::replace(slot, Vec::with_capacity(self.capacity)))
+        } else {
+            None
+        }
+    }
+
+    /// Drain whatever is queued for `shard` (end-of-input flush).
+    pub fn flush(&mut self, shard: usize) -> Vec<Item> {
+        std::mem::take(&mut self.pending[shard])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::trace::{NetEventKind, PacketId, PortNo, SwitchId};
+
+    fn ev() -> NetEvent {
+        let pkt = Arc::new(PacketBuilder::tcp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Address::UNSPECIFIED,
+            Ipv4Address::UNSPECIFIED,
+            1,
+            2,
+            TcpFlags::SYN,
+            &[],
+        ));
+        NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::Arrival {
+                switch: SwitchId(0),
+                port: PortNo(0),
+                pkt,
+                id: PacketId(0),
+            },
+        }
+    }
+
+    #[test]
+    fn batches_fill_then_emit() {
+        let mut b = Batcher::new(2, 3);
+        for seq in 0..2 {
+            assert!(b.push(0, Item { seq, mask: 1, ev: ev() }).is_none());
+        }
+        let full = b.push(0, Item { seq: 2, mask: 1, ev: ev() }).expect("third fills");
+        assert_eq!(full.len(), 3);
+        assert_eq!(full[0].seq, 0);
+        // Other shard untouched; flush drains leftovers.
+        assert!(b.flush(1).is_empty());
+        assert!(b.push(1, Item { seq: 3, mask: 2, ev: ev() }).is_none());
+        assert_eq!(b.flush(1).len(), 1);
+        assert!(b.flush(0).is_empty());
+    }
+}

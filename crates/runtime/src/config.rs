@@ -1,0 +1,62 @@
+//! Runtime configuration.
+
+use swmon_core::MonitorConfig;
+
+/// Tuning knobs for the sharded runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Number of worker threads (shards). Clamped to at least 1.
+    pub shards: usize,
+    /// Events per channel message: the router accumulates up to this many
+    /// events per shard before sending, amortising channel synchronisation.
+    pub batch: usize,
+    /// Bounded channel capacity, in batches. When a worker falls behind,
+    /// the router *blocks* here — events are never dropped, because a
+    /// silently dropped event would forge a negative observation
+    /// (Feature 7 deadlines fire on absence of events).
+    pub queue: usize,
+    /// Configuration applied to every per-worker monitor replica.
+    pub monitor: MonitorConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            shards: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+            batch: 64,
+            queue: 64,
+            monitor: MonitorConfig::default(),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The default configuration with an explicit shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        RuntimeConfig { shards, ..Self::default() }
+    }
+
+    /// The values actually used (clamped to sane minima).
+    pub(crate) fn normalized(&self) -> RuntimeConfig {
+        RuntimeConfig {
+            shards: self.shards.max(1),
+            batch: self.batch.max(1),
+            queue: self.queue.max(1),
+            monitor: self.monitor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_values_are_clamped() {
+        let cfg = RuntimeConfig { shards: 0, batch: 0, queue: 0, ..Default::default() };
+        let n = cfg.normalized();
+        assert_eq!((n.shards, n.batch, n.queue), (1, 1, 1));
+        assert!(RuntimeConfig::default().shards >= 1);
+        assert_eq!(RuntimeConfig::with_shards(4).shards, 4);
+    }
+}

@@ -1,0 +1,328 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+//! # swmon-runtime — sharded multi-core monitor runtime
+//!
+//! Runs the reference engine ([`swmon_core::Monitor`]) across worker
+//! threads by sharding on the *instance key*. The routing plan is derived
+//! automatically per property from the core's instance-identification
+//! analysis ([`swmon_core::RoutingPlan`]):
+//!
+//! - **Exact** keys hash the fixed binder fields, so every event of an
+//!   instance lands on the same shard.
+//! - **Symmetric** keys (e.g. a stateful firewall's `(inside, outside)`
+//!   pair) are canonicalized order-independently, so a request and its
+//!   reply land on the same shard even though their header fields are
+//!   mirrored.
+//! - **Wandering** keys — and any property whose guards defeat the
+//!   analysis — are pinned to a single worker, which is always sound.
+//!
+//! Workers own private monitor replicas fed by bounded channels with
+//! batched dequeue. Backpressure blocks the router; events are **never
+//! dropped**, because a dropped event would forge a negative observation
+//! (deadline properties fire on the *absence* of traffic). Violations are
+//! merged deterministically ([`merge`]), so the sharded runtime's output
+//! is byte-for-byte equal to the single-threaded reference at any shard
+//! count.
+
+pub mod batch;
+pub mod config;
+pub mod merge;
+pub mod router;
+pub mod shardkey;
+pub mod stats;
+pub mod worker;
+
+pub use config::RuntimeConfig;
+pub use merge::{signature, ViolationRecord};
+pub use router::{Router, MAX_PROPERTIES};
+pub use shardkey::PropertyRoute;
+pub use stats::{RuntimeStats, ShardStats};
+
+use std::fmt;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+use batch::{Batcher, Item, Msg};
+use swmon_core::{Monitor, Property, PropertyError, Violation};
+use swmon_sim::time::Instant;
+use swmon_sim::trace::NetEvent;
+use worker::WorkerReport;
+
+/// Construction-time failures.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A property failed structural validation.
+    Invalid {
+        /// Position of the offending property.
+        index: usize,
+        /// The underlying validation error.
+        source: PropertyError,
+    },
+    /// More than [`MAX_PROPERTIES`] properties were supplied.
+    TooManyProperties(usize),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Invalid { index, source } => {
+                write!(f, "property {index} is invalid: {source}")
+            }
+            RuntimeError::TooManyProperties(n) => {
+                write!(f, "{n} properties exceed the runtime limit of {MAX_PROPERTIES}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The result of one runtime run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Canonically merged violation records (see [`merge`]).
+    pub records: Vec<ViolationRecord>,
+    /// Activity counters.
+    pub stats: RuntimeStats,
+}
+
+impl Outcome {
+    /// The merged violations, in canonical order.
+    pub fn violations(&self) -> impl Iterator<Item = &Violation> {
+        self.records.iter().map(|r| &r.violation)
+    }
+
+    /// Comparison-friendly signatures of the merged records.
+    pub fn signatures(&self) -> Vec<String> {
+        self.records.iter().map(signature).collect()
+    }
+}
+
+/// A set of properties plus the routing decisions to run them sharded.
+#[derive(Debug)]
+pub struct ShardedRuntime {
+    props: Vec<Property>,
+    cfg: RuntimeConfig,
+    router: Router,
+}
+
+impl ShardedRuntime {
+    /// Validate `props` and derive their shard placement under `cfg`.
+    pub fn new(props: Vec<Property>, cfg: RuntimeConfig) -> Result<Self, RuntimeError> {
+        if props.len() > MAX_PROPERTIES {
+            return Err(RuntimeError::TooManyProperties(props.len()));
+        }
+        for (index, p) in props.iter().enumerate() {
+            p.validate().map_err(|source| RuntimeError::Invalid { index, source })?;
+        }
+        let cfg = cfg.normalized();
+        let router = Router::new(&props, &cfg.monitor, cfg.shards);
+        Ok(ShardedRuntime { props, cfg, router })
+    }
+
+    /// The monitored properties, in routing order.
+    pub fn properties(&self) -> &[Property] {
+        &self.props
+    }
+
+    /// The configuration in effect (after clamping).
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// The routing decisions.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Spawn the workers and return a streaming session.
+    pub fn start(&self) -> Session<'_> {
+        let shards = self.cfg.shards;
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (tx, rx) = sync_channel::<Msg>(self.cfg.queue);
+            let hosted = self.router.properties_on(s);
+            let mut lut = vec![None; self.props.len()];
+            let monitors: Vec<(usize, Monitor)> = hosted
+                .iter()
+                .enumerate()
+                .map(|(local, &global)| {
+                    lut[global] = Some(local);
+                    (global, Monitor::new(self.props[global].clone(), self.cfg.monitor))
+                })
+                .collect();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || worker::run(rx, monitors, lut)));
+        }
+        let stats = RuntimeStats {
+            per_shard: vec![ShardStats::default(); shards],
+            hashed_properties: self.router.routes().iter().filter(|r| r.is_hashed()).count(),
+            pinned_properties: self.router.routes().iter().filter(|r| !r.is_hashed()).count(),
+            ..Default::default()
+        };
+        Session {
+            rt: self,
+            senders,
+            handles,
+            batcher: Batcher::new(shards, self.cfg.batch),
+            masks: vec![0u64; shards],
+            seq: 0,
+            stats,
+        }
+    }
+
+    /// One-shot convenience: feed `events` (must be in non-decreasing time
+    /// order, as the engine requires), then finish at `end`.
+    pub fn run<'a, I>(&self, events: I, end: Instant) -> Outcome
+    where
+        I: IntoIterator<Item = &'a NetEvent>,
+    {
+        let mut session = self.start();
+        for ev in events {
+            session.feed(ev);
+        }
+        session.finish(end)
+    }
+}
+
+/// A live run: workers are spawned; feed events, then call
+/// [`Session::finish`].
+#[derive(Debug)]
+pub struct Session<'rt> {
+    rt: &'rt ShardedRuntime,
+    senders: Vec<SyncSender<Msg>>,
+    handles: Vec<JoinHandle<WorkerReport>>,
+    batcher: Batcher,
+    masks: Vec<u64>,
+    seq: u64,
+    stats: RuntimeStats,
+}
+
+impl Session<'_> {
+    /// Route one event. Blocks if a destination shard's queue is full
+    /// (backpressure — never drops).
+    pub fn feed(&mut self, ev: &NetEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.events_in += 1;
+        self.rt.router.masks(ev, &mut self.masks);
+        let mut delivered = false;
+        for s in 0..self.masks.len() {
+            let mask = self.masks[s];
+            if mask == 0 {
+                continue;
+            }
+            delivered = true;
+            self.stats.deliveries += 1;
+            self.stats.per_shard[s].events += 1;
+            if let Some(full) = self.batcher.push(s, Item { seq, mask, ev: ev.clone() }) {
+                self.stats.batches += 1;
+                self.senders[s].send(Msg::Events(full)).expect("worker exited early");
+            }
+        }
+        if !delivered {
+            self.stats.skipped += 1;
+        }
+    }
+
+    /// Flush pending batches, advance every monitor to `end` (firing any
+    /// remaining deadlines), join the workers, and merge.
+    pub fn finish(mut self, end: Instant) -> Outcome {
+        for (s, tx) in self.senders.iter().enumerate() {
+            let tail = self.batcher.flush(s);
+            if !tail.is_empty() {
+                self.stats.batches += 1;
+                tx.send(Msg::Events(tail)).expect("worker exited early");
+            }
+            tx.send(Msg::Finish(end)).expect("worker exited early");
+        }
+        drop(self.senders);
+        let mut records = Vec::new();
+        for (s, handle) in self.handles.into_iter().enumerate() {
+            let report = handle.join().expect("worker panicked");
+            self.stats.per_shard[s].violations += report.records.len() as u64;
+            for (_, engine) in &report.engine {
+                self.stats.absorb_engine(engine);
+            }
+            records.extend(report.records);
+        }
+        Outcome { records: merge::merge(records), stats: self.stats }
+    }
+}
+
+/// Run the single-threaded reference over the same inputs and return its
+/// violations as canonically merged records. The differential contract:
+/// for any shard count, [`ShardedRuntime::run`] produces records with
+/// exactly these signatures.
+pub fn reference_records(
+    props: &[Property],
+    cfg: swmon_core::MonitorConfig,
+    events: &[NetEvent],
+    end: Instant,
+) -> Vec<ViolationRecord> {
+    let mut monitors: Vec<Monitor> = props.iter().map(|p| Monitor::new(p.clone(), cfg)).collect();
+    for ev in events {
+        for m in &mut monitors {
+            m.process(ev);
+        }
+    }
+    let mut records = Vec::new();
+    for (i, m) in monitors.iter_mut().enumerate() {
+        m.advance_to(end);
+        for v in m.violations() {
+            records.push(ViolationRecord {
+                seq: 0,
+                property: i,
+                rank: merge::kind_rank(m.property(), &v.trigger_stage),
+                violation: v.clone(),
+            });
+        }
+    }
+    merge::merge(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{var, Atom, EventPattern, Guard, MonitorConfig, Stage};
+    use swmon_packet::Field;
+
+    fn repeat_prop(name: &str, field: Field) -> Property {
+        let stage = |n: &str| {
+            Stage::match_(n, EventPattern::Arrival, Guard::new(vec![Atom::Bind(var("A"), field)]))
+        };
+        Property {
+            name: name.into(),
+            statement: String::new(),
+            stages: vec![stage("a"), stage("b")],
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_and_oversized_property_sets() {
+        let bad = Property { name: "empty".into(), statement: String::new(), stages: vec![] };
+        let err = ShardedRuntime::new(vec![bad], RuntimeConfig::with_shards(1)).unwrap_err();
+        assert!(matches!(err, RuntimeError::Invalid { index: 0, .. }), "{err}");
+
+        let many: Vec<Property> =
+            (0..65).map(|i| repeat_prop(&format!("p{i}"), Field::Ipv4Src)).collect();
+        let err = ShardedRuntime::new(many, RuntimeConfig::with_shards(1)).unwrap_err();
+        assert!(matches!(err, RuntimeError::TooManyProperties(65)), "{err}");
+    }
+
+    #[test]
+    fn empty_run_produces_no_records() {
+        let rt = ShardedRuntime::new(
+            vec![repeat_prop("p", Field::Ipv4Src)],
+            RuntimeConfig::with_shards(2),
+        )
+        .unwrap();
+        let out = rt.run(std::iter::empty(), Instant::from_nanos(1_000));
+        assert!(out.records.is_empty());
+        assert_eq!(out.stats.events_in, 0);
+        assert_eq!(out.stats.hashed_properties, 1);
+        let cfg = MonitorConfig::default();
+        assert!(reference_records(rt.properties(), cfg, &[], Instant::from_nanos(1_000)).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-property shard placement.
+//!
+//! Wraps [`swmon_core::RoutingPlan`] with the runtime-level decisions the
+//! core analysis cannot make on its own: which shard a pinned property
+//! lives on, and configuration-driven pin overrides (a capacity-bounded
+//! instance store models one shared register array, so its eviction
+//! behaviour depends on the *whole* instance population — splitting it
+//! across shards would change which incumbents get evicted).
+
+use swmon_core::{MonitorConfig, Route, RouteMode, RoutingPlan};
+use swmon_sim::trace::NetEvent;
+
+/// Why a property bypasses hash routing even though its plan allows it.
+pub const PIN_CAPACITY: &str = "capacity-bounded instance store is shared state";
+
+/// A property's placement policy within a fixed shard count.
+#[derive(Debug, Clone)]
+pub struct PropertyRoute {
+    plan: RoutingPlan,
+    /// Shard that hosts this property's single replica when not hashed.
+    pinned_shard: usize,
+    /// Set when the runtime configuration forces pinning regardless of the
+    /// derived plan.
+    pin_override: Option<&'static str>,
+}
+
+impl PropertyRoute {
+    /// Placement for the property at position `index` under `cfg`, across
+    /// `shards` workers. Pinned properties are spread round-robin.
+    pub fn new(index: usize, plan: RoutingPlan, cfg: &MonitorConfig, shards: usize) -> Self {
+        let pin_override = if cfg.capacity.is_some() { Some(PIN_CAPACITY) } else { None };
+        PropertyRoute { plan, pinned_shard: index % shards.max(1), pin_override }
+    }
+
+    /// The derived routing plan.
+    pub fn plan(&self) -> &RoutingPlan {
+        &self.plan
+    }
+
+    /// True when events spread across shards by instance-key hash.
+    pub fn is_hashed(&self) -> bool {
+        self.pin_override.is_none() && self.plan.is_hashed()
+    }
+
+    /// The forced-pin reason, if any.
+    pub fn pin_override(&self) -> Option<&'static str> {
+        self.pin_override
+    }
+
+    /// The single shard hosting this property, or `None` if hashed.
+    pub fn home_shard(&self) -> Option<usize> {
+        if self.is_hashed() {
+            None
+        } else {
+            Some(self.pinned_shard)
+        }
+    }
+
+    /// Which shard must see `ev` for this property, if any. `None` means
+    /// the event provably cannot affect any of the property's instances
+    /// (it is missing a key field, so no guard of the property can match).
+    pub fn shard_for(&self, ev: &NetEvent, shards: usize) -> Option<usize> {
+        if self.pin_override.is_some() {
+            return Some(self.pinned_shard);
+        }
+        match self.plan.route(ev) {
+            Route::Hash(k) => Some((disperse(k) % shards as u64) as usize),
+            Route::Pinned => Some(self.pinned_shard),
+            Route::Skip => None,
+        }
+    }
+
+    /// True if this property can ever deliver events to shard `s`.
+    pub fn reaches(&self, s: usize) -> bool {
+        self.is_hashed() || self.pinned_shard == s
+    }
+
+    /// Human-readable placement description (for docs/stats dumps).
+    pub fn describe(&self) -> String {
+        if let Some(why) = self.pin_override {
+            return format!("pinned(shard {}): {}", self.pinned_shard, why);
+        }
+        match self.plan.mode() {
+            RouteMode::HashExact { fields } => format!("hash-exact{fields:?}"),
+            RouteMode::HashSymmetric { fields, .. } => format!("hash-symmetric{fields:?}"),
+            RouteMode::Pinned(reason) => format!("pinned(shard {}): {}", self.pinned_shard, reason),
+        }
+    }
+}
+
+/// Finalizing mixer (splitmix64) applied to the instance-key hash before
+/// the shard modulus. FNV-1a folded over whole `u64` key words has weak
+/// low-bit dispersion — the output's parity is a XOR of input parities, so
+/// structured address pairs (e.g. consecutive A/B offsets in a workload)
+/// can leave half of a power-of-two shard set idle. The mixer is a
+/// bijection, so equal keys still land together; it only spreads them.
+fn disperse(mut k: u64) -> u64 {
+    k ^= k >> 30;
+    k = k.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    k ^= k >> 27;
+    k = k.wrapping_mul(0x94d0_49bb_1331_11eb);
+    k ^ (k >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{var, Atom, EventPattern, Guard, Property, Stage};
+    use swmon_packet::Field;
+
+    fn exact_prop() -> Property {
+        Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![
+                Stage::match_(
+                    "a",
+                    EventPattern::Arrival,
+                    Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Src)]),
+                ),
+                Stage::match_(
+                    "b",
+                    EventPattern::Arrival,
+                    Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Src)]),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn capacity_override_pins_even_hashable_properties() {
+        let plan = RoutingPlan::of(&exact_prop());
+        assert!(plan.is_hashed());
+        let free = MonitorConfig::default();
+        let bounded = MonitorConfig { capacity: Some(8), ..Default::default() };
+        let hashed = PropertyRoute::new(3, plan.clone(), &free, 4);
+        assert!(hashed.is_hashed());
+        assert_eq!(hashed.home_shard(), None);
+        let pinned = PropertyRoute::new(3, plan, &bounded, 4);
+        assert!(!pinned.is_hashed());
+        assert_eq!(pinned.home_shard(), Some(3));
+        assert_eq!(pinned.pin_override(), Some(PIN_CAPACITY));
+        assert!(pinned.describe().contains("shared state"));
+    }
+
+    #[test]
+    fn pinned_properties_spread_round_robin() {
+        let plan = RoutingPlan::of(&exact_prop());
+        let bounded = MonitorConfig { capacity: Some(8), ..Default::default() };
+        let r5 = PropertyRoute::new(5, plan.clone(), &bounded, 4);
+        assert_eq!(r5.home_shard(), Some(1));
+        assert!(r5.reaches(1) && !r5.reaches(0));
+        let hashed = PropertyRoute::new(5, plan, &MonitorConfig::default(), 4);
+        assert!(hashed.reaches(0) && hashed.reaches(3));
+    }
+}

@@ -1,0 +1,69 @@
+//! Runtime activity counters.
+
+use swmon_core::MonitorStats;
+
+/// Per-shard activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Events delivered to this shard (each counted once, however many of
+    /// the shard's monitors examined it).
+    pub events: u64,
+    /// Violations this shard's monitors reported.
+    pub violations: u64,
+}
+
+/// Counters describing one runtime run.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Events fed to the router.
+    pub events_in: u64,
+    /// Event deliveries across all shards (an event delivered to two
+    /// shards counts twice).
+    pub deliveries: u64,
+    /// Events that matched no property's key fields and were delivered
+    /// nowhere (provably unable to affect any monitor).
+    pub skipped: u64,
+    /// Channel messages sent.
+    pub batches: u64,
+    /// Properties routed by instance-key hash.
+    pub hashed_properties: usize,
+    /// Properties pinned to a single worker.
+    pub pinned_properties: usize,
+    /// Per-shard breakdown.
+    pub per_shard: Vec<ShardStats>,
+    /// Aggregated engine counters, summed over every worker replica.
+    pub engine: MonitorStats,
+}
+
+impl RuntimeStats {
+    /// Fold one worker monitor's counters into the aggregate.
+    pub(crate) fn absorb_engine(&mut self, s: &MonitorStats) {
+        let e = &mut self.engine;
+        e.events += s.events;
+        e.spawned += s.spawned;
+        e.advanced += s.advanced;
+        e.window_expired += s.window_expired;
+        e.cleared += s.cleared;
+        e.deduplicated += s.deduplicated;
+        e.refreshed += s.refreshed;
+        e.deadlines_fired += s.deadlines_fired;
+        e.stale_effects_dropped += s.stale_effects_dropped;
+        e.evicted += s.evicted;
+        e.out_of_scope += s.out_of_scope;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut r = RuntimeStats::default();
+        let s = MonitorStats { events: 3, spawned: 2, ..Default::default() };
+        r.absorb_engine(&s);
+        r.absorb_engine(&s);
+        assert_eq!(r.engine.events, 6);
+        assert_eq!(r.engine.spawned, 4);
+    }
+}

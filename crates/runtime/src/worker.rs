@@ -1,0 +1,165 @@
+//! Worker threads: each owns private `Monitor` replicas and drains its
+//! bounded channel in batches.
+
+use std::sync::mpsc::Receiver;
+
+use crate::batch::Msg;
+use crate::merge::{kind_rank, ViolationRecord};
+use swmon_core::{Monitor, MonitorStats};
+
+/// What a worker hands back when it finishes.
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// Violations found by this shard's monitors, in discovery order.
+    pub records: Vec<ViolationRecord>,
+    /// Events this shard processed (batch items).
+    pub events: u64,
+    /// Per-monitor engine counters, keyed by global property index.
+    pub engine: Vec<(usize, MonitorStats)>,
+}
+
+/// Sequence number recorded for violations discovered while draining
+/// timers at finish (no triggering event exists).
+pub const FLUSH_SEQ: u64 = u64::MAX;
+
+/// The worker loop: process batches until `Finish`, then drain timers and
+/// report. `monitors` pairs each replica with its global property index;
+/// `lut[global]` locates the replica locally (`None` if this shard never
+/// hosts that property).
+pub fn run(
+    rx: Receiver<Msg>,
+    mut monitors: Vec<(usize, Monitor)>,
+    lut: Vec<Option<usize>>,
+) -> WorkerReport {
+    let mut records = Vec::new();
+    let mut events = 0u64;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Events(items) => {
+                for item in items {
+                    events += 1;
+                    let mut mask = item.mask;
+                    while mask != 0 {
+                        let global = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let Some(local) = lut.get(global).copied().flatten() else { continue };
+                        let (_, m) = &mut monitors[local];
+                        let before = m.violations().len();
+                        m.process(&item.ev);
+                        harvest(&mut records, m, global, before, item.seq);
+                    }
+                }
+            }
+            Msg::Finish(end) => {
+                for (global, m) in &mut monitors {
+                    let before = m.violations().len();
+                    m.advance_to(end);
+                    let g = *global;
+                    harvest(&mut records, m, g, before, FLUSH_SEQ);
+                }
+                break;
+            }
+        }
+    }
+    let engine = monitors.iter().map(|(g, m)| (*g, m.stats.clone())).collect();
+    WorkerReport { records, events, engine }
+}
+
+fn harvest(
+    records: &mut Vec<ViolationRecord>,
+    m: &Monitor,
+    global: usize,
+    before: usize,
+    seq: u64,
+) {
+    let vs = m.violations();
+    if vs.len() == before {
+        return;
+    }
+    let prop = m.property();
+    for v in &vs[before..] {
+        records.push(ViolationRecord {
+            seq,
+            property: global,
+            rank: kind_rank(prop, &v.trigger_stage),
+            violation: v.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Item;
+    use std::sync::mpsc::sync_channel;
+    use std::sync::Arc;
+    use swmon_core::{var, Atom, EventPattern, Guard, MonitorConfig, Property, Stage};
+    use swmon_packet::{Field, Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::time::Instant;
+    use swmon_sim::trace::{NetEvent, NetEventKind, PacketId, PortNo, SwitchId};
+
+    fn repeat_prop() -> Property {
+        let stage = |n: &str| {
+            Stage::match_(
+                n,
+                EventPattern::Arrival,
+                Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Src)]),
+            )
+        };
+        Property {
+            name: "twice".into(),
+            statement: String::new(),
+            stages: vec![stage("a"), stage("b")],
+        }
+    }
+
+    fn arrival(t: u64, src: u8) -> NetEvent {
+        let pkt = Arc::new(PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, 99),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, 99),
+            1000,
+            80,
+            TcpFlags::SYN,
+            &[],
+        ));
+        NetEvent {
+            time: Instant::from_nanos(t),
+            kind: NetEventKind::Arrival {
+                switch: SwitchId(0),
+                port: PortNo(1),
+                pkt,
+                id: PacketId(t),
+            },
+        }
+    }
+
+    #[test]
+    fn worker_processes_masked_events_and_reports() {
+        let (tx, rx) = sync_channel(4);
+        // Two monitors; global indices 3 and 5. Events masked for 3 only.
+        let monitors = vec![
+            (3usize, swmon_core::Monitor::new(repeat_prop(), MonitorConfig::default())),
+            (5usize, swmon_core::Monitor::new(repeat_prop(), MonitorConfig::default())),
+        ];
+        let mut lut = vec![None; 64];
+        lut[3] = Some(0);
+        lut[5] = Some(1);
+        tx.send(Msg::Events(vec![
+            Item { seq: 0, mask: 1 << 3, ev: arrival(10, 1) },
+            Item { seq: 1, mask: 1 << 3, ev: arrival(20, 1) },
+        ]))
+        .unwrap();
+        tx.send(Msg::Finish(Instant::from_nanos(100))).unwrap();
+        let report = run(rx, monitors, lut);
+        assert_eq!(report.events, 2);
+        assert_eq!(report.records.len(), 1, "second same-src arrival completes stage b");
+        let r = &report.records[0];
+        assert_eq!((r.property, r.seq, r.rank), (3, 1, 1));
+        assert_eq!(r.violation.time.as_nanos(), 20);
+        // Monitor 5 saw nothing.
+        let stats5 = report.engine.iter().find(|(g, _)| *g == 5).unwrap();
+        assert_eq!(stats5.1.events, 0);
+    }
+}

@@ -570,12 +570,7 @@ mod tests {
             }
             net.run_to_completion();
             let probe = probe.borrow();
-            probe
-                .packets
-                .iter()
-                .map(|&(t, _)| (t, 0))
-                .chain(probe.timers.iter().copied())
-                .collect()
+            probe.packets.iter().map(|&(t, _)| (t, 0)).chain(probe.timers.iter().copied()).collect()
         }
         assert_eq!(run(), run());
     }

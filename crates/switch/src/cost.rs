@@ -179,7 +179,8 @@ mod tests {
         assert_eq!(a.stage_traversals, 4);
         assert_eq!(a.register_ops, 2);
         assert_eq!(a.slow_updates, 1);
-        let expect = m.base_forwarding + m.table_lookup * 4 + m.register_op * 2 + m.slow_path_update;
+        let expect =
+            m.base_forwarding + m.table_lookup * 4 + m.register_op * 2 + m.slow_path_update;
         assert_eq!(a.busy, expect);
         assert_eq!(a.mean_per_packet(), expect);
     }

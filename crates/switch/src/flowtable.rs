@@ -84,11 +84,7 @@ impl MatchSpec {
 
     /// The deepest layer this spec needs the parser to reach.
     pub fn required_depth(&self) -> swmon_packet::Layer {
-        self.atoms
-            .iter()
-            .map(|a| a.field.layer())
-            .max()
-            .unwrap_or(swmon_packet::Layer::L2)
+        self.atoms.iter().map(|a| a.field.layer()).max().unwrap_or(swmon_packet::Layer::L2)
     }
 }
 
@@ -193,9 +189,10 @@ impl FlowTable {
         };
         self.next_insertion += 1;
         // Keep sorted: priority descending, then insertion ascending.
-        let pos = self
-            .rules
-            .partition_point(|r| (r.rule.priority, std::cmp::Reverse(r.insertion)) >= (ins.rule.priority, std::cmp::Reverse(ins.insertion)));
+        let pos = self.rules.partition_point(|r| {
+            (r.rule.priority, std::cmp::Reverse(r.insertion))
+                >= (ins.rule.priority, std::cmp::Reverse(ins.insertion))
+        });
         self.rules.insert(pos, ins);
     }
 
@@ -231,10 +228,7 @@ impl FlowTable {
     /// are only *removed* by [`FlowTable::expire`]).
     pub fn lookup(&mut self, view: &PacketView, now: Instant) -> Option<&FlowRule> {
         self.lookups += 1;
-        let idx = self
-            .rules
-            .iter()
-            .position(|r| !r.expired(now) && r.rule.spec.matches(view));
+        let idx = self.rules.iter().position(|r| !r.expired(now) && r.rule.spec.matches(view));
         match idx {
             Some(i) => {
                 let r = &mut self.rules[i];

@@ -596,7 +596,9 @@ mod tests {
     }
 
     /// Network with one switch and trace recording; returns handles.
-    fn rig(cfg: SwitchConfig) -> (Network, Rc<RefCell<ProgrammableSwitch>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId)
+    fn rig(
+        cfg: SwitchConfig,
+    ) -> (Network, Rc<RefCell<ProgrammableSwitch>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId)
     {
         let mut net = Network::new();
         let sw = Rc::new(RefCell::new(ProgrammableSwitch::new(cfg)));
@@ -634,7 +636,10 @@ mod tests {
         );
         net.inject(Instant::ZERO, id, PortNo(0), tcp_pkt(1, 2, 80));
         net.run_to_completion();
-        assert_eq!(rec.borrow().departures().next().unwrap().action(), Some(EgressAction::Output(PortNo(2))));
+        assert_eq!(
+            rec.borrow().departures().next().unwrap().action(),
+            Some(EgressAction::Output(PortNo(2)))
+        );
     }
 
     #[test]
@@ -646,10 +651,7 @@ mod tests {
             FlowRule::new(
                 10,
                 MatchSpec::any(),
-                vec![
-                    Action::SetField(Field::Ipv4Src, nat_ip.into()),
-                    Action::Output(PortNo(1)),
-                ],
+                vec![Action::SetField(Field::Ipv4Src, nat_ip.into()), Action::Output(PortNo(1))],
             ),
             Instant::ZERO,
         );
@@ -687,8 +689,7 @@ mod tests {
 
     #[test]
     fn flood_sends_everywhere_but_ingress() {
-        let cfg =
-            SwitchConfig { num_ports: 3, table_miss: TableMiss::Flood, ..Default::default() };
+        let cfg = SwitchConfig { num_ports: 3, table_miss: TableMiss::Flood, ..Default::default() };
         let (mut net, _sw, rec, id) = rig(cfg);
         // Attach probes on ports 0..3.
         #[derive(Default)]
@@ -878,8 +879,10 @@ mod tests {
         let inline = run(StateUpdateMode::Inline);
         let split = run(StateUpdateMode::Split);
         let slow = CostModel::default().slow_path_update;
-        assert!(inline.duration_since(split) >= slow - Duration::from_nanos(1),
-            "inline {inline} should trail split {split} by ~{slow}");
+        assert!(
+            inline.duration_since(split) >= slow - Duration::from_nanos(1),
+            "inline {inline} should trail split {split} by ~{slow}"
+        );
     }
 
     #[test]
@@ -904,9 +907,7 @@ mod tests {
         }
         let cfg = SwitchConfig { table_miss: TableMiss::ToController, ..Default::default() };
         let mut net = Network::new();
-        let sw = Rc::new(RefCell::new(
-            ProgrammableSwitch::new(cfg).with_controller(Box::new(Hub)),
-        ));
+        let sw = Rc::new(RefCell::new(ProgrammableSwitch::new(cfg).with_controller(Box::new(Hub))));
         let id = net.add_node(sw.clone());
         let rec = Rc::new(RefCell::new(TraceRecorder::new()));
         net.add_sink(rec.clone());
@@ -928,8 +929,7 @@ mod tests {
 
     #[test]
     fn egress_table_matches_out_port_and_can_drop() {
-        let cfg =
-            SwitchConfig { num_tables: 1, egress_table: Some(1), ..Default::default() };
+        let cfg = SwitchConfig { num_tables: 1, egress_table: Some(1), ..Default::default() };
         let (mut net, sw, rec, id) = rig(cfg);
         sw.borrow_mut().install(
             0,
@@ -1011,7 +1011,8 @@ mod tests {
         let sw = sw.borrow();
         assert_eq!(sw.account.register_ops, 3);
         // One cell holds the count 3.
-        let hits: Vec<u64> = (0..64).map(|i| sw.registers.peek(arr, i)).filter(|&v| v > 0).collect();
+        let hits: Vec<u64> =
+            (0..64).map(|i| sw.registers.peek(arr, i)).filter(|&v| v > 0).collect();
         assert_eq!(hits, vec![3]);
     }
 }

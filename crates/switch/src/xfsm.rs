@@ -178,10 +178,8 @@ mod tests {
     fn symmetric_scope_lets_forward_traffic_open_return_path() {
         // Firewall-flavoured machine: lookup on (src,dst), update on
         // (dst,src). An A→B packet sets state for the B→A key.
-        let mut m = Xfsm::new(
-            vec![Field::Ipv4Src, Field::Ipv4Dst],
-            vec![Field::Ipv4Dst, Field::Ipv4Src],
-        );
+        let mut m =
+            Xfsm::new(vec![Field::Ipv4Src, Field::Ipv4Dst], vec![Field::Ipv4Dst, Field::Ipv4Src]);
         m.add_transition(Transition {
             from: Some(DEFAULT_STATE),
             guard: MatchSpec::any(),

@@ -25,7 +25,8 @@ fn pkt(src: u8, dport: u16) -> Packet {
     )
 }
 
-type Rig = (Network, Rc<RefCell<ProgrammableSwitch>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
+type Rig =
+    (Network, Rc<RefCell<ProgrammableSwitch>>, Rc<RefCell<TraceRecorder>>, swmon_sim::NodeId);
 
 fn rig(cfg: SwitchConfig) -> Rig {
     let mut net = Network::new();
@@ -242,7 +243,7 @@ fn learned_rule_with_hard_timeout_expires_despite_traffic() {
         Instant::ZERO,
     );
     net.inject(Instant::from_nanos(10), id, PortNo(0), pkt(1, 1000)); // learn at ~0
-    // Within the hard timeout: the learned rule fires an alert.
+                                                                      // Within the hard timeout: the learned rule fires an alert.
     net.inject(Instant::ZERO + Duration::from_millis(1), id, PortNo(0), pkt(2, 2000));
     // Past the hard timeout: the rule no longer matches even though it was
     // hit 4ms ago (hard timeouts ignore traffic).

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A wall-clock micro-benchmark harness implementing the API subset the
+//! swmon benches use. Each benchmark runs a short calibration pass to pick
+//! an iteration count targeting [`Criterion::MEASURE_BUDGET`] per sample,
+//! then reports mean / min / max per-iteration time on stdout. There is no
+//! statistical outlier analysis and no report directory.
+
+use std::time::{Duration, Instant};
+
+/// How the per-sample setup output is sized (API compatibility only; the
+/// stand-in treats every variant the same).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Drives the timed routine for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration durations collected across samples.
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, recorded: Vec::new() }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch takes ≥ ~2ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.recorded.push(t0.elapsed() / batch as u32);
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.recorded.push(t0.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(samples.max(1));
+    f(&mut b);
+    if b.recorded.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let min = b.recorded.iter().min().copied().unwrap_or_default();
+    let max = b.recorded.iter().max().copied().unwrap_or_default();
+    let total: Duration = b.recorded.iter().sum();
+    let mean = total / b.recorded.len() as u32;
+    println!(
+        "{label:<50} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.samples, &mut f);
+        self
+    }
+
+    /// End the group (stdout flush only in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Begin a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { name, samples: 10, _criterion: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), 10, &mut f);
+        self
+    }
+
+    /// Hook parity with real criterion's CLI configuration; the stand-in
+    /// ignores command-line arguments entirely.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Hook parity with real criterion's summary pass; nothing to do here.
+    pub fn final_summary(&self) {}
+}
+
+/// Declare a group of benchmark functions, mirroring real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_and_group_apis_run() {
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function(format!("fmt_{}", 1), |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A minimal deterministic property-testing harness implementing the API
+//! subset swmon's tests use. Differences from real proptest, by design:
+//!
+//! * **No shrinking** — a failing case reports the raw generated inputs.
+//! * **No persistence** — `.proptest-regressions` files are left untouched
+//!   (their recorded cases are covered by explicit `#[test]` regressions
+//!   next to the property tests).
+//! * **Deterministic seeding** — the RNG seed derives from the test name,
+//!   so every run generates the same cases and failures reproduce exactly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop_assert;
+    pub use crate::prop_assert_eq;
+    pub use crate::prop_assert_ne;
+    pub use crate::prop_assume;
+    pub use crate::prop_oneof;
+    pub use crate::proptest;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+}
+
+/// Value-generation strategies.
+pub mod strategy_impls {}
+
+// ---------------------------------------------------------------------------
+// Macros (exported at the crate root, like real proptest).
+
+/// Define property tests. Supports the block form
+/// `proptest! { #![proptest_config(..)] #[test] fn f(x in strat) {..} .. }`
+/// and the closure form `proptest!(|(x in strat)| {..})`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    (|($($arg:ident in $strat:expr),+ $(,)?)| $body:block) => {{
+        let __cfg = $crate::test_runner::Config::default();
+        let mut __rng = $crate::test_runner::TestRng::for_test(concat!(file!(), ":", line!()));
+        let mut __case: u32 = 0;
+        let mut __attempts: u32 = 0;
+        while __case < __cfg.cases {
+            __attempts += 1;
+            if __attempts > __cfg.cases.saturating_mul(10) {
+                panic!("proptest: too many rejected cases");
+            }
+            $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+            let __inputs = ($(Clone::clone(&$arg),)+);
+            let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::core::result::Result::Ok(()) })();
+            match __result {
+                Ok(()) => __case += 1,
+                Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case #{} failed: {}\ninputs: {:?}",
+                        __case, msg, __inputs
+                    );
+                }
+            }
+        }
+    }};
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each `fn name(args in strats) { body }` into a test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __case: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __case < __cfg.cases {
+                    __attempts += 1;
+                    if __attempts > __cfg.cases.saturating_mul(10) {
+                        panic!("proptest {}: too many rejected cases", stringify!($name));
+                    }
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __inputs = ($(Clone::clone(&$arg),)+);
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match __result {
+                        Ok(()) => __case += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} case #{} failed: {}\ninputs: {:#?}",
+                                stringify!($name), __case, msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assert_eq failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assert_eq failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assert_ne failed: both {:?}", l);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assert_ne failed: both {:?}: {}", l, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discard the current case (generate a replacement) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// A strategy drawing uniformly from the listed alternative strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,42 @@
+//! Option strategies: `option::of(strategy)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Match real proptest's default: Some with probability 0.5.
+        if rng.next_u64() & 1 == 1 {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// A strategy generating `None` or `Some` of the inner strategy's values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::of;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::for_test("opt");
+        let s = of(0u8..4);
+        let draws: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|d| d.is_some()));
+        assert!(draws.iter().any(|d| d.is_none()));
+    }
+}

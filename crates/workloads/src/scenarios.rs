@@ -83,8 +83,7 @@ impl FirewallWorkload {
                 );
                 s.packet(t0 + Duration::from_millis(1), inside, fin);
             }
-            let reply =
-                PacketBuilder::tcp(m2, m1, b, a, 443, sport, TcpFlags::ACK, &[]);
+            let reply = PacketBuilder::tcp(m2, m1, b, a, 443, sport, TcpFlags::ACK, &[]);
             s.packet(t0 + self.reply_gap, outside, reply);
         }
         s
@@ -128,7 +127,11 @@ impl ArpWorkload {
             let owner = rng.random_range(1..=100u8);
             let owner_ip = Ipv4Address::new(10, 0, 0, owner);
             // An owner announces itself (a reply traverses the switch).
-            let req = ArpPacket::request(mac(9000 + u32::from(owner)), Ipv4Address::new(10, 0, 0, 200), owner_ip);
+            let req = ArpPacket::request(
+                mac(9000 + u32::from(owner)),
+                Ipv4Address::new(10, 0, 0, 200),
+                owner_ip,
+            );
             let reply = PacketBuilder::arp(ArpPacket::reply_to(&req, mac(u32::from(owner))));
             s.packet(t0, PortNo(1), reply);
             // Someone asks — usually for a known address.
@@ -238,12 +241,7 @@ pub struct LbWorkload {
 
 impl Default for LbWorkload {
     fn default() -> Self {
-        LbWorkload {
-            flows: 50,
-            packets_per_flow: 3,
-            spacing: Duration::from_millis(10),
-            seed: 17,
-        }
+        LbWorkload { flows: 50, packets_per_flow: 3, spacing: Duration::from_millis(10), seed: 17 }
     }
 }
 
@@ -258,8 +256,7 @@ impl LbWorkload {
             let sport = rng.random_range(1024..60000u16);
             for k in 0..self.packets_per_flow {
                 let flags = if k == 0 { TcpFlags::SYN } else { TcpFlags::ACK };
-                let pkt =
-                    PacketBuilder::tcp(mac(i), mac(999), src, vip, sport, 80, flags, &[]);
+                let pkt = PacketBuilder::tcp(mac(i), mac(999), src, vip, sport, 80, flags, &[]);
                 s.packet(t0 + Duration::from_millis(u64::from(k)), client_port, pkt);
             }
         }
@@ -303,7 +300,16 @@ impl KnockWorkload {
             let mut t = t0;
             let fumbles = rng.random_bool(self.fumble_fraction);
             let knock = |dport: u16| {
-                PacketBuilder::tcp(mac(i), mac(99), src, Ipv4Address::new(10, 0, 0, 99), 33000, dport, TcpFlags::SYN, &[])
+                PacketBuilder::tcp(
+                    mac(i),
+                    mac(99),
+                    src,
+                    Ipv4Address::new(10, 0, 0, 99),
+                    33000,
+                    dport,
+                    TcpFlags::SYN,
+                    &[],
+                )
             };
             for (k, &kp) in seq.iter().enumerate() {
                 s.packet(t, port, knock(kp));
@@ -390,7 +396,9 @@ impl FtpWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swmon_props::scenario::{INSIDE_PORT, KNOCK_SEQ, LB_CLIENT_PORT, LB_VIP, OUTSIDE_PORT, PROTECTED_PORT};
+    use swmon_props::scenario::{
+        INSIDE_PORT, KNOCK_SEQ, LB_CLIENT_PORT, LB_VIP, OUTSIDE_PORT, PROTECTED_PORT,
+    };
 
     #[test]
     fn firewall_workload_is_deterministic() {
@@ -450,8 +458,11 @@ mod tests {
 
     #[test]
     fn knock_workload_finishes_with_access_attempts() {
-        let s = KnockWorkload { knockers: 10, fumble_fraction: 0.0, ..Default::default() }
-            .build(PortNo(0), &KNOCK_SEQ, PROTECTED_PORT);
+        let s = KnockWorkload { knockers: 10, fumble_fraction: 0.0, ..Default::default() }.build(
+            PortNo(0),
+            &KNOCK_SEQ,
+            PROTECTED_PORT,
+        );
         assert_eq!(s.len(), 10 * (KNOCK_SEQ.len() + 1));
     }
 

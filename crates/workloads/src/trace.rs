@@ -67,6 +67,51 @@ pub fn steady_state_trace(
     tb.build()
 }
 
+/// A high-volume interleaved workload: `packets` packets spread over
+/// `flows` concurrent (A,B) pairs, mixing outbound traffic with replies.
+/// A `reply_fraction` of packets travel B→A, and a `drop_fraction` of
+/// those replies are dropped (each drop completes a firewall
+/// `return-not-dropped` violation for its pair).
+///
+/// Unlike [`firewall_trace`] — which touches each pair once, in order —
+/// this generator revisits flows in random interleaving, so consecutive
+/// events almost never share an instance key. That is the regime a
+/// sharded runtime needs: many simultaneously-live instances whose events
+/// hash to different workers (E13).
+pub fn multi_flow_trace(
+    flows: u32,
+    packets: u32,
+    reply_fraction: f64,
+    drop_fraction: f64,
+    inter_packet: Duration,
+    seed: u64,
+) -> Vec<NetEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut tb = TraceBuilder::new();
+    let mut t = Instant::ZERO;
+    for _ in 0..packets {
+        let i = rng.random_range(0..flows);
+        let a = Ipv4Address::from_u32(0x0a00_0002 + i);
+        let b = Ipv4Address::from_u32(0xc000_0201 + i);
+        let m1 = MacAddr::from_u64(0x0200_0000_0000 + u64::from(i));
+        let m2 = MacAddr::from_u64(0x0200_ffff_0000 + u64::from(i));
+        if rng.random_bool(reply_fraction) {
+            let back = PacketBuilder::tcp(m2, m1, b, a, 443, 4000, TcpFlags::ACK, &[]);
+            let action = if rng.random_bool(drop_fraction) {
+                EgressAction::Drop
+            } else {
+                EgressAction::Output(PortNo(0))
+            };
+            tb.at(t).arrive_depart(PortNo(1), back, action);
+        } else {
+            let out = PacketBuilder::tcp(m1, m2, a, b, 4000, 443, TcpFlags::SYN, &[]);
+            tb.at(t).arrive_depart(PortNo(0), out, EgressAction::Output(PortNo(1)));
+        }
+        t += inter_packet;
+    }
+    tb.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,14 +133,28 @@ mod tests {
     }
 
     #[test]
+    fn multi_flow_mixes_directions_and_stays_ordered() {
+        let t = multi_flow_trace(64, 500, 0.4, 0.3, Duration::from_micros(2), 7);
+        assert_eq!(t.len(), 1_000, "arrival + departure per packet");
+        assert!(t.windows(2).all(|w| w[0].time <= w[1].time));
+        // Both directions occur: some sources in 10.0.0.0/8, some replies
+        // from 192.0.2.0/24 space.
+        let srcs: std::collections::HashSet<_> =
+            t.iter().filter_map(|e| e.field(swmon_packet::Field::Ipv4Src)).collect();
+        assert!(srcs.len() > 64, "outbound and reply directions both present");
+        // Deterministic for a fixed seed.
+        let t2 = multi_flow_trace(64, 500, 0.4, 0.3, Duration::from_micros(2), 7);
+        assert_eq!(t.len(), t2.len());
+        assert!(t.iter().zip(&t2).all(|(x, y)| x.time == y.time));
+    }
+
+    #[test]
     fn steady_state_bounded_flows() {
         let t = steady_state_trace(8, 100, Duration::from_micros(5), 3);
         assert_eq!(t.len(), 200);
         // All sources drawn from the 8-flow pool.
-        let srcs: std::collections::HashSet<_> = t
-            .iter()
-            .filter_map(|e| e.field(swmon_packet::Field::Ipv4Src))
-            .collect();
+        let srcs: std::collections::HashSet<_> =
+            t.iter().filter_map(|e| e.field(swmon_packet::Field::Ipv4Src)).collect();
         assert!(srcs.len() <= 8);
     }
 }

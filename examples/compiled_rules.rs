@@ -32,12 +32,12 @@ fn main() {
     // symmetric match, entirely compilable to learn-action rules.
     let property = PropertyBuilder::new("probe-then-contact", "probers are not contacted")
         .observe("probe", EventPattern::Arrival)
-            .eq(Field::L4Dst, 9999u16)
-            .bind("A", Field::Ipv4Src)
-            .done()
+        .eq(Field::L4Dst, 9999u16)
+        .bind("A", Field::Ipv4Src)
+        .done()
         .observe("contacted", EventPattern::Arrival)
-            .bind("A", Field::Ipv4Dst)
-            .done()
+        .bind("A", Field::Ipv4Dst)
+        .done()
         .build()
         .unwrap();
 

@@ -23,14 +23,14 @@ fn main() {
         "after A→B traffic, B→A packets are not dropped",
     )
     .observe("outbound", EventPattern::Arrival)
-        .eq(Field::InPort, u64::from(INSIDE_PORT.0))
-        .bind("A", Field::Ipv4Src)
-        .bind("B", Field::Ipv4Dst)
-        .done()
+    .eq(Field::InPort, u64::from(INSIDE_PORT.0))
+    .bind("A", Field::Ipv4Src)
+    .bind("B", Field::Ipv4Dst)
+    .done()
     .observe("return-dropped", EventPattern::Departure(ActionPattern::Drop))
-        .bind("B", Field::Ipv4Src)
-        .bind("A", Field::Ipv4Dst)
-        .done()
+    .bind("B", Field::Ipv4Src)
+    .bind("A", Field::Ipv4Dst)
+    .done()
     .build()
     .expect("well-formed property");
 

@@ -1,0 +1,52 @@
+//! Sharded runtime quickstart: run the firewall property across 4 worker
+//! threads with the streaming API, and show that the merged output equals
+//! the single-threaded reference.
+//!
+//! ```text
+//! cargo run --example sharded_runtime
+//! ```
+
+use swmon::monitor::MonitorConfig;
+use swmon::runtime::{reference_records, signature, RuntimeConfig, ShardedRuntime};
+use swmon::sim::Duration;
+use swmon_props::firewall;
+use swmon_workloads::trace::multi_flow_trace;
+
+fn main() {
+    let props = vec![firewall::return_not_dropped()];
+    let trace = multi_flow_trace(64, 2_000, 0.4, 0.25, Duration::from_micros(5), 42);
+    let end = trace.last().unwrap().time + Duration::from_secs(60);
+
+    let rt = ShardedRuntime::new(props.clone(), RuntimeConfig::with_shards(4)).unwrap();
+    for (i, route) in rt.router().routes().iter().enumerate() {
+        println!("property {i} [{}]: {}", rt.properties()[i].name, route.describe());
+    }
+
+    // Streaming ingestion: feed events as they arrive, then close out.
+    let mut session = rt.start();
+    for ev in &trace {
+        session.feed(ev);
+    }
+    let out = session.finish(end);
+
+    println!(
+        "\n{} events over {} shards: {} violations ({} hashed, {} pinned properties)",
+        out.stats.events_in,
+        out.stats.per_shard.len(),
+        out.records.len(),
+        out.stats.hashed_properties,
+        out.stats.pinned_properties,
+    );
+    for (s, shard) in out.stats.per_shard.iter().enumerate() {
+        println!("  shard {s}: {} events, {} violations", shard.events, shard.violations);
+    }
+
+    let reference = reference_records(&props, MonitorConfig::default(), &trace, end);
+    let matches = out.signatures() == reference.iter().map(signature).collect::<Vec<_>>();
+    println!("\nmerged output equals single-threaded reference: {matches}");
+    assert!(matches);
+
+    for r in out.records.iter().take(3) {
+        println!("  e.g. {}", signature(r));
+    }
+}

@@ -8,6 +8,7 @@ pub use swmon_backends as backends;
 pub use swmon_core as monitor;
 pub use swmon_packet as packet;
 pub use swmon_props as props;
+pub use swmon_runtime as runtime;
 pub use swmon_sim as sim;
 pub use swmon_switch as switch;
 pub use swmon_workloads as workloads;

@@ -72,9 +72,8 @@ fn catalog_is_silent_on_a_correct_firewall() {
 #[test]
 fn unrefined_properties_overfire_on_closes_refined_one_does_not() {
     let set = run_firewall_under_catalog(FirewallFault::None, 0.3);
-    let count = |name: &str| {
-        set.counts().into_iter().find(|(n, _)| *n == name).map(|(_, c)| c).unwrap()
-    };
+    let count =
+        |name: &str| set.counts().into_iter().find(|(n, _)| *n == name).map(|(_, c)| c).unwrap();
     assert!(count("firewall/return-not-dropped") > 0, "the naive property over-fires");
     assert!(count("firewall/return-not-dropped-within-T") > 0);
     assert_eq!(count("firewall/return-until-close"), 0, "the refined property is precise");

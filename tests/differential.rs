@@ -25,9 +25,9 @@ struct GenEvent {
 }
 
 fn gen_event() -> impl Strategy<Value = GenEvent> {
-    (0u8..6, any::<bool>(), any::<bool>(), 1u8..4).prop_map(|(pair, outbound, dropped, gap_steps)| {
-        GenEvent { pair, outbound, dropped, gap_steps }
-    })
+    (0u8..6, any::<bool>(), any::<bool>(), 1u8..4).prop_map(
+        |(pair, outbound, dropped, gap_steps)| GenEvent { pair, outbound, dropped, gap_steps },
+    )
 }
 
 /// Render generated events as a firewall-shaped trace. `step` controls
@@ -64,10 +64,7 @@ fn render_trace(events: &[GenEvent], step: Duration) -> Vec<NetEvent> {
 fn signature(m: &[swmon::monitor::Violation]) -> Vec<(u64, String)> {
     m.iter()
         .map(|v| {
-            (
-                v.time.as_nanos(),
-                v.bindings.as_ref().map(|b| b.to_string()).unwrap_or_default(),
-            )
+            (v.time.as_nanos(), v.bindings.as_ref().map(|b| b.to_string()).unwrap_or_default())
         })
         .collect()
 }
@@ -204,8 +201,5 @@ fn identity_is_per_arrival_not_per_packet_value() {
     let id2 = tb.at_ms(1).arrive(PortNo(0), pkt.clone());
     assert_ne!(id1, id2, "identical bytes, distinct arrivals, distinct identity");
     let trace = tb.build();
-    assert!(!Arc::ptr_eq(
-        trace[0].packet().unwrap(),
-        trace[1].packet().unwrap(),
-    ));
+    assert!(!Arc::ptr_eq(trace[0].packet().unwrap(), trace[1].packet().unwrap(),));
 }

@@ -100,11 +100,7 @@ fn firewall_between_real_hosts() {
             1,
             "{fault:?}: outbound SYN crossed the firewall"
         );
-        assert_eq!(
-            !inside.borrow().received.is_empty(),
-            expect_reply,
-            "{fault:?}: reply delivery"
-        );
+        assert_eq!(!inside.borrow().received.is_empty(), expect_reply, "{fault:?}: reply delivery");
         assert_eq!(monitor.borrow().violations().len(), expect_violations, "{fault:?}");
     }
 }
@@ -244,11 +240,9 @@ fn full_simulation_is_deterministic() {
             swmon_props::firewall::return_not_dropped(),
         )));
         net.add_sink(monitor.clone());
-        let sched = swmon_workloads::scenarios::FirewallWorkload {
-            connections: 50,
-            ..Default::default()
-        }
-        .build(INSIDE_PORT, OUTSIDE_PORT);
+        let sched =
+            swmon_workloads::scenarios::FirewallWorkload { connections: 50, ..Default::default() }
+                .build(INSIDE_PORT, OUTSIDE_PORT);
         sched.inject_into(&mut net, id);
         net.run_to_completion();
         let m = monitor.borrow();

@@ -44,9 +44,8 @@ fn table2_matrix_is_fully_validated() {
 #[test]
 fn e3_shape_varanus_linear_others_flat() {
     let pts = e3::run(&[10, 1000]);
-    let depth = |a: &str, n: u32| {
-        pts.iter().find(|p| p.approach == a && p.pairs == n).unwrap().mean_depth
-    };
+    let depth =
+        |a: &str, n: u32| pts.iter().find(|p| p.approach == a && p.pairs == n).unwrap().mean_depth;
     assert!(depth("Varanus", 1000) / depth("Varanus", 10) > 50.0);
     assert_eq!(depth("Static Varanus", 10), depth("Static Varanus", 1000));
     assert_eq!(depth("POF and P4", 10), depth("POF and P4", 1000));
