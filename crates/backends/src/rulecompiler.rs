@@ -137,7 +137,7 @@ fn plan_stage(property: &Property, idx: usize) -> Result<StagePlan, RuleCompileE
     for atom in &guard.atoms {
         match atom {
             Atom::EqConst(f, v) => plan.consts.push(MatchAtom::exact(*f, *v)),
-            Atom::Bind(v, f) => plan.binds.push((v.clone(), *f)),
+            Atom::Bind(v, f) => plan.binds.push((*v, *f)),
             other => {
                 return Err(RuleCompileError::UnsupportedAtom {
                     stage: idx,
@@ -171,7 +171,7 @@ fn learn_template(plans: &[StagePlan], next: usize) -> Result<Vec<LearnAtom>, Ru
                 }
                 None => {
                     return Err(RuleCompileError::VariableNotCarried {
-                        var: v.0.clone(),
+                        var: v.name().to_string(),
                         stage: next,
                     })
                 }

@@ -2,11 +2,13 @@
 //!
 //! Usage:
 //! ```text
-//! repro            # run everything
-//! repro table1 e3  # run a subset
+//! repro                    # run everything
+//! repro table1 e3          # run a subset
+//! repro e13 e14 --json     # also print machine-readable results
+//! repro e14 --json --quick # small event counts (CI smoke)
 //! ```
 
-use swmon_bench::experiments::{e10, e11, e12, e13, e3, e4, e5, e6, e7, e8, e9};
+use swmon_bench::experiments::{e10, e11, e12, e13, e14, e3, e4, e5, e6, e7, e8, e9};
 
 fn section(title: &str) {
     println!("\n{}", "=".repeat(78));
@@ -88,12 +90,27 @@ fn main() {
         println!("{}", e12::render());
     }
 
+    // `--quick` scales the runtime experiments down for CI smoke runs;
+    // verification still applies at every size.
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let (flows, packets) = if quick { (64, 2_000) } else { (256, 20_000) };
+
     if want("e13") {
         section("E13 — sharded multi-core runtime scaling (extension)");
-        let o = e13::run(256, 20_000, &e13::SHARD_COUNTS);
+        let o = e13::run(flows, packets, &e13::SHARD_COUNTS);
         println!("{}", e13::render(&o));
-        if args.iter().any(|a| a == "--json") {
+        if json {
             println!("{}", e13::to_json(&o));
+        }
+    }
+
+    if want("e14") {
+        section("E14 — single-thread hot-path throughput (extension)");
+        let o = e14::run(flows, packets);
+        println!("{}", e14::render(&o));
+        if json {
+            println!("{}", e14::to_json(&o));
         }
     }
 }

@@ -44,11 +44,14 @@ pub struct Outcome {
 /// Shard counts the experiment sweeps by default.
 pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn workload(flows: u32, packets: u32) -> Vec<NetEvent> {
+/// The E13 workload, shared with E14 so hot-path speedups are measured
+/// over exactly the baseline trace.
+pub(crate) fn workload(flows: u32, packets: u32) -> Vec<NetEvent> {
     multi_flow_trace(flows, packets, 0.4, 0.25, Duration::from_micros(2), 13)
 }
 
-fn properties() -> Vec<Property> {
+/// The E13 property pair, shared with E14.
+pub(crate) fn properties() -> Vec<Property> {
     vec![
         firewall::return_not_dropped(),
         firewall::return_not_dropped_within(Duration::from_secs(60)),

@@ -692,10 +692,10 @@ fn fmt_value(v: &FieldValue) -> String {
 
 fn fmt_atom(a: &Atom) -> String {
     match a {
-        Atom::Bind(v, f) => format!("bind ?{} = {}", v.0, field_name(*f)),
+        Atom::Bind(v, f) => format!("bind ?{} = {}", v.name(), field_name(*f)),
         Atom::EqConst(f, v) => format!("{} == {}", field_name(*f), fmt_value(v)),
         Atom::NeqConst(f, v) => format!("{} != {}", field_name(*f), fmt_value(v)),
-        Atom::NeqVar(f, v) => format!("{} != ?{}", field_name(*f), v.0),
+        Atom::NeqVar(f, v) => format!("{} != ?{}", field_name(*f), v.name()),
         Atom::SamePacket(n) => format!("same packet as {n}"),
         Atom::AnyOf(subs) => {
             let parts: Vec<String> = subs.iter().map(fmt_atom).collect();
@@ -706,7 +706,7 @@ fn fmt_atom(a: &Atom) -> String {
             format!("hash({}) % {modulus} base {base} != out_port", names.join(", "))
         }
         Atom::RrSuccessorMismatch { prev, modulus, base } => {
-            format!("rr successor of ?{} % {modulus} base {base} != out_port", prev.0)
+            format!("rr successor of ?{} % {modulus} base {base} != out_port", prev.name())
         }
     }
 }
@@ -758,7 +758,7 @@ pub fn to_dsl(p: &Property) -> String {
                     match w {
                         WindowSpec::Fixed(d) => out.push_str(&format!(" within {d}")),
                         WindowSpec::BoundSecs(v) => {
-                            out.push_str(&format!(" within bound ?{}", v.0))
+                            out.push_str(&format!(" within bound ?{}", v.name()))
                         }
                     }
                     if stage.within_refresh == RefreshPolicy::RefreshOnRepeat {

@@ -46,9 +46,11 @@
 //! quantifies.
 
 use crate::property::{Property, RefreshPolicy, Stage, StageKind, WindowSpec};
+use crate::routing::StageKeyPlan;
 use crate::var::Bindings;
 use crate::violation::{ProvenanceMode, Violation};
 use std::collections::HashMap;
+use swmon_packet::FieldValue;
 use swmon_sim::time::{Duration, Instant};
 use swmon_sim::timer::{TimerId, TimerWheel};
 use swmon_sim::trace::{EventSink, NetEvent};
@@ -188,6 +190,22 @@ enum KillReason {
     Cleared,
 }
 
+/// Secondary index over the instances awaiting one stage.
+///
+/// Stages with a derived [`crate::routing::StageKey`] get a `Keyed` bucket:
+/// a map from the discriminating variable's bound value to the slot indices
+/// holding it, plus a `rest` overflow list (scanned unconditionally) for
+/// any instance whose key variable is — defensively — unbound. Stages the
+/// analysis cannot key get a plain `Scan` list. Either way the bucket holds
+/// exactly the live instances awaiting that stage.
+#[derive(Debug)]
+enum Bucket {
+    /// `map[value]` = slots whose key variable is bound to `value`.
+    Keyed { map: HashMap<FieldValue, Vec<usize>>, rest: Vec<usize> },
+    /// All awaiting slots, scanned for every relevant event.
+    Scan(Vec<usize>),
+}
+
 /// The reference monitor for one property.
 pub struct Monitor {
     property: Property,
@@ -199,6 +217,15 @@ pub struct Monitor {
     pending: Vec<(Instant, Effect)>,
     /// Occupancy of the bounded store: cell -> slot index.
     cells: Vec<Option<usize>>,
+    /// Which instance-matching key (if any) each stage supports.
+    stage_keys: StageKeyPlan,
+    /// Per-awaiting-stage instance index; `buckets[0]` is always empty
+    /// (instances never await stage 0).
+    buckets: Vec<Bucket>,
+    /// Reusable effect buffer (avoids a per-event allocation).
+    scratch_effects: Vec<Effect>,
+    /// Reusable candidate-slot buffer for the keyed lookup path.
+    scratch_candidates: Vec<usize>,
     violations: Vec<Violation>,
     now: Instant,
     next_uid: u64,
@@ -224,6 +251,13 @@ impl Monitor {
     /// [`Monitor::try_new`] for untrusted (e.g. DSL-loaded) input.
     pub fn new(property: Property, cfg: MonitorConfig) -> Self {
         property.validate().expect("property must be well-formed");
+        let stage_keys = StageKeyPlan::of(&property);
+        let buckets = (0..property.stages.len())
+            .map(|s| match stage_keys.key(s) {
+                Some(_) => Bucket::Keyed { map: HashMap::new(), rest: Vec::new() },
+                None => Bucket::Scan(Vec::new()),
+            })
+            .collect();
         Monitor {
             property,
             cfg,
@@ -233,6 +267,10 @@ impl Monitor {
             timers: TimerWheel::new(),
             pending: Vec::new(),
             cells: vec![None; cfg.capacity.unwrap_or(0)],
+            stage_keys,
+            buckets,
+            scratch_effects: Vec::new(),
+            scratch_candidates: Vec::new(),
             violations: Vec::new(),
             now: Instant::ZERO,
             next_uid: 0,
@@ -356,10 +394,54 @@ impl Monitor {
             ProcessingMode::Split { lag } => Some(lag),
         };
 
-        // Phase 1+2: walk live instances; collect decisions against the
-        // *currently visible* state.
-        let mut effects: Vec<Effect> = Vec::new();
-        for idx in 0..self.slots.len() {
+        // Phase 1+2: gather the instances this event could clear or
+        // advance, then evaluate their guards against the *currently
+        // visible* state. Stages whose patterns all miss the event are
+        // skipped outright; keyed stages look up only the instances whose
+        // discriminating binding matches the event's field value (plus the
+        // defensive `rest` list). Candidates are evaluated in ascending
+        // slot order — exactly the order the former full scan used — so
+        // the effect sequence, and with it every downstream ordering
+        // (violations, slot reuse, dedup outcomes), is unchanged.
+        let mut effects = std::mem::take(&mut self.scratch_effects);
+        let mut cands = std::mem::take(&mut self.scratch_candidates);
+        debug_assert!(effects.is_empty() && cands.is_empty());
+        for s in 1..self.property.stages.len() {
+            let stage = &self.property.stages[s];
+            let adv_hit =
+                matches!(&stage.kind, StageKind::Match { pattern, .. } if pattern.matches(ev));
+            let clear_hit = stage.unless.iter().any(|u| u.pattern.matches(ev));
+            if !adv_hit && !clear_hit {
+                continue;
+            }
+            match &self.buckets[s] {
+                Bucket::Scan(v) => cands.extend_from_slice(v),
+                Bucket::Keyed { map, rest } => {
+                    cands.extend_from_slice(rest);
+                    let key = self.stage_keys.key(s).expect("keyed bucket has a stage key");
+                    if adv_hit {
+                        let f = key.advance_field.expect("match stage key has an advance field");
+                        if let Some(val) = ev.field(f) {
+                            if let Some(v) = map.get(&val) {
+                                cands.extend_from_slice(v);
+                            }
+                        }
+                    }
+                    for (u, &f) in stage.unless.iter().zip(&key.unless_fields) {
+                        if u.pattern.matches(ev) {
+                            if let Some(val) = ev.field(f) {
+                                if let Some(v) = map.get(&val) {
+                                    cands.extend_from_slice(v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        for &idx in &cands {
             let Some(inst) = self.slots[idx].as_ref() else { continue };
             let stage = &self.property.stages[inst.awaiting];
             // Clearings first.
@@ -379,6 +461,8 @@ impl Monitor {
             if let StageKind::Match { pattern, guard } = &stage.kind {
                 if pattern.matches(ev) {
                     if let Some(env) = guard.eval(ev, &inst.bindings, &inst.stage_ids) {
+                        let event =
+                            (self.cfg.provenance == ProvenanceMode::Full).then(|| ev.clone());
                         effects.push(Effect::Advance {
                             obs_time: ev.time,
                             idx,
@@ -386,12 +470,14 @@ impl Monitor {
                             expected_stage: inst.awaiting,
                             bindings: env,
                             stage_id: ev.packet_id(),
-                            event: Some(ev.clone()),
+                            event,
                         });
                     }
                 }
             }
         }
+        cands.clear();
+        self.scratch_candidates = cands;
 
         // Phase 4: spawning.
         let stage0 = &self.property.stages[0];
@@ -424,17 +510,18 @@ impl Monitor {
         });
         match lag {
             None => {
-                for eff in effects {
+                for eff in effects.drain(..) {
                     self.apply_effect(ev.time, eff);
                 }
             }
             Some(lag) => {
                 let ready = ev.time + lag;
-                for eff in effects {
+                for eff in effects.drain(..) {
                     self.pending.push((ready, eff));
                 }
             }
         }
+        self.scratch_effects = effects;
     }
 
     fn apply_effect(&mut self, _applied_at: Instant, eff: Effect) {
@@ -457,7 +544,7 @@ impl Monitor {
                     // advance extends them — computing the old key after
                     // assignment would leave a stale index entry that
                     // swallows future spawns via deduplication.
-                    let old_key = (inst.awaiting, inst.bindings.clone());
+                    let old_key = (inst.awaiting, inst.bindings);
                     self.index.remove(&old_key);
                     inst.bindings = bindings;
                     if self.cfg.provenance == ProvenanceMode::Full {
@@ -499,7 +586,7 @@ impl Monitor {
             self.raise(at, &bindings, &history, 0);
             return;
         }
-        let key = (1usize, bindings.clone());
+        let key = (1usize, bindings);
         if let Some(&incumbent) = self.index.get(&key) {
             self.dedup_against(incumbent, at);
             return;
@@ -539,6 +626,59 @@ impl Monitor {
         }
         self.index.insert(key, idx);
         self.arm_stage_timer(idx, at);
+        self.bucket_insert(idx);
+    }
+
+    /// Add slot `idx` to the bucket of the stage it now awaits.
+    fn bucket_insert(&mut self, idx: usize) {
+        let inst = self.slots[idx].as_ref().expect("live instance");
+        let awaiting = inst.awaiting;
+        let keyval = self.stage_keys.key(awaiting).and_then(|k| inst.bindings.get(&k.var)).copied();
+        match &mut self.buckets[awaiting] {
+            Bucket::Scan(v) => v.push(idx),
+            Bucket::Keyed { map, rest } => match keyval {
+                Some(val) => map.entry(val).or_default().push(idx),
+                None => rest.push(idx),
+            },
+        }
+    }
+
+    /// Remove slot `idx` from its awaiting stage's bucket. Callers must do
+    /// this while the instance still holds the awaiting stage and the key
+    /// variable's value it was inserted under (binding *extension* is fine:
+    /// existing values never change, only new variables are added).
+    fn bucket_remove(&mut self, idx: usize) {
+        let Some(inst) = self.slots.get(idx).and_then(Option::as_ref) else { return };
+        let awaiting = inst.awaiting;
+        let keyval = self.stage_keys.key(awaiting).and_then(|k| inst.bindings.get(&k.var)).copied();
+        fn evict(v: &mut Vec<usize>, idx: usize) -> bool {
+            match v.iter().position(|&i| i == idx) {
+                Some(pos) => {
+                    v.swap_remove(pos);
+                    true
+                }
+                None => false,
+            }
+        }
+        match &mut self.buckets[awaiting] {
+            Bucket::Scan(v) => {
+                evict(v, idx);
+            }
+            Bucket::Keyed { map, rest } => {
+                let mut removed = false;
+                if let Some(val) = keyval {
+                    if let Some(v) = map.get_mut(&val) {
+                        removed = evict(v, idx);
+                        if v.is_empty() {
+                            map.remove(&val);
+                        }
+                    }
+                }
+                if !removed {
+                    evict(rest, idx);
+                }
+            }
+        }
     }
 
     /// Stable hash of a binding environment (the flow key a register
@@ -594,7 +734,7 @@ impl Monitor {
     fn advance_instance(&mut self, idx: usize, stage_id: Option<PacketId>, at: Instant) {
         let old_key = {
             let inst = self.slots[idx].as_ref().expect("live instance");
-            (inst.awaiting, inst.bindings.clone())
+            (inst.awaiting, inst.bindings)
         };
         self.index.remove(&old_key);
         self.advance_instance_unindexed(idx, stage_id, at);
@@ -603,6 +743,10 @@ impl Monitor {
     /// As [`Monitor::advance_instance`], for callers that already removed
     /// the instance's index entry (under its pre-advance bindings).
     fn advance_instance_unindexed(&mut self, idx: usize, stage_id: Option<PacketId>, at: Instant) {
+        // Leave the old stage's bucket before `awaiting` moves. An advance
+        // may already have *extended* the bindings, but the key variable's
+        // value is immutable once bound, so the bucket lookup still lands.
+        self.bucket_remove(idx);
         let done = {
             let inst = self.slots[idx].as_mut().expect("live instance");
             if let Some(t) = inst.timer.take() {
@@ -627,7 +771,7 @@ impl Monitor {
         }
         // Dedup at the new position.
         let inst = self.slots[idx].as_ref().expect("live instance");
-        let new_key = (inst.awaiting, inst.bindings.clone());
+        let new_key = (inst.awaiting, inst.bindings);
         if let Some(&incumbent) = self.index.get(&new_key) {
             // The incumbent wins; this instance dissolves into it.
             self.dedup_against(incumbent, at);
@@ -646,6 +790,7 @@ impl Monitor {
         }
         self.index.insert(new_key, idx);
         self.arm_stage_timer(idx, at);
+        self.bucket_insert(idx);
     }
 
     /// Arm the timer appropriate to the stage instance `idx` now awaits,
@@ -668,6 +813,7 @@ impl Monitor {
     }
 
     fn remove_instance(&mut self, idx: usize) {
+        self.bucket_remove(idx);
         if let Some(inst) = self.slots[idx].take() {
             if let Some(t) = inst.timer {
                 self.timers.cancel(t);
@@ -685,7 +831,7 @@ impl Monitor {
     fn raise(&mut self, at: Instant, bindings: &Bindings, history: &[NetEvent], trigger: usize) {
         let bindings_out = match self.cfg.provenance {
             ProvenanceMode::None => None,
-            _ => Some(bindings.clone()),
+            _ => Some(*bindings),
         };
         let history_out = match self.cfg.provenance {
             ProvenanceMode::Full => history.to_vec(),

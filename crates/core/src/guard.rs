@@ -102,6 +102,47 @@ impl Atom {
             _ => false,
         }
     }
+
+    /// Satisfaction-only evaluation, used for `AnyOf` disjuncts: would this
+    /// atom succeed under `env`? Bindings a `Bind` would make are discarded
+    /// (disjunct bindings never escape), which is exactly the semantics of
+    /// evaluating the atom in a throwaway environment — without cloning one.
+    fn satisfied(&self, ev: &NetEvent, env: &Bindings, stage_ids: &[Option<PacketId>]) -> bool {
+        match self {
+            Atom::Bind(v, f) => match ev.field(*f) {
+                Some(val) => env.get(v).is_none_or(|bound| *bound == val),
+                None => false,
+            },
+            Atom::EqConst(f, want) => ev.field(*f) == Some(*want),
+            Atom::NeqConst(f, want) => ev.field(*f).is_some_and(|val| val != *want),
+            Atom::NeqVar(f, v) => match (ev.field(*f), env.get(v)) {
+                (Some(val), Some(bound)) => val != *bound,
+                _ => false,
+            },
+            Atom::SamePacket(stage) => {
+                let want = stage_ids.get(*stage).copied().flatten();
+                want.is_some() && ev.packet_id() == want
+            }
+            Atom::AnyOf(subs) => subs.iter().any(|sub| sub.satisfied(ev, env, stage_ids)),
+            Atom::HashedPortMismatch { fields, modulus, base } => {
+                let Some(out) = ev.field(Field::OutPort).and_then(|v| v.as_uint()) else {
+                    return false;
+                };
+                let h = swmon_packet::field::values_hash(fields.iter().map(|&f| ev.field(f)));
+                out != *base + (h % (*modulus).max(1))
+            }
+            Atom::RrSuccessorMismatch { prev, modulus, base } => {
+                let Some(out) = ev.field(Field::OutPort).and_then(|v| v.as_uint()) else {
+                    return false;
+                };
+                let Some(prev_port) = env.get(prev).and_then(|v| v.as_uint()) else {
+                    return false;
+                };
+                let m = (*modulus).max(1);
+                out != base + ((prev_port.saturating_sub(*base) + 1) % m)
+            }
+        }
+    }
 }
 
 /// A conjunction of atoms. The empty guard always matches.
@@ -133,7 +174,7 @@ impl Guard {
         env: &Bindings,
         stage_ids: &[Option<PacketId>],
     ) -> Option<Bindings> {
-        let mut env = env.clone();
+        let mut env = *env;
         for atom in &self.atoms {
             match atom {
                 Atom::Bind(v, f) => {
@@ -163,10 +204,7 @@ impl Guard {
                     }
                 }
                 Atom::AnyOf(subs) => {
-                    let hit = subs.iter().any(|sub| {
-                        Guard { atoms: vec![sub.clone()] }.eval(ev, &env, stage_ids).is_some()
-                    });
-                    if !hit {
+                    if !subs.iter().any(|sub| sub.satisfied(ev, &env, stage_ids)) {
                         return None;
                     }
                 }

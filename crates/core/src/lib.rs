@@ -41,11 +41,11 @@ pub use engine::{Monitor, MonitorConfig, MonitorStats, ProcessingMode};
 pub use features::{FeatureSet, InstanceIdClass};
 pub use guard::{Atom, Guard};
 pub use monitorset::MonitorSet;
-pub use pattern::{ActionPattern, EventPattern, OobPattern};
+pub use pattern::{event_class, ActionPattern, EventPattern, OobPattern, EVENT_CLASSES};
 pub use postcard::{Postcard, PostcardCollector};
 pub use property::{Property, PropertyError, RefreshPolicy, Stage, StageKind, Unless};
-pub use routing::{PinReason, Route, RouteMode, RoutingPlan};
-pub use var::{var, Bindings, Var};
+pub use routing::{PinReason, Route, RouteMode, RoutingPlan, StageKey, StageKeyPlan};
+pub use var::{var, Bindings, Var, VarId, VarTable, MAX_VARS};
 pub use violation::{ProvenanceMode, Violation};
 
 /// Compile-time thread-safety audit. A multi-core runtime moves monitors

@@ -7,6 +7,7 @@
 //! operator sizing switch memory actually needs.
 
 use crate::engine::{Monitor, MonitorConfig};
+use crate::pattern::event_class;
 use crate::property::Property;
 use crate::violation::Violation;
 use swmon_sim::time::Instant;
@@ -16,6 +17,12 @@ use swmon_sim::trace::{EventSink, NetEvent};
 #[derive(Default)]
 pub struct MonitorSet {
     monitors: Vec<Monitor>,
+    /// Per-monitor [`crate::property::Property::event_class_mask`]: an event
+    /// whose class bit misses the mask cannot match any of that property's
+    /// patterns, so the member is skipped entirely (pre-dispatch). Timers
+    /// are unaffected — they fire from the clock, which [`Monitor::process`]
+    /// and [`MonitorSet::advance_to`] still advance on delivered events.
+    masks: Vec<u8>,
 }
 
 impl MonitorSet {
@@ -26,6 +33,7 @@ impl MonitorSet {
 
     /// Add a property with its own configuration.
     pub fn add(&mut self, property: Property, cfg: MonitorConfig) -> &mut Self {
+        self.masks.push(property.event_class_mask());
         self.monitors.push(Monitor::new(property, cfg));
         self
     }
@@ -59,10 +67,17 @@ impl MonitorSet {
         &self.monitors
     }
 
-    /// Process one event through every monitor.
+    /// Process one event through every monitor whose property can react to
+    /// its event class. Results are identical to unconditional fan-out: a
+    /// masked-out member would have produced no effects (its clock catches
+    /// up — with timers firing at their own deadlines — on its next
+    /// delivered event or [`MonitorSet::advance_to`]).
     pub fn process(&mut self, ev: &NetEvent) {
-        for m in &mut self.monitors {
-            m.process(ev);
+        let class = event_class(ev);
+        for (m, &mask) in self.monitors.iter_mut().zip(&self.masks) {
+            if mask & class != 0 {
+                m.process(ev);
+            }
         }
     }
 
@@ -198,6 +213,67 @@ mod tests {
         set.advance_to(swmon_sim::Instant::ZERO + Duration::from_secs(60));
         // Plain forwarded TCP violates none of the catalog properties.
         assert!(set.violations().is_empty(), "{:?}", set.counts());
+    }
+
+    #[test]
+    fn pre_dispatch_skips_events_without_changing_results() {
+        // fw only reacts to arrivals and drops; no-floods only to floods.
+        // Feed a mixed trace through the pre-dispatching set and through
+        // plain per-monitor loops; violations must be identical while the
+        // set demonstrably skipped deliveries.
+        let trace = {
+            let mut tb = TraceBuilder::new();
+            let m1 = MacAddr::new(2, 0, 0, 0, 0, 1);
+            let m2 = MacAddr::new(2, 0, 0, 0, 0, 2);
+            for i in 0..20u8 {
+                let a = Ipv4Address::new(10, 0, 0, i);
+                let b = Ipv4Address::new(192, 0, 2, 1);
+                let action = match i % 3 {
+                    0 => EgressAction::Output(PortNo(1)),
+                    1 => EgressAction::Flood,
+                    _ => EgressAction::Drop,
+                };
+                tb.advance(Duration::from_millis(1)).arrive_depart(
+                    PortNo(0),
+                    PacketBuilder::tcp(m1, m2, a, b, 1, 2, TcpFlags::SYN, &[]),
+                    action,
+                );
+                tb.advance(Duration::from_millis(1)).arrive_depart(
+                    PortNo(1),
+                    PacketBuilder::tcp(m2, m1, b, a, 2, 1, TcpFlags::ACK, &[]),
+                    EgressAction::Drop,
+                );
+            }
+            tb.build()
+        };
+        let mut set = MonitorSet::from_properties([fw(), floods()]);
+        let mut fw_alone = Monitor::with_defaults(fw());
+        let mut floods_alone = Monitor::with_defaults(floods());
+        for ev in &trace {
+            set.process(ev);
+            fw_alone.process(ev);
+            floods_alone.process(ev);
+        }
+        let expected: Vec<_> = fw_alone
+            .violations()
+            .iter()
+            .chain(floods_alone.violations())
+            .map(|v| (v.time, v.property.clone()))
+            .collect();
+        let mut got: Vec<_> =
+            set.violations().iter().map(|v| (v.time, v.property.clone())).collect();
+        let mut want = expected.clone();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        // The floods monitor must have been skipped for every non-flood
+        // event (arrivals, drops, unicast outputs all miss its mask).
+        let skipped = set.monitors()[1].stats.events;
+        assert!(
+            skipped < floods_alone.stats.events,
+            "pre-dispatch delivered everything: {skipped} vs {}",
+            floods_alone.stats.events
+        );
     }
 
     /// The thirteen catalog properties, built locally to avoid a circular

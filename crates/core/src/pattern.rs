@@ -10,6 +10,31 @@
 
 use swmon_sim::trace::{EgressAction, NetEvent, NetEventKind, OobEvent};
 
+/// Coarse event classes used for pre-dispatch: every event falls into
+/// exactly one class, and [`EventPattern::class_mask`] over-approximates the
+/// classes a pattern can match. A monitor whose property's mask misses an
+/// event's class provably cannot react to it (timers are unaffected: they
+/// fire from the clock, which every caller still advances).
+pub const EVENT_CLASSES: usize = 7;
+
+/// The one-hot class bit of `ev` (see [`EVENT_CLASSES`]).
+#[inline]
+pub fn event_class(ev: &NetEvent) -> u8 {
+    match &ev.kind {
+        NetEventKind::Arrival { .. } => 1 << 0,
+        NetEventKind::Departure { action, .. } => match action {
+            EgressAction::Drop => 1 << 1,
+            EgressAction::Output(_) => 1 << 2,
+            EgressAction::Flood => 1 << 3,
+        },
+        NetEventKind::OutOfBand(o) => match o {
+            OobEvent::PortDown(..) => 1 << 4,
+            OobEvent::PortUp(..) => 1 << 5,
+            OobEvent::ControllerMsg(..) => 1 << 6,
+        },
+    }
+}
+
 /// Which egress decisions a departure observation accepts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActionPattern {
@@ -27,6 +52,7 @@ pub enum ActionPattern {
 
 impl ActionPattern {
     /// Does `action` satisfy this pattern?
+    #[inline]
     pub fn matches(&self, action: EgressAction) -> bool {
         match self {
             ActionPattern::Any => true,
@@ -67,6 +93,7 @@ pub enum OobPattern {
 
 impl OobPattern {
     /// Does `ev` satisfy this pattern?
+    #[inline]
     pub fn matches(&self, ev: &OobEvent) -> bool {
         match self {
             OobPattern::Any => true,
@@ -93,6 +120,7 @@ pub enum EventPattern {
 impl EventPattern {
     /// Does `ev`'s kind satisfy this pattern? (Guards are checked
     /// separately.)
+    #[inline]
     pub fn matches(&self, ev: &NetEvent) -> bool {
         match (self, &ev.kind) {
             (EventPattern::Arrival, NetEventKind::Arrival { .. }) => true,
@@ -107,6 +135,27 @@ impl EventPattern {
     /// True if this pattern is an out-of-band observation.
     pub fn is_out_of_band(&self) -> bool {
         matches!(self, EventPattern::OutOfBand(_))
+    }
+
+    /// Bitmask of [`event_class`] bits this pattern can match. An event
+    /// whose class bit is outside the mask never satisfies the pattern.
+    pub fn class_mask(&self) -> u8 {
+        match self {
+            EventPattern::Arrival => 1 << 0,
+            EventPattern::Departure(ap) => match ap {
+                ActionPattern::Any => (1 << 1) | (1 << 2) | (1 << 3),
+                ActionPattern::Drop => 1 << 1,
+                ActionPattern::Forwarded => (1 << 2) | (1 << 3),
+                ActionPattern::Unicast => 1 << 2,
+                ActionPattern::Flood => 1 << 3,
+            },
+            EventPattern::OutOfBand(op) => match op {
+                OobPattern::Any => (1 << 4) | (1 << 5) | (1 << 6),
+                OobPattern::PortDown => 1 << 4,
+                OobPattern::PortUp => 1 << 5,
+                OobPattern::ControllerTag(_) => 1 << 6,
+            },
+        }
     }
 }
 
@@ -165,6 +214,61 @@ mod tests {
         assert!(!ActionPattern::Drop.needs_egress_metadata());
         assert!(!ActionPattern::Forwarded.needs_egress_metadata(), "presence at egress suffices");
         assert!(!ActionPattern::Forwarded.needs_drop_detection());
+    }
+
+    #[test]
+    fn class_mask_covers_every_matching_event() {
+        // Soundness of pre-dispatch: whenever a pattern matches an event,
+        // the event's class bit must be inside the pattern's mask.
+        use swmon_sim::trace::OobEvent;
+        let events = vec![
+            NetEvent {
+                time: Instant::ZERO,
+                kind: NetEventKind::Arrival {
+                    switch: SwitchId(0),
+                    port: PortNo(1),
+                    pkt: pkt(),
+                    id: PacketId(0),
+                },
+            },
+            departure(EgressAction::Drop),
+            departure(EgressAction::Output(PortNo(2))),
+            departure(EgressAction::Flood),
+            NetEvent {
+                time: Instant::ZERO,
+                kind: NetEventKind::OutOfBand(OobEvent::PortDown(SwitchId(0), PortNo(1))),
+            },
+            NetEvent {
+                time: Instant::ZERO,
+                kind: NetEventKind::OutOfBand(OobEvent::PortUp(SwitchId(0), PortNo(1))),
+            },
+            NetEvent {
+                time: Instant::ZERO,
+                kind: NetEventKind::OutOfBand(OobEvent::ControllerMsg(SwitchId(0), 9)),
+            },
+        ];
+        let patterns = vec![
+            EventPattern::Arrival,
+            EventPattern::Departure(ActionPattern::Any),
+            EventPattern::Departure(ActionPattern::Drop),
+            EventPattern::Departure(ActionPattern::Forwarded),
+            EventPattern::Departure(ActionPattern::Unicast),
+            EventPattern::Departure(ActionPattern::Flood),
+            EventPattern::OutOfBand(OobPattern::Any),
+            EventPattern::OutOfBand(OobPattern::PortDown),
+            EventPattern::OutOfBand(OobPattern::PortUp),
+            EventPattern::OutOfBand(OobPattern::ControllerTag(9)),
+        ];
+        for ev in &events {
+            let bit = event_class(ev);
+            assert_eq!(bit.count_ones(), 1, "classes are one-hot");
+            assert!(u32::from(bit) < (1 << EVENT_CLASSES));
+            for p in &patterns {
+                if p.matches(ev) {
+                    assert_ne!(p.class_mask() & bit, 0, "{p:?} matched a masked-out event");
+                }
+            }
+        }
     }
 
     #[test]

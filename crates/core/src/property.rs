@@ -18,7 +18,7 @@
 
 use crate::guard::Guard;
 use crate::pattern::EventPattern;
-use crate::var::Var;
+use crate::var::{Var, VarTable, MAX_VARS};
 use swmon_sim::time::Duration;
 
 /// The length of a `within` window: a constant, or a value read from a
@@ -173,6 +173,14 @@ pub enum PropertyError {
     },
     /// A `Deadline` stage cannot also carry a `within` window.
     DeadlineWithWindow(usize),
+    /// The property binds more distinct variables than an inline
+    /// environment can hold ([`MAX_VARS`]).
+    TooManyVariables {
+        /// Distinct top-level binder variables found.
+        count: usize,
+        /// The inline-environment capacity.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for PropertyError {
@@ -190,6 +198,9 @@ impl std::fmt::Display for PropertyError {
             }
             PropertyError::DeadlineWithWindow(s) => {
                 write!(f, "deadline stage {s} cannot also carry a `within` window")
+            }
+            PropertyError::TooManyVariables { count, max } => {
+                write!(f, "property binds {count} distinct variables; the limit is {max}")
             }
         }
     }
@@ -224,12 +235,49 @@ impl Property {
                 }
             }
         }
+        let vars = self.var_table();
+        if vars.len() > MAX_VARS {
+            return Err(PropertyError::TooManyVariables { count: vars.len(), max: MAX_VARS });
+        }
         Ok(())
     }
 
     /// Number of observation stages.
     pub fn num_stages(&self) -> usize {
         self.stages.len()
+    }
+
+    /// The property's binder-variable interner: every variable bound by a
+    /// top-level `Bind` atom of any stage or clearing guard, numbered
+    /// densely in canonical (name) order. Stable across clones and DSL
+    /// round-trips — the assignment depends only on the name set.
+    pub fn var_table(&self) -> VarTable {
+        VarTable::from_vars(self.guards().flat_map(|g| g.binders().map(|(v, _)| *v)))
+    }
+
+    /// Every guard of the property: each match stage's guard followed by
+    /// its clearing guards, in stage order.
+    pub fn guards(&self) -> impl Iterator<Item = &Guard> {
+        self.stages
+            .iter()
+            .flat_map(|s| s.guard().into_iter().chain(s.unless.iter().map(|u| &u.guard)))
+    }
+
+    /// Bitmask of [`crate::pattern::event_class`] bits any pattern of the
+    /// property (stage observations and clearings) can match. An event
+    /// whose class bit is outside this mask cannot spawn, advance, clear,
+    /// or refresh any instance — a monitor may skip it entirely.
+    pub fn event_class_mask(&self) -> u8 {
+        let mut mask = 0u8;
+        for stage in &self.stages {
+            if let StageKind::Match { pattern, .. } = &stage.kind {
+                mask |= pattern.class_mask();
+            }
+            for u in &stage.unless {
+                mask |= u.pattern.class_mask();
+            }
+        }
+        mask
     }
 }
 
@@ -325,5 +373,54 @@ mod tests {
         assert!(PropertyError::BadIdentityRef { stage: 2, refers_to: 3 }
             .to_string()
             .contains("stage 2"));
+        assert!(PropertyError::TooManyVariables { count: 9, max: 8 }.to_string().contains("9"));
+    }
+
+    #[test]
+    fn too_many_variables_rejected() {
+        let atoms: Vec<Atom> = (0..=crate::var::MAX_VARS)
+            .map(|i| Atom::Bind(var(&format!("X{i}")), Field::Ipv4Src))
+            .collect();
+        let p = Property {
+            name: "wide".into(),
+            statement: String::new(),
+            stages: vec![Stage::match_("s", EventPattern::Arrival, Guard::new(atoms))],
+        };
+        assert_eq!(
+            p.validate(),
+            Err(PropertyError::TooManyVariables {
+                count: crate::var::MAX_VARS + 1,
+                max: crate::var::MAX_VARS
+            })
+        );
+    }
+
+    #[test]
+    fn var_table_is_stable_across_clone_and_dsl_round_trip() {
+        // VarId assignment depends only on the property's variable names,
+        // so it must survive cloning and serializing through the DSL.
+        let p = fw_property();
+        let t = p.var_table();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.id(&var("A")), Some(crate::var::VarId(0)));
+        assert_eq!(t.id(&var("B")), Some(crate::var::VarId(1)));
+        assert_eq!(p.clone().var_table(), t, "clone preserves ids");
+        let round = crate::dsl::parse_property(&crate::dsl::to_dsl(&p)).expect("round-trips");
+        assert_eq!(round.var_table(), t, "DSL round-trip preserves ids");
+        for v in t.iter() {
+            assert_eq!(round.var_table().id(&v), t.id(&v));
+        }
+    }
+
+    #[test]
+    fn event_class_mask_covers_stage_and_unless_patterns() {
+        let mut p = fw_property();
+        // Arrival spawn + Drop departure stage.
+        assert_eq!(p.event_class_mask(), (1 << 0) | (1 << 1));
+        p.stages[1].unless = vec![Unless {
+            pattern: EventPattern::Departure(ActionPattern::Forwarded),
+            guard: Guard::any(),
+        }];
+        assert_eq!(p.event_class_mask(), (1 << 0) | (1 << 1) | (1 << 2) | (1 << 3));
     }
 }

@@ -32,7 +32,7 @@
 
 use crate::features::mirror_field;
 use crate::guard::Guard;
-use crate::property::{Property, StageKind};
+use crate::property::{Property, Stage, StageKind};
 use crate::var::Var;
 use std::collections::BTreeMap;
 use swmon_packet::field::values_hash;
@@ -240,6 +240,107 @@ impl RoutingPlan {
             }
         }
         RouteMode::HashSymmetric { fields, perm }
+    }
+}
+
+/// The discriminating bound variable for instances awaiting one stage, and
+/// where events matching that stage's guards carry its value.
+///
+/// Soundness contract (what lets the engine consult an index instead of
+/// scanning): `var` is *definitely bound* in every instance awaiting the
+/// stage (it is a top-level binder of some earlier match stage, and a guard
+/// only succeeds if all its top-level binds unify), and **every** guard an
+/// event could satisfy at this stage — the advance guard and each clearing
+/// guard — top-level-binds `var` against a known field. An event that can
+/// affect some instance therefore carries that instance's `var` value at
+/// one of those fields, so a `value → instances` lookup over the relevant
+/// fields finds every affected instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageKey {
+    /// The discriminating variable.
+    pub var: Var,
+    /// Field the stage's match guard binds `var` at (`None` for deadline
+    /// stages, which have no advance guard).
+    pub advance_field: Option<Field>,
+    /// Per clearing guard (in `unless` order), the field binding `var`.
+    pub unless_fields: Vec<Field>,
+}
+
+/// Per-stage instance-index keys for one property: `key(s)` describes how
+/// to find instances awaiting stage `s` from an event's fields, or `None`
+/// when the stage defeats the analysis and the engine must fall back to a
+/// scan. Correctness never depends on a key existing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageKeyPlan {
+    /// `keys[s]` for awaiting-stage `s`; `keys[0]` is always `None`
+    /// (instances never await stage 0).
+    keys: Vec<Option<StageKey>>,
+}
+
+impl StageKeyPlan {
+    /// Derive per-stage keys for `property`.
+    pub fn of(property: &Property) -> StageKeyPlan {
+        let mut keys: Vec<Option<StageKey>> = vec![None];
+        // Variables definitely bound by every instance awaiting the current
+        // stage: top-level binders of all earlier match stages. (Deadline
+        // stages bind nothing; guard success implies all its binds held.)
+        let mut bound: std::collections::BTreeSet<Var> = std::collections::BTreeSet::new();
+        if let Some(g) = property.stages.first().and_then(Stage::guard) {
+            bound.extend(g.binders().map(|(v, _)| *v));
+        }
+        for stage in property.stages.iter().skip(1) {
+            keys.push(Self::stage_key(stage, &bound));
+            if let StageKind::Match { guard, .. } = &stage.kind {
+                bound.extend(guard.binders().map(|(v, _)| *v));
+            }
+        }
+        StageKeyPlan { keys }
+    }
+
+    fn stage_key(stage: &Stage, bound: &std::collections::BTreeSet<Var>) -> Option<StageKey> {
+        // Candidates in canonical (name) order, for determinism.
+        'candidate: for v in bound {
+            let advance_field = match &stage.kind {
+                StageKind::Match { guard, .. } => {
+                    match guard.binders().find(|(gv, _)| *gv == v) {
+                        Some((_, f)) => Some(f),
+                        None => continue 'candidate, // advances would need a scan
+                    }
+                }
+                StageKind::Deadline { .. } => None,
+            };
+            let mut unless_fields = Vec::with_capacity(stage.unless.len());
+            for u in &stage.unless {
+                match u.guard.binders().find(|(gv, _)| *gv == v) {
+                    Some((_, f)) => unless_fields.push(f),
+                    None => continue 'candidate,
+                }
+            }
+            if advance_field.is_none() && unless_fields.is_empty() {
+                // A deadline stage with no clearings: no event guard
+                // references any variable, so there is nothing to key on
+                // (and nothing to look up — pattern pre-checks already
+                // skip every event).
+                return None;
+            }
+            return Some(StageKey { var: *v, advance_field, unless_fields });
+        }
+        None
+    }
+
+    /// The key for instances awaiting stage `s`, if the stage is keyable.
+    pub fn key(&self, s: usize) -> Option<&StageKey> {
+        self.keys.get(s).and_then(Option::as_ref)
+    }
+
+    /// Number of stages covered (equals the property's stage count).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no stage is keyable.
+    pub fn is_empty(&self) -> bool {
+        self.keys.iter().all(Option::is_none)
     }
 }
 
@@ -467,5 +568,96 @@ mod tests {
             RoutingPlan::of(&p).mode(),
             &RouteMode::HashExact { fields: vec![Field::Ipv4Src] }
         );
+    }
+
+    #[test]
+    fn stage_keys_pick_smallest_covering_binder() {
+        // Both A and B are bound at spawn and re-bound at stage 1; the
+        // plan must pick A (canonical name order) and record both the
+        // advance field and the clearing field.
+        let mut s1 = bind_stage("b", &[("A", Field::Ipv4Dst), ("B", Field::Ipv4Src)]);
+        s1.unless = vec![Unless {
+            pattern: EventPattern::Departure(ActionPattern::Drop),
+            guard: Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Src)]),
+        }];
+        let p = prop(vec![bind_stage("a", &[("A", Field::Ipv4Src), ("B", Field::Ipv4Dst)]), s1]);
+        let plan = StageKeyPlan::of(&p);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.key(0).is_none(), "instances never await stage 0");
+        let k = plan.key(1).expect("stage 1 is keyable");
+        assert_eq!(k.var, var("A"));
+        assert_eq!(k.advance_field, Some(Field::Ipv4Dst));
+        assert_eq!(k.unless_fields, vec![Field::Ipv4Src]);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn stage_keys_fall_back_when_a_guard_misses_the_var() {
+        // Stage 1's clearing guard does not re-bind A (or anything bound),
+        // so a keyed index could miss clearings: the stage must scan.
+        let mut s1 = bind_stage("b", &[("A", Field::Ipv4Src)]);
+        s1.unless = vec![Unless {
+            pattern: EventPattern::Departure(ActionPattern::Forwarded),
+            guard: Guard::any(),
+        }];
+        let p = prop(vec![bind_stage("a", &[("A", Field::Ipv4Src)]), s1]);
+        let plan = StageKeyPlan::of(&p);
+        assert!(plan.key(1).is_none());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn stage_keys_handle_deadline_stages() {
+        // A deadline stage with a keyed clearing: advances come from the
+        // clock (no advance field) but clearings are still keyable.
+        let mut d = Stage::deadline("d", Duration::from_secs(1), RefreshPolicy::NoRefresh);
+        d.unless = vec![Unless {
+            pattern: EventPattern::Departure(ActionPattern::Forwarded),
+            guard: Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Dst)]),
+        }];
+        let p = prop(vec![bind_stage("a", &[("A", Field::Ipv4Src)]), d]);
+        let plan = StageKeyPlan::of(&p);
+        let k = plan.key(1).expect("deadline clearing is keyable");
+        assert_eq!(k.advance_field, None);
+        assert_eq!(k.unless_fields, vec![Field::Ipv4Dst]);
+
+        // A bare deadline (no clearings) has no event guards at all: there
+        // is nothing to key on, and nothing a key would be consulted for.
+        let bare = Stage::deadline("d", Duration::from_secs(1), RefreshPolicy::NoRefresh);
+        let q = prop(vec![bind_stage("a", &[("A", Field::Ipv4Src)]), bare]);
+        assert!(StageKeyPlan::of(&q).key(1).is_none());
+    }
+
+    #[test]
+    fn stage_keys_ignore_anyof_binds() {
+        // The only re-bind of A at stage 1 is inside a disjunct, whose
+        // bindings are discarded: an index on A would miss advances.
+        let p = prop(vec![
+            bind_stage("a", &[("A", Field::Ipv4Src)]),
+            Stage::match_(
+                "b",
+                EventPattern::Arrival,
+                Guard::new(vec![Atom::AnyOf(vec![
+                    Atom::Bind(var("A"), Field::Ipv4Src),
+                    Atom::EqConst(Field::L4Dst, 80u16.into()),
+                ])]),
+            ),
+        ]);
+        assert!(StageKeyPlan::of(&p).key(1).is_none());
+    }
+
+    #[test]
+    fn stage_keys_use_later_stage_binders() {
+        // B is only bound at stage 1, but instances awaiting stage 2 have
+        // passed stage 1, so B is definitely bound there and usable.
+        let p = prop(vec![
+            bind_stage("a", &[("A", Field::Ipv4Src)]),
+            bind_stage("b", &[("B", Field::DhcpXid)]),
+            bind_stage("c", &[("B", Field::DhcpXid)]),
+        ]);
+        let plan = StageKeyPlan::of(&p);
+        let k = plan.key(2).expect("stage 2 keys on B");
+        assert_eq!(k.var, var("B"));
+        assert_eq!(k.advance_field, Some(Field::DhcpXid));
     }
 }

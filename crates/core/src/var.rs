@@ -6,18 +6,96 @@
 //! instance's identity — the paper's Feature 8 notes that "an instance
 //! consists of a set of header values matching previously seen
 //! observations".
+//!
+//! ## Hot-path representation
+//!
+//! Variable names are interned once (at property-construction time) into a
+//! process-wide table, making [`Var`] a `Copy` handle, and [`Bindings`] is a
+//! fixed-capacity inline slot array kept sorted by variable name. `bind`,
+//! `unify`, and clone are then O(capacity) stack copies with zero heap
+//! allocation — the engine copies an environment on every match attempt, so
+//! this is the single hottest data structure in the workspace.
+//!
+//! The canonical (name-sorted) order is load-bearing: equality, ordering,
+//! hashing, and `Display` must be byte-for-byte identical to the original
+//! `BTreeMap<Var, FieldValue>` form, because instance dedup keys, the
+//! capacity-store cell hash, and violation output all derive from them.
 
-use std::collections::BTreeMap;
+use std::collections::HashSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
 use swmon_packet::FieldValue;
 
-/// A named binder variable.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Var(pub String);
+/// Most distinct binder variables one property may use (the catalog's
+/// richest properties bind six). [`crate::property::Property::validate`]
+/// rejects properties exceeding this, so the engine never hits the limit at
+/// event time.
+pub const MAX_VARS: usize = 8;
+
+/// Intern `name`, returning a `'static` handle shared by every [`Var`]
+/// with that name. The table only ever grows (names are tiny and come from
+/// property definitions, not events), so leaking is the correct lifetime.
+fn intern(name: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut t = table.lock().expect("interner poisoned");
+    if let Some(&s) = t.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    t.insert(leaked);
+    leaked
+}
+
+/// A named binder variable. `Copy`: internally an interned-string handle.
+#[derive(Debug, Clone, Copy)]
+pub struct Var(&'static str);
+
+impl Var {
+    /// The variable's name (without the `?` sigil).
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl PartialEq for Var {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // Interned: pointer equality decides almost always; fall back to
+        // content so externally-constructed handles stay correct.
+        std::ptr::eq(self.0, other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Var {}
+
+impl PartialOrd for Var {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Var {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(other.0)
+    }
+}
+
+impl Hash for Var {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Same byte stream as the former `Var(String)` derive (str hash).
+        self.0.hash(state);
+    }
+}
 
 /// Shorthand constructor: `var("A")`.
 pub fn var(name: &str) -> Var {
-    Var(name.to_string())
+    Var(intern(name))
 }
 
 impl fmt::Display for Var {
@@ -26,78 +104,220 @@ impl fmt::Display for Var {
     }
 }
 
+/// A dense per-property variable number, assigned in canonical (name-sorted)
+/// order by [`VarTable`]. Stable across `Property` clones and DSL
+/// round-trips because it depends only on the set of names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u16);
+
+/// A property's binder-variable interner: every top-level `Bind` variable,
+/// numbered densely in name order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarTable {
+    vars: Vec<Var>,
+}
+
+impl VarTable {
+    /// Build from any iterator of variables (duplicates collapse; order is
+    /// canonicalized by name).
+    pub fn from_vars(vars: impl IntoIterator<Item = Var>) -> Self {
+        let mut vars: Vec<Var> = vars.into_iter().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        VarTable { vars }
+    }
+
+    /// The dense id of `v`, if it is in the table.
+    pub fn id(&self, v: &Var) -> Option<VarId> {
+        self.vars.binary_search(v).ok().map(|i| VarId(i as u16))
+    }
+
+    /// The variable numbered `id`.
+    pub fn get(&self, id: VarId) -> Option<Var> {
+        self.vars.get(id.0 as usize).copied()
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when the property binds no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Variables in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        self.vars.iter().copied()
+    }
+}
+
 /// An immutable-by-convention environment of variable bindings.
 ///
-/// Ordered (`BTreeMap`) so that environments have a canonical form: two
-/// instances with the same bindings compare equal, hash equal, and print
-/// identically — which is what instance deduplication keys on.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+/// Kept sorted by variable name so that environments have a canonical form:
+/// two instances with the same bindings compare equal, hash equal, and print
+/// identically — which is what instance deduplication keys on. Stored
+/// inline (no heap): copying an environment is a `memcpy`.
+#[derive(Clone, Copy)]
 pub struct Bindings {
-    map: BTreeMap<Var, FieldValue>,
+    len: u8,
+    slots: [Option<(Var, FieldValue)>; MAX_VARS],
+}
+
+impl Default for Bindings {
+    #[inline]
+    fn default() -> Self {
+        Bindings { len: 0, slots: [None; MAX_VARS] }
+    }
 }
 
 impl Bindings {
     /// The empty environment.
+    #[inline]
     pub fn new() -> Self {
         Self::default()
     }
 
+    #[inline]
+    fn entries(&self) -> impl Iterator<Item = &(Var, FieldValue)> {
+        self.slots[..self.len as usize].iter().map(|s| s.as_ref().expect("slot within len"))
+    }
+
     /// Value of `v`, if bound.
+    #[inline]
     pub fn get(&self, v: &Var) -> Option<&FieldValue> {
-        self.map.get(v)
+        self.entries().find(|(bv, _)| bv == v).map(|(_, val)| val)
     }
 
     /// True if `v` is bound.
+    #[inline]
     pub fn is_bound(&self, v: &Var) -> bool {
-        self.map.contains_key(v)
+        self.get(v).is_some()
     }
 
     /// A copy with `v` bound to `val`. Panics if `v` is already bound to a
     /// different value — guards must unify, not overwrite (see
-    /// [`Bindings::unify`]).
+    /// [`Bindings::unify`]) — or if the environment already holds
+    /// [`MAX_VARS`] other variables (validated properties cannot trigger
+    /// this).
     pub fn bind(&self, v: Var, val: FieldValue) -> Bindings {
-        let mut m = self.map.clone();
-        if let Some(old) = m.insert(v.clone(), val) {
-            assert_eq!(old, val, "rebinding {v} to a different value");
+        let mut out = *self;
+        out.bind_in_place(v, val);
+        out
+    }
+
+    fn bind_in_place(&mut self, v: Var, val: FieldValue) {
+        let n = self.len as usize;
+        let mut i = 0;
+        while i < n {
+            let (bv, bval) = self.slots[i].as_ref().expect("slot within len");
+            match bv.name().cmp(v.name()) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Equal => {
+                    assert_eq!(*bval, val, "rebinding {v} to a different value");
+                    return;
+                }
+                std::cmp::Ordering::Greater => break,
+            }
         }
-        Bindings { map: m }
+        assert!(n < MAX_VARS, "environment capacity ({MAX_VARS} variables) exceeded binding {v}");
+        let mut j = n;
+        while j > i {
+            self.slots[j] = self.slots[j - 1];
+            j -= 1;
+        }
+        self.slots[i] = Some((v, val));
+        self.len += 1;
     }
 
     /// Unification: if `v` is unbound, bind it (returning the extended
-    /// environment); if bound, succeed with `self` only when values agree.
+    /// environment); if bound, succeed with a copy of `self` only when
+    /// values agree.
+    #[inline]
     pub fn unify(&self, v: &Var, val: FieldValue) -> Option<Bindings> {
-        match self.map.get(v) {
-            Some(existing) if *existing == val => Some(self.clone()),
+        match self.get(v) {
+            Some(existing) if *existing == val => Some(*self),
             Some(_) => None,
-            None => Some(self.bind(v.clone(), val)),
+            None => {
+                let mut out = *self;
+                out.bind_in_place(*v, val);
+                Some(out)
+            }
         }
     }
 
     /// Number of bound variables.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len as usize
     }
 
     /// True if nothing is bound.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// Iterate bindings in canonical (name) order.
+    #[inline]
     pub fn iter(&self) -> impl Iterator<Item = (&Var, &FieldValue)> {
-        self.map.iter()
+        self.entries().map(|(v, val)| (v, val))
     }
 
     /// Approximate memory footprint, for provenance/state accounting.
     pub fn approx_bytes(&self) -> usize {
-        self.map.keys().map(|k| k.0.len() + 16).sum()
+        self.entries().map(|(k, _)| k.name().len() + 16).sum()
+    }
+}
+
+impl PartialEq for Bindings {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.entries().eq(other.entries())
+    }
+}
+
+impl Eq for Bindings {}
+
+impl PartialOrd for Bindings {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bindings {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lexicographic over (name, value) pairs in canonical order —
+        // identical to the former `BTreeMap` derived ordering.
+        self.entries().cmp(other.entries())
+    }
+}
+
+impl Hash for Bindings {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Byte-for-byte the stream the former `BTreeMap<Var, FieldValue>`
+        // derive emitted: a usize length prefix, then each (key, value) in
+        // name order. The capacity-bounded store's cell hash folds this
+        // stream, so changing it would change eviction behaviour.
+        state.write_usize(self.len as usize);
+        for (v, val) in self.entries() {
+            v.hash(state);
+            val.hash(state);
+        }
+    }
+}
+
+impl fmt::Debug for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bindings ")?;
+        f.debug_map().entries(self.entries().map(|(v, val)| (v, val))).finish()
     }
 }
 
 impl fmt::Display for Bindings {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (k, v)) in self.map.iter().enumerate() {
+        for (i, (k, v)) in self.entries().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -150,5 +370,79 @@ mod tests {
         let env = Bindings::new();
         let _ = env.unify(&var("A"), FieldValue::Uint(1)).unwrap();
         assert!(env.is_empty(), "unify is persistent, not mutating");
+    }
+
+    #[test]
+    fn rebinding_same_value_is_idempotent() {
+        let env = Bindings::new().bind(var("A"), FieldValue::Uint(1));
+        let env = env.bind(var("A"), FieldValue::Uint(1));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn bind_past_capacity_panics() {
+        let mut env = Bindings::new();
+        for i in 0..=MAX_VARS {
+            env = env.bind(var(&format!("V{i}")), FieldValue::Uint(i as u64));
+        }
+    }
+
+    #[test]
+    fn hash_matches_btreemap_derive_stream() {
+        // The capacity-store cell hash (engine::bindings_hash) depends on
+        // this exact stream; pin it against an inline re-derivation.
+        use std::collections::BTreeMap;
+        struct Capture(Vec<u8>);
+        impl Hasher for Capture {
+            fn finish(&self) -> u64 {
+                0
+            }
+            fn write(&mut self, bytes: &[u8]) {
+                self.0.extend_from_slice(bytes);
+            }
+        }
+        let env =
+            Bindings::new().bind(var("B"), FieldValue::Uint(7)).bind(var("A"), FieldValue::Uint(3));
+        let mut got = Capture(Vec::new());
+        env.hash(&mut got);
+        let mut map: BTreeMap<String, FieldValue> = BTreeMap::new();
+        map.insert("A".into(), FieldValue::Uint(3));
+        map.insert("B".into(), FieldValue::Uint(7));
+        let mut want = Capture(Vec::new());
+        map.hash(&mut want);
+        assert_eq!(got.0, want.0, "Bindings::hash must emit the BTreeMap stream");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_like_btreemap() {
+        let a = Bindings::new().bind(var("A"), FieldValue::Uint(1));
+        let ab =
+            Bindings::new().bind(var("A"), FieldValue::Uint(1)).bind(var("B"), FieldValue::Uint(2));
+        let b = Bindings::new().bind(var("B"), FieldValue::Uint(0));
+        assert!(a < ab, "prefix orders first");
+        assert!(a < b, "name order dominates");
+        assert!(Bindings::new() < a);
+    }
+
+    #[test]
+    fn var_table_assigns_dense_ids_in_name_order() {
+        let t = VarTable::from_vars([var("B"), var("A"), var("B"), var("C")]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.id(&var("A")), Some(VarId(0)));
+        assert_eq!(t.id(&var("B")), Some(VarId(1)));
+        assert_eq!(t.id(&var("C")), Some(VarId(2)));
+        assert_eq!(t.id(&var("Z")), None);
+        assert_eq!(t.get(VarId(1)), Some(var("B")));
+        let names: Vec<&str> = t.iter().map(|v| v.name()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn interned_vars_share_storage() {
+        let a1 = var("SameName");
+        let a2 = var("SameName");
+        assert!(std::ptr::eq(a1.name(), a2.name()), "same name interns to one allocation");
+        assert_eq!(a1, a2);
     }
 }

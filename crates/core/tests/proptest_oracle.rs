@@ -183,7 +183,7 @@ fn oracle(property: &Property, trace: &[NetEvent]) -> Vec<Bindings> {
             if let StageKind::Match { pattern, guard } = &property.stages[*stage].kind {
                 if pattern.matches(ev) {
                     if let Some(env2) = guard.eval(ev, env, &[]) {
-                        removals.push((*stage, env.clone()));
+                        removals.push((*stage, *env));
                         if stage + 1 == n {
                             violations.push(env2);
                         } else {
@@ -221,7 +221,7 @@ fn engine(property: &Property, trace: &[NetEvent]) -> Vec<Bindings> {
         m.process(ev);
     }
     m.advance_to(Instant::ZERO + Duration::from_secs(1));
-    m.violations().iter().filter_map(|v| v.bindings.clone()).collect()
+    m.violations().iter().filter_map(|v| v.bindings).collect()
 }
 
 fn sorted(mut v: Vec<Bindings>) -> Vec<Bindings> {

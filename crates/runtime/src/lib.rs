@@ -242,6 +242,7 @@ impl Session<'_> {
         for (s, handle) in self.handles.into_iter().enumerate() {
             let report = handle.join().expect("worker panicked");
             self.stats.per_shard[s].violations += report.records.len() as u64;
+            self.stats.per_shard[s].live_instances = report.live_instances;
             for (_, engine) in &report.engine {
                 self.stats.absorb_engine(engine);
             }

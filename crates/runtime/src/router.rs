@@ -1,7 +1,7 @@
 //! Event → shard dispatch.
 
 use crate::shardkey::PropertyRoute;
-use swmon_core::{MonitorConfig, Property, RoutingPlan};
+use swmon_core::{MonitorConfig, Property};
 use swmon_sim::trace::NetEvent;
 
 /// Maximum properties per runtime — property sets are routed with a `u64`
@@ -27,7 +27,7 @@ impl Router {
         let routes = props
             .iter()
             .enumerate()
-            .map(|(i, p)| PropertyRoute::new(i, RoutingPlan::of(p), cfg, shards))
+            .map(|(i, p)| PropertyRoute::for_property(i, p, cfg, shards))
             .collect();
         Router { routes, shards }
     }
@@ -139,6 +139,45 @@ mod tests {
         let mut again = vec![0u64; 4];
         router.masks(&arrival(1, 2), &mut again);
         assert_eq!(masks, again);
+    }
+
+    #[test]
+    fn class_masked_events_need_no_delivery() {
+        // Both properties observe only arrivals; a departure's class bit
+        // misses their masks, so the router delivers it nowhere — even for
+        // the pinned (capacity-bounded) placement.
+        use swmon_sim::trace::EgressAction;
+        let p0 = two_stage(&[("A", Field::Ipv4Src)], &[("A", Field::Ipv4Src)]);
+        let p1 = two_stage(&[("B", Field::Ipv4Dst)], &[("B", Field::Ipv4Dst)]);
+        let departure = NetEvent {
+            time: Instant::ZERO,
+            kind: NetEventKind::Departure {
+                switch: SwitchId(0),
+                pkt: Arc::new(PacketBuilder::tcp(
+                    MacAddr::new(2, 0, 0, 0, 0, 1),
+                    MacAddr::new(2, 0, 0, 0, 0, 2),
+                    Ipv4Address::new(10, 0, 0, 1),
+                    Ipv4Address::new(10, 0, 0, 2),
+                    1000,
+                    80,
+                    TcpFlags::SYN,
+                    &[],
+                )),
+                id: PacketId(7),
+                action: EgressAction::Output(PortNo(2)),
+            },
+        };
+        for cfg in
+            [MonitorConfig::default(), MonitorConfig { capacity: Some(4), ..Default::default() }]
+        {
+            let router = Router::new(&[p0.clone(), p1.clone()], &cfg, 4);
+            let mut masks = vec![u64::MAX; 4];
+            router.masks(&departure, &mut masks);
+            assert_eq!(masks, vec![0u64; 4]);
+            let mut arr = vec![0u64; 4];
+            router.masks(&arrival(1, 2), &mut arr);
+            assert_ne!(arr, vec![0u64; 4], "arrivals still route");
+        }
     }
 
     #[test]

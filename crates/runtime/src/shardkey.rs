@@ -7,7 +7,7 @@
 //! behaviour depends on the *whole* instance population — splitting it
 //! across shards would change which incumbents get evicted).
 
-use swmon_core::{MonitorConfig, Route, RouteMode, RoutingPlan};
+use swmon_core::{event_class, MonitorConfig, Property, Route, RouteMode, RoutingPlan};
 use swmon_sim::trace::NetEvent;
 
 /// Why a property bypasses hash routing even though its plan allows it.
@@ -22,14 +22,38 @@ pub struct PropertyRoute {
     /// Set when the runtime configuration forces pinning regardless of the
     /// derived plan.
     pin_override: Option<&'static str>,
+    /// [`Property::event_class_mask`] of the routed property: an event
+    /// whose [`event_class`] bit misses this mask cannot match any of the
+    /// property's patterns, so it needs no delivery at all (pre-dispatch).
+    class_mask: u8,
 }
 
 impl PropertyRoute {
     /// Placement for the property at position `index` under `cfg`, across
-    /// `shards` workers. Pinned properties are spread round-robin.
+    /// `shards` workers. Pinned properties are spread round-robin. The
+    /// event-class mask is left fully open; use
+    /// [`PropertyRoute::for_property`] to enable class pre-dispatch.
     pub fn new(index: usize, plan: RoutingPlan, cfg: &MonitorConfig, shards: usize) -> Self {
         let pin_override = if cfg.capacity.is_some() { Some(PIN_CAPACITY) } else { None };
-        PropertyRoute { plan, pinned_shard: index % shards.max(1), pin_override }
+        PropertyRoute { plan, pinned_shard: index % shards.max(1), pin_override, class_mask: 0xFF }
+    }
+
+    /// As [`PropertyRoute::new`], deriving both the routing plan and the
+    /// event-class pre-dispatch mask from `property`.
+    pub fn for_property(
+        index: usize,
+        property: &Property,
+        cfg: &MonitorConfig,
+        shards: usize,
+    ) -> Self {
+        let mut route = Self::new(index, RoutingPlan::of(property), cfg, shards);
+        route.class_mask = property.event_class_mask();
+        route
+    }
+
+    /// The event-class bits this property can react to.
+    pub fn class_mask(&self) -> u8 {
+        self.class_mask
     }
 
     /// The derived routing plan.
@@ -57,9 +81,13 @@ impl PropertyRoute {
     }
 
     /// Which shard must see `ev` for this property, if any. `None` means
-    /// the event provably cannot affect any of the property's instances
-    /// (it is missing a key field, so no guard of the property can match).
+    /// the event provably cannot affect any of the property's instances —
+    /// its class misses every pattern, or it is missing a key field, so no
+    /// guard of the property can match.
     pub fn shard_for(&self, ev: &NetEvent, shards: usize) -> Option<usize> {
+        if self.class_mask & event_class(ev) == 0 {
+            return None;
+        }
         if self.pin_override.is_some() {
             return Some(self.pinned_shard);
         }

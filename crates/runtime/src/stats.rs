@@ -10,6 +10,11 @@ pub struct ShardStats {
     pub events: u64,
     /// Violations this shard's monitors reported.
     pub violations: u64,
+    /// Instances still live on this shard when it finished — the occupancy
+    /// the shard carried to end-of-trace. Uneven values explain throughput
+    /// dips that delivery counts alone hide: a shard hosting most of the
+    /// live instances does most of the matching work per delivery.
+    pub live_instances: u64,
 }
 
 /// Counters describing one runtime run.

@@ -14,6 +14,8 @@ pub struct WorkerReport {
     pub records: Vec<ViolationRecord>,
     /// Events this shard processed (batch items).
     pub events: u64,
+    /// Instances still live across this shard's monitors at finish.
+    pub live_instances: u64,
     /// Per-monitor engine counters, keyed by global property index.
     pub engine: Vec<(usize, MonitorStats)>,
 }
@@ -61,8 +63,9 @@ pub fn run(
             }
         }
     }
+    let live_instances = monitors.iter().map(|(_, m)| m.live_instances() as u64).sum();
     let engine = monitors.iter().map(|(g, m)| (*g, m.stats.clone())).collect();
-    WorkerReport { records, events, engine }
+    WorkerReport { records, events, live_instances, engine }
 }
 
 fn harvest(

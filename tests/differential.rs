@@ -166,6 +166,44 @@ proptest! {
         prop_assert_eq!(m.live_instances(), 0);
     }
 
+    /// Split-mode processing with a lag below the inter-event spacing must
+    /// equal Inline exactly: every deferred effect matures before the next
+    /// event arrives, so visibility never lags an observation. This drives
+    /// the engine's deferred-effect path (re-validation, pending-queue
+    /// interleaving with timers) over random traces.
+    #[test]
+    fn small_lag_split_mode_matches_inline(
+        events in proptest::collection::vec(gen_event(), 1..60),
+        lag_us in 1u64..100,
+    ) {
+        use swmon::monitor::{MonitorConfig, ProcessingMode};
+        let step = Duration::from_micros(100); // gap_steps >= 1 => spacing >= step > lag
+        let trace = render_trace(&events, step);
+        let end = trace.last().unwrap().time + Duration::from_secs(1);
+        for prop in [
+            firewall::return_not_dropped(),
+            firewall::return_not_dropped_within(Duration::from_millis(1)),
+        ] {
+            let mut inline = Monitor::with_defaults(prop.clone());
+            let mut split = Monitor::new(
+                prop,
+                MonitorConfig {
+                    mode: ProcessingMode::Split { lag: Duration::from_micros(lag_us) },
+                    ..Default::default()
+                },
+            );
+            for ev in &trace {
+                inline.process(ev);
+                split.process(ev);
+            }
+            inline.advance_to(end);
+            split.advance_to(end);
+            prop_assert_eq!(signature(split.violations()), signature(inline.violations()));
+            prop_assert_eq!(split.stats.stale_effects_dropped, 0,
+                "sub-spacing lag must never invalidate an effect");
+        }
+    }
+
     /// Arbitrary interleavings never make the engine report a violation
     /// without a matching dropped return packet existing in the trace.
     #[test]

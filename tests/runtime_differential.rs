@@ -173,13 +173,19 @@ fn firewall_directions_land_on_the_same_shard() {
                 &[GenEvent { pair, outbound: false, dropped: true, gap_steps: 1 }],
                 Duration::from_micros(10),
             );
-            for (f, r) in fwd.iter().zip(&rev) {
-                assert_eq!(
-                    route.shard_for(f, shards),
-                    route.shard_for(r, shards),
-                    "pair {pair}: request and reply diverged at {shards} shards"
-                );
-            }
+            // Events the property can react to (the forwarded outbound
+            // departure is class-masked away — it needs no delivery) must
+            // all land on one shard, whichever direction they travel.
+            let homes: Vec<usize> =
+                fwd.iter().chain(&rev).filter_map(|ev| route.shard_for(ev, shards)).collect();
+            assert!(
+                homes.len() >= 3,
+                "pair {pair}: both arrivals and the drop must be deliverable, got {homes:?}"
+            );
+            assert!(
+                homes.windows(2).all(|w| w[0] == w[1]),
+                "pair {pair}: request and reply diverged at {shards} shards: {homes:?}"
+            );
         }
     }
 }
@@ -210,6 +216,47 @@ fn reply_reaches_request_instance_under_every_shard_count() {
         let out = rt.run(&trace, end);
         assert_eq!(out.signatures(), expect, "lost violations at {shards} shards");
         assert_eq!(out.stats.events_in, trace.len() as u64);
+    }
+}
+
+/// Satellite check (shard balance): hashed routing of the benchmark
+/// workload must actually *spread*. Over `multi_flow_trace`'s 256 flows,
+/// every shard's delivered-event count must be within 2× of a perfectly
+/// even split at 2, 4, and 8 shards — the E13 `shards=2` throughput dip is
+/// not a routing skew (see docs/PERF.md), and this test keeps it that way.
+/// Also exercises the per-shard occupancy counter: end-of-trace live
+/// instances must sum to the reference monitor's count.
+#[test]
+fn multi_flow_routing_spreads_within_2x_of_even() {
+    let props = vec![firewall::return_not_dropped()];
+    let trace = swmon::workloads::trace::multi_flow_trace(
+        256,
+        4000,
+        0.4,
+        0.25,
+        Duration::from_micros(2),
+        13,
+    );
+    let end = trace.last().unwrap().time + Duration::from_secs(1);
+    let mut reference = swmon::monitor::Monitor::with_defaults(firewall::return_not_dropped());
+    for ev in &trace {
+        reference.process(ev);
+    }
+    reference.advance_to(end);
+    for shards in [2usize, 4, 8] {
+        let rt = ShardedRuntime::new(props.clone(), RuntimeConfig::with_shards(shards)).unwrap();
+        let out = rt.run(&trace, end);
+        let per: Vec<u64> = out.stats.per_shard.iter().map(|s| s.events).collect();
+        let even = out.stats.deliveries as f64 / shards as f64;
+        for (s, &n) in per.iter().enumerate() {
+            assert!(
+                (n as f64) <= 2.0 * even && (n as f64) >= even / 2.0,
+                "shard {s} got {n} of {} deliveries at {shards} shards (even = {even:.0}): {per:?}",
+                out.stats.deliveries
+            );
+        }
+        let live: u64 = out.stats.per_shard.iter().map(|s| s.live_instances).sum();
+        assert_eq!(live, reference.live_instances() as u64, "occupancy counter diverged");
     }
 }
 
