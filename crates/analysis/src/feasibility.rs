@@ -1,0 +1,292 @@
+//! Backend capability models and typed compilation gaps — the shared
+//! feasibility API behind Table 2 and the `SW009` lint.
+//!
+//! Each surveyed approach (one column of the paper's Table 2) is described
+//! by a [`Capabilities`] record. Compiling a property onto a backend first
+//! derives the property's [`swmon_core::FeatureSet`] and checks it against
+//! the capabilities with [`feature_gaps`]; a missing feature is a typed
+//! [`Gap`] — the ✗ cells of Table 2, produced by running the compiler
+//! rather than asserted.
+//!
+//! These types used to live in `swmon-backends`; they moved here so that
+//! the backend survey (`swmon_backends::caps`, which re-exports them), the
+//! Table 2 generator, and the linter's `SW009` pass all consume one
+//! `FeatureSet`-based implementation instead of re-deriving gaps ad hoc.
+
+use swmon_core::{FeatureSet, InstanceIdClass, Property, ProvenanceMode};
+use swmon_packet::Layer;
+
+/// A tri-state Table 2 cell: supported, precluded, or not applicable /
+/// unclear (printed blank, exactly as the paper does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// ✓ — the approach provides the feature.
+    Yes,
+    /// ✗ — the architecture precludes it.
+    No,
+    /// Blank — not applicable or target-dependent.
+    Blank,
+}
+
+impl Cell {
+    /// Render as the paper prints it.
+    pub fn render(&self) -> &'static str {
+        match self {
+            Cell::Yes => "✓",
+            Cell::No => "✗",
+            Cell::Blank => "",
+        }
+    }
+
+    /// Usable as a supported feature? (Blank counts as unsupported for
+    /// compilation purposes: we refuse to rely on target-dependent
+    /// behaviour.)
+    pub fn usable(&self) -> bool {
+        matches!(self, Cell::Yes)
+    }
+}
+
+/// How deep the approach's parser reaches / how flexible its field access
+/// is (the paper's "Field access" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldAccess {
+    /// A fixed set of standard header fields (through L4).
+    Fixed,
+    /// Programmable, protocol-independent parsing (L7 reachable).
+    Dynamic,
+}
+
+impl FieldAccess {
+    /// Render as the paper prints it.
+    pub fn render(&self) -> &'static str {
+        match self {
+            FieldAccess::Fixed => "Fixed",
+            FieldAccess::Dynamic => "Dynamic",
+        }
+    }
+}
+
+/// One approach's capability profile (one Table 2 column).
+#[derive(Debug, Clone)]
+pub struct Capabilities {
+    /// Column name.
+    pub name: &'static str,
+    /// "State mechanism" row (descriptive).
+    pub state_mechanism: &'static str,
+    /// "Update datapath" row: "Fast path", "Slow path", or "—".
+    pub update_datapath: &'static str,
+    /// "Processing Mode" row: "Inline", "Split", or blank.
+    pub processing_mode: &'static str,
+    /// Cross-packet state at all.
+    pub event_history: Cell,
+    /// Identification of related events (packet identity, Feature 5).
+    pub identity: Cell,
+    /// Field access flexibility (Feature 1).
+    pub field_access: FieldAccess,
+    /// Negative match (Feature 6).
+    pub negative_match: Cell,
+    /// Rule timeouts (Feature 3).
+    pub rule_timeouts: Cell,
+    /// Timeout actions (Feature 7).
+    pub timeout_actions: Cell,
+    /// Symmetric instance identification.
+    pub symmetric_match: Cell,
+    /// Wandering instance identification.
+    pub wandering_match: Cell,
+    /// Out-of-band events (multiple match).
+    pub out_of_band: Cell,
+    /// Full provenance (Feature 10).
+    pub full_provenance: Cell,
+    /// Dropped-packet observation (not a Table 2 row; Sec 2.2 notes it is
+    /// "almost universally unsupported").
+    pub drop_detection: bool,
+    /// Egress metadata (output-port matching; Sec 3.2).
+    pub egress_metadata: bool,
+}
+
+/// Why a property cannot be compiled onto a backend — the ✗ of Table 2 as
+/// a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gap {
+    /// The property needs cross-packet state the approach lacks.
+    EventHistory,
+    /// The property needs packet identity (Feature 5).
+    Identity,
+    /// The property reads fields beyond the approach's fixed parser
+    /// (Feature 1).
+    FieldDepth {
+        /// Depth required.
+        required: Layer,
+    },
+    /// The property needs negative match (Feature 6).
+    NegativeMatch,
+    /// The property needs rule timeouts (Feature 3).
+    RuleTimeouts,
+    /// The property needs timeout actions (Feature 7).
+    TimeoutActions,
+    /// The property needs symmetric instance identification.
+    SymmetricMatch,
+    /// The property needs wandering instance identification.
+    WanderingMatch,
+    /// The property needs out-of-band events (multiple match).
+    OutOfBandEvents,
+    /// Full provenance was requested but the approach cannot retain it.
+    FullProvenance,
+    /// The property observes dropped packets, which the approach cannot.
+    DropDetection,
+    /// The property matches egress metadata (output port / flood-vs-
+    /// unicast), which the approach cannot.
+    EgressMetadata,
+}
+
+impl std::fmt::Display for Gap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Gap::EventHistory => write!(f, "no cross-packet state"),
+            Gap::Identity => write!(f, "cannot identify related events (Feature 5)"),
+            Gap::FieldDepth { required } => {
+                write!(f, "fixed parser cannot reach {required} fields (Feature 1)")
+            }
+            Gap::NegativeMatch => write!(f, "no negative match (Feature 6)"),
+            Gap::RuleTimeouts => write!(f, "no rule timeouts (Feature 3)"),
+            Gap::TimeoutActions => write!(f, "no timeout actions (Feature 7)"),
+            Gap::SymmetricMatch => write!(f, "no symmetric instance identification"),
+            Gap::WanderingMatch => write!(f, "no wandering match"),
+            Gap::OutOfBandEvents => write!(f, "no out-of-band events (multiple match)"),
+            Gap::FullProvenance => write!(f, "cannot retain full provenance (Feature 10)"),
+            Gap::DropDetection => write!(f, "cannot observe dropped packets"),
+            Gap::EgressMetadata => write!(f, "cannot match egress metadata (output port)"),
+        }
+    }
+}
+
+impl std::error::Error for Gap {}
+
+/// Check a derived feature set against a capability profile at the
+/// requested provenance level. Returns every gap, not just the first, so
+/// reports can show the full shortfall.
+///
+/// This is the single source of truth for feasibility: Table 2
+/// regeneration, `Capabilities::check`, and the `SW009` lint all call it.
+pub fn feature_gaps(fs: &FeatureSet, caps: &Capabilities, provenance: ProvenanceMode) -> Vec<Gap> {
+    let mut gaps = Vec::new();
+    if fs.history && !caps.event_history.usable() {
+        gaps.push(Gap::EventHistory);
+    }
+    if fs.identity && !caps.identity.usable() {
+        gaps.push(Gap::Identity);
+    }
+    if fs.fields > Layer::L4 && caps.field_access == FieldAccess::Fixed {
+        gaps.push(Gap::FieldDepth { required: fs.fields });
+    }
+    if fs.negative_match && !caps.negative_match.usable() {
+        gaps.push(Gap::NegativeMatch);
+    }
+    if fs.timeouts && !caps.rule_timeouts.usable() {
+        gaps.push(Gap::RuleTimeouts);
+    }
+    if fs.timeout_actions && !caps.timeout_actions.usable() {
+        gaps.push(Gap::TimeoutActions);
+    }
+    if fs.instance_id == InstanceIdClass::Symmetric && !caps.symmetric_match.usable() {
+        gaps.push(Gap::SymmetricMatch);
+    }
+    if fs.instance_id == InstanceIdClass::Wandering && !caps.wandering_match.usable() {
+        gaps.push(Gap::WanderingMatch);
+    }
+    if fs.out_of_band && !caps.out_of_band.usable() {
+        gaps.push(Gap::OutOfBandEvents);
+    }
+    if provenance == ProvenanceMode::Full && !caps.full_provenance.usable() {
+        gaps.push(Gap::FullProvenance);
+    }
+    if fs.drop_detection && !caps.drop_detection {
+        gaps.push(Gap::DropDetection);
+    }
+    if fs.egress_metadata && !caps.egress_metadata {
+        gaps.push(Gap::EgressMetadata);
+    }
+    gaps
+}
+
+impl Capabilities {
+    /// Check a property (at the requested provenance level) against this
+    /// profile. Thin wrapper over [`feature_gaps`].
+    pub fn check(&self, property: &Property, provenance: ProvenanceMode) -> Vec<Gap> {
+        feature_gaps(&FeatureSet::of(property), self, provenance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{var, EventPattern};
+    use swmon_core::{Atom, Guard, Property, Stage};
+    use swmon_packet::Field;
+
+    fn everything() -> Capabilities {
+        Capabilities {
+            name: "ideal",
+            state_mechanism: "-",
+            update_datapath: "Fast path",
+            processing_mode: "Inline",
+            event_history: Cell::Yes,
+            identity: Cell::Yes,
+            field_access: FieldAccess::Dynamic,
+            negative_match: Cell::Yes,
+            rule_timeouts: Cell::Yes,
+            timeout_actions: Cell::Yes,
+            symmetric_match: Cell::Yes,
+            wandering_match: Cell::Yes,
+            out_of_band: Cell::Yes,
+            full_provenance: Cell::Yes,
+            drop_detection: true,
+            egress_metadata: true,
+        }
+    }
+
+    fn two_stage_symmetric() -> Property {
+        Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![
+                Stage::match_(
+                    "a",
+                    EventPattern::Arrival,
+                    Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Src)]),
+                ),
+                Stage::match_(
+                    "b",
+                    EventPattern::Arrival,
+                    Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Dst)]),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn check_delegates_to_feature_gaps() {
+        let p = two_stage_symmetric();
+        let mut caps = everything();
+        caps.symmetric_match = Cell::No;
+        caps.event_history = Cell::Blank;
+        let via_check = caps.check(&p, ProvenanceMode::Bindings);
+        let via_fs = feature_gaps(&FeatureSet::of(&p), &caps, ProvenanceMode::Bindings);
+        assert_eq!(via_check, via_fs);
+        assert_eq!(via_check, vec![Gap::EventHistory, Gap::SymmetricMatch]);
+    }
+
+    #[test]
+    fn ideal_profile_has_no_gaps() {
+        assert!(everything().check(&two_stage_symmetric(), ProvenanceMode::Full).is_empty());
+    }
+
+    #[test]
+    fn provenance_mode_gates_full_provenance() {
+        let mut caps = everything();
+        caps.full_provenance = Cell::No;
+        let p = two_stage_symmetric();
+        assert!(caps.check(&p, ProvenanceMode::Bindings).is_empty());
+        assert_eq!(caps.check(&p, ProvenanceMode::Full), vec![Gap::FullProvenance]);
+    }
+}

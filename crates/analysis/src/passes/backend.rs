@@ -1,0 +1,49 @@
+//! `SW009` backend infeasibility — Table 2 as a lint.
+//!
+//! Given the capability profiles of the surveyed switch approaches, report
+//! which of them cannot host the property and why. This is a [`Note`]
+//! even when every profile fails: infeasibility on today's hardware is the
+//! paper's headline finding, not an authoring mistake (the firewall
+//! properties need drop detection, which almost nothing supports).
+//!
+//! [`Note`]: crate::diag::Severity::Note
+
+use super::{sort, Ctx};
+use crate::diag::{Code, Diagnostic, Severity};
+use crate::feasibility::{feature_gaps, Capabilities};
+use swmon_core::{FeatureSet, ProvenanceMode};
+
+/// Run the feasibility lint against `profiles` (typically
+/// `swmon_backends::approaches::all()`), at the given provenance level.
+pub fn check(
+    ctx: &Ctx<'_>,
+    profiles: &[Capabilities],
+    provenance: ProvenanceMode,
+) -> Vec<Diagnostic> {
+    let fs = FeatureSet::of(ctx.prop);
+    let mut infeasible = Vec::new();
+    for caps in profiles {
+        let gaps = feature_gaps(&fs, caps, provenance);
+        if !gaps.is_empty() {
+            let list: Vec<String> = gaps.iter().map(|g| g.to_string()).collect();
+            infeasible.push(format!("{}: {}", caps.name, list.join(", ")));
+        }
+    }
+    if infeasible.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![Diagnostic {
+        code: Code::BackendGap,
+        severity: Severity::Note,
+        locus: ctx.prop_locus(),
+        message: format!(
+            "{} of {} surveyed approaches cannot host this property — {}",
+            infeasible.len(),
+            profiles.len(),
+            infeasible.join("; ")
+        ),
+        suggestion: None,
+    }];
+    sort(&mut out);
+    out
+}

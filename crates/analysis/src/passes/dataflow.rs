@@ -1,0 +1,176 @@
+//! `SW001` unbound-variable use — dataflow over stages.
+//!
+//! Guard evaluation is left-to-right and [`swmon_core::Atom::NeqVar`]
+//! *fails* when its variable is unbound (a negative match against nothing
+//! is unsatisfiable, not vacuously true). So a read of a variable that no
+//! earlier observation definitely binds is at best a dead atom and at
+//! worst a never-firing property:
+//!
+//! * a read in a stage's advance guard (top-level `!= ?v` or
+//!   `rr successor of ?v`) makes the stage unmatchable — **Error**;
+//! * a read inside an `any of:` disjunct kills only that disjunct, and a
+//!   read in an `unless` guard kills only the clearing — **Warning**;
+//! * a `within bound ?v` window whose variable is unbound never arms, so
+//!   the instance never expires — **Error**.
+//!
+//! "Definitely bound" means: a top-level `Bind` of an earlier match
+//! stage's guard, or a top-level `Bind` earlier in the same guard. Bindings
+//! made inside `any of:` disjuncts are discarded by evaluation and never
+//! count.
+
+use super::Ctx;
+use crate::diag::{Code, Diagnostic, Position, Severity};
+use std::collections::BTreeSet;
+use swmon_core::property::WindowSpec;
+use swmon_core::{Atom, Guard, StageKind, Var};
+
+/// Run the unbound-variable pass.
+pub fn check(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (s, stage) in ctx.prop.stages.iter().enumerate() {
+        let base = &ctx.bound_before[s];
+        if let StageKind::Match { guard, .. } = &stage.kind {
+            walk_guard(ctx, s, guard, base, GuardSite::Advance, &mut out);
+        }
+        for (c, u) in stage.unless.iter().enumerate() {
+            walk_guard(ctx, s, &u.guard, base, GuardSite::Unless(c), &mut out);
+        }
+        if let Some(WindowSpec::BoundSecs(v)) = &stage.within {
+            if !base.contains(v) {
+                out.push(Diagnostic {
+                    code: Code::UnboundVar,
+                    severity: Severity::Error,
+                    locus: ctx.locus(s, Position::Window),
+                    message: format!(
+                        "window `within bound ?{}` reads ?{0}, which no earlier stage binds; \
+                         the window never arms and the instance never expires",
+                        v.name()
+                    ),
+                    suggestion: Some(format!("bind ?{} in an earlier stage", v.name())),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[derive(Clone, Copy)]
+enum GuardSite {
+    Advance,
+    Unless(usize),
+}
+
+fn walk_guard(
+    ctx: &Ctx<'_>,
+    s: usize,
+    guard: &Guard,
+    base: &BTreeSet<Var>,
+    site: GuardSite,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut bound = base.clone();
+    for (i, atom) in guard.atoms.iter().enumerate() {
+        let (position, severity, consequence) = match site {
+            GuardSite::Advance => (
+                Position::Guard { atom: i },
+                Severity::Error,
+                "the guard can never match, so the stage never advances",
+            ),
+            GuardSite::Unless(c) => (
+                Position::Unless { clause: c },
+                Severity::Warning,
+                "the clearing can never match, so it never discharges the obligation",
+            ),
+        };
+        match atom {
+            Atom::NeqVar(_, v) if !bound.contains(v) => out.push(diag(
+                ctx,
+                s,
+                position,
+                severity,
+                format!(
+                    "negative match against ?{} reads it before anything binds it; {consequence}",
+                    v.name()
+                ),
+                v,
+            )),
+            Atom::RrSuccessorMismatch { prev, .. } if !bound.contains(prev) => out.push(diag(
+                ctx,
+                s,
+                position,
+                severity,
+                format!(
+                    "round-robin check reads ?{} before anything binds it; {consequence}",
+                    prev.name()
+                ),
+                prev,
+            )),
+            Atom::AnyOf(subs) => {
+                for sub in flatten(subs) {
+                    let read = match sub {
+                        Atom::NeqVar(_, v) if !bound.contains(v) => Some(v),
+                        Atom::RrSuccessorMismatch { prev, .. } if !bound.contains(prev) => {
+                            Some(prev)
+                        }
+                        _ => None,
+                    };
+                    if let Some(v) = read {
+                        out.push(diag(
+                            ctx,
+                            s,
+                            position.clone(),
+                            Severity::Warning,
+                            format!(
+                                "disjunct reads ?{} before anything binds it; the disjunct can \
+                                 never hold",
+                                v.name()
+                            ),
+                            v,
+                        ));
+                    }
+                    // A Bind inside a disjunct that unifies an already-bound
+                    // variable is fine; a Bind of a *new* variable is
+                    // discarded by evaluation — the dataflow simply doesn't
+                    // extend `bound`, so later reads of it get flagged.
+                }
+            }
+            Atom::Bind(v, _) => {
+                bound.insert(*v);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Sub-atoms of an `AnyOf`, recursing through nested disjunctions.
+fn flatten(subs: &[Atom]) -> Vec<&Atom> {
+    let mut out = Vec::new();
+    for sub in subs {
+        match sub {
+            Atom::AnyOf(inner) => out.extend(flatten(inner)),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn diag(
+    ctx: &Ctx<'_>,
+    s: usize,
+    position: Position,
+    severity: Severity,
+    message: String,
+    v: &Var,
+) -> Diagnostic {
+    Diagnostic {
+        code: Code::UnboundVar,
+        severity,
+        locus: ctx.locus(s, position),
+        message,
+        suggestion: Some(format!(
+            "bind ?{} with a top-level `bind` in an earlier stage (disjunct bindings are \
+             discarded)",
+            v.name()
+        )),
+    }
+}

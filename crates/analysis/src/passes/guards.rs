@@ -1,0 +1,209 @@
+//! `SW002` unsatisfiable guards and `SW003` mirror-symmetry conflicts.
+//!
+//! A guard is a conjunction, so two top-level atoms that constrain one
+//! field incompatibly make the whole guard unsatisfiable:
+//!
+//! * `f == a` and `f == b` with `a != b`;
+//! * `f == a` and `f != a`;
+//! * `bind ?v = f` together with `f != ?v` (after the bind, the field
+//!   *equals* the binding by definition);
+//! * `f == value` where the value's type can never be the field's type
+//!   (e.g. a MAC constant compared against an IPv4 field).
+//!
+//! `SW003` is the subtler symmetry bug: one guard binding the same
+//! variable at a field *and* at its directional mirror (`ipv4.src` and
+//! `ipv4.dst`). Unification forces both fields equal, so only
+//! self-addressed packets match — almost always a misspelling of the
+//! symmetric pattern, which puts the mirrored bind in a *later* stage.
+
+use super::Ctx;
+use crate::diag::{Code, Diagnostic, Position, Severity};
+use swmon_core::features::mirror_field;
+use swmon_core::{Atom, Guard, StageKind};
+use swmon_packet::{Field, FieldValue};
+
+/// Run the guard-satisfiability checks.
+pub fn check(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (s, stage) in ctx.prop.stages.iter().enumerate() {
+        if let StageKind::Match { guard, .. } = &stage.kind {
+            if let Some((atom, message, suggestion)) = unsat_reason(guard) {
+                out.push(Diagnostic {
+                    code: Code::UnsatGuard,
+                    severity: Severity::Error,
+                    locus: ctx.locus(s, Position::Guard { atom }),
+                    message: format!("{message}; the stage can never advance"),
+                    suggestion: Some(suggestion),
+                });
+            }
+            for (atom, message) in mirror_conflicts(guard) {
+                out.push(Diagnostic {
+                    code: Code::MirrorConflict,
+                    severity: Severity::Warning,
+                    locus: ctx.locus(s, Position::Guard { atom }),
+                    message,
+                    suggestion: Some(
+                        "for symmetric (request/reply) matching, bind the variable at the \
+                         mirrored field in a later stage, not alongside the original"
+                            .into(),
+                    ),
+                });
+            }
+        }
+        for (c, u) in stage.unless.iter().enumerate() {
+            if let Some((_, message, suggestion)) = unsat_reason(&u.guard) {
+                out.push(Diagnostic {
+                    code: Code::UnsatGuard,
+                    severity: Severity::Warning,
+                    locus: ctx.locus(s, Position::Unless { clause: c }),
+                    message: format!("{message}; the clearing can never fire"),
+                    suggestion: Some(suggestion),
+                });
+            }
+            for (_, message) in mirror_conflicts(&u.guard) {
+                out.push(Diagnostic {
+                    code: Code::MirrorConflict,
+                    severity: Severity::Warning,
+                    locus: ctx.locus(s, Position::Unless { clause: c }),
+                    message,
+                    suggestion: Some(
+                        "bind the variable at one orientation per guard (src/dst are mirrors)"
+                            .into(),
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The value type a field carries on the wire, for constant-type checking.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum Kind {
+    Mac,
+    Ipv4,
+    Uint,
+}
+
+fn field_kind(f: Field) -> Kind {
+    use Field::*;
+    match f {
+        EthSrc | EthDst | ArpSenderMac | ArpTargetMac | DhcpChaddr => Kind::Mac,
+        ArpSenderIp | ArpTargetIp | Ipv4Src | Ipv4Dst | DhcpYiaddr | DhcpCiaddr
+        | DhcpRequestedIp | DhcpServerId | FtpDataAddr => Kind::Ipv4,
+        _ => Kind::Uint,
+    }
+}
+
+fn value_kind(v: &FieldValue) -> Kind {
+    match v {
+        FieldValue::Mac(_) => Kind::Mac,
+        FieldValue::Ipv4(_) => Kind::Ipv4,
+        FieldValue::Uint(_) => Kind::Uint,
+    }
+}
+
+fn fmt_val(v: &FieldValue) -> String {
+    match v {
+        FieldValue::Mac(m) => m.to_string(),
+        FieldValue::Ipv4(a) => a.to_string(),
+        FieldValue::Uint(n) => n.to_string(),
+    }
+}
+
+/// Why a guard's top-level conjunction is unsatisfiable, if it is:
+/// `(index of the later conflicting atom, message, suggestion)`.
+pub(crate) fn unsat_reason(guard: &Guard) -> Option<(usize, String, String)> {
+    let name = swmon_core::dsl::field_name;
+    for (i, atom) in guard.atoms.iter().enumerate() {
+        // Type-mismatched constants are self-contained contradictions.
+        if let Atom::EqConst(f, v) = atom {
+            if field_kind(*f) != value_kind(v) {
+                return Some((
+                    i,
+                    format!(
+                        "`{} == {}` compares a {:?}-valued field against a {:?} constant, which \
+                         can never be equal",
+                        name(*f),
+                        fmt_val(v),
+                        field_kind(*f),
+                        value_kind(v)
+                    ),
+                    "use a constant of the field's type".into(),
+                ));
+            }
+        }
+        // Pairwise conflicts with an earlier atom.
+        for earlier in &guard.atoms[..i] {
+            let conflict = match (earlier, atom) {
+                (Atom::EqConst(f1, v1), Atom::EqConst(f2, v2)) if f1 == f2 && v1 != v2 => {
+                    Some(format!(
+                        "`{} == {}` contradicts earlier `{0} == {}`",
+                        name(*f1),
+                        fmt_val(v2),
+                        fmt_val(v1)
+                    ))
+                }
+                (Atom::EqConst(f1, v1), Atom::NeqConst(f2, v2))
+                | (Atom::NeqConst(f2, v2), Atom::EqConst(f1, v1))
+                    if f1 == f2 && v1 == v2 =>
+                {
+                    Some(format!(
+                        "`{} == {}` and `{0} != {1}` cannot both hold",
+                        name(*f1),
+                        fmt_val(v1)
+                    ))
+                }
+                (Atom::Bind(v1, f1), Atom::NeqVar(f2, v2))
+                | (Atom::NeqVar(f2, v2), Atom::Bind(v1, f1))
+                    if f1 == f2 && v1 == v2 =>
+                {
+                    Some(format!(
+                        "`bind ?{} = {}` forces the field equal to ?{0}, so `{1} != ?{0}` in the \
+                         same guard can never hold",
+                        v1.name(),
+                        name(*f1)
+                    ))
+                }
+                _ => None,
+            };
+            if let Some(message) = conflict {
+                return Some((i, message, "remove one of the contradictory constraints".into()));
+            }
+        }
+    }
+    None
+}
+
+/// Same-guard binds of one variable at a field and its mirror:
+/// `(index of the later bind, message)` per conflicting pair.
+fn mirror_conflicts(guard: &Guard) -> Vec<(usize, String)> {
+    let name = swmon_core::dsl::field_name;
+    let mut out = Vec::new();
+    let binds: Vec<(usize, _, Field)> = guard
+        .atoms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| match a {
+            Atom::Bind(v, f) => Some((i, *v, *f)),
+            _ => None,
+        })
+        .collect();
+    for (k, &(_, v1, f1)) in binds.iter().enumerate() {
+        for &(j, v2, f2) in &binds[k + 1..] {
+            if v1 == v2 && mirror_field(f1) == Some(f2) {
+                out.push((
+                    j,
+                    format!(
+                        "?{} is bound at {} and at its mirror {} in one guard; unification \
+                         forces the two fields equal, so only self-addressed packets match",
+                        v1.name(),
+                        name(f1),
+                        name(f2)
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

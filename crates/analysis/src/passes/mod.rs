@@ -1,0 +1,109 @@
+//! The lint pass pipeline.
+//!
+//! Each pass is a function from the shared [`Ctx`] to a list of
+//! [`Diagnostic`]s. Passes are pure and order-independent; the orchestrator
+//! ([`run`]) executes them in code order and the result is sorted into a
+//! deterministic presentation order (severity, then code, then stage).
+
+pub mod backend;
+pub mod dataflow;
+pub mod guards;
+pub mod perf;
+pub mod reach;
+pub mod structural;
+
+use crate::diag::{Diagnostic, Locus, Position};
+use std::collections::BTreeSet;
+use swmon_core::{Property, PropertySpans, StageKind, Var};
+
+/// Shared, precomputed analysis context handed to every pass.
+pub struct Ctx<'a> {
+    /// The property under analysis.
+    pub prop: &'a Property,
+    /// Source spans, when the property came from DSL text.
+    pub spans: Option<&'a PropertySpans>,
+    /// `bound_before[s]`: variables *definitely* bound by any instance
+    /// awaiting stage `s` — the top-level binders of the match-stage guards
+    /// of all earlier stages. (A guard only succeeds if every one of its
+    /// `Bind` atoms held, so everything it binds is definite; `AnyOf`
+    /// disjunct bindings are discarded by evaluation and excluded.)
+    pub bound_before: Vec<BTreeSet<Var>>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Build the context for `prop`.
+    pub fn new(prop: &'a Property, spans: Option<&'a PropertySpans>) -> Ctx<'a> {
+        let mut bound_before = Vec::with_capacity(prop.stages.len());
+        let mut bound: BTreeSet<Var> = BTreeSet::new();
+        for stage in &prop.stages {
+            bound_before.push(bound.clone());
+            if let StageKind::Match { guard, .. } = &stage.kind {
+                bound.extend(guard.binders().map(|(v, _)| *v));
+            }
+        }
+        Ctx { prop, spans, bound_before }
+    }
+
+    /// A locus at `position` of stage `s`, with the stage name and (when
+    /// spans are available) the source line filled in.
+    pub fn locus(&self, s: usize, position: Position) -> Locus {
+        let line = self.spans.and_then(|sp| {
+            let stage = sp.stages.get(s)?;
+            match &position {
+                Position::Property => Some(sp.line),
+                Position::Stage => Some(stage.line),
+                Position::Guard { atom } => {
+                    stage.atom_lines.get(*atom).copied().or(Some(stage.line))
+                }
+                Position::Unless { clause } => {
+                    stage.unless_lines.get(*clause).copied().or(Some(stage.line))
+                }
+                Position::Window => stage.window_line.or(Some(stage.line)),
+            }
+        });
+        Locus {
+            property: self.prop.name.clone(),
+            stage: Some(s),
+            stage_name: self.prop.stages.get(s).map(|st| st.name.clone()),
+            position,
+            line,
+        }
+    }
+
+    /// A whole-property locus.
+    pub fn prop_locus(&self) -> Locus {
+        Locus {
+            property: self.prop.name.clone(),
+            stage: None,
+            stage_name: None,
+            position: Position::Property,
+            line: self.spans.map(|sp| sp.line),
+        }
+    }
+}
+
+/// Run every property-local pass over `ctx` and sort the findings.
+pub fn run(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(structural::check(ctx));
+    out.extend(dataflow::check(ctx));
+    out.extend(guards::check(ctx));
+    out.extend(reach::check(ctx));
+    out.extend(perf::check(ctx));
+    sort(&mut out);
+    out
+}
+
+/// Deterministic presentation order: severity, code, stage, position,
+/// message.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.severity, a.code, a.locus.stage, &a.locus.position, &a.message).cmp(&(
+            b.severity,
+            b.code,
+            b.locus.stage,
+            &b.locus.position,
+            &b.message,
+        ))
+    });
+}

@@ -1,0 +1,136 @@
+//! `SW004` unreachable stages and `SW005` dead timeouts.
+//!
+//! Stages execute strictly in order, so a match stage whose advance guard
+//! can never succeed — an unsatisfiable conjunction (`SW002`) or a
+//! top-level read of a never-bound variable (`SW001`) — blocks every stage
+//! after it. Deadline stages never block: time always passes. A clearing
+//! on the spawn stage is also unreachable (instances never *await* stage
+//! 0, so its `unless` list is dead code).
+//!
+//! A timeout is dead when it can never do its job:
+//!
+//! * any `within` window or deadline on an unreachable stage;
+//! * a `refresh` policy on a stage that follows a deadline — refresh
+//!   triggers on *repeats of the previous observation*, and a deadline has
+//!   no observation event to repeat.
+
+use super::{guards, Ctx};
+use crate::diag::{Code, Diagnostic, Position, Severity};
+use swmon_core::{Atom, RefreshPolicy, StageKind};
+
+/// Run the reachability checks.
+pub fn check(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Dead `unless` on the spawn stage.
+    if let Some(first) = ctx.prop.stages.first() {
+        for (c, _) in first.unless.iter().enumerate() {
+            out.push(Diagnostic {
+                code: Code::UnreachableStage,
+                severity: Severity::Warning,
+                locus: ctx.locus(0, Position::Unless { clause: c }),
+                message: "clearing on the spawn stage can never run: instances never await \
+                          stage 0"
+                    .into(),
+                suggestion: Some("move the clearing to the stage it should guard".into()),
+            });
+        }
+    }
+
+    // First blocked match stage, if any.
+    let blocked_at = ctx.prop.stages.iter().enumerate().find_map(|(s, stage)| {
+        let StageKind::Match { guard, .. } = &stage.kind else {
+            return None; // deadlines always fire
+        };
+        if guards::unsat_reason(guard).is_some() {
+            return Some((s, "its guard is unsatisfiable"));
+        }
+        if has_unbound_advance_read(ctx, s, guard) {
+            return Some((s, "its guard reads a variable nothing binds"));
+        }
+        None
+    });
+
+    let mut unreachable = vec![false; ctx.prop.stages.len()];
+    if let Some((b, why)) = blocked_at {
+        for (s, dead) in unreachable.iter_mut().enumerate().skip(b + 1) {
+            *dead = true;
+            out.push(Diagnostic {
+                code: Code::UnreachableStage,
+                severity: Severity::Warning,
+                locus: ctx.locus(s, Position::Stage),
+                message: format!(
+                    "no instance can reach this stage: stage {b} (\"{}\") never advances because \
+                     {why}",
+                    stage_name(ctx, b)
+                ),
+                suggestion: Some(format!("fix stage {b} or remove the stages after it")),
+            });
+        }
+    }
+
+    // Dead timeouts.
+    for (s, stage) in ctx.prop.stages.iter().enumerate() {
+        let is_deadline = matches!(stage.kind, StageKind::Deadline { .. });
+        if unreachable[s] && (stage.within.is_some() || is_deadline) {
+            out.push(Diagnostic {
+                code: Code::DeadTimeout,
+                severity: Severity::Warning,
+                locus: ctx.locus(s, Position::Window),
+                message: if is_deadline {
+                    "this deadline can never arm: the stage is unreachable".into()
+                } else {
+                    "this window can never arm: the stage is unreachable".into()
+                },
+                suggestion: None,
+            });
+        }
+        // Refresh with nothing to repeat: the previous stage is a deadline,
+        // which produces no observation event.
+        let refreshes = match &stage.kind {
+            StageKind::Deadline { refresh, .. } => *refresh == RefreshPolicy::RefreshOnRepeat,
+            StageKind::Match { .. } => {
+                stage.within.is_some() && stage.within_refresh == RefreshPolicy::RefreshOnRepeat
+            }
+        };
+        if refreshes && s > 0 {
+            if let StageKind::Deadline { .. } = ctx.prop.stages[s - 1].kind {
+                out.push(Diagnostic {
+                    code: Code::DeadTimeout,
+                    severity: Severity::Warning,
+                    locus: ctx.locus(s, Position::Window),
+                    message: format!(
+                        "`refresh` can never trigger: the previous stage (\"{}\") is a deadline, \
+                         and refresh fires on repeats of the previous *observation*",
+                        stage_name(ctx, s - 1)
+                    ),
+                    suggestion: Some("drop `refresh`, or refresh from a match stage".into()),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn stage_name(ctx: &Ctx<'_>, s: usize) -> String {
+    ctx.prop.stages.get(s).map(|st| st.name.clone()).unwrap_or_default()
+}
+
+/// True when the advance guard has a top-level read (negative match or
+/// round-robin predecessor) of a variable bound neither by an earlier stage
+/// nor earlier in this guard — the `SW001` Error condition, recomputed here
+/// so reachability does not depend on diagnostic plumbing.
+fn has_unbound_advance_read(ctx: &Ctx<'_>, s: usize, guard: &swmon_core::Guard) -> bool {
+    let mut bound = ctx.bound_before[s].clone();
+    for atom in &guard.atoms {
+        match atom {
+            Atom::NeqVar(_, v) if !bound.contains(v) => return true,
+            Atom::RrSuccessorMismatch { prev, .. } if !bound.contains(prev) => return true,
+            Atom::Bind(v, _) => {
+                bound.insert(*v);
+            }
+            _ => {}
+        }
+    }
+    false
+}

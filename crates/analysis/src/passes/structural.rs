@@ -1,0 +1,72 @@
+//! `SW000` structural validation and `SW006` empty event-class mask.
+//!
+//! `SW000` wraps [`Property::validate`] so the linter reports structural
+//! breakage through the same diagnostic channel as everything else (the
+//! builder and DSL parser reject these at construction; the linter meets
+//! them in raw IR). `SW006` catches a property whose patterns cover no
+//! event class at all: nothing can ever spawn, advance, clear, or refresh
+//! an instance, so the monitor is inert.
+
+use super::Ctx;
+use crate::diag::{Code, Diagnostic, Position, Severity};
+use swmon_core::PropertyError;
+
+/// Run the structural checks.
+pub fn check(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Err(e) = ctx.prop.validate() {
+        // Point at the offending stage where the error names one.
+        let locus = match &e {
+            PropertyError::BadIdentityRef { stage, .. } => ctx.locus(*stage, Position::Stage),
+            PropertyError::DeadlineWithWindow(s) => ctx.locus(*s, Position::Window),
+            PropertyError::FirstStageNotMatch | PropertyError::FirstStageHasWindow
+                if !ctx.prop.stages.is_empty() =>
+            {
+                ctx.locus(0, Position::Stage)
+            }
+            _ => ctx.prop_locus(),
+        };
+        out.push(Diagnostic {
+            code: Code::Structural,
+            severity: Severity::Error,
+            locus,
+            message: format!("structurally invalid: {e}"),
+            suggestion: suggestion_for(&e),
+        });
+    }
+    if ctx.prop.event_class_mask() == 0 {
+        out.push(Diagnostic {
+            code: Code::EmptyEventMask,
+            severity: Severity::Error,
+            locus: ctx.prop_locus(),
+            message: "event-class mask is empty: no event can spawn, advance, clear, or refresh \
+                      an instance"
+                .into(),
+            suggestion: Some("add at least one match stage or clearing observation".into()),
+        });
+    }
+    out
+}
+
+fn suggestion_for(e: &PropertyError) -> Option<String> {
+    Some(match e {
+        PropertyError::NoStages => "add an observation stage".into(),
+        PropertyError::FirstStageNotMatch => {
+            "make the first stage a match observation (something must spawn instances)".into()
+        }
+        PropertyError::FirstStageHasWindow => {
+            "remove the `within` window from the first stage (there is no previous observation \
+             to measure from)"
+                .into()
+        }
+        PropertyError::BadIdentityRef { refers_to, .. } => {
+            format!("`same packet as {refers_to}` must refer to an earlier stage")
+        }
+        PropertyError::DeadlineWithWindow(_) => {
+            "a deadline is already a timer; drop the `within` window".into()
+        }
+        PropertyError::TooManyVariables { max, .. } => {
+            format!("reduce the property to at most {max} distinct variables")
+        }
+    })
+}

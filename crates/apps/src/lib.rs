@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # swmon-apps — reference network functions (the systems under test)
 //!

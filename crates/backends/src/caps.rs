@@ -6,208 +6,19 @@
 //! derives the property's [`swmon_core::FeatureSet`] and checks it against
 //! the capabilities; a missing feature is a typed [`Gap`] — the ✗ cells of
 //! Table 2, produced by running the compiler rather than asserted.
+//!
+//! The types and the gap-checking logic live in
+//! [`swmon_analysis::feasibility`], shared with the property linter's
+//! backend-feasibility pass (`SW009`); this module re-exports them so
+//! backend code keeps its historical `crate::caps::*` paths.
 
-use swmon_core::{FeatureSet, InstanceIdClass, Property, ProvenanceMode};
-use swmon_packet::Layer;
-
-/// A tri-state Table 2 cell: supported, precluded, or not applicable /
-/// unclear (printed blank, exactly as the paper does).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Cell {
-    /// ✓ — the approach provides the feature.
-    Yes,
-    /// ✗ — the architecture precludes it.
-    No,
-    /// Blank — not applicable or target-dependent.
-    Blank,
-}
-
-impl Cell {
-    /// Render as the paper prints it.
-    pub fn render(&self) -> &'static str {
-        match self {
-            Cell::Yes => "✓",
-            Cell::No => "✗",
-            Cell::Blank => "",
-        }
-    }
-
-    /// Usable as a supported feature? (Blank counts as unsupported for
-    /// compilation purposes: we refuse to rely on target-dependent
-    /// behaviour.)
-    pub fn usable(&self) -> bool {
-        matches!(self, Cell::Yes)
-    }
-}
-
-/// How deep the approach's parser reaches / how flexible its field access
-/// is (the paper's "Field access" row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FieldAccess {
-    /// A fixed set of standard header fields (through L4).
-    Fixed,
-    /// Programmable, protocol-independent parsing (L7 reachable).
-    Dynamic,
-}
-
-impl FieldAccess {
-    /// Render as the paper prints it.
-    pub fn render(&self) -> &'static str {
-        match self {
-            FieldAccess::Fixed => "Fixed",
-            FieldAccess::Dynamic => "Dynamic",
-        }
-    }
-}
-
-/// One approach's capability profile (one Table 2 column).
-#[derive(Debug, Clone)]
-pub struct Capabilities {
-    /// Column name.
-    pub name: &'static str,
-    /// "State mechanism" row (descriptive).
-    pub state_mechanism: &'static str,
-    /// "Update datapath" row: "Fast path", "Slow path", or "—".
-    pub update_datapath: &'static str,
-    /// "Processing Mode" row: "Inline", "Split", or blank.
-    pub processing_mode: &'static str,
-    /// Cross-packet state at all.
-    pub event_history: Cell,
-    /// Identification of related events (packet identity, Feature 5).
-    pub identity: Cell,
-    /// Field access flexibility (Feature 1).
-    pub field_access: FieldAccess,
-    /// Negative match (Feature 6).
-    pub negative_match: Cell,
-    /// Rule timeouts (Feature 3).
-    pub rule_timeouts: Cell,
-    /// Timeout actions (Feature 7).
-    pub timeout_actions: Cell,
-    /// Symmetric instance identification.
-    pub symmetric_match: Cell,
-    /// Wandering instance identification.
-    pub wandering_match: Cell,
-    /// Out-of-band events (multiple match).
-    pub out_of_band: Cell,
-    /// Full provenance (Feature 10).
-    pub full_provenance: Cell,
-    /// Dropped-packet observation (not a Table 2 row; Sec 2.2 notes it is
-    /// "almost universally unsupported").
-    pub drop_detection: bool,
-    /// Egress metadata (output-port matching; Sec 3.2).
-    pub egress_metadata: bool,
-}
-
-/// Why a property cannot be compiled onto a backend — the ✗ of Table 2 as
-/// a typed error.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Gap {
-    /// The property needs cross-packet state the approach lacks.
-    EventHistory,
-    /// The property needs packet identity (Feature 5).
-    Identity,
-    /// The property reads fields beyond the approach's fixed parser
-    /// (Feature 1).
-    FieldDepth {
-        /// Depth required.
-        required: Layer,
-    },
-    /// The property needs negative match (Feature 6).
-    NegativeMatch,
-    /// The property needs rule timeouts (Feature 3).
-    RuleTimeouts,
-    /// The property needs timeout actions (Feature 7).
-    TimeoutActions,
-    /// The property needs symmetric instance identification.
-    SymmetricMatch,
-    /// The property needs wandering instance identification.
-    WanderingMatch,
-    /// The property needs out-of-band events (multiple match).
-    OutOfBandEvents,
-    /// Full provenance was requested but the approach cannot retain it.
-    FullProvenance,
-    /// The property observes dropped packets, which the approach cannot.
-    DropDetection,
-    /// The property matches egress metadata (output port / flood-vs-
-    /// unicast), which the approach cannot.
-    EgressMetadata,
-}
-
-impl std::fmt::Display for Gap {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Gap::EventHistory => write!(f, "no cross-packet state"),
-            Gap::Identity => write!(f, "cannot identify related events (Feature 5)"),
-            Gap::FieldDepth { required } => {
-                write!(f, "fixed parser cannot reach {required} fields (Feature 1)")
-            }
-            Gap::NegativeMatch => write!(f, "no negative match (Feature 6)"),
-            Gap::RuleTimeouts => write!(f, "no rule timeouts (Feature 3)"),
-            Gap::TimeoutActions => write!(f, "no timeout actions (Feature 7)"),
-            Gap::SymmetricMatch => write!(f, "no symmetric instance identification"),
-            Gap::WanderingMatch => write!(f, "no wandering match"),
-            Gap::OutOfBandEvents => write!(f, "no out-of-band events (multiple match)"),
-            Gap::FullProvenance => write!(f, "cannot retain full provenance (Feature 10)"),
-            Gap::DropDetection => write!(f, "cannot observe dropped packets"),
-            Gap::EgressMetadata => write!(f, "cannot match egress metadata (output port)"),
-        }
-    }
-}
-
-impl std::error::Error for Gap {}
-
-impl Capabilities {
-    /// Check a property (at the requested provenance level) against this
-    /// profile; returns every gap, not just the first, so reports can show
-    /// the full shortfall.
-    pub fn check(&self, property: &Property, provenance: ProvenanceMode) -> Vec<Gap> {
-        let fs = FeatureSet::of(property);
-        let mut gaps = Vec::new();
-        if fs.history && !self.event_history.usable() {
-            gaps.push(Gap::EventHistory);
-        }
-        if fs.identity && !self.identity.usable() {
-            gaps.push(Gap::Identity);
-        }
-        if fs.fields > Layer::L4 && self.field_access == FieldAccess::Fixed {
-            gaps.push(Gap::FieldDepth { required: fs.fields });
-        }
-        if fs.negative_match && !self.negative_match.usable() {
-            gaps.push(Gap::NegativeMatch);
-        }
-        if fs.timeouts && !self.rule_timeouts.usable() {
-            gaps.push(Gap::RuleTimeouts);
-        }
-        if fs.timeout_actions && !self.timeout_actions.usable() {
-            gaps.push(Gap::TimeoutActions);
-        }
-        if fs.instance_id == InstanceIdClass::Symmetric && !self.symmetric_match.usable() {
-            gaps.push(Gap::SymmetricMatch);
-        }
-        if fs.instance_id == InstanceIdClass::Wandering && !self.wandering_match.usable() {
-            gaps.push(Gap::WanderingMatch);
-        }
-        if fs.out_of_band && !self.out_of_band.usable() {
-            gaps.push(Gap::OutOfBandEvents);
-        }
-        if provenance == ProvenanceMode::Full && !self.full_provenance.usable() {
-            gaps.push(Gap::FullProvenance);
-        }
-        if fs.drop_detection && !self.drop_detection {
-            gaps.push(Gap::DropDetection);
-        }
-        if fs.egress_metadata && !self.egress_metadata {
-            gaps.push(Gap::EgressMetadata);
-        }
-        gaps
-    }
-}
+pub use swmon_analysis::feasibility::{feature_gaps, Capabilities, Cell, FieldAccess, Gap};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swmon_core::{ActionPattern, EventPattern, PropertyBuilder};
-    use swmon_packet::Field;
+    use swmon_core::{ActionPattern, EventPattern, PropertyBuilder, ProvenanceMode};
+    use swmon_packet::{Field, Layer};
     use swmon_sim::time::Duration;
 
     fn everything() -> Capabilities {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # swmon-backends — the surveyed approaches to on-switch state (Table 2)
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `repro` — regenerate every table and experiment of the paper.
 //!
 //! Usage:
@@ -9,6 +10,7 @@
 //! ```
 
 use swmon_bench::experiments::{e10, e11, e12, e13, e14, e3, e4, e5, e6, e7, e8, e9};
+use swmon_bench::lint;
 
 fn section(title: &str) {
     println!("\n{}", "=".repeat(78));
@@ -111,6 +113,16 @@ fn main() {
         println!("{}", e14::render(&o));
         if json {
             println!("{}", e14::to_json(&o));
+        }
+    }
+
+    if want("lint") {
+        section("Lint — swmon-analysis over the full property catalog");
+        let diags = lint::run(&lint::catalog_targets());
+        if json {
+            println!("{}", lint::render_json(&diags));
+        } else {
+            print!("{}", lint::render_pretty(&diags));
         }
     }
 }

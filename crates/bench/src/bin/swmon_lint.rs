@@ -1,0 +1,73 @@
+#![forbid(unsafe_code)]
+//! `swmon-lint` — lint monitoring properties before deploying them.
+//!
+//! Usage:
+//! ```text
+//! swmon-lint                       # lint the full 21-property catalog
+//! swmon-lint props.dsl more.dsl    # lint DSL files (diagnostics carry lines)
+//! swmon-lint --format json         # machine-readable report
+//! ```
+//!
+//! Exit status: 0 when clean (Perf/Note diagnostics allowed), 1 when any
+//! Error or Warning fires, 2 on usage or parse failure.
+
+use swmon_bench::lint;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = "pretty";
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("json") => format = "json",
+                Some("pretty") => format = "pretty",
+                other => {
+                    eprintln!("swmon-lint: --format expects 'json' or 'pretty', got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: swmon-lint [--format json|pretty] [FILE.dsl ...]");
+                return;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("swmon-lint: unknown flag {flag}");
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    let mut targets = Vec::new();
+    if files.is_empty() {
+        targets = lint::catalog_targets();
+    } else {
+        for path in &files {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("swmon-lint: cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match lint::file_targets(path, &src) {
+                Ok(ts) => targets.extend(ts),
+                Err(e) => {
+                    eprintln!("swmon-lint: {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let diags = lint::run(&targets);
+    match format {
+        "json" => println!("{}", lint::render_json(&diags)),
+        _ => print!("{}", lint::render_pretty(&diags)),
+    }
+    if lint::gating(&diags) {
+        std::process::exit(1);
+    }
+}

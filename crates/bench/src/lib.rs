@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # swmon-bench — the experiment harness
 //!
 //! Every table and figure-equivalent of the paper as a library function:
@@ -18,6 +19,7 @@
 //! | E10 | per-approach monitoring overhead | [`experiments::e10`] |
 
 pub mod experiments;
+pub mod lint;
 pub mod table;
 
 pub use table::TextTable;

@@ -1,0 +1,112 @@
+//! The `swmon-lint` driver: assemble lint targets, run the
+//! `swmon-analysis` pass pipeline over each, and render the results.
+//!
+//! The default deployment is the full 21-property catalog
+//! ([`swmon_props::catalog`]); `.dsl` files can be linted instead, in which
+//! case source spans flow through so diagnostics carry line numbers. The
+//! backend-feasibility pass (`SW009`) always runs against every surveyed
+//! approach of Table 2.
+
+use swmon_analysis::{analyze_full, Diagnostic, Summary};
+use swmon_core::{parse_properties_spanned, DslError, Property, PropertySpans, ProvenanceMode};
+
+/// One property queued for linting, with DSL spans when it came from source.
+pub struct Target {
+    /// Where the property came from: `"catalog"` or a file path.
+    pub source: String,
+    /// The compiled property.
+    pub property: Property,
+    /// Source spans, present iff the property was parsed from DSL text.
+    pub spans: Option<PropertySpans>,
+}
+
+/// The default lint deployment: the full 21-property catalog.
+pub fn catalog_targets() -> Vec<Target> {
+    swmon_props::catalog()
+        .into_iter()
+        .map(|property| Target { source: "catalog".into(), property, spans: None })
+        .collect()
+}
+
+/// Parse a `.dsl` file's contents into lint targets with spans attached.
+pub fn file_targets(path: &str, src: &str) -> Result<Vec<Target>, DslError> {
+    Ok(parse_properties_spanned(src)?
+        .into_iter()
+        .map(|(property, spans)| Target { source: path.to_string(), property, spans: Some(spans) })
+        .collect())
+}
+
+/// Lint every target with the full pipeline, including backend feasibility
+/// against all surveyed approaches. Diagnostics come back grouped by
+/// target, in target order.
+pub fn run(targets: &[Target]) -> Vec<Diagnostic> {
+    let profiles: Vec<_> = swmon_backends::all().into_iter().map(|m| m.caps).collect();
+    let mut out = Vec::new();
+    for t in targets {
+        out.extend(analyze_full(
+            &t.property,
+            t.spans.as_ref(),
+            &profiles,
+            ProvenanceMode::Bindings,
+        ));
+    }
+    out
+}
+
+/// Render diagnostics as rustc-style text plus a one-line summary.
+pub fn render_pretty(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    let s = Summary::of(diags);
+    out.push_str(&format!(
+        "{} error(s), {} warning(s), {} perf, {} note(s)\n",
+        s.errors, s.warnings, s.perf, s.notes
+    ));
+    out
+}
+
+/// Render diagnostics as the machine-readable JSON report.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    swmon_analysis::json::diags_to_json(diags)
+}
+
+/// True when the run should fail the build: any [`Severity::is_gating`]
+/// diagnostic (Error or Warning) is present.
+pub fn gating(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity.is_gating())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_analysis::Severity;
+
+    #[test]
+    fn catalog_is_not_gating() {
+        let diags = run(&catalog_targets());
+        assert!(!gating(&diags), "{}", render_pretty(&diags));
+    }
+
+    #[test]
+    fn dsl_files_carry_line_numbers() {
+        let src = r#"
+property "demo/unbound"
+observe a on arrival
+  bind ?A = ipv4.src
+end
+observe b on arrival
+  ipv4.src != ?Z
+end
+"#;
+        let targets = file_targets("demo.dsl", src).unwrap();
+        let diags = run(&targets);
+        assert!(
+            diags.iter().any(|d| d.severity == Severity::Error && d.locus.line.is_some()),
+            "{}",
+            render_pretty(&diags)
+        );
+    }
+}

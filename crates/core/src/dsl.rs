@@ -53,6 +53,32 @@ impl fmt::Display for DslError {
 impl std::error::Error for DslError {}
 
 // --------------------------------------------------------------------------
+// Spans
+
+/// 1-based source lines for one parsed stage — enough locus information for
+/// a diagnostic to point back into the DSL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpan {
+    /// Line of the `observe` / `deadline` keyword.
+    pub line: usize,
+    /// Line of each top-level guard atom, in atom order.
+    pub atom_lines: Vec<usize>,
+    /// Line of each `unless` clause, in clause order.
+    pub unless_lines: Vec<usize>,
+    /// Line of the `within` window (match stages) or of the deadline header.
+    pub window_line: Option<usize>,
+}
+
+/// 1-based source lines for one parsed property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertySpans {
+    /// Line of the `property` keyword.
+    pub line: usize,
+    /// One span per stage, in stage order.
+    pub stages: Vec<StageSpan>,
+}
+
+// --------------------------------------------------------------------------
 // Lexer
 
 #[derive(Debug, Clone, PartialEq)]
@@ -429,29 +455,48 @@ impl Parser {
         matches!(self.peek(), Some(Tok::Ident(w)) if w == "property")
     }
 
-    fn property(&mut self) -> Result<Property, DslError> {
+    /// Line of the *upcoming* token (for span recording, unlike
+    /// [`Parser::line`], which reports the last consumed token for errors).
+    fn cur_line(&self) -> usize {
+        self.toks.get(self.pos).map(|(l, _)| *l).unwrap_or(1)
+    }
+
+    fn property(&mut self) -> Result<(Property, PropertySpans), DslError> {
+        let prop_line = self.cur_line();
         self.expect_kw("property")?;
         let name = self.expect_str()?;
         let statement = if self.try_kw("statement") { self.expect_str()? } else { String::new() };
         let mut stages = Vec::new();
+        let mut spans = Vec::new();
         while self.peek().is_some() && !self.at_property_keyword() {
-            stages.push(self.stage()?);
+            let (stage, span) = self.stage()?;
+            stages.push(stage);
+            spans.push(span);
         }
         if stages.is_empty() {
             return Err(self.err("property has no stages"));
         }
         let p = Property { name, statement, stages };
         p.validate().map_err(|e| self.err(format!("invalid property: {e}")))?;
-        Ok(p)
+        Ok((p, PropertySpans { line: prop_line, stages: spans }))
     }
 
-    fn stage(&mut self) -> Result<Stage, DslError> {
+    fn stage(&mut self) -> Result<(Stage, StageSpan), DslError> {
+        let stage_line = self.cur_line();
+        let mut span = StageSpan {
+            line: stage_line,
+            atom_lines: Vec::new(),
+            unless_lines: Vec::new(),
+            window_line: None,
+        };
         if self.try_kw("observe") {
             let name = self.expect_ident()?;
             self.expect_kw("on")?;
             let pattern = self.pattern()?;
             let mut stage = Stage::match_(&name, pattern, Guard::any());
+            let within_line = self.cur_line();
             if self.try_kw("within") {
+                span.window_line = Some(within_line);
                 stage.within = Some(self.window_spec()?);
                 if self.try_kw("refresh") {
                     stage.within_refresh = RefreshPolicy::RefreshOnRepeat;
@@ -461,21 +506,26 @@ impl Parser {
                 if self.try_kw("end") {
                     break;
                 }
+                let item_line = self.cur_line();
                 if self.try_kw("unless") {
+                    span.unless_lines.push(item_line);
                     stage.unless.push(self.unless()?);
                     continue;
                 }
                 let atom = self.atom()?;
+                span.atom_lines.push(item_line);
                 match &mut stage.kind {
                     StageKind::Match { guard, .. } => guard.atoms.push(atom),
                     StageKind::Deadline { .. } => unreachable!(),
                 }
             }
-            Ok(stage)
+            Ok((stage, span))
         } else if self.try_kw("deadline") {
             let name = self.expect_ident()?;
             self.expect_kw("after")?;
             let window = self.expect_dur()?;
+            // The deadline window is part of the stage header.
+            span.window_line = Some(stage_line);
             let refresh = if self.try_kw("refresh") {
                 RefreshPolicy::RefreshOnRepeat
             } else {
@@ -486,13 +536,15 @@ impl Parser {
                 if self.try_kw("end") {
                     break;
                 }
+                let item_line = self.cur_line();
                 if self.try_kw("unless") {
+                    span.unless_lines.push(item_line);
                     stage.unless.push(self.unless()?);
                     continue;
                 }
                 return Err(self.err("deadline stages take only 'unless' clauses"));
             }
-            Ok(stage)
+            Ok((stage, span))
         } else {
             Err(self.err("expected 'observe' or 'deadline'"))
         }
@@ -656,6 +708,12 @@ impl Parser {
 /// Parse a property from its textual form. Errors if the input holds more
 /// than one property (use [`parse_properties`] for files of several).
 pub fn parse_property(src: &str) -> Result<Property, DslError> {
+    parse_property_spanned(src).map(|(p, _)| p)
+}
+
+/// Like [`parse_property`], but also returns the source lines of each
+/// construct, for diagnostics that point back into the text.
+pub fn parse_property_spanned(src: &str) -> Result<(Property, PropertySpans), DslError> {
     let toks = lex(src)?;
     let mut p = Parser { toks, pos: 0 };
     let prop = p.property()?;
@@ -667,6 +725,11 @@ pub fn parse_property(src: &str) -> Result<Property, DslError> {
 
 /// Parse a file holding one or more properties.
 pub fn parse_properties(src: &str) -> Result<Vec<Property>, DslError> {
+    parse_properties_spanned(src).map(|ps| ps.into_iter().map(|(p, _)| p).collect())
+}
+
+/// Like [`parse_properties`], but with source spans per property.
+pub fn parse_properties_spanned(src: &str) -> Result<Vec<(Property, PropertySpans)>, DslError> {
     let toks = lex(src)?;
     let mut p = Parser { toks, pos: 0 };
     let mut out = Vec::new();
@@ -991,6 +1054,34 @@ end
 "
         )
         .is_err());
+    }
+
+    #[test]
+    fn spans_point_at_the_right_lines() {
+        // FW starts with a blank line: `property` is on line 3 (after the
+        // comment), stage 0 on line 5 of the raw literal... compute from the
+        // text instead of hard-coding.
+        let line_of =
+            |needle: &str| FW.lines().position(|l| l.contains(needle)).expect("needle present") + 1;
+        let (p, spans) = parse_property_spanned(FW).unwrap();
+        assert_eq!(spans.line, line_of("property \""));
+        assert_eq!(spans.stages.len(), p.stages.len());
+        assert_eq!(spans.stages[0].line, line_of("observe outbound"));
+        assert_eq!(spans.stages[0].atom_lines.len(), 3);
+        assert_eq!(spans.stages[0].atom_lines[1], line_of("bind ?A"));
+        assert_eq!(spans.stages[0].window_line, None);
+        let s1 = &spans.stages[1];
+        assert_eq!(s1.line, line_of("observe return-dropped"));
+        // `within` sits on the stage header line.
+        assert_eq!(s1.window_line, Some(s1.line));
+        assert_eq!(s1.unless_lines, vec![line_of("unless on arrival")]);
+    }
+
+    #[test]
+    fn deadline_spans_carry_a_window_line() {
+        let src = "property \"x\"\nobserve a on arrival\n  bind ?A = ipv4.src\nend\ndeadline d after 1s\nend\n";
+        let (_, spans) = parse_property_spanned(src).unwrap();
+        assert_eq!(spans.stages[1].window_line, Some(5));
     }
 
     #[test]

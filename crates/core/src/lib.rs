@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # swmon-core — stateful property monitoring (the paper's contribution)
 //!
@@ -36,7 +37,10 @@ pub mod var;
 pub mod violation;
 
 pub use builder::PropertyBuilder;
-pub use dsl::{parse_property, to_dsl, DslError};
+pub use dsl::{
+    parse_properties, parse_properties_spanned, parse_property, parse_property_spanned, to_dsl,
+    DslError, PropertySpans, StageSpan,
+};
 pub use engine::{Monitor, MonitorConfig, MonitorStats, ProcessingMode};
 pub use features::{FeatureSet, InstanceIdClass};
 pub use guard::{Atom, Guard};

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # swmon-packet — wire formats and the header-field model
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # swmon-props — the property catalog
 //!
@@ -22,3 +23,23 @@ pub mod nat;
 pub mod port_knocking;
 pub mod scenario;
 pub mod table1;
+
+use swmon_core::Property;
+
+/// The full 21-property catalog: all thirteen Table 1 rows plus the eight
+/// Sec 2 example properties (firewall refinements, NAT, learning switch,
+/// ARP proxy), at the shared [`scenario`] parameters. This is the single
+/// deployment the integration tests, the sharded-runtime differential
+/// tests, and `swmon-lint` all exercise.
+pub fn catalog() -> Vec<Property> {
+    let mut props: Vec<Property> = table1::entries().into_iter().map(|e| e.property).collect();
+    props.push(firewall::return_not_dropped());
+    props.push(firewall::return_not_dropped_within(scenario::FW_TIMEOUT));
+    props.push(firewall::return_until_close(scenario::FW_TIMEOUT));
+    props.push(nat::reverse_translation());
+    props.push(learning_switch::no_flood_after_learn());
+    props.push(learning_switch::correct_port());
+    props.push(learning_switch::flush_on_link_down());
+    props.push(arp_proxy::reply_within(scenario::REPLY_WAIT));
+    props
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `criterion` crate.
 //!
 //! A wall-clock micro-benchmark harness implementing the API subset the

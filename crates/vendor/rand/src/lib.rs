@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `rand` crate.
 //!
 //! Implements the subset of the rand 0.9 API that swmon uses: a seedable

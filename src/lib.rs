@@ -1,8 +1,10 @@
+#![forbid(unsafe_code)]
 //! # swmon — stateful cross-packet property monitoring on programmable switches
 //!
 //! Facade crate re-exporting the whole workspace. See the README for a tour
 //! and `DESIGN.md` for the architecture.
 
+pub use swmon_analysis as analysis;
 pub use swmon_apps as apps;
 pub use swmon_backends as backends;
 pub use swmon_core as monitor;

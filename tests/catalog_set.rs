@@ -10,21 +10,11 @@ use swmon::packet::Layer;
 use swmon::sim::{Duration, Network, SwitchId};
 use swmon::switch::AppSwitch;
 use swmon_apps::{Firewall, FirewallFault};
-use swmon_props::scenario::{FW_TIMEOUT, INSIDE_PORT, OUTSIDE_PORT, REPLY_WAIT};
+use swmon_props::scenario::{FW_TIMEOUT, INSIDE_PORT, OUTSIDE_PORT};
 use swmon_workloads::scenarios::FirewallWorkload;
 
 fn full_catalog() -> Vec<Property> {
-    let mut props: Vec<Property> =
-        swmon_props::table1::entries().into_iter().map(|e| e.property).collect();
-    props.push(swmon_props::firewall::return_not_dropped());
-    props.push(swmon_props::firewall::return_not_dropped_within(FW_TIMEOUT));
-    props.push(swmon_props::firewall::return_until_close(FW_TIMEOUT));
-    props.push(swmon_props::nat::reverse_translation());
-    props.push(swmon_props::learning_switch::no_flood_after_learn());
-    props.push(swmon_props::learning_switch::correct_port());
-    props.push(swmon_props::learning_switch::flush_on_link_down());
-    props.push(swmon_props::arp_proxy::reply_within(REPLY_WAIT));
-    props
+    swmon_props::catalog()
 }
 
 fn run_firewall_under_catalog(fault: FirewallFault, close_prob: f64) -> MonitorSet {

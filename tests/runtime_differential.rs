@@ -14,7 +14,6 @@ use swmon::packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
 use swmon::runtime::{reference_records, signature, RuntimeConfig, ShardedRuntime};
 use swmon::sim::{Duration, EgressAction, Instant, NetEvent, PortNo, TraceBuilder};
 use swmon_props::firewall;
-use swmon_props::scenario::{FW_TIMEOUT, REPLY_WAIT};
 
 /// Shard counts every differential check sweeps.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -22,17 +21,7 @@ const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// The full catalog: all Table 1 rows plus the Sec 2 example properties
 /// (the same 21-property deployment `tests/catalog_set.rs` uses).
 fn full_catalog() -> Vec<Property> {
-    let mut props: Vec<Property> =
-        swmon_props::table1::entries().into_iter().map(|e| e.property).collect();
-    props.push(firewall::return_not_dropped());
-    props.push(firewall::return_not_dropped_within(FW_TIMEOUT));
-    props.push(firewall::return_until_close(FW_TIMEOUT));
-    props.push(swmon_props::nat::reverse_translation());
-    props.push(swmon_props::learning_switch::no_flood_after_learn());
-    props.push(swmon_props::learning_switch::correct_port());
-    props.push(swmon_props::learning_switch::flush_on_link_down());
-    props.push(swmon_props::arp_proxy::reply_within(REPLY_WAIT));
-    props
+    swmon_props::catalog()
 }
 
 /// A compact generated event, as in `tests/differential.rs`.
