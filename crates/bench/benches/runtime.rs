@@ -49,7 +49,7 @@ fn bench_runtime_scaling(c: &mut Criterion) {
     for shards in [1usize, 2, 4, 8] {
         let rt = ShardedRuntime::new(props.clone(), RuntimeConfig::with_shards(shards)).unwrap();
         g.bench_function(format!("sharded_{shards}_workers"), |b| {
-            b.iter(|| rt.run(black_box(&trace), end).records.len())
+            b.iter(|| rt.run(black_box(&trace), end).unwrap().records.len())
         });
     }
     g.finish();

@@ -9,7 +9,7 @@
 //! repro e14 --json --quick # small event counts (CI smoke)
 //! ```
 
-use swmon_bench::experiments::{e10, e11, e12, e13, e14, e3, e4, e5, e6, e7, e8, e9};
+use swmon_bench::experiments::{e10, e11, e12, e13, e14, e15, e3, e4, e5, e6, e7, e8, e9};
 use swmon_bench::lint;
 
 fn section(title: &str) {
@@ -113,6 +113,15 @@ fn main() {
         println!("{}", e14::render(&o));
         if json {
             println!("{}", e14::to_json(&o));
+        }
+    }
+
+    if want("e15") {
+        section("E15 — fault-tolerant runtime under chaos (extension)");
+        let o = e15::run(flows, packets);
+        println!("{}", e15::render(&o));
+        if json {
+            println!("{}", e15::to_json(&o));
         }
     }
 

@@ -82,7 +82,7 @@ pub fn run(flows: u32, packets: u32, shard_counts: &[usize]) -> Outcome {
         let rt = ShardedRuntime::new(props.clone(), RuntimeConfig::with_shards(shards))
             .expect("catalog properties are valid");
         let t0 = WallInstant::now();
-        let out = rt.run(&trace, end);
+        let out = rt.run(&trace, end).expect("fault-free run cannot fail");
         let secs = t0.elapsed().as_secs_f64();
         rows.push(Row {
             shards,

@@ -130,29 +130,29 @@ pub struct MonitorStats {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TimerKind {
+pub(crate) enum TimerKind {
     /// A `within` window expired: kill the instance.
     WindowExpiry,
     /// A `Deadline` stage matured: advance the instance.
     Deadline,
 }
 
-#[derive(Debug)]
-struct Instance {
+#[derive(Debug, Clone)]
+pub(crate) struct Instance {
     /// Unique incarnation id, so deferred (split-mode) effects can never be
     /// mis-applied to a different instance that reused the slot.
-    uid: u64,
+    pub(crate) uid: u64,
     /// Index of the stage this instance waits to satisfy.
-    awaiting: usize,
-    bindings: Bindings,
+    pub(crate) awaiting: usize,
+    pub(crate) bindings: Bindings,
     /// Identity token observed at each completed stage (None for deadline
     /// stages and OOB events).
-    stage_ids: Vec<Option<PacketId>>,
+    pub(crate) stage_ids: Vec<Option<PacketId>>,
     /// Advancing events, kept only in `Full` provenance mode.
-    history: Vec<NetEvent>,
-    timer: Option<TimerId>,
+    pub(crate) history: Vec<NetEvent>,
+    pub(crate) timer: Option<TimerId>,
     /// The hash cell this instance occupies in a capacity-bounded store.
-    cell: Option<usize>,
+    pub(crate) cell: Option<usize>,
 }
 
 type InstanceKey = (usize, Bindings);
@@ -161,7 +161,8 @@ type InstanceKey = (usize, Bindings);
 /// time of the event that caused it: violations and windows are anchored to
 /// when the observation occurred, not when the lagged update lands — split
 /// mode delays visibility, it does not rewrite history.
-enum Effect {
+#[derive(Debug, Clone)]
+pub(crate) enum Effect {
     Spawn {
         obs_time: Instant,
         bindings: Bindings,
@@ -186,7 +187,7 @@ enum Effect {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum KillReason {
+pub(crate) enum KillReason {
     Cleared,
 }
 
@@ -843,7 +844,107 @@ impl Monitor {
             trigger_stage: self.property.stages[trigger].name.clone(),
             bindings: bindings_out,
             history: history_out,
+            degraded: false,
         });
+    }
+
+    // ---- checkpoint/restore (fault tolerance) --------------------------
+
+    /// Capture the monitor's complete semantic state as a
+    /// [`MonitorSnapshot`](crate::snapshot::MonitorSnapshot).
+    ///
+    /// The snapshot records everything order-bearing verbatim: the slot
+    /// array (slot indices are tie-breakers for effect ordering), the
+    /// free-list (it decides which slot the next spawn reuses), the timer
+    /// wheel's exact heap entries and counters, pending split-mode effects,
+    /// the uid counter, and the violations already raised. Derived
+    /// structures — the dedup index, stage buckets and capacity cells —
+    /// are *not* serialized: they are pure functions of the live slots and
+    /// are rebuilt on restore (candidate slots are sorted and deduplicated
+    /// before evaluation, so bucket-internal order is not semantics-bearing).
+    pub fn snapshot(&self) -> crate::snapshot::MonitorSnapshot {
+        crate::snapshot::MonitorSnapshot {
+            property: self.property.name.clone(),
+            stages: self.property.stages.len(),
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            timers: self.timers.snapshot(),
+            pending: self.pending.clone(),
+            violations: self.violations.clone(),
+            now: self.now,
+            next_uid: self.next_uid,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Replace this monitor's state with `snap`, previously taken from a
+    /// monitor of the *same property* (name and stage count are checked)
+    /// and an equal capacity configuration.
+    ///
+    /// Restore is deterministic: feeding the restored monitor the same
+    /// event suffix produces byte-identical violations, stats and timer
+    /// behaviour to the uninterrupted original — the property the runtime's
+    /// checkpoint/replay recovery depends on (see `docs/FAULTS.md`).
+    ///
+    /// On error the monitor is left unchanged.
+    pub fn restore(
+        &mut self,
+        snap: &crate::snapshot::MonitorSnapshot,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        if snap.property != self.property.name || snap.stages != self.property.stages.len() {
+            return Err(SnapshotError::PropertyMismatch {
+                expected: format!("{} ({} stages)", self.property.name, self.property.stages.len()),
+                found: format!("{} ({} stages)", snap.property, snap.stages),
+            });
+        }
+        // Validate before mutating, so a bad snapshot cannot half-apply.
+        let capacity = self.cfg.capacity.unwrap_or(0);
+        for inst in snap.slots.iter().flatten() {
+            if inst.awaiting == 0 || inst.awaiting >= self.property.stages.len() {
+                return Err(SnapshotError::Malformed("instance awaits an out-of-range stage"));
+            }
+            if let Some(c) = inst.cell {
+                if c >= capacity {
+                    return Err(SnapshotError::Malformed("instance cell exceeds store capacity"));
+                }
+            }
+        }
+        for &f in &snap.free {
+            if f >= snap.slots.len() || snap.slots[f].is_some() {
+                return Err(SnapshotError::Malformed("free-list entry is not an empty slot"));
+            }
+        }
+
+        self.slots = snap.slots.clone();
+        self.free = snap.free.clone();
+        self.timers = TimerWheel::restore(&snap.timers);
+        self.pending = snap.pending.clone();
+        self.violations = snap.violations.clone();
+        self.now = snap.now;
+        self.next_uid = snap.next_uid;
+        self.stats = snap.stats.clone();
+        self.scratch_effects.clear();
+        self.scratch_candidates.clear();
+
+        // Rebuild the derived structures from the live slots.
+        self.index.clear();
+        self.cells = vec![None; capacity];
+        self.buckets = (0..self.property.stages.len())
+            .map(|s| match self.stage_keys.key(s) {
+                Some(_) => Bucket::Keyed { map: HashMap::new(), rest: Vec::new() },
+                None => Bucket::Scan(Vec::new()),
+            })
+            .collect();
+        for idx in 0..self.slots.len() {
+            let Some(inst) = self.slots[idx].as_ref() else { continue };
+            self.index.insert((inst.awaiting, inst.bindings), idx);
+            if let Some(c) = inst.cell {
+                self.cells[c] = Some(idx);
+            }
+            self.bucket_insert(idx);
+        }
+        Ok(())
     }
 }
 

@@ -33,6 +33,7 @@ pub mod pattern;
 pub mod postcard;
 pub mod property;
 pub mod routing;
+pub mod snapshot;
 pub mod var;
 pub mod violation;
 
@@ -49,6 +50,7 @@ pub use pattern::{event_class, ActionPattern, EventPattern, OobPattern, EVENT_CL
 pub use postcard::{Postcard, PostcardCollector};
 pub use property::{Property, PropertyError, RefreshPolicy, Stage, StageKind, Unless};
 pub use routing::{PinReason, Route, RouteMode, RoutingPlan, StageKey, StageKeyPlan};
+pub use snapshot::{MonitorSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use var::{var, Bindings, Var, VarId, VarTable, MAX_VARS};
 pub use violation::{ProvenanceMode, Violation};
 
@@ -69,4 +71,6 @@ const _: () = {
     // Monitors are owned by exactly one worker at a time: Send suffices.
     assert_send::<Monitor>();
     assert_send::<MonitorSet>();
+    // Checkpoints travel from workers to the supervisor.
+    assert_send::<MonitorSnapshot>();
 };

@@ -221,6 +221,7 @@ mod tests {
             trigger_stage: "x".into(),
             bindings: Some(Bindings::new().bind(var("A"), a7.into())),
             history: vec![],
+            degraded: false,
         };
         let hits = c.reconstruct(&v, Duration::from_secs(10));
         // Pair 7's arrival + departure, and nothing else (addresses are
@@ -243,6 +244,7 @@ mod tests {
             trigger_stage: "x".into(),
             bindings: Some(Bindings::new().bind(var("A"), a7.into())),
             history: vec![],
+            degraded: false,
         };
         // Pair 7's events are ~430us before the end; a 10us window misses
         // them.
@@ -263,6 +265,7 @@ mod tests {
             trigger_stage: "x".into(),
             bindings: Some(Bindings::new().bind(var("A"), a7.into())),
             history: vec![],
+            degraded: false,
         };
         assert!(c.reconstruct(&v, Duration::from_secs(10)).is_empty(), "history evicted");
         let a45 = Ipv4Address::from_u32(0x0a00_0002 + 45); // late pair: kept
@@ -282,6 +285,7 @@ mod tests {
             trigger_stage: "x".into(),
             bindings: None,
             history: vec![],
+            degraded: false,
         };
         assert!(c.reconstruct(&v, Duration::from_secs(10)).is_empty());
     }

@@ -1,0 +1,923 @@
+//! Versioned, serializable [`Monitor`](crate::Monitor) checkpoints.
+//!
+//! A [`MonitorSnapshot`] is a faithful image of a monitor's semantic state —
+//! instance slots (with interned bindings and per-stage identity tokens),
+//! the free-list, the timer wheel with its exact tie-break counters, pending
+//! split-mode effects, raised violations and every statistics counter. It is
+//! produced by [`Monitor::snapshot`](crate::Monitor::snapshot) and consumed
+//! by [`Monitor::restore`](crate::Monitor::restore); the fault-tolerant
+//! runtime checkpoints shards with it (`docs/FAULTS.md`).
+//!
+//! ## Encoding
+//!
+//! [`MonitorSnapshot::to_bytes`] emits a hand-rolled little-endian binary
+//! format (magic `SWMS`, then a `u16` version — currently
+//! [`SNAPSHOT_VERSION`]). The format is versioned so a checkpoint written by
+//! one build is either read correctly or rejected loudly by another; it is
+//! *not* a wire protocol and makes no cross-endianness promises beyond
+//! always writing little-endian. [`MonitorSnapshot::from_bytes`] validates
+//! structurally (tags, lengths, trailing bytes); semantic validation against
+//! the receiving monitor's property happens in `restore`.
+
+use crate::engine::{Effect, Instance, KillReason, MonitorStats, TimerKind};
+use crate::var::{var, Bindings};
+use crate::violation::Violation;
+use std::fmt;
+use std::sync::Arc;
+use swmon_packet::{FieldValue, Ipv4Address, MacAddr, Packet};
+use swmon_sim::time::Instant;
+use swmon_sim::timer::{TimerEntry, TimerId, TimerWheelSnapshot};
+use swmon_sim::trace::{
+    EgressAction, NetEvent, NetEventKind, OobEvent, PacketId, PortNo, SwitchId,
+};
+
+/// Current snapshot encoding version. Bump on any layout change.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+const MAGIC: &[u8; 4] = b"SWMS";
+
+/// A complete, restorable image of one monitor's state.
+///
+/// Obtain via [`Monitor::snapshot`](crate::Monitor::snapshot); apply via
+/// [`Monitor::restore`](crate::Monitor::restore). The derived lookup
+/// structures (dedup index, stage buckets, capacity cells) are not part of
+/// the snapshot — they are rebuilt deterministically from the slots.
+#[derive(Debug, Clone)]
+pub struct MonitorSnapshot {
+    pub(crate) property: String,
+    pub(crate) stages: usize,
+    pub(crate) slots: Vec<Option<Instance>>,
+    pub(crate) free: Vec<usize>,
+    pub(crate) timers: TimerWheelSnapshot<(usize, TimerKind)>,
+    pub(crate) pending: Vec<(Instant, Effect)>,
+    pub(crate) violations: Vec<Violation>,
+    pub(crate) now: Instant,
+    pub(crate) next_uid: u64,
+    pub(crate) stats: MonitorStats,
+}
+
+impl MonitorSnapshot {
+    /// Name of the property the snapshotted monitor was watching.
+    pub fn property(&self) -> &str {
+        &self.property
+    }
+
+    /// Number of live instances captured.
+    pub fn live_instances(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Violations raised up to the snapshot point.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The clock value at the snapshot point.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Serialize to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(256));
+        w.0.extend_from_slice(MAGIC);
+        w.u16(SNAPSHOT_VERSION);
+        w.str(&self.property);
+        w.u64(self.stages as u64);
+        w.u64(self.slots.len() as u64);
+        for slot in &self.slots {
+            match slot {
+                None => w.u8(0),
+                Some(inst) => {
+                    w.u8(1);
+                    w.instance(inst);
+                }
+            }
+        }
+        w.u64(self.free.len() as u64);
+        for &f in &self.free {
+            w.u64(f as u64);
+        }
+        w.u64(self.timers.next_id);
+        w.u64(self.timers.next_seq);
+        w.u64(self.timers.entries.len() as u64);
+        for e in &self.timers.entries {
+            w.u64(e.deadline.as_nanos());
+            w.u64(e.seq);
+            w.u64(e.id.to_raw());
+            w.u64(e.generation);
+            w.u64(e.payload.0 as u64);
+            w.u8(match e.payload.1 {
+                TimerKind::WindowExpiry => 0,
+                TimerKind::Deadline => 1,
+            });
+        }
+        w.u64(self.pending.len() as u64);
+        for (ready, eff) in &self.pending {
+            w.u64(ready.as_nanos());
+            w.effect(eff);
+        }
+        w.u64(self.violations.len() as u64);
+        for v in &self.violations {
+            w.violation(v);
+        }
+        w.u64(self.now.as_nanos());
+        w.u64(self.next_uid);
+        w.stats(&self.stats);
+        w.0
+    }
+
+    /// Parse the versioned binary format back into a snapshot.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader { b: bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let property = r.str()?;
+        let stages = r.len()?;
+        let n_slots = r.len()?;
+        let mut slots = Vec::with_capacity(n_slots.min(1 << 20));
+        for _ in 0..n_slots {
+            slots.push(match r.u8()? {
+                0 => None,
+                1 => Some(r.instance()?),
+                t => return Err(SnapshotError::BadTag { what: "slot", tag: t }),
+            });
+        }
+        let n_free = r.len()?;
+        let mut free = Vec::with_capacity(n_free.min(1 << 20));
+        for _ in 0..n_free {
+            free.push(r.len()?);
+        }
+        let next_id = r.u64()?;
+        let next_seq = r.u64()?;
+        let n_timers = r.len()?;
+        let mut entries = Vec::with_capacity(n_timers.min(1 << 20));
+        for _ in 0..n_timers {
+            let deadline = Instant::from_nanos(r.u64()?);
+            let seq = r.u64()?;
+            let id = TimerId::from_raw(r.u64()?);
+            let generation = r.u64()?;
+            let idx = r.len()?;
+            let kind = match r.u8()? {
+                0 => TimerKind::WindowExpiry,
+                1 => TimerKind::Deadline,
+                t => return Err(SnapshotError::BadTag { what: "timer kind", tag: t }),
+            };
+            entries.push(TimerEntry { deadline, seq, id, generation, payload: (idx, kind) });
+        }
+        let n_pending = r.len()?;
+        let mut pending = Vec::with_capacity(n_pending.min(1 << 20));
+        for _ in 0..n_pending {
+            let ready = Instant::from_nanos(r.u64()?);
+            pending.push((ready, r.effect()?));
+        }
+        let n_violations = r.len()?;
+        let mut violations = Vec::with_capacity(n_violations.min(1 << 20));
+        for _ in 0..n_violations {
+            violations.push(r.violation()?);
+        }
+        let now = Instant::from_nanos(r.u64()?);
+        let next_uid = r.u64()?;
+        let stats = r.stats()?;
+        if r.pos != r.b.len() {
+            return Err(SnapshotError::Malformed("trailing bytes after snapshot"));
+        }
+        Ok(MonitorSnapshot {
+            property,
+            stages,
+            slots,
+            free,
+            timers: TimerWheelSnapshot { entries, next_id, next_seq },
+            pending,
+            violations,
+            now,
+            next_uid,
+            stats,
+        })
+    }
+}
+
+/// Why a snapshot could not be decoded or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes do not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    UnsupportedVersion(u16),
+    /// The input ended mid-structure.
+    Truncated,
+    /// An enum tag byte was out of range.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The snapshot belongs to a different property than the restoring
+    /// monitor watches.
+    PropertyMismatch {
+        /// The restoring monitor's property.
+        expected: String,
+        /// The snapshot's property.
+        found: String,
+    },
+    /// Structurally invalid content (bad lengths, inconsistent state).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a monitor snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#04x}"),
+            SnapshotError::PropertyMismatch { expected, found } => {
+                write!(f, "snapshot is for property {found}, monitor watches {expected}")
+            }
+            SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// ---- little-endian writer ----------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+
+    fn field_value(&mut self, v: &FieldValue) {
+        match v {
+            FieldValue::Mac(m) => {
+                self.u8(0);
+                self.u64(m.to_u64());
+            }
+            FieldValue::Ipv4(a) => {
+                self.u8(1);
+                self.u32(a.to_u32());
+            }
+            FieldValue::Uint(u) => {
+                self.u8(2);
+                self.u64(*u);
+            }
+        }
+    }
+
+    fn bindings(&mut self, b: &Bindings) {
+        self.u8(b.len() as u8);
+        for (v, val) in b.iter() {
+            self.str(v.name());
+            self.field_value(val);
+        }
+    }
+
+    fn packet(&mut self, p: &Packet) {
+        self.u32(p.bytes().len() as u32);
+        self.0.extend_from_slice(p.bytes());
+    }
+
+    fn event(&mut self, ev: &NetEvent) {
+        self.u64(ev.time.as_nanos());
+        match &ev.kind {
+            NetEventKind::Arrival { switch, port, pkt, id } => {
+                self.u8(0);
+                self.u32(switch.0);
+                self.u16(port.0);
+                self.packet(pkt);
+                self.u64(id.0);
+            }
+            NetEventKind::Departure { switch, pkt, id, action } => {
+                self.u8(1);
+                self.u32(switch.0);
+                self.packet(pkt);
+                self.u64(id.0);
+                match action {
+                    EgressAction::Output(p) => {
+                        self.u8(0);
+                        self.u16(p.0);
+                    }
+                    EgressAction::Flood => self.u8(1),
+                    EgressAction::Drop => self.u8(2),
+                }
+            }
+            NetEventKind::OutOfBand(oob) => {
+                self.u8(2);
+                match oob {
+                    OobEvent::PortDown(s, p) => {
+                        self.u8(0);
+                        self.u32(s.0);
+                        self.u16(p.0);
+                    }
+                    OobEvent::PortUp(s, p) => {
+                        self.u8(1);
+                        self.u32(s.0);
+                        self.u16(p.0);
+                    }
+                    OobEvent::ControllerMsg(s, tag) => {
+                        self.u8(2);
+                        self.u32(s.0);
+                        self.u64(*tag);
+                    }
+                }
+            }
+        }
+    }
+
+    fn instance(&mut self, inst: &Instance) {
+        self.u64(inst.uid);
+        self.u64(inst.awaiting as u64);
+        self.bindings(&inst.bindings);
+        self.u64(inst.stage_ids.len() as u64);
+        for id in &inst.stage_ids {
+            self.opt_u64(id.map(|PacketId(x)| x));
+        }
+        self.u64(inst.history.len() as u64);
+        for ev in &inst.history {
+            self.event(ev);
+        }
+        self.opt_u64(inst.timer.map(TimerId::to_raw));
+        self.opt_u64(inst.cell.map(|c| c as u64));
+    }
+
+    fn effect(&mut self, eff: &Effect) {
+        match eff {
+            Effect::Spawn { obs_time, bindings, stage_id, history } => {
+                self.u8(0);
+                self.u64(obs_time.as_nanos());
+                self.bindings(bindings);
+                self.opt_u64(stage_id.map(|PacketId(x)| x));
+                self.u64(history.len() as u64);
+                for ev in history {
+                    self.event(ev);
+                }
+            }
+            Effect::Advance { obs_time, idx, uid, expected_stage, bindings, stage_id, event } => {
+                self.u8(1);
+                self.u64(obs_time.as_nanos());
+                self.u64(*idx as u64);
+                self.u64(*uid);
+                self.u64(*expected_stage as u64);
+                self.bindings(bindings);
+                self.opt_u64(stage_id.map(|PacketId(x)| x));
+                match event {
+                    None => self.u8(0),
+                    Some(ev) => {
+                        self.u8(1);
+                        self.event(ev);
+                    }
+                }
+            }
+            Effect::Kill { idx, uid, expected_stage, reason } => {
+                self.u8(2);
+                self.u64(*idx as u64);
+                self.u64(*uid);
+                self.u64(*expected_stage as u64);
+                self.u8(match reason {
+                    KillReason::Cleared => 0,
+                });
+            }
+        }
+    }
+
+    fn violation(&mut self, v: &Violation) {
+        self.str(&v.property);
+        self.u64(v.time.as_nanos());
+        self.str(&v.trigger_stage);
+        match &v.bindings {
+            None => self.u8(0),
+            Some(b) => {
+                self.u8(1);
+                self.bindings(b);
+            }
+        }
+        self.u64(v.history.len() as u64);
+        for ev in &v.history {
+            self.event(ev);
+        }
+        self.bool(v.degraded);
+    }
+
+    fn stats(&mut self, s: &MonitorStats) {
+        for v in [
+            s.events,
+            s.spawned,
+            s.advanced,
+            s.window_expired,
+            s.cleared,
+            s.deduplicated,
+            s.refreshed,
+            s.deadlines_fired,
+            s.stale_effects_dropped,
+            s.evicted,
+            s.out_of_scope,
+        ] {
+            self.u64(v);
+        }
+    }
+}
+
+// ---- little-endian reader ----------------------------------------------
+
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.b.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    /// A u64 that must fit in usize (lengths, indices).
+    fn len(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapshotError::Malformed("length exceeds usize"))
+    }
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(SnapshotError::BadTag { what: "bool", tag: t }),
+        }
+    }
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed("string is not UTF-8"))
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(SnapshotError::BadTag { what: "option", tag: t }),
+        }
+    }
+
+    fn field_value(&mut self) -> Result<FieldValue, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(FieldValue::Mac(MacAddr::from_u64(self.u64()?))),
+            1 => Ok(FieldValue::Ipv4(Ipv4Address::from_u32(self.u32()?))),
+            2 => Ok(FieldValue::Uint(self.u64()?)),
+            t => Err(SnapshotError::BadTag { what: "field value", tag: t }),
+        }
+    }
+
+    fn bindings(&mut self) -> Result<Bindings, SnapshotError> {
+        let n = self.u8()? as usize;
+        if n > crate::var::MAX_VARS {
+            return Err(SnapshotError::Malformed("too many bindings"));
+        }
+        let mut b = Bindings::new();
+        for _ in 0..n {
+            let name = self.str()?;
+            let val = self.field_value()?;
+            let v = var(&name);
+            if b.is_bound(&v) {
+                return Err(SnapshotError::Malformed("duplicate binding"));
+            }
+            b = b.bind(v, val);
+        }
+        Ok(b)
+    }
+
+    fn packet(&mut self) -> Result<Arc<Packet>, SnapshotError> {
+        let n = self.u32()? as usize;
+        Ok(Arc::new(Packet::from_bytes(self.take(n)?.to_vec())))
+    }
+
+    fn event(&mut self) -> Result<NetEvent, SnapshotError> {
+        let time = Instant::from_nanos(self.u64()?);
+        let kind = match self.u8()? {
+            0 => {
+                let switch = SwitchId(self.u32()?);
+                let port = PortNo(self.u16()?);
+                let pkt = self.packet()?;
+                let id = PacketId(self.u64()?);
+                NetEventKind::Arrival { switch, port, pkt, id }
+            }
+            1 => {
+                let switch = SwitchId(self.u32()?);
+                let pkt = self.packet()?;
+                let id = PacketId(self.u64()?);
+                let action = match self.u8()? {
+                    0 => EgressAction::Output(PortNo(self.u16()?)),
+                    1 => EgressAction::Flood,
+                    2 => EgressAction::Drop,
+                    t => return Err(SnapshotError::BadTag { what: "egress action", tag: t }),
+                };
+                NetEventKind::Departure { switch, pkt, id, action }
+            }
+            2 => {
+                let oob = match self.u8()? {
+                    0 => OobEvent::PortDown(SwitchId(self.u32()?), PortNo(self.u16()?)),
+                    1 => OobEvent::PortUp(SwitchId(self.u32()?), PortNo(self.u16()?)),
+                    2 => OobEvent::ControllerMsg(SwitchId(self.u32()?), self.u64()?),
+                    t => return Err(SnapshotError::BadTag { what: "oob event", tag: t }),
+                };
+                NetEventKind::OutOfBand(oob)
+            }
+            t => return Err(SnapshotError::BadTag { what: "event", tag: t }),
+        };
+        Ok(NetEvent { time, kind })
+    }
+
+    fn instance(&mut self) -> Result<Instance, SnapshotError> {
+        let uid = self.u64()?;
+        let awaiting = self.len()?;
+        let bindings = self.bindings()?;
+        let n_ids = self.len()?;
+        let mut stage_ids = Vec::with_capacity(n_ids.min(1 << 16));
+        for _ in 0..n_ids {
+            stage_ids.push(self.opt_u64()?.map(PacketId));
+        }
+        let n_hist = self.len()?;
+        let mut history = Vec::with_capacity(n_hist.min(1 << 16));
+        for _ in 0..n_hist {
+            history.push(self.event()?);
+        }
+        let timer = self.opt_u64()?.map(TimerId::from_raw);
+        let cell = match self.opt_u64()? {
+            None => None,
+            Some(c) => Some(
+                usize::try_from(c).map_err(|_| SnapshotError::Malformed("cell exceeds usize"))?,
+            ),
+        };
+        Ok(Instance { uid, awaiting, bindings, stage_ids, history, timer, cell })
+    }
+
+    fn effect(&mut self) -> Result<Effect, SnapshotError> {
+        match self.u8()? {
+            0 => {
+                let obs_time = Instant::from_nanos(self.u64()?);
+                let bindings = self.bindings()?;
+                let stage_id = self.opt_u64()?.map(PacketId);
+                let n = self.len()?;
+                let mut history = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    history.push(self.event()?);
+                }
+                Ok(Effect::Spawn { obs_time, bindings, stage_id, history })
+            }
+            1 => {
+                let obs_time = Instant::from_nanos(self.u64()?);
+                let idx = self.len()?;
+                let uid = self.u64()?;
+                let expected_stage = self.len()?;
+                let bindings = self.bindings()?;
+                let stage_id = self.opt_u64()?.map(PacketId);
+                let event = match self.u8()? {
+                    0 => None,
+                    1 => Some(self.event()?),
+                    t => return Err(SnapshotError::BadTag { what: "option", tag: t }),
+                };
+                Ok(Effect::Advance {
+                    obs_time,
+                    idx,
+                    uid,
+                    expected_stage,
+                    bindings,
+                    stage_id,
+                    event,
+                })
+            }
+            2 => {
+                let idx = self.len()?;
+                let uid = self.u64()?;
+                let expected_stage = self.len()?;
+                let reason = match self.u8()? {
+                    0 => KillReason::Cleared,
+                    t => return Err(SnapshotError::BadTag { what: "kill reason", tag: t }),
+                };
+                Ok(Effect::Kill { idx, uid, expected_stage, reason })
+            }
+            t => Err(SnapshotError::BadTag { what: "effect", tag: t }),
+        }
+    }
+
+    fn violation(&mut self) -> Result<Violation, SnapshotError> {
+        let property = self.str()?;
+        let time = Instant::from_nanos(self.u64()?);
+        let trigger_stage = self.str()?;
+        let bindings = match self.u8()? {
+            0 => None,
+            1 => Some(self.bindings()?),
+            t => return Err(SnapshotError::BadTag { what: "option", tag: t }),
+        };
+        let n = self.len()?;
+        let mut history = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            history.push(self.event()?);
+        }
+        let degraded = self.bool()?;
+        Ok(Violation { property, time, trigger_stage, bindings, history, degraded })
+    }
+
+    fn stats(&mut self) -> Result<MonitorStats, SnapshotError> {
+        Ok(MonitorStats {
+            events: self.u64()?,
+            spawned: self.u64()?,
+            advanced: self.u64()?,
+            window_expired: self.u64()?,
+            cleared: self.u64()?,
+            deduplicated: self.u64()?,
+            refreshed: self.u64()?,
+            deadlines_fired: self.u64()?,
+            stale_effects_dropped: self.u64()?,
+            evicted: self.u64()?,
+            out_of_scope: self.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Monitor, MonitorConfig, ProcessingMode};
+    use crate::guard::{Atom, Guard};
+    use crate::pattern::{ActionPattern, EventPattern};
+    use crate::property::{Property, RefreshPolicy, Stage, Unless, WindowSpec};
+    use crate::violation::ProvenanceMode;
+    use swmon_packet::{Field, Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::time::Duration;
+
+    fn tcp(src: u8, dst: u8, flags: TcpFlags) -> Arc<Packet> {
+        Arc::new(PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, dst),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, dst),
+            1000,
+            80,
+            flags,
+            &[],
+        ))
+    }
+
+    fn at(ms: u64) -> Instant {
+        Instant::ZERO + Duration::from_millis(ms)
+    }
+
+    fn arrival(t: Instant, src: u8, dst: u8, id: u64) -> NetEvent {
+        NetEvent {
+            time: t,
+            kind: NetEventKind::Arrival {
+                switch: SwitchId(0),
+                port: PortNo(0),
+                pkt: tcp(src, dst, TcpFlags::SYN),
+                id: PacketId(id),
+            },
+        }
+    }
+
+    fn dropped(t: Instant, src: u8, dst: u8, id: u64) -> NetEvent {
+        NetEvent {
+            time: t,
+            kind: NetEventKind::Departure {
+                switch: SwitchId(0),
+                pkt: tcp(src, dst, TcpFlags::ACK),
+                id: PacketId(id),
+                action: EgressAction::Drop,
+            },
+        }
+    }
+
+    fn fw_timeout() -> Property {
+        let mut second = Stage::match_(
+            "return-dropped",
+            EventPattern::Departure(ActionPattern::Drop),
+            Guard::new(vec![
+                Atom::Bind(var("B"), Field::Ipv4Src),
+                Atom::Bind(var("A"), Field::Ipv4Dst),
+            ]),
+        );
+        second.within = Some(WindowSpec::Fixed(Duration::from_millis(100)));
+        second.within_refresh = RefreshPolicy::RefreshOnRepeat;
+        second.unless = vec![Unless {
+            pattern: EventPattern::Arrival,
+            guard: Guard::new(vec![
+                Atom::Bind(var("B"), Field::Ipv4Src),
+                Atom::Bind(var("A"), Field::Ipv4Dst),
+                Atom::EqConst(Field::TcpFlags, u64::from(TcpFlags::FIN.0).into()),
+            ]),
+        }];
+        Property {
+            name: "fw-snap".into(),
+            statement: "return traffic is not dropped".into(),
+            stages: vec![
+                Stage::match_(
+                    "outbound",
+                    EventPattern::Arrival,
+                    Guard::new(vec![
+                        Atom::Bind(var("A"), Field::Ipv4Src),
+                        Atom::Bind(var("B"), Field::Ipv4Dst),
+                    ]),
+                ),
+                second,
+            ],
+        }
+    }
+
+    fn driven_monitor() -> Monitor {
+        let mut m = Monitor::new(
+            fw_timeout(),
+            MonitorConfig { provenance: ProvenanceMode::Full, ..Default::default() },
+        );
+        for i in 0..40u64 {
+            m.process(&arrival(at(i), (i % 9) as u8 + 1, 99, i));
+            if i % 5 == 0 {
+                m.process(&dropped(at(i) + Duration::from_micros(10), 99, (i % 9) as u8 + 1, i));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_bytes() {
+        let m = driven_monitor();
+        let snap = m.snapshot();
+        let bytes = snap.to_bytes();
+        let back = MonitorSnapshot::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back.property(), snap.property());
+        assert_eq!(back.live_instances(), snap.live_instances());
+        assert_eq!(back.violations().len(), snap.violations().len());
+        assert_eq!(back.now(), snap.now());
+        assert_eq!(back.stats, snap.stats);
+        assert_eq!(back.free, snap.free);
+        assert_eq!(back.next_uid, snap.next_uid);
+        assert_eq!(back.timers, snap.timers);
+        // Re-encoding the decode is byte-identical (canonical encoding).
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn restore_then_replay_matches_uninterrupted() {
+        // Drive two monitors identically; snapshot/restore one mid-stream
+        // (through bytes, to exercise the full encoding); suffix replay must
+        // match the uninterrupted run exactly.
+        let suffix: Vec<NetEvent> = (40..80u64)
+            .flat_map(|i| {
+                vec![
+                    arrival(at(i), (i % 9) as u8 + 1, 99, i),
+                    dropped(at(i) + Duration::from_micros(7), 99, (i % 9) as u8 + 1, i),
+                ]
+            })
+            .collect();
+        let mut reference = driven_monitor();
+        let interrupted = driven_monitor();
+        let bytes = interrupted.snapshot().to_bytes();
+        drop(interrupted); // the "crashed" incarnation
+
+        // Restore carries state, not configuration: the host must build the
+        // replacement monitor with the same config as the crashed one.
+        let mut revived = Monitor::new(
+            fw_timeout(),
+            MonitorConfig { provenance: ProvenanceMode::Full, ..Default::default() },
+        );
+        revived.restore(&MonitorSnapshot::from_bytes(&bytes).unwrap()).unwrap();
+        for ev in &suffix {
+            reference.process(ev);
+            revived.process(ev);
+        }
+        reference.advance_to(at(2_000));
+        revived.advance_to(at(2_000));
+        assert_eq!(reference.stats, revived.stats);
+        assert_eq!(reference.live_instances(), revived.live_instances());
+        assert_eq!(reference.violations().len(), revived.violations().len());
+        for (a, b) in reference.violations().iter().zip(revived.violations()) {
+            assert_eq!(a.summary(), b.summary());
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.bindings, b.bindings);
+        }
+        // And the final states snapshot identically, byte for byte.
+        assert_eq!(reference.snapshot().to_bytes(), revived.snapshot().to_bytes());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_property() {
+        let m = driven_monitor();
+        let snap = m.snapshot();
+        let other = Property {
+            name: "something-else".into(),
+            statement: "".into(),
+            stages: vec![Stage::match_("only", EventPattern::Arrival, Guard::any())],
+        };
+        let mut target = Monitor::with_defaults(other);
+        let err = target.restore(&snap).unwrap_err();
+        assert!(matches!(err, SnapshotError::PropertyMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let bytes = driven_monitor().snapshot().to_bytes();
+        assert!(matches!(MonitorSnapshot::from_bytes(&bytes[..3]), Err(SnapshotError::Truncated)));
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(MonitorSnapshot::from_bytes(&bad_magic), Err(SnapshotError::BadMagic)));
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xff;
+        assert!(matches!(
+            MonitorSnapshot::from_bytes(&bad_version),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(MonitorSnapshot::from_bytes(&trailing), Err(SnapshotError::Malformed(_))));
+        // Truncation anywhere inside the body is detected, never a panic.
+        for cut in (8..bytes.len()).step_by(97) {
+            assert!(MonitorSnapshot::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn split_mode_pending_effects_survive_snapshot() {
+        let cfg = MonitorConfig {
+            provenance: ProvenanceMode::Bindings,
+            mode: ProcessingMode::Split { lag: Duration::from_millis(10) },
+            ..Default::default()
+        };
+        let mut reference = Monitor::new(fw_timeout(), cfg);
+        reference.process(&arrival(at(0), 1, 2, 0));
+        reference.process(&dropped(at(50), 2, 1, 1));
+        // Snapshot while both effects are still pending (lag not elapsed).
+        let bytes = reference.snapshot().to_bytes();
+        let mut revived = Monitor::new(fw_timeout(), cfg);
+        revived.restore(&MonitorSnapshot::from_bytes(&bytes).unwrap()).unwrap();
+        reference.advance_to(at(1_000));
+        revived.advance_to(at(1_000));
+        assert_eq!(reference.violations().len(), revived.violations().len());
+        assert_eq!(reference.stats, revived.stats);
+    }
+
+    #[test]
+    fn capacity_bounded_store_restores_cells() {
+        let cfg = MonitorConfig { capacity: Some(4), ..Default::default() };
+        let mut reference = Monitor::new(fw_timeout(), cfg);
+        for i in 0..20u64 {
+            reference.process(&arrival(at(i), (i % 11) as u8 + 1, 99, i));
+        }
+        assert!(reference.stats.evicted > 0, "collisions occurred");
+        let bytes = reference.snapshot().to_bytes();
+        let mut revived = Monitor::new(fw_timeout(), cfg);
+        revived.restore(&MonitorSnapshot::from_bytes(&bytes).unwrap()).unwrap();
+        for i in 20..40u64 {
+            reference.process(&arrival(at(i), (i % 11) as u8 + 1, 99, i));
+            revived.process(&arrival(at(i), (i % 11) as u8 + 1, 99, i));
+        }
+        assert_eq!(reference.stats, revived.stats, "eviction patterns identical after restore");
+        assert_eq!(reference.snapshot().to_bytes(), revived.snapshot().to_bytes());
+    }
+}

@@ -37,12 +37,18 @@ pub struct Violation {
     pub bindings: Option<Bindings>,
     /// The full advancing-event history (in `Full` mode), oldest first.
     pub history: Vec<NetEvent>,
+    /// True when the report was raised inside a monitoring gap: the
+    /// fault-tolerant runtime was shedding load around it, so its
+    /// provenance has been downgraded (history stripped) and coverage near
+    /// this violation is incomplete. The engine itself always reports
+    /// `false`; only the runtime's gap accounting sets it (`docs/FAULTS.md`).
+    pub degraded: bool,
 }
 
 impl Violation {
     /// Render a one-line report.
     pub fn summary(&self) -> String {
-        match &self.bindings {
+        let mut s = match &self.bindings {
             Some(b) if !b.is_empty() => {
                 format!(
                     "[{}] {} violated at {} ({})",
@@ -50,7 +56,11 @@ impl Violation {
                 )
             }
             _ => format!("[{}] {} violated at {}", self.property, self.trigger_stage, self.time),
+        };
+        if self.degraded {
+            s.push_str(" [degraded provenance]");
         }
+        s
     }
 
     /// Approximate bytes of provenance this violation carries.
@@ -75,6 +85,7 @@ mod tests {
             trigger_stage: "return-dropped".into(),
             bindings: Some(Bindings::new().bind(var("A"), FieldValue::Uint(7))),
             history: vec![],
+            degraded: false,
         };
         let s = v.summary();
         assert!(s.contains("fw"), "{s}");
@@ -114,6 +125,7 @@ mod tests {
             trigger_stage: "s".into(),
             bindings: None,
             history: vec![],
+            degraded: false,
         };
         let full = Violation { history: vec![ev.clone(), ev], ..empty.clone() };
         assert_eq!(empty.provenance_bytes(), 0);

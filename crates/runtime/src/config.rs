@@ -2,8 +2,22 @@
 
 use swmon_core::MonitorConfig;
 
+/// A deterministic fault-injection point: the supervised worker for
+/// `shard` panics when it is about to apply the event with input sequence
+/// number `seq`. Used by chaos tests and the `e15` benchmark to prove the
+/// recovery path; injection is consumed before the panic is raised, so
+/// replay after recovery proceeds normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// The shard whose worker should crash.
+    pub shard: usize,
+    /// The input sequence number (position in the fed trace) to crash at.
+    /// Points at events never delivered to `shard` are skipped.
+    pub seq: u64,
+}
+
 /// Tuning knobs for the sharded runtime.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Number of worker threads (shards). Clamped to at least 1.
     pub shards: usize,
@@ -17,6 +31,27 @@ pub struct RuntimeConfig {
     pub queue: usize,
     /// Configuration applied to every per-worker monitor replica.
     pub monitor: MonitorConfig,
+    /// Checkpoint cadence: a shard snapshots its monitors
+    /// ([`swmon_core::Monitor::snapshot`]) after applying this many events
+    /// since the last checkpoint, bounding both replay work after a crash
+    /// and the recovery journal's footprint. Clamped to at least 1.
+    pub checkpoint_every: usize,
+    /// Upper bound on the per-shard recovery journal (events retained
+    /// since the last checkpoint for crash replay). `0` means *auto*:
+    /// `checkpoint_every + batch`, which guarantees no shedding in normal
+    /// operation. Setting it below the auto value trades coverage for
+    /// memory: delivery bursts beyond the bound are shed **explicitly** —
+    /// counted in a [`crate::MonitoringGap`], with violations raised
+    /// during the gap carrying downgraded provenance (`docs/FAULTS.md`).
+    pub journal_limit: usize,
+    /// How many times a shard may be recovered (checkpoint restore +
+    /// journal replay) before the runtime gives up and reports
+    /// [`crate::RuntimeError::ShardFailed`]. `0` disables recovery: the
+    /// first worker panic is terminal.
+    pub max_restarts: usize,
+    /// Deterministic worker-crash schedule, for chaos testing. Empty in
+    /// production use.
+    pub inject_faults: Vec<FaultPoint>,
 }
 
 impl Default for RuntimeConfig {
@@ -26,6 +61,10 @@ impl Default for RuntimeConfig {
             batch: 64,
             queue: 64,
             monitor: MonitorConfig::default(),
+            checkpoint_every: 1024,
+            journal_limit: 0,
+            max_restarts: 8,
+            inject_faults: Vec::new(),
         }
     }
 }
@@ -36,13 +75,24 @@ impl RuntimeConfig {
         RuntimeConfig { shards, ..Self::default() }
     }
 
-    /// The values actually used (clamped to sane minima).
+    /// The values actually used (clamped to sane minima; `journal_limit`
+    /// auto resolved).
     pub(crate) fn normalized(&self) -> RuntimeConfig {
+        let batch = self.batch.max(1);
+        let checkpoint_every = self.checkpoint_every.max(1);
         RuntimeConfig {
             shards: self.shards.max(1),
-            batch: self.batch.max(1),
+            batch,
             queue: self.queue.max(1),
             monitor: self.monitor,
+            checkpoint_every,
+            journal_limit: if self.journal_limit == 0 {
+                checkpoint_every + batch
+            } else {
+                self.journal_limit
+            },
+            max_restarts: self.max_restarts,
+            inject_faults: self.inject_faults.clone(),
         }
     }
 }
@@ -58,5 +108,14 @@ mod tests {
         assert_eq!((n.shards, n.batch, n.queue), (1, 1, 1));
         assert!(RuntimeConfig::default().shards >= 1);
         assert_eq!(RuntimeConfig::with_shards(4).shards, 4);
+    }
+
+    #[test]
+    fn journal_limit_auto_resolves_to_no_shed_bound() {
+        let n =
+            RuntimeConfig { checkpoint_every: 100, batch: 8, ..Default::default() }.normalized();
+        assert_eq!(n.journal_limit, 108);
+        let explicit = RuntimeConfig { journal_limit: 5, ..Default::default() }.normalized();
+        assert_eq!(explicit.journal_limit, 5, "explicit bounds are honoured verbatim");
     }
 }

@@ -23,6 +23,18 @@
 //! merged deterministically ([`merge`]), so the sharded runtime's output
 //! is byte-for-byte equal to the single-threaded reference at any shard
 //! count.
+//!
+//! ## Fault tolerance
+//!
+//! Every shard is *supervised* ([`supervisor`]): worker panics are caught
+//! at a panic boundary, the shard's monitors are restored from their last
+//! checkpoint ([`swmon_core::Monitor::snapshot`]), and the delivery gap is
+//! replayed from a bounded in-memory journal — so a run that survives
+//! worker crashes produces output byte-for-byte identical to a fault-free
+//! one. When the journal bound is exceeded, load is shed **explicitly**
+//! and accounted in [`MonitoringGap`]s; nothing is ever lost silently
+//! ([`RuntimeStats::unaccounted_loss`] is the audited invariant). See
+//! `docs/FAULTS.md` for the full fault model and recovery protocol.
 
 pub mod batch;
 pub mod config;
@@ -30,13 +42,17 @@ pub mod merge;
 pub mod router;
 pub mod shardkey;
 pub mod stats;
+pub mod supervisor;
 pub mod worker;
 
-pub use config::RuntimeConfig;
+pub use config::{FaultPoint, RuntimeConfig};
 pub use merge::{signature, ViolationRecord};
 pub use router::{Router, MAX_PROPERTIES};
 pub use shardkey::PropertyRoute;
-pub use stats::{RuntimeStats, ShardStats};
+pub use stats::{MonitoringGap, RuntimeStats, ShardStats};
+pub use supervisor::{
+    silence_injected_panics, ShardFailure, ShardOutcome, ShardSpec, INJECTED_PANIC_PREFIX,
+};
 
 use std::fmt;
 use std::sync::mpsc::{sync_channel, SyncSender};
@@ -46,9 +62,8 @@ use batch::{Batcher, Item, Msg};
 use swmon_core::{Monitor, Property, PropertyError, Violation};
 use swmon_sim::time::Instant;
 use swmon_sim::trace::NetEvent;
-use worker::WorkerReport;
 
-/// Construction-time failures.
+/// Construction-time and run-time runtime failures.
 #[derive(Debug)]
 pub enum RuntimeError {
     /// A property failed structural validation.
@@ -60,6 +75,22 @@ pub enum RuntimeError {
     },
     /// More than [`MAX_PROPERTIES`] properties were supplied.
     TooManyProperties(usize),
+    /// A shard exhausted its restart budget (or failed to restore a
+    /// checkpoint) and was escalated by its supervisor.
+    ShardFailed {
+        /// The failing shard.
+        shard: usize,
+        /// Recoveries attempted before giving up.
+        restarts: u64,
+        /// The final panic message or restore error.
+        message: String,
+    },
+    /// A worker thread disappeared without reporting a supervised failure
+    /// — the supervisor itself died, which indicates a runtime bug.
+    WorkerLost {
+        /// The affected shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -71,11 +102,23 @@ impl fmt::Display for RuntimeError {
             RuntimeError::TooManyProperties(n) => {
                 write!(f, "{n} properties exceed the runtime limit of {MAX_PROPERTIES}")
             }
+            RuntimeError::ShardFailed { shard, restarts, message } => {
+                write!(f, "shard {shard} failed after {restarts} restart(s): {message}")
+            }
+            RuntimeError::WorkerLost { shard } => {
+                write!(f, "shard {shard}'s worker thread was lost without a failure report")
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+impl From<ShardFailure> for RuntimeError {
+    fn from(f: ShardFailure) -> Self {
+        RuntimeError::ShardFailed { shard: f.shard, restarts: f.restarts, message: f.message }
+    }
+}
 
 /// The result of one runtime run.
 #[derive(Debug)]
@@ -106,6 +149,8 @@ pub struct ShardedRuntime {
     router: Router,
 }
 
+type ShardHandle = JoinHandle<Result<ShardOutcome, ShardFailure>>;
+
 impl ShardedRuntime {
     /// Validate `props` and derive their shard placement under `cfg`.
     pub fn new(props: Vec<Property>, cfg: RuntimeConfig) -> Result<Self, RuntimeError> {
@@ -135,7 +180,7 @@ impl ShardedRuntime {
         &self.router
     }
 
-    /// Spawn the workers and return a streaming session.
+    /// Spawn the supervised workers and return a streaming session.
     pub fn start(&self) -> Session<'_> {
         let shards = self.cfg.shards;
         let mut senders = Vec::with_capacity(shards);
@@ -144,16 +189,20 @@ impl ShardedRuntime {
             let (tx, rx) = sync_channel::<Msg>(self.cfg.queue);
             let hosted = self.router.properties_on(s);
             let mut lut = vec![None; self.props.len()];
-            let monitors: Vec<(usize, Monitor)> = hosted
+            let props: Vec<(usize, Property)> = hosted
                 .iter()
                 .enumerate()
                 .map(|(local, &global)| {
                     lut[global] = Some(local);
-                    (global, Monitor::new(self.props[global].clone(), self.cfg.monitor))
+                    (global, self.props[global].clone())
                 })
                 .collect();
+            let mut inject: Vec<u64> =
+                self.cfg.inject_faults.iter().filter(|f| f.shard == s).map(|f| f.seq).collect();
+            inject.sort_unstable();
+            let spec = ShardSpec { shard: s, props, lut, cfg: self.cfg.clone(), inject };
             senders.push(tx);
-            handles.push(std::thread::spawn(move || worker::run(rx, monitors, lut)));
+            handles.push(Some(std::thread::spawn(move || supervisor::run(rx, spec))));
         }
         let stats = RuntimeStats {
             per_shard: vec![ShardStats::default(); shards],
@@ -174,25 +223,30 @@ impl ShardedRuntime {
 
     /// One-shot convenience: feed `events` (must be in non-decreasing time
     /// order, as the engine requires), then finish at `end`.
-    pub fn run<'a, I>(&self, events: I, end: Instant) -> Outcome
+    pub fn run<'a, I>(&self, events: I, end: Instant) -> Result<Outcome, RuntimeError>
     where
         I: IntoIterator<Item = &'a NetEvent>,
     {
         let mut session = self.start();
         for ev in events {
-            session.feed(ev);
+            session.feed(ev)?;
         }
         session.finish(end)
     }
 }
 
-/// A live run: workers are spawned; feed events, then call
+/// A live run: supervised workers are spawned; feed events, then call
 /// [`Session::finish`].
+///
+/// Dropping a session mid-stream is safe and deadlock-free: the drop
+/// handler closes every worker channel (drain signal), then joins the
+/// workers, discarding their reports. Use [`Session::finish`] to get the
+/// merged outcome instead.
 #[derive(Debug)]
 pub struct Session<'rt> {
     rt: &'rt ShardedRuntime,
     senders: Vec<SyncSender<Msg>>,
-    handles: Vec<JoinHandle<WorkerReport>>,
+    handles: Vec<Option<ShardHandle>>,
     batcher: Batcher,
     masks: Vec<u64>,
     seq: u64,
@@ -201,8 +255,9 @@ pub struct Session<'rt> {
 
 impl Session<'_> {
     /// Route one event. Blocks if a destination shard's queue is full
-    /// (backpressure — never drops).
-    pub fn feed(&mut self, ev: &NetEvent) {
+    /// (backpressure — never drops). Fails only if a shard's supervisor
+    /// has already escalated a terminal failure.
+    pub fn feed(&mut self, ev: &NetEvent) -> Result<(), RuntimeError> {
         let seq = self.seq;
         self.seq += 1;
         self.stats.events_in += 1;
@@ -218,44 +273,104 @@ impl Session<'_> {
             self.stats.per_shard[s].events += 1;
             if let Some(full) = self.batcher.push(s, Item { seq, mask, ev: ev.clone() }) {
                 self.stats.batches += 1;
-                self.senders[s].send(Msg::Events(full)).expect("worker exited early");
+                if self.senders[s].send(Msg::Events(full)).is_err() {
+                    return Err(self.shard_error(s));
+                }
             }
         }
         if !delivered {
             self.stats.skipped += 1;
         }
+        Ok(())
     }
 
     /// Flush pending batches, advance every monitor to `end` (firing any
-    /// remaining deadlines), join the workers, and merge.
-    pub fn finish(mut self, end: Instant) -> Outcome {
-        for (s, tx) in self.senders.iter().enumerate() {
+    /// remaining deadlines), join the workers, and merge. All workers are
+    /// joined before an error is returned — finish never leaks threads.
+    pub fn finish(mut self, end: Instant) -> Result<Outcome, RuntimeError> {
+        let senders = std::mem::take(&mut self.senders);
+        for (s, tx) in senders.iter().enumerate() {
             let tail = self.batcher.flush(s);
             if !tail.is_empty() {
                 self.stats.batches += 1;
-                tx.send(Msg::Events(tail)).expect("worker exited early");
+                if tx.send(Msg::Events(tail)).is_err() {
+                    return Err(self.shard_error(s));
+                }
             }
-            tx.send(Msg::Finish(end)).expect("worker exited early");
+            if tx.send(Msg::Finish(end)).is_err() {
+                return Err(self.shard_error(s));
+            }
         }
-        drop(self.senders);
+        drop(senders);
         let mut records = Vec::new();
-        for (s, handle) in self.handles.into_iter().enumerate() {
-            let report = handle.join().expect("worker panicked");
-            self.stats.per_shard[s].violations += report.records.len() as u64;
-            self.stats.per_shard[s].live_instances = report.live_instances;
-            for (_, engine) in &report.engine {
-                self.stats.absorb_engine(engine);
-            }
-            records.extend(report.records);
+        let mut failure: Option<RuntimeError> = None;
+        for (s, slot) in self.handles.iter_mut().enumerate() {
+            let Some(handle) = slot.take() else { continue };
+            match handle.join() {
+                Err(_) => failure.get_or_insert(RuntimeError::WorkerLost { shard: s }),
+                Ok(Err(f)) => failure.get_or_insert(f.into()),
+                Ok(Ok(o)) => {
+                    self.stats.absorb_shard(s, &o);
+                    records.extend(o.report.records);
+                    continue;
+                }
+            };
         }
-        Outcome { records: merge::merge(records), stats: self.stats }
+        if let Some(err) = failure {
+            return Err(err);
+        }
+        let stats = std::mem::take(&mut self.stats);
+        Ok(Outcome { records: merge::merge(records), stats })
+    }
+
+    /// Diagnose a dead shard: join its handle and surface the supervised
+    /// failure if one was reported.
+    fn shard_error(&mut self, s: usize) -> RuntimeError {
+        match self.handles[s].take().map(JoinHandle::join) {
+            Some(Ok(Err(f))) => f.into(),
+            _ => RuntimeError::WorkerLost { shard: s },
+        }
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        // Close every channel first: workers drain what was sent, then
+        // exit their receive loop — no Finish needed, no deadlock.
+        self.senders.clear();
+        for slot in self.handles.iter_mut() {
+            if let Some(handle) = slot.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl RuntimeStats {
+    fn absorb_shard(&mut self, s: usize, o: &ShardOutcome) {
+        let shard = &mut self.per_shard[s];
+        shard.violations += o.report.records.len() as u64;
+        shard.live_instances = o.report.live_instances;
+        shard.processed = o.processed;
+        shard.shed = o.shed;
+        shard.restarts = o.restarts;
+        self.restarts += o.restarts;
+        self.checkpoints += o.checkpoints;
+        self.replayed += o.replayed;
+        self.shed += o.shed;
+        self.degraded_violations += o.degraded_violations;
+        self.recovery_nanos += o.recovery_nanos;
+        self.gaps.extend(o.gaps.iter().copied());
+        for (_, engine) in &o.report.engine {
+            self.absorb_engine(engine);
+        }
     }
 }
 
 /// Run the single-threaded reference over the same inputs and return its
 /// violations as canonically merged records. The differential contract:
-/// for any shard count, [`ShardedRuntime::run`] produces records with
-/// exactly these signatures.
+/// for any shard count — and any recoverable fault schedule —
+/// [`ShardedRuntime::run`] produces records with exactly these signatures.
 pub fn reference_records(
     props: &[Property],
     cfg: swmon_core::MonitorConfig,
@@ -319,11 +434,50 @@ mod tests {
             RuntimeConfig::with_shards(2),
         )
         .unwrap();
-        let out = rt.run(std::iter::empty(), Instant::from_nanos(1_000));
+        let out = rt.run(std::iter::empty(), Instant::from_nanos(1_000)).unwrap();
         assert!(out.records.is_empty());
         assert_eq!(out.stats.events_in, 0);
         assert_eq!(out.stats.hashed_properties, 1);
+        assert_eq!(out.stats.unaccounted_loss(), 0);
         let cfg = MonitorConfig::default();
         assert!(reference_records(rt.properties(), cfg, &[], Instant::from_nanos(1_000)).is_empty());
+    }
+
+    #[test]
+    fn dropping_a_session_mid_stream_joins_cleanly() {
+        use std::sync::Arc;
+        use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+        use swmon_sim::trace::{NetEvent, NetEventKind, PacketId, PortNo, SwitchId};
+        let rt = ShardedRuntime::new(
+            vec![repeat_prop("p", Field::Ipv4Src)],
+            // queue=1, batch=1: maximal pressure on the drop path.
+            RuntimeConfig { shards: 2, batch: 1, queue: 1, ..Default::default() },
+        )
+        .unwrap();
+        let mut session = rt.start();
+        for i in 0..100u64 {
+            let pkt = Arc::new(PacketBuilder::tcp(
+                MacAddr::new(2, 0, 0, 0, 0, 1),
+                MacAddr::new(2, 0, 0, 0, 0, 2),
+                Ipv4Address::new(10, 0, 0, (i % 7) as u8 + 1),
+                Ipv4Address::new(10, 0, 0, 99),
+                1000,
+                80,
+                TcpFlags::SYN,
+                &[],
+            ));
+            let ev = NetEvent {
+                time: Instant::from_nanos(i),
+                kind: NetEventKind::Arrival {
+                    switch: SwitchId(0),
+                    port: PortNo(0),
+                    pkt,
+                    id: PacketId(i),
+                },
+            };
+            session.feed(&ev).unwrap();
+        }
+        // No finish: drop must drain and join without deadlocking.
+        drop(session);
     }
 }

@@ -97,6 +97,7 @@ mod tests {
                 trigger_stage: "s".into(),
                 bindings: Some(b),
                 history: vec![],
+                degraded: false,
             },
         }
     }

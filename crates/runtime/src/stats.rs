@@ -2,6 +2,23 @@
 
 use swmon_core::MonitorStats;
 
+/// One contiguous episode of explicit load shedding on a shard: the
+/// recovery journal hit its bound ([`crate::RuntimeConfig::journal_limit`])
+/// and the overflow was dropped *with accounting* rather than silently.
+/// Violations raised while a gap was open carry downgraded provenance
+/// ([`swmon_core::Violation::degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitoringGap {
+    /// The shard that shed.
+    pub shard: usize,
+    /// Input sequence number of the first shed event.
+    pub first_seq: u64,
+    /// Input sequence number of the last shed event.
+    pub last_seq: u64,
+    /// Events shed in this episode.
+    pub shed: u64,
+}
+
 /// Per-shard activity.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardStats {
@@ -15,6 +32,12 @@ pub struct ShardStats {
     /// dips that delivery counts alone hide: a shard hosting most of the
     /// live instances does most of the matching work per delivery.
     pub live_instances: u64,
+    /// Events applied to this shard's monitors exactly once.
+    pub processed: u64,
+    /// Events explicitly shed (journal bound hit; see [`MonitoringGap`]).
+    pub shed: u64,
+    /// Crash recoveries this shard performed.
+    pub restarts: u64,
 }
 
 /// Counters describing one runtime run.
@@ -34,6 +57,20 @@ pub struct RuntimeStats {
     pub hashed_properties: usize,
     /// Properties pinned to a single worker.
     pub pinned_properties: usize,
+    /// Worker crash recoveries across all shards.
+    pub restarts: u64,
+    /// Checkpoints taken across all shards.
+    pub checkpoints: u64,
+    /// Journal items re-applied during recoveries.
+    pub replayed: u64,
+    /// Events explicitly shed across all shards.
+    pub shed: u64,
+    /// Violations raised with downgraded provenance (inside a gap).
+    pub degraded_violations: u64,
+    /// Wall-clock nanoseconds spent restoring checkpoints.
+    pub recovery_nanos: u64,
+    /// Shedding episodes across all shards.
+    pub gaps: Vec<MonitoringGap>,
     /// Per-shard breakdown.
     pub per_shard: Vec<ShardStats>,
     /// Aggregated engine counters, summed over every worker replica.
@@ -56,6 +93,15 @@ impl RuntimeStats {
         e.evicted += s.evicted;
         e.out_of_scope += s.out_of_scope;
     }
+
+    /// Events whose fate is unexplained: delivered to a shard but neither
+    /// processed nor explicitly shed (or the reverse — processed more than
+    /// delivered). The fault-tolerance contract is that this is **always
+    /// zero**; the `e15` chaos benchmark and the chaos-smoke CI job fail
+    /// on any other value.
+    pub fn unaccounted_loss(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.events.abs_diff(s.processed + s.shed)).sum()
+    }
 }
 
 #[cfg(test)]
@@ -70,5 +116,20 @@ mod tests {
         r.absorb_engine(&s);
         assert_eq!(r.engine.events, 6);
         assert_eq!(r.engine.spawned, 4);
+    }
+
+    #[test]
+    fn unaccounted_loss_detects_both_directions() {
+        let mut r = RuntimeStats {
+            per_shard: vec![
+                ShardStats { events: 10, processed: 7, shed: 3, ..Default::default() },
+                ShardStats { events: 10, processed: 8, shed: 0, ..Default::default() },
+                ShardStats { events: 10, processed: 11, shed: 0, ..Default::default() },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.unaccounted_loss(), 3);
+        r.per_shard.truncate(1);
+        assert_eq!(r.unaccounted_loss(), 0);
     }
 }

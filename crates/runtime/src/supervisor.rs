@@ -1,0 +1,494 @@
+//! Shard supervision: panic isolation, checkpoint/replay recovery, and
+//! bounded-journal load shedding.
+//!
+//! Each shard thread runs [`run`]. The supervisor owns the crash-domain
+//! [`WorkerState`] and drives it only through `catch_unwind`, so a worker
+//! panic — a genuine engine bug, or a fault injected via
+//! [`RuntimeConfig::inject_faults`] — never takes the runtime down.
+//! Recovery rebuilds the monitors from the last checkpoint
+//! ([`swmon_core::Monitor::restore`]) and replays the in-memory journal of
+//! events delivered since, so a recovered run's merged violation output is
+//! byte-for-byte identical to a fault-free one.
+//!
+//! The journal is bounded ([`RuntimeConfig::journal_limit`]). When a
+//! delivery burst exceeds it, the overflow is **shed explicitly**: counted
+//! in a per-shard [`MonitoringGap`], never silently lost, and every
+//! violation raised while the gap is open carries downgraded provenance
+//! ([`swmon_core::Violation::degraded`]). See `docs/FAULTS.md` for the
+//! full fault model.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::Receiver;
+use std::sync::Once;
+
+use crate::batch::{Item, Msg};
+use crate::config::RuntimeConfig;
+use crate::stats::MonitoringGap;
+use crate::worker::{WorkerReport, WorkerState};
+use swmon_core::{Monitor, MonitorSnapshot, Property};
+use swmon_sim::time::Instant;
+
+/// Message prefix of panics raised by deterministic fault injection.
+/// [`silence_injected_panics`] recognises it; anything else is a genuine
+/// bug and still reaches the default panic hook.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault";
+
+/// Install a process-wide panic hook that suppresses the stderr noise of
+/// *injected* panics (recognised by [`INJECTED_PANIC_PREFIX`]) while
+/// delegating every other panic to the previous hook. Idempotent; chaos
+/// tests and the `e15` benchmark call this so dozens of intentional worker
+/// crashes don't drown real diagnostics.
+pub fn silence_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .is_some_and(|s| s.starts_with(INJECTED_PANIC_PREFIX));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Blueprint for building — and after a crash, *re*building — one shard's
+/// monitor replicas.
+#[derive(Debug)]
+pub struct ShardSpec {
+    /// This shard's index.
+    pub shard: usize,
+    /// `(global property index, property)` pairs hosted on this shard.
+    pub props: Vec<(usize, Property)>,
+    /// `lut[global]` locates the local replica (`None`: not hosted here).
+    pub lut: Vec<Option<usize>>,
+    /// The runtime configuration in effect (already normalized).
+    pub cfg: RuntimeConfig,
+    /// Input sequence numbers at which to panic, ascending. Consumed
+    /// supervisor-side *before* the panic is raised, so replay after
+    /// recovery does not re-trigger the fault.
+    pub inject: Vec<u64>,
+}
+
+/// Terminal shard failure: the restart budget
+/// ([`RuntimeConfig::max_restarts`]) is exhausted, or a checkpoint could
+/// not be restored. Reported instead of an outcome; the runtime surfaces
+/// it as [`crate::RuntimeError::ShardFailed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The failing shard.
+    pub shard: usize,
+    /// Recoveries attempted before giving up.
+    pub restarts: u64,
+    /// The final panic message (or restore error).
+    pub message: String,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} failed after {} restart(s): {}",
+            self.shard, self.restarts, self.message
+        )
+    }
+}
+
+/// What a supervised shard hands back on success.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// The worker's report (records, engine counters, occupancy).
+    pub report: WorkerReport,
+    /// Items received from the router.
+    pub delivered: u64,
+    /// Items applied to the monitors exactly once.
+    pub processed: u64,
+    /// Items explicitly shed because the journal bound was hit.
+    pub shed: u64,
+    /// Recoveries performed.
+    pub restarts: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Journal items re-applied during recoveries.
+    pub replayed: u64,
+    /// Violations raised inside a monitoring gap (downgraded provenance).
+    pub degraded_violations: u64,
+    /// Wall-clock nanoseconds spent restoring checkpoints (replay time is
+    /// indistinguishable from normal processing and excluded).
+    pub recovery_nanos: u64,
+    /// Shedding episodes, in input order.
+    pub gaps: Vec<MonitoringGap>,
+}
+
+/// A consistent restart point: monitor snapshots plus how much of the
+/// worker's output they already account for.
+struct Checkpoint {
+    snapshots: Vec<MonitorSnapshot>,
+    records_len: usize,
+    events: u64,
+}
+
+/// The supervised shard loop: admit batches into the journal, drive the
+/// crash domain, checkpoint, and on `Finish` drain timers and report.
+pub fn run(rx: Receiver<Msg>, spec: ShardSpec) -> Result<ShardOutcome, ShardFailure> {
+    let mut sup = Supervisor::new(spec);
+    let mut finish_at = None;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Events(items) => {
+                sup.admit(items);
+                sup.drive(None)?;
+                sup.maybe_checkpoint();
+            }
+            Msg::Finish(end) => {
+                finish_at = Some(end);
+                break;
+            }
+        }
+    }
+    // `finish_at` is `None` when the router hung up without `Finish`
+    // (session dropped mid-stream): drain what was admitted and report.
+    sup.drive(finish_at)?;
+    Ok(sup.into_outcome())
+}
+
+struct Supervisor {
+    shard: usize,
+    props: Vec<(usize, Property)>,
+    cfg: RuntimeConfig,
+    state: WorkerState,
+    checkpoint: Checkpoint,
+    /// Items delivered since the last checkpoint, in order.
+    journal: Vec<Item>,
+    /// How many journal items the current incarnation has applied.
+    journal_pos: usize,
+    /// Highest journal position any incarnation reached this window —
+    /// applications below it are replays, at or above it first-times.
+    high_water: usize,
+    inject: VecDeque<u64>,
+    in_gap: bool,
+    open_gap: Option<MonitoringGap>,
+    gaps: Vec<MonitoringGap>,
+    delivered: u64,
+    processed: u64,
+    shed: u64,
+    restarts: u64,
+    checkpoints: u64,
+    replayed: u64,
+    degraded_violations: u64,
+    recovery_nanos: u64,
+}
+
+impl Supervisor {
+    fn new(spec: ShardSpec) -> Self {
+        let monitors: Vec<(usize, Monitor)> = spec
+            .props
+            .iter()
+            .map(|(g, p)| (*g, Monitor::new(p.clone(), spec.cfg.monitor)))
+            .collect();
+        let snapshots = monitors.iter().map(|(_, m)| m.snapshot()).collect();
+        let state = WorkerState::new(monitors, spec.lut);
+        Supervisor {
+            shard: spec.shard,
+            props: spec.props,
+            cfg: spec.cfg,
+            state,
+            checkpoint: Checkpoint { snapshots, records_len: 0, events: 0 },
+            journal: Vec::new(),
+            journal_pos: 0,
+            high_water: 0,
+            inject: spec.inject.into(),
+            in_gap: false,
+            open_gap: None,
+            gaps: Vec::new(),
+            delivered: 0,
+            processed: 0,
+            shed: 0,
+            restarts: 0,
+            checkpoints: 0,
+            replayed: 0,
+            degraded_violations: 0,
+            recovery_nanos: 0,
+        }
+    }
+
+    /// Append a batch to the journal, shedding (and accounting) whatever
+    /// exceeds the bound.
+    fn admit(&mut self, items: Vec<Item>) {
+        for item in items {
+            self.delivered += 1;
+            if self.journal.len() >= self.cfg.journal_limit {
+                self.shed += 1;
+                self.in_gap = true;
+                let gap = self.open_gap.get_or_insert(MonitoringGap {
+                    shard: self.shard,
+                    first_seq: item.seq,
+                    last_seq: item.seq,
+                    shed: 0,
+                });
+                gap.last_seq = item.seq;
+                gap.shed += 1;
+            } else {
+                self.journal.push(item);
+            }
+        }
+    }
+
+    /// Apply everything outstanding inside the panic boundary; recover and
+    /// retry on unwind until success or the restart budget runs out.
+    fn drive(&mut self, finish_at: Option<Instant>) -> Result<(), ShardFailure> {
+        loop {
+            match panic::catch_unwind(AssertUnwindSafe(|| self.apply_pending(finish_at))) {
+                Ok(()) => return Ok(()),
+                Err(payload) => self.recover(payload.as_ref())?,
+            }
+        }
+    }
+
+    /// Crash-domain body: journal suffix, then (at end of input) the timer
+    /// drain. Anything here may panic; all bookkeeping that must survive a
+    /// panic is advanced *before* the risky step.
+    fn apply_pending(&mut self, finish_at: Option<Instant>) {
+        while self.journal_pos < self.journal.len() {
+            let i = self.journal_pos;
+            let seq = self.journal[i].seq;
+            while self.inject.front().is_some_and(|&s| s < seq) {
+                // Injection point routed elsewhere or shed: never reachable.
+                self.inject.pop_front();
+            }
+            if self.inject.front() == Some(&seq) {
+                // Consume the injection first so replay does not re-panic.
+                self.inject.pop_front();
+                panic!("{INJECTED_PANIC_PREFIX}: shard {} at seq {}", self.shard, seq);
+            }
+            let item = self.journal[i].clone();
+            self.degraded_violations += self.state.apply(&item, self.in_gap);
+            self.journal_pos = i + 1;
+            if i >= self.high_water {
+                self.high_water = i + 1;
+                self.processed += 1;
+            } else {
+                self.replayed += 1;
+            }
+        }
+        if let Some(end) = finish_at {
+            self.degraded_violations += self.state.finish(end, self.in_gap);
+        }
+    }
+
+    /// Rebuild the crash domain from the last checkpoint and rewind the
+    /// journal cursor so `drive` replays the gap.
+    fn recover(&mut self, payload: &(dyn Any + Send)) -> Result<(), ShardFailure> {
+        let t0 = std::time::Instant::now();
+        self.restarts += 1;
+        let fail =
+            |restarts: u64, message: String| ShardFailure { shard: self.shard, restarts, message };
+        if self.restarts > self.cfg.max_restarts as u64 {
+            return Err(fail(self.restarts - 1, panic_message(payload)));
+        }
+        let mut monitors: Vec<(usize, Monitor)> = self
+            .props
+            .iter()
+            .map(|(g, p)| (*g, Monitor::new(p.clone(), self.cfg.monitor)))
+            .collect();
+        for ((_, m), snap) in monitors.iter_mut().zip(&self.checkpoint.snapshots) {
+            m.restore(snap).map_err(|e| fail(self.restarts, format!("restore failed: {e}")))?;
+        }
+        self.state.monitors = monitors;
+        self.state.records.truncate(self.checkpoint.records_len);
+        self.state.events = self.checkpoint.events;
+        self.journal_pos = 0;
+        self.recovery_nanos += t0.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    /// Checkpoint when the journal is fully applied and either the cadence
+    /// is due or the journal hit its bound (draining it re-opens headroom;
+    /// this is what closes a monitoring gap).
+    fn maybe_checkpoint(&mut self) {
+        if self.journal_pos < self.journal.len() {
+            return;
+        }
+        let due = self.high_water >= self.cfg.checkpoint_every
+            || self.journal.len() >= self.cfg.journal_limit;
+        if !due {
+            return;
+        }
+        self.checkpoint = Checkpoint {
+            snapshots: self.state.monitors.iter().map(|(_, m)| m.snapshot()).collect(),
+            records_len: self.state.records.len(),
+            events: self.state.events,
+        };
+        self.journal.clear();
+        self.journal_pos = 0;
+        self.high_water = 0;
+        self.checkpoints += 1;
+        if let Some(gap) = self.open_gap.take() {
+            self.gaps.push(gap);
+        }
+        self.in_gap = false;
+    }
+
+    fn into_outcome(mut self) -> ShardOutcome {
+        if let Some(gap) = self.open_gap.take() {
+            self.gaps.push(gap);
+        }
+        ShardOutcome {
+            report: self.state.into_report(),
+            delivered: self.delivered,
+            processed: self.processed,
+            shed: self.shed,
+            restarts: self.restarts,
+            checkpoints: self.checkpoints,
+            replayed: self.replayed,
+            degraded_violations: self.degraded_violations,
+            recovery_nanos: self.recovery_nanos,
+            gaps: self.gaps,
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "worker panicked with a non-string payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+    use std::sync::Arc;
+    use swmon_core::{var, Atom, EventPattern, Guard, Property, Stage};
+    use swmon_packet::{Field, Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use swmon_sim::trace::{NetEvent, NetEventKind, PacketId, PortNo, SwitchId};
+
+    fn repeat_prop() -> Property {
+        let stage = |n: &str| {
+            Stage::match_(
+                n,
+                EventPattern::Arrival,
+                Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Src)]),
+            )
+        };
+        Property {
+            name: "twice".into(),
+            statement: String::new(),
+            stages: vec![stage("a"), stage("b")],
+        }
+    }
+
+    fn arrival(t: u64, src: u8) -> NetEvent {
+        let pkt = Arc::new(PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, src),
+            MacAddr::new(2, 0, 0, 0, 0, 99),
+            Ipv4Address::new(10, 0, 0, src),
+            Ipv4Address::new(10, 0, 0, 99),
+            1000,
+            80,
+            TcpFlags::SYN,
+            &[],
+        ));
+        NetEvent {
+            time: Instant::from_nanos(t),
+            kind: NetEventKind::Arrival {
+                switch: SwitchId(0),
+                port: PortNo(1),
+                pkt,
+                id: PacketId(t),
+            },
+        }
+    }
+
+    fn spec(cfg: RuntimeConfig, inject: Vec<u64>) -> ShardSpec {
+        ShardSpec {
+            shard: 0,
+            props: vec![(0, repeat_prop())],
+            lut: vec![Some(0)],
+            cfg: cfg.normalized(),
+            inject,
+        }
+    }
+
+    fn items(n: u64) -> Vec<Item> {
+        (0..n)
+            .map(|seq| Item { seq, mask: 1, ev: arrival(10 * (seq + 1), (seq % 5) as u8 + 1) })
+            .collect()
+    }
+
+    fn run_with(cfg: RuntimeConfig, inject: Vec<u64>, n: u64) -> ShardOutcome {
+        silence_injected_panics();
+        let (tx, rx) = sync_channel(64);
+        for chunk in items(n).chunks(8) {
+            tx.send(Msg::Events(chunk.to_vec())).unwrap();
+        }
+        tx.send(Msg::Finish(Instant::from_nanos(1_000_000))).unwrap();
+        run(rx, spec(cfg, inject)).expect("shard survives")
+    }
+
+    fn base_cfg() -> RuntimeConfig {
+        RuntimeConfig { shards: 1, checkpoint_every: 16, ..Default::default() }
+    }
+
+    #[test]
+    fn injected_panics_recover_to_identical_output() {
+        let clean = run_with(base_cfg(), vec![], 40);
+        let faulty = run_with(base_cfg(), vec![3, 21, 33], 40);
+        assert_eq!(faulty.restarts, 3);
+        assert!(faulty.replayed > 0, "recovery replayed the journal gap");
+        assert_eq!(faulty.shed, 0);
+        assert_eq!(faulty.processed, faulty.delivered);
+        let sig = |o: &ShardOutcome| {
+            o.report.records.iter().map(crate::merge::signature).collect::<Vec<_>>()
+        };
+        assert_eq!(sig(&clean), sig(&faulty));
+        assert_eq!(clean.report.events, faulty.report.events);
+    }
+
+    #[test]
+    fn restart_budget_escalates_to_failure() {
+        silence_injected_panics();
+        let (tx, rx) = sync_channel(64);
+        tx.send(Msg::Events(items(8))).unwrap();
+        tx.send(Msg::Finish(Instant::from_nanos(1_000))).unwrap();
+        let cfg = RuntimeConfig { shards: 1, max_restarts: 0, ..Default::default() };
+        let err = run(rx, spec(cfg.normalized(), vec![2])).unwrap_err();
+        assert_eq!(err.shard, 0);
+        assert_eq!(err.restarts, 0);
+        assert!(err.message.starts_with(INJECTED_PANIC_PREFIX), "{}", err.message);
+    }
+
+    #[test]
+    fn tiny_journal_sheds_explicitly_and_accounts_everything() {
+        let cfg = RuntimeConfig {
+            shards: 1,
+            checkpoint_every: 16,
+            journal_limit: 3,
+            ..Default::default()
+        };
+        let out = run_with(cfg, vec![], 40);
+        assert!(out.shed > 0, "bursts beyond the journal bound are shed");
+        assert_eq!(out.delivered, out.processed + out.shed, "no silent loss");
+        assert!(!out.gaps.is_empty());
+        let gap_total: u64 = out.gaps.iter().map(|g| g.shed).sum();
+        assert_eq!(gap_total, out.shed, "every shed event is inside a gap");
+    }
+
+    #[test]
+    fn unreachable_injection_points_are_skipped() {
+        // Seq 7 never reaches the shard's journal front cleanly if shed or
+        // routed elsewhere; stale fronts must not wedge later injections.
+        let out = run_with(base_cfg(), vec![100_000], 20);
+        assert_eq!(out.restarts, 0);
+        assert_eq!(out.processed, 20);
+    }
+}

@@ -1,0 +1,402 @@
+//! Network fault injection — seeded, deterministic link and node faults.
+//!
+//! The paper's soundness story (Sec 2.3, Features 7/8/10) is about monitors
+//! staying honest when events go missing: dropped-packet detection,
+//! per-instance timeouts and provenance levels all exist because the network
+//! is *not* a perfect channel. A [`FaultPlan`] turns a perfect trace into an
+//! imperfect one, reproducibly:
+//!
+//! * **Drop** — a packet's events vanish (loss on the link before the
+//!   switch), so deadline properties fire on the missing reply.
+//! * **Duplicate** — a packet is delivered twice; the copy arrives as a
+//!   fresh switch arrival and therefore mints a fresh [`PacketId`] (the
+//!   switch cannot know it is a retransmission — exactly why identity
+//!   tokens are per-arrival, Feature 5).
+//! * **Reorder** — two adjacent packets exchange their time slots, modelling
+//!   overtaking on a link. Trace time stays nondecreasing.
+//! * **Crash windows** — a switch is down for an interval: its traffic in
+//!   the window is lost wholesale, and the plan injects the out-of-band
+//!   [`OobEvent::PortDown`]/[`OobEvent::PortUp`] pair that *multiple match*
+//!   properties (Feature 8) key on.
+//!
+//! Every mutation is counted in a [`FaultLog`] whose
+//! [`FaultLog::accounted`] invariant — delivered = input − dropped −
+//! crash-lost + duplicated + injected — is what the fault-tolerant runtime's
+//! "no silent loss" contract is checked against (`docs/FAULTS.md`).
+//!
+//! All randomness comes from an inline SplitMix64 generator seeded by the
+//! plan, so the same plan over the same trace yields the same faulty trace,
+//! bit for bit.
+
+use crate::time::{Duration, Instant};
+use crate::trace::{NetEvent, NetEventKind, OobEvent, PacketId, PortNo, SwitchId};
+
+/// SplitMix64 — tiny, seedable, statistically solid for fault scheduling.
+/// (This crate deliberately has no RNG dependency; determinism is the point.)
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `p` (clamped to [0, 1]).
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 uniform mantissa bits, the usual open-interval construction.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// An interval during which one switch is down (crash-restarted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashed switch.
+    pub switch: SwitchId,
+    /// Start of the outage (inclusive).
+    pub down: Instant,
+    /// End of the outage (exclusive) — the restart instant.
+    pub up: Instant,
+    /// Port the injected [`OobEvent::PortDown`]/[`OobEvent::PortUp`] pair
+    /// names (the uplink as seen by neighbours).
+    pub port: PortNo,
+}
+
+impl CrashWindow {
+    /// True if `t` falls inside the outage.
+    pub fn contains(&self, t: Instant) -> bool {
+        t >= self.down && t < self.up
+    }
+}
+
+/// A seeded, deterministic schedule of network faults.
+///
+/// Fractions are per *packet unit* (an arrival plus its departures), not per
+/// event: faulting half a packet would fabricate traces no real link can
+/// produce.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// PRNG seed; two applications of the same plan are identical.
+    pub seed: u64,
+    /// Probability a packet unit is lost on the link.
+    pub drop_fraction: f64,
+    /// Probability a packet unit is delivered twice (the copy re-arrives
+    /// immediately after, with a fresh identity token).
+    pub duplicate_fraction: f64,
+    /// Probability a packet unit swaps time slots with its successor.
+    pub reorder_fraction: f64,
+    /// Switch outage intervals.
+    pub crashes: Vec<CrashWindow>,
+}
+
+/// Bit set on the raw [`PacketId`] of an injected duplicate, keeping the
+/// minted identity disjoint from every builder-assigned id.
+pub const DUPLICATE_ID_BIT: u64 = 1 << 63;
+
+impl FaultPlan {
+    /// A plan that injects nothing (identity transform, log still produced).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Apply the plan to a time-ordered trace, returning the faulty trace
+    /// (time-ordered) and the complete mutation accounting.
+    pub fn apply(&self, trace: &[NetEvent]) -> (Vec<NetEvent>, FaultLog) {
+        let mut log = FaultLog { input_events: trace.len() as u64, ..FaultLog::default() };
+        let mut rng = SplitMix64::new(self.seed);
+
+        // 1. Partition into units: a run of consecutive events sharing one
+        //    PacketId, or a single out-of-band event.
+        let mut units: Vec<Unit> = Vec::new();
+        for ev in trace {
+            let id = ev.packet_id();
+            match units.last_mut() {
+                Some(u) if id.is_some() && u.id == id => {
+                    u.offsets.push((ev.time - u.base, ev.kind.clone()));
+                }
+                _ => units.push(Unit {
+                    id,
+                    base: ev.time,
+                    switch: ev.switch(),
+                    offsets: vec![(Duration::ZERO, ev.kind.clone())],
+                }),
+            }
+        }
+
+        // 2. Crash loss, link drops, duplication.
+        let mut surviving: Vec<Unit> = Vec::new();
+        for u in units {
+            let crashed = u.id.is_some()
+                && self.crashes.iter().any(|w| Some(w.switch) == u.switch && w.contains(u.base));
+            if crashed {
+                log.crash_lost_events += u.offsets.len() as u64;
+                continue;
+            }
+            if u.id.is_some() && rng.chance(self.drop_fraction) {
+                log.dropped_events += u.offsets.len() as u64;
+                continue;
+            }
+            let duplicate = u.id.is_some() && rng.chance(self.duplicate_fraction);
+            if duplicate {
+                log.duplicated_events += u.offsets.len() as u64;
+                let mut copy = u.clone();
+                copy.remint_id();
+                surviving.push(u);
+                surviving.push(copy);
+            } else {
+                surviving.push(u);
+            }
+        }
+
+        // 3. Reorder: adjacent units exchange time slots, so the sequence of
+        //    base times is unchanged (still sorted) but the packets occupying
+        //    them swap. OOB units keep their place — control-plane events
+        //    travel a different path.
+        let mut i = 0;
+        while i + 1 < surviving.len() {
+            let both_packets = surviving[i].id.is_some() && surviving[i + 1].id.is_some();
+            if both_packets && rng.chance(self.reorder_fraction) {
+                let (a, b) = (surviving[i].base, surviving[i + 1].base);
+                surviving[i].base = b;
+                surviving[i + 1].base = a;
+                surviving.swap(i, i + 1);
+                log.reordered_units += 1;
+                i += 2; // a unit takes part in at most one swap
+            } else {
+                i += 1;
+            }
+        }
+
+        // 4. Flatten, inject the crash OOB markers, and re-establish global
+        //    time order (stable: equal-time events keep construction order).
+        let mut out: Vec<NetEvent> = Vec::new();
+        for u in &surviving {
+            for (off, kind) in &u.offsets {
+                out.push(NetEvent { time: u.base + *off, kind: kind.clone() });
+            }
+        }
+        for w in &self.crashes {
+            out.push(NetEvent {
+                time: w.down,
+                kind: NetEventKind::OutOfBand(OobEvent::PortDown(w.switch, w.port)),
+            });
+            out.push(NetEvent {
+                time: w.up,
+                kind: NetEventKind::OutOfBand(OobEvent::PortUp(w.switch, w.port)),
+            });
+            log.oob_injected += 2;
+        }
+        out.sort_by_key(|e| e.time);
+        log.delivered_events = out.len() as u64;
+        (out, log)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Unit {
+    id: Option<PacketId>,
+    base: Instant,
+    switch: Option<SwitchId>,
+    offsets: Vec<(Duration, NetEventKind)>,
+}
+
+impl Unit {
+    /// Give a duplicated unit the fresh identity its re-arrival would mint.
+    fn remint_id(&mut self) {
+        for (_, kind) in &mut self.offsets {
+            match kind {
+                NetEventKind::Arrival { id, .. } | NetEventKind::Departure { id, .. } => {
+                    *id = PacketId(id.0 | DUPLICATE_ID_BIT);
+                }
+                NetEventKind::OutOfBand(_) => {}
+            }
+        }
+    }
+}
+
+/// Complete accounting of what a [`FaultPlan::apply`] did.
+///
+/// The runtime's "no silent loss" contract extends this accounting through
+/// the monitoring stack: every input event is delivered, dropped, or
+/// crash-lost *here*, and every delivered event is processed or explicitly
+/// shed *there* — nothing disappears without a counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Events in the pristine input trace.
+    pub input_events: u64,
+    /// Events in the faulty output trace.
+    pub delivered_events: u64,
+    /// Events removed by link loss.
+    pub dropped_events: u64,
+    /// Events added by duplication.
+    pub duplicated_events: u64,
+    /// Adjacent packet-unit pairs that exchanged time slots.
+    pub reordered_units: u64,
+    /// Events removed because their switch was inside a crash window.
+    pub crash_lost_events: u64,
+    /// Out-of-band events injected for crash windows (down/up pairs).
+    pub oob_injected: u64,
+}
+
+impl FaultLog {
+    /// The conservation check: every event is accounted for.
+    pub fn accounted(&self) -> bool {
+        self.delivered_events
+            == self.input_events - self.dropped_events - self.crash_lost_events
+                + self.duplicated_events
+                + self.oob_injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::trace::EgressAction;
+    use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+
+    fn trace(n: u64) -> Vec<NetEvent> {
+        let mut tb = TraceBuilder::new();
+        for i in 0..n {
+            let p = PacketBuilder::tcp(
+                MacAddr::from_u64(0x0200_0000_0000 + i),
+                MacAddr::from_u64(0x0200_ffff_0000 + i),
+                Ipv4Address::from_u32(0x0a00_0002 + i as u32),
+                Ipv4Address::from_u32(0xc000_0201),
+                4000,
+                443,
+                TcpFlags::SYN,
+                &[],
+            );
+            tb.at(Instant::from_nanos(i * 1_000)).arrive_depart(
+                PortNo(0),
+                p,
+                EgressAction::Output(PortNo(1)),
+            );
+        }
+        tb.build()
+    }
+
+    #[test]
+    fn identity_plan_is_identity() {
+        let t = trace(20);
+        let (out, log) = FaultPlan::none().apply(&t);
+        assert_eq!(out.len(), t.len());
+        assert!(out.iter().zip(&t).all(|(a, b)| a.time == b.time)); // NetEvent: no PartialEq
+        assert!(log.accounted());
+        assert_eq!(log.dropped_events + log.duplicated_events + log.crash_lost_events, 0);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let t = trace(200);
+        let plan = FaultPlan {
+            seed: 7,
+            drop_fraction: 0.2,
+            duplicate_fraction: 0.1,
+            reorder_fraction: 0.3,
+            crashes: vec![],
+        };
+        let (a, la) = plan.apply(&t);
+        let (b, lb) = plan.apply(&t);
+        assert_eq!(la, lb);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.time == y.time && x.packet_id() == y.packet_id()));
+    }
+
+    #[test]
+    fn drops_and_duplicates_are_accounted() {
+        let t = trace(500);
+        let plan = FaultPlan {
+            seed: 3,
+            drop_fraction: 0.3,
+            duplicate_fraction: 0.2,
+            reorder_fraction: 0.0,
+            crashes: vec![],
+        };
+        let (out, log) = plan.apply(&t);
+        assert!(log.dropped_events > 0, "30% of 500 units should drop something");
+        assert!(log.duplicated_events > 0);
+        assert!(log.accounted());
+        assert_eq!(out.len() as u64, log.delivered_events);
+        // Duplicates carry reminted identities.
+        assert!(out
+            .iter()
+            .any(|e| e.packet_id().is_some_and(|PacketId(id)| id & DUPLICATE_ID_BIT != 0)));
+    }
+
+    #[test]
+    fn reorder_keeps_time_nondecreasing_and_swaps_content() {
+        let t = trace(300);
+        let plan = FaultPlan { seed: 11, reorder_fraction: 0.5, ..FaultPlan::default() };
+        let (out, log) = plan.apply(&t);
+        assert!(log.reordered_units > 0);
+        assert!(out.windows(2).all(|w| w[0].time <= w[1].time), "time stays sorted");
+        // Same multiset of packet ids, different order somewhere.
+        let mut ids: Vec<_> = out.iter().filter_map(|e| e.packet_id()).collect();
+        let in_order: Vec<_> = t.iter().filter_map(|e| e.packet_id()).collect();
+        assert_ne!(ids, in_order, "at least one pair overtook");
+        ids.sort_unstable();
+        let mut expect = in_order;
+        expect.sort_unstable();
+        assert_eq!(ids, expect);
+        assert!(log.accounted());
+    }
+
+    #[test]
+    fn crash_window_silences_switch_and_injects_oob() {
+        let t = trace(100); // events at 0ns..99us on switch 0
+        let w = CrashWindow {
+            switch: SwitchId(0),
+            down: Instant::from_nanos(20_000),
+            up: Instant::from_nanos(40_000),
+            port: PortNo(9),
+        };
+        let plan = FaultPlan { crashes: vec![w], ..FaultPlan::default() };
+        let (out, log) = plan.apply(&t);
+        assert!(log.crash_lost_events > 0);
+        assert_eq!(log.oob_injected, 2);
+        assert!(log.accounted());
+        // No packet events inside the outage; exactly the two OOB markers.
+        for e in &out {
+            if e.packet_id().is_some() {
+                assert!(!w.contains(e.time), "packet event inside crash window: {}", e.time);
+            }
+        }
+        let downs = out
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, NetEventKind::OutOfBand(OobEvent::PortDown(s, p))
+                    if s == SwitchId(0) && p == PortNo(9))
+            })
+            .count();
+        assert_eq!(downs, 1);
+    }
+
+    #[test]
+    fn fraction_one_drops_everything() {
+        let t = trace(50);
+        let plan = FaultPlan { drop_fraction: 1.0, ..FaultPlan::default() };
+        let (out, log) = plan.apply(&t);
+        assert!(out.is_empty());
+        assert_eq!(log.dropped_events, 100);
+        assert!(log.accounted());
+    }
+}

@@ -14,17 +14,22 @@
 //!   switch-minted packet identity (Feature 5).
 //! * [`network`] — the event loop itself: [`Node`]s joined by latency-bearing
 //!   links, with link faults and external injection.
+//! * [`fault`] — seeded deterministic fault injection ([`FaultPlan`]):
+//!   drop/duplicate/reorder on links, switch crash windows with the OOB
+//!   events dropped-packet detection needs, and full [`FaultLog`] accounting.
 
 pub mod builder;
+pub mod fault;
 pub mod network;
 pub mod time;
 pub mod timer;
 pub mod trace;
 
 pub use builder::TraceBuilder;
+pub use fault::{CrashWindow, FaultLog, FaultPlan};
 pub use network::{Network, Node, NodeCtx, NodeId};
 pub use time::{Duration, Instant};
-pub use timer::{TimerId, TimerWheel};
+pub use timer::{TimerEntry, TimerId, TimerWheel, TimerWheelSnapshot};
 pub use trace::{
     EgressAction, EventSink, NetEvent, NetEventKind, OobEvent, PacketId, PortNo, SwitchId,
     TraceRecorder,

@@ -14,6 +14,54 @@ use std::collections::{BinaryHeap, HashMap};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerId(u64);
 
+impl TimerId {
+    /// The raw id value, for serialized checkpoint encodings.
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild an id from [`TimerId::to_raw`]. Only meaningful together with
+    /// a [`TimerWheelSnapshot`] restore that re-establishes the wheel's
+    /// counters; a fabricated id simply never matches a live timer.
+    pub fn from_raw(raw: u64) -> Self {
+        TimerId(raw)
+    }
+}
+
+/// One live timer inside a [`TimerWheelSnapshot`].
+///
+/// Every field of the wheel's internal ordering tuple is preserved verbatim
+/// — deadline, heap tie-break sequence, id and generation — so that a
+/// restored wheel fires in exactly the order the original would have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerEntry<T> {
+    /// Absolute deadline.
+    pub deadline: Instant,
+    /// Heap tie-break sequence of the entry's latest arming/refresh.
+    pub seq: u64,
+    /// The timer's handle.
+    pub id: TimerId,
+    /// Refresh generation (0 for a never-refreshed timer).
+    pub generation: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+/// A faithful image of a [`TimerWheel`]'s live state.
+///
+/// Tombstoned heap entries (cancelled or superseded by refresh) are *not*
+/// captured: they are semantically invisible — they only ever get skipped —
+/// so dropping them cannot change the firing order of live timers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerWheelSnapshot<T> {
+    /// Live timers, sorted by heap sequence (arming order).
+    pub entries: Vec<TimerEntry<T>>,
+    /// Value the next [`TimerWheel::schedule`] call will use for its id.
+    pub next_id: u64,
+    /// Value the next heap push will use for deadline tie-breaking.
+    pub next_seq: u64,
+}
+
 /// A set of armed timers, each carrying a payload of type `T`.
 ///
 /// Cancellation and refresh are O(log n) amortised: superseded heap entries
@@ -148,6 +196,43 @@ impl<T> TimerWheel<T> {
     }
 }
 
+impl<T: Clone> TimerWheel<T> {
+    /// Capture the wheel's live state for checkpointing.
+    ///
+    /// The snapshot keeps the exact `(deadline, seq, id, generation)` tuple
+    /// of every live timer plus both counters, so a [`TimerWheel::restore`]d
+    /// wheel is behaviourally indistinguishable from the original: the same
+    /// pops in the same order, and identical ids/tie-breaks for timers armed
+    /// *after* the restore.
+    pub fn snapshot(&self) -> TimerWheelSnapshot<T> {
+        let mut entries: Vec<TimerEntry<T>> = self
+            .heap
+            .iter()
+            .filter_map(|&Reverse((deadline, seq, id, generation))| {
+                match self.live.get(&id) {
+                    Some((_, live_gen, payload)) if *live_gen == generation => {
+                        Some(TimerEntry { deadline, seq, id, generation, payload: payload.clone() })
+                    }
+                    _ => None, // tombstone: cancelled or superseded
+                }
+            })
+            .collect();
+        entries.sort_unstable_by_key(|e| e.seq);
+        TimerWheelSnapshot { entries, next_id: self.next_id, next_seq: self.seq }
+    }
+
+    /// Rebuild a wheel from a [`TimerWheelSnapshot`].
+    pub fn restore(snap: &TimerWheelSnapshot<T>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(snap.entries.len());
+        let mut live = HashMap::with_capacity(snap.entries.len());
+        for e in &snap.entries {
+            heap.push(Reverse((e.deadline, e.seq, e.id, e.generation)));
+            live.insert(e.id, (e.deadline, e.generation, e.payload.clone()));
+        }
+        TimerWheel { heap, live, next_id: snap.next_id, seq: snap.next_seq }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +340,68 @@ mod tests {
         let all = w.drain_due(at(1000));
         assert_eq!(all.len(), 1, "a refreshed timer fires exactly once");
         assert_eq!(all[0].1, at(109));
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_firing_order_and_counters() {
+        let mut w = TimerWheel::new();
+        let a = w.schedule(at(10), "a");
+        let b = w.schedule(at(10), "b"); // same deadline: arming order decides
+        w.schedule(at(5), "c");
+        w.refresh(a, at(10)); // same deadline, later tie-break: now fires after b
+        let d = w.schedule(at(20), "d");
+        w.cancel(d); // leaves a tombstone in the heap
+
+        let snap = w.snapshot();
+        assert_eq!(snap.entries.len(), 3, "tombstones are not captured");
+        let mut restored = TimerWheel::restore(&snap);
+
+        let original: Vec<_> = w.drain_due(at(100));
+        let recovered: Vec<_> = restored.drain_due(at(100));
+        assert_eq!(original, recovered);
+        assert_eq!(original.iter().map(|&(_, _, p)| p).collect::<Vec<_>>(), vec!["c", "b", "a"]);
+
+        // Counters survive: the next schedule gets the id the original wheel
+        // would have handed out (a,b,c,d consumed raw ids 0..4).
+        let mut w2 = TimerWheel::restore(&snap);
+        assert_eq!(w2.schedule(at(1), "x"), TimerId::from_raw(b.to_raw() + 3));
+    }
+
+    #[test]
+    fn snapshot_of_empty_wheel_roundtrips() {
+        let w = TimerWheel::<u32>::new();
+        let snap = w.snapshot();
+        assert!(snap.entries.is_empty());
+        let mut r = TimerWheel::restore(&snap);
+        assert!(r.is_empty());
+        assert!(r.pop_due(at(1_000)).is_none());
+    }
+
+    #[test]
+    fn restore_then_mutate_matches_uninterrupted() {
+        // Drive two wheels with the same operations, snapshotting/restoring
+        // one of them halfway; both must fire identically afterwards.
+        let mut reference = TimerWheel::new();
+        let mut subject = TimerWheel::new();
+        let mut ids = (Vec::new(), Vec::new());
+        for i in 0..50u64 {
+            ids.0.push(reference.schedule(at(i % 7), i));
+            ids.1.push(subject.schedule(at(i % 7), i));
+        }
+        for i in (0..50).step_by(3) {
+            reference.refresh(ids.0[i], at(40 + i as u64));
+            subject.refresh(ids.1[i], at(40 + i as u64));
+        }
+        let mut subject = TimerWheel::restore(&subject.snapshot());
+        for i in (0..50).step_by(7) {
+            reference.cancel(ids.0[i]);
+            subject.cancel(ids.1[i]);
+        }
+        reference.schedule(at(3), 999);
+        subject.schedule(at(3), 999);
+        let a: Vec<_> = reference.drain_due(at(500)).into_iter().map(|(_, d, p)| (d, p)).collect();
+        let b: Vec<_> = subject.drain_due(at(500)).into_iter().map(|(_, d, p)| (d, p)).collect();
+        assert_eq!(a, b);
     }
 
     // Differential property test: the wheel behaves like a naive sorted list.

@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
 use swmon_sim::time::{Duration, Instant};
 use swmon_sim::trace::{EgressAction, NetEvent};
-use swmon_sim::{PortNo, TraceBuilder};
+use swmon_sim::{FaultLog, FaultPlan, PortNo, TraceBuilder};
 
 /// A firewall-shaped trace: `pairs` distinct (A,B) address pairs send an
 /// outbound packet (spawning one monitor instance each); a fraction of
@@ -112,6 +112,23 @@ pub fn multi_flow_trace(
     tb.build()
 }
 
+/// The E13/E15 interleaved workload with network faults applied: a
+/// [`multi_flow_trace`] (reply fraction 0.4, drop fraction 0.25, 2 µs
+/// inter-packet — the sharded-runtime benchmark shape) pushed through a
+/// seeded [`FaultPlan`]. Returns the faulty trace plus the plan's full
+/// [`FaultLog`] accounting, so callers can audit exactly what the network
+/// did to the traffic. Used by the `e15` chaos benchmark and the
+/// checkpoint/replay property tests.
+pub fn lossy_trace(
+    flows: u32,
+    packets: u32,
+    seed: u64,
+    plan: &FaultPlan,
+) -> (Vec<NetEvent>, FaultLog) {
+    let base = multi_flow_trace(flows, packets, 0.4, 0.25, Duration::from_micros(2), seed);
+    plan.apply(&base)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +163,28 @@ mod tests {
         let t2 = multi_flow_trace(64, 500, 0.4, 0.3, Duration::from_micros(2), 7);
         assert_eq!(t.len(), t2.len());
         assert!(t.iter().zip(&t2).all(|(x, y)| x.time == y.time));
+    }
+
+    #[test]
+    fn lossy_trace_is_deterministic_and_accounted() {
+        let plan = FaultPlan {
+            seed: 9,
+            drop_fraction: 0.05,
+            duplicate_fraction: 0.02,
+            reorder_fraction: 0.05,
+            crashes: vec![],
+        };
+        let (t1, log1) = lossy_trace(16, 300, 7, &plan);
+        let (t2, log2) = lossy_trace(16, 300, 7, &plan);
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(log1, log2);
+        assert!(log1.accounted(), "{log1:?}");
+        assert!(log1.dropped_events > 0);
+        assert!(t1.windows(2).all(|w| w[0].time <= w[1].time));
+        // A clean plan is the identity on the base workload.
+        let (clean, clean_log) = lossy_trace(16, 300, 7, &FaultPlan::none());
+        assert_eq!(clean.len(), 600);
+        assert_eq!(clean_log.dropped_events, 0);
     }
 
     #[test]

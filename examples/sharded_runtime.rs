@@ -23,11 +23,13 @@ fn main() {
     }
 
     // Streaming ingestion: feed events as they arrive, then close out.
+    // Both calls are fallible: a shard that exhausts its restart budget
+    // surfaces here as a typed error instead of a worker panic.
     let mut session = rt.start();
     for ev in &trace {
-        session.feed(ev);
+        session.feed(ev).expect("no shard failure");
     }
-    let out = session.finish(end);
+    let out = session.finish(end).expect("no shard failure");
 
     println!(
         "\n{} events over {} shards: {} violations ({} hashed, {} pinned properties)",

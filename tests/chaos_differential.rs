@@ -1,0 +1,129 @@
+//! Chaos differential: a supervised run whose workers are crashed
+//! mid-stream by a deterministic fault schedule must produce the *same
+//! merged violation stream, byte-for-byte*, as the fault-free
+//! single-threaded reference — over the full 21-property catalog, on a
+//! workload already battered by network faults (drops, duplicates,
+//! reordering, a switch crash window). And nothing may vanish silently:
+//! every delivered event is processed or explicitly shed
+//! (`RuntimeStats::unaccounted_loss() == 0`).
+
+use swmon::monitor::MonitorConfig;
+use swmon::runtime::{
+    reference_records, signature, silence_injected_panics, FaultPoint, RuntimeConfig,
+    ShardedRuntime,
+};
+use swmon::sim::{CrashWindow, Duration, FaultPlan, Instant, NetEvent, PortNo, SwitchId};
+use swmon_workloads::trace::lossy_trace;
+
+/// The chaos workload: the E13-shaped interleaved trace pushed through a
+/// seeded fault plan, with one switch-crash window (whose `PortDown`/
+/// `PortUp` out-of-band events some catalog properties react to).
+fn chaos_trace() -> (Vec<NetEvent>, Instant) {
+    let plan = FaultPlan {
+        seed: 0x5eed,
+        drop_fraction: 0.03,
+        duplicate_fraction: 0.02,
+        reorder_fraction: 0.03,
+        crashes: vec![CrashWindow {
+            switch: SwitchId(0),
+            down: Instant::ZERO + Duration::from_micros(400),
+            up: Instant::ZERO + Duration::from_micros(700),
+            port: PortNo(0),
+        }],
+    };
+    let (trace, log) = lossy_trace(48, 1_200, 7, &plan);
+    assert!(log.accounted(), "the fault plan itself must account its edits: {log:?}");
+    let end = trace.last().unwrap().time + Duration::from_secs(120);
+    (trace, end)
+}
+
+/// Worker panics spread across all four shards and across the trace.
+fn crash_schedule(events: usize, count: usize, shards: usize) -> Vec<FaultPoint> {
+    (0..count)
+        .map(|i| FaultPoint { shard: i % shards, seq: ((i + 1) * events / (count + 1)) as u64 })
+        .collect()
+}
+
+/// The headline acceptance check: >= 3 injected worker panics across the
+/// catalog deployment, output byte-identical to the fault-free reference,
+/// zero silent loss.
+#[test]
+fn crashed_workers_recover_to_the_reference_output() {
+    silence_injected_panics();
+    let props = swmon_props::catalog();
+    let (trace, end) = chaos_trace();
+    let expect: Vec<String> = reference_records(&props, MonitorConfig::default(), &trace, end)
+        .iter()
+        .map(signature)
+        .collect();
+    assert!(!expect.is_empty(), "the chaos workload must produce violations");
+
+    let shards = 4;
+    let cfg = RuntimeConfig {
+        shards,
+        // Small cadence so crashes land between checkpoints and recovery
+        // actually replays a journal suffix.
+        checkpoint_every: 128,
+        inject_faults: crash_schedule(trace.len(), 5, shards),
+        ..Default::default()
+    };
+    let rt = ShardedRuntime::new(props, cfg).expect("catalog properties are valid");
+    let out = rt.run(&trace, end).expect("crashes stay within the restart budget");
+
+    assert!(out.stats.restarts >= 3, "schedule must actually fire: {:?}", out.stats);
+    assert!(out.stats.replayed > 0, "recovery must replay the journal gap");
+    assert_eq!(out.stats.shed, 0, "an adequate journal sheds nothing");
+    assert_eq!(out.stats.unaccounted_loss(), 0, "no silent loss: {:?}", out.stats);
+    assert_eq!(out.signatures(), expect, "recovered output diverged from the reference");
+}
+
+/// The same contract at every shard count — crash placement moves with the
+/// shard topology, the output must not.
+#[test]
+fn recovery_is_shard_count_invariant() {
+    silence_injected_panics();
+    let props = swmon_props::catalog();
+    let (trace, end) = chaos_trace();
+    let expect: Vec<String> = reference_records(&props, MonitorConfig::default(), &trace, end)
+        .iter()
+        .map(signature)
+        .collect();
+    for shards in [1usize, 2, 8] {
+        let cfg = RuntimeConfig {
+            shards,
+            checkpoint_every: 128,
+            inject_faults: crash_schedule(trace.len(), 4, shards),
+            ..Default::default()
+        };
+        let rt = ShardedRuntime::new(props.clone(), cfg).expect("catalog properties are valid");
+        let out = rt.run(&trace, end).expect("crashes stay within the restart budget");
+        assert!(out.stats.restarts >= 1, "no crash fired at {shards} shards");
+        assert_eq!(out.stats.unaccounted_loss(), 0);
+        assert_eq!(out.signatures(), expect, "diverged at {shards} shards");
+    }
+}
+
+/// Degradation is explicit, never silent: with the journal starved, events
+/// are shed, but each one lands in a reported `MonitoringGap`, the
+/// delivered/processed/shed ledger balances, and the violations that *are*
+/// raised during a gap carry downgraded provenance.
+#[test]
+fn starved_journal_degrades_explicitly() {
+    silence_injected_panics();
+    let props = swmon_props::catalog();
+    let (trace, end) = chaos_trace();
+    let cfg = RuntimeConfig { shards: 4, journal_limit: 16, ..Default::default() };
+    let rt = ShardedRuntime::new(props, cfg).expect("catalog properties are valid");
+    let out = rt.run(&trace, end).expect("shedding is not a failure");
+
+    let s = &out.stats;
+    assert!(s.shed > 0, "a 16-item journal against 64-item batches must shed");
+    assert_eq!(s.unaccounted_loss(), 0, "shed events are accounted, not lost: {s:?}");
+    let gap_total: u64 = s.gaps.iter().map(|g| g.shed).sum();
+    assert_eq!(gap_total, s.shed, "every shed event is inside a reported gap");
+    assert!(s.degraded_violations > 0, "gap-time violations are flagged");
+    assert!(
+        out.records.iter().any(|r| r.violation.degraded),
+        "downgraded provenance must survive the merge"
+    );
+}

@@ -75,7 +75,7 @@ fn assert_all_shard_counts_match(props: &[Property], trace: &[NetEvent], end: In
     for shards in SHARD_COUNTS {
         let rt = ShardedRuntime::new(props.to_vec(), RuntimeConfig::with_shards(shards))
             .expect("catalog properties are valid");
-        let out = rt.run(trace, end);
+        let out = rt.run(trace, end).expect("fault-free run cannot fail");
         assert_eq!(
             out.signatures(),
             expect,
@@ -202,7 +202,7 @@ fn reply_reaches_request_instance_under_every_shard_count() {
     let expect: Vec<String> = reference.iter().map(signature).collect();
     for shards in 1..=8 {
         let rt = ShardedRuntime::new(props.clone(), RuntimeConfig::with_shards(shards)).unwrap();
-        let out = rt.run(&trace, end);
+        let out = rt.run(&trace, end).expect("fault-free run cannot fail");
         assert_eq!(out.signatures(), expect, "lost violations at {shards} shards");
         assert_eq!(out.stats.events_in, trace.len() as u64);
     }
@@ -234,7 +234,7 @@ fn multi_flow_routing_spreads_within_2x_of_even() {
     reference.advance_to(end);
     for shards in [2usize, 4, 8] {
         let rt = ShardedRuntime::new(props.clone(), RuntimeConfig::with_shards(shards)).unwrap();
-        let out = rt.run(&trace, end);
+        let out = rt.run(&trace, end).expect("fault-free run cannot fail");
         let per: Vec<u64> = out.stats.per_shard.iter().map(|s| s.events).collect();
         let even = out.stats.deliveries as f64 / shards as f64;
         for (s, &n) in per.iter().enumerate() {

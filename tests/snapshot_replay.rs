@@ -1,0 +1,157 @@
+//! Checkpoint/restore correctness at the system level: cutting a monitor
+//! run at *any* event index, round-tripping the snapshot through its
+//! versioned byte encoding, restoring into a fresh monitor, and replaying
+//! the suffix must be indistinguishable — byte-for-byte, via the snapshot
+//! encoding itself — from never having been interrupted. This is the
+//! property the supervised runtime's crash recovery stands on
+//! (`crates/runtime/src/supervisor.rs`), checked here over the whole
+//! 21-property catalog rather than a single engine fixture.
+
+use proptest::prelude::*;
+use swmon::monitor::{Monitor, MonitorConfig, MonitorSnapshot, ProvenanceMode};
+use swmon::packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+use swmon::sim::{Duration, EgressAction, Instant, NetEvent, PortNo, TraceBuilder};
+
+/// A compact generated event (same shape as `tests/runtime_differential.rs`).
+#[derive(Debug, Clone, Copy)]
+struct GenEvent {
+    pair: u8,
+    outbound: bool,
+    dropped: bool,
+    gap_steps: u8,
+}
+
+fn gen_event() -> impl Strategy<Value = GenEvent> {
+    (0u8..6, any::<bool>(), any::<bool>(), 1u8..4).prop_map(
+        |(pair, outbound, dropped, gap_steps)| GenEvent { pair, outbound, dropped, gap_steps },
+    )
+}
+
+fn render_trace(events: &[GenEvent], step: Duration) -> Vec<NetEvent> {
+    let mut tb = TraceBuilder::new();
+    let mut t = Instant::ZERO;
+    for e in events {
+        let a = Ipv4Address::new(10, 0, 0, e.pair + 1);
+        let b = Ipv4Address::new(192, 0, 2, e.pair + 1);
+        let (src, dst, in_port) = if e.outbound { (a, b, PortNo(0)) } else { (b, a, PortNo(1)) };
+        let pkt = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            src,
+            dst,
+            4000,
+            443,
+            TcpFlags::ACK,
+            &[],
+        );
+        t += step * u64::from(e.gap_steps);
+        let action = if e.dropped {
+            EgressAction::Drop
+        } else {
+            EgressAction::Output(PortNo(if e.outbound { 1 } else { 0 }))
+        };
+        tb.at(t).arrive_depart(in_port, pkt, action);
+    }
+    tb.build()
+}
+
+/// Run `property` over the whole trace uninterrupted; then again with a
+/// snapshot/byte-roundtrip/restore cut at `cut`; final snapshots must be
+/// byte-identical.
+fn assert_cut_is_invisible(
+    property: &swmon::monitor::Property,
+    cfg: MonitorConfig,
+    trace: &[NetEvent],
+    cut: usize,
+    end: Instant,
+) {
+    let mut reference = Monitor::new(property.clone(), cfg);
+    for ev in trace {
+        reference.process(ev);
+    }
+    reference.advance_to(end);
+
+    let mut first = Monitor::new(property.clone(), cfg);
+    for ev in &trace[..cut] {
+        first.process(ev);
+    }
+    let bytes = first.snapshot().to_bytes();
+    let snap = MonitorSnapshot::from_bytes(&bytes).expect("snapshot encoding round-trips");
+    // Restore carries state, not configuration: the replacement monitor
+    // must be constructed with the crashed one's config.
+    let mut revived = Monitor::new(property.clone(), cfg);
+    revived.restore(&snap).expect("snapshot restores into a same-shaped monitor");
+    for ev in &trace[cut..] {
+        revived.process(ev);
+    }
+    revived.advance_to(end);
+
+    assert_eq!(
+        revived.snapshot().to_bytes(),
+        reference.snapshot().to_bytes(),
+        "cut at {cut}/{} is visible in the final state of {}",
+        trace.len(),
+        property.name
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every catalog property, random traces, a random cut point: the
+    /// interrupted run's final state equals the uninterrupted one's.
+    #[test]
+    fn snapshot_cut_and_replay_is_invisible_across_the_catalog(
+        events in proptest::collection::vec(gen_event(), 1..40),
+        cut_pct in 0usize..=100,
+    ) {
+        let trace = render_trace(&events, Duration::from_micros(50));
+        let cut = cut_pct * trace.len() / 100;
+        let end = trace.last().unwrap().time + Duration::from_secs(120);
+        for property in swmon_props::catalog() {
+            assert_cut_is_invisible(&property, MonitorConfig::default(), &trace, cut, end);
+        }
+    }
+
+    /// Same property under full provenance: violation histories — the
+    /// heaviest part of the snapshot — survive the cut too.
+    #[test]
+    fn full_provenance_snapshots_survive_cuts(
+        events in proptest::collection::vec(gen_event(), 1..30),
+        cut_pct in 0usize..=100,
+    ) {
+        let trace = render_trace(&events, Duration::from_micros(50));
+        let cut = cut_pct * trace.len() / 100;
+        let end = trace.last().unwrap().time + Duration::from_secs(120);
+        let cfg = MonitorConfig { provenance: ProvenanceMode::Full, ..MonitorConfig::default() };
+        let props = [
+            swmon_props::firewall::return_not_dropped(),
+            swmon_props::firewall::return_not_dropped_within(Duration::from_micros(900)),
+        ];
+        for property in &props {
+            assert_cut_is_invisible(property, cfg, &trace, cut, end);
+        }
+    }
+}
+
+/// Deterministic anchor: a cut between an outbound request and its dropped
+/// reply — mid-instance, the exact situation crash recovery faces — is
+/// invisible, including to the violation the reply then completes.
+#[test]
+fn cut_between_request_and_violating_reply() {
+    let events = [
+        GenEvent { pair: 1, outbound: true, dropped: false, gap_steps: 1 },
+        GenEvent { pair: 1, outbound: false, dropped: true, gap_steps: 1 },
+    ];
+    let trace = render_trace(&events, Duration::from_micros(100));
+    let end = trace.last().unwrap().time + Duration::from_secs(1);
+    // Each generated event renders as arrival + departure; cut at 2 places
+    // the boundary after the request, before the reply arrives.
+    assert_cut_is_invisible(
+        &swmon_props::firewall::return_not_dropped(),
+        MonitorConfig::default(),
+        &trace,
+        2,
+        end,
+    );
+}
