@@ -7,9 +7,10 @@
 //! repro table1 e3          # run a subset
 //! repro e13 e14 --json     # also print machine-readable results
 //! repro e14 --json --quick # small event counts (CI smoke)
+//! repro stats --json       # telemetry page over the full catalog
 //! ```
 
-use swmon_bench::experiments::{e10, e11, e12, e13, e14, e15, e3, e4, e5, e6, e7, e8, e9};
+use swmon_bench::experiments::{e10, e11, e12, e13, e14, e15, e3, e4, e5, e6, e7, e8, e9, stats};
 use swmon_bench::lint;
 
 fn section(title: &str) {
@@ -122,6 +123,21 @@ fn main() {
         println!("{}", e15::render(&o));
         if json {
             println!("{}", e15::to_json(&o));
+        }
+    }
+
+    if want("stats") {
+        // The telemetry page over the full catalog, at both reconciliation
+        // regimes: shards=1 (literal identity) and shards=4 (generalized
+        // ledger). See docs/TELEMETRY.md.
+        let (sflows, spackets) = if quick { (16, 1_000) } else { (32, 5_000) };
+        for shards in [1usize, 4] {
+            section(&format!("stats — telemetry page, full catalog, {shards} shard(s)"));
+            let o = stats::run(sflows, spackets, shards);
+            println!("{}", stats::render(&o));
+            if json {
+                println!("{}", stats::to_json(&o));
+            }
         }
     }
 

@@ -14,7 +14,7 @@ use crate::TextTable;
 use std::time::Instant as WallInstant;
 use swmon_core::{MonitorConfig, Property};
 use swmon_props::firewall;
-use swmon_runtime::{reference_records, RuntimeConfig, ShardedRuntime};
+use swmon_runtime::{reference_records, RuntimeConfig, ShardedRuntime, TelemetryConfig};
 use swmon_sim::time::{Duration, Instant};
 use swmon_sim::trace::NetEvent;
 use swmon_workloads::trace::multi_flow_trace;
@@ -30,6 +30,11 @@ pub struct Row {
     pub violations: usize,
     /// True when the merged output matched the reference byte-for-byte.
     pub verified: bool,
+    /// Whether the runtime's telemetry layer was on for this row.
+    pub telemetry: bool,
+    /// Throughput cost of telemetry versus the bare twin at the same shard
+    /// count, percent. Only on the instrumented row the twin was run for.
+    pub overhead_pct: Option<f64>,
 }
 
 /// The experiment outcome.
@@ -76,8 +81,12 @@ pub fn run(flows: u32, packets: u32, shard_counts: &[usize]) -> Outcome {
         events_per_sec: trace.len() as f64 / ref_secs,
         violations: reference.len(),
         verified: true,
+        telemetry: false,
+        overhead_pct: None,
     }];
 
+    // The sweep runs the default configuration — telemetry on — because
+    // that is what the runtime ships with.
     for &shards in shard_counts {
         let rt = ShardedRuntime::new(props.clone(), RuntimeConfig::with_shards(shards))
             .expect("catalog properties are valid");
@@ -89,6 +98,33 @@ pub fn run(flows: u32, packets: u32, shard_counts: &[usize]) -> Outcome {
             events_per_sec: trace.len() as f64 / secs,
             violations: out.records.len(),
             verified: out.signatures() == ref_sigs,
+            telemetry: true,
+            overhead_pct: None,
+        });
+    }
+
+    // One bare twin at the widest sweep point, so the instrumented row
+    // carries the telemetry tax as an overhead percentage.
+    if let Some(&shards) = shard_counts.last() {
+        let cfg = RuntimeConfig {
+            telemetry: TelemetryConfig::off(),
+            ..RuntimeConfig::with_shards(shards)
+        };
+        let rt = ShardedRuntime::new(props.clone(), cfg).expect("catalog properties are valid");
+        let t0 = WallInstant::now();
+        let out = rt.run(&trace, end).expect("fault-free run cannot fail");
+        let secs = t0.elapsed().as_secs_f64();
+        let bare_eps = trace.len() as f64 / secs;
+        if let Some(twin) = rows.iter_mut().rev().find(|r| r.shards == shards && r.telemetry) {
+            twin.overhead_pct = Some((bare_eps - twin.events_per_sec) / bare_eps * 100.0);
+        }
+        rows.push(Row {
+            shards,
+            events_per_sec: bare_eps,
+            violations: out.records.len(),
+            verified: out.signatures() == ref_sigs,
+            telemetry: false,
+            overhead_pct: None,
         });
     }
 
@@ -97,22 +133,31 @@ pub fn run(flows: u32, packets: u32, shard_counts: &[usize]) -> Outcome {
 
 /// Printable report.
 pub fn render(o: &Outcome) -> String {
-    let mut t = TextTable::new(&["configuration", "events/sec", "violations", "matches reference"]);
+    let mut t = TextTable::new(&[
+        "configuration",
+        "events/sec",
+        "violations",
+        "overhead",
+        "matches reference",
+    ]);
     for r in &o.rows {
         let name = if r.shards == 0 {
             "reference (1 thread)".to_string()
-        } else {
+        } else if r.telemetry {
             format!("sharded ({} workers)", r.shards)
+        } else {
+            format!("sharded ({} workers, telemetry off)", r.shards)
         };
         t.row(vec![
             name,
             format!("{:.0}", r.events_per_sec),
             r.violations.to_string(),
+            r.overhead_pct.map(|p| format!("{p:+.1}%")).unwrap_or_else(|| "-".into()),
             if r.verified { "yes".into() } else { "NO".into() },
         ]);
     }
     format!(
-        "{}\n{} events; merged output is differentially verified against the\nsingle-threaded reference at every shard count.",
+        "{}\n{} events; merged output is differentially verified against the\nsingle-threaded reference at every shard count. Sharded rows run with\nthe default (always-on) telemetry; the overhead column compares the\nwidest sweep point against its telemetry-off twin (docs/TELEMETRY.md).",
         t.render(),
         o.events
     )
@@ -125,12 +170,21 @@ pub fn to_json(o: &Outcome) -> String {
         if i > 0 {
             rows.push_str(",\n");
         }
+        let overhead = r.overhead_pct.map(|p| format!("{p:.2}")).unwrap_or_else(|| "null".into());
         rows.push_str(&format!(
-            "    {{\"config\": \"{}\", \"shards\": {}, \"events_per_sec\": {:.0}, \"violations\": {}, \"verified\": {}}}",
-            if r.shards == 0 { "reference" } else { "sharded" },
+            "    {{\"config\": \"{}\", \"shards\": {}, \"events_per_sec\": {:.0}, \"violations\": {}, \"telemetry\": {}, \"overhead_pct\": {}, \"verified\": {}}}",
+            if r.shards == 0 {
+                "reference"
+            } else if r.telemetry {
+                "sharded"
+            } else {
+                "sharded-bare"
+            },
             r.shards,
             r.events_per_sec,
             r.violations,
+            r.telemetry,
+            overhead,
             r.verified
         ));
     }
@@ -147,11 +201,16 @@ mod tests {
     #[test]
     fn every_row_matches_the_reference() {
         let o = run(32, 400, &[1, 2, 4]);
-        assert_eq!(o.rows.len(), 4);
+        // Reference + one per shard count + the bare twin of the last.
+        assert_eq!(o.rows.len(), 5);
         assert!(o.rows.iter().all(|r| r.verified), "{o:?}");
         assert!(o.rows[0].violations > 0, "workload must produce violations");
         let v = o.rows[0].violations;
         assert!(o.rows.iter().all(|r| r.violations == v));
+        let instrumented = o.rows.iter().find(|r| r.shards == 4 && r.telemetry).expect("sweep row");
+        assert!(instrumented.overhead_pct.is_some(), "{instrumented:?}");
+        let bare = o.rows.last().unwrap();
+        assert!(!bare.telemetry && bare.overhead_pct.is_none(), "{bare:?}");
     }
 
     #[test]
@@ -160,8 +219,11 @@ mod tests {
         let txt = render(&o);
         assert!(txt.contains("reference (1 thread)"));
         assert!(txt.contains("sharded (2 workers)"));
+        assert!(txt.contains("sharded (2 workers, telemetry off)"));
         let json = to_json(&o);
         assert!(json.contains("\"shards\": 2"));
+        assert!(json.contains("\"config\": \"sharded-bare\""));
+        assert!(json.contains("\"overhead_pct\""));
         assert!(json.contains("\"experiment\": \"e13-sharded-runtime\""));
     }
 }

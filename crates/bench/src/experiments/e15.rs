@@ -26,7 +26,7 @@ use std::time::Instant as WallInstant;
 use swmon_core::MonitorConfig;
 use swmon_runtime::{
     reference_records, signature, silence_injected_panics, FaultPoint, RuntimeConfig,
-    ShardedRuntime,
+    ShardedRuntime, TelemetryConfig,
 };
 use swmon_sim::time::{Duration, Instant};
 use swmon_sim::trace::NetEvent;
@@ -60,6 +60,9 @@ pub struct Row {
     /// Events neither processed nor explicitly shed — the zero-silent-loss
     /// invariant; must be 0 in every row.
     pub unaccounted: u64,
+    /// Telemetry tax versus the telemetry-off twin, percent. Only on the
+    /// instrumented fault-free row.
+    pub overhead_pct: Option<f64>,
     /// Whether this row's contract held (see module docs: byte-identity
     /// for recovery rows, the accounting contract for the degraded row).
     pub verified: bool,
@@ -139,6 +142,7 @@ fn run_supervised(
         shed: s.shed,
         degraded: s.degraded_violations,
         unaccounted: s.unaccounted_loss(),
+        overhead_pct: None,
         verified,
     }
 }
@@ -168,6 +172,7 @@ pub fn run(flows: u32, packets: u32) -> Outcome {
         shed: 0,
         degraded: 0,
         unaccounted: 0,
+        overhead_pct: None,
         verified: true,
     }];
 
@@ -179,9 +184,24 @@ pub fn run(flows: u32, packets: u32) -> Outcome {
         ..Default::default()
     };
 
+    // Fault-free pair: the telemetry-off twin first, then the default
+    // (instrumented) configuration carrying the overhead percentage — the
+    // telemetry tax measured under the full 21-property catalog.
+    let bare = ShardedRuntime::new(
+        props.clone(),
+        RuntimeConfig { telemetry: TelemetryConfig::off(), ..base_cfg.clone() },
+    )
+    .expect("catalog properties are valid");
+    let bare_row =
+        run_supervised("supervised, fault-free, telemetry off", &bare, &trace, end, &ref_sigs);
+    let bare_eps = bare_row.events_per_sec;
+    rows.push(bare_row);
+
     let clean =
         ShardedRuntime::new(props.clone(), base_cfg.clone()).expect("catalog properties are valid");
-    rows.push(run_supervised("supervised, fault-free", &clean, &trace, end, &ref_sigs));
+    let mut clean_row = run_supervised("supervised, fault-free", &clean, &trace, end, &ref_sigs);
+    clean_row.overhead_pct = Some((bare_eps - clean_row.events_per_sec) / bare_eps * 100.0);
+    rows.push(clean_row);
 
     let crashes = crash_schedule(trace.len(), 5);
     let chaotic = ShardedRuntime::new(
@@ -219,6 +239,7 @@ pub fn render(o: &Outcome) -> String {
         "shed",
         "degraded",
         "unaccounted",
+        "overhead",
         "verified",
     ]);
     for r in &o.rows {
@@ -232,6 +253,7 @@ pub fn render(o: &Outcome) -> String {
             r.shed.to_string(),
             r.degraded.to_string(),
             r.unaccounted.to_string(),
+            r.overhead_pct.map(|p| format!("{p:+.1}%")).unwrap_or_else(|| "-".into()),
             if r.verified { "yes".into() } else { "NO".into() },
         ]);
     }
@@ -258,11 +280,12 @@ pub fn to_json(o: &Outcome) -> String {
         if i > 0 {
             rows.push_str(",\n");
         }
+        let overhead = r.overhead_pct.map(|p| format!("{p:.2}")).unwrap_or_else(|| "null".into());
         rows.push_str(&format!(
             "    {{\"config\": \"{}\", \"shards\": {}, \"events_per_sec\": {:.0}, \
              \"violations\": {}, \"restarts\": {}, \"replayed\": {}, \
              \"recovery_us_mean\": {:.1}, \"shed\": {}, \"degraded\": {}, \
-             \"unaccounted\": {}, \"verified\": {}}}",
+             \"unaccounted\": {}, \"overhead_pct\": {}, \"verified\": {}}}",
             r.label,
             r.shards,
             r.events_per_sec,
@@ -273,6 +296,7 @@ pub fn to_json(o: &Outcome) -> String {
             r.shed,
             r.degraded,
             r.unaccounted,
+            overhead,
             r.verified
         ));
     }
@@ -294,20 +318,35 @@ pub fn to_json(o: &Outcome) -> String {
 mod tests {
     use super::*;
 
+    fn row<'a>(o: &'a Outcome, label_part: &str) -> &'a Row {
+        o.rows
+            .iter()
+            .find(|r| r.label.contains(label_part))
+            .unwrap_or_else(|| panic!("no row labelled *{label_part}*"))
+    }
+
     #[test]
     fn every_row_verifies_at_smoke_scale() {
         let o = run(24, 600);
-        assert_eq!(o.rows.len(), 4);
+        assert_eq!(o.rows.len(), 5);
         for r in &o.rows {
             assert!(r.verified, "{r:?}");
             assert_eq!(r.unaccounted, 0, "{r:?}");
         }
-        let crash_row = &o.rows[2];
+        let crash_row = row(&o, "crashes");
         assert!(crash_row.restarts >= 3, "{crash_row:?}");
         assert!(crash_row.replayed > 0);
-        let degraded_row = &o.rows[3];
+        let degraded_row = row(&o, "degraded");
         assert!(degraded_row.shed > 0, "{degraded_row:?}");
         assert!(degraded_row.degraded > 0, "{degraded_row:?}");
+        // Only the instrumented fault-free row reports the telemetry tax.
+        assert!(row(&o, "telemetry off").overhead_pct.is_none());
+        let instrumented = o
+            .rows
+            .iter()
+            .find(|r| r.label == "supervised, fault-free")
+            .expect("instrumented fault-free row");
+        assert!(instrumented.overhead_pct.is_some(), "{instrumented:?}");
     }
 
     #[test]
@@ -316,9 +355,11 @@ mod tests {
         let txt = render(&o);
         assert!(txt.contains("reference (1 thread)"));
         assert!(txt.contains("crashes"));
+        assert!(txt.contains("telemetry off"));
         let json = to_json(&o);
         assert!(json.contains("\"experiment\": \"e15-fault-tolerance\""));
         assert!(json.contains("\"unaccounted\": 0"));
+        assert!(json.contains("\"overhead_pct\""));
         assert!(json.contains("\"fault_log\""));
     }
 }

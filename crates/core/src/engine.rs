@@ -232,6 +232,9 @@ pub struct Monitor {
     next_uid: u64,
     /// Activity counters.
     pub stats: MonitorStats,
+    /// Optional telemetry sink (see [`crate::telemetry::Recorder`]). Not
+    /// part of monitor state: snapshots ignore it and restore keeps it.
+    recorder: Option<crate::telemetry::SharedRecorder>,
 }
 
 impl Monitor {
@@ -276,7 +279,15 @@ impl Monitor {
             now: Instant::ZERO,
             next_uid: 0,
             stats: MonitorStats::default(),
+            recorder: None,
         }
+    }
+
+    /// Attach (or detach, with `None`) a telemetry recorder. An attached
+    /// recorder survives [`Monitor::restore`] — instrumentation belongs to
+    /// the deployment, not the checkpointed state.
+    pub fn set_recorder(&mut self, recorder: Option<crate::telemetry::SharedRecorder>) {
+        self.recorder = recorder;
     }
 
     /// Convenience: default configuration.
@@ -381,6 +392,22 @@ impl Monitor {
 
     /// Process one event. Events must be fed in nondecreasing time order.
     pub fn process(&mut self, ev: &NetEvent) {
+        if self.recorder.is_none() {
+            // The uninstrumented hot path: one branch, nothing else.
+            self.process_inner(ev);
+            return;
+        }
+        let seq = self.stats.events;
+        let timed = self.recorder.as_ref().is_some_and(|r| r.should_time(seq));
+        let t0 = timed.then(std::time::Instant::now);
+        self.process_inner(ev);
+        let live = self.index.len();
+        if let Some(rec) = self.recorder.as_ref() {
+            rec.event(live, t0.map(|t| t.elapsed().as_nanos() as u64));
+        }
+    }
+
+    fn process_inner(&mut self, ev: &NetEvent) {
         self.advance_to(ev.time);
         if let Some(scope) = self.cfg.scope {
             if ev.switch() != Some(scope) {

@@ -34,6 +34,7 @@ pub mod postcard;
 pub mod property;
 pub mod routing;
 pub mod snapshot;
+pub mod telemetry;
 pub mod var;
 pub mod violation;
 
@@ -51,6 +52,7 @@ pub use postcard::{Postcard, PostcardCollector};
 pub use property::{Property, PropertyError, RefreshPolicy, Stage, StageKind, Unless};
 pub use routing::{PinReason, Route, RouteMode, RoutingPlan, StageKey, StageKeyPlan};
 pub use snapshot::{MonitorSnapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use telemetry::{Recorder, SharedRecorder};
 pub use var::{var, Bindings, Var, VarId, VarTable, MAX_VARS};
 pub use violation::{ProvenanceMode, Violation};
 

@@ -5,6 +5,7 @@
 //! traits the match-action machinery needs (`Ord`, `Hash`, bit operations for
 //! ternary masks) and convert cheaply to/from wire bytes.
 
+use crate::error::ParseError;
 use core::fmt;
 use core::str::FromStr;
 
@@ -23,11 +24,17 @@ impl MacAddr {
         MacAddr([a, b, c, d, e, f])
     }
 
-    /// Read from the first six bytes of `buf`. Caller guarantees length.
-    pub fn from_bytes(buf: &[u8]) -> Self {
-        let mut o = [0u8; 6];
-        o.copy_from_slice(&buf[..6]);
-        MacAddr(o)
+    /// Read from the first six bytes of `buf`, or report how short the
+    /// buffer fell — truncated input is a parse error, never a panic.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, ParseError> {
+        match buf.get(..6) {
+            Some(bytes) => {
+                let mut o = [0u8; 6];
+                o.copy_from_slice(bytes);
+                Ok(MacAddr(o))
+            }
+            None => Err(ParseError::Truncated { proto: "mac-addr", need: 6, have: buf.len() }),
+        }
     }
 
     /// The raw octets.
@@ -122,11 +129,17 @@ impl Ipv4Address {
         Ipv4Address([a, b, c, d])
     }
 
-    /// Read from the first four bytes of `buf`. Caller guarantees length.
-    pub fn from_bytes(buf: &[u8]) -> Self {
-        let mut o = [0u8; 4];
-        o.copy_from_slice(&buf[..4]);
-        Ipv4Address(o)
+    /// Read from the first four bytes of `buf`, or report how short the
+    /// buffer fell — truncated input is a parse error, never a panic.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, ParseError> {
+        match buf.get(..4) {
+            Some(bytes) => {
+                let mut o = [0u8; 4];
+                o.copy_from_slice(bytes);
+                Ok(Ipv4Address(o))
+            }
+            None => Err(ParseError::Truncated { proto: "ipv4-addr", need: 4, have: buf.len() }),
+        }
     }
 
     /// The raw octets.
@@ -255,6 +268,23 @@ mod tests {
         let a = Ipv4Address::new(192, 168, 1, 1);
         assert_eq!(Ipv4Address::from_u32(a.to_u32()), a);
         assert_eq!(a.to_u32(), 0xc0a8_0101);
+    }
+
+    #[test]
+    fn from_bytes_rejects_short_buffers() {
+        assert_eq!(
+            MacAddr::from_bytes(&[1, 2, 3, 4, 5, 6, 7]).unwrap(),
+            MacAddr::new(1, 2, 3, 4, 5, 6)
+        );
+        assert_eq!(
+            MacAddr::from_bytes(&[1, 2, 3]),
+            Err(ParseError::Truncated { proto: "mac-addr", need: 6, have: 3 })
+        );
+        assert_eq!(Ipv4Address::from_bytes(&[10, 0, 0, 1]).unwrap(), Ipv4Address::new(10, 0, 0, 1));
+        assert_eq!(
+            Ipv4Address::from_bytes(&[]),
+            Err(ParseError::Truncated { proto: "ipv4-addr", need: 4, have: 0 })
+        );
     }
 
     #[test]

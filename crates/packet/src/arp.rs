@@ -101,10 +101,10 @@ impl ArpPacket {
         let op = ArpOp::from_u16(u16::from_be_bytes([buf[6], buf[7]]))?;
         Ok(ArpPacket {
             op,
-            sender_mac: MacAddr::from_bytes(&buf[8..14]),
-            sender_ip: Ipv4Address::from_bytes(&buf[14..18]),
-            target_mac: MacAddr::from_bytes(&buf[18..24]),
-            target_ip: Ipv4Address::from_bytes(&buf[24..28]),
+            sender_mac: MacAddr::from_bytes(&buf[8..14])?,
+            sender_ip: Ipv4Address::from_bytes(&buf[14..18])?,
+            target_mac: MacAddr::from_bytes(&buf[18..24])?,
+            target_ip: Ipv4Address::from_bytes(&buf[24..28])?,
         })
     }
 

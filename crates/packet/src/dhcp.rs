@@ -203,9 +203,9 @@ impl DhcpMessage {
             return Err(ParseError::BadField { proto: "dhcp", field: "magic-cookie" });
         }
         let xid = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
-        let ciaddr = Ipv4Address::from_bytes(&buf[12..16]);
-        let yiaddr = Ipv4Address::from_bytes(&buf[16..20]);
-        let chaddr = MacAddr::from_bytes(&buf[28..34]);
+        let ciaddr = Ipv4Address::from_bytes(&buf[12..16])?;
+        let yiaddr = Ipv4Address::from_bytes(&buf[16..20])?;
+        let chaddr = MacAddr::from_bytes(&buf[28..34])?;
 
         let mut msg_type = None;
         let mut requested_ip = None;
@@ -238,12 +238,12 @@ impl DhcpMessage {
                     let body = &opts[2..2 + len];
                     match (code, len) {
                         (53, 1) => msg_type = Some(DhcpMsgType::from_u8(body[0])?),
-                        (50, 4) => requested_ip = Some(Ipv4Address::from_bytes(body)),
+                        (50, 4) => requested_ip = Some(Ipv4Address::from_bytes(body)?),
                         (51, 4) => {
                             lease_secs =
                                 Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]))
                         }
-                        (54, 4) => server_id = Some(Ipv4Address::from_bytes(body)),
+                        (54, 4) => server_id = Some(Ipv4Address::from_bytes(body)?),
                         _ => {} // unknown options are skipped
                     }
                     opts = &opts[2 + len..];

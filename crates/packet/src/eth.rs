@@ -66,8 +66,8 @@ impl EthernetFrame {
         check_len("ethernet", buf, HEADER_LEN)?;
         Ok((
             EthernetFrame {
-                dst: MacAddr::from_bytes(&buf[0..6]),
-                src: MacAddr::from_bytes(&buf[6..12]),
+                dst: MacAddr::from_bytes(&buf[0..6])?,
+                src: MacAddr::from_bytes(&buf[6..12])?,
                 ethertype: EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]])),
             },
             &buf[HEADER_LEN..],

@@ -115,8 +115,8 @@ impl Ipv4Header {
             dont_frag: flags_frag & 0x4000 != 0,
             ttl: buf[8],
             proto: IpProto::from_u8(buf[9]),
-            src: Ipv4Address::from_bytes(&buf[12..16]),
-            dst: Ipv4Address::from_bytes(&buf[16..20]),
+            src: Ipv4Address::from_bytes(&buf[12..16])?,
+            dst: Ipv4Address::from_bytes(&buf[16..20])?,
         };
         Ok((header, &buf[ihl..total_len]))
     }

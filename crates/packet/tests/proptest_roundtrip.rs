@@ -151,4 +151,80 @@ proptest! {
             Ok((parsed, _)) => prop_assert_ne!(parsed, hdr, "corruption silently ignored"),
         }
     }
+
+    /// Every strict prefix of a valid frame/packet/message is an `Err` from
+    /// each header parser — never a panic, never a bogus `Ok`.
+    #[test]
+    fn truncated_headers_error_instead_of_panicking(
+        sm in mac(), dm in mac(), si in ipv4(), di in ipv4(),
+        xid in any::<u32>(), cut in 0usize..400) {
+        let mut eth = Vec::new();
+        EthernetFrame { dst: dm, src: sm, ethertype: EtherType::Ipv4 }.emit(&mut eth);
+        if cut < eth.len() {
+            prop_assert!(EthernetFrame::parse(&eth[..cut]).is_err());
+        }
+
+        let mut arp = Vec::new();
+        ArpPacket { op: ArpOp::Request, sender_mac: sm, sender_ip: si,
+                    target_mac: dm, target_ip: di }.emit(&mut arp);
+        if cut < arp.len() {
+            prop_assert!(ArpPacket::parse(&arp[..cut]).is_err());
+        }
+
+        let mut ip = Vec::new();
+        Ipv4Header::new(si, di, swmon_packet::IpProto::Udp).emit(0, &mut ip);
+        if cut < ip.len() {
+            prop_assert!(Ipv4Header::parse(&ip[..cut]).is_err());
+        }
+
+        let mut dhcp = Vec::new();
+        DhcpMessage::discover(xid, sm).emit(&mut dhcp);
+        if cut < dhcp.len() {
+            prop_assert!(DhcpMessage::parse(&dhcp[..cut]).is_err());
+        }
+    }
+
+    /// The address readers themselves are total over arbitrary buffers:
+    /// short input is a `ParseError::Truncated`, never a slice panic.
+    #[test]
+    fn address_from_bytes_is_total(buf in proptest::collection::vec(any::<u8>(), 0..16)) {
+        match MacAddr::from_bytes(&buf) {
+            Ok(m) => prop_assert_eq!(m.octets(), [buf[0], buf[1], buf[2], buf[3], buf[4], buf[5]]),
+            Err(_) => prop_assert!(buf.len() < 6),
+        }
+        match Ipv4Address::from_bytes(&buf) {
+            Ok(a) => prop_assert_eq!(a.octets(), [buf[0], buf[1], buf[2], buf[3]]),
+            Err(_) => prop_assert!(buf.len() < 4),
+        }
+    }
+
+    /// DHCP options whose declared length overruns the buffer are an error,
+    /// whatever the declared code/length bytes say.
+    #[test]
+    fn dhcp_option_truncation_is_an_error(
+        xid in any::<u32>(), chaddr in mac(), code in 1u8..255, declared in 1u8..255) {
+        let mut buf = Vec::new();
+        DhcpMessage::discover(xid, chaddr).emit(&mut buf);
+        // Drop the end-of-options marker, then append an option header whose
+        // declared body extends past the end of the message.
+        while buf.last() == Some(&255) {
+            buf.pop();
+        }
+        buf.push(code);
+        buf.push(declared);
+        // No body bytes follow: the declared length always overruns.
+        prop_assert!(DhcpMessage::parse(&buf).is_err());
+    }
+
+    /// Malformed FTP PORT/PASV argument lines are rejected, not panicked on.
+    #[test]
+    fn ftp_malformed_port_lines_error(parts in proptest::collection::vec(any::<u16>(), 0..5)) {
+        // Fewer than the six required comma-separated fields.
+        let short: Vec<String> = parts.iter().map(u16::to_string).collect();
+        let line = format!("PORT {}\r\n", short.join(","));
+        prop_assert!(FtpControl::parse_line(&line).is_err() || parts.len() == 6);
+        // Out-of-range octets in an otherwise well-shaped line.
+        let line = "PORT 300,1,2,3,4,5\r\n";
+        prop_assert!(FtpControl::parse_line(line).is_err());
+    }
 }

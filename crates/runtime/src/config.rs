@@ -16,6 +16,50 @@ pub struct FaultPoint {
     pub seq: u64,
 }
 
+/// Observability knobs (see `docs/TELEMETRY.md`). The counter layer —
+/// router and shard ledgers — is unconditional: it is the same arithmetic
+/// the runtime already does for [`crate::RuntimeStats`], now on shared
+/// atomics so a live snapshot can be taken mid-run.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Attach per-property engine probes (event counts, occupancy, sampled
+    /// stage timing) to every monitor replica.
+    pub engine: bool,
+    /// Wall-time every N-th event per monitor (`0` disables timing while
+    /// keeping the counters). Sampling is what keeps instrumented
+    /// throughput within the 3% overhead budget.
+    pub stage_sample_every: u64,
+    /// Span-trace every N-th input sequence number through the runtime's
+    /// stages (`0` — the default — disables tracing entirely).
+    pub trace_every: u64,
+    /// Sampling offset: sequence `s` is traced iff
+    /// `(s + trace_seed) % trace_every == 0`. Deterministic, so traces of
+    /// two runs over the same input are comparable.
+    pub trace_seed: u64,
+    /// Maximum retained span records.
+    pub trace_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            engine: true,
+            stage_sample_every: 64,
+            trace_every: 0,
+            trace_seed: 0,
+            trace_capacity: 512,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything off that can be off — the bare-throughput configuration
+    /// the overhead benchmarks compare against.
+    pub fn off() -> Self {
+        TelemetryConfig { engine: false, stage_sample_every: 0, ..Self::default() }
+    }
+}
+
 /// Tuning knobs for the sharded runtime.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -52,6 +96,8 @@ pub struct RuntimeConfig {
     /// Deterministic worker-crash schedule, for chaos testing. Empty in
     /// production use.
     pub inject_faults: Vec<FaultPoint>,
+    /// Observability configuration (see [`TelemetryConfig`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -65,6 +111,7 @@ impl Default for RuntimeConfig {
             journal_limit: 0,
             max_restarts: 8,
             inject_faults: Vec::new(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -93,6 +140,7 @@ impl RuntimeConfig {
             },
             max_restarts: self.max_restarts,
             inject_faults: self.inject_faults.clone(),
+            telemetry: self.telemetry.clone(),
         }
     }
 }

@@ -43,9 +43,10 @@ pub mod router;
 pub mod shardkey;
 pub mod stats;
 pub mod supervisor;
+pub mod telemetry;
 pub mod worker;
 
-pub use config::{FaultPoint, RuntimeConfig};
+pub use config::{FaultPoint, RuntimeConfig, TelemetryConfig};
 pub use merge::{signature, ViolationRecord};
 pub use router::{Router, MAX_PROPERTIES};
 pub use shardkey::PropertyRoute;
@@ -53,15 +54,18 @@ pub use stats::{MonitoringGap, RuntimeStats, ShardStats};
 pub use supervisor::{
     silence_injected_panics, ShardFailure, ShardOutcome, ShardSpec, INJECTED_PANIC_PREFIX,
 };
+pub use telemetry::{ShardProbe, TelemetryHub};
 
 use std::fmt;
 use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use batch::{Batcher, Item, Msg};
 use swmon_core::{Monitor, Property, PropertyError, Violation};
 use swmon_sim::time::Instant;
 use swmon_sim::trace::NetEvent;
+use swmon_telemetry::SpanStage;
 
 /// Construction-time and run-time runtime failures.
 #[derive(Debug)]
@@ -90,6 +94,9 @@ pub enum RuntimeError {
     WorkerLost {
         /// The affected shard.
         shard: usize,
+        /// The supervisor thread's panic message, when one could be
+        /// recovered from the join.
+        message: String,
     },
 }
 
@@ -105,8 +112,11 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ShardFailed { shard, restarts, message } => {
                 write!(f, "shard {shard} failed after {restarts} restart(s): {message}")
             }
-            RuntimeError::WorkerLost { shard } => {
-                write!(f, "shard {shard}'s worker thread was lost without a failure report")
+            RuntimeError::WorkerLost { shard, message } => {
+                write!(
+                    f,
+                    "shard {shard}'s worker thread was lost without a failure report: {message}"
+                )
             }
         }
     }
@@ -127,6 +137,9 @@ pub struct Outcome {
     pub records: Vec<ViolationRecord>,
     /// Activity counters.
     pub stats: RuntimeStats,
+    /// The run's telemetry hub, for metric-page export
+    /// ([`TelemetryHub::export`]) after the run.
+    pub telemetry: Arc<TelemetryHub>,
 }
 
 impl Outcome {
@@ -183,6 +196,10 @@ impl ShardedRuntime {
     /// Spawn the supervised workers and return a streaming session.
     pub fn start(&self) -> Session<'_> {
         let shards = self.cfg.shards;
+        let hashed = self.router.routes().iter().filter(|r| r.is_hashed()).count();
+        let pinned = self.router.routes().iter().filter(|r| !r.is_hashed()).count();
+        let names: Vec<&str> = self.props.iter().map(|p| p.name.as_str()).collect();
+        let hub = TelemetryHub::new(shards, &names, &self.cfg.telemetry, hashed, pinned);
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for s in 0..shards {
@@ -200,14 +217,23 @@ impl ShardedRuntime {
             let mut inject: Vec<u64> =
                 self.cfg.inject_faults.iter().filter(|f| f.shard == s).map(|f| f.seq).collect();
             inject.sort_unstable();
-            let spec = ShardSpec { shard: s, props, lut, cfg: self.cfg.clone(), inject };
+            let spec = ShardSpec {
+                shard: s,
+                props,
+                lut,
+                cfg: self.cfg.clone(),
+                inject,
+                probe: hub.shard(s).clone(),
+                engines: hub.engines().to_vec(),
+                tracer: hub.tracer().clone(),
+            };
             senders.push(tx);
             handles.push(Some(std::thread::spawn(move || supervisor::run(rx, spec))));
         }
         let stats = RuntimeStats {
             per_shard: vec![ShardStats::default(); shards],
-            hashed_properties: self.router.routes().iter().filter(|r| r.is_hashed()).count(),
-            pinned_properties: self.router.routes().iter().filter(|r| !r.is_hashed()).count(),
+            hashed_properties: hashed,
+            pinned_properties: pinned,
             ..Default::default()
         };
         Session {
@@ -218,6 +244,7 @@ impl ShardedRuntime {
             masks: vec![0u64; shards],
             seq: 0,
             stats,
+            hub,
         }
     }
 
@@ -251,9 +278,24 @@ pub struct Session<'rt> {
     masks: Vec<u64>,
     seq: u64,
     stats: RuntimeStats,
+    hub: Arc<TelemetryHub>,
 }
 
 impl Session<'_> {
+    /// The run's live telemetry hub. Cheap to clone out; stays valid (and
+    /// live — shard threads keep writing) for the whole session.
+    pub fn telemetry(&self) -> &Arc<TelemetryHub> {
+        &self.hub
+    }
+
+    /// A consistent *live* snapshot of the run's statistics, mid-stream:
+    /// `unaccounted_loss() == 0` holds on every snapshot, and every counter
+    /// is monotone towards the final [`Outcome::stats`] (see
+    /// [`telemetry`] module docs for the construction).
+    pub fn live_stats(&self) -> RuntimeStats {
+        self.hub.live_stats()
+    }
+
     /// Route one event. Blocks if a destination shard's queue is full
     /// (backpressure — never drops). Fails only if a shard's supervisor
     /// has already escalated a terminal failure.
@@ -261,7 +303,9 @@ impl Session<'_> {
         let seq = self.seq;
         self.seq += 1;
         self.stats.events_in += 1;
+        self.hub.events_in.inc();
         self.rt.router.masks(ev, &mut self.masks);
+        self.hub.tracer().record(seq, SpanStage::Routed, None);
         let mut delivered = false;
         for s in 0..self.masks.len() {
             let mask = self.masks[s];
@@ -270,9 +314,12 @@ impl Session<'_> {
             }
             delivered = true;
             self.stats.deliveries += 1;
+            self.hub.deliveries.inc();
             self.stats.per_shard[s].events += 1;
+            self.hub.tracer().record(seq, SpanStage::Enqueued, Some(s));
             if let Some(full) = self.batcher.push(s, Item { seq, mask, ev: ev.clone() }) {
                 self.stats.batches += 1;
+                self.hub.batches.inc();
                 if self.senders[s].send(Msg::Events(full)).is_err() {
                     return Err(self.shard_error(s));
                 }
@@ -280,6 +327,7 @@ impl Session<'_> {
         }
         if !delivered {
             self.stats.skipped += 1;
+            self.hub.skipped.inc();
         }
         Ok(())
     }
@@ -293,6 +341,7 @@ impl Session<'_> {
             let tail = self.batcher.flush(s);
             if !tail.is_empty() {
                 self.stats.batches += 1;
+                self.hub.batches.inc();
                 if tx.send(Msg::Events(tail)).is_err() {
                     return Err(self.shard_error(s));
                 }
@@ -307,7 +356,10 @@ impl Session<'_> {
         for (s, slot) in self.handles.iter_mut().enumerate() {
             let Some(handle) = slot.take() else { continue };
             match handle.join() {
-                Err(_) => failure.get_or_insert(RuntimeError::WorkerLost { shard: s }),
+                Err(payload) => failure.get_or_insert(RuntimeError::WorkerLost {
+                    shard: s,
+                    message: supervisor::panic_message(payload.as_ref()),
+                }),
                 Ok(Err(f)) => failure.get_or_insert(f.into()),
                 Ok(Ok(o)) => {
                     self.stats.absorb_shard(s, &o);
@@ -320,7 +372,7 @@ impl Session<'_> {
             return Err(err);
         }
         let stats = std::mem::take(&mut self.stats);
-        Ok(Outcome { records: merge::merge(records), stats })
+        Ok(Outcome { records: merge::merge(records), stats, telemetry: self.hub.clone() })
     }
 
     /// Diagnose a dead shard: join its handle and surface the supervised
@@ -328,7 +380,14 @@ impl Session<'_> {
     fn shard_error(&mut self, s: usize) -> RuntimeError {
         match self.handles[s].take().map(JoinHandle::join) {
             Some(Ok(Err(f))) => f.into(),
-            _ => RuntimeError::WorkerLost { shard: s },
+            Some(Err(payload)) => RuntimeError::WorkerLost {
+                shard: s,
+                message: supervisor::panic_message(payload.as_ref()),
+            },
+            _ => RuntimeError::WorkerLost {
+                shard: s,
+                message: "worker exited without reporting".to_string(),
+            },
         }
     }
 }

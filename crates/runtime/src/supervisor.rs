@@ -22,14 +22,16 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::Receiver;
-use std::sync::Once;
+use std::sync::{Arc, Once};
 
 use crate::batch::{Item, Msg};
 use crate::config::RuntimeConfig;
 use crate::stats::MonitoringGap;
+use crate::telemetry::ShardProbe;
 use crate::worker::{WorkerReport, WorkerState};
-use swmon_core::{Monitor, MonitorSnapshot, Property};
+use swmon_core::{Monitor, MonitorSnapshot, Property, SharedRecorder};
 use swmon_sim::time::Instant;
+use swmon_telemetry::{EngineProbe, SpanStage, SpanTracer};
 
 /// Message prefix of panics raised by deterministic fault injection.
 /// [`silence_injected_panics`] recognises it; anything else is a genuine
@@ -75,6 +77,14 @@ pub struct ShardSpec {
     /// supervisor-side *before* the panic is raised, so replay after
     /// recovery does not re-trigger the fault.
     pub inject: Vec<u64>,
+    /// This shard's telemetry probe (shared with the hub).
+    pub probe: Arc<ShardProbe>,
+    /// Per-property engine probes, indexed by **global** property index.
+    /// Attached to every replica when [`crate::TelemetryConfig::engine`]
+    /// is on, and re-attached after recovery.
+    pub engines: Vec<Arc<EngineProbe>>,
+    /// The run's span tracer (disabled unless configured).
+    pub tracer: Arc<SpanTracer>,
 }
 
 /// Terminal shard failure: the restart budget
@@ -184,15 +194,21 @@ struct Supervisor {
     replayed: u64,
     degraded_violations: u64,
     recovery_nanos: u64,
+    probe: Arc<ShardProbe>,
+    engines: Vec<Arc<EngineProbe>>,
+    tracer: Arc<SpanTracer>,
 }
 
 impl Supervisor {
     fn new(spec: ShardSpec) -> Self {
-        let monitors: Vec<(usize, Monitor)> = spec
+        let mut monitors: Vec<(usize, Monitor)> = spec
             .props
             .iter()
             .map(|(g, p)| (*g, Monitor::new(p.clone(), spec.cfg.monitor)))
             .collect();
+        if spec.cfg.telemetry.engine {
+            attach_probes(&mut monitors, &spec.engines);
+        }
         let snapshots = monitors.iter().map(|(_, m)| m.snapshot()).collect();
         let state = WorkerState::new(monitors, spec.lut);
         Supervisor {
@@ -216,16 +232,24 @@ impl Supervisor {
             replayed: 0,
             degraded_violations: 0,
             recovery_nanos: 0,
+            probe: spec.probe,
+            engines: spec.engines,
+            tracer: spec.tracer,
         }
     }
 
     /// Append a batch to the journal, shedding (and accounting) whatever
     /// exceeds the bound.
     fn admit(&mut self, items: Vec<Item>) {
+        self.probe.queue_depth.record(self.journal.len() as u64);
+        let mut delivered = 0u64;
+        let mut shed = 0u64;
         for item in items {
             self.delivered += 1;
+            delivered += 1;
             if self.journal.len() >= self.cfg.journal_limit {
                 self.shed += 1;
+                shed += 1;
                 self.in_gap = true;
                 let gap = self.open_gap.get_or_insert(MonitoringGap {
                     shard: self.shard,
@@ -236,8 +260,13 @@ impl Supervisor {
                 gap.last_seq = item.seq;
                 gap.shed += 1;
             } else {
+                self.tracer.record(item.seq, SpanStage::Admitted, Some(self.shard));
                 self.journal.push(item);
             }
+        }
+        self.probe.delivered.add(delivered);
+        if shed > 0 {
+            self.probe.shed.add(shed);
         }
     }
 
@@ -269,18 +298,33 @@ impl Supervisor {
                 panic!("{INJECTED_PANIC_PREFIX}: shard {} at seq {}", self.shard, seq);
             }
             let item = self.journal[i].clone();
-            self.degraded_violations += self.state.apply(&item, self.in_gap);
+            let degraded = self.state.apply(&item, self.in_gap);
+            self.degraded_violations += degraded;
+            if degraded > 0 {
+                self.probe.degraded_violations.add(degraded);
+            }
             self.journal_pos = i + 1;
             if i >= self.high_water {
                 self.high_water = i + 1;
                 self.processed += 1;
+                self.probe.processed.inc();
             } else {
                 self.replayed += 1;
+                self.probe.replayed.inc();
             }
+            self.tracer.record(seq, SpanStage::Applied, Some(self.shard));
         }
         if let Some(end) = finish_at {
-            self.degraded_violations += self.state.finish(end, self.in_gap);
+            let degraded = self.state.finish(end, self.in_gap);
+            self.degraded_violations += degraded;
+            if degraded > 0 {
+                self.probe.degraded_violations.add(degraded);
+            }
         }
+        self.probe.violations.set(self.state.records.len() as u64);
+        self.probe
+            .live_instances
+            .set(self.state.monitors.iter().map(|(_, m)| m.live_instances() as u64).sum());
     }
 
     /// Rebuild the crash domain from the last checkpoint and rewind the
@@ -301,11 +345,18 @@ impl Supervisor {
         for ((_, m), snap) in monitors.iter_mut().zip(&self.checkpoint.snapshots) {
             m.restore(snap).map_err(|e| fail(self.restarts, format!("restore failed: {e}")))?;
         }
+        if self.cfg.telemetry.engine {
+            attach_probes(&mut monitors, &self.engines);
+        }
         self.state.monitors = monitors;
         self.state.records.truncate(self.checkpoint.records_len);
         self.state.events = self.checkpoint.events;
         self.journal_pos = 0;
-        self.recovery_nanos += t0.elapsed().as_nanos() as u64;
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.recovery_nanos += nanos;
+        self.probe.restarts.inc();
+        self.probe.recovery_nanos.add(nanos);
+        self.probe.recovery.record(nanos);
         Ok(())
     }
 
@@ -330,6 +381,7 @@ impl Supervisor {
         self.journal_pos = 0;
         self.high_water = 0;
         self.checkpoints += 1;
+        self.probe.checkpoints.inc();
         if let Some(gap) = self.open_gap.take() {
             self.gaps.push(gap);
         }
@@ -355,7 +407,18 @@ impl Supervisor {
     }
 }
 
-fn panic_message(payload: &(dyn Any + Send)) -> String {
+/// Attach each replica's per-property engine probe (`engines` is indexed
+/// by global property index).
+fn attach_probes(monitors: &mut [(usize, Monitor)], engines: &[Arc<EngineProbe>]) {
+    for (g, m) in monitors {
+        if let Some(probe) = engines.get(*g) {
+            let rec: SharedRecorder = probe.clone();
+            m.set_recorder(Some(rec));
+        }
+    }
+}
+
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
     payload
         .downcast_ref::<String>()
         .cloned()
@@ -410,12 +473,17 @@ mod tests {
     }
 
     fn spec(cfg: RuntimeConfig, inject: Vec<u64>) -> ShardSpec {
+        let cfg = cfg.normalized();
+        let hub = crate::telemetry::TelemetryHub::new(1, &["twice"], &cfg.telemetry, 0, 1);
         ShardSpec {
             shard: 0,
             props: vec![(0, repeat_prop())],
             lut: vec![Some(0)],
-            cfg: cfg.normalized(),
+            cfg,
             inject,
+            probe: hub.shard(0).clone(),
+            engines: hub.engines().to_vec(),
+            tracer: hub.tracer().clone(),
         }
     }
 

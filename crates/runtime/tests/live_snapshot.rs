@@ -1,0 +1,128 @@
+//! Live-snapshot consistency: a [`Session::live_stats`] taken at any
+//! moment of a run must (a) satisfy the no-silent-loss audit
+//! (`unaccounted_loss() == 0`) and (b) be component-wise monotone towards
+//! the final [`Outcome::stats`] — a dashboard polling a live run must never
+//! show a number the finished run walks back.
+
+use proptest::prelude::*;
+use swmon_props::firewall;
+use swmon_runtime::{RuntimeConfig, RuntimeStats, ShardedRuntime};
+use swmon_sim::time::{Duration, Instant};
+use swmon_workloads::trace::multi_flow_trace;
+
+fn runtime(shards: usize) -> ShardedRuntime {
+    let props = vec![
+        firewall::return_not_dropped(),
+        firewall::return_not_dropped_within(Duration::from_millis(5)),
+    ];
+    let cfg =
+        RuntimeConfig { shards, batch: 4, queue: 8, checkpoint_every: 64, ..Default::default() };
+    ShardedRuntime::new(props, cfg).expect("valid properties")
+}
+
+/// `a` must be component-wise ≤ `b` on every monotone counter.
+fn assert_monotone(a: &RuntimeStats, b: &RuntimeStats, when: &str) {
+    let pairs = [
+        (a.events_in, b.events_in, "events_in"),
+        (a.deliveries, b.deliveries, "deliveries"),
+        (a.skipped, b.skipped, "skipped"),
+        (a.batches, b.batches, "batches"),
+        (a.restarts, b.restarts, "restarts"),
+        (a.checkpoints, b.checkpoints, "checkpoints"),
+        (a.replayed, b.replayed, "replayed"),
+        (a.shed, b.shed, "shed"),
+        (a.degraded_violations, b.degraded_violations, "degraded_violations"),
+        (a.recovery_nanos, b.recovery_nanos, "recovery_nanos"),
+    ];
+    for (x, y, name) in pairs {
+        assert!(x <= y, "{when}: {name} regressed: live {x} > final {y}");
+    }
+    assert_eq!(a.per_shard.len(), b.per_shard.len());
+    for (s, (live, fin)) in a.per_shard.iter().zip(&b.per_shard).enumerate() {
+        assert!(live.events <= fin.events, "{when}: shard {s} events");
+        assert!(live.processed <= fin.processed, "{when}: shard {s} processed");
+        assert!(live.shed <= fin.shed, "{when}: shard {s} shed");
+        assert!(live.violations <= fin.violations, "{when}: shard {s} violations");
+        assert!(live.restarts <= fin.restarts, "{when}: shard {s} restarts");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn live_snapshots_reconcile_and_stay_monotone(
+        shards in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        packets in 200u32..800,
+        seed in 0u64..1_000,
+    ) {
+        let rt = runtime(shards);
+        let events = multi_flow_trace(32, packets, 0.4, 0.25, Duration::from_micros(2), seed);
+        let mut session = rt.start();
+        let mut snapshots = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            session.feed(ev).expect("no faults injected");
+            // Sample mid-run at irregular points, including early and late.
+            if i % 97 == 0 || i + 1 == events.len() / 2 {
+                snapshots.push(session.live_stats());
+            }
+        }
+        snapshots.push(session.live_stats());
+        let out = session.finish(Instant::from_nanos(u64::MAX / 2)).expect("run succeeds");
+
+        prop_assert_eq!(out.stats.unaccounted_loss(), 0);
+        for (i, snap) in snapshots.iter().enumerate() {
+            prop_assert_eq!(snap.unaccounted_loss(), 0, "snapshot {} leaks", i);
+            assert_monotone(snap, &out.stats, &format!("snapshot {i}"));
+        }
+        // Snapshots are monotone among themselves too (they were taken in
+        // program order).
+        for w in snapshots.windows(2) {
+            assert_monotone(&w[0], &w[1], "successive snapshots");
+        }
+        // The final live view agrees with the final stats on the router
+        // ledger, which the session thread owns (no cross-thread lag).
+        let last = session_final(&snapshots);
+        prop_assert_eq!(last.events_in, out.stats.events_in);
+        prop_assert_eq!(last.deliveries, out.stats.deliveries);
+        prop_assert_eq!(last.skipped, out.stats.skipped);
+    }
+}
+
+fn session_final(snapshots: &[RuntimeStats]) -> &RuntimeStats {
+    snapshots.last().expect("at least one snapshot")
+}
+
+#[test]
+fn live_stats_track_recoveries_under_injected_faults() {
+    swmon_runtime::silence_injected_panics();
+    let props = vec![firewall::return_not_dropped()];
+    let cfg = RuntimeConfig {
+        shards: 2,
+        batch: 2,
+        queue: 8,
+        checkpoint_every: 32,
+        // Routing decides which shard sees which seq, so spray a few
+        // injection points per shard; unreachable ones are skipped.
+        inject_faults: vec![
+            swmon_runtime::FaultPoint { shard: 0, seq: 40 },
+            swmon_runtime::FaultPoint { shard: 0, seq: 41 },
+            swmon_runtime::FaultPoint { shard: 1, seq: 90 },
+            swmon_runtime::FaultPoint { shard: 1, seq: 91 },
+        ],
+        ..Default::default()
+    };
+    let rt = ShardedRuntime::new(props, cfg).expect("valid");
+    let events = multi_flow_trace(16, 400, 0.4, 0.25, Duration::from_micros(2), 5);
+    let mut session = rt.start();
+    for ev in &events {
+        session.feed(ev).expect("recoverable faults only");
+    }
+    // Every mid-run view reconciles even while shards crash and replay.
+    let mid = session.live_stats();
+    assert_eq!(mid.unaccounted_loss(), 0);
+    let out = session.finish(Instant::from_nanos(u64::MAX / 2)).expect("recovers");
+    assert!(out.stats.restarts >= 1, "at least one injected fault fired");
+    assert_monotone(&mid, &out.stats, "mid-run under faults");
+    assert_eq!(out.stats.unaccounted_loss(), 0);
+}

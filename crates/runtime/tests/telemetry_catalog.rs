@@ -1,0 +1,136 @@
+//! The exported metric page is *exactly* the documented catalog
+//! ([`swmon_telemetry::names::ALL`]), and its counters reconcile with the
+//! run's final statistics. The CI `telemetry-overhead` job runs this test;
+//! adding a metric to an exporter without cataloguing it (or vice versa)
+//! fails here before it can drift from `docs/TELEMETRY.md`.
+
+use swmon_props::firewall;
+use swmon_runtime::{RuntimeConfig, ShardedRuntime, TelemetryConfig};
+use swmon_sim::time::{Duration, Instant};
+use swmon_telemetry::names;
+use swmon_workloads::trace::multi_flow_trace;
+
+fn run_instrumented(telemetry: TelemetryConfig) -> (swmon_runtime::Outcome, usize) {
+    let props = vec![
+        firewall::return_not_dropped(),
+        firewall::return_not_dropped_within(Duration::from_millis(5)),
+    ];
+    let nprops = props.len();
+    let cfg = RuntimeConfig { shards: 2, batch: 8, telemetry, ..Default::default() };
+    let rt = ShardedRuntime::new(props, cfg).expect("valid properties");
+    let events = multi_flow_trace(24, 600, 0.4, 0.25, Duration::from_micros(2), 11);
+    let out = rt.run(events.iter(), Instant::from_nanos(u64::MAX / 2)).expect("run succeeds");
+    (out, nprops)
+}
+
+#[test]
+fn export_covers_exactly_the_documented_catalog() {
+    let (out, _) = run_instrumented(TelemetryConfig::default());
+    let page = out.telemetry.export();
+    let mut exported = page.names();
+    exported.sort_unstable();
+    let mut catalog: Vec<&str> = names::ALL.to_vec();
+    catalog.sort_unstable();
+    assert_eq!(exported, catalog, "exported page and documented catalog diverged");
+}
+
+#[test]
+fn exported_counters_reconcile_with_final_stats() {
+    let (out, nprops) = run_instrumented(TelemetryConfig::default());
+    let page = out.telemetry.export();
+    let counter = |name: &str| page.counter(name).unwrap_or_else(|| panic!("{name} missing"));
+
+    assert_eq!(counter(names::EVENTS_IN), out.stats.events_in);
+    assert_eq!(counter(names::DELIVERIES), out.stats.deliveries);
+    assert_eq!(counter(names::SKIPPED), out.stats.skipped);
+    assert_eq!(counter(names::BATCHES), out.stats.batches);
+    // The router-side ledger: every non-skipped event went to ≥1 shard.
+    assert!(counter(names::DELIVERIES) >= counter(names::EVENTS_IN) - counter(names::SKIPPED));
+    // The shard-side ledger: every delivery processed or shed, no loss.
+    assert_eq!(
+        counter(names::SHARD_DELIVERED),
+        counter(names::SHARD_PROCESSED) + counter(names::SHARD_SHED)
+    );
+    assert_eq!(counter(names::SHARD_DELIVERED), out.stats.deliveries);
+    assert_eq!(
+        counter(names::SHARD_VIOLATIONS),
+        out.stats.per_shard.iter().map(|s| s.violations).sum::<u64>()
+    );
+    // Engine probes saw every monitor application (per-property fan-out).
+    // Equality holds because this run is fault-free: with recoveries the
+    // probes also count replays, which the restored MonitorStats do not.
+    assert_eq!(counter(names::PROPERTY_EVENTS), out.stats.engine.events);
+    // Per-property series carry one sample per property.
+    let props_series =
+        page.counters.iter().filter(|(k, _)| k.name == names::PROPERTY_EVENTS).count();
+    assert_eq!(props_series, nprops);
+}
+
+#[test]
+fn renders_prometheus_and_json_pages() {
+    let (out, _) = run_instrumented(TelemetryConfig::default());
+    let page = out.telemetry.export();
+    let prom = page.to_prometheus();
+    assert!(prom.contains(names::EVENTS_IN));
+    assert!(prom.contains("swmon_shard_processed_total{shard=\"0\"}"));
+    assert!(prom.contains("swmon_property_stage_nanos_count"));
+    let json = page.to_json();
+    assert!(json.contains("\"counters\""));
+    assert!(json.contains(names::PROPERTY_OCCUPANCY));
+}
+
+#[test]
+fn sampled_timing_and_tracing_fill_their_instruments() {
+    let telemetry = TelemetryConfig {
+        stage_sample_every: 8,
+        trace_every: 50,
+        trace_seed: 3,
+        trace_capacity: 256,
+        ..Default::default()
+    };
+    let (out, _) = run_instrumented(telemetry);
+    let page = out.telemetry.export();
+    let nanos = page
+        .histograms
+        .iter()
+        .filter(|(k, _)| k.name == names::PROPERTY_STAGE_NANOS)
+        .map(|(_, h)| h.count)
+        .sum::<u64>();
+    assert!(nanos > 0, "sampled stage timing recorded nothing");
+    assert!(!page.spans.is_empty(), "tracing enabled but no spans");
+    // Spans follow the deterministic sampling rule.
+    assert!(page.spans.iter().all(|s| (s.seq + 3) % 50 == 0), "unsampled seq traced");
+    // A traced event's lifecycle is ordered: routed ≤ enqueued ≤ applied.
+    for span in &page.spans {
+        let routed = page
+            .spans
+            .iter()
+            .find(|s| s.seq == span.seq && s.stage == swmon_telemetry::SpanStage::Routed);
+        if let Some(r) = routed {
+            assert!(r.nanos <= span.nanos || span.stage == swmon_telemetry::SpanStage::Routed);
+        }
+    }
+}
+
+#[test]
+fn telemetry_off_still_reconciles_but_never_times() {
+    let (out, _) = run_instrumented(TelemetryConfig::off());
+    let page = out.telemetry.export();
+    assert_eq!(page.counter(names::EVENTS_IN), Some(out.stats.events_in));
+    let timed = page
+        .histograms
+        .iter()
+        .filter(|(k, _)| k.name == names::PROPERTY_STAGE_NANOS)
+        .map(|(_, h)| h.count)
+        .sum::<u64>();
+    assert_eq!(timed, 0, "engine layer off must not time");
+    assert!(page.spans.is_empty());
+    // The counter ledger stays on: it is the live-snapshot substrate.
+    assert_eq!(
+        page.counter(names::SHARD_DELIVERED),
+        Some(
+            page.counter(names::SHARD_PROCESSED).unwrap()
+                + page.counter(names::SHARD_SHED).unwrap()
+        )
+    );
+}

@@ -256,6 +256,21 @@ pub struct FaultLog {
 }
 
 impl FaultLog {
+    /// The ledger as labelled values, in declaration order — the shape
+    /// telemetry exports consume as snapshot annotations so a metric page
+    /// produced under fault injection carries its own context.
+    pub fn metrics(&self) -> [(&'static str, u64); 7] {
+        [
+            ("fault_input_events", self.input_events),
+            ("fault_delivered_events", self.delivered_events),
+            ("fault_dropped_events", self.dropped_events),
+            ("fault_duplicated_events", self.duplicated_events),
+            ("fault_reordered_units", self.reordered_units),
+            ("fault_crash_lost_events", self.crash_lost_events),
+            ("fault_oob_injected", self.oob_injected),
+        ]
+    }
+
     /// The conservation check: every event is accounted for.
     pub fn accounted(&self) -> bool {
         self.delivered_events

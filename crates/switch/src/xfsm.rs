@@ -100,7 +100,9 @@ impl Xfsm {
                 a.priority.cmp(&b.priority).then(ib.cmp(ia)) // priority, then earlier row
             })
             .map(|(i, _)| i)?;
-        let next = self.transitions[idx].next_state;
+        // Checked lookups: a miss here means the table changed under us,
+        // which must surface as a table-miss, never an index panic.
+        let next = self.transitions.get(idx)?.next_state;
         if let Some(update_key) = self.key(view, &self.update_scope) {
             self.ops += 1; // state-table write-back
             if next == DEFAULT_STATE {
@@ -109,7 +111,7 @@ impl Xfsm {
                 self.states.insert(update_key, next);
             }
         }
-        Some(&self.transitions[idx])
+        self.transitions.get(idx)
     }
 
     /// Directly set a flow's state (used by tests and by reset-style
@@ -322,6 +324,38 @@ mod tests {
             actions: vec![Action::Flood],
         });
         assert_eq!(m2.process(&pkt_view(1, 2, TcpFlags::SYN)).unwrap().next_state, 1);
+    }
+
+    #[test]
+    fn empty_table_and_unmatched_rows_miss_without_panicking() {
+        let mut m = Xfsm::new(vec![Field::Ipv4Src], vec![Field::Ipv4Src]);
+        let v = pkt_view(1, 2, TcpFlags::SYN);
+        assert!(m.process(&v).is_none(), "an empty XFSM table is a table-miss");
+        assert_eq!(m.ops, 1, "the state lookup still happened");
+        // A row gated on an unreachable state: still a miss, no state write.
+        m.add_transition(Transition {
+            from: Some(7),
+            guard: MatchSpec::any(),
+            priority: 1,
+            next_state: 8,
+            actions: vec![Action::Drop],
+        });
+        assert!(m.process(&v).is_none());
+        assert_eq!(m.state_entries(), 0);
+    }
+
+    #[test]
+    fn set_state_overrides_and_default_clears() {
+        let mut m = seen_machine();
+        let v = pkt_view(6, 2, TcpFlags::SYN);
+        assert_eq!(m.state_of(&v), Some(DEFAULT_STATE), "unknown flows read the default");
+        let key = vec![v.field(Field::Ipv4Src).unwrap()];
+        m.set_state(key.clone(), 1);
+        assert_eq!(m.state_of(&v), Some(1));
+        assert_eq!(m.process(&v).unwrap().actions, vec![Action::Drop], "injected state applies");
+        m.set_state(key, DEFAULT_STATE);
+        assert_eq!(m.state_of(&v), Some(DEFAULT_STATE));
+        assert_eq!(m.state_entries(), 0, "setting the default reclaims the entry");
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Surfacing fault-injection activity as snapshot annotations.
+//!
+//! The network fault harness ([`swmon_sim::FaultPlan`]) mutates the
+//! monitored traffic before the runtime ever sees it; a metric page that
+//! omits that context invites misreading (a deadline-violation spike reads
+//! as a network incident when it was an injected crash window). This glues
+//! the sim's fault ledger onto a [`Snapshot`] so every export carries the
+//! injected-fault context alongside the runtime counters.
+
+use crate::export::Snapshot;
+use swmon_sim::FaultLog;
+
+/// Append one annotation per fault-ledger entry to `snapshot`.
+pub fn annotate_faults(snapshot: &mut Snapshot, log: &FaultLog) {
+    for (label, value) in log.metrics() {
+        snapshot.annotate(label, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ledger_entry_becomes_an_annotation() {
+        let log = FaultLog {
+            input_events: 100,
+            delivered_events: 97,
+            dropped_events: 4,
+            duplicated_events: 1,
+            reordered_units: 2,
+            crash_lost_events: 2,
+            oob_injected: 2,
+        };
+        let mut s = Snapshot::default();
+        annotate_faults(&mut s, &log);
+        assert_eq!(s.annotations.len(), log.metrics().len());
+        let get = |label: &str| s.annotations.iter().find(|a| a.label == label).map(|a| a.value);
+        assert_eq!(get("fault_dropped_events"), Some(4));
+        assert_eq!(get("fault_oob_injected"), Some(2));
+        assert_eq!(get("fault_input_events"), Some(100));
+        assert!(s.to_prometheus().contains("# ANNOTATION fault_dropped_events 4"));
+    }
+}

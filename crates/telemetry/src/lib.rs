@@ -1,0 +1,40 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # swmon-telemetry — always-on observability for the monitor stack
+//!
+//! The paper's scalability argument (Sec 3.3) is about *observable* cost:
+//! rule counts, state growth, per-packet work. This crate is the software
+//! analogue — a low-overhead instrumentation layer the runtime keeps on in
+//! production:
+//!
+//! * **[`metrics`]** — lock-free counters, gauges and fixed-bucket
+//!   histograms (`Relaxed` atomics, power-of-two buckets, no allocation on
+//!   the hot path).
+//! * **[`probe::EngineProbe`]** — the [`swmon_core::Recorder`]
+//!   implementation: per-property event counts, occupancy, and *sampled*
+//!   engine-stage wall timing.
+//! * **[`trace::SpanTracer`]** — seeded, sampled span tracing of an
+//!   event's lifecycle (router → queue → admission → application); off by
+//!   default.
+//! * **[`export::Snapshot`]** — a frozen metric page rendered as a
+//!   Prometheus text exposition or a JSON report; fault-injection activity
+//!   rides along as [`export::Annotation`]s ([`annotate_faults`]).
+//! * **[`names`]** — the closed catalog of exported metric names, enforced
+//!   by the catalog test and the `telemetry-overhead` CI job.
+//!
+//! The overhead contract — instrumented throughput within 3% of bare — is
+//! measured by the `e13`/`e14`/`e15` overhead rows in `swmon-bench`; see
+//! `docs/TELEMETRY.md` for the metric catalog and current numbers.
+
+pub mod annotate;
+pub mod export;
+pub mod metrics;
+pub mod names;
+pub mod probe;
+pub mod trace;
+
+pub use annotate::annotate_faults;
+pub use export::{Annotation, Key, Snapshot};
+pub use metrics::{bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use probe::EngineProbe;
+pub use trace::{SpanRecord, SpanStage, SpanTracer};

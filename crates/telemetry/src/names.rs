@@ -1,0 +1,92 @@
+//! The exported metric catalog.
+//!
+//! Every metric the runtime exports is named here, and [`ALL`] is the
+//! closed list the catalog test (and the `telemetry-overhead` CI job)
+//! checks the exported page against — a metric added to an exporter but
+//! not to the catalog, or vice versa, is a test failure, so the catalog in
+//! `docs/TELEMETRY.md` cannot silently drift from the code.
+
+/// Events fed to the router.
+pub const EVENTS_IN: &str = "swmon_events_in_total";
+/// Event deliveries across all shards (multi-shard events count once per
+/// destination).
+pub const DELIVERIES: &str = "swmon_deliveries_total";
+/// Events that matched no property and were delivered nowhere.
+pub const SKIPPED: &str = "swmon_skipped_total";
+/// Channel batches sent.
+pub const BATCHES: &str = "swmon_batches_total";
+
+/// Per-shard: items received from the router. Label: `shard`.
+pub const SHARD_DELIVERED: &str = "swmon_shard_delivered_total";
+/// Per-shard: items applied to monitors exactly once. Label: `shard`.
+pub const SHARD_PROCESSED: &str = "swmon_shard_processed_total";
+/// Per-shard: items explicitly shed (journal bound). Label: `shard`.
+pub const SHARD_SHED: &str = "swmon_shard_shed_total";
+/// Per-shard: crash recoveries performed. Label: `shard`.
+pub const SHARD_RESTARTS: &str = "swmon_shard_restarts_total";
+/// Per-shard: checkpoints taken. Label: `shard`.
+pub const SHARD_CHECKPOINTS: &str = "swmon_shard_checkpoints_total";
+/// Per-shard: journal items re-applied during recoveries. Label: `shard`.
+pub const SHARD_REPLAYED: &str = "swmon_shard_replayed_total";
+/// Per-shard: violations raised with downgraded provenance. Label: `shard`.
+pub const SHARD_DEGRADED: &str = "swmon_shard_degraded_violations_total";
+/// Per-shard: violations reported. Label: `shard`.
+pub const SHARD_VIOLATIONS: &str = "swmon_shard_violations_total";
+/// Per-shard recovery-journal depth at admission (histogram). Label: `shard`.
+pub const SHARD_QUEUE_DEPTH: &str = "swmon_shard_queue_depth";
+/// Per-shard checkpoint-restore latency in nanoseconds (histogram).
+/// Label: `shard`.
+pub const SHARD_RECOVERY_NANOS: &str = "swmon_shard_recovery_nanos";
+
+/// Per-property: events examined by the property's monitors — every
+/// application, including recovery replays. Label: `property`.
+pub const PROPERTY_EVENTS: &str = "swmon_property_events_total";
+/// Per-property: most recent instance-store occupancy. Label: `property`.
+pub const PROPERTY_LIVE: &str = "swmon_property_live_instances";
+/// Per-property sampled engine-stage wall time in nanoseconds (histogram).
+/// Label: `property`.
+pub const PROPERTY_STAGE_NANOS: &str = "swmon_property_stage_nanos";
+/// Per-property sampled instance-store occupancy (histogram).
+/// Label: `property`.
+pub const PROPERTY_OCCUPANCY: &str = "swmon_property_occupancy";
+
+/// The complete exported catalog.
+pub const ALL: &[&str] = &[
+    EVENTS_IN,
+    DELIVERIES,
+    SKIPPED,
+    BATCHES,
+    SHARD_DELIVERED,
+    SHARD_PROCESSED,
+    SHARD_SHED,
+    SHARD_RESTARTS,
+    SHARD_CHECKPOINTS,
+    SHARD_REPLAYED,
+    SHARD_DEGRADED,
+    SHARD_VIOLATIONS,
+    SHARD_QUEUE_DEPTH,
+    SHARD_RECOVERY_NANOS,
+    PROPERTY_EVENTS,
+    PROPERTY_LIVE,
+    PROPERTY_STAGE_NANOS,
+    PROPERTY_OCCUPANCY,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_duplicate_free_and_prometheus_shaped() {
+        let mut seen = std::collections::HashSet::new();
+        for name in ALL {
+            assert!(seen.insert(name), "duplicate catalog entry {name}");
+            assert!(name.starts_with("swmon_"), "{name} misses the namespace prefix");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name} is not snake_case"
+            );
+        }
+        assert_eq!(ALL.len(), 18);
+    }
+}
