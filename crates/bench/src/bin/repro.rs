@@ -3,127 +3,158 @@
 //!
 //! Usage:
 //! ```text
-//! repro                    # run everything
-//! repro table1 e3          # run a subset
-//! repro e13 e14 --json     # also print machine-readable results
-//! repro e14 --json --quick # small event counts (CI smoke)
-//! repro stats --json       # telemetry page over the full catalog
+//! repro                         # run everything
+//! repro table1 e3               # run a subset
+//! repro e13 e14 --json          # also print machine-readable results
+//! repro e14 --json --quick      # small event counts (CI smoke)
+//! repro stats --json            # telemetry page over the full catalog
+//! repro query 'degraded()'      # SWQL over a live catalog session
+//! repro query 'prop(*)' --follow --json
 //! ```
+//!
+//! Every subcommand supports `--json` (experiments without a native JSON
+//! emitter print the generic `{"experiment", "verified", "text"}`
+//! envelope) and the process exits nonzero when any emitted result
+//! carries `"verified": false` (or `"reconciled": false`), a lint
+//! diagnostic gates, or a query fails to parse or verify — see
+//! `swmon_apps::output`.
 
-use swmon_bench::experiments::{e10, e11, e12, e13, e14, e15, e3, e4, e5, e6, e7, e8, e9, stats};
-use swmon_bench::lint;
-
-fn section(title: &str) {
-    println!("\n{}", "=".repeat(78));
-    println!("{title}");
-    println!("{}", "=".repeat(78));
-}
+use swmon_apps::output::Emitter;
+use swmon_bench::experiments::{
+    e10, e11, e12, e13, e14, e15, e16, e3, e4, e5, e6, e7, e8, e9, stats,
+};
+use swmon_bench::{lint, storequery};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
-
-    println!("swmon — reproduction of \"Switches are Monitors Too!\" (HotNets 2016)");
-
-    if want("table1") || want("e1") {
-        section("E1 — Table 1: properties and the features they require (derived)");
-        println!("{}", swmon_props::table1::render());
-        println!(
-            "(*) = derived cell differs from the paper; see EXPERIMENTS.md §E1 for\n\
-             the three documented additive deviations."
-        );
-    }
-
-    if want("table2") || want("e2") {
-        section("E2 — Table 2: approaches and the features they provide (compiled)");
-        println!("{}", swmon_backends::table2::render());
-        println!(
-            "Every ✓/✗ above is validated by compiling a feature-probe property\n\
-             on the approach (see swmon-backends::table2 tests)."
-        );
-    }
-
-    if want("e3") {
-        section("E3 — pipeline depth vs. active instances (Sec 3.3)");
-        println!("{}", e3::render(&e3::run(&e3::SWEEP)));
-    }
-
-    if want("e4") {
-        section("E4 — state-update mechanisms vs. line rate (Sec 3.3)");
-        println!("{}", e4::render());
-    }
-
-    if want("e5") {
-        section("E5 — external vs. on-switch monitoring (Sec 1)");
-        println!("{}", e5::render(&e5::run(32, 10_000)));
-    }
-
-    if want("e6") {
-        section("E6 — inline vs. split side-effect control (Feature 9)");
-        println!("{}", e6::render(&e6::run(200, &e6::default_gaps())));
-    }
-
-    if want("e7") {
-        section("E7 — provenance levels (Feature 10)");
-        println!("{}", e7::render(&e7::run(2_000)));
-    }
-
-    if want("e8") {
-        section("E8 — timeout-refresh subtlety (Sec 2.3)");
-        println!("{}", e8::render(&e8::run(&e8::default_fractions(), 10)));
-    }
-
-    if want("e9") {
-        section("E9 — detection matrix (soundness)");
-        println!("{}", e9::render(&e9::run()));
-    }
-
-    if want("e10") {
-        section("E10 — per-approach monitoring overhead");
-        println!("{}", e10::render(&e10::run()));
-    }
-
-    if want("e11") {
-        section("E11 — register-array capacity ablation (extension)");
-        println!("{}", e11::render(&e11::run(512, &e11::default_capacities())));
-    }
-
-    if want("e12") {
-        section("E12 — postcard provenance (extension, paper Sec 3.2)");
-        println!("{}", e12::render());
-    }
+    // The SWQL source after `query` is positional, not a subcommand name.
+    let query_src = args
+        .iter()
+        .position(|a| a == "query")
+        .and_then(|i| args.get(i + 1))
+        .filter(|a| !a.starts_with("--"))
+        .cloned();
+    let selectors: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--") && Some(*a) != query_src.as_ref()).collect();
+    let want = |k: &str| selectors.is_empty() || selectors.iter().any(|a| *a == k);
 
     // `--quick` scales the runtime experiments down for CI smoke runs;
     // verification still applies at every size.
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let follow = args.iter().any(|a| a == "--follow");
+    let mut em = Emitter::new(json);
+
+    println!("swmon — reproduction of \"Switches are Monitors Too!\" (HotNets 2016)");
+
+    if want("table1") || want("e1") {
+        em.section("E1 — Table 1: properties and the features they require (derived)");
+        em.wrap(
+            "e1-table1",
+            true,
+            &format!(
+                "{}\n(*) = derived cell differs from the paper; see EXPERIMENTS.md §E1 for\n\
+                 the three documented additive deviations.",
+                swmon_props::table1::render()
+            ),
+        );
+    }
+
+    if want("table2") || want("e2") {
+        em.section("E2 — Table 2: approaches and the features they provide (compiled)");
+        em.wrap(
+            "e2-table2",
+            true,
+            &format!(
+                "{}\nEvery ✓/✗ above is validated by compiling a feature-probe property\n\
+                 on the approach (see swmon-backends::table2 tests).",
+                swmon_backends::table2::render()
+            ),
+        );
+    }
+
+    if want("e3") {
+        em.section("E3 — pipeline depth vs. active instances (Sec 3.3)");
+        em.wrap("e3-pipeline-depth", true, &e3::render(&e3::run(&e3::SWEEP)));
+    }
+
+    if want("e4") {
+        em.section("E4 — state-update mechanisms vs. line rate (Sec 3.3)");
+        em.wrap("e4-state-updates", true, &e4::render());
+    }
+
+    if want("e5") {
+        em.section("E5 — external vs. on-switch monitoring (Sec 1)");
+        em.wrap("e5-external-cost", true, &e5::render(&e5::run(32, 10_000)));
+    }
+
+    if want("e6") {
+        em.section("E6 — inline vs. split side-effect control (Feature 9)");
+        em.wrap("e6-inline-vs-split", true, &e6::render(&e6::run(200, &e6::default_gaps())));
+    }
+
+    if want("e7") {
+        em.section("E7 — provenance levels (Feature 10)");
+        em.wrap("e7-provenance", true, &e7::render(&e7::run(2_000)));
+    }
+
+    if want("e8") {
+        em.section("E8 — timeout-refresh subtlety (Sec 2.3)");
+        em.wrap("e8-timeout-refresh", true, &e8::render(&e8::run(&e8::default_fractions(), 10)));
+    }
+
+    if want("e9") {
+        em.section("E9 — detection matrix (soundness)");
+        let cases = e9::run();
+        let verified = cases.iter().all(e9::Case::ok);
+        em.wrap("e9-detection-matrix", verified, &e9::render(&cases));
+    }
+
+    if want("e10") {
+        em.section("E10 — per-approach monitoring overhead");
+        em.wrap("e10-overhead", true, &e10::render(&e10::run()));
+    }
+
+    if want("e11") {
+        em.section("E11 — register-array capacity ablation (extension)");
+        em.wrap(
+            "e11-capacity-ablation",
+            true,
+            &e11::render(&e11::run(512, &e11::default_capacities())),
+        );
+    }
+
+    if want("e12") {
+        em.section("E12 — postcard provenance (extension, paper Sec 3.2)");
+        em.wrap("e12-postcards", true, &e12::render());
+    }
+
     let (flows, packets) = if quick { (64, 2_000) } else { (256, 20_000) };
 
     if want("e13") {
-        section("E13 — sharded multi-core runtime scaling (extension)");
+        em.section("E13 — sharded multi-core runtime scaling (extension)");
         let o = e13::run(flows, packets, &e13::SHARD_COUNTS);
-        println!("{}", e13::render(&o));
-        if json {
-            println!("{}", e13::to_json(&o));
-        }
+        em.report(&e13::render(&o), &e13::to_json(&o));
     }
 
     if want("e14") {
-        section("E14 — single-thread hot-path throughput (extension)");
+        em.section("E14 — single-thread hot-path throughput (extension)");
         let o = e14::run(flows, packets);
-        println!("{}", e14::render(&o));
-        if json {
-            println!("{}", e14::to_json(&o));
-        }
+        em.report(&e14::render(&o), &e14::to_json(&o));
     }
 
     if want("e15") {
-        section("E15 — fault-tolerant runtime under chaos (extension)");
+        em.section("E15 — fault-tolerant runtime under chaos (extension)");
         let o = e15::run(flows, packets);
-        println!("{}", e15::render(&o));
-        if json {
-            println!("{}", e15::to_json(&o));
-        }
+        em.report(&e15::render(&o), &e15::to_json(&o));
+    }
+
+    if want("e16") {
+        em.section("E16 — violation store: ingest, SWQL latency, live fidelity (extension)");
+        let (sflows, spackets) = if quick { (24, 1_500) } else { (64, 6_000) };
+        let synthetic = if quick { 120_000 } else { e16::SYNTHETIC_ROWS };
+        let o = e16::run(sflows, spackets, synthetic);
+        em.report(&e16::render(&o), &e16::to_json(&o));
     }
 
     if want("stats") {
@@ -132,22 +163,33 @@ fn main() {
         // ledger). See docs/TELEMETRY.md.
         let (sflows, spackets) = if quick { (16, 1_000) } else { (32, 5_000) };
         for shards in [1usize, 4] {
-            section(&format!("stats — telemetry page, full catalog, {shards} shard(s)"));
+            em.section(&format!("stats — telemetry page, full catalog, {shards} shard(s)"));
             let o = stats::run(sflows, spackets, shards);
-            println!("{}", stats::render(&o));
-            if json {
-                println!("{}", stats::to_json(&o));
-            }
+            em.report(&stats::render(&o), &stats::to_json(&o));
         }
     }
 
     if want("lint") {
-        section("Lint — swmon-analysis over the full property catalog");
+        em.section("Lint — swmon-analysis over the full property catalog");
         let diags = lint::run(&lint::catalog_targets());
-        if json {
+        if em.json() {
             println!("{}", lint::render_json(&diags));
         } else {
             print!("{}", lint::render_pretty(&diags));
         }
+        if lint::gating(&diags) {
+            em.fail();
+        }
     }
+
+    if let Some(src) = &query_src {
+        em.section(&format!("query — SWQL over a live catalog session: {src}"));
+        let (qflows, qpackets) = if quick { (16, 1_200) } else { (48, 8_000) };
+        storequery::run(src, qflows, qpackets, follow, &mut em);
+    } else if args.iter().any(|a| a == "query") {
+        eprintln!("usage: repro query '<swql>' [--json] [--follow]");
+        em.fail();
+    }
+
+    std::process::exit(em.exit_code());
 }

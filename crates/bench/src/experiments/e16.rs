@@ -1,0 +1,401 @@
+//! **E16 (extension) — the violation store under load.** Three contracts,
+//! one per store layer (see docs/STORE.md):
+//!
+//! 1. **Ingest throughput** — a synthetic stream of over a million
+//!    violations is batch-ingested through [`swmon_store::Store::ingest`];
+//!    the rate and the p50/p99 latency of a point, a range, and a
+//!    disjunctive SWQL query against the live (unsealed) store are
+//!    reported, each query count verified against an index-free reference
+//!    scan of the same generated stream (the `BENCH_store.json` baseline).
+//! 2. **Differential fidelity** — a sharded session over the full
+//!    21-property catalog runs with a [`swmon_store::StoreSink`]; after
+//!    seal, `prop(*)` must return *byte-for-byte* the engine's merged
+//!    output (identical signature vectors, store sequence ≡ merge
+//!    sequence), and the store must survive an encode/validate/decode
+//!    round-trip with the same answer.
+//! 3. **Live consistency** — a mid-run query against the same session
+//!    must observe a prefix-consistent snapshot: every live match appears
+//!    in the final sealed output and the runtime's
+//!    `unaccounted_loss() == 0` audit is undisturbed by publication.
+
+use crate::TextTable;
+use std::sync::Arc;
+use std::time::Instant as WallInstant;
+use swmon_core::{var, Bindings, Violation};
+use swmon_packet::FieldValue;
+use swmon_runtime::{RuntimeConfig, ShardedRuntime, ViolationRecord, ViolationSink};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::{CrashWindow, FaultPlan, PortNo, SwitchId};
+use swmon_store::{Store, StoreSink};
+use swmon_workloads::trace::lossy_trace;
+
+/// Synthetic rows ingested at full scale (the headline claim is ≥ 1M).
+pub const SYNTHETIC_ROWS: u64 = 1_000_000;
+/// Rows per ingest batch (one store segment each).
+const BATCH: u64 = 4_096;
+/// Shards the synthetic stream round-robins batches across.
+const SYNTH_SHARDS: u64 = 8;
+/// Nanoseconds between consecutive synthetic violations.
+const TICK_NS: u64 = 1_000;
+
+/// One measured SWQL query.
+#[derive(Debug, Clone)]
+pub struct QueryRow {
+    /// Query shape (`point`, `range`, `disjunctive`).
+    pub kind: &'static str,
+    /// The SWQL source executed.
+    pub swql: String,
+    /// Rows matched.
+    pub matches: u64,
+    /// Median query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile query latency, microseconds.
+    pub p99_us: f64,
+    /// True when the match count equals the index-free reference scan.
+    pub verified: bool,
+}
+
+/// The experiment outcome.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Synthetic violations ingested.
+    pub synthetic_rows: u64,
+    /// Store segments the synthetic ingest produced.
+    pub segments: usize,
+    /// Ingest throughput, violations per second (ingest calls only; row
+    /// generation is outside the timer).
+    pub ingest_per_sec: f64,
+    /// The measured queries over the synthetic store.
+    pub queries: Vec<QueryRow>,
+    /// Events in the catalog workload trace.
+    pub catalog_events: usize,
+    /// Violations in the catalog session's merged output.
+    pub catalog_violations: usize,
+    /// Encoded size of the sealed catalog store, bytes.
+    pub encoded_bytes: usize,
+    /// Store rows visible to the mid-run query.
+    pub live_rows: u64,
+    /// Runtime unaccounted loss observed at the mid-run query (must be 0).
+    pub live_unaccounted: u64,
+    /// True when the mid-run snapshot was prefix-consistent (every live
+    /// match present in the final sealed output, zero unaccounted loss).
+    pub live_verified: bool,
+    /// True when sealed `prop(*)` is byte-identical to the engine's merged
+    /// output and survives the encode/decode round-trip.
+    pub differential_verified: bool,
+}
+
+impl Outcome {
+    /// True when every contract held.
+    pub fn verified(&self) -> bool {
+        self.differential_verified && self.live_verified && self.queries.iter().all(|q| q.verified)
+    }
+}
+
+/// The `i`-th synthetic violation. `props` are the catalog property names
+/// (reused so the synthetic stream exercises realistic name cardinality).
+fn synthetic(i: u64, props: &[String]) -> ViolationRecord {
+    let pi = (i % props.len() as u64) as usize;
+    let bindings = Bindings::new()
+        .bind(var("PORT"), FieldValue::Uint(i % 4_096))
+        .bind(var("SRC"), FieldValue::Uint(i % 251));
+    ViolationRecord {
+        seq: i,
+        property: pi,
+        rank: 1,
+        violation: Violation {
+            property: props[pi].clone(),
+            time: Instant::from_nanos(i * TICK_NS),
+            trigger_stage: "bench".into(),
+            bindings: Some(bindings),
+            history: vec![],
+            degraded: i.is_multiple_of(101),
+            merge_seq: None,
+        },
+    }
+}
+
+/// p50/p99 (microseconds) of a sorted latency sample.
+fn percentiles(mut samples: Vec<f64>) -> (f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    (at(0.50), at(0.99))
+}
+
+/// Time `iters` executions of `swql` against `store` and verify the match
+/// count against `expected`.
+fn measure(store: &Store, kind: &'static str, swql: &str, expected: u64, iters: usize) -> QueryRow {
+    let mut samples = Vec::with_capacity(iters);
+    let mut matches = 0u64;
+    for _ in 0..iters {
+        let t0 = WallInstant::now();
+        let out = store.query_str(swql).expect("benchmark queries parse");
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        matches = out.matches.len() as u64;
+    }
+    let (p50_us, p99_us) = percentiles(samples);
+    QueryRow {
+        kind,
+        swql: swql.to_string(),
+        matches,
+        p50_us,
+        p99_us,
+        verified: matches == expected,
+    }
+}
+
+/// The catalog workload's network fault plan (same shape as E15's, fixed
+/// seed, no monitor-side faults — this experiment stresses the store).
+fn fault_plan(span: Duration) -> FaultPlan {
+    let quarter = Duration::from_nanos(span.as_nanos() / 4);
+    FaultPlan {
+        seed: 0x570fe,
+        drop_fraction: 0.02,
+        duplicate_fraction: 0.01,
+        reorder_fraction: 0.02,
+        crashes: vec![CrashWindow {
+            switch: SwitchId(0),
+            down: Instant::ZERO + quarter,
+            up: Instant::ZERO + quarter + quarter,
+            port: PortNo(0),
+        }],
+    }
+}
+
+/// Run the store benchmark: `synthetic_rows` generated violations for the
+/// ingest/query half, a `flows`-flow `packets`-packet catalog session for
+/// the differential and live halves.
+pub fn run(flows: u32, packets: u32, synthetic_rows: u64) -> Outcome {
+    let props = swmon_props::catalog();
+    let names: Vec<String> = props.iter().map(|p| p.name.clone()).collect();
+
+    // ---- 1. Synthetic ingest + query latency --------------------------
+    let store = Store::new();
+    let mut ingest_nanos = 0u128;
+    let mut ingested = 0u64;
+    let mut batch_no = 0u64;
+    while ingested < synthetic_rows {
+        let n = BATCH.min(synthetic_rows - ingested);
+        let rows: Vec<ViolationRecord> =
+            (ingested..ingested + n).map(|i| synthetic(i, &names)).collect();
+        let t0 = WallInstant::now();
+        store.ingest((batch_no % SYNTH_SHARDS) as u32, &rows);
+        ingest_nanos += t0.elapsed().as_nanos();
+        ingested += n;
+        batch_no += 1;
+    }
+    let ingest_per_sec = ingested as f64 / (ingest_nanos as f64 / 1e9);
+
+    // Reference counts by an index-free scan of the same generated stream.
+    let point_prop = names[0].as_str();
+    let window =
+        (synthetic_rows / 2 * TICK_NS, (synthetic_rows / 2 + synthetic_rows / 100) * TICK_NS);
+    let mut expect_point = 0u64;
+    let mut expect_range = 0u64;
+    let mut expect_disj = 0u64;
+    for i in 0..synthetic_rows {
+        let is_point = i.is_multiple_of(names.len() as u64) && i % 4_096 == 443;
+        let t = i * TICK_NS;
+        let in_window = window.0 <= t && t <= window.1;
+        expect_point += u64::from(is_point);
+        expect_range += u64::from(in_window);
+        expect_disj += u64::from(in_window && i % names.len() as u64 == 1 || i.is_multiple_of(101));
+    }
+    let iters = if synthetic_rows >= SYNTHETIC_ROWS { 64 } else { 16 };
+    let queries = vec![
+        measure(
+            &store,
+            "point",
+            &format!("prop({point_prop}), bind(PORT, 443)"),
+            expect_point,
+            iters,
+        ),
+        measure(
+            &store,
+            "range",
+            &format!("window({}, {})", window.0, window.1),
+            expect_range,
+            iters,
+        ),
+        measure(
+            &store,
+            "disjunctive",
+            &format!("prop({}), window({}, {}) or degraded()", names[1], window.0, window.1),
+            expect_disj,
+            iters,
+        ),
+    ];
+    let segments = store.segment_count();
+    drop(store);
+
+    // ---- 2 + 3. Catalog session with a live StoreSink -----------------
+    let span = Duration::from_micros(2) * u64::from(packets);
+    let (trace, _fault_log) = lossy_trace(flows, packets, 13, &fault_plan(span));
+    let end = trace.last().map(|e| e.time + Duration::from_secs(120)).unwrap_or(Instant::ZERO);
+    let rt = ShardedRuntime::new(
+        props,
+        RuntimeConfig { shards: 4, checkpoint_every: 256, ..Default::default() },
+    )
+    .expect("catalog properties are valid");
+    let sink = Arc::new(StoreSink::new());
+    let live = sink.store();
+    let mut session = rt.start_with_sink(Some(sink as Arc<dyn ViolationSink>));
+
+    let probe_at = trace.len() * 3 / 5;
+    let mut live_rows = 0u64;
+    let mut live_unaccounted = 0u64;
+    let mut live_sigs: Vec<String> = Vec::new();
+    for (i, ev) in trace.iter().enumerate() {
+        session.feed(ev).expect("catalog session accepts the trace");
+        if i == probe_at {
+            // The mid-run query: one atomic read of the published prefix.
+            let out = live.query_str("prop(*)").expect("prop(*) parses");
+            assert!(!out.sealed, "probe must run before seal");
+            live_rows = out.total;
+            live_unaccounted = session.live_stats().unaccounted_loss();
+            live_sigs = out.signatures();
+        }
+    }
+    let out = session.finish(end).expect("catalog session finishes");
+    let final_sigs: Vec<String> = out.signatures();
+
+    // Live contract: prefix-consistent (every mid-run match survives into
+    // the sealed canonical output) with zero unaccounted loss.
+    let live_verified = live_unaccounted == 0 && live_sigs.iter().all(|s| final_sigs.contains(s));
+
+    // Differential contract: sealed prop(*) byte-identical to the merge,
+    // store sequence ≡ merge sequence, round-trip stable.
+    let sealed = live.query_str("prop(*)").expect("prop(*) parses");
+    let mut differential_verified = live.is_sealed()
+        && sealed.sealed
+        && sealed.signatures() == final_sigs
+        && sealed.matches.iter().enumerate().all(|(i, m)| {
+            m.store_seq == i as u64 && m.record.violation.sequence_id() == Some(i as u64)
+        });
+    let bytes = live.to_bytes();
+    let reloaded = Store::from_bytes(&bytes).expect("sealed store round-trips");
+    differential_verified = differential_verified
+        && reloaded.query_str("prop(*)").expect("prop(*) parses").signatures() == final_sigs;
+
+    Outcome {
+        synthetic_rows: ingested,
+        segments,
+        ingest_per_sec,
+        queries,
+        catalog_events: trace.len(),
+        catalog_violations: out.records.len(),
+        encoded_bytes: bytes.len(),
+        live_rows,
+        live_unaccounted,
+        live_verified,
+        differential_verified,
+    }
+}
+
+/// Printable report.
+pub fn render(o: &Outcome) -> String {
+    let mut t = TextTable::new(&["query", "SWQL", "matches", "p50 µs", "p99 µs", "verified"]);
+    for q in &o.queries {
+        t.row(vec![
+            q.kind.to_string(),
+            q.swql.clone(),
+            q.matches.to_string(),
+            format!("{:.1}", q.p50_us),
+            format!("{:.1}", q.p99_us),
+            if q.verified { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    format!(
+        "{}\nIngested {} synthetic violations at {:.0}/sec into {} segments; query\n\
+         counts verified against an index-free reference scan.\n\
+         Catalog session ({} events, {} violations): sealed prop(*) byte-identical\n\
+         to the merge: {}; mid-run snapshot ({} rows, {} unaccounted) prefix-\n\
+         consistent: {}. Sealed store encodes to {} bytes (docs/STORE.md).",
+        t.render(),
+        o.synthetic_rows,
+        o.ingest_per_sec,
+        o.segments,
+        o.catalog_events,
+        o.catalog_violations,
+        if o.differential_verified { "yes" } else { "NO" },
+        o.live_rows,
+        o.live_unaccounted,
+        if o.live_verified { "yes" } else { "NO" },
+        o.encoded_bytes,
+    )
+}
+
+/// The outcome as a JSON document (the `BENCH_store.json` baseline).
+pub fn to_json(o: &Outcome) -> String {
+    let mut rows = String::new();
+    for (i, q) in o.queries.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"swql\": \"{}\", \"matches\": {}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"verified\": {}}}",
+            q.kind,
+            q.swql.replace('"', "\\\""),
+            q.matches,
+            q.p50_us,
+            q.p99_us,
+            q.verified
+        ));
+    }
+    format!(
+        "{{\n  \"experiment\": \"e16-violation-store\",\n  \"synthetic_rows\": {},\n  \
+         \"segments\": {},\n  \"ingest_per_sec\": {:.0},\n  \"queries\": [\n{}\n  ],\n  \
+         \"catalog\": {{\"events\": {}, \"violations\": {}, \"encoded_bytes\": {}, \
+         \"differential_verified\": {}}},\n  \
+         \"live\": {{\"rows\": {}, \"unaccounted\": {}, \"verified\": {}}},\n  \
+         \"verified\": {}\n}}\n",
+        o.synthetic_rows,
+        o.segments,
+        o.ingest_per_sec,
+        rows,
+        o.catalog_events,
+        o.catalog_violations,
+        o.encoded_bytes,
+        o.differential_verified,
+        o.live_rows,
+        o.live_unaccounted,
+        o.live_verified,
+        o.verified()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_contract_holds_at_smoke_scale() {
+        let o = run(24, 800, 20_000);
+        assert_eq!(o.synthetic_rows, 20_000);
+        assert!(o.segments > 1, "multiple segments exercise cross-segment planning");
+        assert!(o.differential_verified, "{o:?}");
+        assert!(o.live_verified, "{o:?}");
+        assert_eq!(o.live_unaccounted, 0);
+        assert!(o.catalog_violations > 0, "catalog workload must violate");
+        for q in &o.queries {
+            assert!(q.verified, "{q:?}");
+        }
+        assert!(o.queries.iter().any(|q| q.matches > 0), "{:?}", o.queries);
+        assert!(o.verified());
+    }
+
+    #[test]
+    fn render_and_json_carry_the_contract_fields() {
+        let o = run(16, 400, 10_000);
+        let txt = render(&o);
+        assert!(txt.contains("disjunctive"));
+        assert!(txt.contains("byte-identical"));
+        let json = to_json(&o);
+        assert!(json.contains("\"experiment\": \"e16-violation-store\""));
+        assert!(json.contains("\"differential_verified\""));
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.ends_with("}\n"));
+        assert!(!json.contains("\"verified\": false"), "{json}");
+    }
+}

@@ -17,9 +17,11 @@
 //! | E8 | Sec 2.3: timeout-refresh subtlety | [`experiments::e8`] |
 //! | E9 | soundness: detection matrix | [`experiments::e9`] |
 //! | E10 | per-approach monitoring overhead | [`experiments::e10`] |
+//! | E16 | violation store: ingest, SWQL latency, live fidelity | [`experiments::e16`] |
 
 pub mod experiments;
 pub mod lint;
+pub mod storequery;
 pub mod table;
 
 pub use table::TextTable;

@@ -872,6 +872,7 @@ impl Monitor {
             bindings: bindings_out,
             history: history_out,
             degraded: false,
+            merge_seq: None,
         });
     }
 

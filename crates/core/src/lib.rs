@@ -37,6 +37,7 @@ pub mod snapshot;
 pub mod telemetry;
 pub mod var;
 pub mod violation;
+pub mod wire;
 
 pub use builder::PropertyBuilder;
 pub use dsl::{
@@ -55,6 +56,7 @@ pub use snapshot::{MonitorSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use telemetry::{Recorder, SharedRecorder};
 pub use var::{var, Bindings, Var, VarId, VarTable, MAX_VARS};
 pub use violation::{ProvenanceMode, Violation};
+pub use wire::{Reader as WireReader, Writer as WireWriter};
 
 /// Compile-time thread-safety audit. A multi-core runtime moves monitors
 /// into worker threads and events/violations across channels; these checks

@@ -222,6 +222,7 @@ mod tests {
             bindings: Some(Bindings::new().bind(var("A"), a7.into())),
             history: vec![],
             degraded: false,
+            merge_seq: None,
         };
         let hits = c.reconstruct(&v, Duration::from_secs(10));
         // Pair 7's arrival + departure, and nothing else (addresses are
@@ -245,6 +246,7 @@ mod tests {
             bindings: Some(Bindings::new().bind(var("A"), a7.into())),
             history: vec![],
             degraded: false,
+            merge_seq: None,
         };
         // Pair 7's events are ~430us before the end; a 10us window misses
         // them.
@@ -266,6 +268,7 @@ mod tests {
             bindings: Some(Bindings::new().bind(var("A"), a7.into())),
             history: vec![],
             degraded: false,
+            merge_seq: None,
         };
         assert!(c.reconstruct(&v, Duration::from_secs(10)).is_empty(), "history evicted");
         let a45 = Ipv4Address::from_u32(0x0a00_0002 + 45); // late pair: kept
@@ -286,6 +289,7 @@ mod tests {
             bindings: None,
             history: vec![],
             degraded: false,
+            merge_seq: None,
         };
         assert!(c.reconstruct(&v, Duration::from_secs(10)).is_empty());
     }

@@ -10,26 +10,27 @@
 //!
 //! ## Encoding
 //!
-//! [`MonitorSnapshot::to_bytes`] emits a hand-rolled little-endian binary
-//! format (magic `SWMS`, then a `u16` version — currently
-//! [`SNAPSHOT_VERSION`]). The format is versioned so a checkpoint written by
-//! one build is either read correctly or rejected loudly by another; it is
-//! *not* a wire protocol and makes no cross-endianness promises beyond
-//! always writing little-endian. [`MonitorSnapshot::from_bytes`] validates
-//! structurally (tags, lengths, trailing bytes); semantic validation against
-//! the receiving monitor's property happens in `restore`.
+//! [`MonitorSnapshot::to_bytes`] emits the canonical [`crate::wire`]
+//! little-endian binary format (magic `SWMS`, then a `u16` version —
+//! currently [`SNAPSHOT_VERSION`]). The format is versioned so a checkpoint
+//! written by one build is either read correctly or rejected loudly by
+//! another; it is *not* a wire protocol and makes no cross-endianness
+//! promises beyond always writing little-endian.
+//! [`MonitorSnapshot::from_bytes`] validates structurally (tags, lengths,
+//! trailing bytes); semantic validation against the receiving monitor's
+//! property happens in `restore`.
+//!
+//! The generic primitives and the shared codecs (field values, bindings,
+//! events, violations) live in [`crate::wire`]; only the engine-private
+//! structures (instances, effects, stats) are encoded here.
 
 use crate::engine::{Effect, Instance, KillReason, MonitorStats, TimerKind};
-use crate::var::{var, Bindings};
 use crate::violation::Violation;
-use std::fmt;
-use std::sync::Arc;
-use swmon_packet::{FieldValue, Ipv4Address, MacAddr, Packet};
+pub use crate::wire::SnapshotError;
+use crate::wire::{Reader, Writer};
 use swmon_sim::time::Instant;
 use swmon_sim::timer::{TimerEntry, TimerId, TimerWheelSnapshot};
-use swmon_sim::trace::{
-    EgressAction, NetEvent, NetEventKind, OobEvent, PacketId, PortNo, SwitchId,
-};
+use swmon_sim::trace::PacketId;
 
 /// Current snapshot encoding version. Bump on any layout change.
 pub const SNAPSHOT_VERSION: u16 = 1;
@@ -79,8 +80,8 @@ impl MonitorSnapshot {
 
     /// Serialize to the versioned binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer(Vec::with_capacity(256));
-        w.0.extend_from_slice(MAGIC);
+        let mut w = Writer::with_capacity(256);
+        w.magic(MAGIC);
         w.u16(SNAPSHOT_VERSION);
         w.str(&self.property);
         w.u64(self.stages as u64);
@@ -90,7 +91,7 @@ impl MonitorSnapshot {
                 None => w.u8(0),
                 Some(inst) => {
                     w.u8(1);
-                    w.instance(inst);
+                    write_instance(&mut w, inst);
                 }
             }
         }
@@ -115,7 +116,7 @@ impl MonitorSnapshot {
         w.u64(self.pending.len() as u64);
         for (ready, eff) in &self.pending {
             w.u64(ready.as_nanos());
-            w.effect(eff);
+            write_effect(&mut w, eff);
         }
         w.u64(self.violations.len() as u64);
         for v in &self.violations {
@@ -123,20 +124,14 @@ impl MonitorSnapshot {
         }
         w.u64(self.now.as_nanos());
         w.u64(self.next_uid);
-        w.stats(&self.stats);
-        w.0
+        write_stats(&mut w, &self.stats);
+        w.into_bytes()
     }
 
     /// Parse the versioned binary format back into a snapshot.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        let mut r = Reader { b: bytes, pos: 0 };
-        if r.take(4)? != MAGIC {
-            return Err(SnapshotError::BadMagic);
-        }
-        let version = r.u16()?;
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
-        }
+        let mut r = Reader::new(bytes);
+        r.expect_header(MAGIC, SNAPSHOT_VERSION)?;
         let property = r.str()?;
         let stages = r.len()?;
         let n_slots = r.len()?;
@@ -144,7 +139,7 @@ impl MonitorSnapshot {
         for _ in 0..n_slots {
             slots.push(match r.u8()? {
                 0 => None,
-                1 => Some(r.instance()?),
+                1 => Some(read_instance(&mut r)?),
                 t => return Err(SnapshotError::BadTag { what: "slot", tag: t }),
             });
         }
@@ -174,7 +169,7 @@ impl MonitorSnapshot {
         let mut pending = Vec::with_capacity(n_pending.min(1 << 20));
         for _ in 0..n_pending {
             let ready = Instant::from_nanos(r.u64()?);
-            pending.push((ready, r.effect()?));
+            pending.push((ready, read_effect(&mut r)?));
         }
         let n_violations = r.len()?;
         let mut violations = Vec::with_capacity(n_violations.min(1 << 20));
@@ -183,10 +178,8 @@ impl MonitorSnapshot {
         }
         let now = Instant::from_nanos(r.u64()?);
         let next_uid = r.u64()?;
-        let stats = r.stats()?;
-        if r.pos != r.b.len() {
-            return Err(SnapshotError::Malformed("trailing bytes after snapshot"));
-        }
+        let stats = read_stats(&mut r)?;
+        r.expect_end()?;
         Ok(MonitorSnapshot {
             property,
             stages,
@@ -202,485 +195,164 @@ impl MonitorSnapshot {
     }
 }
 
-/// Why a snapshot could not be decoded or restored.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SnapshotError {
-    /// The bytes do not start with the snapshot magic.
-    BadMagic,
-    /// The snapshot was written by an incompatible format version.
-    UnsupportedVersion(u16),
-    /// The input ended mid-structure.
-    Truncated,
-    /// An enum tag byte was out of range.
-    BadTag {
-        /// What was being decoded.
-        what: &'static str,
-        /// The offending tag byte.
-        tag: u8,
-    },
-    /// The snapshot belongs to a different property than the restoring
-    /// monitor watches.
-    PropertyMismatch {
-        /// The restoring monitor's property.
-        expected: String,
-        /// The snapshot's property.
-        found: String,
-    },
-    /// Structurally invalid content (bad lengths, inconsistent state).
-    Malformed(&'static str),
+// ---- engine-private structure codecs -----------------------------------
+//
+// These encode `pub(crate)` engine types (instances, pending effects, stage
+// counters) and so stay here; everything shareable lives in `crate::wire`.
+
+fn write_instance(w: &mut Writer, inst: &Instance) {
+    w.u64(inst.uid);
+    w.u64(inst.awaiting as u64);
+    w.bindings(&inst.bindings);
+    w.u64(inst.stage_ids.len() as u64);
+    for id in &inst.stage_ids {
+        w.opt_u64(id.map(|PacketId(x)| x));
+    }
+    w.u64(inst.history.len() as u64);
+    for ev in &inst.history {
+        w.event(ev);
+    }
+    w.opt_u64(inst.timer.map(TimerId::to_raw));
+    w.opt_u64(inst.cell.map(|c| c as u64));
 }
 
-impl fmt::Display for SnapshotError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SnapshotError::BadMagic => write!(f, "not a monitor snapshot (bad magic)"),
-            SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})")
-            }
-            SnapshotError::Truncated => write!(f, "snapshot truncated"),
-            SnapshotError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#04x}"),
-            SnapshotError::PropertyMismatch { expected, found } => {
-                write!(f, "snapshot is for property {found}, monitor watches {expected}")
-            }
-            SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
-        }
-    }
-}
-
-impl std::error::Error for SnapshotError {}
-
-// ---- little-endian writer ----------------------------------------------
-
-struct Writer(Vec<u8>);
-
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.0.push(v);
-    }
-    fn u16(&mut self, v: u16) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-    fn bool(&mut self, v: bool) {
-        self.u8(u8::from(v));
-    }
-    fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.0.extend_from_slice(s.as_bytes());
-    }
-    fn opt_u64(&mut self, v: Option<u64>) {
-        match v {
-            None => self.u8(0),
-            Some(x) => {
-                self.u8(1);
-                self.u64(x);
+fn write_effect(w: &mut Writer, eff: &Effect) {
+    match eff {
+        Effect::Spawn { obs_time, bindings, stage_id, history } => {
+            w.u8(0);
+            w.u64(obs_time.as_nanos());
+            w.bindings(bindings);
+            w.opt_u64(stage_id.map(|PacketId(x)| x));
+            w.u64(history.len() as u64);
+            for ev in history {
+                w.event(ev);
             }
         }
-    }
-
-    fn field_value(&mut self, v: &FieldValue) {
-        match v {
-            FieldValue::Mac(m) => {
-                self.u8(0);
-                self.u64(m.to_u64());
-            }
-            FieldValue::Ipv4(a) => {
-                self.u8(1);
-                self.u32(a.to_u32());
-            }
-            FieldValue::Uint(u) => {
-                self.u8(2);
-                self.u64(*u);
-            }
-        }
-    }
-
-    fn bindings(&mut self, b: &Bindings) {
-        self.u8(b.len() as u8);
-        for (v, val) in b.iter() {
-            self.str(v.name());
-            self.field_value(val);
-        }
-    }
-
-    fn packet(&mut self, p: &Packet) {
-        self.u32(p.bytes().len() as u32);
-        self.0.extend_from_slice(p.bytes());
-    }
-
-    fn event(&mut self, ev: &NetEvent) {
-        self.u64(ev.time.as_nanos());
-        match &ev.kind {
-            NetEventKind::Arrival { switch, port, pkt, id } => {
-                self.u8(0);
-                self.u32(switch.0);
-                self.u16(port.0);
-                self.packet(pkt);
-                self.u64(id.0);
-            }
-            NetEventKind::Departure { switch, pkt, id, action } => {
-                self.u8(1);
-                self.u32(switch.0);
-                self.packet(pkt);
-                self.u64(id.0);
-                match action {
-                    EgressAction::Output(p) => {
-                        self.u8(0);
-                        self.u16(p.0);
-                    }
-                    EgressAction::Flood => self.u8(1),
-                    EgressAction::Drop => self.u8(2),
-                }
-            }
-            NetEventKind::OutOfBand(oob) => {
-                self.u8(2);
-                match oob {
-                    OobEvent::PortDown(s, p) => {
-                        self.u8(0);
-                        self.u32(s.0);
-                        self.u16(p.0);
-                    }
-                    OobEvent::PortUp(s, p) => {
-                        self.u8(1);
-                        self.u32(s.0);
-                        self.u16(p.0);
-                    }
-                    OobEvent::ControllerMsg(s, tag) => {
-                        self.u8(2);
-                        self.u32(s.0);
-                        self.u64(*tag);
-                    }
+        Effect::Advance { obs_time, idx, uid, expected_stage, bindings, stage_id, event } => {
+            w.u8(1);
+            w.u64(obs_time.as_nanos());
+            w.u64(*idx as u64);
+            w.u64(*uid);
+            w.u64(*expected_stage as u64);
+            w.bindings(bindings);
+            w.opt_u64(stage_id.map(|PacketId(x)| x));
+            match event {
+                None => w.u8(0),
+                Some(ev) => {
+                    w.u8(1);
+                    w.event(ev);
                 }
             }
         }
-    }
-
-    fn instance(&mut self, inst: &Instance) {
-        self.u64(inst.uid);
-        self.u64(inst.awaiting as u64);
-        self.bindings(&inst.bindings);
-        self.u64(inst.stage_ids.len() as u64);
-        for id in &inst.stage_ids {
-            self.opt_u64(id.map(|PacketId(x)| x));
-        }
-        self.u64(inst.history.len() as u64);
-        for ev in &inst.history {
-            self.event(ev);
-        }
-        self.opt_u64(inst.timer.map(TimerId::to_raw));
-        self.opt_u64(inst.cell.map(|c| c as u64));
-    }
-
-    fn effect(&mut self, eff: &Effect) {
-        match eff {
-            Effect::Spawn { obs_time, bindings, stage_id, history } => {
-                self.u8(0);
-                self.u64(obs_time.as_nanos());
-                self.bindings(bindings);
-                self.opt_u64(stage_id.map(|PacketId(x)| x));
-                self.u64(history.len() as u64);
-                for ev in history {
-                    self.event(ev);
-                }
-            }
-            Effect::Advance { obs_time, idx, uid, expected_stage, bindings, stage_id, event } => {
-                self.u8(1);
-                self.u64(obs_time.as_nanos());
-                self.u64(*idx as u64);
-                self.u64(*uid);
-                self.u64(*expected_stage as u64);
-                self.bindings(bindings);
-                self.opt_u64(stage_id.map(|PacketId(x)| x));
-                match event {
-                    None => self.u8(0),
-                    Some(ev) => {
-                        self.u8(1);
-                        self.event(ev);
-                    }
-                }
-            }
-            Effect::Kill { idx, uid, expected_stage, reason } => {
-                self.u8(2);
-                self.u64(*idx as u64);
-                self.u64(*uid);
-                self.u64(*expected_stage as u64);
-                self.u8(match reason {
-                    KillReason::Cleared => 0,
-                });
-            }
-        }
-    }
-
-    fn violation(&mut self, v: &Violation) {
-        self.str(&v.property);
-        self.u64(v.time.as_nanos());
-        self.str(&v.trigger_stage);
-        match &v.bindings {
-            None => self.u8(0),
-            Some(b) => {
-                self.u8(1);
-                self.bindings(b);
-            }
-        }
-        self.u64(v.history.len() as u64);
-        for ev in &v.history {
-            self.event(ev);
-        }
-        self.bool(v.degraded);
-    }
-
-    fn stats(&mut self, s: &MonitorStats) {
-        for v in [
-            s.events,
-            s.spawned,
-            s.advanced,
-            s.window_expired,
-            s.cleared,
-            s.deduplicated,
-            s.refreshed,
-            s.deadlines_fired,
-            s.stale_effects_dropped,
-            s.evicted,
-            s.out_of_scope,
-        ] {
-            self.u64(v);
+        Effect::Kill { idx, uid, expected_stage, reason } => {
+            w.u8(2);
+            w.u64(*idx as u64);
+            w.u64(*uid);
+            w.u64(*expected_stage as u64);
+            w.u8(match reason {
+                KillReason::Cleared => 0,
+            });
         }
     }
 }
 
-// ---- little-endian reader ----------------------------------------------
-
-struct Reader<'a> {
-    b: &'a [u8],
-    pos: usize,
+fn write_stats(w: &mut Writer, s: &MonitorStats) {
+    for v in [
+        s.events,
+        s.spawned,
+        s.advanced,
+        s.window_expired,
+        s.cleared,
+        s.deduplicated,
+        s.refreshed,
+        s.deadlines_fired,
+        s.stale_effects_dropped,
+        s.evicted,
+        s.out_of_scope,
+    ] {
+        w.u64(v);
+    }
 }
 
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
-        if end > self.b.len() {
-            return Err(SnapshotError::Truncated);
+fn read_instance(r: &mut Reader<'_>) -> Result<Instance, SnapshotError> {
+    let uid = r.u64()?;
+    let awaiting = r.len()?;
+    let bindings = r.bindings()?;
+    let n_ids = r.len()?;
+    let mut stage_ids = Vec::with_capacity(n_ids.min(1 << 16));
+    for _ in 0..n_ids {
+        stage_ids.push(r.opt_u64()?.map(PacketId));
+    }
+    let n_hist = r.len()?;
+    let mut history = Vec::with_capacity(n_hist.min(1 << 16));
+    for _ in 0..n_hist {
+        history.push(r.event()?);
+    }
+    let timer = r.opt_u64()?.map(TimerId::from_raw);
+    let cell = match r.opt_u64()? {
+        None => None,
+        Some(c) => {
+            Some(usize::try_from(c).map_err(|_| SnapshotError::Malformed("cell exceeds usize"))?)
         }
-        let out = &self.b[self.pos..end];
-        self.pos = end;
-        Ok(out)
-    }
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u16(&mut self) -> Result<u16, SnapshotError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
-    }
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
-    }
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
-    }
-    /// A u64 that must fit in usize (lengths, indices).
-    fn len(&mut self) -> Result<usize, SnapshotError> {
-        usize::try_from(self.u64()?).map_err(|_| SnapshotError::Malformed("length exceeds usize"))
-    }
-    fn bool(&mut self) -> Result<bool, SnapshotError> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            t => Err(SnapshotError::BadTag { what: "bool", tag: t }),
-        }
-    }
-    fn str(&mut self) -> Result<String, SnapshotError> {
-        let n = self.u32()? as usize;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| SnapshotError::Malformed("string is not UTF-8"))
-    }
-    fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
-        match self.u8()? {
-            0 => Ok(None),
-            1 => Ok(Some(self.u64()?)),
-            t => Err(SnapshotError::BadTag { what: "option", tag: t }),
-        }
-    }
+    };
+    Ok(Instance { uid, awaiting, bindings, stage_ids, history, timer, cell })
+}
 
-    fn field_value(&mut self) -> Result<FieldValue, SnapshotError> {
-        match self.u8()? {
-            0 => Ok(FieldValue::Mac(MacAddr::from_u64(self.u64()?))),
-            1 => Ok(FieldValue::Ipv4(Ipv4Address::from_u32(self.u32()?))),
-            2 => Ok(FieldValue::Uint(self.u64()?)),
-            t => Err(SnapshotError::BadTag { what: "field value", tag: t }),
-        }
-    }
-
-    fn bindings(&mut self) -> Result<Bindings, SnapshotError> {
-        let n = self.u8()? as usize;
-        if n > crate::var::MAX_VARS {
-            return Err(SnapshotError::Malformed("too many bindings"));
-        }
-        let mut b = Bindings::new();
-        for _ in 0..n {
-            let name = self.str()?;
-            let val = self.field_value()?;
-            let v = var(&name);
-            if b.is_bound(&v) {
-                return Err(SnapshotError::Malformed("duplicate binding"));
+fn read_effect(r: &mut Reader<'_>) -> Result<Effect, SnapshotError> {
+    match r.u8()? {
+        0 => {
+            let obs_time = Instant::from_nanos(r.u64()?);
+            let bindings = r.bindings()?;
+            let stage_id = r.opt_u64()?.map(PacketId);
+            let n = r.len()?;
+            let mut history = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                history.push(r.event()?);
             }
-            b = b.bind(v, val);
+            Ok(Effect::Spawn { obs_time, bindings, stage_id, history })
         }
-        Ok(b)
-    }
-
-    fn packet(&mut self) -> Result<Arc<Packet>, SnapshotError> {
-        let n = self.u32()? as usize;
-        Ok(Arc::new(Packet::from_bytes(self.take(n)?.to_vec())))
-    }
-
-    fn event(&mut self) -> Result<NetEvent, SnapshotError> {
-        let time = Instant::from_nanos(self.u64()?);
-        let kind = match self.u8()? {
-            0 => {
-                let switch = SwitchId(self.u32()?);
-                let port = PortNo(self.u16()?);
-                let pkt = self.packet()?;
-                let id = PacketId(self.u64()?);
-                NetEventKind::Arrival { switch, port, pkt, id }
-            }
-            1 => {
-                let switch = SwitchId(self.u32()?);
-                let pkt = self.packet()?;
-                let id = PacketId(self.u64()?);
-                let action = match self.u8()? {
-                    0 => EgressAction::Output(PortNo(self.u16()?)),
-                    1 => EgressAction::Flood,
-                    2 => EgressAction::Drop,
-                    t => return Err(SnapshotError::BadTag { what: "egress action", tag: t }),
-                };
-                NetEventKind::Departure { switch, pkt, id, action }
-            }
-            2 => {
-                let oob = match self.u8()? {
-                    0 => OobEvent::PortDown(SwitchId(self.u32()?), PortNo(self.u16()?)),
-                    1 => OobEvent::PortUp(SwitchId(self.u32()?), PortNo(self.u16()?)),
-                    2 => OobEvent::ControllerMsg(SwitchId(self.u32()?), self.u64()?),
-                    t => return Err(SnapshotError::BadTag { what: "oob event", tag: t }),
-                };
-                NetEventKind::OutOfBand(oob)
-            }
-            t => return Err(SnapshotError::BadTag { what: "event", tag: t }),
-        };
-        Ok(NetEvent { time, kind })
-    }
-
-    fn instance(&mut self) -> Result<Instance, SnapshotError> {
-        let uid = self.u64()?;
-        let awaiting = self.len()?;
-        let bindings = self.bindings()?;
-        let n_ids = self.len()?;
-        let mut stage_ids = Vec::with_capacity(n_ids.min(1 << 16));
-        for _ in 0..n_ids {
-            stage_ids.push(self.opt_u64()?.map(PacketId));
+        1 => {
+            let obs_time = Instant::from_nanos(r.u64()?);
+            let idx = r.len()?;
+            let uid = r.u64()?;
+            let expected_stage = r.len()?;
+            let bindings = r.bindings()?;
+            let stage_id = r.opt_u64()?.map(PacketId);
+            let event = match r.u8()? {
+                0 => None,
+                1 => Some(r.event()?),
+                t => return Err(SnapshotError::BadTag { what: "option", tag: t }),
+            };
+            Ok(Effect::Advance { obs_time, idx, uid, expected_stage, bindings, stage_id, event })
         }
-        let n_hist = self.len()?;
-        let mut history = Vec::with_capacity(n_hist.min(1 << 16));
-        for _ in 0..n_hist {
-            history.push(self.event()?);
+        2 => {
+            let idx = r.len()?;
+            let uid = r.u64()?;
+            let expected_stage = r.len()?;
+            let reason = match r.u8()? {
+                0 => KillReason::Cleared,
+                t => return Err(SnapshotError::BadTag { what: "kill reason", tag: t }),
+            };
+            Ok(Effect::Kill { idx, uid, expected_stage, reason })
         }
-        let timer = self.opt_u64()?.map(TimerId::from_raw);
-        let cell = match self.opt_u64()? {
-            None => None,
-            Some(c) => Some(
-                usize::try_from(c).map_err(|_| SnapshotError::Malformed("cell exceeds usize"))?,
-            ),
-        };
-        Ok(Instance { uid, awaiting, bindings, stage_ids, history, timer, cell })
+        t => Err(SnapshotError::BadTag { what: "effect", tag: t }),
     }
+}
 
-    fn effect(&mut self) -> Result<Effect, SnapshotError> {
-        match self.u8()? {
-            0 => {
-                let obs_time = Instant::from_nanos(self.u64()?);
-                let bindings = self.bindings()?;
-                let stage_id = self.opt_u64()?.map(PacketId);
-                let n = self.len()?;
-                let mut history = Vec::with_capacity(n.min(1 << 16));
-                for _ in 0..n {
-                    history.push(self.event()?);
-                }
-                Ok(Effect::Spawn { obs_time, bindings, stage_id, history })
-            }
-            1 => {
-                let obs_time = Instant::from_nanos(self.u64()?);
-                let idx = self.len()?;
-                let uid = self.u64()?;
-                let expected_stage = self.len()?;
-                let bindings = self.bindings()?;
-                let stage_id = self.opt_u64()?.map(PacketId);
-                let event = match self.u8()? {
-                    0 => None,
-                    1 => Some(self.event()?),
-                    t => return Err(SnapshotError::BadTag { what: "option", tag: t }),
-                };
-                Ok(Effect::Advance {
-                    obs_time,
-                    idx,
-                    uid,
-                    expected_stage,
-                    bindings,
-                    stage_id,
-                    event,
-                })
-            }
-            2 => {
-                let idx = self.len()?;
-                let uid = self.u64()?;
-                let expected_stage = self.len()?;
-                let reason = match self.u8()? {
-                    0 => KillReason::Cleared,
-                    t => return Err(SnapshotError::BadTag { what: "kill reason", tag: t }),
-                };
-                Ok(Effect::Kill { idx, uid, expected_stage, reason })
-            }
-            t => Err(SnapshotError::BadTag { what: "effect", tag: t }),
-        }
-    }
-
-    fn violation(&mut self) -> Result<Violation, SnapshotError> {
-        let property = self.str()?;
-        let time = Instant::from_nanos(self.u64()?);
-        let trigger_stage = self.str()?;
-        let bindings = match self.u8()? {
-            0 => None,
-            1 => Some(self.bindings()?),
-            t => return Err(SnapshotError::BadTag { what: "option", tag: t }),
-        };
-        let n = self.len()?;
-        let mut history = Vec::with_capacity(n.min(1 << 16));
-        for _ in 0..n {
-            history.push(self.event()?);
-        }
-        let degraded = self.bool()?;
-        Ok(Violation { property, time, trigger_stage, bindings, history, degraded })
-    }
-
-    fn stats(&mut self) -> Result<MonitorStats, SnapshotError> {
-        Ok(MonitorStats {
-            events: self.u64()?,
-            spawned: self.u64()?,
-            advanced: self.u64()?,
-            window_expired: self.u64()?,
-            cleared: self.u64()?,
-            deduplicated: self.u64()?,
-            refreshed: self.u64()?,
-            deadlines_fired: self.u64()?,
-            stale_effects_dropped: self.u64()?,
-            evicted: self.u64()?,
-            out_of_scope: self.u64()?,
-        })
-    }
+fn read_stats(r: &mut Reader<'_>) -> Result<MonitorStats, SnapshotError> {
+    Ok(MonitorStats {
+        events: r.u64()?,
+        spawned: r.u64()?,
+        advanced: r.u64()?,
+        window_expired: r.u64()?,
+        cleared: r.u64()?,
+        deduplicated: r.u64()?,
+        refreshed: r.u64()?,
+        deadlines_fired: r.u64()?,
+        stale_effects_dropped: r.u64()?,
+        evicted: r.u64()?,
+        out_of_scope: r.u64()?,
+    })
 }
 
 #[cfg(test)]
@@ -690,9 +362,12 @@ mod tests {
     use crate::guard::{Atom, Guard};
     use crate::pattern::{ActionPattern, EventPattern};
     use crate::property::{Property, RefreshPolicy, Stage, Unless, WindowSpec};
+    use crate::var::var;
     use crate::violation::ProvenanceMode;
-    use swmon_packet::{Field, Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+    use std::sync::Arc;
+    use swmon_packet::{Field, Ipv4Address, MacAddr, Packet, PacketBuilder, TcpFlags};
     use swmon_sim::time::Duration;
+    use swmon_sim::trace::{EgressAction, NetEvent, NetEventKind, PortNo, SwitchId};
 
     fn tcp(src: u8, dst: u8, flags: TcpFlags) -> Arc<Packet> {
         Arc::new(PacketBuilder::tcp(

@@ -43,9 +43,22 @@ pub struct Violation {
     /// this violation is incomplete. The engine itself always reports
     /// `false`; only the runtime's gap accounting sets it (`docs/FAULTS.md`).
     pub degraded: bool,
+    /// Stable monotonic sequence id assigned by the runtime's canonical
+    /// merge (`swmon_runtime::merge`): position in the deterministic merged
+    /// order, identical across shard counts. `None` until merged — the
+    /// engine never assigns it, and it is deliberately excluded from the
+    /// snapshot encoding (a checkpointed violation has not been merged).
+    /// The violation store uses it as the primary key.
+    pub merge_seq: Option<u64>,
 }
 
 impl Violation {
+    /// The merge-time sequence id, if this violation has passed through the
+    /// runtime's canonical merge. See [`Violation::merge_seq`].
+    pub fn sequence_id(&self) -> Option<u64> {
+        self.merge_seq
+    }
+
     /// Render a one-line report.
     pub fn summary(&self) -> String {
         let mut s = match &self.bindings {
@@ -86,6 +99,7 @@ mod tests {
             bindings: Some(Bindings::new().bind(var("A"), FieldValue::Uint(7))),
             history: vec![],
             degraded: false,
+            merge_seq: None,
         };
         let s = v.summary();
         assert!(s.contains("fw"), "{s}");
@@ -126,6 +140,7 @@ mod tests {
             bindings: None,
             history: vec![],
             degraded: false,
+            merge_seq: None,
         };
         let full = Violation { history: vec![ev.clone(), ev], ..empty.clone() };
         assert_eq!(empty.provenance_bytes(), 0);

@@ -41,6 +41,7 @@ pub mod config;
 pub mod merge;
 pub mod router;
 pub mod shardkey;
+pub mod sink;
 pub mod stats;
 pub mod supervisor;
 pub mod telemetry;
@@ -50,6 +51,7 @@ pub use config::{FaultPoint, RuntimeConfig, TelemetryConfig};
 pub use merge::{signature, ViolationRecord};
 pub use router::{Router, MAX_PROPERTIES};
 pub use shardkey::PropertyRoute;
+pub use sink::ViolationSink;
 pub use stats::{MonitoringGap, RuntimeStats, ShardStats};
 pub use supervisor::{
     silence_injected_panics, ShardFailure, ShardOutcome, ShardSpec, INJECTED_PANIC_PREFIX,
@@ -195,6 +197,15 @@ impl ShardedRuntime {
 
     /// Spawn the supervised workers and return a streaming session.
     pub fn start(&self) -> Session<'_> {
+        self.start_with_sink(None)
+    }
+
+    /// Like [`ShardedRuntime::start`], but wire a live [`ViolationSink`]:
+    /// shards publish checkpoint-stable violations to it mid-run (exactly
+    /// once, crashes included), and [`Session::finish`] seals it with the
+    /// canonically merged records. See the [`sink`] module for the
+    /// delivery contract.
+    pub fn start_with_sink(&self, sink: Option<Arc<dyn ViolationSink>>) -> Session<'_> {
         let shards = self.cfg.shards;
         let hashed = self.router.routes().iter().filter(|r| r.is_hashed()).count();
         let pinned = self.router.routes().iter().filter(|r| !r.is_hashed()).count();
@@ -226,6 +237,7 @@ impl ShardedRuntime {
                 probe: hub.shard(s).clone(),
                 engines: hub.engines().to_vec(),
                 tracer: hub.tracer().clone(),
+                sink: sink.clone(),
             };
             senders.push(tx);
             handles.push(Some(std::thread::spawn(move || supervisor::run(rx, spec))));
@@ -245,6 +257,7 @@ impl ShardedRuntime {
             seq: 0,
             stats,
             hub,
+            sink,
         }
     }
 
@@ -279,6 +292,7 @@ pub struct Session<'rt> {
     seq: u64,
     stats: RuntimeStats,
     hub: Arc<TelemetryHub>,
+    sink: Option<Arc<dyn ViolationSink>>,
 }
 
 impl Session<'_> {
@@ -372,7 +386,12 @@ impl Session<'_> {
             return Err(err);
         }
         let stats = std::mem::take(&mut self.stats);
-        Ok(Outcome { records: merge::merge(records), stats, telemetry: self.hub.clone() })
+        let records = merge::merge(records);
+        if let Some(sink) = &self.sink {
+            sink.seal(&records);
+            self.hub.store_sealed.add(records.len() as u64);
+        }
+        Ok(Outcome { records, stats, telemetry: self.hub.clone() })
     }
 
     /// Diagnose a dead shard: join its handle and surface the supervised

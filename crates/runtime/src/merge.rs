@@ -45,6 +45,15 @@ pub fn kind_rank(property: &Property, trigger_stage: &str) -> u8 {
     1
 }
 
+/// The canonical merge key of a record. Public so downstream consumers
+/// (notably `swmon-store`'s live query executor) can order any *subset* of
+/// records exactly as a full [`merge`] would order them — a prefix of
+/// published records sorted by this key is a prefix of the final canonical
+/// output.
+pub fn canonical_key(r: &ViolationRecord) -> (u64, usize, u8, String, String) {
+    key(r)
+}
+
 fn key(r: &ViolationRecord) -> (u64, usize, u8, String, String) {
     (
         r.violation.time.as_nanos(),
@@ -58,10 +67,15 @@ fn key(r: &ViolationRecord) -> (u64, usize, u8, String, String) {
     )
 }
 
-/// Sort records into the canonical order. Deterministic for any
-/// interleaving of the same record multiset — i.e. for any shard count.
+/// Sort records into the canonical order and stamp each violation with its
+/// stable merge-time sequence id ([`Violation::merge_seq`]): the position
+/// in this order. Deterministic for any interleaving of the same record
+/// multiset — i.e. for any shard count — so the ids are stable too.
 pub fn merge(mut records: Vec<ViolationRecord>) -> Vec<ViolationRecord> {
     records.sort_by_cached_key(key);
+    for (i, r) in records.iter_mut().enumerate() {
+        r.violation.merge_seq = Some(i as u64);
+    }
     records
 }
 
@@ -98,6 +112,7 @@ mod tests {
                 bindings: Some(b),
                 history: vec![],
                 degraded: false,
+                merge_seq: None,
             },
         }
     }

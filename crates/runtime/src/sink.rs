@@ -1,0 +1,41 @@
+//! Live violation publication out of the fault-tolerant runtime.
+//!
+//! A [`ViolationSink`] lets a long-running session stream its violations to
+//! an external consumer (the `swmon-store` crate's ingest path) *while the
+//! run is still going*, without weakening any fault-tolerance contract:
+//!
+//! - **Exactly-once under crashes.** A shard publishes only
+//!   *checkpoint-stable* records: recovery truncates a shard's record list
+//!   back to its last checkpoint (`docs/FAULTS.md`), so anything below that
+//!   mark can never be retracted or re-discovered. The supervisor therefore
+//!   publishes at exactly the moments it checkpoints (and once more at
+//!   finish), and nothing it has published is ever published again.
+//! - **No silent loss.** Publication is copy-out; the supervisor's private
+//!   ledger and the `unaccounted_loss() == 0` audit are untouched.
+//! - **Canonical at seal.** Per-shard publications arrive in shard
+//!   discovery order, which is *not* the canonical merged order. When the
+//!   session finishes, [`ViolationSink::seal`] hands the sink the final
+//!   canonically merged records (with [`swmon_core::Violation::merge_seq`]
+//!   assigned) so it can expose exactly the merged output.
+
+use crate::merge::ViolationRecord;
+use std::fmt;
+
+/// A consumer of live violation publications. See the module docs for the
+/// delivery contract.
+///
+/// Implementations must be cheap and non-blocking-ish: `publish` runs on
+/// shard supervisor threads at checkpoint cadence, and a slow sink extends
+/// the shard's unavailability window exactly like a slow checkpoint.
+pub trait ViolationSink: Send + Sync + fmt::Debug {
+    /// Checkpoint-stable records newly produced by `shard`, in that shard's
+    /// discovery order. Each record is delivered exactly once across the
+    /// whole run, crashes included; violations carry no merge-time sequence
+    /// id yet (`merge_seq == None` until seal).
+    fn publish(&self, shard: usize, records: &[ViolationRecord]);
+
+    /// The run finished: `merged` is the complete canonical merged output,
+    /// sequence ids assigned. The multiset of violations equals everything
+    /// published (publication is exactly-once), re-ordered canonically.
+    fn seal(&self, merged: &[ViolationRecord]);
+}

@@ -26,6 +26,7 @@ use std::sync::{Arc, Once};
 
 use crate::batch::{Item, Msg};
 use crate::config::RuntimeConfig;
+use crate::sink::ViolationSink;
 use crate::stats::MonitoringGap;
 use crate::telemetry::ShardProbe;
 use crate::worker::{WorkerReport, WorkerState};
@@ -85,6 +86,9 @@ pub struct ShardSpec {
     pub engines: Vec<Arc<EngineProbe>>,
     /// The run's span tracer (disabled unless configured).
     pub tracer: Arc<SpanTracer>,
+    /// Optional live violation sink: checkpoint-stable records are
+    /// published to it exactly once (see [`crate::sink`]).
+    pub sink: Option<Arc<dyn ViolationSink>>,
 }
 
 /// Terminal shard failure: the restart budget
@@ -197,6 +201,11 @@ struct Supervisor {
     probe: Arc<ShardProbe>,
     engines: Vec<Arc<EngineProbe>>,
     tracer: Arc<SpanTracer>,
+    sink: Option<Arc<dyn ViolationSink>>,
+    /// Records already handed to the sink. Publication happens only at
+    /// checkpoints, and recovery truncates records back to the checkpoint,
+    /// so everything below this mark is crash-stable — exactly-once holds.
+    published: usize,
 }
 
 impl Supervisor {
@@ -235,6 +244,8 @@ impl Supervisor {
             probe: spec.probe,
             engines: spec.engines,
             tracer: spec.tracer,
+            sink: spec.sink,
+            published: 0,
         }
     }
 
@@ -386,12 +397,29 @@ impl Supervisor {
             self.gaps.push(gap);
         }
         self.in_gap = false;
+        // The records below the new checkpoint mark are now crash-stable
+        // (recovery can no longer truncate past them): safe to publish.
+        self.publish_stable(self.checkpoint.records_len);
+    }
+
+    /// Hand records `[published, upto)` to the sink, exactly once.
+    fn publish_stable(&mut self, upto: usize) {
+        let Some(sink) = &self.sink else { return };
+        if upto <= self.published {
+            return;
+        }
+        let fresh = &self.state.records[self.published..upto];
+        sink.publish(self.shard, fresh);
+        self.probe.store_published.add(fresh.len() as u64);
+        self.published = upto;
     }
 
     fn into_outcome(mut self) -> ShardOutcome {
         if let Some(gap) = self.open_gap.take() {
             self.gaps.push(gap);
         }
+        // End of input: every remaining record is final, publish the tail.
+        self.publish_stable(self.state.records.len());
         ShardOutcome {
             report: self.state.into_report(),
             delivered: self.delivered,
@@ -484,6 +512,7 @@ mod tests {
             probe: hub.shard(0).clone(),
             engines: hub.engines().to_vec(),
             tracer: hub.tracer().clone(),
+            sink: None,
         }
     }
 

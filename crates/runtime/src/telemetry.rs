@@ -53,6 +53,9 @@ pub struct ShardProbe {
     pub queue_depth: Histogram,
     /// Per-recovery checkpoint-restore latency, nanoseconds.
     pub recovery: Histogram,
+    /// Checkpoint-stable violation records published to the live store
+    /// sink ([`crate::sink::ViolationSink`]). Zero when no sink is wired.
+    pub store_published: Counter,
 }
 
 /// All shared instrumentation for one run: router counters, per-shard
@@ -67,6 +70,9 @@ pub struct TelemetryHub {
     pub skipped: Counter,
     /// Channel batches sent.
     pub batches: Counter,
+    /// Canonically merged records handed to the store sink at seal time.
+    /// Zero when no sink is wired (or until the session finishes).
+    pub store_sealed: Counter,
     shards: Vec<Arc<ShardProbe>>,
     engines: Vec<Arc<EngineProbe>>,
     tracer: Arc<SpanTracer>,
@@ -92,6 +98,7 @@ impl TelemetryHub {
             deliveries: Counter::new(),
             skipped: Counter::new(),
             batches: Counter::new(),
+            store_sealed: Counter::new(),
             shards: (0..shards).map(|_| Arc::new(ShardProbe::default())).collect(),
             engines,
             tracer: Arc::new(SpanTracer::sampled(
@@ -170,6 +177,7 @@ impl TelemetryHub {
         page.counters.push((Key::plain(names::DELIVERIES), self.deliveries.get()));
         page.counters.push((Key::plain(names::SKIPPED), self.skipped.get()));
         page.counters.push((Key::plain(names::BATCHES), self.batches.get()));
+        page.counters.push((Key::plain(names::STORE_SEALED), self.store_sealed.get()));
         for (s, probe) in self.shards.iter().enumerate() {
             let c = |name: &str, v: u64| (Key::labeled(name, "shard", s), v);
             page.counters.push(c(names::SHARD_DELIVERED, probe.delivered.get()));
@@ -180,6 +188,7 @@ impl TelemetryHub {
             page.counters.push(c(names::SHARD_REPLAYED, probe.replayed.get()));
             page.counters.push(c(names::SHARD_DEGRADED, probe.degraded_violations.get()));
             page.counters.push(c(names::SHARD_VIOLATIONS, probe.violations.get()));
+            page.counters.push(c(names::SHARD_STORE_PUBLISHED, probe.store_published.get()));
             page.histograms.push((
                 Key::labeled(names::SHARD_QUEUE_DEPTH, "shard", s),
                 probe.queue_depth.snapshot(),

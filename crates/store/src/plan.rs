@@ -1,0 +1,214 @@
+//! Index selection: pick the most selective access path per branch.
+//!
+//! SWQL branches are conjunctions, so any one atom can drive the scan and
+//! the rest become per-row predicates. The planner costs each atom by the
+//! exact number of candidate rows its index would yield across the
+//! store's segments (posting-list lengths — the indexes are exact, so
+//! these are true cardinalities, not estimates in the statistics sense)
+//! and drives from the cheapest. `prop(*)` indexes nothing and costs the
+//! full store; `window` costs the rows of time-overlapping segments.
+//! Ties keep the earliest atom, so plans are deterministic.
+
+use std::fmt;
+
+use crate::segment::Segment;
+use crate::swql::{Atom, Query};
+
+/// The access path chosen to enumerate a branch's candidate rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Driver {
+    /// Walk every row (a branch of only `prop(*)` atoms).
+    FullScan,
+    /// The property posting list.
+    Prop(String),
+    /// The interned binding-value posting list.
+    Bind(String, swmon_packet::FieldValue),
+    /// Rows of segments overlapping the inclusive time range.
+    Window(u64, u64),
+    /// The degraded-provenance list.
+    Degraded,
+    /// The per-shard posting list.
+    Shard(u32),
+}
+
+impl fmt::Display for Driver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Driver::FullScan => write!(f, "full scan"),
+            Driver::Prop(p) => write!(f, "prop({p})"),
+            Driver::Bind(v, val) => write!(f, "bind({v}, {val})"),
+            Driver::Window(a, b) => write!(f, "window({a}, {b})"),
+            Driver::Degraded => write!(f, "degraded()"),
+            Driver::Shard(s) => write!(f, "shard({s})"),
+        }
+    }
+}
+
+/// The plan for one conjunctive branch.
+#[derive(Debug, Clone)]
+pub struct BranchPlan {
+    /// The chosen access path.
+    pub driver: Driver,
+    /// Exact candidate-row count the driver will enumerate.
+    pub candidates: u64,
+    /// Every atom of the branch, applied as a predicate to each candidate
+    /// (the driver's atom included — window drivers overshoot segment
+    /// granularity, and rechecking the rest is cheap and uniform).
+    pub predicates: Vec<Atom>,
+}
+
+/// The full query plan, one entry per branch.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Per-branch plans, in query order.
+    pub branches: Vec<BranchPlan>,
+}
+
+impl Plan {
+    /// A one-line-per-branch human-readable explanation.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for (i, b) in self.branches.iter().enumerate() {
+            out.push_str(&format!(
+                "branch {i}: drive {} ({} candidate row{}), {} predicate{}\n",
+                b.driver,
+                b.candidates,
+                if b.candidates == 1 { "" } else { "s" },
+                b.predicates.len(),
+                if b.predicates.len() == 1 { "" } else { "s" },
+            ));
+        }
+        out
+    }
+}
+
+/// Exact candidate-row count of driving the branch from `atom`.
+fn cost(atom: &Atom, segments: &[Segment], total: u64) -> u64 {
+    match atom {
+        Atom::Prop(None) => total,
+        Atom::Prop(Some(p)) => segments.iter().map(|s| s.prop_rows(p).len() as u64).sum(),
+        Atom::Bind(v, val) => segments.iter().map(|s| s.bind_rows(v, val).len() as u64).sum(),
+        Atom::Window(a, b) => {
+            segments.iter().filter(|s| s.overlaps(*a, *b)).map(|s| s.len() as u64).sum()
+        }
+        Atom::Degraded => segments.iter().map(|s| s.degraded_rows().len() as u64).sum(),
+        Atom::Shard(s) => segments.iter().map(|seg| seg.shard_rows(*s).len() as u64).sum(),
+    }
+}
+
+/// Plan `query` against the given segment set.
+pub fn plan(query: &Query, segments: &[Segment]) -> Plan {
+    let total: u64 = segments.iter().map(|s| s.len() as u64).sum();
+    let branches = query
+        .branches
+        .iter()
+        .map(|branch| {
+            let costed: Vec<(u64, &Atom)> =
+                branch.atoms.iter().map(|(a, _)| (cost(a, segments, total), a)).collect();
+            let (candidates, cheapest) = costed
+                .iter()
+                .min_by_key(|(c, _)| *c)
+                .map(|(c, a)| (*c, (*a).clone()))
+                .expect("a branch has at least one atom");
+            let driver = match cheapest {
+                Atom::Prop(None) => Driver::FullScan,
+                Atom::Prop(Some(p)) => Driver::Prop(p),
+                Atom::Bind(v, val) => Driver::Bind(v, val),
+                Atom::Window(a, b) => Driver::Window(a, b),
+                Atom::Degraded => Driver::Degraded,
+                Atom::Shard(s) => Driver::Shard(s),
+            };
+            BranchPlan {
+                driver,
+                candidates,
+                predicates: branch.atoms.iter().map(|(a, _)| a.clone()).collect(),
+            }
+        })
+        .collect();
+    Plan { branches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Row;
+    use crate::swql::parse;
+    use swmon_core::{var, Bindings, Violation};
+    use swmon_packet::FieldValue;
+    use swmon_runtime::ViolationRecord;
+    use swmon_sim::time::Instant;
+
+    fn seg(rows: Vec<(u64, &str, u64, u64, bool)>) -> Segment {
+        Segment::build(
+            rows.into_iter()
+                .map(|(seq, prop, t, port, degraded)| Row {
+                    store_seq: seq,
+                    shard: (seq % 2) as u32,
+                    record: ViolationRecord {
+                        seq,
+                        property: 0,
+                        rank: 1,
+                        violation: Violation {
+                            property: prop.to_string(),
+                            time: Instant::from_nanos(t),
+                            trigger_stage: "s".into(),
+                            bindings: Some(Bindings::new().bind(var("A"), FieldValue::Uint(port))),
+                            history: vec![],
+                            degraded,
+                            merge_seq: Some(seq),
+                        },
+                    },
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn picks_the_most_selective_index() {
+        let segs = vec![seg(vec![
+            (0, "fw", 10, 80, false),
+            (1, "fw", 20, 80, false),
+            (2, "fw", 30, 80, true),
+            (3, "dhcp", 40, 443, false),
+        ])];
+        // degraded() has 1 posting, prop(fw) has 3: degraded drives.
+        let q = parse("prop(fw), degraded()").unwrap();
+        let p = plan(&q, &segs);
+        assert_eq!(p.branches[0].driver, Driver::Degraded);
+        assert_eq!(p.branches[0].candidates, 1);
+        assert_eq!(p.branches[0].predicates.len(), 2);
+        // bind(A, 443) has 1 posting, beats prop(fw)'s 3.
+        let q = parse("prop(fw), bind(A, 443)").unwrap();
+        let p = plan(&q, &segs);
+        assert!(matches!(p.branches[0].driver, Driver::Bind(_, _)), "{:?}", p.branches[0]);
+        let explain = p.explain();
+        assert!(explain.contains("branch 0: drive bind(A, 443)"), "{explain}");
+    }
+
+    #[test]
+    fn star_alone_is_a_full_scan_and_window_prunes_segments() {
+        let segs = vec![
+            seg(vec![(0, "fw", 10, 80, false), (1, "fw", 20, 80, false)]),
+            seg(vec![(2, "fw", 1_000, 80, false)]),
+        ];
+        let q = parse("prop(*)").unwrap();
+        let p = plan(&q, &segs);
+        assert_eq!(p.branches[0].driver, Driver::FullScan);
+        assert_eq!(p.branches[0].candidates, 3);
+        // The window only overlaps the first segment.
+        let q = parse("prop(*), window(0, 100)").unwrap();
+        let p = plan(&q, &segs);
+        assert_eq!(p.branches[0].driver, Driver::Window(0, 100));
+        assert_eq!(p.branches[0].candidates, 2);
+    }
+
+    #[test]
+    fn each_branch_plans_independently() {
+        let segs = vec![seg(vec![(0, "fw", 10, 80, false), (1, "dhcp", 20, 443, true)])];
+        let q = parse("prop(fw) or degraded()").unwrap();
+        let p = plan(&q, &segs);
+        assert_eq!(p.branches.len(), 2);
+        assert_eq!(p.branches[0].driver, Driver::Prop("fw".into()));
+        assert_eq!(p.branches[1].driver, Driver::Degraded);
+    }
+}

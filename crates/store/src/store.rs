@@ -1,0 +1,453 @@
+//! The store: append-only segment log, canonical-order query executor,
+//! and the whole-store byte encoding.
+//!
+//! ## Prefix consistency for live queries
+//!
+//! All mutable state sits behind one `RwLock`: an ingest batch becomes
+//! visible atomically (one segment push under the write lock), and a query
+//! takes the read lock exactly once, so every answer reflects a *prefix*
+//! of the publication stream — never half a batch. Because the runtime
+//! publishes only checkpoint-stable records (see
+//! [`swmon_runtime::sink`]), that prefix is also crash-stable: nothing a
+//! query returned can later be retracted.
+//!
+//! ## Canonical order
+//!
+//! Query results are sorted by [`swmon_runtime::merge::canonical_key`] —
+//! the exact key the runtime's deterministic merge uses — so a query over
+//! a sealed store returns violations in the same order the engine's
+//! merged `Vec` holds them, and a live query returns the canonical
+//! ordering of the published-so-far subset.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::RwLock;
+
+use swmon_analysis::json::escape;
+use swmon_core::wire::{Reader, SnapshotError, Writer};
+use swmon_runtime::merge::canonical_key;
+use swmon_runtime::{signature, ViolationRecord};
+
+use crate::plan::{plan, Driver, Plan};
+use crate::segment::{Row, Segment, NO_SHARD};
+use crate::swql::{parse, Query, QueryError};
+
+/// Magic of the whole-store byte encoding (a framed list of `SWVS`
+/// segments).
+pub const STORE_MAGIC: &[u8; 4] = b"SWVL";
+/// Current store format version.
+pub const STORE_VERSION: u16 = 1;
+
+/// Rows per segment when a seal rebuilds the log canonically: large enough
+/// to amortize per-segment index overhead, small enough that `window`
+/// queries can skip whole segments.
+const SEAL_SEGMENT_ROWS: usize = 65_536;
+
+#[derive(Debug, Default)]
+struct Inner {
+    segments: Vec<Segment>,
+    next_seq: u64,
+    sealed: bool,
+}
+
+/// The indexed violation store. Shareable across threads (`&self` API,
+/// one internal `RwLock`); see the module docs for the consistency model.
+#[derive(Debug, Default)]
+pub struct Store {
+    inner: RwLock<Inner>,
+}
+
+/// One query result row.
+#[derive(Debug, Clone)]
+pub struct QueryMatch {
+    /// The store primary key ([`Row::store_seq`]).
+    pub store_seq: u64,
+    /// Discovering shard ([`NO_SHARD`] if unknown).
+    pub shard: u32,
+    /// The violation record.
+    pub record: ViolationRecord,
+}
+
+/// A query answer: the matches (canonical order) plus execution metadata.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// Matching rows in canonical merge order.
+    pub matches: Vec<QueryMatch>,
+    /// Candidate rows the executor actually visited.
+    pub scanned: u64,
+    /// Total rows in the store snapshot the query ran against.
+    pub total: u64,
+    /// Whether that snapshot was sealed (final) or a live prefix.
+    pub sealed: bool,
+    /// The chosen plan (for `--json` output and tests).
+    pub plan: Plan,
+}
+
+impl QueryOutput {
+    /// Canonical signatures of the matches, comparable against
+    /// [`swmon_runtime::Outcome::signatures`].
+    pub fn signatures(&self) -> Vec<String> {
+        self.matches.iter().map(|m| signature(&m.record)).collect()
+    }
+
+    /// Human-readable rendering: one line per match, then a footer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.matches {
+            let shard = if m.shard == NO_SHARD { "-".to_string() } else { m.shard.to_string() };
+            out.push_str(&format!(
+                "#{:<6} shard {:>2}  {}\n",
+                m.store_seq,
+                shard,
+                m.record.violation.summary()
+            ));
+        }
+        out.push_str(&format!(
+            "{} match(es) of {} stored violation(s), {} row(s) scanned, {} snapshot\n",
+            self.matches.len(),
+            self.total,
+            self.scanned,
+            if self.sealed { "sealed" } else { "live" },
+        ));
+        out
+    }
+
+    /// The answer as a JSON document (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut rows = String::new();
+        for (i, m) in self.matches.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            let shard = if m.shard == NO_SHARD { "null".into() } else { m.shard.to_string() };
+            rows.push_str(&format!(
+                "    {{\"seq\": {}, \"shard\": {}, \"degraded\": {}, \"signature\": \"{}\"}}",
+                m.store_seq,
+                shard,
+                m.record.violation.degraded,
+                escape(&signature(&m.record)),
+            ));
+        }
+        format!(
+            "{{\n  \"matches\": {},\n  \"total\": {},\n  \"scanned\": {},\n  \
+             \"sealed\": {},\n  \"plan\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}",
+            self.matches.len(),
+            self.total,
+            self.scanned,
+            self.sealed,
+            escape(self.plan.explain().trim_end()),
+            rows
+        )
+    }
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Append one batch of records discovered by `shard`. The batch
+    /// becomes visible atomically. No-op on an empty batch or a sealed
+    /// store (sealing is terminal).
+    pub fn ingest(&self, shard: u32, records: &[ViolationRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.write().expect("store lock poisoned");
+        if inner.sealed {
+            debug_assert!(false, "ingest into a sealed store");
+            return;
+        }
+        let base = inner.next_seq;
+        let rows: Vec<Row> = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Row { store_seq: base + i as u64, shard, record: r.clone() })
+            .collect();
+        inner.next_seq += rows.len() as u64;
+        inner.segments.push(Segment::build(rows));
+    }
+
+    /// Replace the live log with the canonical merged output: rows are
+    /// re-keyed by [`swmon_core::Violation::merge_seq`], shard provenance
+    /// is recovered from the live rows by canonical signature (publication
+    /// is exactly-once, so the multisets agree whenever the run published
+    /// live), and the log is re-chunked into time-ordered segments.
+    pub fn seal(&self, merged: &[ViolationRecord]) {
+        let mut inner = self.inner.write().expect("store lock poisoned");
+        let mut by_sig: HashMap<String, VecDeque<u32>> = HashMap::new();
+        for seg in &inner.segments {
+            for row in seg.rows() {
+                by_sig.entry(signature(&row.record)).or_default().push_back(row.shard);
+            }
+        }
+        let rows: Vec<Row> = merged
+            .iter()
+            .enumerate()
+            .map(|(i, rec)| Row {
+                store_seq: rec.violation.merge_seq.unwrap_or(i as u64),
+                shard: by_sig
+                    .get_mut(&signature(rec))
+                    .and_then(VecDeque::pop_front)
+                    .unwrap_or(NO_SHARD),
+                record: rec.clone(),
+            })
+            .collect();
+        inner.segments =
+            rows.chunks(SEAL_SEGMENT_ROWS).map(|c| Segment::build(c.to_vec())).collect();
+        inner.next_seq = merged.len() as u64;
+        inner.sealed = true;
+    }
+
+    /// Total stored rows.
+    pub fn len(&self) -> u64 {
+        let inner = self.inner.read().expect("store lock poisoned");
+        inner.segments.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`Store::seal`] has run.
+    pub fn is_sealed(&self) -> bool {
+        self.inner.read().expect("store lock poisoned").sealed
+    }
+
+    /// Number of segments currently in the log.
+    pub fn segment_count(&self) -> usize {
+        self.inner.read().expect("store lock poisoned").segments.len()
+    }
+
+    /// Execute a parsed query against a prefix-consistent snapshot.
+    pub fn query(&self, q: &Query) -> QueryOutput {
+        let inner = self.inner.read().expect("store lock poisoned");
+        let segments = &inner.segments;
+        let total: u64 = segments.iter().map(|s| s.len() as u64).sum();
+        let the_plan = plan(q, segments);
+        let mut hits: Vec<(usize, u32)> = Vec::new();
+        let mut scanned = 0u64;
+        for (branch, bplan) in q.branches.iter().zip(&the_plan.branches) {
+            let mut consider = |seg_idx: usize, row_idx: u32| {
+                scanned += 1;
+                let row = &segments[seg_idx].rows()[row_idx as usize];
+                if branch.atoms.iter().all(|(a, _)| Segment::row_matches(row, a)) {
+                    hits.push((seg_idx, row_idx));
+                }
+            };
+            match &bplan.driver {
+                Driver::FullScan => {
+                    for (si, seg) in segments.iter().enumerate() {
+                        for ri in 0..seg.len() as u32 {
+                            consider(si, ri);
+                        }
+                    }
+                }
+                Driver::Prop(p) => {
+                    for (si, seg) in segments.iter().enumerate() {
+                        for &ri in seg.prop_rows(p) {
+                            consider(si, ri);
+                        }
+                    }
+                }
+                Driver::Bind(v, val) => {
+                    for (si, seg) in segments.iter().enumerate() {
+                        for &ri in seg.bind_rows(v, val) {
+                            consider(si, ri);
+                        }
+                    }
+                }
+                Driver::Window(a, b) => {
+                    for (si, seg) in segments.iter().enumerate() {
+                        if !seg.overlaps(*a, *b) {
+                            continue;
+                        }
+                        for ri in 0..seg.len() as u32 {
+                            consider(si, ri);
+                        }
+                    }
+                }
+                Driver::Degraded => {
+                    for (si, seg) in segments.iter().enumerate() {
+                        for &ri in seg.degraded_rows() {
+                            consider(si, ri);
+                        }
+                    }
+                }
+                Driver::Shard(s) => {
+                    for (si, seg) in segments.iter().enumerate() {
+                        for &ri in seg.shard_rows(*s) {
+                            consider(si, ri);
+                        }
+                    }
+                }
+            }
+        }
+        // Dedup across branches, then impose the canonical merge order.
+        hits.sort_unstable();
+        hits.dedup();
+        let mut matches: Vec<QueryMatch> = hits
+            .into_iter()
+            .map(|(si, ri)| {
+                let row = &segments[si].rows()[ri as usize];
+                QueryMatch {
+                    store_seq: row.store_seq,
+                    shard: row.shard,
+                    record: row.record.clone(),
+                }
+            })
+            .collect();
+        matches.sort_by_cached_key(|m| (canonical_key(&m.record), m.store_seq));
+        QueryOutput { matches, scanned, total, sealed: inner.sealed, plan: the_plan }
+    }
+
+    /// Parse and execute an SWQL source string.
+    pub fn query_str(&self, src: &str) -> Result<QueryOutput, QueryError> {
+        Ok(self.query(&parse(src)?))
+    }
+
+    /// Encode the whole store: a framed list of segments under the `SWVL`
+    /// magic.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let inner = self.inner.read().expect("store lock poisoned");
+        let mut w = Writer::with_capacity(4096);
+        w.magic(STORE_MAGIC);
+        w.u16(STORE_VERSION);
+        w.u64(inner.next_seq);
+        w.bool(inner.sealed);
+        w.u64(inner.segments.len() as u64);
+        for seg in &inner.segments {
+            let bytes = seg.to_bytes();
+            w.u64(bytes.len() as u64);
+            w.raw(&bytes);
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a store written by [`Store::to_bytes`], validating before
+    /// anything is constructed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::new(bytes);
+        r.expect_header(STORE_MAGIC, STORE_VERSION)?;
+        let next_seq = r.u64()?;
+        let sealed = r.bool()?;
+        let n = r.len()?;
+        let mut segments = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let len = r.len()?;
+            segments.push(Segment::from_bytes(r.take(len)?)?);
+        }
+        r.expect_end()?;
+        Ok(Store { inner: RwLock::new(Inner { segments, next_seq, sealed }) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{var, Bindings, Violation};
+    use swmon_packet::FieldValue;
+    use swmon_sim::time::Instant;
+
+    fn rec(prop: &str, t: u64, port: u64, degraded: bool) -> ViolationRecord {
+        ViolationRecord {
+            seq: 0,
+            property: 0,
+            rank: 1,
+            violation: Violation {
+                property: prop.to_string(),
+                time: Instant::from_nanos(t),
+                trigger_stage: "s".into(),
+                bindings: Some(Bindings::new().bind(var("A"), FieldValue::Uint(port))),
+                history: vec![],
+                degraded,
+                merge_seq: None,
+            },
+        }
+    }
+
+    fn seeded() -> Store {
+        let s = Store::new();
+        // Deliberately out of canonical (time) order across shards.
+        s.ingest(1, &[rec("fw", 30, 443, false), rec("fw", 10, 80, true)]);
+        s.ingest(0, &[rec("dhcp", 20, 80, false)]);
+        s
+    }
+
+    #[test]
+    fn queries_answer_in_canonical_order() {
+        let s = seeded();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.segment_count(), 2);
+        let out = s.query_str("prop(*)").unwrap();
+        assert!(!out.sealed);
+        let times: Vec<u64> =
+            out.matches.iter().map(|m| m.record.violation.time.as_nanos()).collect();
+        assert_eq!(times, vec![10, 20, 30], "canonical (time-major) order, not ingest order");
+    }
+
+    #[test]
+    fn atoms_and_disjunction_select_the_right_rows() {
+        let s = seeded();
+        assert_eq!(s.query_str("prop(fw)").unwrap().matches.len(), 2);
+        assert_eq!(s.query_str("prop(fw), bind(A, 443)").unwrap().matches.len(), 1);
+        assert_eq!(s.query_str("degraded()").unwrap().matches.len(), 1);
+        assert_eq!(s.query_str("shard(0)").unwrap().matches.len(), 1);
+        assert_eq!(s.query_str("window(15, 25)").unwrap().matches.len(), 1);
+        // Union dedups: both branches match the degraded fw row.
+        let out = s.query_str("degraded() or prop(fw)").unwrap();
+        assert_eq!(out.matches.len(), 2);
+        assert_eq!(s.query_str("prop(nat-consistent)").unwrap().matches.len(), 0);
+    }
+
+    #[test]
+    fn seal_rekeys_by_merge_seq_and_keeps_provenance() {
+        let s = seeded();
+        let mut merged: Vec<ViolationRecord> =
+            vec![rec("fw", 10, 80, true), rec("dhcp", 20, 80, false), rec("fw", 30, 443, false)];
+        for (i, r) in merged.iter_mut().enumerate() {
+            r.violation.merge_seq = Some(i as u64);
+        }
+        s.seal(&merged);
+        assert!(s.is_sealed());
+        let out = s.query_str("prop(*)").unwrap();
+        let seqs: Vec<u64> = out.matches.iter().map(|m| m.store_seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "primary key is the merge sequence id");
+        // Shard provenance recovered by signature matching.
+        assert_eq!(out.matches[0].shard, 1);
+        assert_eq!(out.matches[1].shard, 0);
+        assert_eq!(out.matches[2].shard, 1);
+        assert_eq!(s.query_str("degraded()").unwrap().matches.len(), 1);
+    }
+
+    #[test]
+    fn store_bytes_round_trip() {
+        let s = seeded();
+        let bytes = s.to_bytes();
+        let back = Store::from_bytes(&bytes).expect("valid store");
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.is_sealed(), s.is_sealed());
+        assert_eq!(
+            back.query_str("prop(*)").unwrap().signatures(),
+            s.query_str("prop(*)").unwrap().signatures()
+        );
+        let mut bad = bytes.clone();
+        bad[1] = b'X';
+        assert_eq!(Store::from_bytes(&bad).unwrap_err(), SnapshotError::BadMagic);
+        assert_eq!(Store::from_bytes(&bytes[..9]).unwrap_err(), SnapshotError::Truncated);
+    }
+
+    #[test]
+    fn render_and_json_summarize_the_answer() {
+        let s = seeded();
+        let out = s.query_str("degraded()").unwrap();
+        let txt = out.render();
+        assert!(txt.contains("[degraded provenance]"), "{txt}");
+        assert!(txt.contains("1 match(es) of 3 stored violation(s)"), "{txt}");
+        let json = out.to_json();
+        assert!(json.contains("\"matches\": 1"), "{json}");
+        assert!(json.contains("\"sealed\": false"), "{json}");
+        assert!(json.contains("\"degraded\": true"), "{json}");
+    }
+}

@@ -1,0 +1,99 @@
+//! The SWQL defect corpus: one deliberately broken query per diagnostic
+//! code, each asserting its stable code *and* span — the parser's
+//! precision contract, in the same style as `swmon-analysis`'s
+//! `SW000`–`SW009` fixture corpus. A final test round-trips every
+//! diagnostic through the rendered and JSON report formats.
+
+use swmon_store::{parse, Code, QueryError, Span};
+
+fn fails(src: &str) -> QueryError {
+    parse(src).expect_err(&format!("fixture must not parse: {src}"))
+}
+
+fn assert_fires(src: &str, code: Code, span: Span) -> QueryError {
+    let e = fails(src);
+    assert_eq!(e.code, code, "{src}: {e:?}");
+    assert_eq!(e.span, span, "{src}: span pins the offending text: {e:?}");
+    e
+}
+
+#[test]
+fn sq000_unexpected_character() {
+    // `!` is not part of the SWQL alphabet.
+    let e = assert_fires("prop(fw) ! degraded()", Code::UnexpectedChar, Span { start: 9, end: 10 });
+    assert!(e.message.contains('!'), "{e:?}");
+}
+
+#[test]
+fn sq001_malformed_structure() {
+    // A dangling comma: the branch promises another atom and ends.
+    assert_fires("degraded(),", Code::Syntax, Span { start: 11, end: 11 });
+    // An atom without its argument list.
+    assert_fires("prop", Code::Syntax, Span { start: 4, end: 4 });
+}
+
+#[test]
+fn sq002_unknown_atom() {
+    // The span covers the unknown atom name, not the whole query.
+    let e = assert_fires("prop(fw), frobnicate(3)", Code::UnknownAtom, Span { start: 10, end: 20 });
+    assert!(e.help.as_deref().unwrap_or("").contains("prop"), "help lists the vocabulary: {e:?}");
+}
+
+#[test]
+fn sq003_wrong_arity() {
+    assert_fires("degraded(7)", Code::Arity, Span { start: 0, end: 11 });
+    assert_fires("bind(A)", Code::Arity, Span { start: 0, end: 7 });
+}
+
+#[test]
+fn sq004_bad_literal() {
+    // Five octets is not a MAC, not an IPv4, not an integer.
+    assert_fires("bind(A, 1.2.3.4.5)", Code::BadLiteral, Span { start: 8, end: 17 });
+    assert_fires("window(12qq, 20)", Code::BadLiteral, Span { start: 7, end: 11 });
+}
+
+#[test]
+fn sq005_unbound_variable() {
+    // SWQL has no joins: a variable in value position can never be bound.
+    let e = assert_fires("bind(A, ?B)", Code::UnboundVar, Span { start: 8, end: 10 });
+    assert!(e.message.contains("?B") || e.message.contains('B'), "{e:?}");
+}
+
+#[test]
+fn sq006_reversed_window() {
+    // The span covers the whole atom — both endpoints are implicated.
+    assert_fires("window(300, 200)", Code::ReversedWindow, Span { start: 0, end: 16 });
+    // Unit suffixes are normalized before the comparison.
+    assert_fires("window(1ms, 500ns)", Code::ReversedWindow, Span { start: 0, end: 18 });
+}
+
+#[test]
+fn every_code_renders_and_serializes_stably() {
+    let corpus: &[(&str, Code)] = &[
+        ("prop(fw) ! x()", Code::UnexpectedChar),
+        ("degraded(),", Code::Syntax),
+        ("frobnicate(3)", Code::UnknownAtom),
+        ("degraded(7)", Code::Arity),
+        ("bind(A, 1.2.3.4.5)", Code::BadLiteral),
+        ("bind(A, ?B)", Code::UnboundVar),
+        ("window(9, 1)", Code::ReversedWindow),
+    ];
+    for (src, code) in corpus {
+        let e = fails(src);
+        assert_eq!(e.code, *code, "{src}");
+        let rendered = e.render(src);
+        assert!(
+            rendered.contains(&format!("error[{}]", code.as_str())),
+            "rendered diagnostics carry the stable code: {rendered}"
+        );
+        assert!(rendered.contains("-->"), "rendered diagnostics point at the source: {rendered}");
+        let json = e.to_json();
+        assert!(
+            json.contains(&format!("\"code\":\"{}\"", code.as_str())),
+            "JSON diagnostics carry the stable code: {json}"
+        );
+        assert!(json.contains("\"span\""), "{json}");
+        // The code string parses back to itself (append-only registry).
+        assert_eq!(Code::parse(code.as_str()), Some(*code));
+    }
+}

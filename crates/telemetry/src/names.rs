@@ -37,6 +37,11 @@ pub const SHARD_QUEUE_DEPTH: &str = "swmon_shard_queue_depth";
 /// Per-shard checkpoint-restore latency in nanoseconds (histogram).
 /// Label: `shard`.
 pub const SHARD_RECOVERY_NANOS: &str = "swmon_shard_recovery_nanos";
+/// Per-shard: checkpoint-stable violation records published to the live
+/// violation store sink. Label: `shard`.
+pub const SHARD_STORE_PUBLISHED: &str = "swmon_shard_store_published_total";
+/// Canonically merged records handed to the violation store at seal time.
+pub const STORE_SEALED: &str = "swmon_store_sealed_total";
 
 /// Per-property: events examined by the property's monitors — every
 /// application, including recovery replays. Label: `property`.
@@ -66,6 +71,8 @@ pub const ALL: &[&str] = &[
     SHARD_VIOLATIONS,
     SHARD_QUEUE_DEPTH,
     SHARD_RECOVERY_NANOS,
+    SHARD_STORE_PUBLISHED,
+    STORE_SEALED,
     PROPERTY_EVENTS,
     PROPERTY_LIVE,
     PROPERTY_STAGE_NANOS,
@@ -87,6 +94,6 @@ mod tests {
                 "{name} is not snake_case"
             );
         }
-        assert_eq!(ALL.len(), 18);
+        assert_eq!(ALL.len(), 20);
     }
 }

@@ -12,5 +12,6 @@ pub use swmon_packet as packet;
 pub use swmon_props as props;
 pub use swmon_runtime as runtime;
 pub use swmon_sim as sim;
+pub use swmon_store as store;
 pub use swmon_switch as switch;
 pub use swmon_workloads as workloads;
