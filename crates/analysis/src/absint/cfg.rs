@@ -1,0 +1,263 @@
+//! The per-property control-flow graph the fixpoint runs over.
+//!
+//! Properties are chains — stage `s` can only be completed while awaiting
+//! stage `s`, and completion moves to stage `s+1` — so the CFG is small and
+//! join-free on the spawn/advance spine:
+//!
+//! ```text
+//! Start ──Spawn──▶ Awaiting(1) ──Advance/Timeout──▶ … ──▶ Accept
+//!                      │ │
+//!                      │ └──Clear{stage,clause}──▶ Exit
+//!                      └────Expire(stage)────────▶ Exit
+//! ```
+//!
+//! Node `s` (for `s ≥ 1`) is "an instance awaiting stage `s`"; its abstract
+//! environment describes the variables bound by stages `0..s`. `Start` is
+//! the pre-spawn point (empty environment), `Accept` is a completed
+//! property (a violation), `Exit` is a cleared or expired instance.
+//!
+//! Two event sources deliberately have **no** edges:
+//!
+//! * *Refresh* — re-observing the previous stage's observation only resets
+//!   a window; it is an identity transition, and its event class is already
+//!   contributed by the edge that completed the previous stage, which must
+//!   be feasible for the refresh point to be reachable at all.
+//! * *Stage-0 clearings* — no instance ever awaits stage 0, so `unless`
+//!   clauses on the spawn stage are never evaluated by the engine. Omitting
+//!   them is what lets the refined mask drop their event classes.
+//!
+//! `Timeout` and `Expire` edges are clock-driven: they carry no guard and
+//! contribute no event class (every caller advances the clock regardless of
+//! masks).
+
+use swmon_core::{Guard, Property, StageKind};
+
+/// What one edge models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Stage 0's observation creating an instance.
+    Spawn,
+    /// Completing match stage `s` (`s ≥ 1`).
+    Advance(usize),
+    /// Completing deadline stage `s` by the window elapsing (guard-free).
+    Timeout(usize),
+    /// Clearing clause `clause` of stage `stage` killing the instance.
+    Clear {
+        /// The awaited stage whose `unless` list holds the clause.
+        stage: usize,
+        /// Index into that stage's `unless` vector.
+        clause: usize,
+    },
+    /// Stage `stage`'s `within` window expiring (guard-free).
+    Expire(usize),
+}
+
+/// One CFG edge: `from → to`, labelled with what drives the transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node id.
+    pub from: usize,
+    /// Destination node id.
+    pub to: usize,
+    /// The transition this edge models.
+    pub kind: EdgeKind,
+    /// Event classes that can drive the transition (`0` for clock-driven
+    /// edges).
+    pub class_mask: u8,
+}
+
+/// The chain CFG of one property. Node ids: `START` (0), `s` for awaiting
+/// stage `s` (`1..num_stages`), then [`Cfg::accept`] and [`Cfg::exit`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    num_stages: usize,
+    edges: Vec<Edge>,
+}
+
+/// The pre-spawn node.
+pub const START: usize = 0;
+
+impl Cfg {
+    /// Build the CFG of `property` (which must have at least one stage and
+    /// a `Match` first stage — i.e. pass [`Property::validate`]).
+    pub fn build(property: &Property) -> Cfg {
+        let n = property.stages.len();
+        let accept = n;
+        let exit = n + 1;
+        let mut edges = Vec::new();
+        for (s, stage) in property.stages.iter().enumerate() {
+            // The node an instance occupies while stage `s` is pending:
+            // START for the spawn stage, Awaiting(s) afterwards.
+            let at = if s == 0 { START } else { s };
+            let next = if s + 1 == n { accept } else { s + 1 };
+            match &stage.kind {
+                StageKind::Match { pattern, .. } => {
+                    let kind = if s == 0 { EdgeKind::Spawn } else { EdgeKind::Advance(s) };
+                    edges.push(Edge { from: at, to: next, kind, class_mask: pattern.class_mask() });
+                }
+                StageKind::Deadline { .. } => {
+                    edges.push(Edge {
+                        from: at,
+                        to: next,
+                        kind: EdgeKind::Timeout(s),
+                        class_mask: 0,
+                    });
+                }
+            }
+            if s > 0 {
+                for (clause, u) in stage.unless.iter().enumerate() {
+                    edges.push(Edge {
+                        from: at,
+                        to: exit,
+                        kind: EdgeKind::Clear { stage: s, clause },
+                        class_mask: u.pattern.class_mask(),
+                    });
+                }
+                if stage.within.is_some() {
+                    edges.push(Edge {
+                        from: at,
+                        to: exit,
+                        kind: EdgeKind::Expire(s),
+                        class_mask: 0,
+                    });
+                }
+            }
+        }
+        Cfg { num_stages: n, edges }
+    }
+
+    /// Total node count (`num_stages + 2`).
+    pub fn num_nodes(&self) -> usize {
+        self.num_stages + 2
+    }
+
+    /// The completed-property (violation) node.
+    pub fn accept(&self) -> usize {
+        self.num_stages
+    }
+
+    /// The cleared/expired node.
+    pub fn exit(&self) -> usize {
+        self.num_stages + 1
+    }
+
+    /// All edges, in deterministic stage order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The guard edge `e` applies, if any (`None` for clock-driven edges).
+    pub fn guard_of<'p>(&self, e: &Edge, property: &'p Property) -> Option<&'p Guard> {
+        match e.kind {
+            EdgeKind::Spawn => property.stages[0].guard(),
+            EdgeKind::Advance(s) => property.stages[s].guard(),
+            EdgeKind::Clear { stage, clause } => Some(&property.stages[stage].unless[clause].guard),
+            EdgeKind::Timeout(_) | EdgeKind::Expire(_) => None,
+        }
+    }
+
+    /// The node of the edge that completes stage `s` (its `to`): the next
+    /// awaiting node, or [`Cfg::accept`] for the final stage.
+    pub fn completion_target(&self, s: usize) -> usize {
+        if s + 1 == self.num_stages {
+            self.accept()
+        } else {
+            s + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::property::WindowSpec;
+    use swmon_core::RefreshPolicy;
+    use swmon_core::{var, Atom, EventPattern, Guard, Stage, Unless};
+    use swmon_packet::Field;
+    use swmon_sim::time::Duration;
+
+    fn bind(name: &str, f: Field) -> Atom {
+        Atom::Bind(var(name), f)
+    }
+
+    fn prop(stages: Vec<Stage>) -> Property {
+        Property { name: "t".into(), statement: String::new(), stages }
+    }
+
+    #[test]
+    fn chain_shape_and_node_ids() {
+        let p = prop(vec![
+            Stage::match_("a", EventPattern::Arrival, Guard::new(vec![bind("A", Field::Ipv4Src)])),
+            Stage::match_("b", EventPattern::Arrival, Guard::new(vec![bind("A", Field::Ipv4Dst)])),
+        ]);
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.num_nodes(), 4);
+        assert_eq!((cfg.accept(), cfg.exit()), (2, 3));
+        let kinds: Vec<_> = cfg.edges().iter().map(|e| (e.from, e.to, e.kind)).collect();
+        assert_eq!(kinds, vec![(START, 1, EdgeKind::Spawn), (1, 2, EdgeKind::Advance(1))]);
+        assert_eq!(cfg.completion_target(0), 1);
+        assert_eq!(cfg.completion_target(1), cfg.accept());
+    }
+
+    #[test]
+    fn single_stage_spawns_straight_to_accept() {
+        let p = prop(vec![Stage::match_("only", EventPattern::Arrival, Guard::any())]);
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.edges().len(), 1);
+        assert_eq!((cfg.edges()[0].from, cfg.edges()[0].to), (START, cfg.accept()));
+    }
+
+    #[test]
+    fn clears_windows_and_deadlines_produce_their_edges() {
+        let mut second =
+            Stage::match_("b", EventPattern::Arrival, Guard::new(vec![bind("A", Field::Ipv4Dst)]));
+        second.unless = vec![Unless { pattern: EventPattern::Arrival, guard: Guard::any() }];
+        second.within = Some(WindowSpec::Fixed(Duration::from_secs(5)));
+        let p = prop(vec![
+            Stage::match_("a", EventPattern::Arrival, Guard::new(vec![bind("A", Field::Ipv4Src)])),
+            second,
+            Stage::deadline("d", Duration::from_secs(1), RefreshPolicy::NoRefresh),
+        ]);
+        let cfg = Cfg::build(&p);
+        let kinds: Vec<_> = cfg.edges().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EdgeKind::Spawn,
+                EdgeKind::Advance(1),
+                EdgeKind::Clear { stage: 1, clause: 0 },
+                EdgeKind::Expire(1),
+                EdgeKind::Timeout(2),
+            ]
+        );
+        // Clock-driven edges carry no class and no guard.
+        for e in cfg.edges() {
+            match e.kind {
+                EdgeKind::Timeout(_) | EdgeKind::Expire(_) => {
+                    assert_eq!(e.class_mask, 0);
+                    assert!(cfg.guard_of(e, &p).is_none());
+                }
+                _ => assert!(cfg.guard_of(e, &p).is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn stage_zero_clearings_get_no_edges() {
+        let mut first =
+            Stage::match_("a", EventPattern::Arrival, Guard::new(vec![bind("A", Field::Ipv4Src)]));
+        first.unless = vec![Unless {
+            pattern: EventPattern::OutOfBand(swmon_core::OobPattern::Any),
+            guard: Guard::any(),
+        }];
+        let p = prop(vec![
+            first,
+            Stage::match_("b", EventPattern::Arrival, Guard::new(vec![bind("A", Field::Ipv4Dst)])),
+        ]);
+        let cfg = Cfg::build(&p);
+        assert!(
+            !cfg.edges().iter().any(|e| matches!(e.kind, EdgeKind::Clear { stage: 0, .. })),
+            "no instance awaits stage 0, so its clearings are dead syntax"
+        );
+    }
+}

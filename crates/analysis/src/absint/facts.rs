@@ -1,0 +1,242 @@
+//! Synthesis: running the analysis for one property and packaging what it
+//! proved.
+//!
+//! [`property_facts`] builds the CFG, solves the fixpoint, and derives:
+//!
+//! * the **refined event-class mask** — the OR of the class masks of the
+//!   *feasible* event-driven edges. Sound because every reaction of the
+//!   engine to an event (spawn, advance, clear) is modelled by exactly one
+//!   edge, refresh classes are covered by the edge that completed the
+//!   refreshed stage, and an infeasible edge's transition can never fire;
+//! * **stage liveness** — stage `s` can be completed iff the target of its
+//!   completion edge is reachable (the chain has no other way in);
+//! * the **spawn-cardinality bound** — for each routing key, how many
+//!   distinct spawn-binding tuples can exist: the product over spawn
+//!   binders of 1 (the binder's field is part of the routing key, so it is
+//!   fixed per key) or the binder's abstract cardinality after the spawn
+//!   guard. `None` = unbounded;
+//! * the intrinsic [`ResourceEstimate`].
+//!
+//! [`PropertyFacts::to_core`] hands the mask and liveness to the engine
+//! through the checked [`swmon_core::AnalysisFacts`] seam.
+
+use super::cfg::Cfg;
+use super::fixpoint::{self, Solution};
+use super::resources::ResourceEstimate;
+use std::collections::{BTreeMap, BTreeSet};
+use swmon_core::{AnalysisFacts, FactsError, Property, RouteMode, RoutingPlan};
+use swmon_packet::Field;
+
+/// Everything the abstract interpreter proved about one property.
+#[derive(Debug, Clone)]
+pub struct PropertyFacts {
+    /// The syntactic event-class mask ([`Property::event_class_mask`]).
+    pub syntactic_mask: u8,
+    /// The proven mask — always a subset of the syntactic one.
+    pub refined_mask: u8,
+    /// `live_stages[s]`: stage `s` can be completed by some trace.
+    pub live_stages: Vec<bool>,
+    /// Upper bound on distinct spawn-binding tuples per routing key
+    /// (`None` = unbounded).
+    pub spawn_cardinality: Option<u64>,
+    /// Intrinsic per-instance state cost.
+    pub estimate: ResourceEstimate,
+    /// The CFG the facts were derived on.
+    pub cfg: Cfg,
+    /// The fixpoint solution (per-node envs, per-edge feasibility).
+    pub solution: Solution,
+}
+
+/// Run the analysis for `property`. The property should be structurally
+/// valid ([`Property::validate`]); on a property with no stages the result
+/// is the trivial all-dead bundle.
+pub fn property_facts(property: &Property) -> PropertyFacts {
+    let cfg = Cfg::build(property);
+    let solution = fixpoint::solve(property, &cfg);
+    let refined_mask = cfg
+        .edges()
+        .iter()
+        .zip(&solution.edge_feasible)
+        .filter(|(_, &ok)| ok)
+        .fold(0u8, |m, (e, _)| m | e.class_mask);
+    let live_stages =
+        (0..property.stages.len()).map(|s| solution.reachable(cfg.completion_target(s))).collect();
+    let spawn_cardinality = spawn_cardinality(property, &cfg, &solution);
+    PropertyFacts {
+        syntactic_mask: property.event_class_mask(),
+        refined_mask,
+        live_stages,
+        spawn_cardinality,
+        estimate: ResourceEstimate::of(property),
+        cfg,
+        solution,
+    }
+}
+
+impl PropertyFacts {
+    /// True when the mask proves strictly fewer classes than the syntax.
+    pub fn mask_is_refined(&self) -> bool {
+        self.refined_mask != self.syntactic_mask
+    }
+
+    /// Package the engine-facing facts through the checked seam.
+    pub fn to_core(&self, property: &Property) -> Result<AnalysisFacts, FactsError> {
+        AnalysisFacts::checked(property, self.refined_mask, self.live_stages.clone())
+    }
+}
+
+/// The per-routing-key bound on distinct spawn-binding tuples.
+fn spawn_cardinality(property: &Property, cfg: &Cfg, solution: &Solution) -> Option<u64> {
+    let Some(env) = &solution.node_env[cfg.completion_target(0)] else {
+        return Some(0); // the spawn guard is unsatisfiable: no instances at all
+    };
+    let key_fields: BTreeSet<Field> = match RoutingPlan::of(property).mode() {
+        RouteMode::HashExact { fields } | RouteMode::HashSymmetric { fields, .. } => {
+            fields.iter().copied().collect()
+        }
+        RouteMode::Pinned(_) => BTreeSet::new(),
+    };
+    // A variable bound (anywhere in the spawn guard) from a routing-key
+    // field is fixed per key: factor 1.
+    let mut keyed: BTreeMap<_, bool> = BTreeMap::new();
+    let spawn_guard = property.stages.first().and_then(|s| s.guard())?;
+    for (v, f) in spawn_guard.binders() {
+        *keyed.entry(*v).or_insert(false) |= key_fields.contains(&f);
+    }
+    let mut product: u64 = 1;
+    for (v, is_keyed) in keyed {
+        if is_keyed {
+            continue;
+        }
+        product = product.checked_mul(env.get(&v).cardinality()?)?;
+    }
+    Some(product)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{var, Atom, EventPattern, Guard, Stage, Unless};
+    use swmon_packet::{Field, FieldValue};
+
+    fn prop(stages: Vec<Stage>) -> Property {
+        Property { name: "t".into(), statement: String::new(), stages }
+    }
+
+    fn fw() -> Property {
+        prop(vec![
+            Stage::match_(
+                "out",
+                EventPattern::Arrival,
+                Guard::new(vec![
+                    Atom::Bind(var("A"), Field::Ipv4Src),
+                    Atom::Bind(var("B"), Field::Ipv4Dst),
+                ]),
+            ),
+            Stage::match_(
+                "back",
+                EventPattern::Departure(swmon_core::ActionPattern::Drop),
+                Guard::new(vec![
+                    Atom::Bind(var("B"), Field::Ipv4Src),
+                    Atom::Bind(var("A"), Field::Ipv4Dst),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn clean_property_keeps_its_syntactic_mask_and_full_liveness() {
+        let p = fw();
+        let f = property_facts(&p);
+        assert_eq!(f.refined_mask, f.syntactic_mask);
+        assert!(!f.mask_is_refined());
+        assert_eq!(f.live_stages, vec![true, true]);
+        let core = f.to_core(&p).unwrap();
+        assert_eq!(core.effective_mask(), p.event_class_mask());
+        // Both binders are routing-key fields: exactly one tuple per key.
+        assert_eq!(f.spawn_cardinality, Some(1));
+    }
+
+    #[test]
+    fn stage_zero_clearings_are_dropped_from_the_mask() {
+        let mut p = fw();
+        p.stages[0].unless = vec![Unless {
+            pattern: EventPattern::OutOfBand(swmon_core::OobPattern::Any),
+            guard: Guard::any(),
+        }];
+        let f = property_facts(&p);
+        assert_ne!(f.syntactic_mask & 0b111_0000, 0, "syntax mentions OOB classes");
+        assert_eq!(f.refined_mask & 0b111_0000, 0, "no instance awaits stage 0");
+        assert!(f.mask_is_refined());
+        assert_eq!(f.live_stages, vec![true, true], "liveness is untouched");
+        f.to_core(&p).unwrap().validate_for(&p).unwrap();
+    }
+
+    #[test]
+    fn dead_tail_kills_liveness_and_its_classes() {
+        let mut p = fw();
+        // An impossible third stage: TTL can never be 300.
+        p.stages.push(Stage::match_(
+            "never",
+            EventPattern::OutOfBand(swmon_core::OobPattern::PortDown),
+            Guard::new(vec![Atom::EqConst(Field::Ttl, FieldValue::Uint(300))]),
+        ));
+        let f = property_facts(&p);
+        assert_eq!(f.live_stages, vec![true, true, false]);
+        assert_eq!(f.refined_mask & (1 << 4), 0, "the dead stage's class is dropped");
+        let core = f.to_core(&p).unwrap();
+        assert!(!core.can_violate());
+        assert_eq!(core.effective_mask(), 0);
+    }
+
+    #[test]
+    fn cardinality_counts_free_binders_via_their_abstract_values() {
+        // One keyed binder (part of the routing key) and one constrained
+        // free binder: TcpFlags is 8 bits → 256 values.
+        let p = prop(vec![
+            Stage::match_(
+                "a",
+                EventPattern::Arrival,
+                Guard::new(vec![
+                    Atom::Bind(var("A"), Field::Ipv4Src),
+                    Atom::Bind(var("F"), Field::TcpFlags),
+                ]),
+            ),
+            Stage::match_(
+                "b",
+                EventPattern::Arrival,
+                Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Src)]),
+            ),
+        ]);
+        let f = property_facts(&p);
+        assert_eq!(f.spawn_cardinality, Some(256));
+        // Pinning the flags to one constant collapses the bound to 1.
+        let mut pinned = p.clone();
+        if let swmon_core::StageKind::Match { guard, .. } = &mut pinned.stages[0].kind {
+            guard.atoms.insert(0, Atom::EqConst(Field::TcpFlags, FieldValue::Uint(2)));
+        }
+        assert_eq!(property_facts(&pinned).spawn_cardinality, Some(1));
+        // An unkeyed MAC binder is unbounded.
+        let mut free = p.clone();
+        if let swmon_core::StageKind::Match { guard, .. } = &mut free.stages[0].kind {
+            guard.atoms.push(Atom::Bind(var("M"), Field::EthSrc));
+        }
+        assert_eq!(property_facts(&free).spawn_cardinality, None);
+    }
+
+    #[test]
+    fn unsatisfiable_spawn_means_zero_instances() {
+        let p = prop(vec![
+            Stage::match_(
+                "a",
+                EventPattern::Arrival,
+                Guard::new(vec![Atom::EqConst(Field::Ttl, FieldValue::Uint(300))]),
+            ),
+            Stage::match_("b", EventPattern::Arrival, Guard::any()),
+        ]);
+        let f = property_facts(&p);
+        assert_eq!(f.spawn_cardinality, Some(0));
+        assert_eq!(f.live_stages, vec![false, false]);
+        assert_eq!(f.to_core(&p).unwrap().effective_mask(), 0);
+    }
+}

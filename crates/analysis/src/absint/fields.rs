@@ -1,0 +1,105 @@
+//! Per-field value kinds and wire widths.
+//!
+//! The packet model deliberately does not assign widths — the engine never
+//! needs them — but the analysis does, twice over: [`field_top`] seeds the
+//! interval domain with each field's representable range (an 8-bit TTL can
+//! never exceed 255, so `ttl == 300` is refutable), and [`field_bits`] is
+//! the unit of the resource estimates (a bound MAC costs 48 state bits, a
+//! port 16).
+
+use super::domain::AbsValue;
+use swmon_packet::{Field, FieldValue};
+
+/// The value family a field carries on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// 48-bit Ethernet addresses.
+    Mac,
+    /// 32-bit IPv4 addresses.
+    Ipv4,
+    /// Unsigned integers of [`field_bits`] width.
+    Uint,
+}
+
+/// The kind of values `f` holds.
+pub fn field_kind(f: Field) -> FieldKind {
+    use Field::*;
+    match f {
+        EthSrc | EthDst | ArpSenderMac | ArpTargetMac | DhcpChaddr => FieldKind::Mac,
+        Ipv4Src | Ipv4Dst | ArpSenderIp | ArpTargetIp | DhcpYiaddr | DhcpCiaddr
+        | DhcpRequestedIp | DhcpServerId | FtpDataAddr => FieldKind::Ipv4,
+        _ => FieldKind::Uint,
+    }
+}
+
+/// The kind of a concrete value.
+pub fn value_kind(v: &FieldValue) -> FieldKind {
+    match v {
+        FieldValue::Mac(_) => FieldKind::Mac,
+        FieldValue::Ipv4(_) => FieldKind::Ipv4,
+        FieldValue::Uint(_) => FieldKind::Uint,
+    }
+}
+
+/// Width of `f` in bits — the state cost of remembering its value, and the
+/// ceiling of its unsigned range.
+pub fn field_bits(f: Field) -> u32 {
+    use Field::*;
+    match f {
+        EthSrc | EthDst | ArpSenderMac | ArpTargetMac | DhcpChaddr => 48,
+        Ipv4Src | Ipv4Dst | ArpSenderIp | ArpTargetIp | DhcpYiaddr | DhcpCiaddr
+        | DhcpRequestedIp | DhcpServerId | FtpDataAddr => 32,
+        EthType | ArpOp | L4Src | L4Dst | FtpDataPort => 16,
+        TcpFlags | IpProto | Ttl | IcmpType | DhcpMsgType => 8,
+        DhcpXid | DhcpLeaseSecs => 32,
+        // Metadata ports: OpenFlow-style 32-bit port numbers.
+        InPort | OutPort => 32,
+    }
+}
+
+/// The weakest sound abstraction of "any value this field can carry":
+/// the full unsigned range for integer fields (which is what makes
+/// out-of-range constants refutable), `Top` for address kinds.
+pub fn field_top(f: Field) -> AbsValue {
+    match field_kind(f) {
+        FieldKind::Uint => {
+            let bits = field_bits(f);
+            if bits >= 64 {
+                AbsValue::Top
+            } else {
+                AbsValue::Range(0, (1u64 << bits) - 1)
+            }
+        }
+        FieldKind::Mac | FieldKind::Ipv4 => AbsValue::Top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_field_has_a_kind_and_a_width() {
+        for &f in Field::all() {
+            let bits = field_bits(f);
+            assert!((8..=48).contains(&bits), "{f:?}: {bits}");
+            match field_kind(f) {
+                FieldKind::Mac => assert_eq!(bits, 48, "{f:?}"),
+                FieldKind::Ipv4 => assert_eq!(bits, 32, "{f:?}"),
+                FieldKind::Uint => {
+                    let AbsValue::Range(0, hi) = field_top(f) else {
+                        panic!("{f:?}: uint fields seed an interval")
+                    };
+                    assert_eq!(hi, (1u64 << bits) - 1, "{f:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tops_admit_in_range_values_only() {
+        assert!(field_top(Field::Ttl).admits(&FieldValue::Uint(255)));
+        assert!(!field_top(Field::Ttl).admits(&FieldValue::Uint(256)));
+        assert_eq!(field_top(Field::EthSrc), AbsValue::Top);
+    }
+}

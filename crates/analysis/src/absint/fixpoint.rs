@@ -1,0 +1,168 @@
+//! The worklist fixpoint over a property's [`Cfg`].
+//!
+//! Per-node state is `Option<AbsEnv>` — `None` means *unreachable*, and is
+//! the lattice bottom; `Some(env)` over-approximates every concrete
+//! instance state at the node. Propagation is standard: pull the source
+//! env, run the edge's transfer function ([`transfer::apply`] for guarded
+//! edges, identity for clock-driven ones), join into the destination, and
+//! requeue the destination on change.
+//!
+//! Termination needs no widening: interval endpoints only ever come from
+//! constants written in the property (plus field-width bounds), so for a
+//! fixed property the reachable sub-lattice is finite and every join chain
+//! is short. On the chain-shaped CFGs [`Cfg::build`] produces the solver
+//! converges in one pass; the worklist form keeps it correct if the CFG
+//! ever grows joins.
+
+use super::cfg::{Cfg, START};
+use super::env::AbsEnv;
+use super::transfer;
+use std::collections::VecDeque;
+use swmon_core::Property;
+
+/// The least fixpoint of one property's CFG.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Per-node abstract state, indexed by node id (`None` = unreachable).
+    pub node_env: Vec<Option<AbsEnv>>,
+    /// Per-edge feasibility, parallel to [`Cfg::edges`]: true when the
+    /// source is reachable and the edge's guard is not refuted there.
+    pub edge_feasible: Vec<bool>,
+}
+
+impl Solution {
+    /// True when node `n` is reachable.
+    pub fn reachable(&self, n: usize) -> bool {
+        self.node_env[n].is_some()
+    }
+}
+
+/// Run the fixpoint for `property` over `cfg`.
+pub fn solve(property: &Property, cfg: &Cfg) -> Solution {
+    let mut node_env: Vec<Option<AbsEnv>> = vec![None; cfg.num_nodes()];
+    node_env[START] = Some(AbsEnv::new());
+
+    let mut queue: VecDeque<usize> = VecDeque::from([START]);
+    let mut queued = vec![false; cfg.num_nodes()];
+    queued[START] = true;
+
+    while let Some(n) = queue.pop_front() {
+        queued[n] = false;
+        let Some(env) = node_env[n].clone() else { continue };
+        for e in cfg.edges().iter().filter(|e| e.from == n) {
+            let out = match cfg.guard_of(e, property) {
+                Some(g) => transfer::apply(&env, g),
+                None => Some(env.clone()),
+            };
+            let Some(out) = out else { continue };
+            let joined = match &node_env[e.to] {
+                Some(prev) => prev.join(&out),
+                None => out,
+            };
+            if node_env[e.to].as_ref() != Some(&joined) {
+                node_env[e.to] = Some(joined);
+                if !queued[e.to] {
+                    queued[e.to] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+    }
+
+    let edge_feasible = cfg
+        .edges()
+        .iter()
+        .map(|e| match &node_env[e.from] {
+            None => false,
+            Some(env) => match cfg.guard_of(e, property) {
+                Some(g) => transfer::apply(env, g).is_some(),
+                None => true,
+            },
+        })
+        .collect();
+
+    Solution { node_env, edge_feasible }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::cfg::EdgeKind;
+    use super::super::domain::AbsValue;
+    use super::*;
+    use swmon_core::{var, Atom, EventPattern, Guard, Stage};
+    use swmon_packet::{Field, FieldValue};
+
+    fn prop(stages: Vec<Stage>) -> Property {
+        Property { name: "t".into(), statement: String::new(), stages }
+    }
+
+    fn stage(name: &str, atoms: Vec<Atom>) -> Stage {
+        Stage::match_(name, EventPattern::Arrival, Guard::new(atoms))
+    }
+
+    #[test]
+    fn environments_accumulate_along_the_chain() {
+        let p = prop(vec![
+            stage(
+                "a",
+                vec![
+                    Atom::EqConst(Field::L4Dst, FieldValue::Uint(80)),
+                    Atom::Bind(var("P"), Field::L4Dst),
+                ],
+            ),
+            stage("b", vec![Atom::Bind(var("Q"), Field::L4Src)]),
+        ]);
+        let cfg = Cfg::build(&p);
+        let sol = solve(&p, &cfg);
+        assert!(sol.reachable(cfg.accept()));
+        let at1 = sol.node_env[1].as_ref().unwrap();
+        assert_eq!(at1.get(&var("P")), AbsValue::Const(FieldValue::Uint(80)));
+        assert!(!at1.is_bound(&var("Q")), "Q binds at stage 1, not before");
+        let accept = sol.node_env[cfg.accept()].as_ref().unwrap();
+        assert!(accept.is_bound(&var("Q")));
+        assert!(sol.edge_feasible.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn a_refuted_guard_kills_the_tail() {
+        let p = prop(vec![
+            stage(
+                "a",
+                vec![
+                    Atom::EqConst(Field::L4Dst, FieldValue::Uint(80)),
+                    Atom::Bind(var("P"), Field::L4Dst),
+                ],
+            ),
+            // Re-binding P at a field pinned to 443 can never unify.
+            stage(
+                "b",
+                vec![
+                    Atom::EqConst(Field::L4Src, FieldValue::Uint(443)),
+                    Atom::Bind(var("P"), Field::L4Src),
+                ],
+            ),
+            stage("c", vec![]),
+        ]);
+        let cfg = Cfg::build(&p);
+        let sol = solve(&p, &cfg);
+        assert!(sol.reachable(1), "spawn succeeds");
+        assert!(!sol.reachable(2), "advance is refuted");
+        assert!(!sol.reachable(cfg.accept()));
+        let advance = cfg.edges().iter().position(|e| e.kind == EdgeKind::Advance(1)).unwrap();
+        assert!(!sol.edge_feasible[advance]);
+    }
+
+    #[test]
+    fn unsatisfiable_spawn_leaves_everything_unreachable() {
+        let p = prop(vec![
+            stage("a", vec![Atom::EqConst(Field::Ttl, FieldValue::Uint(300))]),
+            stage("b", vec![]),
+        ]);
+        let cfg = Cfg::build(&p);
+        let sol = solve(&p, &cfg);
+        assert!(sol.reachable(START));
+        assert!(!sol.reachable(1));
+        assert!(!sol.reachable(cfg.accept()));
+        assert_eq!(sol.edge_feasible, vec![false, false]);
+    }
+}

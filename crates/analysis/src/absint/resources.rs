@@ -1,0 +1,203 @@
+//! The intrinsic per-instance resource model — what one tracked instance of
+//! a property costs in switch state, before any backend-specific encoding.
+//!
+//! The estimate is derived entirely from the property's syntax:
+//!
+//! * **binding bits** — every variable bound by a top-level `Bind` of a
+//!   match stage persists in instance state; it costs the widest field it
+//!   is ever bound from ([`super::fields::field_bits`]). Clearing-guard
+//!   binders cost nothing: a successful clearing kills the instance, so
+//!   those bindings never persist.
+//! * **stage bits** — `⌈log₂(n+1)⌉` to encode which of the `n` stages is
+//!   pending (plus "done").
+//! * **timer bits** — one 32-bit deadline slot iff any stage arms a window
+//!   (`within`) or is a `Deadline`; an instance waits at one stage at a
+//!   time, so one slot suffices regardless of how many stages have windows.
+//! * **identity bits** — 64 per distinct stage whose packet-identity token
+//!   a `SamePacket` atom reads.
+//!
+//! Backend-specific costs (how those bits map to flow-table entries,
+//! registers, or xFSM state) are layered on top in `swmon-backends`, which
+//! knows each mechanism's storage discipline.
+
+use super::fields::field_bits;
+use std::collections::{BTreeMap, BTreeSet};
+use swmon_core::{Atom, Property, StageKind, Var};
+
+/// The storage cost of one persisted variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarCost {
+    /// The variable.
+    pub var: Var,
+    /// Bits needed to store it: the widest field it is bound from.
+    pub bits: u32,
+}
+
+/// Intrinsic per-instance state cost of a property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceEstimate {
+    /// Persisted variables in canonical (name) order, with widths.
+    pub var_costs: Vec<VarCost>,
+    /// Bits encoding the pending stage.
+    pub stage_bits: u32,
+    /// Whether a deadline slot is needed at all.
+    pub needs_timer: bool,
+    /// Distinct stages whose packet-identity token must be remembered.
+    pub identity_slots: u32,
+}
+
+/// Bits of one timer slot (a deadline instant).
+pub const TIMER_BITS: u32 = 32;
+/// Bits of one packet-identity token.
+pub const IDENTITY_BITS: u32 = 64;
+
+fn identity_refs(atom: &Atom, out: &mut BTreeSet<usize>) {
+    match atom {
+        Atom::SamePacket(s) => {
+            out.insert(*s);
+        }
+        Atom::AnyOf(subs) => subs.iter().for_each(|a| identity_refs(a, out)),
+        _ => {}
+    }
+}
+
+impl ResourceEstimate {
+    /// Derive the estimate for `property`.
+    pub fn of(property: &Property) -> ResourceEstimate {
+        let mut widths: BTreeMap<Var, u32> = BTreeMap::new();
+        let mut needs_timer = false;
+        let mut ids = BTreeSet::new();
+        for stage in &property.stages {
+            match &stage.kind {
+                StageKind::Match { guard, .. } => {
+                    for (v, f) in guard.binders() {
+                        let w = widths.entry(*v).or_insert(0);
+                        *w = (*w).max(field_bits(f));
+                    }
+                }
+                StageKind::Deadline { .. } => needs_timer = true,
+            }
+            needs_timer |= stage.within.is_some();
+            for g in stage.guard().into_iter().chain(stage.unless.iter().map(|u| &u.guard)) {
+                g.atoms.iter().for_each(|a| identity_refs(a, &mut ids));
+            }
+        }
+        let n = property.stages.len() as u64;
+        ResourceEstimate {
+            var_costs: widths.into_iter().map(|(var, bits)| VarCost { var, bits }).collect(),
+            // ⌈log₂(n+1)⌉: n pending positions plus "done".
+            stage_bits: (u64::BITS - n.leading_zeros()).max(1),
+            needs_timer,
+            identity_slots: ids.len() as u32,
+        }
+    }
+
+    /// Bits of persisted bindings.
+    pub fn binding_bits(&self) -> u32 {
+        self.var_costs.iter().map(|c| c.bits).sum()
+    }
+
+    /// Bits of deadline state.
+    pub fn timer_bits(&self) -> u32 {
+        if self.needs_timer {
+            TIMER_BITS
+        } else {
+            0
+        }
+    }
+
+    /// Bits of packet-identity state.
+    pub fn identity_bits(&self) -> u32 {
+        self.identity_slots * IDENTITY_BITS
+    }
+
+    /// Total per-instance state bits.
+    pub fn state_bits_per_instance(&self) -> u32 {
+        self.binding_bits() + self.stage_bits + self.timer_bits() + self.identity_bits()
+    }
+
+    /// Register slots per instance under a one-slot-per-quantity layout:
+    /// each variable, the stage counter, the deadline, each identity token.
+    pub fn register_slots(&self) -> u32 {
+        self.var_costs.len() as u32 + 1 + u32::from(self.needs_timer) + self.identity_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{var, EventPattern, Guard, RefreshPolicy, Stage, Unless};
+    use swmon_packet::Field;
+    use swmon_sim::time::Duration;
+
+    fn prop(stages: Vec<Stage>) -> Property {
+        Property { name: "t".into(), statement: String::new(), stages }
+    }
+
+    #[test]
+    fn fw_style_property_costs_its_bindings_and_stage_counter() {
+        let p = prop(vec![
+            Stage::match_(
+                "out",
+                EventPattern::Arrival,
+                Guard::new(vec![
+                    Atom::Bind(var("A"), Field::Ipv4Src),
+                    Atom::Bind(var("B"), Field::Ipv4Dst),
+                ]),
+            ),
+            Stage::match_(
+                "back",
+                EventPattern::Arrival,
+                Guard::new(vec![
+                    Atom::Bind(var("B"), Field::Ipv4Src),
+                    Atom::Bind(var("A"), Field::Ipv4Dst),
+                ]),
+            ),
+        ]);
+        let e = ResourceEstimate::of(&p);
+        assert_eq!(e.binding_bits(), 64, "two IPv4 addresses");
+        assert_eq!(e.stage_bits, 2, "three encodings: awaiting 0, 1, done");
+        assert_eq!(e.timer_bits(), 0);
+        assert_eq!(e.identity_bits(), 0);
+        assert_eq!(e.state_bits_per_instance(), 66);
+        assert_eq!(e.register_slots(), 3);
+    }
+
+    #[test]
+    fn timers_identity_and_mixed_widths_are_counted() {
+        let mut second = Stage::match_(
+            "b",
+            EventPattern::Arrival,
+            // Re-binds A from a 16-bit port — the 32-bit bind dominates.
+            Guard::new(vec![Atom::Bind(var("A"), Field::L4Dst), Atom::SamePacket(0)]),
+        );
+        second.unless = vec![Unless {
+            pattern: EventPattern::Arrival,
+            // Clearing binders do not persist: must not add width.
+            guard: Guard::new(vec![Atom::Bind(var("C"), Field::EthSrc)]),
+        }];
+        let p = prop(vec![
+            Stage::match_(
+                "a",
+                EventPattern::Arrival,
+                Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Src)]),
+            ),
+            second,
+            Stage::deadline("d", Duration::from_secs(1), RefreshPolicy::NoRefresh),
+        ]);
+        let e = ResourceEstimate::of(&p);
+        assert_eq!(e.var_costs, vec![VarCost { var: var("A"), bits: 32 }]);
+        assert!(e.needs_timer);
+        assert_eq!(e.identity_slots, 1);
+        assert_eq!(e.state_bits_per_instance(), 32 + 2 + 32 + 64);
+        assert_eq!(e.register_slots(), 1 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn single_stage_needs_one_stage_bit() {
+        let p = prop(vec![Stage::match_("s", EventPattern::Arrival, Guard::any())]);
+        let e = ResourceEstimate::of(&p);
+        assert_eq!(e.stage_bits, 1);
+        assert_eq!(e.state_bits_per_instance(), 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Abstract transfer functions: evaluating a guard over an [`AbsEnv`].
+//!
+//! [`apply`] answers two questions at once, both over-approximately and
+//! soundly:
+//!
+//! 1. **Satisfiability** — `None` means *no* concrete event can satisfy the
+//!    guard for *any* instance state described by the input environment, so
+//!    the transition is dead (its edge contributes nothing to masks or
+//!    reachability).
+//! 2. **Post-state** — on `Some(env)`, the returned environment
+//!    over-approximates every instance state after a successful guard
+//!    evaluation: each top-level `Bind` records the meet of the field's
+//!    accumulated constraints with what was already known about the
+//!    variable.
+//!
+//! Mirrors of the reference semantics that matter for soundness: `AnyOf`
+//! bindings are discarded (the disjunction only contributes
+//! satisfiability), negative atoms (`NeqVar`, `NeqConst`) never bind, and a
+//! guard's atoms constrain *one* event, so constraints on the same field
+//! accumulate by meet within a single guard application.
+
+use super::domain::AbsValue;
+use super::env::AbsEnv;
+use super::fields::{field_kind, field_top, value_kind};
+use std::collections::BTreeMap;
+use swmon_core::{Atom, Guard};
+use swmon_packet::Field;
+
+/// Per-guard scratch state: what the current event's fields are known to
+/// hold, given the atoms processed so far.
+type FieldCons = BTreeMap<Field, AbsValue>;
+
+fn constraint(fields: &FieldCons, f: Field) -> AbsValue {
+    fields.get(&f).copied().unwrap_or_else(|| field_top(f))
+}
+
+/// Evaluate `guard` abstractly in `env`. `None` = provably unsatisfiable.
+///
+/// Precondition (holds on the per-property chain CFG, where instance state
+/// is exactly the top-level binders of earlier match stages): `env`
+/// contains **every** variable that can possibly be bound at this point.
+/// That is what licenses the strongest refutation here — a negative or
+/// round-robin atom reading a variable absent from `env` always fails at
+/// runtime (the engine rejects reads of unbound variables), so the guard is
+/// unsatisfiable.
+pub fn apply(env: &AbsEnv, guard: &Guard) -> Option<AbsEnv> {
+    let mut out = env.clone();
+    let mut fields = FieldCons::new();
+
+    // Equality constants first: conjunction order does not affect
+    // satisfiability, and seeding the field constraints up front lets a
+    // later `Bind` pick up `field == const` knowledge atom order would
+    // otherwise hide.
+    for atom in &guard.atoms {
+        if let Atom::EqConst(f, v) = atom {
+            if field_kind(*f) != value_kind(v) {
+                return None; // type-mismatched constant: never equal
+            }
+            let met = constraint(&fields, *f).meet(AbsValue::Const(*v));
+            if met.is_bottom() {
+                return None;
+            }
+            fields.insert(*f, met);
+        }
+    }
+
+    for atom in &guard.atoms {
+        match atom {
+            Atom::EqConst(..) => {} // handled above
+            Atom::Bind(v, f) => {
+                let known = out.get(v);
+                if let (AbsValue::Const(c), k) = (known, field_kind(*f)) {
+                    if value_kind(&c) != k {
+                        return None; // unification across kinds never succeeds
+                    }
+                }
+                let met = constraint(&fields, *f).meet(known);
+                if met.is_bottom() {
+                    return None;
+                }
+                fields.insert(*f, met);
+                if out.bind(*v, met).is_bottom() {
+                    return None;
+                }
+            }
+            Atom::NeqConst(f, v) => {
+                if constraint(&fields, *f) == AbsValue::Const(*v) {
+                    return None; // field is pinned to exactly the excluded value
+                }
+            }
+            Atom::NeqVar(f, v) => {
+                if !out.is_bound(v) {
+                    return None; // reads of unbound variables always fail
+                }
+                // Otherwise refutable only when both sides are pinned to
+                // the same constant.
+                if let (AbsValue::Const(a), AbsValue::Const(b)) =
+                    (constraint(&fields, *f), out.get(v))
+                {
+                    if a == b {
+                        return None;
+                    }
+                }
+            }
+            Atom::AnyOf(subs) => {
+                // Satisfiability only: some disjunct must be individually
+                // satisfiable. Disjunct bindings and field constraints are
+                // discarded, as the engine discards them.
+                let feasible = subs.iter().any(|sub| {
+                    let mut scratch_env = out.clone();
+                    let mut scratch_fields = fields.clone();
+                    atom_feasible(sub, &mut scratch_env, &mut scratch_fields)
+                });
+                if !feasible && !subs.is_empty() {
+                    return None;
+                }
+            }
+            Atom::RrSuccessorMismatch { prev, .. } => {
+                if !out.is_bound(prev) {
+                    return None; // reads of unbound variables always fail
+                }
+            }
+            // Identity and arithmetic atoms: no value-domain knowledge.
+            Atom::SamePacket(_) | Atom::HashedPortMismatch { .. } => {}
+        }
+    }
+    Some(out)
+}
+
+/// One atom's feasibility inside an `AnyOf`, mutating the scratch state.
+fn atom_feasible(atom: &Atom, env: &mut AbsEnv, fields: &mut FieldCons) -> bool {
+    match atom {
+        Atom::EqConst(f, v) => {
+            if field_kind(*f) != value_kind(v) {
+                return false;
+            }
+            let met = constraint(fields, *f).meet(AbsValue::Const(*v));
+            fields.insert(*f, met);
+            !met.is_bottom()
+        }
+        Atom::Bind(v, f) => {
+            let met = constraint(fields, *f).meet(env.get(v));
+            fields.insert(*f, met);
+            !met.is_bottom() && !env.bind(*v, met).is_bottom()
+        }
+        Atom::NeqConst(f, v) => constraint(fields, *f) != AbsValue::Const(*v),
+        Atom::NeqVar(f, v) => {
+            env.is_bound(v)
+                && !matches!(
+                    (constraint(fields, *f), env.get(v)),
+                    (AbsValue::Const(a), AbsValue::Const(b)) if a == b
+                )
+        }
+        Atom::RrSuccessorMismatch { prev, .. } => env.is_bound(prev),
+        Atom::AnyOf(subs) => {
+            subs.is_empty()
+                || subs.iter().any(|sub| {
+                    let mut e = env.clone();
+                    let mut f = fields.clone();
+                    atom_feasible(sub, &mut e, &mut f)
+                })
+        }
+        Atom::SamePacket(_) | Atom::HashedPortMismatch { .. } => true,
+    }
+}
+
+/// True when `sub`'s constraint set is implied by `sup`'s: every event (and
+/// instance state) satisfying `sup` also satisfies `sub`. Syntactic and
+/// conservative — used for dominated-transition detection (`SW011`), where
+/// a false negative only costs a missed lint.
+pub fn implies(sup: &Guard, sub: &Guard) -> bool {
+    sub.atoms.iter().all(|a| sup.atoms.contains(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::var;
+    use swmon_packet::{FieldValue, Ipv4Address};
+
+    fn u(n: u64) -> FieldValue {
+        FieldValue::Uint(n)
+    }
+
+    #[test]
+    fn constant_conflicts_are_refuted() {
+        let g = Guard::new(vec![
+            Atom::EqConst(Field::L4Dst, u(80)),
+            Atom::EqConst(Field::L4Dst, u(443)),
+        ]);
+        assert!(apply(&AbsEnv::new(), &g).is_none());
+        let ok = Guard::new(vec![Atom::EqConst(Field::L4Dst, u(80))]);
+        assert!(apply(&AbsEnv::new(), &ok).is_some());
+    }
+
+    #[test]
+    fn out_of_range_and_mistyped_constants_are_refuted() {
+        let too_big = Guard::new(vec![Atom::EqConst(Field::Ttl, u(300))]);
+        assert!(apply(&AbsEnv::new(), &too_big).is_none(), "TTL is 8 bits");
+        let mistyped = Guard::new(vec![Atom::EqConst(
+            Field::L4Dst,
+            FieldValue::Ipv4(Ipv4Address::new(10, 0, 0, 1)),
+        )]);
+        assert!(apply(&AbsEnv::new(), &mistyped).is_none());
+    }
+
+    #[test]
+    fn binds_propagate_constants_into_the_environment() {
+        let g = Guard::new(vec![
+            Atom::EqConst(Field::L4Dst, u(80)),
+            Atom::Bind(var("P"), Field::L4Dst),
+        ]);
+        let env = apply(&AbsEnv::new(), &g).expect("satisfiable");
+        assert_eq!(env.get(&var("P")), AbsValue::Const(u(80)));
+        // Order must not matter: the bind before the constant learns the same.
+        let g2 = Guard::new(vec![
+            Atom::Bind(var("P"), Field::L4Dst),
+            Atom::EqConst(Field::L4Dst, u(80)),
+        ]);
+        let env2 = apply(&AbsEnv::new(), &g2).expect("satisfiable");
+        assert_eq!(env2.get(&var("P")), AbsValue::Const(u(80)));
+    }
+
+    #[test]
+    fn cross_stage_constant_conflict_is_refuted() {
+        // Stage 1 bound P from a port pinned to 80; a later guard re-binds
+        // P at a field pinned to 443 — unification can never succeed.
+        let mut env = AbsEnv::new();
+        env.bind(var("P"), AbsValue::Const(u(80)));
+        let g = Guard::new(vec![
+            Atom::EqConst(Field::L4Src, u(443)),
+            Atom::Bind(var("P"), Field::L4Src),
+        ]);
+        assert!(apply(&env, &g).is_none());
+        // And re-binding a Uint-valued variable at an address field fails.
+        let addr = Guard::new(vec![Atom::Bind(var("P"), Field::Ipv4Src)]);
+        assert!(apply(&env, &addr).is_none());
+    }
+
+    #[test]
+    fn neq_atoms_refute_only_pinned_equalities() {
+        let dead = Guard::new(vec![
+            Atom::EqConst(Field::L4Dst, u(80)),
+            Atom::NeqConst(Field::L4Dst, u(80)),
+        ]);
+        assert!(apply(&AbsEnv::new(), &dead).is_none());
+        let mut env = AbsEnv::new();
+        env.bind(var("A"), AbsValue::Const(u(80)));
+        let dead2 = Guard::new(vec![
+            Atom::EqConst(Field::L4Dst, u(80)),
+            Atom::NeqVar(Field::L4Dst, var("A")),
+        ]);
+        assert!(apply(&env, &dead2).is_none());
+        let live = Guard::new(vec![Atom::NeqVar(Field::L4Dst, var("A"))]);
+        assert!(apply(&env, &live).is_some(), "field unpinned: satisfiable");
+    }
+
+    #[test]
+    fn anyof_needs_one_feasible_disjunct_and_discards_bindings() {
+        let one_live = Guard::new(vec![
+            Atom::EqConst(Field::L4Dst, u(80)),
+            Atom::AnyOf(vec![
+                Atom::EqConst(Field::L4Dst, u(443)), // dead under the conjunct
+                Atom::Bind(var("Z"), Field::Ipv4Src),
+            ]),
+        ]);
+        let env = apply(&AbsEnv::new(), &one_live).expect("second disjunct lives");
+        assert!(!env.is_bound(&var("Z")), "disjunct bindings are discarded");
+        let all_dead = Guard::new(vec![
+            Atom::EqConst(Field::L4Dst, u(80)),
+            Atom::AnyOf(vec![
+                Atom::EqConst(Field::L4Dst, u(443)),
+                Atom::EqConst(Field::Ttl, u(999)),
+            ]),
+        ]);
+        assert!(apply(&AbsEnv::new(), &all_dead).is_none());
+    }
+
+    #[test]
+    fn implication_is_superset_of_atoms() {
+        let narrow = Guard::new(vec![
+            Atom::EqConst(Field::L4Dst, u(80)),
+            Atom::Bind(var("A"), Field::Ipv4Src),
+        ]);
+        let wide = Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Src)]);
+        assert!(implies(&narrow, &wide), "narrow ⇒ wide");
+        assert!(!implies(&wide, &narrow));
+        assert!(implies(&wide, &Guard::any()), "anything implies the empty guard");
+    }
+}

@@ -45,6 +45,29 @@ pub enum Code {
     /// `SW009` — one or more surveyed switch approaches cannot host this
     /// property (Table 2 as a lint).
     BackendGap,
+    /// `SW010` — abstract interpretation proved an event-class mask strictly
+    /// tighter than the syntactic one: events in the dropped classes can
+    /// never change the property's output.
+    RefinedMask,
+    /// `SW011` — a guard (or clearing) is subsumed by another on the same
+    /// stage: every event it accepts is already accepted by the dominating
+    /// guard, so the transition is dead weight.
+    GuardSubsumption,
+    /// `SW012` — abstract interpretation proved a stage unreachable under
+    /// the interval/constant domains (strictly stronger than the syntactic
+    /// `SW004` check); the engine may prune it.
+    PrunableStage,
+    /// `SW013` — a finite bound on the live-instance population per routing
+    /// key, derived from constant-propagated spawn-guard constraints.
+    CardinalityBound,
+    /// `SW014` — per-backend resource estimate: state bits per instance,
+    /// registers, and flow-table entries the property needs on a surveyed
+    /// approach (Table 2, quantitatively).
+    ResourceEstimate,
+    /// `SW015` — the property's estimated state exceeds a surveyed
+    /// approach's resource budget even though every feature is supported:
+    /// feasible in kind, infeasible in size.
+    ResourceOverflow,
 }
 
 impl Code {
@@ -61,6 +84,12 @@ impl Code {
             Code::FullScanFallback => "SW007",
             Code::RoutingPin => "SW008",
             Code::BackendGap => "SW009",
+            Code::RefinedMask => "SW010",
+            Code::GuardSubsumption => "SW011",
+            Code::PrunableStage => "SW012",
+            Code::CardinalityBound => "SW013",
+            Code::ResourceEstimate => "SW014",
+            Code::ResourceOverflow => "SW015",
         }
     }
 
@@ -70,7 +99,7 @@ impl Code {
     }
 
     /// Every defined code, in numeric order.
-    pub const ALL: [Code; 10] = [
+    pub const ALL: [Code; 16] = [
         Code::Structural,
         Code::UnboundVar,
         Code::UnsatGuard,
@@ -81,6 +110,12 @@ impl Code {
         Code::FullScanFallback,
         Code::RoutingPin,
         Code::BackendGap,
+        Code::RefinedMask,
+        Code::GuardSubsumption,
+        Code::PrunableStage,
+        Code::CardinalityBound,
+        Code::ResourceEstimate,
+        Code::ResourceOverflow,
     ];
 }
 

@@ -21,6 +21,16 @@
 //! | `SW007` | Perf | stage matching falls back to a full instance scan |
 //! | `SW008` | Perf | property pinned to one shard |
 //! | `SW009` | Note | backend approaches that cannot host the property |
+//! | `SW010` | Note | abstract interpretation tightened the event-class mask |
+//! | `SW011` | Warning | a clearing clause is dominated by an earlier one |
+//! | `SW012` | Warning | a stage provably can never be completed (dead tail) |
+//! | `SW013` | Note | finite bound on spawn-binding tuples per routing key |
+//! | `SW014` | Note | per-backend resource estimate (state bits, registers, entries) |
+//! | `SW015` | Note | estimated resources exceed a backend's nominal budget |
+//!
+//! `SW000`–`SW013` come from the property-local pass pipeline; `SW014` and
+//! `SW015` are emitted by `swmon-backends` (`resource_diagnostics`), which
+//! owns the per-mechanism storage disciplines.
 //!
 //! Entry points: [`analyze`] for a bare property, [`analyze_spanned`] when
 //! DSL source spans are available, [`analyze_full`] to also run the
@@ -32,6 +42,7 @@
 //! feature-vs-capability gap checking, shared with `swmon-backends`
 //! (which re-exports it) and the Table 2 generator.
 
+pub mod absint;
 pub mod diag;
 pub mod feasibility;
 pub mod json;

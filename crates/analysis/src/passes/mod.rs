@@ -5,6 +5,7 @@
 //! ([`run`]) executes them in code order and the result is sorted into a
 //! deterministic presentation order (severity, then code, then stage).
 
+pub mod absint;
 pub mod backend;
 pub mod dataflow;
 pub mod guards;
@@ -90,6 +91,7 @@ pub fn run(ctx: &Ctx<'_>) -> Vec<Diagnostic> {
     out.extend(guards::check(ctx));
     out.extend(reach::check(ctx));
     out.extend(perf::check(ctx));
+    out.extend(absint::check(ctx));
     sort(&mut out);
     out
 }

@@ -21,10 +21,14 @@
 pub mod approaches;
 pub mod caps;
 pub mod machine;
+pub mod resources;
 pub mod rulecompiler;
 pub mod table2;
 
 pub use approaches::{all, fast, openflow13, openstate, p4, snap, static_varanus, varanus};
 pub use caps::{Capabilities, Cell, FieldAccess, Gap};
 pub use machine::{CompiledMonitor, Mechanism, Storage, UpdatePath};
+pub use resources::{
+    quantify, quantify_all, resource_diagnostics, BackendFit, ResourceBudget, NOMINAL_INSTANCES,
+};
 pub use rulecompiler::{compile_rules, RuleCompileError, RuleProgram};

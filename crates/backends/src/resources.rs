@@ -1,0 +1,276 @@
+//! Quantitative resource estimates per backend — the numbers behind the ✓.
+//!
+//! Table 2 says *whether* an approach can host a property; this module says
+//! *what it costs*: flow-table entries, register bits, and per-entry xFSM
+//! state, derived from the analysis crate's intrinsic
+//! [`ResourceEstimate`] and each mechanism's storage discipline:
+//!
+//! * **table-keyed** storages ([`Storage::TablePerInstance`],
+//!   [`Storage::TablePerStage`], [`Storage::Xfsm`]) encode the instance's
+//!   bindings in the match key, so binding bits are *not* stored — only the
+//!   residual per-entry state (stage counter, deadline, identity tokens);
+//! * **register** storage ([`Storage::Registers`]) stores the full
+//!   per-instance state, bindings included, in register arrays indexed by a
+//!   hash of the bindings;
+//! * **controller** storage keeps nothing on the switch.
+//!
+//! Estimates are sized for a nominal population of [`NOMINAL_INSTANCES`]
+//! live instances (capped by the analysis' spawn-cardinality bound when it
+//! is smaller) and checked against a [`ResourceBudget`] modelled on
+//! small-switch figures. A feasible-in-kind backend that exceeds the budget
+//! gets an `SW015` note; the intrinsic estimate itself is reported once per
+//! property as `SW014`.
+
+use crate::approaches;
+use crate::machine::{Mechanism, Storage};
+use swmon_analysis::absint::{property_facts, PropertyFacts, ResourceEstimate};
+use swmon_analysis::diag::{Code, Diagnostic, Locus, Severity};
+use swmon_core::{Property, ProvenanceMode};
+
+/// Nominal live-instance population estimates are sized for.
+pub const NOMINAL_INSTANCES: u64 = 1024;
+
+/// Per-backend resource ceilings, modelled on small-switch figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Flow-table entries a monitor may reasonably claim.
+    pub max_table_entries: u64,
+    /// Register bits available to a monitor (1 Mbit).
+    pub max_register_bits: u64,
+    /// Per-entry xFSM state width (OpenState-style state label).
+    pub max_xfsm_entry_bits: u32,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> Self {
+        ResourceBudget {
+            max_table_entries: 4096,
+            max_register_bits: 1 << 20,
+            max_xfsm_entry_bits: 64,
+        }
+    }
+}
+
+/// The quantified cost of hosting one property on one backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendFit {
+    /// Approach name (Table 2 column).
+    pub approach: &'static str,
+    /// Where its state lives.
+    pub storage: Storage,
+    /// Whether the capability check passes at all (Table 2's ✓).
+    pub feasible: bool,
+    /// Flow-table entries claimed at the sized population.
+    pub table_entries: u64,
+    /// Register bits claimed at the sized population.
+    pub register_bits: u64,
+    /// Residual per-entry state bits (table-keyed storages).
+    pub entry_state_bits: u32,
+    /// The population the figures are sized for.
+    pub population: u64,
+}
+
+impl BackendFit {
+    /// Why this fit exceeds `budget`, if it does.
+    pub fn over_budget(&self, budget: &ResourceBudget) -> Option<String> {
+        if self.table_entries > budget.max_table_entries {
+            return Some(format!(
+                "{} flow-table entries exceed the {}-entry budget",
+                self.table_entries, budget.max_table_entries
+            ));
+        }
+        if self.register_bits > budget.max_register_bits {
+            return Some(format!(
+                "{} register bits exceed the {}-bit budget",
+                self.register_bits, budget.max_register_bits
+            ));
+        }
+        if self.storage == Storage::Xfsm && self.entry_state_bits > budget.max_xfsm_entry_bits {
+            return Some(format!(
+                "{} per-entry state bits exceed the {}-bit xFSM state label",
+                self.entry_state_bits, budget.max_xfsm_entry_bits
+            ));
+        }
+        None
+    }
+}
+
+/// Size `property` onto `mech` for `population` live instances.
+pub fn quantify(
+    property: &Property,
+    estimate: &ResourceEstimate,
+    mech: &Mechanism,
+    population: u64,
+) -> BackendFit {
+    let stages = property.num_stages() as u64;
+    // Residual state once bindings are encoded in the match key.
+    let residual = estimate.state_bits_per_instance() - estimate.binding_bits();
+    let feasible = mech.storage == Storage::Controller
+        || mech.caps.check(property, ProvenanceMode::Bindings).is_empty();
+    let (table_entries, register_bits, entry_state_bits) = match mech.storage {
+        // One table per live instance, one pending-observation rule each.
+        Storage::TablePerInstance => (population, 0, residual),
+        // Static per-stage tables plus one entry per live instance.
+        Storage::TablePerStage => (stages + population, 0, residual),
+        // Static match rules; all state (bindings included) in registers.
+        Storage::Registers => {
+            (stages, population * u64::from(estimate.state_bits_per_instance()), 0)
+        }
+        // State table keyed by bindings; per-entry state label holds the
+        // residual bits. Transition rows are per stage and event class.
+        Storage::Xfsm => (stages + population, 0, residual),
+        Storage::Controller => (0, 0, 0),
+    };
+    BackendFit {
+        approach: mech.caps.name,
+        storage: mech.storage,
+        feasible,
+        table_entries,
+        register_bits,
+        entry_state_bits,
+        population,
+    }
+}
+
+/// The population to size for: the nominal figure, capped by a proven
+/// finite spawn-cardinality bound (per key, times a nominal key count has
+/// no sound cap, so only an *unconditional* bound of 0 shrinks to 0).
+fn sized_population(facts: &PropertyFacts) -> u64 {
+    match facts.spawn_cardinality {
+        Some(0) => 0,
+        _ => NOMINAL_INSTANCES,
+    }
+}
+
+/// Quantify `property` on every surveyed approach, in Table 2 order.
+pub fn quantify_all(property: &Property) -> Vec<BackendFit> {
+    let facts = property_facts(property);
+    let population = sized_population(&facts);
+    approaches::all().iter().map(|m| quantify(property, &facts.estimate, m, population)).collect()
+}
+
+/// Emit the `SW014` intrinsic estimate note and one `SW015` note per
+/// feasible backend whose sized figures exceed `budget`.
+pub fn resource_diagnostics(property: &Property, budget: &ResourceBudget) -> Vec<Diagnostic> {
+    let facts = property_facts(property);
+    let e = &facts.estimate;
+    let mut out = vec![Diagnostic {
+        code: Code::ResourceEstimate,
+        severity: Severity::Note,
+        locus: Locus::property(&property.name),
+        message: format!(
+            "per-instance state: {} bits ({} binding + {} stage + {} timer + {} identity), \
+             {} register slot(s)",
+            e.state_bits_per_instance(),
+            e.binding_bits(),
+            e.stage_bits,
+            e.timer_bits(),
+            e.identity_bits(),
+            e.register_slots(),
+        ),
+        suggestion: None,
+    }];
+    let population = sized_population(&facts);
+    for mech in approaches::all() {
+        let fit = quantify(property, e, &mech, population);
+        if !fit.feasible {
+            continue; // SW009 already reports the capability gap
+        }
+        if let Some(why) = fit.over_budget(budget) {
+            out.push(Diagnostic {
+                code: Code::ResourceOverflow,
+                severity: Severity::Note,
+                locus: Locus::property(&property.name),
+                message: format!(
+                    "{} can host this property but not at the sized population of {} \
+                     instances: {why}",
+                    fit.approach, fit.population
+                ),
+                suggestion: None,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swmon_core::{var, Atom, EventPattern, Guard, Stage};
+    use swmon_packet::Field;
+
+    fn fw() -> Property {
+        Property {
+            name: "fw".into(),
+            statement: String::new(),
+            stages: vec![
+                Stage::match_(
+                    "out",
+                    EventPattern::Arrival,
+                    Guard::new(vec![
+                        Atom::Bind(var("A"), Field::Ipv4Src),
+                        Atom::Bind(var("B"), Field::Ipv4Dst),
+                    ]),
+                ),
+                Stage::match_(
+                    "back",
+                    EventPattern::Arrival,
+                    Guard::new(vec![
+                        Atom::Bind(var("B"), Field::Ipv4Src),
+                        Atom::Bind(var("A"), Field::Ipv4Dst),
+                    ]),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn storage_disciplines_differ_in_what_they_store() {
+        let fits = quantify_all(&fw());
+        assert_eq!(fits.len(), 7, "one per Table 2 column");
+        let by_name = |n: &str| fits.iter().find(|f| f.approach == n).unwrap().clone();
+        let p4 = by_name("POF and P4");
+        // Registers store the full 66-bit instance (64 binding + 2 stage).
+        assert_eq!(p4.register_bits, NOMINAL_INSTANCES * 66);
+        assert_eq!(p4.table_entries, 2, "static per-stage rules only");
+        let varanus = by_name("Varanus");
+        assert_eq!(varanus.table_entries, NOMINAL_INSTANCES);
+        assert_eq!(varanus.register_bits, 0);
+        assert_eq!(varanus.entry_state_bits, 2, "bindings are key-encoded");
+        let of13 = by_name("OpenFlow 1.3");
+        assert_eq!((of13.table_entries, of13.register_bits), (0, 0), "controller keeps it all");
+    }
+
+    #[test]
+    fn budget_violations_are_detected() {
+        let fit = BackendFit {
+            approach: "x",
+            storage: Storage::Registers,
+            feasible: true,
+            table_entries: 10,
+            register_bits: 2 << 20,
+            entry_state_bits: 0,
+            population: NOMINAL_INSTANCES,
+        };
+        let why = fit.over_budget(&ResourceBudget::default()).unwrap();
+        assert!(why.contains("register bits"), "{why}");
+        let ok = BackendFit { register_bits: 64, ..fit };
+        assert!(ok.over_budget(&ResourceBudget::default()).is_none());
+    }
+
+    #[test]
+    fn diagnostics_lead_with_the_intrinsic_estimate() {
+        let diags = resource_diagnostics(&fw(), &ResourceBudget::default());
+        assert_eq!(diags[0].code, Code::ResourceEstimate);
+        assert!(diags[0].message.contains("66 bits"), "{}", diags[0].message);
+        assert!(diags.iter().all(|d| d.severity == Severity::Note));
+        // A tiny budget trips SW015 on every feasible backend with state.
+        let tight =
+            ResourceBudget { max_table_entries: 1, max_register_bits: 1, max_xfsm_entry_bits: 1 };
+        let diags = resource_diagnostics(&fw(), &tight);
+        assert!(
+            diags.iter().filter(|d| d.code == Code::ResourceOverflow).count() >= 2,
+            "{diags:#?}"
+        );
+    }
+}

@@ -8,6 +8,7 @@
 //! repro e13 e14 --json          # also print machine-readable results
 //! repro e14 --json --quick      # small event counts (CI smoke)
 //! repro stats --json            # telemetry page over the full catalog
+//! repro analyze --json          # proven facts + quantitative Table 2
 //! repro query 'degraded()'      # SWQL over a live catalog session
 //! repro query 'prop(*)' --follow --json
 //! ```
@@ -23,7 +24,7 @@ use swmon_apps::output::Emitter;
 use swmon_bench::experiments::{
     e10, e11, e12, e13, e14, e15, e16, e3, e4, e5, e6, e7, e8, e9, stats,
 };
-use swmon_bench::{lint, storequery};
+use swmon_bench::{analyze, lint, storequery};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -178,6 +179,19 @@ fn main() {
             print!("{}", lint::render_pretty(&diags));
         }
         if lint::gating(&diags) {
+            em.fail();
+        }
+    }
+
+    if want("analyze") {
+        em.section("Analyze — abstract interpretation: proven facts and quantitative Table 2");
+        let reports = analyze::run_catalog();
+        if em.json() {
+            println!("{}", analyze::render_json(&reports));
+        } else {
+            print!("{}", analyze::render_pretty(&reports));
+        }
+        if analyze::gating(&reports) {
             em.fail();
         }
     }

@@ -11,6 +11,12 @@
 //!    instances it can possibly clear or advance instead of every slot.
 //! 3. **Event pre-dispatch** — [`swmon_core::MonitorSet`] skips monitors
 //!    whose property cannot react to an event's class at all.
+//! 4. **Analysis pruning** — the pre-dispatch masks come from the
+//!    abstract-interpretation framework ([`swmon_analysis::absint`])
+//!    instead of the syntactic class union: provably-infeasible event
+//!    classes are dropped, so fewer monitors see each event. The row is
+//!    differentially verified like every other — proven pruning is
+//!    invisible in the output.
 //!
 //! The workload and properties are E13's exactly, so rows compare
 //! directly against the `reference` row recorded in `BENCH_runtime.json`
@@ -20,7 +26,7 @@
 
 use crate::TextTable;
 use std::time::Instant as WallInstant;
-use swmon_core::{Monitor, MonitorConfig, MonitorSet, Property, SharedRecorder};
+use swmon_core::{AnalysisFacts, Monitor, MonitorConfig, MonitorSet, Property, SharedRecorder};
 use swmon_runtime::merge::{kind_rank, merge};
 use swmon_runtime::{reference_records, signature, ViolationRecord};
 use swmon_sim::time::{Duration, Instant};
@@ -109,13 +115,24 @@ fn time_pass(
     cfg: MonitorConfig,
     trace: &[NetEvent],
     end: Instant,
+    facts: Option<&[AnalysisFacts]>,
     instrument: bool,
     reps: usize,
 ) -> (f64, Vec<ViolationRecord>) {
     let build = || {
         let mut set = MonitorSet::new();
-        for p in props {
-            set.add(p.clone(), cfg);
+        match facts {
+            Some(facts) => {
+                for (p, f) in props.iter().zip(facts) {
+                    set.add_with_facts(p.clone(), cfg, f)
+                        .expect("facts were derived from these properties");
+                }
+            }
+            None => {
+                for p in props {
+                    set.add(p.clone(), cfg);
+                }
+            }
         }
         if instrument {
             set.attach_recorders(|name| {
@@ -138,32 +155,39 @@ fn time_pass(
     (secs, records_of(last.monitors()))
 }
 
-/// Time the bare and instrumented `MonitorSet` rows with interleaved
-/// best-of-[`TIMING_PASSES`] passes. Interleaving matters: the overhead
-/// gate compares the two figures, and running them as separate blocks
-/// would let machine-load drift between blocks masquerade as an
-/// instrumentation tax. The minimum over passes rejects preempted runs.
+/// Time the bare, analysis-pruned, and instrumented `MonitorSet` rows with
+/// interleaved best-of-[`TIMING_PASSES`] passes. Interleaving matters: the
+/// overhead gate and the pruning comparison each relate two figures, and
+/// running configurations as separate blocks would let machine-load drift
+/// between blocks masquerade as a real difference. The minimum over passes
+/// rejects preempted runs.
 #[allow(clippy::type_complexity)]
 fn time_monitorsets(
     props: &[Property],
     cfg: MonitorConfig,
     trace: &[NetEvent],
     end: Instant,
-) -> ((f64, Vec<ViolationRecord>), (f64, Vec<ViolationRecord>)) {
+    facts: &[AnalysisFacts],
+) -> ((f64, Vec<ViolationRecord>), (f64, Vec<ViolationRecord>), (f64, Vec<ViolationRecord>)) {
     let reps = (MIN_TIMED_EVENTS / trace.len().max(1)).max(1);
     let mut bare = (f64::INFINITY, Vec::new());
+    let mut pruned = (f64::INFINITY, Vec::new());
     let mut instr = (f64::INFINITY, Vec::new());
     for _ in 0..TIMING_PASSES {
-        let (secs, records) = time_pass(props, cfg, trace, end, false, reps);
+        let (secs, records) = time_pass(props, cfg, trace, end, None, false, reps);
         if secs < bare.0 {
             bare = (secs, records);
         }
-        let (secs, records) = time_pass(props, cfg, trace, end, true, reps);
+        let (secs, records) = time_pass(props, cfg, trace, end, Some(facts), false, reps);
+        if secs < pruned.0 {
+            pruned = (secs, records);
+        }
+        let (secs, records) = time_pass(props, cfg, trace, end, None, true, reps);
         if secs < instr.0 {
             instr = (secs, records);
         }
     }
-    (bare, instr)
+    (bare, pruned, instr)
 }
 
 /// Measure the hot path over the E13 workload shape.
@@ -195,13 +219,25 @@ pub fn run(flows: u32, packets: u32) -> Outcome {
     };
     push("per-monitor-loop", ref_secs, &reference, None);
 
-    // MonitorSet rows: the same monitors behind event-class pre-dispatch,
-    // bare and with per-property engine probes attached — the exact
-    // instrumentation the runtime enables by default. The overhead column
-    // is the telemetry tax this PR's acceptance bar bounds at 3%.
-    let ((set_secs, set_records), (tel_secs, tel_records)) =
-        time_monitorsets(&props, cfg, &trace, end);
+    // MonitorSet rows: the same monitors behind event-class pre-dispatch —
+    // bare (syntactic masks), with analysis-refined masks from the
+    // abstract-interpretation framework, and with per-property engine
+    // probes attached (the exact instrumentation the runtime enables by
+    // default). The overhead column is the telemetry tax this PR's
+    // acceptance bar bounds at 3%; the absint row's win over the bare row
+    // is what mask refinement buys on this workload.
+    let facts: Vec<AnalysisFacts> = props
+        .iter()
+        .map(|p| {
+            swmon_analysis::absint::property_facts(p)
+                .to_core(p)
+                .expect("catalog facts pass the core check")
+        })
+        .collect();
+    let ((set_secs, set_records), (abs_secs, abs_records), (tel_secs, tel_records)) =
+        time_monitorsets(&props, cfg, &trace, end, &facts);
     push("monitorset-predispatch", set_secs, &set_records, None);
+    push("monitorset-absint-pruned", abs_secs, &abs_records, None);
     let set_eps = trace.len() as f64 / set_secs;
     let tel_eps = trace.len() as f64 / tel_secs;
     let overhead = (set_eps - tel_eps) / set_eps * 100.0;
@@ -231,7 +267,7 @@ pub fn render(o: &Outcome) -> String {
         ]);
     }
     format!(
-        "{}\n{} events; baseline {:.0} events/sec is the pre-rework engine's\nreference row on the identical workload (BENCH_runtime.json). The\ntelemetry row re-runs the MonitorSet with the runtime's default engine\nprobes attached; its overhead column is the instrumentation tax\n(docs/TELEMETRY.md bounds it at 3%). See docs/PERF.md for the three\nhot-path layers being measured.",
+        "{}\n{} events; baseline {:.0} events/sec is the pre-rework engine's\nreference row on the identical workload (BENCH_runtime.json). The\nabsint row swaps the syntactic pre-dispatch masks for analysis-proven\nones (docs/ANALYSIS.md); the telemetry row re-runs the MonitorSet with\nthe runtime's default engine probes attached, its overhead column being\nthe instrumentation tax (docs/TELEMETRY.md bounds it at 3%). See\ndocs/PERF.md for the hot-path layers being measured.",
         t.render(),
         o.events,
         o.baseline_events_per_sec
@@ -264,7 +300,7 @@ mod tests {
     #[test]
     fn every_row_verifies_and_agrees_on_violations() {
         let o = run(32, 400);
-        assert_eq!(o.rows.len(), 3);
+        assert_eq!(o.rows.len(), 4);
         assert!(o.rows.iter().all(|r| r.verified), "{o:?}");
         let v = o.rows[0].violations;
         assert!(v > 0, "workload must produce violations");
@@ -288,10 +324,12 @@ mod tests {
         let txt = render(&o);
         assert!(txt.contains("per-monitor-loop"));
         assert!(txt.contains("monitorset-predispatch"));
+        assert!(txt.contains("monitorset-absint-pruned"));
         assert!(txt.contains("monitorset-telemetry"));
         let json = to_json(&o);
         assert!(json.contains("\"experiment\": \"e14-hotpath\""));
         assert!(json.contains("\"config\": \"monitorset-predispatch\""));
+        assert!(json.contains("\"config\": \"monitorset-absint-pruned\""));
         assert!(json.contains("\"config\": \"monitorset-telemetry\""));
         assert!(json.contains("\"overhead_pct\": null"));
         assert!(json.contains("baseline_events_per_sec"));

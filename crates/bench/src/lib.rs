@@ -19,6 +19,7 @@
 //! | E10 | per-approach monitoring overhead | [`experiments::e10`] |
 //! | E16 | violation store: ingest, SWQL latency, live fidelity | [`experiments::e16`] |
 
+pub mod analyze;
 pub mod experiments;
 pub mod lint;
 pub mod storequery;

@@ -60,6 +60,15 @@ pub fn run(src: &str, flows: u32, packets: u32, follow: bool, em: &mut Emitter) 
     };
 
     let props = swmon_props::catalog();
+    // Post-parse validation: `prop(name)` outside the monitored catalog is
+    // legal but matches nothing — surface the SQ007 warnings next to the
+    // answer instead of letting the empty result pass silently.
+    let warnings = swmon_store::validate_properties(&query, props.iter().map(|p| p.name.as_str()));
+    if !em.json() {
+        for w in &warnings {
+            print!("{}", w.render(src));
+        }
+    }
     let span = Duration::from_micros(2) * u64::from(packets);
     let (trace, _) = lossy_trace(flows, packets, 13, &fault_plan(span));
     let end = trace.last().map(|e| e.time + Duration::from_secs(120)).unwrap_or(Instant::ZERO);
@@ -102,11 +111,13 @@ pub fn run(src: &str, flows: u32, packets: u32, follow: bool, em: &mut Emitter) 
     let verified = differential && live_unaccounted == 0;
 
     if em.json() {
+        let warn_json: Vec<String> = warnings.iter().map(|w| w.to_json()).collect();
         println!(
-            "{{\n  \"experiment\": \"query\",\n  \"swql\": \"{}\",\n  \"events\": {},\n  \
-             \"merged_violations\": {},\n  \"differential_verified\": {},\n  \
+            "{{\n  \"experiment\": \"query\",\n  \"swql\": \"{}\",\n  \"warnings\": [{}],\n  \
+             \"events\": {},\n  \"merged_violations\": {},\n  \"differential_verified\": {},\n  \
              \"verified\": {},\n  \"result\": {}\n}}",
             json_escape(src),
+            warn_json.join(","),
             trace.len(),
             outcome.records.len(),
             differential,
@@ -150,5 +161,14 @@ mod tests {
         let mut em = Emitter::new(false);
         run("degraded() or prop(*), shard(0)", 8, 300, true, &mut em);
         assert!(!em.failed());
+    }
+
+    #[test]
+    fn unknown_property_names_warn_but_do_not_fail() {
+        // `prop` with a name outside the catalog is SQ007: a warning beside
+        // the (empty) answer, never a nonzero exit.
+        let mut em = Emitter::new(true);
+        run("prop(no-such/property)", 4, 50, false, &mut em);
+        assert!(!em.failed(), "SQ007 must not gate");
     }
 }

@@ -1,0 +1,247 @@
+//! Checked facts seam between the static analyzer and the engine.
+//!
+//! `swmon-analysis` proves per-property facts (a refined event-class mask,
+//! stage liveness) by abstract interpretation; the engine and the runtime
+//! router consume them to skip work on the hot path. The seam is *checked*:
+//! facts are constructed through [`AnalysisFacts::checked`], which rejects
+//! anything the engine could not trust blindly — a mask that is not a
+//! subset of the syntactic one, a liveness vector of the wrong arity, or a
+//! "live" stage after a dead one (stages execute strictly in order, so
+//! liveness is prefix-closed). [`AnalysisFacts::conservative`] is the
+//! no-analysis baseline: syntactic mask, every stage live — consuming it is
+//! exactly the unoptimized behaviour.
+//!
+//! Soundness contract consumed here (and differentially verified in
+//! `tests/analysis_differential.rs`): an event whose class bit misses the
+//! refined mask can never spawn, advance, clear, or refresh any instance of
+//! the property, and a property whose final stage is dead can never raise a
+//! violation — so [`AnalysisFacts::effective_mask`] may be used wherever
+//! [`Property::event_class_mask`] is, without changing reported violations.
+
+use crate::property::Property;
+use std::fmt;
+
+/// Why a fact bundle was rejected at the seam.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactsError {
+    /// The refined mask claims event classes the syntax does not mention:
+    /// the analysis cannot *add* reactivity, only remove it.
+    MaskNotSubset {
+        /// Mask offered by the analysis.
+        refined: u8,
+        /// The property's syntactic mask.
+        syntactic: u8,
+    },
+    /// The liveness vector's length differs from the stage count.
+    StageCountMismatch {
+        /// Stages claimed by the facts.
+        got: usize,
+        /// Stages the property has.
+        expected: usize,
+    },
+    /// A stage is marked live after a dead one. Stages execute strictly in
+    /// order, so a dead stage blocks everything behind it.
+    NonPrefixLiveSet,
+}
+
+impl fmt::Display for FactsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactsError::MaskNotSubset { refined, syntactic } => write!(
+                f,
+                "refined class mask {refined:#04x} is not a subset of the syntactic mask \
+                 {syntactic:#04x}"
+            ),
+            FactsError::StageCountMismatch { got, expected } => {
+                write!(f, "facts cover {got} stage(s) but the property has {expected}")
+            }
+            FactsError::NonPrefixLiveSet => {
+                write!(f, "a stage is marked live after a dead one; liveness must be prefix-closed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactsError {}
+
+/// Analysis-proven facts about one property, in the shape the engine
+/// consumes. Construct via [`AnalysisFacts::checked`] (analysis results) or
+/// [`AnalysisFacts::conservative`] (no-analysis baseline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisFacts {
+    class_mask: u8,
+    live_stages: Vec<bool>,
+}
+
+impl AnalysisFacts {
+    /// The baseline facts every property trivially satisfies: the syntactic
+    /// event-class mask and every stage live. Consuming these reproduces
+    /// the unoptimized engine exactly.
+    pub fn conservative(property: &Property) -> AnalysisFacts {
+        AnalysisFacts {
+            class_mask: property.event_class_mask(),
+            live_stages: vec![true; property.num_stages()],
+        }
+    }
+
+    /// Admit analysis results after checking them against `property` (see
+    /// the module docs for what is enforced).
+    pub fn checked(
+        property: &Property,
+        class_mask: u8,
+        live_stages: Vec<bool>,
+    ) -> Result<AnalysisFacts, FactsError> {
+        let facts = AnalysisFacts { class_mask, live_stages };
+        facts.validate_for(property)?;
+        Ok(facts)
+    }
+
+    /// Re-check this bundle against `property` (used when facts travel
+    /// separately from the property they describe).
+    pub fn validate_for(&self, property: &Property) -> Result<(), FactsError> {
+        let syntactic = property.event_class_mask();
+        if self.class_mask & !syntactic != 0 {
+            return Err(FactsError::MaskNotSubset { refined: self.class_mask, syntactic });
+        }
+        if self.live_stages.len() != property.num_stages() {
+            return Err(FactsError::StageCountMismatch {
+                got: self.live_stages.len(),
+                expected: property.num_stages(),
+            });
+        }
+        if let Some(first_dead) = self.live_stages.iter().position(|l| !l) {
+            if self.live_stages[first_dead..].iter().any(|l| *l) {
+                return Err(FactsError::NonPrefixLiveSet);
+            }
+        }
+        Ok(())
+    }
+
+    /// The proven event-class mask (a subset of the syntactic one).
+    pub fn class_mask(&self) -> u8 {
+        self.class_mask
+    }
+
+    /// Per-stage liveness: `live_stages()[s]` is false when no run of the
+    /// property can ever *complete* stage `s`. Stages complete strictly in
+    /// order, so the vector is prefix-closed; all-false means even the
+    /// spawn guard is unsatisfiable.
+    pub fn live_stages(&self) -> &[bool] {
+        &self.live_stages
+    }
+
+    /// True when the final stage is live — i.e. the property can raise a
+    /// violation at all.
+    pub fn can_violate(&self) -> bool {
+        self.live_stages.last().copied().unwrap_or(false)
+    }
+
+    /// The mask the hot path should use: the refined class mask, or `0`
+    /// (skip every event) when the property provably never violates.
+    /// Skipping is sound for *output* — reported violations — which is the
+    /// differential contract; per-monitor activity counters may differ.
+    pub fn effective_mask(&self) -> u8 {
+        if self.can_violate() {
+            self.class_mask
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{Atom, Guard};
+    use crate::pattern::EventPattern;
+    use crate::property::Stage;
+    use crate::var::var;
+    use swmon_packet::Field;
+
+    fn two_stage() -> Property {
+        let stage = |n: &str| {
+            Stage::match_(
+                n,
+                EventPattern::Arrival,
+                Guard::new(vec![Atom::Bind(var("A"), Field::Ipv4Src)]),
+            )
+        };
+        Property {
+            name: "p".into(),
+            statement: String::new(),
+            stages: vec![stage("a"), stage("b")],
+        }
+    }
+
+    #[test]
+    fn conservative_facts_reproduce_the_syntactic_mask() {
+        let p = two_stage();
+        let facts = AnalysisFacts::conservative(&p);
+        assert_eq!(facts.class_mask(), p.event_class_mask());
+        assert_eq!(facts.effective_mask(), p.event_class_mask());
+        assert!(facts.can_violate());
+        assert_eq!(facts.live_stages(), &[true, true]);
+        facts.validate_for(&p).unwrap();
+    }
+
+    #[test]
+    fn non_subset_masks_are_rejected() {
+        let p = two_stage(); // arrivals only: mask 0b1
+        let err = AnalysisFacts::checked(&p, 0b11, vec![true, true]).unwrap_err();
+        assert!(
+            matches!(err, FactsError::MaskNotSubset { refined: 0b11, syntactic: 0b1 }),
+            "{err}"
+        );
+        // Subsets are fine, including empty.
+        AnalysisFacts::checked(&p, 0b1, vec![true, true]).unwrap();
+        AnalysisFacts::checked(&p, 0, vec![true, true]).unwrap();
+    }
+
+    #[test]
+    fn liveness_must_be_a_prefix_of_the_right_arity() {
+        let p = two_stage();
+        assert!(matches!(
+            AnalysisFacts::checked(&p, 1, vec![true]).unwrap_err(),
+            FactsError::StageCountMismatch { got: 1, expected: 2 }
+        ));
+        assert!(matches!(
+            AnalysisFacts::checked(&p, 1, vec![false, true]).unwrap_err(),
+            FactsError::NonPrefixLiveSet
+        ));
+        // All-false is legal: an inert property (unsatisfiable spawn).
+        let inert = AnalysisFacts::checked(&p, 0b1, vec![false, false]).unwrap();
+        assert_eq!(inert.effective_mask(), 0);
+        let three = Property {
+            stages: {
+                let mut s = two_stage().stages;
+                s.push(s[1].clone());
+                s
+            },
+            ..two_stage()
+        };
+        assert!(matches!(
+            AnalysisFacts::checked(&three, 1, vec![true, false, true]).unwrap_err(),
+            FactsError::NonPrefixLiveSet
+        ));
+    }
+
+    #[test]
+    fn dead_tail_zeroes_the_effective_mask() {
+        let p = two_stage();
+        let facts = AnalysisFacts::checked(&p, 0b1, vec![true, false]).unwrap();
+        assert!(!facts.can_violate());
+        assert_eq!(facts.effective_mask(), 0, "a property that never violates needs no events");
+        assert_eq!(facts.class_mask(), 0b1, "the raw mask is still reported");
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in [
+            FactsError::MaskNotSubset { refined: 3, syntactic: 1 },
+            FactsError::StageCountMismatch { got: 1, expected: 2 },
+            FactsError::NonPrefixLiveSet,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -26,6 +26,7 @@
 pub mod builder;
 pub mod dsl;
 pub mod engine;
+pub mod facts;
 pub mod features;
 pub mod guard;
 pub mod monitorset;
@@ -45,6 +46,7 @@ pub use dsl::{
     DslError, PropertySpans, StageSpan,
 };
 pub use engine::{Monitor, MonitorConfig, MonitorStats, ProcessingMode};
+pub use facts::{AnalysisFacts, FactsError};
 pub use features::{FeatureSet, InstanceIdClass};
 pub use guard::{Atom, Guard};
 pub use monitorset::MonitorSet;
@@ -72,6 +74,8 @@ const _: () = {
     assert_send_sync::<RoutingPlan>();
     assert_send_sync::<FeatureSet>();
     assert_send_sync::<MonitorConfig>();
+    // Facts are derived off-line and shared with router construction.
+    assert_send_sync::<AnalysisFacts>();
     // Monitors are owned by exactly one worker at a time: Send suffices.
     assert_send::<Monitor>();
     assert_send::<MonitorSet>();

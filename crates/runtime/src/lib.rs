@@ -81,6 +81,9 @@ pub enum RuntimeError {
     },
     /// More than [`MAX_PROPERTIES`] properties were supplied.
     TooManyProperties(usize),
+    /// An [`swmon_core::AnalysisFacts`] bundle failed its seam check
+    /// against the property it claims to describe.
+    RejectedFacts(String),
     /// A shard exhausted its restart budget (or failed to restore a
     /// checkpoint) and was escalated by its supervisor.
     ShardFailed {
@@ -110,6 +113,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::TooManyProperties(n) => {
                 write!(f, "{n} properties exceed the runtime limit of {MAX_PROPERTIES}")
+            }
+            RuntimeError::RejectedFacts(why) => {
+                write!(f, "analysis facts rejected at the seam: {why}")
             }
             RuntimeError::ShardFailed { shard, restarts, message } => {
                 write!(f, "shard {shard} failed after {restarts} restart(s): {message}")
@@ -177,6 +183,29 @@ impl ShardedRuntime {
         }
         let cfg = cfg.normalized();
         let router = Router::new(&props, &cfg.monitor, cfg.shards);
+        Ok(ShardedRuntime { props, cfg, router })
+    }
+
+    /// As [`ShardedRuntime::new`], but the router's pre-dispatch masks come
+    /// from analysis-proven facts (`facts[i]` describes `props[i]`, checked
+    /// here via [`swmon_core::AnalysisFacts::validate_for`]). With
+    /// conservative facts this is byte-identical to [`ShardedRuntime::new`];
+    /// with analysis facts it is differentially verified byte-identical on
+    /// *output* (merged violation records) at every shard count.
+    pub fn new_with_facts(
+        props: Vec<Property>,
+        facts: &[swmon_core::AnalysisFacts],
+        cfg: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        if props.len() > MAX_PROPERTIES {
+            return Err(RuntimeError::TooManyProperties(props.len()));
+        }
+        for (index, p) in props.iter().enumerate() {
+            p.validate().map_err(|source| RuntimeError::Invalid { index, source })?;
+        }
+        let cfg = cfg.normalized();
+        let router = Router::with_facts(&props, facts, &cfg.monitor, cfg.shards)
+            .map_err(|e| RuntimeError::RejectedFacts(e.to_string()))?;
         Ok(ShardedRuntime { props, cfg, router })
     }
 

@@ -7,7 +7,9 @@
 //! behaviour depends on the *whole* instance population — splitting it
 //! across shards would change which incumbents get evicted).
 
-use swmon_core::{event_class, MonitorConfig, Property, Route, RouteMode, RoutingPlan};
+use swmon_core::{
+    event_class, AnalysisFacts, MonitorConfig, Property, Route, RouteMode, RoutingPlan,
+};
 use swmon_sim::trace::NetEvent;
 
 /// Why a property bypasses hash routing even though its plan allows it.
@@ -49,6 +51,24 @@ impl PropertyRoute {
         let mut route = Self::new(index, RoutingPlan::of(property), cfg, shards);
         route.class_mask = property.event_class_mask();
         route
+    }
+
+    /// As [`PropertyRoute::for_property`], but with the pre-dispatch mask
+    /// taken from analysis-proven facts instead of the syntactic mask. The
+    /// facts are re-checked against `property`; a mismatched bundle is an
+    /// error, never silently trusted. Conservative facts reproduce
+    /// [`PropertyRoute::for_property`] exactly.
+    pub fn for_property_with_facts(
+        index: usize,
+        property: &Property,
+        cfg: &MonitorConfig,
+        shards: usize,
+        facts: &AnalysisFacts,
+    ) -> Result<Self, swmon_core::FactsError> {
+        facts.validate_for(property)?;
+        let mut route = Self::new(index, RoutingPlan::of(property), cfg, shards);
+        route.class_mask = facts.effective_mask();
+        Ok(route)
     }
 
     /// The event-class bits this property can react to.

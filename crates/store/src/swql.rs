@@ -17,10 +17,16 @@
 //! ```
 //!
 //! The hand-rolled lexer/parser reports **spanned diagnostics with stable
-//! codes** (`SQ000`–`SQ006`), rendered rustc-style or as JSON — the same
+//! codes** (`SQ000`–`SQ007`), rendered rustc-style or as JSON — the same
 //! plumbing idiom as `swmon-analysis`'s `SW00x` diagnostics, reusing its
 //! [`Severity`] scale and JSON escaping. Fixture tests pin every code and
 //! span, so error output is a stable interface, not incidental text.
+//!
+//! `SQ000`–`SQ006` are parse errors (always gating: the query cannot run).
+//! `SQ007` is a post-parse *warning* from [`validate_properties`]: a
+//! `prop("...")` naming a property outside the monitored catalog matches
+//! nothing, which is silently empty at execution time — the warning makes
+//! the silence visible without blocking the query.
 
 use std::fmt;
 
@@ -63,6 +69,10 @@ pub enum Code {
     UnboundVar,
     /// SQ006: a `window(a, b)` with `a > b`.
     ReversedWindow,
+    /// SQ007: `prop(name)` where `name` is not a monitored property — the
+    /// atom can only ever match the empty set. A warning, not an error:
+    /// the query still runs (see [`validate_properties`]).
+    UnknownProperty,
 }
 
 impl Code {
@@ -76,6 +86,7 @@ impl Code {
             Code::BadLiteral => "SQ004",
             Code::UnboundVar => "SQ005",
             Code::ReversedWindow => "SQ006",
+            Code::UnknownProperty => "SQ007",
         }
     }
 
@@ -93,6 +104,7 @@ impl Code {
         Code::BadLiteral,
         Code::UnboundVar,
         Code::ReversedWindow,
+        Code::UnknownProperty,
     ];
 }
 
@@ -101,8 +113,10 @@ impl Code {
 pub struct QueryError {
     /// The stable diagnostic code.
     pub code: Code,
-    /// Severity on the shared `swmon-analysis` scale (always gating:
-    /// a query that does not parse cannot run).
+    /// Severity on the shared `swmon-analysis` scale. Parse errors
+    /// (`SQ000`–`SQ006`) are always `Error` — a query that does not parse
+    /// cannot run. Post-parse validation (`SQ007`) emits `Warning`: the
+    /// query runs, but part of it provably matches nothing.
     pub severity: Severity,
     /// Human-readable description.
     pub message: String,
@@ -115,6 +129,10 @@ pub struct QueryError {
 impl QueryError {
     fn new(code: Code, message: impl Into<String>, span: Span) -> Self {
         QueryError { code, severity: Severity::Error, message: message.into(), span, help: None }
+    }
+
+    fn warning(code: Code, message: impl Into<String>, span: Span) -> Self {
+        QueryError { code, severity: Severity::Warning, message: message.into(), span, help: None }
     }
 
     fn with_help(mut self, help: impl Into<String>) -> Self {
@@ -601,6 +619,48 @@ pub fn parse(src: &str) -> Result<Query, QueryError> {
     p.query()
 }
 
+/// Post-parse validation: one `SQ007` warning per `prop(name)` atom whose
+/// `name` is not among `known` (the monitored catalog). Such an atom is
+/// legal SWQL but can only ever match the empty set — at execution time it
+/// silently returns nothing, so the caller should surface these warnings
+/// next to the answer. Warnings are non-gating and never stop the query.
+pub fn validate_properties<'a>(
+    query: &Query,
+    known: impl IntoIterator<Item = &'a str>,
+) -> Vec<QueryError> {
+    let known: Vec<&str> = known.into_iter().collect();
+    let mut out = Vec::new();
+    for branch in &query.branches {
+        for (atom, span) in &branch.atoms {
+            let Atom::Prop(Some(name)) = atom else { continue };
+            if known.iter().any(|k| k == name) {
+                continue;
+            }
+            let mut warn = QueryError::warning(
+                Code::UnknownProperty,
+                format!("`{name}` is not a monitored property; this atom matches nothing"),
+                *span,
+            );
+            warn.help = Some(match closest(name, &known) {
+                Some(candidate) => format!("did you mean `{candidate}`?"),
+                None => "property names come from the monitored catalog; \
+                         `prop(*)` matches any property"
+                    .to_string(),
+            });
+            out.push(warn);
+        }
+    }
+    out
+}
+
+/// The known name sharing the longest common prefix with `name` (ties go
+/// to the first in catalog order), if the overlap is long enough to be a
+/// plausible near-miss rather than noise.
+fn closest<'a>(name: &str, known: &[&'a str]) -> Option<&'a str> {
+    let overlap = |k: &str| name.bytes().zip(k.bytes()).take_while(|(a, b)| a == b).count();
+    known.iter().copied().max_by_key(|k| overlap(k)).filter(|k| overlap(k) >= 3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,6 +715,27 @@ mod tests {
             assert_eq!(Code::parse(c.as_str()), Some(*c));
         }
         assert_eq!(Code::parse("SQ999"), None);
+    }
+
+    #[test]
+    fn unknown_property_warns_without_blocking() {
+        let src = "prop(firewall/return-not-droped), degraded()";
+        let q = parse(src).expect("the query itself is well-formed");
+        let known = ["firewall/return-not-dropped", "nat/reverse-translation"];
+        let warns = validate_properties(&q, known);
+        assert_eq!(warns.len(), 1);
+        let w = &warns[0];
+        assert_eq!(w.code, Code::UnknownProperty);
+        assert_eq!(w.severity, Severity::Warning, "SQ007 never gates");
+        assert_eq!(&src[w.span.start..w.span.end], "prop(firewall/return-not-droped)");
+        assert_eq!(w.help.as_deref(), Some("did you mean `firewall/return-not-dropped`?"));
+        // Known names and `prop(*)` stay silent.
+        let clean = parse("prop(nat/reverse-translation) or prop(*)").unwrap();
+        assert!(validate_properties(&clean, known).is_empty());
+        // Far-off names get the generic help, not a bogus suggestion.
+        let far = parse("prop(zzz)").unwrap();
+        let w = &validate_properties(&far, known)[0];
+        assert!(w.help.as_deref().unwrap().contains("prop(*)"), "{w:?}");
     }
 
     #[test]

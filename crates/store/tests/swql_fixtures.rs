@@ -4,7 +4,7 @@
 //! `SW000`–`SW009` fixture corpus. A final test round-trips every
 //! diagnostic through the rendered and JSON report formats.
 
-use swmon_store::{parse, Code, QueryError, Span};
+use swmon_store::{parse, validate_properties, Code, QueryError, Span};
 
 fn fails(src: &str) -> QueryError {
     parse(src).expect_err(&format!("fixture must not parse: {src}"))
@@ -65,6 +65,31 @@ fn sq006_reversed_window() {
     assert_fires("window(300, 200)", Code::ReversedWindow, Span { start: 0, end: 16 });
     // Unit suffixes are normalized before the comparison.
     assert_fires("window(1ms, 500ns)", Code::ReversedWindow, Span { start: 0, end: 18 });
+}
+
+#[test]
+fn sq007_unknown_property_is_a_spanned_warning() {
+    // Unlike SQ000–SQ006 this fires *after* a successful parse: the query
+    // is well-formed, but the named property is outside the catalog, so
+    // the atom provably matches nothing.
+    let src = "degraded(), prop(fw/return-not-droped)";
+    let q = parse(src).expect("well-formed");
+    let known = ["fw/return-not-dropped"];
+    let warns = validate_properties(&q, known);
+    assert_eq!(warns.len(), 1, "{warns:?}");
+    let w = &warns[0];
+    assert_eq!(w.code, Code::UnknownProperty);
+    assert_eq!(w.span, Span { start: 12, end: 38 }, "span pins the prop atom: {w:?}");
+    assert_eq!(w.severity.as_str(), "warning", "SQ007 never gates");
+    let rendered = w.render(src);
+    assert!(rendered.starts_with("warning[SQ007]"), "{rendered}");
+    assert!(rendered.contains("did you mean `fw/return-not-dropped`?"), "{rendered}");
+    let json = w.to_json();
+    assert!(json.contains("\"code\":\"SQ007\""), "{json}");
+    assert!(json.contains("\"severity\":\"warning\""), "{json}");
+    // A fully known query validates silently.
+    let clean = parse("prop(fw/return-not-dropped) or prop(*)").unwrap();
+    assert!(validate_properties(&clean, known).is_empty());
 }
 
 #[test]
