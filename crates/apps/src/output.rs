@@ -90,6 +90,18 @@ impl Emitter {
     }
 }
 
+/// The throughput tax of a treated (instrumented, telemetry-on, …) run
+/// versus its bare twin, in percent — THE sign convention every BENCH
+/// emitter uses: **positive means the treatment cost throughput**,
+/// negative means measurement noise favoured the treated run (the twin
+/// runs are identical but for the treatment, so a negative value is never
+/// a real speedup). Centralized here so `overhead_pct` fields in
+/// `BENCH_*.json` are comparable across experiments; semantics documented
+/// in EXPERIMENTS.md ("Overhead sign convention").
+pub fn overhead_pct(bare_eps: f64, treated_eps: f64) -> f64 {
+    (bare_eps - treated_eps) / bare_eps * 100.0
+}
+
 /// True when a JSON document carries a failed verification bit. The
 /// emitters in `swmon-bench` print these fields canonically (`": "`
 /// separator), so a substring scan is exact, not heuristic.
@@ -140,6 +152,13 @@ mod tests {
         assert!(!em.failed());
         em.wrap("e9", false, "detection miss");
         assert!(em.failed());
+    }
+
+    #[test]
+    fn overhead_sign_convention_positive_means_tax() {
+        assert!((overhead_pct(100.0, 97.0) - 3.0).abs() < 1e-12, "slower treated run: tax");
+        assert!(overhead_pct(100.0, 104.0) < 0.0, "faster treated run: noise, negative");
+        assert_eq!(overhead_pct(100.0, 100.0), 0.0);
     }
 
     #[test]

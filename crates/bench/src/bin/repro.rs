@@ -22,7 +22,7 @@
 
 use swmon_apps::output::Emitter;
 use swmon_bench::experiments::{
-    e10, e11, e12, e13, e14, e15, e16, e3, e4, e5, e6, e7, e8, e9, stats,
+    e10, e11, e12, e13, e14, e15, e16, e17, e3, e4, e5, e6, e7, e8, e9, stats,
 };
 use swmon_bench::{analyze, lint, storequery};
 
@@ -156,6 +156,12 @@ fn main() {
         let synthetic = if quick { 120_000 } else { e16::SYNTHETIC_ROWS };
         let o = e16::run(sflows, spackets, synthetic);
         em.report(&e16::render(&o), &e16::to_json(&o));
+    }
+
+    if want("e17") {
+        em.section("E17 — live property deployment: quiesce cost and rollback (extension)");
+        let o = e17::run(flows, packets);
+        em.report(&e17::render(&o), &e17::to_json(&o));
     }
 
     if want("stats") {

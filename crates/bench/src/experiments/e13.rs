@@ -116,7 +116,8 @@ pub fn run(flows: u32, packets: u32, shard_counts: &[usize]) -> Outcome {
         let secs = t0.elapsed().as_secs_f64();
         let bare_eps = trace.len() as f64 / secs;
         if let Some(twin) = rows.iter_mut().rev().find(|r| r.shards == shards && r.telemetry) {
-            twin.overhead_pct = Some((bare_eps - twin.events_per_sec) / bare_eps * 100.0);
+            twin.overhead_pct =
+                Some(swmon_apps::output::overhead_pct(bare_eps, twin.events_per_sec));
         }
         rows.push(Row {
             shards,

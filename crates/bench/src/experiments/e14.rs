@@ -98,6 +98,7 @@ fn records_of(monitors: &[Monitor]) -> Vec<ViolationRecord> {
                 seq: 0,
                 property: i,
                 rank: kind_rank(m.property(), &v.trigger_stage),
+                epoch: 0,
                 violation: v.clone(),
             });
         }
@@ -240,7 +241,7 @@ pub fn run(flows: u32, packets: u32) -> Outcome {
     push("monitorset-absint-pruned", abs_secs, &abs_records, None);
     let set_eps = trace.len() as f64 / set_secs;
     let tel_eps = trace.len() as f64 / tel_secs;
-    let overhead = (set_eps - tel_eps) / set_eps * 100.0;
+    let overhead = swmon_apps::output::overhead_pct(set_eps, tel_eps);
     push("monitorset-telemetry", tel_secs, &tel_records, Some(overhead));
 
     Outcome { events: trace.len(), baseline_events_per_sec: BASELINE_EVENTS_PER_SEC, rows }

@@ -200,7 +200,8 @@ pub fn run(flows: u32, packets: u32) -> Outcome {
     let clean =
         ShardedRuntime::new(props.clone(), base_cfg.clone()).expect("catalog properties are valid");
     let mut clean_row = run_supervised("supervised, fault-free", &clean, &trace, end, &ref_sigs);
-    clean_row.overhead_pct = Some((bare_eps - clean_row.events_per_sec) / bare_eps * 100.0);
+    clean_row.overhead_pct =
+        Some(swmon_apps::output::overhead_pct(bare_eps, clean_row.events_per_sec));
     rows.push(clean_row);
 
     let crashes = crash_schedule(trace.len(), 5);

@@ -103,6 +103,7 @@ fn synthetic(i: u64, props: &[String]) -> ViolationRecord {
         seq: i,
         property: pi,
         rank: 1,
+        epoch: 0,
         violation: Violation {
             property: props[pi].clone(),
             time: Instant::from_nanos(i * TICK_NS),

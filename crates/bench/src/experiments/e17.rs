@@ -1,0 +1,440 @@
+//! **E17 (extension) — cost of live property deployment.** The deploy
+//! plane (`docs/DEPLOY.md`) trades a per-shard quiesce barrier for the
+//! ability to change the property set without restarting the fleet. This
+//! experiment prices that trade over the full 21-property catalog on the
+//! E13 workload shape:
+//!
+//! * **quiesce pause** — p50/p99 of the per-shard drain+checkpoint+
+//!   snapshot barrier, across every deploy of the row;
+//! * **throughput dip** — events/s of a session performing three
+//!   mid-stream deploys versus its no-deploy twin (the
+//!   [`swmon_apps::output::overhead_pct`] sign convention: positive =
+//!   deploys cost throughput);
+//! * **rollback latency** — wall time for a deploy whose prepare phase
+//!   dies on one shard to reject and roll the fleet back.
+//!
+//! Every row is differentially verified. Deploy rows check the
+//! compositional oracle of `tests/deploy_differential.rs` — retained
+//! properties byte-identical to a full fresh run, hot-added properties
+//! byte-identical to a fresh run over their post-deploy suffix (compared
+//! via [`swmon_runtime::name_signature`]) — plus zero unaccounted loss;
+//! the rollback row must be byte-identical to a session that never
+//! attempted the plan. `"verified": false` anywhere fails `repro`.
+
+use crate::TextTable;
+use std::time::Instant as WallInstant;
+use swmon_core::{MonitorConfig, Property};
+use swmon_props::firewall;
+use swmon_runtime::{
+    name_signature, reference_records, signature, silence_injected_panics, DeployPlan, FaultPoint,
+    RuntimeConfig, RuntimeError, ShardedRuntime, ViolationRecord,
+};
+use swmon_sim::time::{Duration, Instant};
+use swmon_sim::trace::NetEvent;
+
+/// Worker shard count every supervised row runs at.
+pub const SHARDS: usize = 4;
+
+/// Deploys performed by the deploy rows.
+pub const DEPLOYS: usize = 3;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Human-readable configuration name.
+    pub label: String,
+    /// Wall-clock events per second (deploy barriers included).
+    pub events_per_sec: f64,
+    /// Merged violations found.
+    pub violations: usize,
+    /// Deploys committed / rolled back.
+    pub deploys: u64,
+    /// Deploys rejected and rolled back.
+    pub rollbacks: u64,
+    /// Median per-shard quiesce pause, microseconds (0 when no deploy).
+    pub quiesce_p50_us: f64,
+    /// p99 per-shard quiesce pause, microseconds (0 when no deploy).
+    pub quiesce_p99_us: f64,
+    /// Wall time for the rejected deploy to roll back, microseconds.
+    pub rollback_us: Option<f64>,
+    /// Throughput dip versus the no-deploy twin, percent (positive =
+    /// deploys cost throughput). Only on deploy rows.
+    pub dip_pct: Option<f64>,
+    /// Worker crash recoveries performed.
+    pub restarts: u64,
+    /// Events neither processed nor explicitly shed; must be 0 everywhere.
+    pub unaccounted: u64,
+    /// Whether this row's differential contract held (see module docs).
+    pub verified: bool,
+}
+
+/// The experiment outcome.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Events in the workload trace.
+    pub events: usize,
+    /// Worker shard count of the supervised rows.
+    pub shards: usize,
+    /// Reference first, then the supervised configurations.
+    pub rows: Vec<Row>,
+}
+
+/// The hot-added properties: match-only firewall variants under fresh
+/// names (deadline-free, so the compositional oracle is exact — see
+/// `tests/deploy_differential.rs` module docs).
+fn hot_prop(i: usize) -> Property {
+    Property { name: format!("firewall/hot-add-{i}"), ..firewall::return_not_dropped() }
+}
+
+fn sorted_name_sigs(records: &[ViolationRecord]) -> Vec<String> {
+    let mut v: Vec<String> = records.iter().map(name_signature).collect();
+    v.sort();
+    v
+}
+
+/// `q`-th quantile of an unsorted sample, nearest-rank.
+fn quantile_us(samples: &mut [u64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx] as f64 / 1_000.0
+}
+
+/// Worker panics spread across shards and across the trace.
+fn crash_schedule(events: usize, count: usize) -> Vec<FaultPoint> {
+    (0..count)
+        .map(|i| FaultPoint { shard: i % SHARDS, seq: ((i + 1) * events / (count + 1)) as u64 })
+        .collect()
+}
+
+/// Feed the trace with `DEPLOYS` evenly spaced hot-adds; returns the row
+/// ingredients. The compositional oracle is threaded in by the caller.
+struct DeployRun {
+    out: swmon_runtime::Outcome,
+    secs: f64,
+    quiesce: Vec<u64>,
+    deploy_points: Vec<usize>,
+}
+
+fn run_with_deploys(rt: &ShardedRuntime, trace: &[NetEvent], end: Instant) -> DeployRun {
+    let deploy_points: Vec<usize> =
+        (1..=DEPLOYS).map(|i| trace.len() * i / (DEPLOYS + 1)).collect();
+    let t0 = WallInstant::now();
+    let mut session = rt.start();
+    let mut quiesce = Vec::new();
+    let mut next = 0;
+    for (i, ev) in trace.iter().enumerate() {
+        if next < deploy_points.len() && i == deploy_points[next] {
+            let outcome =
+                session.deploy(&DeployPlan::add(hot_prop(next))).expect("a valid hot-add deploys");
+            quiesce.extend(outcome.quiesce_nanos);
+            next += 1;
+        }
+        session.feed(ev).expect("within the restart budget");
+    }
+    let out = session.finish(end).expect("within the restart budget");
+    let secs = t0.elapsed().as_secs_f64();
+    DeployRun { out, secs, quiesce, deploy_points }
+}
+
+/// The compositional oracle for a `run_with_deploys` session: the whole
+/// initial catalog over the full trace, plus each hot-added property over
+/// its own post-deploy suffix.
+fn deploy_oracle(
+    props: &[Property],
+    cfg: MonitorConfig,
+    trace: &[NetEvent],
+    end: Instant,
+    deploy_points: &[usize],
+) -> Vec<String> {
+    let mut expect = sorted_name_sigs(&reference_records(props, cfg, trace, end));
+    for (i, &k) in deploy_points.iter().enumerate() {
+        expect.extend(sorted_name_sigs(&reference_records(&[hot_prop(i)], cfg, &trace[k..], end)));
+    }
+    expect.sort();
+    expect
+}
+
+fn deploy_row(label: &str, run: DeployRun, expect: &[String], baseline_eps: f64) -> Row {
+    let mut q = run.quiesce;
+    let s = &run.out.stats;
+    let eps = s.events_in as f64 / run.secs;
+    Row {
+        label: label.to_string(),
+        events_per_sec: eps,
+        violations: run.out.records.len(),
+        deploys: s.deploys_applied,
+        rollbacks: s.deploys_rolled_back,
+        quiesce_p50_us: quantile_us(&mut q, 0.50),
+        quiesce_p99_us: quantile_us(&mut q, 0.99),
+        rollback_us: None,
+        dip_pct: Some(swmon_apps::output::overhead_pct(baseline_eps, eps)),
+        restarts: s.restarts,
+        unaccounted: s.unaccounted_loss(),
+        verified: s.unaccounted_loss() == 0
+            && s.deploys_applied == DEPLOYS as u64
+            && sorted_name_sigs(&run.out.records) == expect,
+    }
+}
+
+/// Run the deploy benchmark over a `flows`-flow, `packets`-packet
+/// workload (the E13 shape).
+pub fn run(flows: u32, packets: u32) -> Outcome {
+    silence_injected_panics();
+    let props = swmon_props::catalog();
+    let trace = swmon_workloads::trace::multi_flow_trace(
+        flows,
+        packets,
+        0.4,
+        0.25,
+        Duration::from_micros(2),
+        13,
+    );
+    let end = trace.last().map(|e| e.time + Duration::from_secs(120)).unwrap_or(Instant::ZERO);
+    let cfg = MonitorConfig::default();
+
+    // Reference row: the single-threaded loop, no deploys.
+    let t0 = WallInstant::now();
+    let reference = reference_records(&props, cfg, &trace, end);
+    let ref_secs = t0.elapsed().as_secs_f64();
+    let ref_sigs: Vec<String> = reference.iter().map(signature).collect();
+    let mut rows = vec![Row {
+        label: "reference (1 thread)".into(),
+        events_per_sec: trace.len() as f64 / ref_secs,
+        violations: reference.len(),
+        deploys: 0,
+        rollbacks: 0,
+        quiesce_p50_us: 0.0,
+        quiesce_p99_us: 0.0,
+        rollback_us: None,
+        dip_pct: None,
+        restarts: 0,
+        unaccounted: 0,
+        verified: true,
+    }];
+
+    let base_cfg = RuntimeConfig { shards: SHARDS, checkpoint_every: 256, ..Default::default() };
+
+    // No-deploy twin: the baseline the dip is measured against.
+    let twin =
+        ShardedRuntime::new(props.clone(), base_cfg.clone()).expect("catalog properties are valid");
+    let t0 = WallInstant::now();
+    let twin_out = twin.run(&trace, end).expect("fault-free run cannot fail");
+    let twin_secs = t0.elapsed().as_secs_f64();
+    let baseline_eps = trace.len() as f64 / twin_secs;
+    rows.push(Row {
+        label: "supervised, no deploy".into(),
+        events_per_sec: baseline_eps,
+        violations: twin_out.records.len(),
+        deploys: 0,
+        rollbacks: 0,
+        quiesce_p50_us: 0.0,
+        quiesce_p99_us: 0.0,
+        rollback_us: None,
+        dip_pct: None,
+        restarts: 0,
+        unaccounted: twin_out.stats.unaccounted_loss(),
+        verified: twin_out.stats.unaccounted_loss() == 0 && twin_out.signatures() == ref_sigs,
+    });
+
+    // Three mid-stream hot-adds on a healthy fleet.
+    let clean =
+        ShardedRuntime::new(props.clone(), base_cfg.clone()).expect("catalog properties are valid");
+    let run_clean = run_with_deploys(&clean, &trace, end);
+    let expect = deploy_oracle(&props, cfg, &trace, end, &run_clean.deploy_points);
+    rows.push(deploy_row(
+        &format!("{DEPLOYS} live deploys (hot add)"),
+        run_clean,
+        &expect,
+        baseline_eps,
+    ));
+
+    // The same three deploys racing five injected worker crashes.
+    let crashes = crash_schedule(trace.len(), 5);
+    let chaotic = ShardedRuntime::new(
+        props.clone(),
+        RuntimeConfig { inject_faults: crashes.clone(), ..base_cfg.clone() },
+    )
+    .expect("catalog properties are valid");
+    let run_chaos = run_with_deploys(&chaotic, &trace, end);
+    let expect = deploy_oracle(&props, cfg, &trace, end, &run_chaos.deploy_points);
+    let mut crash_row = deploy_row(
+        &format!("{DEPLOYS} deploys racing {} crashes", crashes.len()),
+        run_chaos,
+        &expect,
+        baseline_eps,
+    );
+    crash_row.verified = crash_row.verified && crash_row.restarts >= 3;
+    rows.push(crash_row);
+
+    // Rejected deploy: one shard's prepare phase dies; the fleet must roll
+    // back and finish byte-identical to never having attempted the plan.
+    let faulty = ShardedRuntime::new(
+        props,
+        RuntimeConfig { inject_deploy_faults: vec![SHARDS - 1], ..base_cfg },
+    )
+    .expect("catalog properties are valid");
+    let k = trace.len() / 2;
+    let t0 = WallInstant::now();
+    let mut session = faulty.start();
+    for ev in &trace[..k] {
+        session.feed(ev).expect("fault-free feed");
+    }
+    let r0 = WallInstant::now();
+    let err = session.deploy(&DeployPlan::add(hot_prop(0))).expect_err("the prepare fault fires");
+    let rollback_us = r0.elapsed().as_secs_f64() * 1e6;
+    let rejected = matches!(err, RuntimeError::DeployRejected { epoch: 0, .. });
+    for ev in &trace[k..] {
+        session.feed(ev).expect("fault-free feed");
+    }
+    let out = session.finish(end).expect("the fleet outlives the rollback");
+    let secs = t0.elapsed().as_secs_f64();
+    rows.push(Row {
+        label: "rejected deploy (rollback)".into(),
+        events_per_sec: trace.len() as f64 / secs,
+        violations: out.records.len(),
+        deploys: out.stats.deploys_applied,
+        rollbacks: out.stats.deploys_rolled_back,
+        quiesce_p50_us: 0.0,
+        quiesce_p99_us: 0.0,
+        rollback_us: Some(rollback_us),
+        dip_pct: None,
+        restarts: out.stats.restarts,
+        unaccounted: out.stats.unaccounted_loss(),
+        verified: rejected
+            && out.stats.unaccounted_loss() == 0
+            && out.stats.deploys_applied == 0
+            && out.stats.deploys_rolled_back == 1
+            && out.signatures() == ref_sigs,
+    });
+
+    Outcome { events: trace.len(), shards: SHARDS, rows }
+}
+
+/// Printable report.
+pub fn render(o: &Outcome) -> String {
+    let mut t = TextTable::new(&[
+        "configuration",
+        "events/sec",
+        "violations",
+        "deploys",
+        "rollbacks",
+        "quiesce p50 µs",
+        "quiesce p99 µs",
+        "rollback µs",
+        "dip",
+        "restarts",
+        "unaccounted",
+        "verified",
+    ]);
+    for r in &o.rows {
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.0}", r.events_per_sec),
+            r.violations.to_string(),
+            r.deploys.to_string(),
+            r.rollbacks.to_string(),
+            format!("{:.1}", r.quiesce_p50_us),
+            format!("{:.1}", r.quiesce_p99_us),
+            r.rollback_us.map(|u| format!("{u:.1}")).unwrap_or_else(|| "-".into()),
+            r.dip_pct.map(|p| format!("{p:+.1}%")).unwrap_or_else(|| "-".into()),
+            r.restarts.to_string(),
+            r.unaccounted.to_string(),
+            if r.verified { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    format!(
+        "{}\n{} events, {} shards. Deploy rows hot-add {} properties mid-stream and must match\n\
+         the compositional oracle (full run for the retained catalog, suffix run for each\n\
+         hot-added property); the rollback row must be byte-identical to a session that never\n\
+         attempted its plan (docs/DEPLOY.md).",
+        t.render(),
+        o.events,
+        o.shards,
+        DEPLOYS,
+    )
+}
+
+/// The outcome as a JSON document (the `BENCH_deploy.json` baseline).
+pub fn to_json(o: &Outcome) -> String {
+    let mut rows = String::new();
+    for (i, r) in o.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let rollback = r.rollback_us.map(|u| format!("{u:.1}")).unwrap_or_else(|| "null".into());
+        let dip = r.dip_pct.map(|p| format!("{p:.2}")).unwrap_or_else(|| "null".into());
+        rows.push_str(&format!(
+            "    {{\"config\": \"{}\", \"events_per_sec\": {:.0}, \"violations\": {}, \
+             \"deploys\": {}, \"rollbacks\": {}, \"quiesce_p50_us\": {:.1}, \
+             \"quiesce_p99_us\": {:.1}, \"rollback_us\": {}, \"dip_pct\": {}, \
+             \"restarts\": {}, \"unaccounted\": {}, \"verified\": {}}}",
+            r.label,
+            r.events_per_sec,
+            r.violations,
+            r.deploys,
+            r.rollbacks,
+            r.quiesce_p50_us,
+            r.quiesce_p99_us,
+            rollback,
+            dip,
+            r.restarts,
+            r.unaccounted,
+            r.verified
+        ));
+    }
+    format!(
+        "{{\n  \"experiment\": \"e17-deploy\",\n  \"events\": {},\n  \"shards\": {},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        o.events, o.shards, rows
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(o: &'a Outcome, label_part: &str) -> &'a Row {
+        o.rows
+            .iter()
+            .find(|r| r.label.contains(label_part))
+            .unwrap_or_else(|| panic!("no row labelled *{label_part}*"))
+    }
+
+    #[test]
+    fn every_row_verifies_at_smoke_scale() {
+        let o = run(24, 600);
+        assert_eq!(o.rows.len(), 5);
+        for r in &o.rows {
+            assert!(r.verified, "{r:?}");
+            assert_eq!(r.unaccounted, 0, "{r:?}");
+        }
+        let deploy = row(&o, "live deploys");
+        assert_eq!(deploy.deploys, DEPLOYS as u64);
+        assert!(deploy.quiesce_p99_us >= deploy.quiesce_p50_us);
+        assert!(deploy.quiesce_p50_us > 0.0, "a barrier costs something: {deploy:?}");
+        assert!(deploy.dip_pct.is_some());
+        let racing = row(&o, "racing");
+        assert!(racing.restarts >= 3, "{racing:?}");
+        let rollback = row(&o, "rejected");
+        assert_eq!(rollback.rollbacks, 1);
+        assert_eq!(rollback.deploys, 0);
+        assert!(rollback.rollback_us.is_some_and(|u| u > 0.0));
+    }
+
+    #[test]
+    fn render_and_json_carry_the_contract_fields() {
+        let o = run(16, 300);
+        let txt = render(&o);
+        assert!(txt.contains("quiesce p99"));
+        assert!(txt.contains("rejected deploy (rollback)"));
+        let json = to_json(&o);
+        assert!(json.contains("\"experiment\": \"e17-deploy\""));
+        assert!(json.contains("\"quiesce_p99_us\""));
+        assert!(json.contains("\"rollback_us\""));
+        assert!(json.contains("\"unaccounted\": 0"));
+        assert!(!json.contains("\"verified\": false"));
+    }
+}

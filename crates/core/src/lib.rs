@@ -24,6 +24,7 @@
 //! and reports [`violation::Violation`]s.
 
 pub mod builder;
+pub mod catalog;
 pub mod dsl;
 pub mod engine;
 pub mod facts;
@@ -41,6 +42,7 @@ pub mod violation;
 pub mod wire;
 
 pub use builder::PropertyBuilder;
+pub use catalog::{CatalogEpoch, DeployAction, DeployError, DeployPlan, PropertyOrigin};
 pub use dsl::{
     parse_properties, parse_properties_spanned, parse_property, parse_property_spanned, to_dsl,
     DslError, PropertySpans, StageSpan,
@@ -76,6 +78,9 @@ const _: () = {
     assert_send_sync::<MonitorConfig>();
     // Facts are derived off-line and shared with router construction.
     assert_send_sync::<AnalysisFacts>();
+    // Deploy plans and catalog epochs travel into a live session.
+    assert_send_sync::<DeployPlan>();
+    assert_send_sync::<CatalogEpoch>();
     // Monitors are owned by exactly one worker at a time: Send suffices.
     assert_send::<Monitor>();
     assert_send::<MonitorSet>();

@@ -557,6 +557,46 @@ mod tests {
         }
     }
 
+    /// Adversarial encoding robustness: arbitrary truncations and bit
+    /// flips of a real `SWMS` image must surface as [`SnapshotError`] —
+    /// never a panic — and a rejected [`Monitor::restore`] must leave the
+    /// target monitor byte-identical to before the attempt (restore
+    /// validates before mutating; see its `Malformed` paths). A flip that
+    /// happens to decode *and* validate is allowed to restore: the format
+    /// cannot distinguish it from a legitimate snapshot, which is exactly
+    /// why the runtime journals events rather than trusting checkpoints
+    /// blindly (`docs/FAULTS.md`).
+    #[test]
+    fn corrupted_bytes_never_panic_or_half_apply() {
+        use proptest::prelude::*;
+        let bytes = driven_monitor().snapshot().to_bytes();
+        let len = bytes.len();
+        proptest!(|(cut_pm in 0u32..1000, flip_pm in 0u32..1000, bit in 0u32..8)| {
+            // Any strict prefix is rejected: either a field is cut short
+            // (`Truncated`) or the length headers no longer reconcile.
+            let cut = (len * cut_pm as usize / 1000).min(len - 1);
+            prop_assert!(MonitorSnapshot::from_bytes(&bytes[..cut]).is_err());
+
+            let mut flipped = bytes.clone();
+            let idx = (len * flip_pm as usize / 1000).min(len - 1);
+            flipped[idx] ^= 1 << bit;
+            if let Ok(snap) = MonitorSnapshot::from_bytes(&flipped) {
+                // Decoded structurally — semantic validation is restore's
+                // job. Aim at a monitor that already holds state so a
+                // half-applied restore would be visible.
+                let mut target = driven_monitor();
+                let before = target.snapshot().to_bytes();
+                if target.restore(&snap).is_err() {
+                    prop_assert_eq!(
+                        target.snapshot().to_bytes(),
+                        before,
+                        "a rejected restore must not touch the monitor"
+                    );
+                }
+            }
+        });
+    }
+
     #[test]
     fn split_mode_pending_effects_survive_snapshot() {
         let cfg = MonitorConfig {

@@ -1,5 +1,7 @@
 //! Batched channel messages between the router and workers.
 
+use std::sync::mpsc::Sender;
+use swmon_core::{MonitorSnapshot, Property};
 use swmon_sim::time::Instant;
 use swmon_sim::trace::NetEvent;
 
@@ -14,7 +16,49 @@ pub struct Item {
     pub ev: NetEvent,
 }
 
-/// A router→worker message.
+/// What a quiesced shard reports back to the deploying session: a
+/// consistent snapshot of every hosted monitor, taken after the journal
+/// was fully drained and a forced checkpoint made the shard's output
+/// crash-stable.
+#[derive(Debug)]
+pub struct QuiesceAck {
+    /// `(global property index, snapshot)` for every monitor this shard
+    /// hosts, under the *current* (pre-deploy) epoch's indexing.
+    pub snapshots: Vec<(usize, MonitorSnapshot)>,
+    /// Wall-clock nanoseconds the shard spent quiescing (journal drain +
+    /// forced checkpoint + snapshot encode).
+    pub quiesce_nanos: u64,
+}
+
+/// The new shard configuration staged by a deploy's prepare phase. Built
+/// by the session from the next [`swmon_core::CatalogEpoch`] and the
+/// quiesce snapshots; the supervisor constructs the new monitor set from
+/// it **without mutating live state**, so an abort rolls back for free.
+#[derive(Debug)]
+pub struct ShardPrepare {
+    /// The epoch this preparation targets.
+    pub epoch: u64,
+    /// `(new global property index, property)` pairs this shard hosts
+    /// under the new epoch.
+    pub props: Vec<(usize, Property)>,
+    /// New `lut[global] -> local` mapping for this shard.
+    pub lut: Vec<Option<usize>>,
+    /// Snapshots to restore into the new monitor set, keyed by **new**
+    /// global index: retained properties carry their instance state across
+    /// the deploy (re-homed here when a pinned property's shard mapping
+    /// changed). Added/upgraded properties are absent — they start fresh.
+    pub adopt: Vec<(usize, MonitorSnapshot)>,
+    /// `probes[local]` is the engine-probe index (into the hub's initial
+    /// per-property probe vector) for the new local monitor, or `None`
+    /// for properties the fixed-at-start probe catalog does not cover.
+    pub probes: Vec<Option<usize>>,
+}
+
+/// A router→worker message. Deploy messages (`Quiesce`/`Prepare`/
+/// `Commit`/`Abort`) rely on channel FIFO order: the session is a shard's
+/// only sender, so when a supervisor sees `Quiesce`, every event sent
+/// before the deploy has already been admitted, and events sent after
+/// `Commit` are only ever interpreted under the new epoch's indexing.
 #[derive(Debug)]
 pub enum Msg {
     /// A batch of routed events, in global sequence order.
@@ -22,6 +66,31 @@ pub enum Msg {
     /// End of input: advance every monitor to this instant (firing pending
     /// deadlines), report, and exit.
     Finish(Instant),
+    /// Deploy phase 1 — quiesce: drain the journal, force a checkpoint,
+    /// snapshot every hosted monitor, reply, and hold (the session sends
+    /// no events between `Quiesce` and `Commit`/`Abort`).
+    Quiesce {
+        /// Reply channel for the ack.
+        reply: Sender<QuiesceAck>,
+    },
+    /// Deploy phase 2 — prepare: build the next epoch's monitor set off to
+    /// the side (validate-before-mutate) and stage it. Replies `Err` on
+    /// any restore failure or panic, leaving live state untouched.
+    Prepare {
+        /// The staged shard configuration.
+        prep: Box<ShardPrepare>,
+        /// Reply channel: `Ok(())` when staged, `Err(reason)` otherwise.
+        reply: Sender<Result<(), String>>,
+    },
+    /// Deploy phase 3a — commit: swap the staged monitor set in and resume
+    /// under `epoch`. Infallible (everything fallible happened in prepare).
+    Commit {
+        /// The epoch now in effect.
+        epoch: u64,
+    },
+    /// Deploy phase 3b — abort: drop the staged set; the shard continues
+    /// under the prior epoch exactly as if the deploy was never attempted.
+    Abort,
 }
 
 /// Accumulates per-shard items until a batch is worth sending.

@@ -96,6 +96,12 @@ pub struct RuntimeConfig {
     /// Deterministic worker-crash schedule, for chaos testing. Empty in
     /// production use.
     pub inject_faults: Vec<FaultPoint>,
+    /// Deterministic deploy-prepare failures, for chaos testing: each
+    /// listed shard index makes one `Session::deploy` prepare phase panic
+    /// on that shard (inside its panic boundary), forcing the deploy to
+    /// roll back. A shard listed twice fails two prepares. Empty in
+    /// production use.
+    pub inject_deploy_faults: Vec<usize>,
     /// Observability configuration (see [`TelemetryConfig`]).
     pub telemetry: TelemetryConfig,
 }
@@ -111,6 +117,7 @@ impl Default for RuntimeConfig {
             journal_limit: 0,
             max_restarts: 8,
             inject_faults: Vec::new(),
+            inject_deploy_faults: Vec::new(),
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -140,6 +147,7 @@ impl RuntimeConfig {
             },
             max_restarts: self.max_restarts,
             inject_faults: self.inject_faults.clone(),
+            inject_deploy_faults: self.inject_deploy_faults.clone(),
             telemetry: self.telemetry.clone(),
         }
     }

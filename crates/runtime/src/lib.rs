@@ -47,8 +47,9 @@ pub mod supervisor;
 pub mod telemetry;
 pub mod worker;
 
+pub use batch::{QuiesceAck, ShardPrepare};
 pub use config::{FaultPoint, RuntimeConfig, TelemetryConfig};
-pub use merge::{signature, ViolationRecord};
+pub use merge::{name_signature, signature, ViolationRecord};
 pub use router::{Router, MAX_PROPERTIES};
 pub use shardkey::PropertyRoute;
 pub use sink::ViolationSink;
@@ -56,15 +57,16 @@ pub use stats::{MonitoringGap, RuntimeStats, ShardStats};
 pub use supervisor::{
     silence_injected_panics, ShardFailure, ShardOutcome, ShardSpec, INJECTED_PANIC_PREFIX,
 };
+pub use swmon_core::{CatalogEpoch, DeployAction, DeployError, DeployPlan, PropertyOrigin};
 pub use telemetry::{ShardProbe, TelemetryHub};
 
 use std::fmt;
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::mpsc::{channel, sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use batch::{Batcher, Item, Msg};
-use swmon_core::{Monitor, Property, PropertyError, Violation};
+use swmon_core::{Monitor, MonitorSnapshot, Property, PropertyError, Violation};
 use swmon_sim::time::Instant;
 use swmon_sim::trace::NetEvent;
 use swmon_telemetry::SpanStage;
@@ -103,6 +105,17 @@ pub enum RuntimeError {
         /// recovered from the join.
         message: String,
     },
+    /// A [`Session::deploy`] was rejected and rolled back atomically; the
+    /// session continues running under `epoch` exactly as if the plan had
+    /// never been submitted. This is the only **recoverable** runtime
+    /// error: feeding and further deploys remain valid.
+    DeployRejected {
+        /// The epoch still in effect after the rollback.
+        epoch: u64,
+        /// Why the plan was rejected (catalog validation or a shard's
+        /// prepare failure).
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -125,6 +138,9 @@ impl fmt::Display for RuntimeError {
                     f,
                     "shard {shard}'s worker thread was lost without a failure report: {message}"
                 )
+            }
+            RuntimeError::DeployRejected { epoch, reason } => {
+                write!(f, "deploy rejected (still at epoch {epoch}): {reason}")
             }
         }
     }
@@ -279,6 +295,9 @@ impl ShardedRuntime {
         };
         Session {
             rt: self,
+            catalog: CatalogEpoch::initial(self.props.clone()),
+            router: self.router.clone(),
+            probe_idx: (0..self.props.len()).map(Some).collect(),
             senders,
             handles,
             batcher: Batcher::new(shards, self.cfg.batch),
@@ -304,6 +323,25 @@ impl ShardedRuntime {
     }
 }
 
+/// Summary of one committed [`Session::deploy`].
+#[derive(Debug, Clone)]
+pub struct DeployOutcome {
+    /// The epoch now in effect on every shard.
+    pub epoch: u64,
+    /// Per-shard quiesce pause in wall-clock nanoseconds (journal drain +
+    /// forced checkpoint + snapshot encode).
+    pub quiesce_nanos: Vec<u64>,
+    /// Properties carried across with their instance state intact.
+    pub retained: usize,
+    /// Properties replaced in place (fresh state).
+    pub upgraded: usize,
+    /// Properties newly added (fresh state).
+    pub added: usize,
+    /// Properties retired (their monitors were dropped at the barrier;
+    /// violations already raised are kept).
+    pub removed: usize,
+}
+
 /// A live run: supervised workers are spawned; feed events, then call
 /// [`Session::finish`].
 ///
@@ -314,6 +352,19 @@ impl ShardedRuntime {
 #[derive(Debug)]
 pub struct Session<'rt> {
     rt: &'rt ShardedRuntime,
+    /// The property set currently in effect. Starts as epoch 0 over
+    /// [`ShardedRuntime::properties`]; every committed [`Session::deploy`]
+    /// replaces it. (The runtime's own catalog never changes — it describes
+    /// what sessions *start* with.)
+    catalog: CatalogEpoch,
+    /// Routing for the current epoch (rebuilt at every committed deploy;
+    /// facts-refined pre-dispatch masks carry across on retained
+    /// properties).
+    router: Router,
+    /// `probe_idx[i]` is current property `i`'s index into the hub's
+    /// fixed-at-start engine-probe catalog (`None` for properties deployed
+    /// after the session started).
+    probe_idx: Vec<Option<usize>>,
     senders: Vec<SyncSender<Msg>>,
     handles: Vec<Option<ShardHandle>>,
     batcher: Batcher,
@@ -347,7 +398,7 @@ impl Session<'_> {
         self.seq += 1;
         self.stats.events_in += 1;
         self.hub.events_in.inc();
-        self.rt.router.masks(ev, &mut self.masks);
+        self.router.masks(ev, &mut self.masks);
         self.hub.tracer().record(seq, SpanStage::Routed, None);
         let mut delivered = false;
         for s in 0..self.masks.len() {
@@ -373,6 +424,213 @@ impl Session<'_> {
             self.hub.skipped.inc();
         }
         Ok(())
+    }
+
+    /// The property catalog currently in effect (epoch 0 until a deploy
+    /// commits).
+    pub fn catalog(&self) -> &CatalogEpoch {
+        &self.catalog
+    }
+
+    /// The epoch currently in effect on every shard.
+    pub fn epoch(&self) -> u64 {
+        self.catalog.epoch()
+    }
+
+    /// Hot-deploy a property change onto the **running** fleet: add,
+    /// remove, or upgrade properties without dropping a single event.
+    ///
+    /// The protocol is a per-shard quiesce barrier with all-or-nothing
+    /// activation (see `docs/DEPLOY.md`):
+    ///
+    /// 1. **Validate** — [`CatalogEpoch::apply`] derives the next epoch;
+    ///    any structural/facts rejection happens before a shard is
+    ///    touched.
+    /// 2. **Quiesce** — every shard drains its journal (crashing and
+    ///    recovering here rides the normal supervision path), forces a
+    ///    checkpoint, and snapshots its monitors.
+    /// 3. **Prepare** — every shard builds the next epoch's monitor set
+    ///    off to the side, restoring retained properties' snapshots
+    ///    (re-homed when a pinned property's shard mapping changed). Any
+    ///    failure — including a mid-deploy worker panic — aborts the plan
+    ///    on *every* shard.
+    /// 4. **Commit** — the staged sets are swapped in atomically and the
+    ///    fleet resumes under the new epoch; violations raised from here
+    ///    on carry it as provenance.
+    ///
+    /// On `Err(`[`RuntimeError::DeployRejected`]`)` the session keeps
+    /// running under the prior epoch, byte-identical to one that never saw
+    /// the plan; any other error is a terminal shard failure, as from
+    /// [`Session::feed`].
+    pub fn deploy(&mut self, plan: &DeployPlan) -> Result<DeployOutcome, RuntimeError> {
+        let prior = self.catalog.epoch();
+        let next = match self.catalog.apply(plan) {
+            Ok(next) => next,
+            Err(e) => return Err(self.reject(prior, e.to_string())),
+        };
+        if next.properties().len() > MAX_PROPERTIES {
+            let n = next.properties().len();
+            return Err(self.reject(
+                prior,
+                format!("{n} properties exceed the runtime limit of {MAX_PROPERTIES}"),
+            ));
+        }
+        let shards = self.masks.len();
+        // Everything fed so far must reach the shards before the barrier,
+        // so the differential "deploy at k" cut is exact.
+        for s in 0..shards {
+            let tail = self.batcher.flush(s);
+            if !tail.is_empty() {
+                self.stats.batches += 1;
+                self.hub.batches.inc();
+                if self.senders[s].send(Msg::Events(tail)).is_err() {
+                    return Err(self.shard_error(s));
+                }
+            }
+        }
+        // Phase 1: quiesce the whole fleet and collect monitor snapshots.
+        let mut quiesce_rx = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (tx, rx) = channel();
+            if self.senders[s].send(Msg::Quiesce { reply: tx }).is_err() {
+                return Err(self.shard_error(s));
+            }
+            quiesce_rx.push(rx);
+        }
+        let mut acks = Vec::with_capacity(shards);
+        for (s, rx) in quiesce_rx.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(ack) => acks.push(ack),
+                Err(_) => return Err(self.shard_error(s)),
+            }
+        }
+        let quiesce_nanos: Vec<u64> = acks.iter().map(|a| a.quiesce_nanos).collect();
+        self.stats.quiesce_nanos += quiesce_nanos.iter().sum::<u64>();
+        // Next epoch's placements. Retained properties carry their derived
+        // plan and (possibly facts-refined) pre-dispatch mask verbatim;
+        // upgraded/added ones derive fresh placements, from their deploy
+        // facts when supplied (already seam-checked by `apply`).
+        let cfg = &self.rt.cfg;
+        let mut routes = Vec::with_capacity(next.properties().len());
+        for (i, p) in next.properties().iter().enumerate() {
+            let route = match next.origin(i) {
+                PropertyOrigin::Retained(prev) => self.router.routes()[prev].reindexed(i, shards),
+                PropertyOrigin::Upgraded(_) | PropertyOrigin::Added => match next.facts(i) {
+                    Some(f) => {
+                        match PropertyRoute::for_property_with_facts(i, p, &cfg.monitor, shards, f)
+                        {
+                            Ok(r) => r,
+                            Err(e) => return Err(self.reject(prior, e.to_string())),
+                        }
+                    }
+                    None => PropertyRoute::for_property(i, p, &cfg.monitor, shards),
+                },
+            };
+            routes.push(route);
+        }
+        // Which new index each old property retains into, if any.
+        let mut retained_of_old: Vec<Option<usize>> = vec![None; self.catalog.properties().len()];
+        for (i, origin) in next.origins().iter().enumerate() {
+            if let PropertyOrigin::Retained(prev) = origin {
+                retained_of_old[*prev] = Some(i);
+            }
+        }
+        // Hand each quiesce snapshot to the shard that hosts its property
+        // under the new epoch: hashed state stays put (the hash mapping is
+        // index-independent), pinned state re-homes to `index % shards`,
+        // and removed/upgraded state is dropped.
+        let mut adopts: Vec<Vec<(usize, MonitorSnapshot)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (s, ack) in acks.into_iter().enumerate() {
+            for (g, snap) in ack.snapshots {
+                let Some(i) = retained_of_old.get(g).copied().flatten() else { continue };
+                match routes[i].home_shard() {
+                    None => adopts[s].push((i, snap)),
+                    Some(home) => adopts[home].push((i, snap)),
+                }
+            }
+        }
+        let router_next = Router::from_routes(routes, shards);
+        let probe_next: Vec<Option<usize>> = next
+            .origins()
+            .iter()
+            .map(|origin| match origin {
+                PropertyOrigin::Retained(prev) => self.probe_idx[*prev],
+                _ => None,
+            })
+            .collect();
+        // Phase 2: stage the new configuration on every shard.
+        let epoch = next.epoch();
+        let mut prepare_rx = Vec::with_capacity(shards);
+        for (s, adopt) in adopts.iter_mut().enumerate() {
+            let hosted = router_next.properties_on(s);
+            let mut lut = vec![None; next.properties().len()];
+            let mut props = Vec::with_capacity(hosted.len());
+            let mut probes = Vec::with_capacity(hosted.len());
+            for (local, &global) in hosted.iter().enumerate() {
+                lut[global] = Some(local);
+                props.push((global, next.properties()[global].clone()));
+                probes.push(probe_next[global]);
+            }
+            let prep = ShardPrepare { epoch, props, lut, adopt: std::mem::take(adopt), probes };
+            let (tx, rx) = channel();
+            if self.senders[s].send(Msg::Prepare { prep: Box::new(prep), reply: tx }).is_err() {
+                return Err(self.shard_error(s));
+            }
+            prepare_rx.push(rx);
+        }
+        let mut failed: Option<(usize, String)> = None;
+        for (s, rx) in prepare_rx.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(reason)) => {
+                    failed.get_or_insert((s, reason));
+                }
+                Err(_) => return Err(self.shard_error(s)),
+            }
+        }
+        if let Some((s, reason)) = failed {
+            // Phase 3b: one shard could not stage — abort everywhere. No
+            // live state was mutated, so rollback is the absence of a
+            // commit.
+            for s in 0..shards {
+                if self.senders[s].send(Msg::Abort).is_err() {
+                    return Err(self.shard_error(s));
+                }
+            }
+            return Err(self.reject(prior, format!("shard {s} failed to prepare: {reason}")));
+        }
+        // Phase 3a: commit everywhere. Infallible on the shard side.
+        for s in 0..shards {
+            if self.senders[s].send(Msg::Commit { epoch }).is_err() {
+                return Err(self.shard_error(s));
+            }
+        }
+        let retained = retained_of_old.iter().flatten().count();
+        let (mut upgraded, mut added) = (0, 0);
+        for origin in next.origins() {
+            match origin {
+                PropertyOrigin::Upgraded(_) => upgraded += 1,
+                PropertyOrigin::Added => added += 1,
+                PropertyOrigin::Retained(_) => {}
+            }
+        }
+        let removed = self.catalog.properties().len() - retained - upgraded;
+        self.catalog = next;
+        self.router = router_next;
+        self.probe_idx = probe_next;
+        self.stats.deploys_applied += 1;
+        self.stats.property_set_epoch = epoch;
+        self.hub.deploys_applied.inc();
+        self.hub.property_set_epoch.set(epoch);
+        Ok(DeployOutcome { epoch, quiesce_nanos, retained, upgraded, added, removed })
+    }
+
+    /// Account a rolled-back deploy and build its recoverable error.
+    fn reject(&mut self, epoch: u64, reason: String) -> RuntimeError {
+        self.stats.deploys_rolled_back += 1;
+        self.hub.deploys_rolled_back.inc();
+        RuntimeError::DeployRejected { epoch, reason }
     }
 
     /// Flush pending batches, advance every monitor to `end` (firing any
@@ -498,6 +756,7 @@ pub fn reference_records(
                 seq: 0,
                 property: i,
                 rank: merge::kind_rank(m.property(), &v.trigger_stage),
+                epoch: 0,
                 violation: v.clone(),
             });
         }

@@ -28,6 +28,13 @@ pub struct ViolationRecord {
     pub property: usize,
     /// 0 for deadline (timer) firings, 1 for event-triggered violations.
     pub rank: u8,
+    /// Deploy provenance: the catalog epoch
+    /// ([`swmon_core::CatalogEpoch`]) in effect when the violation was
+    /// raised. `0` for a session that never deployed (and for the
+    /// single-threaded reference). Like `seq`, observability metadata —
+    /// not part of the merge key or [`signature`], so differential
+    /// comparisons across deploy histories still work.
+    pub epoch: u64,
     /// The violation itself.
     pub violation: Violation,
 }
@@ -91,6 +98,21 @@ pub fn signature(r: &ViolationRecord) -> String {
     )
 }
 
+/// Like [`signature`], but keyed by property *name* instead of catalog
+/// position — the cross-epoch comparison form. A deploy that removes a
+/// property shifts the index of everything behind it, so differential
+/// comparisons across deploy histories (`tests/deploy_differential.rs`,
+/// `repro e17`) compare *sorted* vectors of these: names are unique per
+/// catalog, so equal sorted vectors still mean equal violation multisets.
+pub fn name_signature(r: &ViolationRecord) -> String {
+    let (t, _, rank, stage, bindings) = key(r);
+    format!(
+        "t={t}ns r{rank} {}/{stage} {bindings} hist={}",
+        r.violation.property,
+        r.violation.history.len()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +127,7 @@ mod tests {
             seq: 0,
             property,
             rank,
+            epoch: 0,
             violation: Violation {
                 property: format!("p{property}"),
                 time: Instant::from_nanos(t),
@@ -139,6 +162,15 @@ mod tests {
         let sa: Vec<String> = merge(a).iter().map(signature).collect();
         let sb: Vec<String> = merge(b).iter().map(signature).collect();
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn name_signature_is_index_blind() {
+        let a = mk(5, 0, 1, 9);
+        let mut b = mk(5, 3, 1, 9);
+        b.violation.property = "p0".into();
+        assert_ne!(signature(&a), signature(&b), "positional signatures differ");
+        assert_eq!(name_signature(&a), name_signature(&b), "name signatures agree");
     }
 
     #[test]

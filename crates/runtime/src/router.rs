@@ -10,7 +10,7 @@ pub const MAX_PROPERTIES: usize = 64;
 
 /// Computes, for each event, the set of shards that must see it and which
 /// properties each shard runs it through.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Router {
     routes: Vec<PropertyRoute>,
     shards: usize,
@@ -54,6 +54,17 @@ impl Router {
             .map(|(i, (p, f))| PropertyRoute::for_property_with_facts(i, p, cfg, shards, f))
             .collect::<Result<_, _>>()?;
         Ok(Router { routes, shards })
+    }
+
+    /// Assemble a router from pre-built placements (live deployment builds
+    /// the next epoch's routes one property at a time, carrying retained
+    /// placements across via [`PropertyRoute::reindexed`]).
+    ///
+    /// # Panics
+    /// If `routes.len() > MAX_PROPERTIES`.
+    pub fn from_routes(routes: Vec<PropertyRoute>, shards: usize) -> Router {
+        assert!(routes.len() <= MAX_PROPERTIES);
+        Router { routes, shards: shards.max(1) }
     }
 
     /// Per-property placements, in property order.

@@ -71,6 +71,18 @@ impl PropertyRoute {
         Ok(route)
     }
 
+    /// This placement carried to a new property index (live deployment
+    /// compacts or extends the catalog, shifting indices). The derived
+    /// plan, pre-dispatch mask, and pin override are index-independent and
+    /// survive verbatim — including an analysis-refined mask installed via
+    /// [`PropertyRoute::for_property_with_facts`] — but a pinned
+    /// property's home shard is `index % shards`, so re-indexing may move
+    /// it (its instance store is re-homed by the deploy's snapshot
+    /// hand-off; see `docs/DEPLOY.md`).
+    pub fn reindexed(&self, index: usize, shards: usize) -> Self {
+        PropertyRoute { pinned_shard: index % shards.max(1), ..self.clone() }
+    }
+
     /// The event-class bits this property can react to.
     pub fn class_mask(&self) -> u8 {
         self.class_mask

@@ -69,6 +69,17 @@ pub struct RuntimeStats {
     pub degraded_violations: u64,
     /// Wall-clock nanoseconds spent restoring checkpoints.
     pub recovery_nanos: u64,
+    /// The catalog epoch in effect ([`swmon_core::CatalogEpoch`]): 0 until
+    /// a [`crate::Session::deploy`] commits, then the committed epoch.
+    pub property_set_epoch: u64,
+    /// Deploy plans applied (committed on every shard).
+    pub deploys_applied: u64,
+    /// Deploy plans rolled back (rejected at validation or aborted after a
+    /// failed prepare; the fleet continued under the prior epoch).
+    pub deploys_rolled_back: u64,
+    /// Wall-clock nanoseconds shards spent quiesced for deploys (journal
+    /// drain + forced checkpoint + snapshot encode), summed across shards.
+    pub quiesce_nanos: u64,
     /// Shedding episodes across all shards.
     pub gaps: Vec<MonitoringGap>,
     /// Per-shard breakdown.

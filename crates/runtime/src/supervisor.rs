@@ -24,7 +24,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Once};
 
-use crate::batch::{Item, Msg};
+use crate::batch::{Item, Msg, QuiesceAck, ShardPrepare};
 use crate::config::RuntimeConfig;
 use crate::sink::ViolationSink;
 use crate::stats::MonitoringGap;
@@ -151,6 +151,9 @@ struct Checkpoint {
 
 /// The supervised shard loop: admit batches into the journal, drive the
 /// crash domain, checkpoint, and on `Finish` drain timers and report.
+/// Deploy messages (see [`crate::batch::Msg`]) run the quiesce/prepare/
+/// commit barrier in-line: the session sends nothing else between
+/// `Quiesce` and the closing `Commit`/`Abort`.
 pub fn run(rx: Receiver<Msg>, spec: ShardSpec) -> Result<ShardOutcome, ShardFailure> {
     let mut sup = Supervisor::new(spec);
     let mut finish_at = None;
@@ -165,6 +168,17 @@ pub fn run(rx: Receiver<Msg>, spec: ShardSpec) -> Result<ShardOutcome, ShardFail
                 finish_at = Some(end);
                 break;
             }
+            Msg::Quiesce { reply } => {
+                let ack = sup.quiesce()?;
+                // A closed reply channel means the session died mid-deploy;
+                // the subsequent hangup ends the loop normally.
+                let _ = reply.send(ack);
+            }
+            Msg::Prepare { prep, reply } => {
+                let _ = reply.send(sup.prepare(*prep));
+            }
+            Msg::Commit { epoch } => sup.commit(epoch),
+            Msg::Abort => sup.abort(),
         }
     }
     // `finish_at` is `None` when the router hung up without `Finish`
@@ -173,12 +187,33 @@ pub fn run(rx: Receiver<Msg>, spec: ShardSpec) -> Result<ShardOutcome, ShardFail
     Ok(sup.into_outcome())
 }
 
+/// A deploy's staged next-epoch shard configuration: built during prepare
+/// without touching live state, swapped in atomically at commit, dropped
+/// at abort.
+struct PendingEpoch {
+    epoch: u64,
+    props: Vec<(usize, Property)>,
+    lut: Vec<Option<usize>>,
+    probe_lut: Vec<Option<usize>>,
+    monitors: Vec<(usize, Monitor)>,
+}
+
 struct Supervisor {
     shard: usize,
     props: Vec<(usize, Property)>,
     cfg: RuntimeConfig,
     state: WorkerState,
     checkpoint: Checkpoint,
+    /// Staged next epoch between a deploy's prepare and commit/abort.
+    pending: Option<PendingEpoch>,
+    /// `probe_lut[local]` is the hub engine-probe index attached to the
+    /// local replica. Identity onto global indices for the initial epoch;
+    /// rewritten at deploy commit (the hub's probe catalog is fixed at
+    /// session start, so properties added later have no probe).
+    probe_lut: Vec<Option<usize>>,
+    /// Remaining injected deploy-prepare failures (chaos testing): each
+    /// one makes the next prepare panic inside its catch_unwind boundary.
+    inject_deploy: usize,
     /// Items delivered since the last checkpoint, in order.
     journal: Vec<Item>,
     /// How many journal items the current incarnation has applied.
@@ -210,22 +245,30 @@ struct Supervisor {
 
 impl Supervisor {
     fn new(spec: ShardSpec) -> Self {
+        // Initial epoch: hub probes are indexed by global property index,
+        // so the probe lut starts as the identity onto globals.
+        let probe_lut: Vec<Option<usize>> = spec.props.iter().map(|(g, _)| Some(*g)).collect();
         let mut monitors: Vec<(usize, Monitor)> = spec
             .props
             .iter()
             .map(|(g, p)| (*g, Monitor::new(p.clone(), spec.cfg.monitor)))
             .collect();
         if spec.cfg.telemetry.engine {
-            attach_probes(&mut monitors, &spec.engines);
+            attach_probes(&mut monitors, &spec.engines, &probe_lut);
         }
         let snapshots = monitors.iter().map(|(_, m)| m.snapshot()).collect();
         let state = WorkerState::new(monitors, spec.lut);
+        let inject_deploy =
+            spec.cfg.inject_deploy_faults.iter().filter(|&&s| s == spec.shard).count();
         Supervisor {
             shard: spec.shard,
             props: spec.props,
             cfg: spec.cfg,
             state,
             checkpoint: Checkpoint { snapshots, records_len: 0, events: 0 },
+            pending: None,
+            probe_lut,
+            inject_deploy,
             journal: Vec::new(),
             journal_pos: 0,
             high_water: 0,
@@ -357,7 +400,7 @@ impl Supervisor {
             m.restore(snap).map_err(|e| fail(self.restarts, format!("restore failed: {e}")))?;
         }
         if self.cfg.telemetry.engine {
-            attach_probes(&mut monitors, &self.engines);
+            attach_probes(&mut monitors, &self.engines, &self.probe_lut);
         }
         self.state.monitors = monitors;
         self.state.records.truncate(self.checkpoint.records_len);
@@ -383,6 +426,14 @@ impl Supervisor {
         if !due {
             return;
         }
+        self.force_checkpoint();
+    }
+
+    /// Take a checkpoint now. Requires a fully applied journal (callers:
+    /// `maybe_checkpoint` after its guard, the quiesce barrier after a
+    /// full drain, and deploy commit).
+    fn force_checkpoint(&mut self) {
+        debug_assert_eq!(self.journal_pos, self.journal.len());
         self.checkpoint = Checkpoint {
             snapshots: self.state.monitors.iter().map(|(_, m)| m.snapshot()).collect(),
             records_len: self.state.records.len(),
@@ -400,6 +451,101 @@ impl Supervisor {
         // The records below the new checkpoint mark are now crash-stable
         // (recovery can no longer truncate past them): safe to publish.
         self.publish_stable(self.checkpoint.records_len);
+    }
+
+    /// Deploy phase 1: drain everything outstanding (crashing and
+    /// recovering here follows the normal supervision path — a deploy
+    /// racing a crash window rides on journal replay), force a checkpoint
+    /// so the shard's output is crash-stable, and snapshot every hosted
+    /// monitor for the session to re-route.
+    fn quiesce(&mut self) -> Result<QuiesceAck, ShardFailure> {
+        let t0 = std::time::Instant::now();
+        self.drive(None)?;
+        self.force_checkpoint();
+        let snapshots: Vec<(usize, MonitorSnapshot)> =
+            self.state.monitors.iter().map(|(g, m)| (*g, m.snapshot())).collect();
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.probe.quiesce.record(nanos);
+        Ok(QuiesceAck { snapshots, quiesce_nanos: nanos })
+    }
+
+    /// Deploy phase 2: build the next epoch's monitor set from the staged
+    /// configuration *without touching live state*. Restores run inside
+    /// the panic boundary; any failure (restore error, panic, injected
+    /// deploy fault) leaves the shard exactly as the quiesce checkpoint
+    /// left it — rollback is the absence of a commit.
+    fn prepare(&mut self, prep: ShardPrepare) -> Result<(), String> {
+        let inject = self.inject_deploy > 0;
+        if inject {
+            self.inject_deploy -= 1;
+        }
+        let monitor_cfg = self.cfg.monitor;
+        let engine_on = self.cfg.telemetry.engine;
+        let shard = self.shard;
+        let engines = &self.engines;
+        let built =
+            panic::catch_unwind(AssertUnwindSafe(|| -> Result<Vec<(usize, Monitor)>, String> {
+                if inject {
+                    panic!("{INJECTED_PANIC_PREFIX}: deploy prepare on shard {shard}");
+                }
+                let mut monitors = Vec::with_capacity(prep.props.len());
+                for (local, (g, p)) in prep.props.iter().enumerate() {
+                    let mut m = Monitor::new(p.clone(), monitor_cfg);
+                    if let Some((_, snap)) = prep.adopt.iter().find(|(ag, _)| ag == g) {
+                        m.restore(snap).map_err(|e| {
+                            format!("snapshot restore for property {g} failed: {e}")
+                        })?;
+                    }
+                    if engine_on {
+                        if let Some(probe) =
+                            prep.probes.get(local).copied().flatten().and_then(|i| engines.get(i))
+                        {
+                            let rec: SharedRecorder = probe.clone();
+                            m.set_recorder(Some(rec));
+                        }
+                    }
+                    monitors.push((*g, m));
+                }
+                Ok(monitors)
+            }));
+        match built {
+            Ok(Ok(monitors)) => {
+                self.pending = Some(PendingEpoch {
+                    epoch: prep.epoch,
+                    props: prep.props,
+                    lut: prep.lut,
+                    probe_lut: prep.probes,
+                    monitors,
+                });
+                Ok(())
+            }
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        }
+    }
+
+    /// Deploy phase 3a: swap the staged epoch in and checkpoint under it,
+    /// so any later recovery restores the *new* monitor set. Violations
+    /// harvested from here on carry the new epoch.
+    fn commit(&mut self, epoch: u64) {
+        let Some(pending) = self.pending.take() else {
+            debug_assert!(false, "commit without a staged prepare");
+            return;
+        };
+        debug_assert_eq!(pending.epoch, epoch);
+        self.props = pending.props;
+        self.probe_lut = pending.probe_lut;
+        self.state.monitors = pending.monitors;
+        self.state.lut = pending.lut;
+        self.state.epoch = epoch;
+        self.force_checkpoint();
+    }
+
+    /// Deploy phase 3b: drop the staged epoch. Nothing was mutated during
+    /// prepare, so the shard is byte-identical to one that never saw the
+    /// deploy.
+    fn abort(&mut self) {
+        self.pending = None;
     }
 
     /// Hand records `[published, upto)` to the sink, exactly once.
@@ -435,11 +581,17 @@ impl Supervisor {
     }
 }
 
-/// Attach each replica's per-property engine probe (`engines` is indexed
-/// by global property index).
-fn attach_probes(monitors: &mut [(usize, Monitor)], engines: &[Arc<EngineProbe>]) {
-    for (g, m) in monitors {
-        if let Some(probe) = engines.get(*g) {
+/// Attach each replica's per-property engine probe. `probe_lut[local]`
+/// maps the replica to its hub probe index (identity onto globals for the
+/// initial epoch; rewritten by deploy commits, `None` for properties the
+/// fixed-at-start probe catalog does not cover).
+fn attach_probes(
+    monitors: &mut [(usize, Monitor)],
+    engines: &[Arc<EngineProbe>],
+    probe_lut: &[Option<usize>],
+) {
+    for (local, (_, m)) in monitors.iter_mut().enumerate() {
+        if let Some(probe) = probe_lut.get(local).copied().flatten().and_then(|i| engines.get(i)) {
             let rec: SharedRecorder = probe.clone();
             m.set_recorder(Some(rec));
         }

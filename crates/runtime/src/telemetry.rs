@@ -53,6 +53,9 @@ pub struct ShardProbe {
     pub queue_depth: Histogram,
     /// Per-recovery checkpoint-restore latency, nanoseconds.
     pub recovery: Histogram,
+    /// Per-deploy quiesce pause, nanoseconds (journal drain + forced
+    /// checkpoint + snapshot encode). Empty until a deploy quiesces.
+    pub quiesce: Histogram,
     /// Checkpoint-stable violation records published to the live store
     /// sink ([`crate::sink::ViolationSink`]). Zero when no sink is wired.
     pub store_published: Counter,
@@ -73,6 +76,13 @@ pub struct TelemetryHub {
     /// Canonically merged records handed to the store sink at seal time.
     /// Zero when no sink is wired (or until the session finishes).
     pub store_sealed: Counter,
+    /// The catalog epoch in effect: 0 at session start, set to the
+    /// committed epoch by every applied [`crate::Session::deploy`].
+    pub property_set_epoch: Gauge,
+    /// Deploy plans committed on every shard.
+    pub deploys_applied: Counter,
+    /// Deploy plans rolled back (validation rejection or aborted prepare).
+    pub deploys_rolled_back: Counter,
     shards: Vec<Arc<ShardProbe>>,
     engines: Vec<Arc<EngineProbe>>,
     tracer: Arc<SpanTracer>,
@@ -99,6 +109,9 @@ impl TelemetryHub {
             skipped: Counter::new(),
             batches: Counter::new(),
             store_sealed: Counter::new(),
+            property_set_epoch: Gauge::new(),
+            deploys_applied: Counter::new(),
+            deploys_rolled_back: Counter::new(),
             shards: (0..shards).map(|_| Arc::new(ShardProbe::default())).collect(),
             engines,
             tracer: Arc::new(SpanTracer::sampled(
@@ -140,6 +153,9 @@ impl TelemetryHub {
             batches: self.batches.get(),
             hashed_properties: self.hashed_properties,
             pinned_properties: self.pinned_properties,
+            property_set_epoch: self.property_set_epoch.get(),
+            deploys_applied: self.deploys_applied.get(),
+            deploys_rolled_back: self.deploys_rolled_back.get(),
             ..Default::default()
         };
         for probe in &self.shards {
@@ -159,6 +175,7 @@ impl TelemetryHub {
             stats.shed += shed;
             stats.degraded_violations += probe.degraded_violations.get();
             stats.recovery_nanos += probe.recovery_nanos.get();
+            stats.quiesce_nanos += probe.quiesce.snapshot().sum;
         }
         // `stats.engine` stays zeroed: engine probes count every monitor
         // application *including recovery replays*, while the final
@@ -178,6 +195,10 @@ impl TelemetryHub {
         page.counters.push((Key::plain(names::SKIPPED), self.skipped.get()));
         page.counters.push((Key::plain(names::BATCHES), self.batches.get()));
         page.counters.push((Key::plain(names::STORE_SEALED), self.store_sealed.get()));
+        page.gauges.push((Key::plain(names::PROPERTY_SET_EPOCH), self.property_set_epoch.get()));
+        page.counters.push((Key::plain(names::DEPLOYS_APPLIED), self.deploys_applied.get()));
+        page.counters
+            .push((Key::plain(names::DEPLOYS_ROLLED_BACK), self.deploys_rolled_back.get()));
         for (s, probe) in self.shards.iter().enumerate() {
             let c = |name: &str, v: u64| (Key::labeled(name, "shard", s), v);
             page.counters.push(c(names::SHARD_DELIVERED, probe.delivered.get()));
@@ -196,6 +217,10 @@ impl TelemetryHub {
             page.histograms.push((
                 Key::labeled(names::SHARD_RECOVERY_NANOS, "shard", s),
                 probe.recovery.snapshot(),
+            ));
+            page.histograms.push((
+                Key::labeled(names::SHARD_QUIESCE_NANOS, "shard", s),
+                probe.quiesce.snapshot(),
             ));
         }
         for engine in &self.engines {

@@ -41,11 +41,14 @@ pub(crate) struct WorkerState {
     pub(crate) records: Vec<ViolationRecord>,
     /// Batch items applied.
     pub(crate) events: u64,
+    /// Catalog epoch stamped on every harvested record (deploy
+    /// provenance). Bumped by the supervisor when a deploy commits.
+    pub(crate) epoch: u64,
 }
 
 impl WorkerState {
     pub(crate) fn new(monitors: Vec<(usize, Monitor)>, lut: Vec<Option<usize>>) -> Self {
-        WorkerState { monitors, lut, records: Vec::new(), events: 0 }
+        WorkerState { monitors, lut, records: Vec::new(), events: 0, epoch: 0 }
     }
 
     /// Run one routed item through every monitor its mask selects and
@@ -63,7 +66,7 @@ impl WorkerState {
             let (_, m) = &mut self.monitors[local];
             let before = m.violations().len();
             m.process(&item.ev);
-            degraded += harvest(&mut self.records, m, global, before, item.seq, in_gap);
+            degraded += harvest(&mut self.records, m, global, before, item.seq, self.epoch, in_gap);
         }
         degraded
     }
@@ -77,7 +80,7 @@ impl WorkerState {
             let g = *global;
             let before = m.violations().len();
             m.advance_to(end);
-            degraded += harvest(&mut self.records, m, g, before, FLUSH_SEQ, in_gap);
+            degraded += harvest(&mut self.records, m, g, before, FLUSH_SEQ, self.epoch, in_gap);
         }
         degraded
     }
@@ -96,6 +99,7 @@ fn harvest(
     global: usize,
     before: usize,
     seq: u64,
+    epoch: u64,
     in_gap: bool,
 ) -> u64 {
     let vs = m.violations();
@@ -118,6 +122,7 @@ fn harvest(
             seq,
             property: global,
             rank: kind_rank(prop, &v.trigger_stage),
+            epoch,
             violation,
         });
     }

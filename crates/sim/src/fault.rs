@@ -209,6 +209,79 @@ impl FaultPlan {
     }
 }
 
+/// A schedule of instants at which a live property deploy is attempted
+/// against the monitoring runtime, for harnesses that race deploys with
+/// network faults.
+///
+/// The schedule is pure trace arithmetic: it names *when* (in trace time)
+/// a deploy happens, and [`DeploySchedule::split`] partitions a trace at
+/// those instants so a harness can feed segment 0, deploy, feed segment 1,
+/// deploy, … The interesting schedules put deploy points inside and at the
+/// edges of [`CrashWindow`]s — that is exactly when a quiesce barrier has
+/// to coexist with crash-restarted shards (`docs/DEPLOY.md`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeploySchedule {
+    /// Deploy instants, sorted nondecreasing.
+    pub points: Vec<Instant>,
+}
+
+impl DeploySchedule {
+    /// `n` deploy points evenly spaced across `(start, end)`, endpoints
+    /// excluded so every deploy lands strictly inside the trace.
+    pub fn evenly_spaced(n: usize, start: Instant, end: Instant) -> Self {
+        let span = end.as_nanos().saturating_sub(start.as_nanos());
+        let points = (1..=n as u64)
+            .map(|i| Instant::from_nanos(start.as_nanos() + span * i / (n as u64 + 1)))
+            .collect();
+        DeploySchedule { points }
+    }
+
+    /// One deploy point at the midpoint of every crash window — the worst
+    /// case for a quiesce barrier, since the crashed shard's traffic is
+    /// being lost while the deploy drains the others.
+    pub fn inside_crash_windows(crashes: &[CrashWindow]) -> Self {
+        let mut points: Vec<Instant> = crashes
+            .iter()
+            .map(|w| Instant::from_nanos((w.down.as_nanos() + w.up.as_nanos()) / 2))
+            .collect();
+        points.sort();
+        DeploySchedule { points }
+    }
+
+    /// Three deploy points per crash window: `margin` before the outage,
+    /// at its midpoint, and `margin` after the restart — bracketing the
+    /// crash so a harness exercises deploy-before-crash,
+    /// deploy-during-outage and deploy-after-recovery in one run.
+    pub fn around_crash_windows(crashes: &[CrashWindow], margin: Duration) -> Self {
+        let mut points = Vec::with_capacity(crashes.len() * 3);
+        for w in crashes {
+            points.push(Instant::from_nanos(w.down.as_nanos().saturating_sub(margin.as_nanos())));
+            points.push(Instant::from_nanos((w.down.as_nanos() + w.up.as_nanos()) / 2));
+            points.push(w.up + margin);
+        }
+        points.sort();
+        points.dedup();
+        DeploySchedule { points }
+    }
+
+    /// Partition a time-ordered trace at the deploy points: returns
+    /// `points.len() + 1` consecutive slices whose concatenation is the
+    /// input. Slice `k` holds the events strictly before point `k` (and at
+    /// or after point `k - 1`); events at exactly a deploy instant land in
+    /// the following slice, i.e. the deploy happens *before* them.
+    pub fn split<'t>(&self, trace: &'t [NetEvent]) -> Vec<&'t [NetEvent]> {
+        let mut out = Vec::with_capacity(self.points.len() + 1);
+        let mut lo = 0;
+        for p in &self.points {
+            let hi = lo + trace[lo..].partition_point(|e| e.time < *p);
+            out.push(&trace[lo..hi]);
+            lo = hi;
+        }
+        out.push(&trace[lo..]);
+        out
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Unit {
     id: Option<PacketId>,
@@ -403,6 +476,57 @@ mod tests {
             })
             .count();
         assert_eq!(downs, 1);
+    }
+
+    #[test]
+    fn deploy_schedule_split_partitions_the_trace() {
+        let t = trace(100); // events at 0, 1us, 2us, ... (2 events per packet)
+        let sched = DeploySchedule::evenly_spaced(3, Instant::ZERO, Instant::from_nanos(100_000));
+        assert_eq!(sched.points.len(), 3);
+        let parts = sched.split(&t);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), t.len());
+        // Concatenation in order is the original trace; every event in part
+        // k is strictly before point k and at-or-after point k-1.
+        let mut i = 0;
+        for (k, part) in parts.iter().enumerate() {
+            for e in *part {
+                assert!(std::ptr::eq(e, &t[i]));
+                if k < sched.points.len() {
+                    assert!(e.time < sched.points[k]);
+                }
+                if k > 0 {
+                    assert!(e.time >= sched.points[k - 1]);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn deploy_schedule_brackets_crash_windows() {
+        let w = CrashWindow {
+            switch: SwitchId(0),
+            down: Instant::from_nanos(20_000),
+            up: Instant::from_nanos(40_000),
+            port: PortNo(9),
+        };
+        let inside = DeploySchedule::inside_crash_windows(&[w]);
+        assert_eq!(inside.points, vec![Instant::from_nanos(30_000)]);
+        assert!(w.contains(inside.points[0]));
+
+        let around = DeploySchedule::around_crash_windows(&[w], Duration::from_micros(5));
+        assert_eq!(
+            around.points,
+            vec![
+                Instant::from_nanos(15_000),
+                Instant::from_nanos(30_000),
+                Instant::from_nanos(45_000),
+            ]
+        );
+        assert!(!w.contains(around.points[0]), "first point precedes the outage");
+        assert!(w.contains(around.points[1]), "middle point is inside the outage");
+        assert!(!w.contains(around.points[2]), "last point follows the restart");
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod timer;
 pub mod trace;
 
 pub use builder::TraceBuilder;
-pub use fault::{CrashWindow, FaultLog, FaultPlan};
+pub use fault::{CrashWindow, DeploySchedule, FaultLog, FaultPlan};
 pub use network::{Network, Node, NodeCtx, NodeId};
 pub use time::{Duration, Instant};
 pub use timer::{TimerEntry, TimerId, TimerWheel, TimerWheelSnapshot};

@@ -29,6 +29,8 @@ pub enum Driver {
     Degraded,
     /// The per-shard posting list.
     Shard(u32),
+    /// The per-epoch posting list (deploy provenance).
+    Epoch(u64),
 }
 
 impl fmt::Display for Driver {
@@ -40,6 +42,7 @@ impl fmt::Display for Driver {
             Driver::Window(a, b) => write!(f, "window({a}, {b})"),
             Driver::Degraded => write!(f, "degraded()"),
             Driver::Shard(s) => write!(f, "shard({s})"),
+            Driver::Epoch(e) => write!(f, "epoch({e})"),
         }
     }
 }
@@ -93,6 +96,7 @@ fn cost(atom: &Atom, segments: &[Segment], total: u64) -> u64 {
         }
         Atom::Degraded => segments.iter().map(|s| s.degraded_rows().len() as u64).sum(),
         Atom::Shard(s) => segments.iter().map(|seg| seg.shard_rows(*s).len() as u64).sum(),
+        Atom::Epoch(e) => segments.iter().map(|seg| seg.epoch_rows(*e).len() as u64).sum(),
     }
 }
 
@@ -117,6 +121,7 @@ pub fn plan(query: &Query, segments: &[Segment]) -> Plan {
                 Atom::Window(a, b) => Driver::Window(a, b),
                 Atom::Degraded => Driver::Degraded,
                 Atom::Shard(s) => Driver::Shard(s),
+                Atom::Epoch(e) => Driver::Epoch(e),
             };
             BranchPlan {
                 driver,
@@ -148,6 +153,7 @@ mod tests {
                         seq,
                         property: 0,
                         rank: 1,
+                        epoch: seq % 2,
                         violation: Violation {
                             property: prop.to_string(),
                             time: Instant::from_nanos(t),

@@ -25,8 +25,9 @@ use crate::swql::Atom;
 
 /// Magic of the segment byte encoding (`SWMS`-family framing).
 pub const SEGMENT_MAGIC: &[u8; 4] = b"SWVS";
-/// Current segment format version.
-pub const SEGMENT_VERSION: u16 = 1;
+/// Current segment format version. Version 2 added per-row deploy
+/// provenance (the catalog epoch the violation was raised under).
+pub const SEGMENT_VERSION: u16 = 2;
 
 /// Shard provenance marker for rows whose originating shard is unknown
 /// (e.g. a sealed store rebuilt from merged records that were never
@@ -68,6 +69,8 @@ pub struct Segment {
     bind_postings: Vec<u32>,
     /// Shard → row positions, sorted by shard.
     shards: Vec<(u32, Vec<u32>)>,
+    /// Catalog epoch → row positions, sorted by epoch (deploy provenance).
+    epochs: Vec<(u64, Vec<u32>)>,
     /// Rows with degraded provenance.
     degraded: Vec<u32>,
 }
@@ -85,6 +88,7 @@ impl Segment {
         let mut props: HashMap<&str, Vec<u32>> = HashMap::new();
         let mut pairs: Vec<((VarId, FieldValue), u32)> = Vec::new();
         let mut shards: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut epochs: HashMap<u64, Vec<u32>> = HashMap::new();
         let mut degraded = Vec::new();
         for (i, row) in rows.iter().enumerate() {
             let i = i as u32;
@@ -100,6 +104,7 @@ impl Segment {
                 }
             }
             shards.entry(row.shard).or_default().push(i);
+            epochs.entry(row.record.epoch).or_default().push(i);
             if v.degraded {
                 degraded.push(i);
             }
@@ -120,6 +125,8 @@ impl Segment {
         props.sort_by(|a, b| a.0.cmp(&b.0));
         let mut shards: Vec<(u32, Vec<u32>)> = shards.into_iter().collect();
         shards.sort_by_key(|(s, _)| *s);
+        let mut epochs: Vec<(u64, Vec<u32>)> = epochs.into_iter().collect();
+        epochs.sort_by_key(|(e, _)| *e);
         Segment {
             rows,
             min_time,
@@ -129,6 +136,7 @@ impl Segment {
             bind_keys,
             bind_postings,
             shards,
+            epochs,
             degraded,
         }
     }
@@ -194,6 +202,14 @@ impl Segment {
         }
     }
 
+    /// Row positions raised under catalog epoch `e` (deploy provenance).
+    pub fn epoch_rows(&self, e: u64) -> &[u32] {
+        match self.epochs.binary_search_by_key(&e, |(k, _)| *k) {
+            Ok(i) => &self.epochs[i].1,
+            Err(_) => &[],
+        }
+    }
+
     /// Row positions with degraded provenance.
     pub fn degraded_rows(&self) -> &[u32] {
         &self.degraded
@@ -215,6 +231,7 @@ impl Segment {
             }
             Atom::Degraded => v.degraded,
             Atom::Shard(s) => row.shard == *s,
+            Atom::Epoch(e) => row.record.epoch == *e,
         }
     }
 
@@ -231,6 +248,7 @@ impl Segment {
             w.u64(row.record.seq);
             w.u64(row.record.property as u64);
             w.u8(row.record.rank);
+            w.u64(row.record.epoch);
             // The violation codec deliberately omits merge_seq (positional
             // metadata); the store persists it beside the payload.
             w.opt_u64(row.record.violation.merge_seq);
@@ -257,13 +275,14 @@ impl Segment {
             let seq = r.u64()?;
             let property = r.len()?;
             let rank = r.u8()?;
+            let epoch = r.u64()?;
             let merge_seq = r.opt_u64()?;
             let mut violation = r.violation()?;
             violation.merge_seq = merge_seq;
             rows.push(Row {
                 store_seq,
                 shard,
-                record: ViolationRecord { seq, property, rank, violation },
+                record: ViolationRecord { seq, property, rank, epoch, violation },
             });
         }
         Ok(Segment::build(rows))
@@ -285,6 +304,9 @@ mod tests {
                 seq,
                 property: 3,
                 rank: 1,
+                // Deploy provenance mirrors the shard in these fixtures so
+                // the epoch index has two distinct keys to exercise.
+                epoch: shard as u64,
                 violation: Violation {
                     property: prop.to_string(),
                     time: Instant::from_nanos(t),
@@ -317,6 +339,11 @@ mod tests {
         assert!(s.bind_rows("Z", &FieldValue::Uint(80)).is_empty());
         assert_eq!(s.shard_rows(0), &[0, 2]);
         assert_eq!(s.shard_rows(1), &[1]);
+        assert_eq!(s.epoch_rows(0), &[0, 2]);
+        assert_eq!(s.epoch_rows(1), &[1]);
+        assert!(s.epoch_rows(9).is_empty());
+        assert!(Segment::row_matches(&s.rows()[1], &Atom::Epoch(1)));
+        assert!(!Segment::row_matches(&s.rows()[0], &Atom::Epoch(1)));
         assert_eq!(s.degraded_rows(), &[1]);
         assert_eq!((s.min_time(), s.max_time()), (10, 30));
         assert!(s.overlaps(15, 25));
@@ -337,6 +364,8 @@ mod tests {
         );
         assert_eq!(back.rows()[1].record.violation.merge_seq, Some(1));
         assert!(back.rows()[1].record.violation.degraded, "provenance survives the framing");
+        assert_eq!(back.rows()[1].record.epoch, 1, "deploy provenance survives the framing");
+        assert_eq!(back.epoch_rows(1), s.epoch_rows(1));
         // Canonical re-encode: byte-for-byte stable.
         assert_eq!(back.to_bytes(), bytes);
     }

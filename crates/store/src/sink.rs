@@ -70,6 +70,7 @@ mod tests {
             seq: 0,
             property: 0,
             rank: 1,
+            epoch: 0,
             violation: Violation {
                 property: "p".into(),
                 time: Instant::from_nanos(t),

@@ -282,6 +282,13 @@ impl Store {
                         }
                     }
                 }
+                Driver::Epoch(e) => {
+                    for (si, seg) in segments.iter().enumerate() {
+                        for &ri in seg.epoch_rows(*e) {
+                            consider(si, ri);
+                        }
+                    }
+                }
             }
         }
         // Dedup across branches, then impose the canonical merge order.
@@ -355,6 +362,7 @@ mod tests {
             seq: 0,
             property: 0,
             rank: 1,
+            epoch: 0,
             violation: Violation {
                 property: prop.to_string(),
                 time: Instant::from_nanos(t),

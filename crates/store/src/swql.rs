@@ -12,6 +12,8 @@
 //!         | window( TIME, TIME )   violation time in the inclusive range
 //!         | degraded( )            degraded-provenance violations only
 //!         | shard( N )             discovered by shard N
+//!         | epoch( E )             raised under catalog epoch E (deploy
+//!                                  provenance; 0 = the initial property set)
 //! VALUE  := UINT | a.b.c.d | aa:bb:cc:dd:ee:ff
 //! TIME   := UINT [ ns | us | ms | s ]
 //! ```
@@ -195,6 +197,8 @@ pub enum Atom {
     Degraded,
     /// `shard(s)`: discovered by shard `s`.
     Shard(u32),
+    /// `epoch(e)`: raised under catalog epoch `e` (deploy provenance).
+    Epoch(u64),
 }
 
 impl fmt::Display for Atom {
@@ -206,6 +210,7 @@ impl fmt::Display for Atom {
             Atom::Window(a, b) => write!(f, "window({a}, {b})"),
             Atom::Degraded => write!(f, "degraded()"),
             Atom::Shard(s) => write!(f, "shard({s})"),
+            Atom::Epoch(e) => write!(f, "epoch({e})"),
         }
     }
 }
@@ -317,7 +322,7 @@ fn lex(src: &str) -> Result<Vec<Token<'_>>, QueryError> {
 
 // ---- parser -------------------------------------------------------------
 
-const KNOWN_ATOMS: &str = "prop(P), bind(var, value), window(a, b), degraded(), shard(S)";
+const KNOWN_ATOMS: &str = "prop(P), bind(var, value), window(a, b), degraded(), shard(S), epoch(E)";
 
 struct Parser<'a> {
     src: &'a str,
@@ -500,6 +505,17 @@ impl<'a> Parser<'a> {
                 })?;
                 Atom::Shard(s)
             }
+            "epoch" => {
+                self.check_arity(&name, &args, 1, close)?;
+                let e = args[0].text.parse::<u64>().map_err(|_| {
+                    QueryError::new(
+                        Code::BadLiteral,
+                        format!("`{}` is not an epoch number", args[0].text),
+                        args[0].span,
+                    )
+                })?;
+                Atom::Epoch(e)
+            }
             other => {
                 return Err(QueryError::new(
                     Code::UnknownAtom,
@@ -668,7 +684,8 @@ mod tests {
     #[test]
     fn parses_the_full_vocabulary() {
         let q = parse(
-            "prop(fw-allows-return), bind(A, 10.0.0.7), window(1us, 2ms), degraded(), shard(3)",
+            "prop(fw-allows-return), bind(A, 10.0.0.7), window(1us, 2ms), degraded(), \
+             shard(3), epoch(2)",
         )
         .expect("valid query");
         assert_eq!(q.branches.len(), 1);
@@ -678,6 +695,9 @@ mod tests {
         assert_eq!(atoms[2], &Atom::Window(1_000, 2_000_000));
         assert_eq!(atoms[3], &Atom::Degraded);
         assert_eq!(atoms[4], &Atom::Shard(3));
+        assert_eq!(atoms[5], &Atom::Epoch(2));
+        assert_eq!(atoms[5].to_string(), "epoch(2)");
+        assert_eq!(parse("epoch(x)").unwrap_err().code, Code::BadLiteral);
     }
 
     #[test]

@@ -43,6 +43,18 @@ pub const SHARD_STORE_PUBLISHED: &str = "swmon_shard_store_published_total";
 /// Canonically merged records handed to the violation store at seal time.
 pub const STORE_SEALED: &str = "swmon_store_sealed_total";
 
+/// The catalog epoch in effect: 0 at session start, bumped by every
+/// committed live deploy (`Session::deploy`).
+pub const PROPERTY_SET_EPOCH: &str = "swmon_property_set_epoch";
+/// Deploy plans committed on every shard.
+pub const DEPLOYS_APPLIED: &str = "swmon_deploys_applied_total";
+/// Deploy plans rolled back (validation rejection or aborted prepare);
+/// the fleet continued under the prior epoch.
+pub const DEPLOYS_ROLLED_BACK: &str = "swmon_deploys_rolled_back_total";
+/// Per-shard quiesce pause during deploys, in nanoseconds (histogram):
+/// journal drain + forced checkpoint + snapshot encode. Label: `shard`.
+pub const SHARD_QUIESCE_NANOS: &str = "swmon_shard_quiesce_nanos";
+
 /// Per-property: events examined by the property's monitors — every
 /// application, including recovery replays. Label: `property`.
 pub const PROPERTY_EVENTS: &str = "swmon_property_events_total";
@@ -73,6 +85,10 @@ pub const ALL: &[&str] = &[
     SHARD_RECOVERY_NANOS,
     SHARD_STORE_PUBLISHED,
     STORE_SEALED,
+    PROPERTY_SET_EPOCH,
+    DEPLOYS_APPLIED,
+    DEPLOYS_ROLLED_BACK,
+    SHARD_QUIESCE_NANOS,
     PROPERTY_EVENTS,
     PROPERTY_LIVE,
     PROPERTY_STAGE_NANOS,
@@ -94,6 +110,6 @@ mod tests {
                 "{name} is not snake_case"
             );
         }
-        assert_eq!(ALL.len(), 20);
+        assert_eq!(ALL.len(), 24);
     }
 }
