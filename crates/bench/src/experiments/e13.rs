@@ -6,15 +6,33 @@
 //!
 //! The workload interleaves many concurrent firewall flows
 //! ([`swmon_workloads::trace::multi_flow_trace`]), so consecutive events
-//! hash to different shards. Every row is differentially verified: the
-//! sharded run's canonically merged violations must be byte-for-byte
-//! identical to the single-threaded reference.
+//! hash to different shards. Sharded rows run the adaptive ingress
+//! ([`swmon_runtime::AdaptiveConfig`]): pre-enqueue class filtering and
+//! grouped routing always apply, and the session fans out to worker
+//! threads only when the ingest rate and the machine's parallelism
+//! warrant it. On a single-core box the session is driven inline: the
+//! pre-enqueue filter drops ~45% of this workload's events before any
+//! monitor sees them, which roughly cancels the routing + staging +
+//! journal cost, so inline sharded rows land at ~0.8–0.9× the plain
+//! reference loop (the packet-parse memoization that made staging cheap
+//! also made the reference's own rejection path cheap). The filter and
+//! shard parallelism pay off together on multi-core boxes, where the
+//! adaptive clock fans the same byte-identical pipeline out to workers.
+//!
+//! Every configuration is measured `REPS` times in interleaved order
+//! (reference, sharded, bare, reference, …) and the best rep is
+//! reported, so slow-start noise and scheduler jitter hit every
+//! configuration equally. Every row of every rep is differentially
+//! verified: the sharded run's canonically merged violations must be
+//! byte-for-byte identical to the single-threaded reference.
 
 use crate::TextTable;
 use std::time::Instant as WallInstant;
 use swmon_core::{MonitorConfig, Property};
 use swmon_props::firewall;
-use swmon_runtime::{reference_records, RuntimeConfig, ShardedRuntime, TelemetryConfig};
+use swmon_runtime::{
+    reference_records, AdaptiveConfig, RuntimeConfig, ShardedRuntime, TelemetryConfig,
+};
 use swmon_sim::time::{Duration, Instant};
 use swmon_sim::trace::NetEvent;
 use swmon_workloads::trace::multi_flow_trace;
@@ -24,16 +42,17 @@ use swmon_workloads::trace::multi_flow_trace;
 pub struct Row {
     /// Worker thread count (0 = the single-threaded reference loop).
     pub shards: usize,
-    /// Wall-clock events per second.
+    /// Wall-clock events per second (best of [`REPS`] interleaved reps).
     pub events_per_sec: f64,
     /// Violations found.
     pub violations: usize,
-    /// True when the merged output matched the reference byte-for-byte.
+    /// True when the merged output matched the reference byte-for-byte on
+    /// **every** rep.
     pub verified: bool,
     /// Whether the runtime's telemetry layer was on for this row.
     pub telemetry: bool,
     /// Throughput cost of telemetry versus the bare twin at the same shard
-    /// count, percent. Only on the instrumented row the twin was run for.
+    /// count, percent. Present on every instrumented sharded row.
     pub overhead_pct: Option<f64>,
 }
 
@@ -42,12 +61,16 @@ pub struct Row {
 pub struct Outcome {
     /// Events in the workload trace.
     pub events: usize,
-    /// Reference first, then one row per shard count.
+    /// Reference first, then one instrumented row per shard count, then
+    /// the telemetry-off twin of each.
     pub rows: Vec<Row>,
 }
 
 /// Shard counts the experiment sweeps by default.
 pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Interleaved repetitions per configuration; each row reports its best.
+pub const REPS: usize = 5;
 
 /// The E13 workload, shared with E14 so hot-path speedups are measured
 /// over exactly the baseline trace.
@@ -63,6 +86,23 @@ pub(crate) fn properties() -> Vec<Property> {
     ]
 }
 
+/// The sharded configuration E13 measures: adaptive ingress, a
+/// throughput-oriented batch size, and a checkpoint cadence of 64k
+/// events per shard — effectively "at quiesce points only" for this
+/// trace. The default 1k cadence is tuned for crash-recovery latency,
+/// not peak ingest: each checkpoint snapshots every live monitor
+/// instance, and E15 measures that recovery/ingest trade-off
+/// explicitly.
+fn runtime_cfg(shards: usize, telemetry: bool) -> RuntimeConfig {
+    RuntimeConfig {
+        adaptive: AdaptiveConfig::on(),
+        telemetry: if telemetry { TelemetryConfig::default() } else { TelemetryConfig::off() },
+        batch: 1024,
+        checkpoint_every: 1 << 16,
+        ..RuntimeConfig::with_shards(shards)
+    }
+}
+
 /// Measure the reference and the sharded runtime over a
 /// `flows`-flow, `packets`-packet workload.
 pub fn run(flows: u32, packets: u32, shard_counts: &[usize]) -> Outcome {
@@ -71,62 +111,60 @@ pub fn run(flows: u32, packets: u32, shard_counts: &[usize]) -> Outcome {
     let cfg = MonitorConfig::default();
     let end = trace.last().map(|e| e.time + Duration::from_secs(120)).unwrap_or(Instant::ZERO);
 
-    let t0 = WallInstant::now();
+    // Untimed warm-up pass that also pins down the expected output.
     let reference = reference_records(&props, cfg, &trace, end);
-    let ref_secs = t0.elapsed().as_secs_f64();
     let ref_sigs: Vec<String> = reference.iter().map(swmon_runtime::signature).collect();
 
-    let mut rows = vec![Row {
-        shards: 0,
-        events_per_sec: trace.len() as f64 / ref_secs,
-        violations: reference.len(),
-        verified: true,
-        telemetry: false,
-        overhead_pct: None,
-    }];
+    // Row order: reference, instrumented sweep, then each row's
+    // telemetry-off twin.
+    let mut configs: Vec<(usize, bool)> = vec![(0, false)];
+    configs.extend(shard_counts.iter().map(|&s| (s, true)));
+    configs.extend(shard_counts.iter().map(|&s| (s, false)));
 
-    // The sweep runs the default configuration — telemetry on — because
-    // that is what the runtime ships with.
-    for &shards in shard_counts {
-        let rt = ShardedRuntime::new(props.clone(), RuntimeConfig::with_shards(shards))
-            .expect("catalog properties are valid");
-        let t0 = WallInstant::now();
-        let out = rt.run(&trace, end).expect("fault-free run cannot fail");
-        let secs = t0.elapsed().as_secs_f64();
-        rows.push(Row {
+    let mut rows: Vec<Row> = configs
+        .iter()
+        .map(|&(shards, telemetry)| Row {
             shards,
-            events_per_sec: trace.len() as f64 / secs,
-            violations: out.records.len(),
-            verified: out.signatures() == ref_sigs,
-            telemetry: true,
+            events_per_sec: 0.0,
+            violations: 0,
+            verified: true,
+            telemetry,
             overhead_pct: None,
-        });
+        })
+        .collect();
+
+    for _rep in 0..REPS {
+        for (row, &(shards, telemetry)) in rows.iter_mut().zip(&configs) {
+            let (secs, violations, verified) = if shards == 0 {
+                let t0 = WallInstant::now();
+                let recs = reference_records(&props, cfg, &trace, end);
+                (t0.elapsed().as_secs_f64(), recs.len(), true)
+            } else {
+                let rt = ShardedRuntime::new(props.clone(), runtime_cfg(shards, telemetry))
+                    .expect("catalog properties are valid");
+                let t0 = WallInstant::now();
+                let out = rt.run(&trace, end).expect("fault-free run cannot fail");
+                (t0.elapsed().as_secs_f64(), out.records.len(), out.signatures() == ref_sigs)
+            };
+            row.events_per_sec = row.events_per_sec.max(trace.len() as f64 / secs);
+            row.violations = violations;
+            row.verified &= verified;
+        }
     }
 
-    // One bare twin at the widest sweep point, so the instrumented row
-    // carries the telemetry tax as an overhead percentage.
-    if let Some(&shards) = shard_counts.last() {
-        let cfg = RuntimeConfig {
-            telemetry: TelemetryConfig::off(),
-            ..RuntimeConfig::with_shards(shards)
-        };
-        let rt = ShardedRuntime::new(props.clone(), cfg).expect("catalog properties are valid");
-        let t0 = WallInstant::now();
-        let out = rt.run(&trace, end).expect("fault-free run cannot fail");
-        let secs = t0.elapsed().as_secs_f64();
-        let bare_eps = trace.len() as f64 / secs;
-        if let Some(twin) = rows.iter_mut().rev().find(|r| r.shards == shards && r.telemetry) {
-            twin.overhead_pct =
-                Some(swmon_apps::output::overhead_pct(bare_eps, twin.events_per_sec));
+    // Attach the telemetry tax to every instrumented sharded row, from
+    // its bare twin at the same shard count.
+    for i in 0..rows.len() {
+        let (shards, telemetry) = configs[i];
+        if shards == 0 || !telemetry {
+            continue;
         }
-        rows.push(Row {
-            shards,
-            events_per_sec: bare_eps,
-            violations: out.records.len(),
-            verified: out.signatures() == ref_sigs,
-            telemetry: false,
-            overhead_pct: None,
-        });
+        let bare = rows
+            .iter()
+            .find(|r| r.shards == shards && !r.telemetry)
+            .map(|r| r.events_per_sec)
+            .expect("every sharded count has a bare twin");
+        rows[i].overhead_pct = Some(swmon_apps::output::overhead_pct(bare, rows[i].events_per_sec));
     }
 
     Outcome { events: trace.len(), rows }
@@ -158,9 +196,10 @@ pub fn render(o: &Outcome) -> String {
         ]);
     }
     format!(
-        "{}\n{} events; merged output is differentially verified against the\nsingle-threaded reference at every shard count. Sharded rows run with\nthe default (always-on) telemetry; the overhead column compares the\nwidest sweep point against its telemetry-off twin (docs/TELEMETRY.md).",
+        "{}\n{} events; best of {} interleaved reps per row; merged output is\ndifferentially verified against the single-threaded reference at every\nshard count on every rep. Sharded rows run the adaptive ingress\n(docs/RUNTIME.md) with the default (always-on) telemetry; the overhead\ncolumn compares each against its telemetry-off twin (docs/TELEMETRY.md).",
         t.render(),
-        o.events
+        o.events,
+        REPS
     )
 }
 
@@ -202,16 +241,21 @@ mod tests {
     #[test]
     fn every_row_matches_the_reference() {
         let o = run(32, 400, &[1, 2, 4]);
-        // Reference + one per shard count + the bare twin of the last.
-        assert_eq!(o.rows.len(), 5);
+        // Reference + one instrumented row per shard count + a bare twin
+        // per shard count.
+        assert_eq!(o.rows.len(), 7);
         assert!(o.rows.iter().all(|r| r.verified), "{o:?}");
         assert!(o.rows[0].violations > 0, "workload must produce violations");
         let v = o.rows[0].violations;
         assert!(o.rows.iter().all(|r| r.violations == v));
-        let instrumented = o.rows.iter().find(|r| r.shards == 4 && r.telemetry).expect("sweep row");
-        assert!(instrumented.overhead_pct.is_some(), "{instrumented:?}");
-        let bare = o.rows.last().unwrap();
-        assert!(!bare.telemetry && bare.overhead_pct.is_none(), "{bare:?}");
+        for shards in [1, 2, 4] {
+            let instrumented =
+                o.rows.iter().find(|r| r.shards == shards && r.telemetry).expect("sweep row");
+            assert!(instrumented.overhead_pct.is_some(), "{instrumented:?}");
+            let bare =
+                o.rows.iter().find(|r| r.shards == shards && !r.telemetry).expect("bare twin");
+            assert!(bare.overhead_pct.is_none(), "{bare:?}");
+        }
     }
 
     #[test]

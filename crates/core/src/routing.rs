@@ -35,8 +35,7 @@ use crate::guard::Guard;
 use crate::property::{Property, Stage, StageKind};
 use crate::var::Var;
 use std::collections::BTreeMap;
-use swmon_packet::field::values_hash;
-use swmon_packet::Field;
+use swmon_packet::{Field, FieldValue};
 use swmon_sim::trace::NetEvent;
 
 /// Why a property must be pinned to a single worker.
@@ -107,9 +106,47 @@ pub struct RoutingPlan {
     mode: RouteMode,
 }
 
-/// Pull the key values out of an event, failing on any missing field.
-fn extract(ev: &NetEvent, fields: &[Field]) -> Option<Vec<swmon_packet::FieldValue>> {
-    fields.iter().map(|&f| ev.field(f)).collect()
+/// Routing keys fit on the stack: one slot per key variable, and no property
+/// in (or out of) the catalog binds more than a 4-tuple. The router runs per
+/// event on the ingress hot path, so extraction must not allocate.
+const MAX_KEY_FIELDS: usize = 8;
+
+/// Pull the key values out of an event into `buf`, failing on any missing
+/// field (the event then cannot satisfy any guard of the property).
+///
+/// One fetch of the packet's memoized parse serves every packet-borne key
+/// field; [`NetEvent::field`] remains the fallback for event-metadata
+/// fields (ports) and for packets whose full-depth parse failed, where a
+/// shallow field may still be readable by a bounded re-parse — exactly
+/// the lookup the engine's guards would perform.
+fn extract<'b>(
+    ev: &NetEvent,
+    fields: &[Field],
+    buf: &'b mut [FieldValue; MAX_KEY_FIELDS],
+) -> Option<&'b [FieldValue]> {
+    debug_assert!(fields.len() <= MAX_KEY_FIELDS);
+    let headers = ev.packet().map(|p| p.parsed());
+    for (slot, &f) in buf.iter_mut().zip(fields) {
+        *slot = match (&headers, f) {
+            (Some(Ok(h)), f) if !matches!(f, Field::InPort | Field::OutPort) => h.field(f)?,
+            _ => ev.field(f)?,
+        };
+    }
+    Some(&buf[..fields.len()])
+}
+
+/// Order-dependent mix of a key tuple into a shard key. Routing shares no
+/// arithmetic with the switch substrate's `values_hash` (which monitors
+/// use to mirror hash-based network functions); it only needs a
+/// deterministic, well-dispersed 64-bit key, computed in a few cycles per
+/// field rather than FNV's byte-at-a-time walk.
+fn key_hash(vals: impl IntoIterator<Item = FieldValue>) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for v in vals {
+        h = (h ^ v.to_u64_key()).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 29;
+    }
+    h
 }
 
 impl RoutingPlan {
@@ -130,16 +167,17 @@ impl RoutingPlan {
 
     /// Route one event under this plan.
     pub fn route(&self, ev: &NetEvent) -> Route {
+        let mut buf = [FieldValue::Uint(0); MAX_KEY_FIELDS];
         match &self.mode {
             RouteMode::Pinned(_) => Route::Pinned,
-            RouteMode::HashExact { fields } => match extract(ev, fields) {
-                Some(vals) => Route::Hash(values_hash(vals.into_iter().map(Some))),
+            RouteMode::HashExact { fields } => match extract(ev, fields, &mut buf) {
+                Some(vals) => Route::Hash(key_hash(vals.iter().copied())),
                 None => Route::Skip,
             },
-            RouteMode::HashSymmetric { fields, perm } => match extract(ev, fields) {
+            RouteMode::HashSymmetric { fields, perm } => match extract(ev, fields, &mut buf) {
                 Some(vals) => {
-                    let straight = values_hash(vals.iter().map(|v| Some(*v)));
-                    let mirrored = values_hash(perm.iter().map(|&j| Some(vals[j])));
+                    let straight = key_hash(vals.iter().copied());
+                    let mirrored = key_hash(perm.iter().map(|&j| vals[j]));
                     Route::Hash(straight.min(mirrored))
                 }
                 None => Route::Skip,
@@ -193,8 +231,13 @@ impl RoutingPlan {
             .filter(|(v, f)| guards.iter().all(|g| binds(g, v, **f)))
             .map(|(v, f)| (*v, *f))
             .collect();
-        if !exact.is_empty() {
+        if !exact.is_empty() && exact.len() <= MAX_KEY_FIELDS {
             return RouteMode::HashExact { fields: exact.into_iter().map(|(_, f)| f).collect() };
+        }
+        if exact.len() > MAX_KEY_FIELDS {
+            // Wider keys than the stack extraction buffer: pinning is always
+            // sound, and no real property binds more than a 4-tuple.
+            return RouteMode::Pinned(PinReason::NoStableKey);
         }
 
         // Symmetric: variables every guard re-binds at the stage-0 field or
@@ -205,7 +248,7 @@ impl RoutingPlan {
             .filter(|(v, f)| guards.iter().all(|g| binds(g, v, **f) || binds(g, v, morf(**f))))
             .map(|(v, f)| (*v, *f))
             .collect();
-        if cand.is_empty() {
+        if cand.is_empty() || cand.len() > MAX_KEY_FIELDS {
             return RouteMode::Pinned(PinReason::NoStableKey);
         }
         let fields: Vec<Field> = cand.iter().map(|(_, f)| *f).collect();

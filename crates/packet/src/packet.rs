@@ -302,20 +302,41 @@ impl Headers {
 }
 
 /// A network packet: canonical wire bytes, as a switch port would see them.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// The wire bytes are the identity: equality and hashing see nothing else.
+/// Alongside them the packet memoizes its own full-depth parse, so the many
+/// consumers of one packet — the ingress router extracting a shard key, every
+/// monitor guard atom binding fields, the reference engine — share a single
+/// parse instead of each re-walking the headers per field access.
+#[derive(Clone)]
 pub struct Packet {
     bytes: Vec<u8>,
+    parsed: std::sync::OnceLock<Result<Headers, ParseError>>,
+}
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for Packet {}
+
+impl std::hash::Hash for Packet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bytes.hash(state);
+    }
 }
 
 impl Packet {
     /// Wrap raw wire bytes.
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
-        Packet { bytes }
+        Packet { bytes, parsed: std::sync::OnceLock::new() }
     }
 
     /// Build from a structured view.
     pub fn from_headers(h: &Headers) -> Self {
-        Packet { bytes: h.emit() }
+        Packet::from_bytes(h.emit())
     }
 
     /// The wire bytes.
@@ -418,14 +439,28 @@ impl Packet {
         }
     }
 
-    /// Parse at full depth; convenience for monitors.
-    pub fn headers(&self) -> Result<Headers, ParseError> {
-        self.parse(Layer::L7)
+    /// The memoized full-depth parse: computed on first use, shared by every
+    /// later field extraction on this packet (and on its clones made after
+    /// the parse). Purely interior state — equality, hashing, and the wire
+    /// bytes are unaffected.
+    pub fn parsed(&self) -> &Result<Headers, ParseError> {
+        self.parsed.get_or_init(|| self.parse(Layer::L7))
     }
 
-    /// Extract a field by parsing only as deep as that field requires.
+    /// Parse at full depth; convenience for monitors.
+    pub fn headers(&self) -> Result<Headers, ParseError> {
+        self.parsed().clone()
+    }
+
+    /// Extract a field without re-parsing: reads the memoized view.
     pub fn field(&self, f: Field) -> Option<FieldValue> {
-        self.parse(f.layer()).ok()?.field(f)
+        match self.parsed() {
+            Ok(h) => h.field(f),
+            // Full-depth parsing is strict through L4, so a packet with a
+            // corrupt deep header can still carry readable shallow fields:
+            // parse again, bounded at the field's own layer.
+            Err(_) => self.parse(f.layer()).ok()?.field(f),
+        }
     }
 
     /// Produce a rewritten copy: parse at full depth, apply `edit` to the

@@ -1,19 +1,137 @@
-//! Batched channel messages between the router and workers.
+//! Zero-copy batch hand-off between the session and its shards.
+//!
+//! Events are staged **once** in an [`Arena`] block; each destination
+//! shard receives a [`Batch`] — an `Arc` handle onto the shared
+//! [`EventBlock`] plus the `(seq, mask, index)` triples ([`ItemRef`])
+//! selecting the events that shard must run. An event fed to an N-shard
+//! session is cloned exactly once (into the block), never per shard.
 
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
 use swmon_core::{MonitorSnapshot, Property};
 use swmon_sim::time::Instant;
 use swmon_sim::trace::NetEvent;
 
-/// One routed event within a batch.
-#[derive(Debug, Clone)]
-pub struct Item {
+/// An immutable slab of events shared by every shard of one dispatch
+/// round.
+#[derive(Debug)]
+pub struct EventBlock {
+    events: Vec<NetEvent>,
+}
+
+impl EventBlock {
+    /// The staged events, in input order.
+    pub fn events(&self) -> &[NetEvent] {
+        &self.events
+    }
+}
+
+/// One routed event inside a [`Batch`]: a handle into the shared block,
+/// never a copy.
+#[derive(Debug, Clone, Copy)]
+pub struct ItemRef {
     /// Global input sequence number (position in the fed trace).
     pub seq: u64,
     /// Bitmask of property indices this shard must run the event through.
     pub mask: u64,
-    /// The event itself.
-    pub ev: NetEvent,
+    /// Index of the event in the batch's [`EventBlock`].
+    pub idx: u32,
+}
+
+/// The unit of session→shard hand-off: a shared event slab and this
+/// shard's selection over it.
+#[derive(Debug)]
+pub struct Batch {
+    /// The shared event slab.
+    pub block: Arc<EventBlock>,
+    /// This shard's selection, in global sequence order.
+    pub items: Vec<ItemRef>,
+    /// Force a checkpoint once the batch is applied. Set on bounded-
+    /// staleness flushes so a trickle shard's violations become
+    /// sink-visible without waiting for the checkpoint cadence.
+    pub checkpoint: bool,
+}
+
+/// Stages each fed event once and accumulates per-shard [`ItemRef`]
+/// selections until the block is worth dispatching ([`Arena::seal`]).
+///
+/// The caller routes — and class-mask-filters — *before* staging: an
+/// event whose masks are all zero never enters the arena, so it never
+/// crosses a thread boundary.
+#[derive(Debug)]
+pub struct Arena {
+    events: Vec<NetEvent>,
+    pending: Vec<Vec<ItemRef>>,
+    capacity: usize,
+    /// Sequence number of the oldest staged event (bounded-staleness
+    /// clock); `None` while empty.
+    first_seq: Option<u64>,
+}
+
+impl Arena {
+    /// An arena for `shards` shards sealing blocks of up to `capacity`
+    /// events.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Arena {
+            events: Vec::with_capacity(capacity),
+            pending: (0..shards).map(|_| Vec::new()).collect(),
+            capacity,
+            first_seq: None,
+        }
+    }
+
+    /// Stage one event for every shard with a non-zero mask (the event is
+    /// cloned exactly once, into the block). Returns `true` when the
+    /// block is full and must be sealed.
+    #[must_use]
+    pub fn push(&mut self, seq: u64, ev: &NetEvent, masks: &[u64]) -> bool {
+        debug_assert!(masks.iter().any(|&m| m != 0), "fully masked events are filtered pre-arena");
+        let idx = self.events.len() as u32;
+        self.events.push(ev.clone());
+        self.first_seq.get_or_insert(seq);
+        for (shard, &mask) in masks.iter().enumerate() {
+            if mask != 0 {
+                self.pending[shard].push(ItemRef { seq, mask, idx });
+            }
+        }
+        self.events.len() >= self.capacity
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// True when the oldest staged event is `limit` or more input ticks
+    /// behind `seq_now` — the bounded-staleness trigger. Uses input
+    /// sequence numbers, so it fires even when every later event was
+    /// class-filtered before the arena.
+    pub fn stale(&self, seq_now: u64, limit: u64) -> bool {
+        self.first_seq.is_some_and(|first| seq_now.saturating_sub(first) >= limit)
+    }
+
+    /// Seal the block: one `Arc` of the slab shared across one [`Batch`]
+    /// per shard that has staged items. `checkpoint` marks bounded-
+    /// staleness flushes (receiving shards force a checkpoint after
+    /// applying, making the batch's violations sink-visible).
+    pub fn seal(&mut self, checkpoint: bool) -> Vec<(usize, Batch)> {
+        if self.events.is_empty() {
+            return Vec::new();
+        }
+        let block = Arc::new(EventBlock {
+            events: std::mem::replace(&mut self.events, Vec::with_capacity(self.capacity)),
+        });
+        self.first_seq = None;
+        self.pending
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, items)| !items.is_empty())
+            .map(|(shard, items)| {
+                (shard, Batch { block: block.clone(), items: std::mem::take(items), checkpoint })
+            })
+            .collect()
+    }
 }
 
 /// What a quiesced shard reports back to the deploying session: a
@@ -54,15 +172,18 @@ pub struct ShardPrepare {
     pub probes: Vec<Option<usize>>,
 }
 
-/// A router→worker message. Deploy messages (`Quiesce`/`Prepare`/
-/// `Commit`/`Abort`) rely on channel FIFO order: the session is a shard's
+/// A session→shard message. Deploy messages (`Quiesce`/`Prepare`/
+/// `Commit`/`Abort`) rely on ring FIFO order: the session is a shard's
 /// only sender, so when a supervisor sees `Quiesce`, every event sent
 /// before the deploy has already been admitted, and events sent after
 /// `Commit` are only ever interpreted under the new epoch's indexing.
+/// The SPSC rings ([`crate::ring`]) deliver messages strictly in send
+/// order, so the contract is unchanged from the mpsc channels they
+/// replaced.
 #[derive(Debug)]
 pub enum Msg {
     /// A batch of routed events, in global sequence order.
-    Events(Vec<Item>),
+    Events(Batch),
     /// End of input: advance every monitor to this instant (firing pending
     /// deadlines), report, and exit.
     Finish(Instant),
@@ -91,48 +212,18 @@ pub enum Msg {
     /// Deploy phase 3b — abort: drop the staged set; the shard continues
     /// under the prior epoch exactly as if the deploy was never attempted.
     Abort,
-}
-
-/// Accumulates per-shard items until a batch is worth sending.
-#[derive(Debug)]
-pub struct Batcher {
-    pending: Vec<Vec<Item>>,
-    capacity: usize,
-}
-
-impl Batcher {
-    /// A batcher for `shards` shards sending batches of up to `capacity`.
-    pub fn new(shards: usize, capacity: usize) -> Self {
-        Batcher { pending: (0..shards).map(|_| Vec::with_capacity(capacity)).collect(), capacity }
-    }
-
-    /// Queue an item for `shard`; returns the full batch when it is time
-    /// to send one.
-    #[must_use]
-    pub fn push(&mut self, shard: usize, item: Item) -> Option<Vec<Item>> {
-        let slot = &mut self.pending[shard];
-        slot.push(item);
-        if slot.len() >= self.capacity {
-            Some(std::mem::replace(slot, Vec::with_capacity(self.capacity)))
-        } else {
-            None
-        }
-    }
-
-    /// Drain whatever is queued for `shard` (end-of-input flush).
-    pub fn flush(&mut self, shard: usize) -> Vec<Item> {
-        std::mem::take(&mut self.pending[shard])
-    }
+    /// Adaptive fan-in: drain the journal and hand the supervisor back to
+    /// the session intact, to continue inline on the caller thread.
+    Retire,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
     use swmon_sim::trace::{NetEventKind, PacketId, PortNo, SwitchId};
 
-    fn ev() -> NetEvent {
+    fn ev(t: u64) -> NetEvent {
         let pkt = Arc::new(PacketBuilder::tcp(
             MacAddr::ZERO,
             MacAddr::ZERO,
@@ -144,29 +235,62 @@ mod tests {
             &[],
         ));
         NetEvent {
-            time: Instant::ZERO,
+            time: Instant::from_nanos(t),
             kind: NetEventKind::Arrival {
                 switch: SwitchId(0),
                 port: PortNo(0),
                 pkt,
-                id: PacketId(0),
+                id: PacketId(t),
             },
         }
     }
 
     #[test]
-    fn batches_fill_then_emit() {
-        let mut b = Batcher::new(2, 3);
-        for seq in 0..2 {
-            assert!(b.push(0, Item { seq, mask: 1, ev: ev() }).is_none());
-        }
-        let full = b.push(0, Item { seq: 2, mask: 1, ev: ev() }).expect("third fills");
-        assert_eq!(full.len(), 3);
-        assert_eq!(full[0].seq, 0);
-        // Other shard untouched; flush drains leftovers.
-        assert!(b.flush(1).is_empty());
-        assert!(b.push(1, Item { seq: 3, mask: 2, ev: ev() }).is_none());
-        assert_eq!(b.flush(1).len(), 1);
-        assert!(b.flush(0).is_empty());
+    fn arena_shares_one_block_across_shards() {
+        let mut arena = Arena::new(3, 3);
+        assert!(!arena.push(0, &ev(10), &[1, 0, 4]));
+        assert!(!arena.push(1, &ev(20), &[0, 2, 0]));
+        assert!(arena.push(2, &ev(30), &[1, 2, 4]), "third event fills the block");
+        let sealed = arena.seal(false);
+        assert!(arena.is_empty());
+        // Shards 0, 1, 2 all staged something.
+        assert_eq!(sealed.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // One slab, shared: 3 batch handles + the local `block` binding.
+        let block = sealed[0].1.block.clone();
+        assert_eq!(Arc::strong_count(&block), 4);
+        assert_eq!(block.events().len(), 3);
+        // Shard 0 selected events 0 and 2; refs resolve into the slab.
+        let items = &sealed[0].1.items;
+        assert_eq!(items.iter().map(|r| (r.seq, r.idx)).collect::<Vec<_>>(), vec![(0, 0), (2, 2)]);
+        assert_eq!(items.iter().map(|r| r.mask).collect::<Vec<_>>(), vec![1, 1]);
+        // Refs resolve into the slab without copying the event.
+        assert_eq!(block.events()[items[1].idx as usize].time.as_nanos(), 30);
+    }
+
+    #[test]
+    fn staleness_clock_tracks_the_oldest_staged_event() {
+        let mut arena = Arena::new(2, 64);
+        assert!(!arena.stale(100, 8), "empty arena is never stale");
+        let _ = arena.push(5, &ev(10), &[1, 0]);
+        assert!(!arena.stale(12, 8));
+        assert!(arena.stale(13, 8), "oldest item is 8 ticks behind");
+        // Later pushes do not reset the clock.
+        let _ = arena.push(12, &ev(20), &[0, 1]);
+        assert!(arena.stale(13, 8));
+        // Sealing does.
+        let sealed = arena.seal(true);
+        assert_eq!(sealed.len(), 2);
+        assert!(sealed.iter().all(|(_, b)| b.checkpoint));
+        assert!(!arena.stale(1_000, 8));
+    }
+
+    #[test]
+    fn sealed_refs_carry_seq_mask_and_slab_slot() {
+        let mut arena = Arena::new(1, 4);
+        let _ = arena.push(7, &ev(42), &[1]);
+        let (_, batch) = arena.seal(false).pop().unwrap();
+        let r = batch.items[0];
+        assert_eq!((r.seq, r.mask, r.idx), (7, 1, 0));
+        assert_eq!(batch.block.events()[r.idx as usize].time, ev(42).time);
     }
 }

@@ -60,6 +60,47 @@ impl TelemetryConfig {
     }
 }
 
+/// Adaptive ingress ([`crate::Session`]): start inline — the sharded
+/// layout driven single-threaded on the caller thread, no hand-off cost —
+/// fan out to worker threads under sustained ingest pressure, and fold
+/// back when load drops. Transitions preserve byte-identical violation
+/// output (differentially tested at every transition point).
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Enable adaptive transitions. Off by default: the session fans out
+    /// at start and stays fanned, the pre-adaptive behaviour.
+    pub enabled: bool,
+    /// Events per ingest-rate estimation window. The rate heuristic is
+    /// consulted only at window boundaries, so a run shorter than one
+    /// window never transitions on its own.
+    pub window: u64,
+    /// Ingest rate (events/second) at or above which an inline session
+    /// fans out. Fan-out additionally requires more than one hardware
+    /// thread — on a single core the hand-off can only cost.
+    pub fan_out_rate: f64,
+    /// Ingest rate (events/second) below which a fanned session folds
+    /// back inline.
+    pub fan_in_rate: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            enabled: false,
+            window: 4096,
+            fan_out_rate: 500_000.0,
+            fan_in_rate: 50_000.0,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Adaptive mode with the default thresholds.
+    pub fn on() -> Self {
+        AdaptiveConfig { enabled: true, ..Self::default() }
+    }
+}
+
 /// Tuning knobs for the sharded runtime.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -68,11 +109,19 @@ pub struct RuntimeConfig {
     /// Events per channel message: the router accumulates up to this many
     /// events per shard before sending, amortising channel synchronisation.
     pub batch: usize,
-    /// Bounded channel capacity, in batches. When a worker falls behind,
-    /// the router *blocks* here — events are never dropped, because a
+    /// Bounded SPSC ring capacity, in batches. When a worker falls behind,
+    /// the session *blocks* here — events are never dropped, because a
     /// silently dropped event would forge a negative observation
     /// (Feature 7 deadlines fire on absence of events).
     pub queue: usize,
+    /// Bounded-staleness flush, in input ticks: when the oldest event
+    /// staged in the session's arena is this many fed events old, the
+    /// partial block is dispatched with a forced checkpoint, so a
+    /// low-traffic shard's violations become visible to live queries
+    /// without waiting for `finish()`. `0` means *auto*: `4 * batch`.
+    pub flush_every: usize,
+    /// Adaptive ingress (see [`AdaptiveConfig`]).
+    pub adaptive: AdaptiveConfig,
     /// Configuration applied to every per-worker monitor replica.
     pub monitor: MonitorConfig,
     /// Checkpoint cadence: a shard snapshots its monitors
@@ -112,6 +161,8 @@ impl Default for RuntimeConfig {
             shards: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
             batch: 64,
             queue: 64,
+            flush_every: 0,
+            adaptive: AdaptiveConfig::default(),
             monitor: MonitorConfig::default(),
             checkpoint_every: 1024,
             journal_limit: 0,
@@ -138,6 +189,8 @@ impl RuntimeConfig {
             shards: self.shards.max(1),
             batch,
             queue: self.queue.max(1),
+            flush_every: if self.flush_every == 0 { 4 * batch } else { self.flush_every },
+            adaptive: self.adaptive.clone(),
             monitor: self.monitor,
             checkpoint_every,
             journal_limit: if self.journal_limit == 0 {
@@ -173,5 +226,15 @@ mod tests {
         assert_eq!(n.journal_limit, 108);
         let explicit = RuntimeConfig { journal_limit: 5, ..Default::default() }.normalized();
         assert_eq!(explicit.journal_limit, 5, "explicit bounds are honoured verbatim");
+    }
+
+    #[test]
+    fn flush_every_auto_tracks_the_batch_size() {
+        let n = RuntimeConfig { batch: 16, ..Default::default() }.normalized();
+        assert_eq!(n.flush_every, 64);
+        let explicit = RuntimeConfig { flush_every: 7, ..Default::default() }.normalized();
+        assert_eq!(explicit.flush_every, 7);
+        assert!(!RuntimeConfig::default().adaptive.enabled, "adaptive ingress is opt-in");
+        assert!(AdaptiveConfig::on().enabled);
     }
 }

@@ -16,13 +16,25 @@
 //! - **Wandering** keys — and any property whose guards defeat the
 //!   analysis — are pinned to a single worker, which is always sound.
 //!
-//! Workers own private monitor replicas fed by bounded channels with
-//! batched dequeue. Backpressure blocks the router; events are **never
-//! dropped**, because a dropped event would forge a negative observation
-//! (deadline properties fire on the *absence* of traffic). Violations are
-//! merged deterministically ([`merge`]), so the sharded runtime's output
-//! is byte-for-byte equal to the single-threaded reference at any shard
-//! count.
+//! ## Ingress
+//!
+//! Routing and event-class mask filtering happen **before** any hand-off:
+//! an event that provably cannot affect any monitor never crosses a
+//! thread boundary. Deliverable events are staged exactly once in a
+//! shared [`batch::Arena`] block; each destination shard receives an
+//! `Arc` handle plus `(seq, mask, index)` selections ([`batch::ItemRef`])
+//! over per-shard SPSC rings ([`ring`]) — zero clones per shard.
+//! Backpressure blocks the router; events are **never dropped**, because
+//! a dropped event would forge a negative observation (deadline
+//! properties fire on the *absence* of traffic).
+//!
+//! The session is *adaptive* ([`config::AdaptiveConfig`]): under low load
+//! it can drive the same sharded layout inline on the caller thread
+//! (no hand-off cost at all) and fan out to worker threads under
+//! pressure — with transitions proven byte-identical by the
+//! differential suites. Violations are merged deterministically
+//! ([`merge`]), so the sharded runtime's output is byte-for-byte equal
+//! to the single-threaded reference at any shard count, in either mode.
 //!
 //! ## Fault tolerance
 //!
@@ -39,6 +51,7 @@
 pub mod batch;
 pub mod config;
 pub mod merge;
+pub mod ring;
 pub mod router;
 pub mod shardkey;
 pub mod sink;
@@ -48,7 +61,7 @@ pub mod telemetry;
 pub mod worker;
 
 pub use batch::{QuiesceAck, ShardPrepare};
-pub use config::{FaultPoint, RuntimeConfig, TelemetryConfig};
+pub use config::{AdaptiveConfig, FaultPoint, RuntimeConfig, TelemetryConfig};
 pub use merge::{name_signature, signature, ViolationRecord};
 pub use router::{Router, MAX_PROPERTIES};
 pub use shardkey::PropertyRoute;
@@ -61,11 +74,12 @@ pub use swmon_core::{CatalogEpoch, DeployAction, DeployError, DeployPlan, Proper
 pub use telemetry::{ShardProbe, TelemetryHub};
 
 use std::fmt;
-use std::sync::mpsc::{channel, sync_channel, SyncSender};
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use batch::{Batcher, Item, Msg};
+use batch::{Arena, Msg};
+use supervisor::LoopExit;
 use swmon_core::{Monitor, MonitorSnapshot, Property, PropertyError, Violation};
 use swmon_sim::time::Instant;
 use swmon_sim::trace::NetEvent;
@@ -186,7 +200,7 @@ pub struct ShardedRuntime {
     router: Router,
 }
 
-type ShardHandle = JoinHandle<Result<ShardOutcome, ShardFailure>>;
+type ShardHandle = JoinHandle<Result<LoopExit, ShardFailure>>;
 
 impl ShardedRuntime {
     /// Validate `props` and derive their shard placement under `cfg`.
@@ -256,10 +270,8 @@ impl ShardedRuntime {
         let pinned = self.router.routes().iter().filter(|r| !r.is_hashed()).count();
         let names: Vec<&str> = self.props.iter().map(|p| p.name.as_str()).collect();
         let hub = TelemetryHub::new(shards, &names, &self.cfg.telemetry, hashed, pinned);
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
+        let mut sups = Vec::with_capacity(shards);
         for s in 0..shards {
-            let (tx, rx) = sync_channel::<Msg>(self.cfg.queue);
             let hosted = self.router.properties_on(s);
             let mut lut = vec![None; self.props.len()];
             let props: Vec<(usize, Property)> = hosted
@@ -284,8 +296,7 @@ impl ShardedRuntime {
                 tracer: hub.tracer().clone(),
                 sink: sink.clone(),
             };
-            senders.push(tx);
-            handles.push(Some(std::thread::spawn(move || supervisor::run(rx, spec))));
+            sups.push(supervisor::Supervisor::new(spec));
         }
         let stats = RuntimeStats {
             per_shard: vec![ShardStats::default(); shards],
@@ -293,20 +304,32 @@ impl ShardedRuntime {
             pinned_properties: pinned,
             ..Default::default()
         };
-        Session {
+        let mut session = Session {
             rt: self,
             catalog: CatalogEpoch::initial(self.props.clone()),
             router: self.router.clone(),
             probe_idx: (0..self.props.len()).map(Some).collect(),
-            senders,
-            handles,
-            batcher: Batcher::new(shards, self.cfg.batch),
+            ingress: Ingress::Inline(sups),
+            arena: Arena::new(shards, self.cfg.batch),
             masks: vec![0u64; shards],
             seq: 0,
             stats,
+            tracing: hub.tracer().enabled(),
             hub,
+            hub_cursor: HubCursor::default(),
             sink,
+            adaptive: AdaptiveClock {
+                window_start_seq: 0,
+                window_started: std::time::Instant::now(),
+                parallel: std::thread::available_parallelism().map(usize::from).unwrap_or(1) > 1,
+            },
+        };
+        if !self.cfg.adaptive.enabled {
+            // Pre-adaptive behaviour: fan out at start, stay fanned. Not
+            // counted as an adaptive transition.
+            session.spawn_fanned();
         }
+        session
     }
 
     /// One-shot convenience: feed `events` (must be in non-decreasing time
@@ -342,13 +365,81 @@ pub struct DeployOutcome {
     pub removed: usize,
 }
 
-/// A live run: supervised workers are spawned; feed events, then call
-/// [`Session::finish`].
+/// How the session currently drives its shards. Both modes run the same
+/// supervisors over the same sharded layout; only the thread topology
+/// differs, so transitions move state without copying monitors.
+enum Ingress {
+    /// The session drives every supervisor on the caller thread — no
+    /// staging, no rings, no hand-off. Events are applied (and journaled,
+    /// checkpointed, recovered) synchronously in `feed`.
+    Inline(Vec<supervisor::Supervisor>),
+    /// One worker thread per shard, fed zero-copy batches over bounded
+    /// SPSC rings.
+    Fanned {
+        /// Per-shard ring producers, indexed by shard.
+        txs: Vec<ring::Sender<Msg>>,
+        /// Per-shard worker joins (`None` once taken by error diagnosis).
+        handles: Vec<Option<ShardHandle>>,
+    },
+}
+
+impl fmt::Debug for Ingress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ingress::Inline(sups) => f.debug_struct("Inline").field("shards", &sups.len()).finish(),
+            Ingress::Fanned { txs, .. } => {
+                f.debug_struct("Fanned").field("shards", &txs.len()).finish()
+            }
+        }
+    }
+}
+
+/// Ingest-rate estimation state for adaptive transitions.
+#[derive(Debug)]
+struct AdaptiveClock {
+    /// First sequence number of the current estimation window.
+    window_start_seq: u64,
+    /// Wall-clock start of the current estimation window.
+    window_started: std::time::Instant,
+    /// More than one hardware thread is available. On a single core the
+    /// hand-off can only cost, so fan-out is never taken.
+    parallel: bool,
+}
+
+/// Router-ledger counters already flushed to the [`TelemetryHub`].
 ///
-/// Dropping a session mid-stream is safe and deadlock-free: the drop
-/// handler closes every worker channel (drain signal), then joins the
-/// workers, discarding their reports. Use [`Session::finish`] to get the
-/// merged outcome instead.
+/// The session keeps its authoritative ledger in plain [`RuntimeStats`]
+/// fields and mirrors them into the hub's atomics in batches — one flush
+/// per arena dispatch instead of several atomic RMWs per event on the
+/// inline hot path. [`Session::live_stats`] flushes before reading, so a
+/// live snapshot is always exactly as fresh as the ledger itself.
+/// `Cell` (not `&mut`) because the flush happens on the shared-reference
+/// read path.
+#[derive(Debug, Default)]
+struct HubCursor {
+    events_in: std::cell::Cell<u64>,
+    deliveries: std::cell::Cell<u64>,
+    skipped: std::cell::Cell<u64>,
+    batches: std::cell::Cell<u64>,
+}
+
+impl HubCursor {
+    fn advance(cell: &std::cell::Cell<u64>, now: u64, counter: &swmon_telemetry::Counter) {
+        let prev = cell.get();
+        if now > prev {
+            counter.add(now - prev);
+            cell.set(now);
+        }
+    }
+}
+
+/// A live run: feed events, then call [`Session::finish`].
+///
+/// Dropping a session mid-stream is safe and deadlock-free: when fanned
+/// out, the drop handler closes every ring (drain signal), then joins the
+/// workers, discarding their reports; inline supervisors are plain values
+/// and simply drop. Use [`Session::finish`] to get the merged outcome
+/// instead.
 #[derive(Debug)]
 pub struct Session<'rt> {
     rt: &'rt ShardedRuntime,
@@ -365,14 +456,22 @@ pub struct Session<'rt> {
     /// fixed-at-start engine-probe catalog (`None` for properties deployed
     /// after the session started).
     probe_idx: Vec<Option<usize>>,
-    senders: Vec<SyncSender<Msg>>,
-    handles: Vec<Option<ShardHandle>>,
-    batcher: Batcher,
+    ingress: Ingress,
+    /// Staging arena — events are staged here in **both** ingress modes
+    /// and applied per sealed batch (inline: directly on this thread;
+    /// fanned: over the rings), so the supervision cost amortizes over
+    /// the batch either way.
+    arena: Arena,
     masks: Vec<u64>,
     seq: u64,
     stats: RuntimeStats,
     hub: Arc<TelemetryHub>,
+    /// `hub.tracer().enabled()`, hoisted: a tracer's sampling rate is
+    /// fixed at construction, so `feed` skips the per-event fetch.
+    tracing: bool,
+    hub_cursor: HubCursor,
     sink: Option<Arc<dyn ViolationSink>>,
+    adaptive: AdaptiveClock,
 }
 
 impl Session<'_> {
@@ -387,42 +486,233 @@ impl Session<'_> {
     /// is monotone towards the final [`Outcome::stats`] (see
     /// [`telemetry`] module docs for the construction).
     pub fn live_stats(&self) -> RuntimeStats {
+        self.flush_hub();
         self.hub.live_stats()
     }
 
-    /// Route one event. Blocks if a destination shard's queue is full
-    /// (backpressure — never drops). Fails only if a shard's supervisor
-    /// has already escalated a terminal failure.
+    /// Mirror the router-ledger counters into the hub (see [`HubCursor`]).
+    fn flush_hub(&self) {
+        HubCursor::advance(&self.hub_cursor.events_in, self.stats.events_in, &self.hub.events_in);
+        HubCursor::advance(
+            &self.hub_cursor.deliveries,
+            self.stats.deliveries,
+            &self.hub.deliveries,
+        );
+        HubCursor::advance(&self.hub_cursor.skipped, self.stats.skipped, &self.hub.skipped);
+        HubCursor::advance(&self.hub_cursor.batches, self.stats.batches, &self.hub.batches);
+    }
+
+    /// True when ingress is fanned out to per-shard worker threads; false
+    /// while the session drives its supervisors inline.
+    pub fn is_fanned(&self) -> bool {
+        matches!(self.ingress, Ingress::Fanned { .. })
+    }
+
+    /// Route one event. An event whose class mask misses every property is
+    /// filtered *here* — before any staging or hand-off. Blocks if a
+    /// destination shard's ring is full (backpressure — never drops).
+    /// Fails only if a shard's supervisor has already escalated a terminal
+    /// failure.
     pub fn feed(&mut self, ev: &NetEvent) -> Result<(), RuntimeError> {
         let seq = self.seq;
         self.seq += 1;
         self.stats.events_in += 1;
-        self.hub.events_in.inc();
         self.router.masks(ev, &mut self.masks);
-        self.hub.tracer().record(seq, SpanStage::Routed, None);
         let mut delivered = false;
-        for s in 0..self.masks.len() {
-            let mask = self.masks[s];
-            if mask == 0 {
-                continue;
+        for (s, &mask) in self.masks.iter().enumerate() {
+            if mask != 0 {
+                delivered = true;
+                self.stats.deliveries += 1;
+                self.stats.per_shard[s].events += 1;
             }
-            delivered = true;
-            self.stats.deliveries += 1;
-            self.hub.deliveries.inc();
-            self.stats.per_shard[s].events += 1;
-            self.hub.tracer().record(seq, SpanStage::Enqueued, Some(s));
-            if let Some(full) = self.batcher.push(s, Item { seq, mask, ev: ev.clone() }) {
-                self.stats.batches += 1;
-                self.hub.batches.inc();
-                if self.senders[s].send(Msg::Events(full)).is_err() {
-                    return Err(self.shard_error(s));
+        }
+        if self.tracing {
+            let tracer = self.hub.tracer();
+            tracer.record(seq, SpanStage::Routed, None);
+            for (s, &mask) in self.masks.iter().enumerate() {
+                if mask != 0 {
+                    tracer.record(seq, SpanStage::Enqueued, Some(s));
                 }
             }
         }
         if !delivered {
+            // Pre-enqueue filtering: the event provably cannot affect any
+            // monitor, so it never enters the arena or a ring.
             self.stats.skipped += 1;
-            self.hub.skipped.inc();
+            return self.adaptive_tick();
         }
+        if self.arena.push(seq, ev, &self.masks) {
+            self.dispatch(false)?;
+        } else if self.arena.stale(self.seq, self.rt.cfg.flush_every as u64) {
+            // Bounded staleness: the oldest staged event has waited long
+            // enough — dispatch the partial block with a forced
+            // checkpoint, so a trickle shard's violations become
+            // sink-visible without waiting for `finish()`.
+            self.dispatch(true)?;
+        }
+        self.adaptive_tick()
+    }
+
+    /// Seal the arena and hand each shard its batch: applied on this
+    /// thread while inline, sent over the rings while fanned. `checkpoint`
+    /// marks bounded-staleness flushes. No-op while empty.
+    fn dispatch(&mut self, checkpoint: bool) -> Result<(), RuntimeError> {
+        self.flush_hub();
+        if self.arena.is_empty() {
+            return Ok(());
+        }
+        let sealed = self.arena.seal(checkpoint);
+        let mut dead = None;
+        match &mut self.ingress {
+            Ingress::Inline(sups) => {
+                for (s, batch) in sealed {
+                    self.stats.batches += 1;
+                    match sups.get_mut(s) {
+                        Some(sup) => sup.apply_batch(batch)?,
+                        None => {
+                            return Err(RuntimeError::WorkerLost {
+                                shard: s,
+                                message: "shard lost by an earlier failure".to_string(),
+                            })
+                        }
+                    }
+                }
+            }
+            Ingress::Fanned { txs, .. } => {
+                for (s, batch) in sealed {
+                    self.stats.batches += 1;
+                    self.hub.shard(s).ring_occupancy.record(txs[s].occupancy());
+                    if txs[s].send(Msg::Events(batch)).is_err() {
+                        dead = Some(s);
+                        break;
+                    }
+                }
+            }
+        }
+        match dead {
+            Some(s) => Err(self.shard_error(s)),
+            None => Ok(()),
+        }
+    }
+
+    /// Dispatch everything still staged in the arena — the single
+    /// tail-flush shared by [`Session::finish`], the deploy barrier, and
+    /// adaptive transitions. After it returns, every fed event has been
+    /// applied (inline) or sent to its shard's ring (fanned).
+    fn flush_all_shards(&mut self) -> Result<(), RuntimeError> {
+        self.dispatch(false)?;
+        self.flush_hub();
+        Ok(())
+    }
+
+    /// Consult the ingest-rate heuristic at window boundaries and
+    /// transition when warranted.
+    fn adaptive_tick(&mut self) -> Result<(), RuntimeError> {
+        let cfg = &self.rt.cfg.adaptive;
+        if !cfg.enabled || self.seq - self.adaptive.window_start_seq < cfg.window {
+            return Ok(());
+        }
+        let events = (self.seq - self.adaptive.window_start_seq) as f64;
+        let secs = self.adaptive.window_started.elapsed().as_secs_f64().max(1e-9);
+        let rate = events / secs;
+        self.adaptive.window_start_seq = self.seq;
+        self.adaptive.window_started = std::time::Instant::now();
+        let fanned = self.is_fanned();
+        if !fanned && self.adaptive.parallel && rate >= cfg.fan_out_rate {
+            self.fan_out();
+        } else if fanned && rate < cfg.fan_in_rate {
+            self.fan_in()?;
+        }
+        Ok(())
+    }
+
+    /// Force the inline→fanned transition now, regardless of the rate
+    /// heuristic. No-op if already fanned. The transition is a pure move:
+    /// every supervisor — monitors, journal, checkpoint, records —
+    /// relocates to its worker thread intact, so output is byte-identical
+    /// to a run that never transitioned.
+    pub fn fan_out(&mut self) {
+        if self.is_fanned() {
+            return;
+        }
+        self.spawn_fanned();
+        self.stats.fan_outs += 1;
+        self.hub.fan_outs.inc();
+    }
+
+    /// Move the inline supervisors onto worker threads fed by fresh rings.
+    fn spawn_fanned(&mut self) {
+        let sups = match std::mem::replace(
+            &mut self.ingress,
+            Ingress::Fanned { txs: Vec::new(), handles: Vec::new() },
+        ) {
+            Ingress::Inline(sups) => sups,
+            fanned => {
+                self.ingress = fanned;
+                return;
+            }
+        };
+        let mut txs = Vec::with_capacity(sups.len());
+        let mut handles = Vec::with_capacity(sups.len());
+        for sup in sups {
+            let (tx, rx) = ring::channel::<Msg>(self.rt.cfg.queue);
+            txs.push(tx);
+            handles.push(Some(std::thread::spawn(move || supervisor::run_loop(rx, sup))));
+        }
+        self.ingress = Ingress::Fanned { txs, handles };
+        self.hub.ingress_mode.set(1);
+    }
+
+    /// Force the fanned→inline transition now, regardless of the rate
+    /// heuristic. No-op if already inline. Flushes the arena, retires
+    /// every worker at a journal-drained point ([`Msg::Retire`]), and
+    /// takes the supervisors back onto the caller thread — byte-identical
+    /// output, like [`Session::fan_out`].
+    pub fn fan_in(&mut self) -> Result<(), RuntimeError> {
+        if !self.is_fanned() {
+            return Ok(());
+        }
+        self.flush_all_shards()?;
+        let Ingress::Fanned { txs, mut handles } =
+            std::mem::replace(&mut self.ingress, Ingress::Inline(Vec::new()))
+        else {
+            unreachable!("checked fanned above")
+        };
+        for tx in &txs {
+            // A dead shard's send fails; its join below reports why.
+            let _ = tx.send(Msg::Retire);
+        }
+        drop(txs);
+        let mut sups = Vec::with_capacity(handles.len());
+        let mut failure: Option<RuntimeError> = None;
+        for (s, slot) in handles.iter_mut().enumerate() {
+            let Some(handle) = slot.take() else { continue };
+            match handle.join() {
+                Ok(Ok(LoopExit::Retired(sup))) => sups.push(*sup),
+                Ok(Ok(LoopExit::Finished(_))) => {
+                    failure.get_or_insert(RuntimeError::WorkerLost {
+                        shard: s,
+                        message: "worker finished during retire".to_string(),
+                    });
+                }
+                Ok(Err(f)) => {
+                    failure.get_or_insert(f.into());
+                }
+                Err(payload) => {
+                    failure.get_or_insert(RuntimeError::WorkerLost {
+                        shard: s,
+                        message: supervisor::panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+        if let Some(err) = failure {
+            return Err(err);
+        }
+        self.ingress = Ingress::Inline(sups);
+        self.hub.ingress_mode.set(0);
+        self.stats.fan_ins += 1;
+        self.hub.fan_ins.inc();
         Ok(())
     }
 
@@ -435,6 +725,127 @@ impl Session<'_> {
     /// The epoch currently in effect on every shard.
     pub fn epoch(&self) -> u64 {
         self.catalog.epoch()
+    }
+
+    /// Quiesce the whole fleet and collect monitor snapshots, in either
+    /// ingress mode.
+    fn quiesce_all(&mut self) -> Result<Vec<QuiesceAck>, RuntimeError> {
+        if let Ingress::Inline(sups) = &mut self.ingress {
+            let mut acks = Vec::with_capacity(sups.len());
+            for sup in sups.iter_mut() {
+                acks.push(sup.quiesce()?);
+            }
+            return Ok(acks);
+        }
+        let sent: Result<Vec<_>, usize> = match &self.ingress {
+            Ingress::Fanned { txs, .. } => txs
+                .iter()
+                .enumerate()
+                .map(|(s, tx)| {
+                    let (reply, rx) = channel();
+                    tx.send(Msg::Quiesce { reply }).map(|()| rx).map_err(|_| s)
+                })
+                .collect(),
+            Ingress::Inline(_) => unreachable!("handled above"),
+        };
+        let rxs = match sent {
+            Ok(rxs) => rxs,
+            Err(s) => return Err(self.shard_error(s)),
+        };
+        let mut acks = Vec::with_capacity(rxs.len());
+        for (s, rx) in rxs.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(ack) => acks.push(ack),
+                Err(_) => return Err(self.shard_error(s)),
+            }
+        }
+        Ok(acks)
+    }
+
+    /// Stage `preps[s]` on shard `s`, in either ingress mode. Returns the
+    /// first prepare rejection, if any (a terminal shard failure is an
+    /// `Err` instead).
+    fn prepare_all(
+        &mut self,
+        preps: Vec<ShardPrepare>,
+    ) -> Result<Option<(usize, String)>, RuntimeError> {
+        if let Ingress::Inline(sups) = &mut self.ingress {
+            let mut failed = None;
+            for (s, (sup, prep)) in sups.iter_mut().zip(preps).enumerate() {
+                if let Err(reason) = sup.prepare(prep) {
+                    failed.get_or_insert((s, reason));
+                }
+            }
+            return Ok(failed);
+        }
+        let sent: Result<Vec<_>, usize> = match &self.ingress {
+            Ingress::Fanned { txs, .. } => txs
+                .iter()
+                .zip(preps)
+                .enumerate()
+                .map(|(s, (tx, prep))| {
+                    let (reply, rx) = channel();
+                    tx.send(Msg::Prepare { prep: Box::new(prep), reply })
+                        .map(|()| rx)
+                        .map_err(|_| s)
+                })
+                .collect(),
+            Ingress::Inline(_) => unreachable!("handled above"),
+        };
+        let rxs = match sent {
+            Ok(rxs) => rxs,
+            Err(s) => return Err(self.shard_error(s)),
+        };
+        let mut failed = None;
+        for (s, rx) in rxs.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(reason)) => {
+                    failed.get_or_insert((s, reason));
+                }
+                Err(_) => return Err(self.shard_error(s)),
+            }
+        }
+        Ok(failed)
+    }
+
+    /// Commit the staged epoch on every shard, in either ingress mode.
+    fn commit_all(&mut self, epoch: u64) -> Result<(), RuntimeError> {
+        let dead = match &mut self.ingress {
+            Ingress::Inline(sups) => {
+                for sup in sups.iter_mut() {
+                    sup.commit(epoch);
+                }
+                None
+            }
+            Ingress::Fanned { txs, .. } => txs
+                .iter()
+                .enumerate()
+                .find_map(|(s, tx)| tx.send(Msg::Commit { epoch }).err().map(|_| s)),
+        };
+        match dead {
+            Some(s) => Err(self.shard_error(s)),
+            None => Ok(()),
+        }
+    }
+
+    /// Drop the staged epoch on every shard, in either ingress mode.
+    fn abort_all(&mut self) -> Result<(), RuntimeError> {
+        let dead = match &mut self.ingress {
+            Ingress::Inline(sups) => {
+                for sup in sups.iter_mut() {
+                    sup.abort();
+                }
+                None
+            }
+            Ingress::Fanned { txs, .. } => {
+                txs.iter().enumerate().find_map(|(s, tx)| tx.send(Msg::Abort).err().map(|_| s))
+            }
+        };
+        match dead {
+            Some(s) => Err(self.shard_error(s)),
+            None => Ok(()),
+        }
     }
 
     /// Hot-deploy a property change onto the **running** fleet: add,
@@ -458,6 +869,11 @@ impl Session<'_> {
     ///    fleet resumes under the new epoch; violations raised from here
     ///    on carry it as provenance.
     ///
+    /// The barrier works identically in both ingress modes: fanned, the
+    /// phases ride the FIFO rings (the session is each ring's only
+    /// producer, so `Quiesce` observes everything fed before it); inline,
+    /// the session calls the same supervisor phases directly.
+    ///
     /// On `Err(`[`RuntimeError::DeployRejected`]`)` the session keeps
     /// running under the prior epoch, byte-identical to one that never saw
     /// the plan; any other error is a terminal shard failure, as from
@@ -478,32 +894,9 @@ impl Session<'_> {
         let shards = self.masks.len();
         // Everything fed so far must reach the shards before the barrier,
         // so the differential "deploy at k" cut is exact.
-        for s in 0..shards {
-            let tail = self.batcher.flush(s);
-            if !tail.is_empty() {
-                self.stats.batches += 1;
-                self.hub.batches.inc();
-                if self.senders[s].send(Msg::Events(tail)).is_err() {
-                    return Err(self.shard_error(s));
-                }
-            }
-        }
+        self.flush_all_shards()?;
         // Phase 1: quiesce the whole fleet and collect monitor snapshots.
-        let mut quiesce_rx = Vec::with_capacity(shards);
-        for s in 0..shards {
-            let (tx, rx) = channel();
-            if self.senders[s].send(Msg::Quiesce { reply: tx }).is_err() {
-                return Err(self.shard_error(s));
-            }
-            quiesce_rx.push(rx);
-        }
-        let mut acks = Vec::with_capacity(shards);
-        for (s, rx) in quiesce_rx.into_iter().enumerate() {
-            match rx.recv() {
-                Ok(ack) => acks.push(ack),
-                Err(_) => return Err(self.shard_error(s)),
-            }
-        }
+        let acks = self.quiesce_all()?;
         let quiesce_nanos: Vec<u64> = acks.iter().map(|a| a.quiesce_nanos).collect();
         self.stats.quiesce_nanos += quiesce_nanos.iter().sum::<u64>();
         // Next epoch's placements. Retained properties carry their derived
@@ -561,7 +954,7 @@ impl Session<'_> {
             .collect();
         // Phase 2: stage the new configuration on every shard.
         let epoch = next.epoch();
-        let mut prepare_rx = Vec::with_capacity(shards);
+        let mut preps = Vec::with_capacity(shards);
         for (s, adopt) in adopts.iter_mut().enumerate() {
             let hosted = router_next.properties_on(s);
             let mut lut = vec![None; next.properties().len()];
@@ -572,40 +965,17 @@ impl Session<'_> {
                 props.push((global, next.properties()[global].clone()));
                 probes.push(probe_next[global]);
             }
-            let prep = ShardPrepare { epoch, props, lut, adopt: std::mem::take(adopt), probes };
-            let (tx, rx) = channel();
-            if self.senders[s].send(Msg::Prepare { prep: Box::new(prep), reply: tx }).is_err() {
-                return Err(self.shard_error(s));
-            }
-            prepare_rx.push(rx);
+            preps.push(ShardPrepare { epoch, props, lut, adopt: std::mem::take(adopt), probes });
         }
-        let mut failed: Option<(usize, String)> = None;
-        for (s, rx) in prepare_rx.into_iter().enumerate() {
-            match rx.recv() {
-                Ok(Ok(())) => {}
-                Ok(Err(reason)) => {
-                    failed.get_or_insert((s, reason));
-                }
-                Err(_) => return Err(self.shard_error(s)),
-            }
-        }
-        if let Some((s, reason)) = failed {
+        if let Some((s, reason)) = self.prepare_all(preps)? {
             // Phase 3b: one shard could not stage — abort everywhere. No
             // live state was mutated, so rollback is the absence of a
             // commit.
-            for s in 0..shards {
-                if self.senders[s].send(Msg::Abort).is_err() {
-                    return Err(self.shard_error(s));
-                }
-            }
+            self.abort_all()?;
             return Err(self.reject(prior, format!("shard {s} failed to prepare: {reason}")));
         }
         // Phase 3a: commit everywhere. Infallible on the shard side.
-        for s in 0..shards {
-            if self.senders[s].send(Msg::Commit { epoch }).is_err() {
-                return Err(self.shard_error(s));
-            }
-        }
+        self.commit_all(epoch)?;
         let retained = retained_of_old.iter().flatten().count();
         let (mut upgraded, mut added) = (0, 0);
         for origin in next.origins() {
@@ -634,40 +1004,56 @@ impl Session<'_> {
     }
 
     /// Flush pending batches, advance every monitor to `end` (firing any
-    /// remaining deadlines), join the workers, and merge. All workers are
-    /// joined before an error is returned — finish never leaks threads.
+    /// remaining deadlines), collect every shard, and merge. All workers
+    /// are joined before an error is returned — finish never leaks
+    /// threads.
     pub fn finish(mut self, end: Instant) -> Result<Outcome, RuntimeError> {
-        let senders = std::mem::take(&mut self.senders);
-        for (s, tx) in senders.iter().enumerate() {
-            let tail = self.batcher.flush(s);
-            if !tail.is_empty() {
-                self.stats.batches += 1;
-                self.hub.batches.inc();
-                if tx.send(Msg::Events(tail)).is_err() {
-                    return Err(self.shard_error(s));
-                }
-            }
-            if tx.send(Msg::Finish(end)).is_err() {
-                return Err(self.shard_error(s));
-            }
-        }
-        drop(senders);
+        self.flush_all_shards()?;
         let mut records = Vec::new();
         let mut failure: Option<RuntimeError> = None;
-        for (s, slot) in self.handles.iter_mut().enumerate() {
-            let Some(handle) = slot.take() else { continue };
-            match handle.join() {
-                Err(payload) => failure.get_or_insert(RuntimeError::WorkerLost {
-                    shard: s,
-                    message: supervisor::panic_message(payload.as_ref()),
-                }),
-                Ok(Err(f)) => failure.get_or_insert(f.into()),
-                Ok(Ok(o)) => {
+        match std::mem::replace(&mut self.ingress, Ingress::Inline(Vec::new())) {
+            Ingress::Inline(sups) => {
+                for (s, mut sup) in sups.into_iter().enumerate() {
+                    if let Err(f) = sup.finish_inline(end) {
+                        failure.get_or_insert(f.into());
+                        continue;
+                    }
+                    let o = sup.into_outcome();
                     self.stats.absorb_shard(s, &o);
                     records.extend(o.report.records);
-                    continue;
                 }
-            };
+            }
+            Ingress::Fanned { txs, mut handles } => {
+                for tx in &txs {
+                    // A dead shard's send fails; its join reports why.
+                    let _ = tx.send(Msg::Finish(end));
+                }
+                drop(txs);
+                for (s, slot) in handles.iter_mut().enumerate() {
+                    let Some(handle) = slot.take() else { continue };
+                    match handle.join() {
+                        Err(payload) => {
+                            failure.get_or_insert(RuntimeError::WorkerLost {
+                                shard: s,
+                                message: supervisor::panic_message(payload.as_ref()),
+                            });
+                        }
+                        Ok(Err(f)) => {
+                            failure.get_or_insert(f.into());
+                        }
+                        Ok(Ok(LoopExit::Retired(_))) => {
+                            failure.get_or_insert(RuntimeError::WorkerLost {
+                                shard: s,
+                                message: "worker retired during finish".to_string(),
+                            });
+                        }
+                        Ok(Ok(LoopExit::Finished(o))) => {
+                            self.stats.absorb_shard(s, &o);
+                            records.extend(o.report.records);
+                        }
+                    }
+                }
+            }
         }
         if let Some(err) = failure {
             return Err(err);
@@ -684,7 +1070,11 @@ impl Session<'_> {
     /// Diagnose a dead shard: join its handle and surface the supervised
     /// failure if one was reported.
     fn shard_error(&mut self, s: usize) -> RuntimeError {
-        match self.handles[s].take().map(JoinHandle::join) {
+        let handle = match &mut self.ingress {
+            Ingress::Fanned { handles, .. } => handles.get_mut(s).and_then(Option::take),
+            Ingress::Inline(_) => None,
+        };
+        match handle.map(JoinHandle::join) {
             Some(Ok(Err(f))) => f.into(),
             Some(Err(payload)) => RuntimeError::WorkerLost {
                 shard: s,
@@ -700,12 +1090,15 @@ impl Session<'_> {
 
 impl Drop for Session<'_> {
     fn drop(&mut self) {
-        // Close every channel first: workers drain what was sent, then
-        // exit their receive loop — no Finish needed, no deadlock.
-        self.senders.clear();
-        for slot in self.handles.iter_mut() {
-            if let Some(handle) = slot.take() {
-                let _ = handle.join();
+        // Close every ring first: workers drain what was sent, then exit
+        // their receive loop — no Finish needed, no deadlock. Inline
+        // supervisors are plain values and drop with the session.
+        if let Ingress::Fanned { txs, handles } = &mut self.ingress {
+            txs.clear();
+            for slot in handles.iter_mut() {
+                if let Some(handle) = slot.take() {
+                    let _ = handle.join();
+                }
             }
         }
     }
@@ -781,6 +1174,31 @@ mod tests {
         }
     }
 
+    fn arrival_from(i: u64) -> NetEvent {
+        use std::sync::Arc;
+        use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+        use swmon_sim::trace::{NetEventKind, PacketId, PortNo, SwitchId};
+        let pkt = Arc::new(PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            Ipv4Address::new(10, 0, 0, (i % 7) as u8 + 1),
+            Ipv4Address::new(10, 0, 0, 99),
+            1000,
+            80,
+            TcpFlags::SYN,
+            &[],
+        ));
+        NetEvent {
+            time: Instant::from_nanos(i),
+            kind: NetEventKind::Arrival {
+                switch: SwitchId(0),
+                port: PortNo(0),
+                pkt,
+                id: PacketId(i),
+            },
+        }
+    }
+
     #[test]
     fn rejects_invalid_and_oversized_property_sets() {
         let bad = Property { name: "empty".into(), statement: String::new(), stages: vec![] };
@@ -811,9 +1229,6 @@ mod tests {
 
     #[test]
     fn dropping_a_session_mid_stream_joins_cleanly() {
-        use std::sync::Arc;
-        use swmon_packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
-        use swmon_sim::trace::{NetEvent, NetEventKind, PacketId, PortNo, SwitchId};
         let rt = ShardedRuntime::new(
             vec![repeat_prop("p", Field::Ipv4Src)],
             // queue=1, batch=1: maximal pressure on the drop path.
@@ -821,29 +1236,43 @@ mod tests {
         )
         .unwrap();
         let mut session = rt.start();
+        assert!(session.is_fanned(), "non-adaptive sessions fan out at start");
         for i in 0..100u64 {
-            let pkt = Arc::new(PacketBuilder::tcp(
-                MacAddr::new(2, 0, 0, 0, 0, 1),
-                MacAddr::new(2, 0, 0, 0, 0, 2),
-                Ipv4Address::new(10, 0, 0, (i % 7) as u8 + 1),
-                Ipv4Address::new(10, 0, 0, 99),
-                1000,
-                80,
-                TcpFlags::SYN,
-                &[],
-            ));
-            let ev = NetEvent {
-                time: Instant::from_nanos(i),
-                kind: NetEventKind::Arrival {
-                    switch: SwitchId(0),
-                    port: PortNo(0),
-                    pkt,
-                    id: PacketId(i),
-                },
-            };
-            session.feed(&ev).unwrap();
+            session.feed(&arrival_from(i)).unwrap();
         }
         // No finish: drop must drain and join without deadlocking.
         drop(session);
+    }
+
+    #[test]
+    fn adaptive_sessions_start_inline_and_transition_on_demand() {
+        let rt = ShardedRuntime::new(
+            vec![repeat_prop("p", Field::Ipv4Src)],
+            RuntimeConfig {
+                shards: 2,
+                adaptive: AdaptiveConfig { window: u64::MAX, ..AdaptiveConfig::on() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut session = rt.start();
+        assert!(!session.is_fanned(), "adaptive sessions start inline");
+        for i in 0..10u64 {
+            session.feed(&arrival_from(i)).unwrap();
+        }
+        session.fan_out();
+        assert!(session.is_fanned());
+        for i in 10..20u64 {
+            session.feed(&arrival_from(i)).unwrap();
+        }
+        session.fan_in().unwrap();
+        assert!(!session.is_fanned());
+        for i in 20..30u64 {
+            session.feed(&arrival_from(i)).unwrap();
+        }
+        let out = session.finish(Instant::from_nanos(1_000)).unwrap();
+        assert_eq!(out.stats.events_in, 30);
+        assert_eq!((out.stats.fan_outs, out.stats.fan_ins), (1, 1));
+        assert_eq!(out.stats.unaccounted_loss(), 0);
     }
 }

@@ -8,12 +8,39 @@ use swmon_sim::trace::NetEvent;
 /// bitmask per (event, shard) pair.
 pub const MAX_PROPERTIES: usize = 64;
 
+/// Properties whose routes resolve identically for every event, dispatched
+/// with a single `shard_for` evaluation. `route` is a clone of the first
+/// member's route; `members` is the property bitmask the group contributes
+/// to the winning shard.
+#[derive(Debug, Clone)]
+struct DispatchGroup {
+    route: PropertyRoute,
+    members: u64,
+}
+
 /// Computes, for each event, the set of shards that must see it and which
 /// properties each shard runs it through.
+///
+/// Routes that provably dispatch identically (equal plans and class masks —
+/// e.g. several properties keyed on the same flow fields) are grouped, so
+/// the per-event routing cost is one hash per *distinct* dispatch rule,
+/// not one per property.
 #[derive(Debug, Clone)]
 pub struct Router {
     routes: Vec<PropertyRoute>,
+    groups: Vec<DispatchGroup>,
     shards: usize,
+}
+
+fn group(routes: &[PropertyRoute]) -> Vec<DispatchGroup> {
+    let mut groups: Vec<DispatchGroup> = Vec::new();
+    for (i, route) in routes.iter().enumerate() {
+        match groups.iter_mut().find(|g| g.route.same_dispatch(route)) {
+            Some(g) => g.members |= 1u64 << i,
+            None => groups.push(DispatchGroup { route: route.clone(), members: 1u64 << i }),
+        }
+    }
+    groups
 }
 
 impl Router {
@@ -28,8 +55,9 @@ impl Router {
             .iter()
             .enumerate()
             .map(|(i, p)| PropertyRoute::for_property(i, p, cfg, shards))
-            .collect();
-        Router { routes, shards }
+            .collect::<Vec<_>>();
+        let groups = group(&routes);
+        Router { routes, groups, shards }
     }
 
     /// As [`Router::new`], but pre-dispatch masks come from per-property
@@ -52,8 +80,9 @@ impl Router {
             .zip(facts)
             .enumerate()
             .map(|(i, (p, f))| PropertyRoute::for_property_with_facts(i, p, cfg, shards, f))
-            .collect::<Result<_, _>>()?;
-        Ok(Router { routes, shards })
+            .collect::<Result<Vec<_>, _>>()?;
+        let groups = group(&routes);
+        Ok(Router { routes, groups, shards })
     }
 
     /// Assemble a router from pre-built placements (live deployment builds
@@ -64,7 +93,8 @@ impl Router {
     /// If `routes.len() > MAX_PROPERTIES`.
     pub fn from_routes(routes: Vec<PropertyRoute>, shards: usize) -> Router {
         assert!(routes.len() <= MAX_PROPERTIES);
-        Router { routes, shards: shards.max(1) }
+        let groups = group(&routes);
+        Router { routes, groups, shards: shards.max(1) }
     }
 
     /// Per-property placements, in property order.
@@ -83,11 +113,16 @@ impl Router {
     pub fn masks(&self, ev: &NetEvent, out: &mut [u64]) {
         debug_assert_eq!(out.len(), self.shards);
         out.fill(0);
-        for (i, route) in self.routes.iter().enumerate() {
-            if let Some(s) = route.shard_for(ev, self.shards) {
-                out[s] |= 1u64 << i;
+        for g in &self.groups {
+            if let Some(s) = g.route.shard_for(ev, self.shards) {
+                out[s] |= g.members;
             }
         }
+    }
+
+    /// Distinct dispatch rules (grouped identical routes count once).
+    pub fn dispatch_groups(&self) -> usize {
+        self.groups.len()
     }
 
     /// Global property indices that can ever reach shard `s`.
@@ -213,6 +248,38 @@ mod tests {
             router.masks(&arrival(1, 2), &mut arr);
             assert_ne!(arr, vec![0u64; 4], "arrivals still route");
         }
+    }
+
+    #[test]
+    fn identical_dispatch_rules_group_without_changing_masks() {
+        // Two hashed properties on the same key field: one dispatch group,
+        // one shard_for evaluation per event. A third on a different key
+        // stays separate.
+        let p0 = two_stage(&[("A", Field::Ipv4Src)], &[("A", Field::Ipv4Src)]);
+        let p1 = two_stage(&[("X", Field::Ipv4Src)], &[("X", Field::Ipv4Src)]);
+        let p2 = two_stage(&[("B", Field::Ipv4Dst)], &[("B", Field::Ipv4Dst)]);
+        let cfg = MonitorConfig::default();
+        let grouped = Router::new(&[p0.clone(), p1.clone(), p2.clone()], &cfg, 4);
+        assert_eq!(grouped.dispatch_groups(), 2);
+
+        // Grouped masks equal the per-route reference on every event.
+        for (src, dst) in [(1, 2), (3, 9), (7, 7), (42, 1)] {
+            let ev = arrival(src, dst);
+            let mut got = vec![0u64; 4];
+            grouped.masks(&ev, &mut got);
+            let mut want = vec![0u64; 4];
+            for (i, route) in grouped.routes().iter().enumerate() {
+                if let Some(s) = route.shard_for(&ev, 4) {
+                    want[s] |= 1u64 << i;
+                }
+            }
+            assert_eq!(got, want);
+        }
+
+        // Pinned placements with different home shards must not group.
+        let bounded = MonitorConfig { capacity: Some(4), ..Default::default() };
+        let pinned = Router::new(&[p0, p1], &bounded, 4);
+        assert_eq!(pinned.dispatch_groups(), 2, "pin homes differ: shard 0 vs shard 1");
     }
 
     #[test]

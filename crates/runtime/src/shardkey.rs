@@ -135,6 +135,27 @@ impl PropertyRoute {
         self.is_hashed() || self.pinned_shard == s
     }
 
+    /// True when `self` and `other` resolve [`PropertyRoute::shard_for`]
+    /// identically for **every** event — the router then dispatches them
+    /// as one group, computing the shard once. Requires equal class masks
+    /// (same pre-dispatch filtering); pin-overridden routes must share the
+    /// pinned shard (their plan is never consulted); otherwise the plans
+    /// must be equal, and pinned outcomes (`Route::Pinned`) must land on
+    /// the same shard.
+    pub(crate) fn same_dispatch(&self, other: &PropertyRoute) -> bool {
+        if self.class_mask != other.class_mask {
+            return false;
+        }
+        match (self.pin_override, other.pin_override) {
+            (Some(_), Some(_)) => self.pinned_shard == other.pinned_shard,
+            (None, None) => {
+                self.plan == other.plan
+                    && (self.plan.is_hashed() || self.pinned_shard == other.pinned_shard)
+            }
+            _ => false,
+        }
+    }
+
     /// Human-readable placement description (for docs/stats dumps).
     pub fn describe(&self) -> String {
         if let Some(why) = self.pin_override {

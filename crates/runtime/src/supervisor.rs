@@ -1,7 +1,10 @@
 //! Shard supervision: panic isolation, checkpoint/replay recovery, and
 //! bounded-journal load shedding.
 //!
-//! Each shard thread runs [`run`]. The supervisor owns the crash-domain
+//! Each fanned-out shard thread runs [`run_loop`]; an inline (adaptive)
+//! session drives the same [`Supervisor`] directly on the caller thread
+//! via [`Supervisor::apply_batch`] — one supervision implementation,
+//! two ingress modes. The supervisor owns the crash-domain
 //! [`WorkerState`] and drives it only through `catch_unwind`, so a worker
 //! panic — a genuine engine bug, or a fault injected via
 //! [`RuntimeConfig::inject_faults`] — never takes the runtime down.
@@ -21,11 +24,11 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Once};
 
-use crate::batch::{Item, Msg, QuiesceAck, ShardPrepare};
+use crate::batch::{Batch, EventBlock, ItemRef, Msg, QuiesceAck, ShardPrepare};
 use crate::config::RuntimeConfig;
+use crate::ring;
 use crate::sink::ViolationSink;
 use crate::stats::MonitoringGap;
 use crate::telemetry::ShardProbe;
@@ -149,21 +152,37 @@ struct Checkpoint {
     events: u64,
 }
 
+/// How a shard's receive loop ended.
+pub(crate) enum LoopExit {
+    /// Normal end of input: the shard's final outcome.
+    Finished(ShardOutcome),
+    /// Adaptive fan-in ([`Msg::Retire`]): the journal is drained and the
+    /// supervisor returns intact for the session to keep driving inline.
+    Retired(Box<Supervisor>),
+}
+
+impl std::fmt::Debug for LoopExit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoopExit::Finished(o) => f.debug_tuple("Finished").field(o).finish(),
+            LoopExit::Retired(sup) => f.debug_tuple("Retired").field(&sup.shard).finish(),
+        }
+    }
+}
+
 /// The supervised shard loop: admit batches into the journal, drive the
 /// crash domain, checkpoint, and on `Finish` drain timers and report.
 /// Deploy messages (see [`crate::batch::Msg`]) run the quiesce/prepare/
 /// commit barrier in-line: the session sends nothing else between
 /// `Quiesce` and the closing `Commit`/`Abort`.
-pub fn run(rx: Receiver<Msg>, spec: ShardSpec) -> Result<ShardOutcome, ShardFailure> {
-    let mut sup = Supervisor::new(spec);
+pub(crate) fn run_loop(
+    rx: ring::Receiver<Msg>,
+    mut sup: Supervisor,
+) -> Result<LoopExit, ShardFailure> {
     let mut finish_at = None;
-    while let Ok(msg) = rx.recv() {
+    while let Some(msg) = rx.recv() {
         match msg {
-            Msg::Events(items) => {
-                sup.admit(items);
-                sup.drive(None)?;
-                sup.maybe_checkpoint();
-            }
+            Msg::Events(batch) => sup.apply_batch(batch)?,
             Msg::Finish(end) => {
                 finish_at = Some(end);
                 break;
@@ -179,12 +198,35 @@ pub fn run(rx: Receiver<Msg>, spec: ShardSpec) -> Result<ShardOutcome, ShardFail
             }
             Msg::Commit { epoch } => sup.commit(epoch),
             Msg::Abort => sup.abort(),
+            Msg::Retire => {
+                sup.drive(None)?;
+                return Ok(LoopExit::Retired(Box::new(sup)));
+            }
         }
     }
-    // `finish_at` is `None` when the router hung up without `Finish`
-    // (session dropped mid-stream): drain what was admitted and report.
+    // `finish_at` is `None` when the session hung up without `Finish`
+    // (dropped mid-stream): drain what was admitted and report.
     sup.drive(finish_at)?;
-    Ok(sup.into_outcome())
+    Ok(LoopExit::Finished(sup.into_outcome()))
+}
+
+/// One admitted dispatch round in the journal: the shared event slab plus
+/// the accepted [`ItemRef`] selection over it. Admission *moves* the
+/// batch's vectors in wholesale — no per-item pushes, no per-item `Arc`
+/// traffic — and recovery replays the same refs against the same slab.
+#[derive(Debug)]
+struct JournalBatch {
+    block: Arc<EventBlock>,
+    items: Vec<ItemRef>,
+}
+
+/// High-water marks of what [`Supervisor`] has already pushed into the
+/// hub's shared counters (see `Supervisor::probe_sync`).
+#[derive(Debug, Default)]
+struct ProbeCursor {
+    processed: u64,
+    replayed: u64,
+    degraded: u64,
 }
 
 /// A deploy's staged next-epoch shard configuration: built during prepare
@@ -198,7 +240,12 @@ struct PendingEpoch {
     monitors: Vec<(usize, Monitor)>,
 }
 
-struct Supervisor {
+/// One shard's supervision state. Driven either by its own thread
+/// ([`run_loop`], fanned ingress) or directly by the session on the
+/// caller thread ([`Supervisor::apply_batch`], inline ingress); adaptive
+/// transitions move the same value between the two without copying
+/// monitors or records.
+pub(crate) struct Supervisor {
     shard: usize,
     props: Vec<(usize, Property)>,
     cfg: RuntimeConfig,
@@ -214,8 +261,12 @@ struct Supervisor {
     /// Remaining injected deploy-prepare failures (chaos testing): each
     /// one makes the next prepare panic inside its catch_unwind boundary.
     inject_deploy: usize,
-    /// Items delivered since the last checkpoint, in order.
-    journal: Vec<Item>,
+    /// Batches delivered since the last checkpoint, in admission order.
+    /// Flat item counters (`journal_len`/`journal_pos`/`high_water`) index
+    /// into the concatenation of every batch's `items`.
+    journal: Vec<JournalBatch>,
+    /// Total items across the journal's batches.
+    journal_len: usize,
     /// How many journal items the current incarnation has applied.
     journal_pos: usize,
     /// Highest journal position any incarnation reached this window —
@@ -231,6 +282,13 @@ struct Supervisor {
     restarts: u64,
     checkpoints: u64,
     replayed: u64,
+    /// How much of `processed`/`replayed`/`degraded_violations` has been
+    /// mirrored into the hub probe counters. The authoritative ledger is
+    /// the plain fields (advanced item-by-item inside the crash domain);
+    /// the shared atomics are brought up to date in one `add` per drive,
+    /// keeping the per-item hot path free of atomic traffic while staying
+    /// exact across panics and replays.
+    probe_sync: ProbeCursor,
     degraded_violations: u64,
     recovery_nanos: u64,
     probe: Arc<ShardProbe>,
@@ -244,7 +302,7 @@ struct Supervisor {
 }
 
 impl Supervisor {
-    fn new(spec: ShardSpec) -> Self {
+    pub(crate) fn new(spec: ShardSpec) -> Self {
         // Initial epoch: hub probes are indexed by global property index,
         // so the probe lut starts as the identity onto globals.
         let probe_lut: Vec<Option<usize>> = spec.props.iter().map(|(g, _)| Some(*g)).collect();
@@ -270,6 +328,7 @@ impl Supervisor {
             probe_lut,
             inject_deploy,
             journal: Vec::new(),
+            journal_len: 0,
             journal_pos: 0,
             high_water: 0,
             inject: spec.inject.into(),
@@ -282,6 +341,7 @@ impl Supervisor {
             restarts: 0,
             checkpoints: 0,
             replayed: 0,
+            probe_sync: ProbeCursor::default(),
             degraded_violations: 0,
             recovery_nanos: 0,
             probe: spec.probe,
@@ -292,36 +352,66 @@ impl Supervisor {
         }
     }
 
-    /// Append a batch to the journal, shedding (and accounting) whatever
-    /// exceeds the bound.
-    fn admit(&mut self, items: Vec<Item>) {
-        self.probe.queue_depth.record(self.journal.len() as u64);
-        let mut delivered = 0u64;
-        let mut shed = 0u64;
-        for item in items {
-            self.delivered += 1;
-            delivered += 1;
-            if self.journal.len() >= self.cfg.journal_limit {
-                self.shed += 1;
-                shed += 1;
-                self.in_gap = true;
-                let gap = self.open_gap.get_or_insert(MonitoringGap {
-                    shard: self.shard,
-                    first_seq: item.seq,
-                    last_seq: item.seq,
-                    shed: 0,
-                });
-                gap.last_seq = item.seq;
-                gap.shed += 1;
-            } else {
-                self.tracer.record(item.seq, SpanStage::Admitted, Some(self.shard));
-                self.journal.push(item);
+    /// Append a batch to the journal. The batch's slab handle and item
+    /// vector are adopted wholesale — admission does no per-item work
+    /// beyond the journal-bound check (and span stamps when tracing) —
+    /// and whatever exceeds the bound is split off and shed with full
+    /// gap accounting.
+    fn admit(&mut self, batch: Batch) {
+        self.probe.queue_depth.record(self.journal_len as u64);
+        let Batch { block, mut items, .. } = batch;
+        self.delivered += items.len() as u64;
+        self.probe.delivered.add(items.len() as u64);
+        let room = self.cfg.journal_limit.saturating_sub(self.journal_len);
+        let overflow = if items.len() > room { items.split_off(room) } else { Vec::new() };
+        if !items.is_empty() {
+            if self.tracer.enabled() {
+                for r in &items {
+                    self.tracer.record(r.seq, SpanStage::Admitted, Some(self.shard));
+                }
             }
+            self.journal_len += items.len();
+            self.journal.push(JournalBatch { block, items });
         }
-        self.probe.delivered.add(delivered);
-        if shed > 0 {
-            self.probe.shed.add(shed);
+        if let (Some(first), Some(last)) = (overflow.first(), overflow.last()) {
+            self.shed += overflow.len() as u64;
+            self.probe.shed.add(overflow.len() as u64);
+            self.in_gap = true;
+            let gap = self.open_gap.get_or_insert(MonitoringGap {
+                shard: self.shard,
+                first_seq: first.seq,
+                last_seq: first.seq,
+                shed: 0,
+            });
+            gap.last_seq = last.seq;
+            gap.shed += overflow.len() as u64;
         }
+    }
+
+    /// Admit one sealed batch and drive it to completion under full
+    /// supervision — journal, panic boundary with checkpoint/replay
+    /// recovery, shedding accounting, checkpoint cadence. This is the one
+    /// supervision body shared by both ingress modes: the fanned receive
+    /// loop calls it per ring message, the inline session calls it
+    /// directly on the caller thread at every arena dispatch.
+    pub(crate) fn apply_batch(&mut self, batch: Batch) -> Result<(), ShardFailure> {
+        let force = batch.checkpoint;
+        self.admit(batch);
+        self.drive(None)?;
+        if force {
+            // Bounded-staleness flush: make this batch's output
+            // crash-stable (and sink-visible) immediately.
+            self.force_checkpoint();
+        } else {
+            self.maybe_checkpoint();
+        }
+        Ok(())
+    }
+
+    /// Inline end of input: drain timers up to `end` under the panic
+    /// boundary. The caller consumes the outcome via [`Self::into_outcome`].
+    pub(crate) fn finish_inline(&mut self, end: Instant) -> Result<(), ShardFailure> {
+        self.drive(Some(end))
     }
 
     /// Apply everything outstanding inside the panic boundary; recover and
@@ -329,9 +419,35 @@ impl Supervisor {
     fn drive(&mut self, finish_at: Option<Instant>) -> Result<(), ShardFailure> {
         loop {
             match panic::catch_unwind(AssertUnwindSafe(|| self.apply_pending(finish_at))) {
-                Ok(()) => return Ok(()),
-                Err(payload) => self.recover(payload.as_ref())?,
+                Ok(()) => {
+                    self.sync_probe();
+                    return Ok(());
+                }
+                Err(payload) => {
+                    self.sync_probe();
+                    self.recover(payload.as_ref())?;
+                }
             }
+        }
+    }
+
+    /// Mirror the crash-domain ledger into the hub's shared counters —
+    /// one `add` per counter per drive instead of per item. The plain
+    /// fields advance before each risky step, so the deltas are exact
+    /// even when a panic cuts `apply_pending` short.
+    fn sync_probe(&mut self) {
+        let c = &mut self.probe_sync;
+        if self.processed > c.processed {
+            self.probe.processed.add(self.processed - c.processed);
+            c.processed = self.processed;
+        }
+        if self.replayed > c.replayed {
+            self.probe.replayed.add(self.replayed - c.replayed);
+            c.replayed = self.replayed;
+        }
+        if self.degraded_violations > c.degraded {
+            self.probe.degraded_violations.add(self.degraded_violations - c.degraded);
+            c.degraded = self.degraded_violations;
         }
     }
 
@@ -339,41 +455,53 @@ impl Supervisor {
     /// drain. Anything here may panic; all bookkeeping that must survive a
     /// panic is advanced *before* the risky step.
     fn apply_pending(&mut self, finish_at: Option<Instant>) {
-        while self.journal_pos < self.journal.len() {
-            let i = self.journal_pos;
-            let seq = self.journal[i].seq;
-            while self.inject.front().is_some_and(|&s| s < seq) {
-                // Injection point routed elsewhere or shed: never reachable.
-                self.inject.pop_front();
+        let tracing = self.tracer.enabled();
+        let faults = !self.inject.is_empty();
+        // Locate the flat cursor inside the batch list (replay resets it
+        // to 0; the steady state resumes at the tail batch).
+        let mut skip = self.journal_pos;
+        let mut b = 0;
+        while b < self.journal.len() && skip >= self.journal[b].items.len() {
+            skip -= self.journal[b].items.len();
+            b += 1;
+        }
+        while b < self.journal.len() {
+            for i in skip..self.journal[b].items.len() {
+                let ItemRef { seq, mask, idx } = self.journal[b].items[i];
+                if faults {
+                    while self.inject.front().is_some_and(|&s| s < seq) {
+                        // Injection point routed elsewhere or shed: never
+                        // reachable.
+                        self.inject.pop_front();
+                    }
+                    if self.inject.front() == Some(&seq) {
+                        // Consume the injection first so replay does not
+                        // re-panic.
+                        self.inject.pop_front();
+                        panic!("{INJECTED_PANIC_PREFIX}: shard {} at seq {}", self.shard, seq);
+                    }
+                }
+                let ev = &self.journal[b].block.events()[idx as usize];
+                let degraded = self.state.apply(seq, mask, ev, self.in_gap);
+                self.degraded_violations += degraded;
+                let flat = self.journal_pos;
+                self.journal_pos = flat + 1;
+                if flat >= self.high_water {
+                    self.high_water = flat + 1;
+                    self.processed += 1;
+                } else {
+                    self.replayed += 1;
+                }
+                if tracing {
+                    self.tracer.record(seq, SpanStage::Applied, Some(self.shard));
+                }
             }
-            if self.inject.front() == Some(&seq) {
-                // Consume the injection first so replay does not re-panic.
-                self.inject.pop_front();
-                panic!("{INJECTED_PANIC_PREFIX}: shard {} at seq {}", self.shard, seq);
-            }
-            let item = self.journal[i].clone();
-            let degraded = self.state.apply(&item, self.in_gap);
-            self.degraded_violations += degraded;
-            if degraded > 0 {
-                self.probe.degraded_violations.add(degraded);
-            }
-            self.journal_pos = i + 1;
-            if i >= self.high_water {
-                self.high_water = i + 1;
-                self.processed += 1;
-                self.probe.processed.inc();
-            } else {
-                self.replayed += 1;
-                self.probe.replayed.inc();
-            }
-            self.tracer.record(seq, SpanStage::Applied, Some(self.shard));
+            skip = 0;
+            b += 1;
         }
         if let Some(end) = finish_at {
             let degraded = self.state.finish(end, self.in_gap);
             self.degraded_violations += degraded;
-            if degraded > 0 {
-                self.probe.degraded_violations.add(degraded);
-            }
         }
         self.probe.violations.set(self.state.records.len() as u64);
         self.probe
@@ -418,11 +546,11 @@ impl Supervisor {
     /// is due or the journal hit its bound (draining it re-opens headroom;
     /// this is what closes a monitoring gap).
     fn maybe_checkpoint(&mut self) {
-        if self.journal_pos < self.journal.len() {
+        if self.journal_pos < self.journal_len {
             return;
         }
         let due = self.high_water >= self.cfg.checkpoint_every
-            || self.journal.len() >= self.cfg.journal_limit;
+            || self.journal_len >= self.cfg.journal_limit;
         if !due {
             return;
         }
@@ -433,13 +561,14 @@ impl Supervisor {
     /// `maybe_checkpoint` after its guard, the quiesce barrier after a
     /// full drain, and deploy commit).
     fn force_checkpoint(&mut self) {
-        debug_assert_eq!(self.journal_pos, self.journal.len());
+        debug_assert_eq!(self.journal_pos, self.journal_len);
         self.checkpoint = Checkpoint {
             snapshots: self.state.monitors.iter().map(|(_, m)| m.snapshot()).collect(),
             records_len: self.state.records.len(),
             events: self.state.events,
         };
         self.journal.clear();
+        self.journal_len = 0;
         self.journal_pos = 0;
         self.high_water = 0;
         self.checkpoints += 1;
@@ -458,7 +587,7 @@ impl Supervisor {
     /// racing a crash window rides on journal replay), force a checkpoint
     /// so the shard's output is crash-stable, and snapshot every hosted
     /// monitor for the session to re-route.
-    fn quiesce(&mut self) -> Result<QuiesceAck, ShardFailure> {
+    pub(crate) fn quiesce(&mut self) -> Result<QuiesceAck, ShardFailure> {
         let t0 = std::time::Instant::now();
         self.drive(None)?;
         self.force_checkpoint();
@@ -474,7 +603,7 @@ impl Supervisor {
     /// the panic boundary; any failure (restore error, panic, injected
     /// deploy fault) leaves the shard exactly as the quiesce checkpoint
     /// left it — rollback is the absence of a commit.
-    fn prepare(&mut self, prep: ShardPrepare) -> Result<(), String> {
+    pub(crate) fn prepare(&mut self, prep: ShardPrepare) -> Result<(), String> {
         let inject = self.inject_deploy > 0;
         if inject {
             self.inject_deploy -= 1;
@@ -527,7 +656,7 @@ impl Supervisor {
     /// Deploy phase 3a: swap the staged epoch in and checkpoint under it,
     /// so any later recovery restores the *new* monitor set. Violations
     /// harvested from here on carry the new epoch.
-    fn commit(&mut self, epoch: u64) {
+    pub(crate) fn commit(&mut self, epoch: u64) {
         let Some(pending) = self.pending.take() else {
             debug_assert!(false, "commit without a staged prepare");
             return;
@@ -544,7 +673,7 @@ impl Supervisor {
     /// Deploy phase 3b: drop the staged epoch. Nothing was mutated during
     /// prepare, so the shard is byte-identical to one that never saw the
     /// deploy.
-    fn abort(&mut self) {
+    pub(crate) fn abort(&mut self) {
         self.pending = None;
     }
 
@@ -560,7 +689,7 @@ impl Supervisor {
         self.published = upto;
     }
 
-    fn into_outcome(mut self) -> ShardOutcome {
+    pub(crate) fn into_outcome(mut self) -> ShardOutcome {
         if let Some(gap) = self.open_gap.take() {
             self.gaps.push(gap);
         }
@@ -609,7 +738,7 @@ pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc::sync_channel;
+    use crate::batch::Arena;
     use std::sync::Arc;
     use swmon_core::{var, Atom, EventPattern, Guard, Property, Stage};
     use swmon_packet::{Field, Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
@@ -668,20 +797,39 @@ mod tests {
         }
     }
 
-    fn items(n: u64) -> Vec<Item> {
-        (0..n)
-            .map(|seq| Item { seq, mask: 1, ev: arrival(10 * (seq + 1), (seq % 5) as u8 + 1) })
-            .collect()
+    fn test_ev(seq: u64) -> NetEvent {
+        arrival(10 * (seq + 1), (seq % 5) as u8 + 1)
+    }
+
+    /// Zero-copy batches of up to 8 events each, all destined to shard 0.
+    fn batches(n: u64) -> Vec<Batch> {
+        let mut out = Vec::new();
+        let mut arena = Arena::new(1, 8);
+        for seq in 0..n {
+            if arena.push(seq, &test_ev(seq), &[1]) {
+                out.extend(arena.seal(false).into_iter().map(|(_, b)| b));
+            }
+        }
+        out.extend(arena.seal(false).into_iter().map(|(_, b)| b));
+        out
+    }
+
+    fn finish_outcome(exit: LoopExit) -> ShardOutcome {
+        match exit {
+            LoopExit::Finished(outcome) => outcome,
+            LoopExit::Retired(_) => panic!("no retire was sent"),
+        }
     }
 
     fn run_with(cfg: RuntimeConfig, inject: Vec<u64>, n: u64) -> ShardOutcome {
         silence_injected_panics();
-        let (tx, rx) = sync_channel(64);
-        for chunk in items(n).chunks(8) {
-            tx.send(Msg::Events(chunk.to_vec())).unwrap();
+        let (tx, rx) = ring::channel(64);
+        for batch in batches(n) {
+            tx.send(Msg::Events(batch)).map_err(|_| "ring closed").unwrap();
         }
-        tx.send(Msg::Finish(Instant::from_nanos(1_000_000))).unwrap();
-        run(rx, spec(cfg, inject)).expect("shard survives")
+        tx.send(Msg::Finish(Instant::from_nanos(1_000_000))).map_err(|_| "ring closed").unwrap();
+        drop(tx);
+        finish_outcome(run_loop(rx, Supervisor::new(spec(cfg, inject))).expect("shard survives"))
     }
 
     fn base_cfg() -> RuntimeConfig {
@@ -706,14 +854,69 @@ mod tests {
     #[test]
     fn restart_budget_escalates_to_failure() {
         silence_injected_panics();
-        let (tx, rx) = sync_channel(64);
-        tx.send(Msg::Events(items(8))).unwrap();
-        tx.send(Msg::Finish(Instant::from_nanos(1_000))).unwrap();
+        let (tx, rx) = ring::channel(64);
+        for batch in batches(8) {
+            tx.send(Msg::Events(batch)).map_err(|_| "ring closed").unwrap();
+        }
+        tx.send(Msg::Finish(Instant::from_nanos(1_000))).map_err(|_| "ring closed").unwrap();
+        drop(tx);
         let cfg = RuntimeConfig { shards: 1, max_restarts: 0, ..Default::default() };
-        let err = run(rx, spec(cfg.normalized(), vec![2])).unwrap_err();
+        let err = run_loop(rx, Supervisor::new(spec(cfg.normalized(), vec![2]))).unwrap_err();
         assert_eq!(err.shard, 0);
         assert_eq!(err.restarts, 0);
         assert!(err.message.starts_with(INJECTED_PANIC_PREFIX), "{}", err.message);
+    }
+
+    #[test]
+    fn retire_hands_the_supervisor_back_intact() {
+        let (tx, rx) = ring::channel(64);
+        for batch in batches(16) {
+            tx.send(Msg::Events(batch)).map_err(|_| "ring closed").unwrap();
+        }
+        tx.send(Msg::Retire).map_err(|_| "ring closed").unwrap();
+        drop(tx);
+        let exit = run_loop(rx, Supervisor::new(spec(base_cfg(), vec![]))).unwrap();
+        let LoopExit::Retired(mut sup) = exit else { panic!("expected a retired supervisor") };
+        // The journal is drained; the session continues inline on the same
+        // supervisor without losing anything already applied.
+        let mut arena = Arena::new(1, 8);
+        for seq in 16..24 {
+            let _ = arena.push(seq, &test_ev(seq), &[1]);
+        }
+        for (_, batch) in arena.seal(false) {
+            sup.apply_batch(batch).unwrap();
+        }
+        sup.finish_inline(Instant::from_nanos(1_000_000)).unwrap();
+        let out = sup.into_outcome();
+        assert_eq!(out.delivered, 24);
+        assert_eq!(out.processed, 24);
+        assert_eq!(out.shed, 0);
+        // Matches a fully fanned run of the same input byte for byte.
+        let fanned = run_with(base_cfg(), vec![], 24);
+        let sig = |o: &ShardOutcome| {
+            o.report.records.iter().map(crate::merge::signature).collect::<Vec<_>>()
+        };
+        assert_eq!(sig(&out), sig(&fanned));
+    }
+
+    #[test]
+    fn checkpoint_batches_force_an_immediate_checkpoint() {
+        let (tx, rx) = ring::channel(8);
+        // One tiny batch flagged `checkpoint` (a bounded-staleness flush):
+        // far below the cadence, yet the shard must checkpoint right away.
+        let mut arena = Arena::new(1, 64);
+        let _ = arena.push(0, &test_ev(0), &[1]);
+        for (_, batch) in arena.seal(true) {
+            tx.send(Msg::Events(batch)).map_err(|_| "ring closed").unwrap();
+        }
+        tx.send(Msg::Finish(Instant::from_nanos(1_000_000))).map_err(|_| "ring closed").unwrap();
+        drop(tx);
+        let cfg = RuntimeConfig { shards: 1, checkpoint_every: 1 << 20, ..Default::default() };
+        let out = finish_outcome(
+            run_loop(rx, Supervisor::new(spec(cfg, vec![]))).expect("shard survives"),
+        );
+        assert_eq!(out.checkpoints, 1, "staleness flush checkpointed below the cadence");
+        assert_eq!(out.processed, 1);
     }
 
     #[test]

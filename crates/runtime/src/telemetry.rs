@@ -59,6 +59,9 @@ pub struct ShardProbe {
     /// Checkpoint-stable violation records published to the live store
     /// sink ([`crate::sink::ViolationSink`]). Zero when no sink is wired.
     pub store_published: Counter,
+    /// SPSC ring occupancy (queued batches) sampled at each batch send.
+    /// Empty while the session runs inline (nothing is enqueued).
+    pub ring_occupancy: Histogram,
 }
 
 /// All shared instrumentation for one run: router counters, per-shard
@@ -83,6 +86,14 @@ pub struct TelemetryHub {
     pub deploys_applied: Counter,
     /// Deploy plans rolled back (validation rejection or aborted prepare).
     pub deploys_rolled_back: Counter,
+    /// Ingress mode in effect: 0 inline (caller-thread supervision), 1
+    /// fanned out (per-shard worker threads fed over SPSC rings).
+    pub ingress_mode: Gauge,
+    /// Adaptive inline→fanned transitions (the initial fan-out of a
+    /// non-adaptive session is not counted).
+    pub fan_outs: Counter,
+    /// Adaptive fanned→inline transitions.
+    pub fan_ins: Counter,
     shards: Vec<Arc<ShardProbe>>,
     engines: Vec<Arc<EngineProbe>>,
     tracer: Arc<SpanTracer>,
@@ -112,6 +123,9 @@ impl TelemetryHub {
             property_set_epoch: Gauge::new(),
             deploys_applied: Counter::new(),
             deploys_rolled_back: Counter::new(),
+            ingress_mode: Gauge::new(),
+            fan_outs: Counter::new(),
+            fan_ins: Counter::new(),
             shards: (0..shards).map(|_| Arc::new(ShardProbe::default())).collect(),
             engines,
             tracer: Arc::new(SpanTracer::sampled(
@@ -156,6 +170,8 @@ impl TelemetryHub {
             property_set_epoch: self.property_set_epoch.get(),
             deploys_applied: self.deploys_applied.get(),
             deploys_rolled_back: self.deploys_rolled_back.get(),
+            fan_outs: self.fan_outs.get(),
+            fan_ins: self.fan_ins.get(),
             ..Default::default()
         };
         for probe in &self.shards {
@@ -199,6 +215,9 @@ impl TelemetryHub {
         page.counters.push((Key::plain(names::DEPLOYS_APPLIED), self.deploys_applied.get()));
         page.counters
             .push((Key::plain(names::DEPLOYS_ROLLED_BACK), self.deploys_rolled_back.get()));
+        page.gauges.push((Key::plain(names::INGRESS_MODE), self.ingress_mode.get()));
+        page.counters.push((Key::plain(names::FAN_OUTS), self.fan_outs.get()));
+        page.counters.push((Key::plain(names::FAN_INS), self.fan_ins.get()));
         for (s, probe) in self.shards.iter().enumerate() {
             let c = |name: &str, v: u64| (Key::labeled(name, "shard", s), v);
             page.counters.push(c(names::SHARD_DELIVERED, probe.delivered.get()));
@@ -221,6 +240,10 @@ impl TelemetryHub {
             page.histograms.push((
                 Key::labeled(names::SHARD_QUIESCE_NANOS, "shard", s),
                 probe.quiesce.snapshot(),
+            ));
+            page.histograms.push((
+                Key::labeled(names::SHARD_RING_OCCUPANCY, "shard", s),
+                probe.ring_occupancy.snapshot(),
             ));
         }
         for engine in &self.engines {

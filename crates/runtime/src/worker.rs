@@ -7,10 +7,10 @@
 //! checkpoint on unwind. Nothing in here touches channels or clocks; it is
 //! the purely deterministic part of a shard.
 
-use crate::batch::Item;
 use crate::merge::{kind_rank, ViolationRecord};
 use swmon_core::{Monitor, MonitorStats};
 use swmon_sim::time::Instant;
+use swmon_sim::trace::NetEvent;
 
 /// What a worker hands back when it finishes.
 #[derive(Debug)]
@@ -51,22 +51,21 @@ impl WorkerState {
         WorkerState { monitors, lut, records: Vec::new(), events: 0, epoch: 0 }
     }
 
-    /// Run one routed item through every monitor its mask selects and
+    /// Run one routed event through every monitor its mask selects and
     /// harvest any new violations. Returns how many of them were marked
     /// degraded (`in_gap`: the supervisor is currently shedding load, so
     /// provenance near this event is incomplete).
-    pub(crate) fn apply(&mut self, item: &Item, in_gap: bool) -> u64 {
+    pub(crate) fn apply(&mut self, seq: u64, mut mask: u64, ev: &NetEvent, in_gap: bool) -> u64 {
         self.events += 1;
         let mut degraded = 0;
-        let mut mask = item.mask;
         while mask != 0 {
             let global = mask.trailing_zeros() as usize;
             mask &= mask - 1;
             let Some(local) = self.lut.get(global).copied().flatten() else { continue };
             let (_, m) = &mut self.monitors[local];
             let before = m.violations().len();
-            m.process(&item.ev);
-            degraded += harvest(&mut self.records, m, global, before, item.seq, self.epoch, in_gap);
+            m.process(ev);
+            degraded += harvest(&mut self.records, m, global, before, seq, self.epoch, in_gap);
         }
         degraded
     }
@@ -132,7 +131,6 @@ fn harvest(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batch::Item;
     use std::sync::Arc;
     use swmon_core::{var, Atom, EventPattern, Guard, MonitorConfig, Property, Stage};
     use swmon_packet::{Field, Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
@@ -187,8 +185,8 @@ mod tests {
         lut[3] = Some(0);
         lut[5] = Some(1);
         let mut state = WorkerState::new(monitors, lut);
-        state.apply(&Item { seq: 0, mask: 1 << 3, ev: arrival(10, 1) }, false);
-        state.apply(&Item { seq: 1, mask: 1 << 3, ev: arrival(20, 1) }, false);
+        state.apply(0, 1 << 3, &arrival(10, 1), false);
+        state.apply(1, 1 << 3, &arrival(20, 1), false);
         state.finish(Instant::from_nanos(100), false);
         let report = state.into_report();
         assert_eq!(report.events, 2);
@@ -207,8 +205,8 @@ mod tests {
         let monitors =
             vec![(0usize, swmon_core::Monitor::new(repeat_prop(), MonitorConfig::default()))];
         let mut state = WorkerState::new(monitors, vec![Some(0)]);
-        state.apply(&Item { seq: 0, mask: 1, ev: arrival(10, 1) }, false);
-        let degraded = state.apply(&Item { seq: 1, mask: 1, ev: arrival(20, 1) }, true);
+        state.apply(0, 1, &arrival(10, 1), false);
+        let degraded = state.apply(1, 1, &arrival(20, 1), true);
         assert_eq!(degraded, 1);
         let report = state.into_report();
         assert!(report.records[0].violation.degraded);

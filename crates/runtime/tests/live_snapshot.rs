@@ -102,12 +102,17 @@ fn live_stats_track_recoveries_under_injected_faults() {
         batch: 2,
         queue: 8,
         checkpoint_every: 32,
-        // Routing decides which shard sees which seq, so spray a few
-        // injection points per shard; unreachable ones are skipped.
+        // Routing decides which shard sees which seq, so inject each seq
+        // on *both* shards: whichever shard the key hash picks panics,
+        // the other point is unreachable and skipped.
         inject_faults: vec![
             swmon_runtime::FaultPoint { shard: 0, seq: 40 },
+            swmon_runtime::FaultPoint { shard: 1, seq: 40 },
             swmon_runtime::FaultPoint { shard: 0, seq: 41 },
+            swmon_runtime::FaultPoint { shard: 1, seq: 41 },
+            swmon_runtime::FaultPoint { shard: 0, seq: 90 },
             swmon_runtime::FaultPoint { shard: 1, seq: 90 },
+            swmon_runtime::FaultPoint { shard: 0, seq: 91 },
             swmon_runtime::FaultPoint { shard: 1, seq: 91 },
         ],
         ..Default::default()

@@ -55,6 +55,18 @@ pub const DEPLOYS_ROLLED_BACK: &str = "swmon_deploys_rolled_back_total";
 /// journal drain + forced checkpoint + snapshot encode. Label: `shard`.
 pub const SHARD_QUIESCE_NANOS: &str = "swmon_shard_quiesce_nanos";
 
+/// Ingress mode in effect: 0 inline (caller-thread supervision), 1 fanned
+/// out (per-shard worker threads fed over SPSC rings).
+pub const INGRESS_MODE: &str = "swmon_ingress_mode";
+/// Adaptive-ingress inline→fanned transitions (the initial fan-out of a
+/// non-adaptive session is not counted).
+pub const FAN_OUTS: &str = "swmon_fan_outs_total";
+/// Adaptive-ingress fanned→inline transitions.
+pub const FAN_INS: &str = "swmon_fan_ins_total";
+/// Per-shard SPSC ring occupancy (queued batches) sampled at each batch
+/// send (histogram). Label: `shard`.
+pub const SHARD_RING_OCCUPANCY: &str = "swmon_shard_ring_occupancy";
+
 /// Per-property: events examined by the property's monitors — every
 /// application, including recovery replays. Label: `property`.
 pub const PROPERTY_EVENTS: &str = "swmon_property_events_total";
@@ -89,6 +101,10 @@ pub const ALL: &[&str] = &[
     DEPLOYS_APPLIED,
     DEPLOYS_ROLLED_BACK,
     SHARD_QUIESCE_NANOS,
+    INGRESS_MODE,
+    FAN_OUTS,
+    FAN_INS,
+    SHARD_RING_OCCUPANCY,
     PROPERTY_EVENTS,
     PROPERTY_LIVE,
     PROPERTY_STAGE_NANOS,
@@ -110,6 +126,6 @@ mod tests {
                 "{name} is not snake_case"
             );
         }
-        assert_eq!(ALL.len(), 24);
+        assert_eq!(ALL.len(), 28);
     }
 }

@@ -1,0 +1,293 @@
+//! Adaptive-ingress differential: inline↔fanned transitions forced at
+//! arbitrary event indices must be invisible in the output. A fan-out is
+//! a pure move (every supervisor relocates to its worker thread intact);
+//! a fan-in retires every worker at a journal-drained point and takes the
+//! supervisors back — so a session that transitions N times over a trace
+//! must produce violations byte-identical to the single-threaded
+//! reference, with `unaccounted_loss() == 0`, at every shard count.
+//!
+//! The rate heuristic is silenced (`window: u64::MAX`) so transitions
+//! happen exactly where the harness forces them: at fixed adversarial
+//! indices, at proptest-chosen random indices, and racing a deploy
+//! barrier from [`DeploySchedule`] in both orders (deploy-while-fanned
+//! and deploy-while-inline).
+
+use proptest::prelude::*;
+use swmon::monitor::{MonitorConfig, Property};
+use swmon::packet::{Ipv4Address, MacAddr, PacketBuilder, TcpFlags};
+use swmon::runtime::{
+    name_signature, reference_records, signature, AdaptiveConfig, DeployPlan, Outcome,
+    RuntimeConfig, ShardedRuntime, ViolationRecord,
+};
+use swmon::sim::{DeploySchedule, Duration, EgressAction, Instant, NetEvent, PortNo, TraceBuilder};
+use swmon_props::firewall;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn full_catalog() -> Vec<Property> {
+    swmon_props::catalog()
+}
+
+/// Adaptive mode with the heuristic parked: a `u64::MAX` window never
+/// completes, so the session transitions only when the test forces it.
+fn forced_cfg(shards: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        adaptive: AdaptiveConfig { window: u64::MAX, ..AdaptiveConfig::on() },
+        ..RuntimeConfig::with_shards(shards)
+    }
+}
+
+/// A compact generated event, as in `tests/runtime_differential.rs`.
+#[derive(Debug, Clone, Copy)]
+struct GenEvent {
+    pair: u8,
+    outbound: bool,
+    dropped: bool,
+    gap_steps: u8,
+}
+
+fn gen_event() -> impl Strategy<Value = GenEvent> {
+    (0u8..6, any::<bool>(), any::<bool>(), 1u8..4).prop_map(
+        |(pair, outbound, dropped, gap_steps)| GenEvent { pair, outbound, dropped, gap_steps },
+    )
+}
+
+fn render_trace(events: &[GenEvent], step: Duration) -> Vec<NetEvent> {
+    let mut tb = TraceBuilder::new();
+    let mut t = Instant::ZERO;
+    for e in events {
+        let a = Ipv4Address::new(10, 0, 0, e.pair + 1);
+        let b = Ipv4Address::new(192, 0, 2, e.pair + 1);
+        let (src, dst, in_port) = if e.outbound { (a, b, PortNo(0)) } else { (b, a, PortNo(1)) };
+        let pkt = PacketBuilder::tcp(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            src,
+            dst,
+            4000,
+            443,
+            TcpFlags::ACK,
+            &[],
+        );
+        t += step * u64::from(e.gap_steps);
+        let action = if e.dropped {
+            EgressAction::Drop
+        } else {
+            EgressAction::Output(PortNo(if e.outbound { 1 } else { 0 }))
+        };
+        tb.at(t).arrive_depart(in_port, pkt, action);
+    }
+    tb.build()
+}
+
+/// Deterministic firewall-rich trace (request/reply pairs, replies dropped
+/// half the time), as in `tests/deploy_differential.rs`.
+fn fixed_trace(n: usize) -> (Vec<NetEvent>, Instant) {
+    let events: Vec<GenEvent> = (0..n)
+        .map(|i| {
+            let flow = i / 2;
+            GenEvent {
+                pair: (flow % 6) as u8,
+                outbound: i % 2 == 0,
+                dropped: i % 2 == 1 && flow % 4 < 2,
+                gap_steps: 1 + (i % 3) as u8,
+            }
+        })
+        .collect();
+    let trace = render_trace(&events, Duration::from_micros(50));
+    let end = trace.last().unwrap().time + Duration::from_secs(120);
+    (trace, end)
+}
+
+/// Feed `trace`, toggling the ingress mode immediately before each event
+/// index in `transitions` (sorted, may repeat a toggle point or land at
+/// `trace.len()` — the toggle then happens after the last event). The
+/// session starts inline, so toggles alternate fan-out, fan-in, fan-out…
+fn run_with_transitions(
+    props: Vec<Property>,
+    shards: usize,
+    trace: &[NetEvent],
+    transitions: &[usize],
+    end: Instant,
+) -> Outcome {
+    let rt = ShardedRuntime::new(props, forced_cfg(shards)).expect("catalog properties are valid");
+    let mut session = rt.start();
+    assert!(!session.is_fanned(), "adaptive sessions start inline");
+    let mut next = transitions.iter().copied().peekable();
+    for (i, ev) in trace.iter().enumerate() {
+        while next.peek() == Some(&i) {
+            next.next();
+            if session.is_fanned() {
+                session.fan_in().expect("forced fan-in succeeds");
+            } else {
+                session.fan_out();
+            }
+        }
+        session.feed(ev).expect("fault-free feed");
+    }
+    for _ in next {
+        if session.is_fanned() {
+            session.fan_in().expect("forced fan-in succeeds");
+        } else {
+            session.fan_out();
+        }
+    }
+    session.finish(end).expect("fault-free finish")
+}
+
+fn reference_sigs(props: &[Property], events: &[NetEvent], end: Instant) -> Vec<String> {
+    reference_records(props, MonitorConfig::default(), events, end).iter().map(signature).collect()
+}
+
+/// Index-blind signatures for the deploy-race comparisons (as in
+/// `tests/deploy_differential.rs`).
+fn sorted_name_sigs(records: &[ViolationRecord]) -> Vec<String> {
+    let mut v: Vec<String> = records.iter().map(name_signature).collect();
+    v.sort();
+    v
+}
+
+/// Fixed adversarial transition points: at the first event, back-to-back
+/// (fan-out then immediate fan-in), mid-trace, and after the last event.
+#[test]
+fn forced_transitions_are_byte_identical_at_every_shard_count() {
+    let (trace, end) = fixed_trace(200);
+    let expect = reference_sigs(&full_catalog(), &trace, end);
+    assert!(!expect.is_empty(), "the workload must produce violations");
+    let transitions = [0usize, 37, 38, 101, trace.len()];
+
+    for shards in SHARD_COUNTS {
+        let out = run_with_transitions(full_catalog(), shards, &trace, &transitions, end);
+        assert_eq!(
+            out.signatures(),
+            expect,
+            "forced transitions changed the output at {shards} shards"
+        );
+        assert_eq!(
+            (out.stats.fan_outs, out.stats.fan_ins),
+            (3, 2),
+            "five toggles from inline alternate out/in/out/in/out"
+        );
+        assert_eq!(out.stats.unaccounted_loss(), 0);
+        assert_eq!(out.stats.events_in, trace.len() as u64);
+    }
+}
+
+/// A session that never transitions under the parked heuristic matches the
+/// reference too — adaptive mode alone must not perturb anything.
+#[test]
+fn adaptive_mode_without_transitions_is_byte_identical() {
+    let (trace, end) = fixed_trace(120);
+    let expect = reference_sigs(&full_catalog(), &trace, end);
+    for shards in [1usize, 4] {
+        let out = run_with_transitions(full_catalog(), shards, &trace, &[], end);
+        assert_eq!(out.signatures(), expect, "inline-only run diverged at {shards} shards");
+        assert_eq!((out.stats.fan_outs, out.stats.fan_ins), (0, 0));
+        assert_eq!(out.stats.unaccounted_loss(), 0);
+    }
+}
+
+/// A transition racing a deploy barrier, in both orders: the session fans
+/// out just before the deploy point (the barrier then rides the rings) and
+/// folds back just after — and conversely deploys inline and fans out
+/// mid-suffix. Both must satisfy the hot-add compositional oracle.
+#[test]
+fn transitions_racing_a_deploy_point_preserve_the_oracle() {
+    let (trace, end) = fixed_trace(160);
+    let schedule = DeploySchedule::evenly_spaced(1, Instant::ZERO, trace.last().unwrap().time);
+    let parts = schedule.split(&trace);
+    assert_eq!(parts.len(), 2);
+    assert!(!parts[0].is_empty() && !parts[1].is_empty(), "the deploy point is interior");
+    let added = Property {
+        name: "firewall/return-not-dropped-hotfix".into(),
+        ..firewall::return_not_dropped_within(Duration::from_micros(150))
+    };
+    let mut expect = sorted_name_sigs(&reference_records(
+        &full_catalog(),
+        MonitorConfig::default(),
+        &trace,
+        end,
+    ));
+    expect.extend(sorted_name_sigs(&reference_records(
+        std::slice::from_ref(&added),
+        MonitorConfig::default(),
+        parts[1],
+        end,
+    )));
+    expect.sort();
+
+    for shards in SHARD_COUNTS {
+        for deploy_fanned in [true, false] {
+            let rt = ShardedRuntime::new(full_catalog(), forced_cfg(shards))
+                .expect("catalog properties are valid");
+            let mut session = rt.start();
+            for ev in parts[0] {
+                session.feed(ev).expect("fault-free feed");
+            }
+            if deploy_fanned {
+                // Fan out at the deploy point: the barrier must quiesce
+                // freshly spawned workers over the rings.
+                session.fan_out();
+            }
+            session.deploy(&DeployPlan::add(added.clone())).expect("add deploys");
+            assert_eq!(session.epoch(), 1);
+            let mid = parts[1].len() / 2;
+            for ev in &parts[1][..mid] {
+                session.feed(ev).expect("fault-free feed");
+            }
+            // Flip modes mid-suffix: fanned sessions fold back in, inline
+            // sessions fan out, so epoch-1 state crosses a transition.
+            if session.is_fanned() {
+                session.fan_in().expect("forced fan-in succeeds");
+            } else {
+                session.fan_out();
+            }
+            for ev in &parts[1][mid..] {
+                session.feed(ev).expect("fault-free feed");
+            }
+            let out = session.finish(end).expect("fault-free finish");
+            assert_eq!(
+                sorted_name_sigs(&out.records),
+                expect,
+                "deploy racing a transition diverged at {shards} shards \
+                 (deploy_fanned={deploy_fanned})"
+            );
+            assert_eq!(out.stats.deploys_applied, 1);
+            assert_eq!(out.stats.unaccounted_loss(), 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Transitions forced at arbitrary indices of a random trace — any
+    /// count, any placement, including repeats at one index (fan-out then
+    /// immediate fan-in) and past-the-end toggles — never change a byte.
+    #[test]
+    fn random_transition_points_are_byte_identical(
+        events in proptest::collection::vec(gen_event(), 2..32),
+        points in proptest::collection::vec(0usize..64, 0..6),
+    ) {
+        let trace = render_trace(&events, Duration::from_micros(50));
+        let end = trace.last().unwrap().time + Duration::from_secs(120);
+        let mut transitions: Vec<usize> =
+            points.iter().map(|&p| p.min(trace.len())).collect();
+        transitions.sort_unstable();
+        let expect = reference_sigs(&full_catalog(), &trace, end);
+        for shards in SHARD_COUNTS {
+            let out =
+                run_with_transitions(full_catalog(), shards, &trace, &transitions, end);
+            prop_assert_eq!(
+                out.signatures(),
+                expect.clone(),
+                "transitions {:?} diverged at {} shards", transitions, shards
+            );
+            prop_assert_eq!(out.stats.unaccounted_loss(), 0);
+            prop_assert_eq!(
+                out.stats.fan_outs + out.stats.fan_ins,
+                transitions.len() as u64
+            );
+        }
+    }
+}

@@ -267,6 +267,46 @@ fn hot_upgrade_runs_the_new_version_fresh_over_the_suffix() {
     }
 }
 
+/// A deploy issued while batches are still staged in the session arena
+/// loses nothing: the barrier's first act is `flush_all_shards`, so every
+/// pre-deploy event reaches its shard before quiesce. Batches here are
+/// larger than the trace and the staleness clock is parked, so *all*
+/// prefix events are pending at the deploy point — the worst case.
+#[test]
+fn deploy_with_pending_batches_loses_no_events() {
+    let (trace, end) = fixed_trace(160);
+    let k = trace.len() / 3 + 1; // deliberately off any batch boundary
+    let added = incoming();
+    let mut expect = reference_sigs(&full_catalog(), &trace, end);
+    expect.extend(reference_sigs(std::slice::from_ref(&added), &trace[k..], end));
+    expect.sort();
+
+    for shards in SHARD_COUNTS {
+        let cfg = RuntimeConfig {
+            batch: 4096,          // never fills mid-run
+            flush_every: 1 << 30, // staleness clock never fires
+            ..RuntimeConfig::with_shards(shards)
+        };
+        let rt = ShardedRuntime::new(full_catalog(), cfg).expect("catalog properties are valid");
+        let mut session = rt.start();
+        for ev in &trace[..k] {
+            session.feed(ev).expect("fault-free feed");
+        }
+        let outcome = session.deploy(&DeployPlan::add(added.clone())).expect("add deploys");
+        assert_eq!(outcome.epoch, 1);
+        for ev in &trace[k..] {
+            session.feed(ev).expect("fault-free feed");
+        }
+        let out = session.finish(end).expect("fault-free finish");
+        assert_eq!(
+            sorted_sigs(&out.records),
+            expect,
+            "a deploy over pending batches lost or reordered events at {shards} shards"
+        );
+        assert_eq!(out.stats.unaccounted_loss(), 0);
+    }
+}
+
 /// A rejected plan is a no-op: the session stays on its epoch and the
 /// final output is byte-identical to a session that never submitted it.
 #[test]

@@ -113,6 +113,57 @@ fn degraded_atom_returns_exactly_the_shed_window_violations() {
     assert_eq!(reloaded.query_str("degraded()").expect("parses").signatures(), expect);
 }
 
+/// Bounded-staleness regression: with batches far larger than the whole
+/// trace, nothing ever dispatches by fullness — before the staleness
+/// clock existed, a trickle shard's violations stayed staged in the
+/// session arena until `finish()`, invisible to every live query. Now the
+/// `flush_every` clock force-flushes (with a checkpoint) once the oldest
+/// staged event is that many fed events old, so even a shard holding a
+/// single event becomes visible mid-run.
+#[test]
+fn stale_trickle_batches_become_visible_without_finish() {
+    let props = swmon_props::catalog();
+    let (trace, end) = chaos_trace();
+    let cfg = RuntimeConfig {
+        shards: 4,
+        batch: 1 << 20, // never fills: only the staleness clock can flush
+        flush_every: 32,
+        ..Default::default()
+    };
+    let rt = ShardedRuntime::new(props, cfg).expect("catalog properties are valid");
+    let sink = Arc::new(StoreSink::new());
+    let store = sink.store();
+    let mut session = rt.start_with_sink(Some(sink as Arc<dyn ViolationSink>));
+
+    let mut live_total = 0u64;
+    for (i, ev) in trace.iter().enumerate() {
+        session.feed(ev).expect("fault-free run succeeds");
+        if live_total == 0 && i % 64 == 63 {
+            live_total = store.query_str("prop(*)").expect("prop(*) parses").total;
+        }
+    }
+    // Shard application is asynchronous: the stale flush has been enqueued
+    // by now, but give the workers a moment to apply and publish it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while live_total == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        live_total = store.query_str("prop(*)").expect("prop(*) parses").total;
+    }
+    assert!(
+        live_total > 0,
+        "stale batches must flush to live queries without finish() — \
+         with 1M-event batches only the flush_every clock can publish"
+    );
+    assert_eq!(session.live_stats().unaccounted_loss(), 0);
+
+    let out = session.finish(end).expect("fault-free run succeeds");
+    let sealed = store.query_str("prop(*)").expect("prop(*) parses");
+    assert!(sealed.sealed);
+    assert!(sealed.total >= live_total, "sealed answer contains every live match");
+    assert_eq!(sealed.signatures(), out.signatures());
+    assert_eq!(out.stats.unaccounted_loss(), 0);
+}
+
 #[test]
 fn live_queries_see_a_prefix_consistent_snapshot() {
     let props = swmon_props::catalog();
